@@ -1,0 +1,91 @@
+//! Criterion benchmarks for the MaxThroughput algorithms (experiments E7, E8, E9 and
+//! E10b in DESIGN.md): the clique 4-approximation, the proper-clique DP (both the
+//! paper-faithful `O(n³g)` table and the `O(n²g)` rewrite, as an ablation), the
+//! Proposition 2.2 binary-search reduction and the one-sided rule.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use busytime::maxthroughput::{
+    clique_max_throughput, minbusy_via_maxthroughput, most_throughput_consecutive,
+    most_throughput_consecutive_fast, one_sided_max_throughput,
+};
+use busytime::{Duration, Instance};
+use busytime_workload::{clique_instance, one_sided_instance, proper_clique_instance};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// A mid-range budget (half the naive upper bound) so the algorithms do real work.
+fn half_budget(instance: &Instance) -> Duration {
+    Duration::new(instance.total_len().ticks() / 2)
+}
+
+fn bench_e7_clique_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e7_clique_throughput_approx");
+    group.sample_size(20);
+    for n in [50usize, 200, 800] {
+        let mut rng = StdRng::seed_from_u64(11);
+        let inst = clique_instance(&mut rng, n, 4, 1_000);
+        let budget = half_budget(&inst);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &inst, |b, inst| {
+            b.iter(|| clique_max_throughput(black_box(inst), budget).unwrap());
+        });
+    }
+    group.finish();
+}
+
+fn bench_e8_proper_clique_dp(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e8_proper_clique_throughput_dp");
+    group.sample_size(10);
+    for n in [40usize, 80, 160] {
+        let mut rng = StdRng::seed_from_u64(12);
+        let inst = proper_clique_instance(&mut rng, n, 4, 4 * n as i64);
+        let budget = half_budget(&inst);
+        group.bench_with_input(BenchmarkId::new("paper_o_n3g", n), &inst, |b, inst| {
+            b.iter(|| most_throughput_consecutive(black_box(inst), budget).unwrap());
+        });
+        group.bench_with_input(BenchmarkId::new("fast_o_n2g", n), &inst, |b, inst| {
+            b.iter(|| most_throughput_consecutive_fast(black_box(inst), budget).unwrap());
+        });
+    }
+    group.finish();
+}
+
+fn bench_e9_reduction(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e9_minbusy_via_maxthroughput");
+    group.sample_size(10);
+    for n in [60usize, 150] {
+        let mut rng = StdRng::seed_from_u64(13);
+        let inst = proper_clique_instance(&mut rng, n, 3, 4 * n as i64);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &inst, |b, inst| {
+            b.iter(|| {
+                minbusy_via_maxthroughput(black_box(inst), most_throughput_consecutive_fast)
+                    .unwrap()
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_e10_one_sided_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e10_one_sided_throughput");
+    group.sample_size(20);
+    for n in [1_000usize, 20_000] {
+        let mut rng = StdRng::seed_from_u64(14);
+        let inst = one_sided_instance(&mut rng, n, 8, 10_000);
+        let budget = half_budget(&inst);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &inst, |b, inst| {
+            b.iter(|| one_sided_max_throughput(black_box(inst), budget).unwrap());
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    maxthroughput,
+    bench_e7_clique_throughput,
+    bench_e8_proper_clique_dp,
+    bench_e9_reduction,
+    bench_e10_one_sided_throughput
+);
+criterion_main!(maxthroughput);

@@ -1,0 +1,129 @@
+//! Criterion benchmarks for the MinBusy algorithms (experiments E1–E4, E9, E10 in
+//! DESIGN.md): running-time shape of every Section 3 algorithm on its instance class.
+//!
+//! Absolute times are machine-dependent; what these benches are meant to show is the
+//! *shape* — the exact DP of Theorem 3.2 scales linearly in `n·g`, BestCut and the
+//! one-sided rule are `O(n log n)`-ish, the matching algorithm is polynomial but clearly
+//! super-linear, and the set-cover reduction blows up with `g`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use busytime::minbusy::{
+    best_cut, clique_matching, clique_set_cover, find_best_consecutive, first_fit, greedy_pack,
+    one_sided_optimal,
+};
+use busytime_exact::exact_minbusy_cost;
+use busytime_workload::{
+    clique_instance, general_instance, one_sided_instance, proper_clique_instance, proper_instance,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_e1_clique_matching(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e1_clique_matching_g2");
+    group.sample_size(20);
+    for n in [20usize, 60, 120] {
+        let mut rng = StdRng::seed_from_u64(1);
+        let inst = clique_instance(&mut rng, n, 2, 1_000);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &inst, |b, inst| {
+            b.iter(|| clique_matching(black_box(inst)).unwrap());
+        });
+    }
+    group.finish();
+}
+
+fn bench_e2_set_cover(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e2_clique_set_cover");
+    group.sample_size(10);
+    for g in [2usize, 3, 4] {
+        let mut rng = StdRng::seed_from_u64(2);
+        let inst = clique_instance(&mut rng, 16, g, 1_000);
+        group.bench_with_input(BenchmarkId::new("g", g), &inst, |b, inst| {
+            b.iter(|| clique_set_cover(black_box(inst)).unwrap());
+        });
+    }
+    group.finish();
+}
+
+fn bench_e3_bestcut(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e3_bestcut_proper");
+    group.sample_size(20);
+    for n in [1_000usize, 10_000, 50_000] {
+        let mut rng = StdRng::seed_from_u64(3);
+        let inst = proper_instance(&mut rng, n, 5, 50, 10);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &inst, |b, inst| {
+            b.iter(|| best_cut(black_box(inst)).unwrap());
+        });
+    }
+    group.finish();
+}
+
+fn bench_e3_firstfit_baseline(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e3_firstfit_baseline");
+    group.sample_size(10);
+    for n in [1_000usize, 4_000] {
+        let mut rng = StdRng::seed_from_u64(4);
+        let inst = proper_instance(&mut rng, n, 5, 50, 10);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &inst, |b, inst| {
+            b.iter(|| first_fit(black_box(inst)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_e4_proper_clique_dp(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e4_proper_clique_dp");
+    group.sample_size(20);
+    for (n, g) in [(1_000usize, 5usize), (10_000, 5), (10_000, 50), (100_000, 5)] {
+        let mut rng = StdRng::seed_from_u64(5);
+        let inst = proper_clique_instance(&mut rng, n, g, 4 * n as i64);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("n{n}_g{g}")),
+            &inst,
+            |b, inst| {
+                b.iter(|| find_best_consecutive(black_box(inst)).unwrap());
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_e9_baselines_and_exact(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e9_baselines_and_exact");
+    group.sample_size(10);
+    let mut rng = StdRng::seed_from_u64(6);
+    let small = general_instance(&mut rng, 14, 3, 80, 20);
+    group.bench_function("greedy_pack_n14", |b| {
+        b.iter(|| greedy_pack(black_box(&small)));
+    });
+    group.bench_function("exact_subset_dp_n14", |b| {
+        b.iter(|| exact_minbusy_cost(black_box(&small)));
+    });
+    group.finish();
+}
+
+fn bench_e10_one_sided(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e10_one_sided");
+    group.sample_size(20);
+    for n in [1_000usize, 100_000] {
+        let mut rng = StdRng::seed_from_u64(7);
+        let inst = one_sided_instance(&mut rng, n, 8, 10_000);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &inst, |b, inst| {
+            b.iter(|| one_sided_optimal(black_box(inst)).unwrap());
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    minbusy,
+    bench_e1_clique_matching,
+    bench_e2_set_cover,
+    bench_e3_bestcut,
+    bench_e3_firstfit_baseline,
+    bench_e4_proper_clique_dp,
+    bench_e9_baselines_and_exact,
+    bench_e10_one_sided
+);
+criterion_main!(minbusy);

@@ -1,0 +1,80 @@
+//! S1 in DESIGN.md: running-time scaling of every polynomial algorithm with the instance
+//! size, on its own instance class, so that the measured curves can be compared with the
+//! stated complexities (`O(n·g)` for the proper-clique DP, `O(n log n)` grouping rules,
+//! `O(n³)` matching, `O(n²·g)` throughput DP, …).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+use busytime::minbusy::{best_cut, find_best_consecutive, first_fit, one_sided_optimal};
+use busytime::maxthroughput::most_throughput_consecutive_fast;
+use busytime::par::solve_minbusy_batch;
+use busytime::{Duration, Instance};
+use busytime_workload::{one_sided_instance, proper_clique_instance, proper_instance};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_scaling_minbusy(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scaling_minbusy");
+    group.sample_size(10);
+    for n in [1_000usize, 10_000, 100_000] {
+        let mut rng = StdRng::seed_from_u64(31);
+        let proper_clique = proper_clique_instance(&mut rng, n, 10, 4 * n as i64);
+        let proper = proper_instance(&mut rng, n, 10, 40, 8);
+        let one_sided = one_sided_instance(&mut rng, n, 10, 100_000);
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(
+            BenchmarkId::new("find_best_consecutive", n),
+            &proper_clique,
+            |b, inst| b.iter(|| find_best_consecutive(black_box(inst)).unwrap()),
+        );
+        group.bench_with_input(BenchmarkId::new("best_cut", n), &proper, |b, inst| {
+            b.iter(|| best_cut(black_box(inst)).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("one_sided", n), &one_sided, |b, inst| {
+            b.iter(|| one_sided_optimal(black_box(inst)).unwrap())
+        });
+        if n <= 10_000 {
+            group.bench_with_input(BenchmarkId::new("first_fit", n), &proper, |b, inst| {
+                b.iter(|| first_fit(black_box(inst)))
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_scaling_throughput_dp(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scaling_throughput_dp");
+    group.sample_size(10);
+    for n in [50usize, 100, 200, 400] {
+        let mut rng = StdRng::seed_from_u64(32);
+        let inst = proper_clique_instance(&mut rng, n, 5, 4 * n as i64);
+        let budget = Duration::new(inst.total_len().ticks() / 2);
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &inst, |b, inst| {
+            b.iter(|| most_throughput_consecutive_fast(black_box(inst), budget).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_scaling_parallel_batch(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scaling_parallel_batch");
+    group.sample_size(10);
+    let mut rng = StdRng::seed_from_u64(33);
+    let batch: Vec<Instance> = (0..64)
+        .map(|_| proper_clique_instance(&mut rng, 2_000, 8, 8_000))
+        .collect();
+    group.bench_function("solve_minbusy_batch_64x2000", |b| {
+        b.iter(|| solve_minbusy_batch(black_box(&batch)))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    scaling,
+    bench_scaling_minbusy,
+    bench_scaling_throughput_dp,
+    bench_scaling_parallel_batch
+);
+criterion_main!(scaling);

@@ -1,0 +1,51 @@
+//! Criterion benchmarks for the 2-D algorithms of Section 3.4 (experiments E5, E6 and
+//! F3 in DESIGN.md): FirstFit and BucketFirstFit on random rectangle instances and on the
+//! Figure 3 adversarial family.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use busytime::twodim::{bucket_first_fit, first_fit_2d, DEFAULT_BUCKET_BASE};
+use busytime_workload::{figure3_instance, rect_instance};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_e5_firstfit2d(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e5_first_fit_2d");
+    group.sample_size(10);
+    for n in [100usize, 400, 1_600] {
+        let mut rng = StdRng::seed_from_u64(21);
+        let inst = rect_instance(&mut rng, n, 4, 500, 4, 4.0, 4.0);
+        group.bench_with_input(BenchmarkId::new("random", n), &inst, |b, inst| {
+            b.iter(|| first_fit_2d(black_box(inst)));
+        });
+    }
+    // The Figure 3 adversarial family (F3).
+    for g in [8usize, 16] {
+        let inst = figure3_instance(g, 2, 32);
+        group.bench_with_input(BenchmarkId::new("figure3_g", g), &inst, |b, inst| {
+            b.iter(|| first_fit_2d(black_box(inst)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_e6_bucket(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e6_bucket_first_fit");
+    group.sample_size(10);
+    for gamma in [4.0f64, 64.0] {
+        let mut rng = StdRng::seed_from_u64(22);
+        let inst = rect_instance(&mut rng, 800, 4, 2_000, 2, gamma, gamma);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("gamma{gamma}")),
+            &inst,
+            |b, inst| {
+                b.iter(|| bucket_first_fit(black_box(inst), DEFAULT_BUCKET_BASE));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(twodim, bench_e5_firstfit2d, bench_e6_bucket);
+criterion_main!(twodim);

@@ -1,0 +1,175 @@
+//! Experiments E7 and E8 (MaxThroughput side): the clique 4-approximation of Theorem 4.1
+//! and the proper-clique dynamic program of Theorem 4.2 (including the fast-variant
+//! ablation), plus the budgeted side of the one-sided experiment E10.
+
+use busytime::maxthroughput::{
+    clique_max_throughput, most_throughput_consecutive, most_throughput_consecutive_fast,
+    one_sided_max_throughput,
+};
+use busytime::{Duration, Instance};
+use busytime_exact::exact_maxthroughput_value;
+use busytime_workload::{clique_instance, one_sided_instance, proper_clique_instance};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rayon::prelude::*;
+
+use crate::report::{ExperimentReport, Row};
+
+/// Budgets used across throughput experiments: fractions of the naive upper bound
+/// `len(J)` so that every regime (nothing fits … everything fits) is exercised.
+fn budgets_for(instance: &Instance) -> Vec<Duration> {
+    let len = instance.total_len().ticks();
+    [0.1f64, 0.25, 0.5, 0.75, 1.0]
+        .iter()
+        .map(|f| Duration::new((len as f64 * f).round() as i64))
+        .collect()
+}
+
+/// `tput*(I,T) / tput_alg(I,T)` maximized over the budget grid, per instance; 1.0 when
+/// both schedules are empty.
+fn throughput_ratios<G, S>(seed: u64, trials: usize, gen: G, solve: S) -> Vec<f64>
+where
+    G: Fn(&mut StdRng) -> Instance + Sync,
+    S: Fn(&Instance, Duration) -> usize + Sync,
+{
+    (0..trials)
+        .into_par_iter()
+        .map(|t| {
+            let mut rng = StdRng::seed_from_u64(seed.wrapping_add(t as u64));
+            let instance = gen(&mut rng);
+            let mut worst: f64 = 1.0;
+            for budget in budgets_for(&instance) {
+                let opt = exact_maxthroughput_value(&instance, budget);
+                let alg = solve(&instance, budget);
+                let ratio = if opt == 0 {
+                    1.0
+                } else if alg == 0 {
+                    f64::INFINITY
+                } else {
+                    opt as f64 / alg as f64
+                };
+                worst = worst.max(ratio);
+            }
+            worst
+        })
+        .collect()
+}
+
+/// E7 — Theorem 4.1: the combined Alg1/Alg2 algorithm is a 4-approximation on clique
+/// instances.
+pub fn e7_clique_throughput(seed: u64, trials: usize) -> ExperimentReport {
+    let mut rows = Vec::new();
+    for (n, g) in [(10usize, 2usize), (12, 3), (12, 5)] {
+        let samples = throughput_ratios(
+            seed ^ ((n * 131 + g) as u64),
+            trials,
+            move |rng| clique_instance(rng, n, g, 40),
+            |inst, budget| {
+                let r = clique_max_throughput(inst, budget).expect("clique instance");
+                r.schedule
+                    .validate_budgeted(inst, budget)
+                    .expect("budget respected");
+                r.throughput
+            },
+        );
+        rows.push(Row::from_samples(format!("g={g}, n={n}"), &samples, 4.0));
+    }
+    ExperimentReport {
+        id: "E7".into(),
+        title: "clique MaxThroughput (Alg1 + Alg2)".into(),
+        claim: "Theorem 4.1: tput* ≤ 4 · tput(algorithm) for every budget".into(),
+        rows,
+    }
+}
+
+/// E8 — Theorem 4.2: the consecutive DP is optimal on proper clique instances; the
+/// `O(n²·g)` variant agrees with the paper-faithful `O(n³·g)` table everywhere.
+pub fn e8_proper_clique_throughput(seed: u64, trials: usize) -> ExperimentReport {
+    let mut rows = Vec::new();
+    for (n, g) in [(10usize, 2usize), (12, 4)] {
+        let samples = throughput_ratios(
+            seed ^ ((n * 17 + g) as u64),
+            trials,
+            move |rng| proper_clique_instance(rng, n, g, 60),
+            |inst, budget| {
+                most_throughput_consecutive_fast(inst, budget)
+                    .expect("proper clique instance")
+                    .throughput
+            },
+        );
+        rows.push(Row::from_samples(
+            format!("fast DP vs optimum: g={g}, n={n}"),
+            &samples,
+            1.0,
+        ));
+    }
+    // Ablation: the paper-faithful 4-dimensional DP must agree with the fast variant.
+    let mut agreement = Vec::new();
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x88);
+    for _ in 0..trials {
+        let inst = proper_clique_instance(&mut rng, 10, 3, 60);
+        for budget in budgets_for(&inst) {
+            let slow = most_throughput_consecutive(&inst, budget).unwrap().throughput;
+            let fast = most_throughput_consecutive_fast(&inst, budget).unwrap().throughput;
+            agreement.push(if slow == fast { 1.0 } else { 2.0 });
+        }
+    }
+    rows.push(Row::from_samples(
+        "paper DP vs fast DP agreement (1.0 = identical)",
+        &agreement,
+        1.0,
+    ));
+    ExperimentReport {
+        id: "E8".into(),
+        title: "proper clique MaxThroughput DP".into(),
+        claim: "Theorem 4.2: optimal; the O(n²g) rewrite matches the paper's O(n³g) table".into(),
+        rows,
+    }
+}
+
+/// The budgeted half of E10 — Proposition 4.1: optimal throughput on one-sided
+/// instances.
+pub fn e10_one_sided_throughput(seed: u64, trials: usize) -> ExperimentReport {
+    let mut rows = Vec::new();
+    for g in [2usize, 4] {
+        let n = 12;
+        let samples = throughput_ratios(
+            seed ^ 0x4141 ^ (g as u64),
+            trials,
+            move |rng| one_sided_instance(rng, n, g, 50),
+            |inst, budget| {
+                one_sided_max_throughput(inst, budget)
+                    .expect("one-sided instance")
+                    .throughput
+            },
+        );
+        rows.push(Row::from_samples(format!("g={g}, n={n}"), &samples, 1.0));
+    }
+    ExperimentReport {
+        id: "E10b".into(),
+        title: "one-sided MaxThroughput".into(),
+        claim: "Proposition 4.1: scheduling the k shortest jobs is optimal for every budget".into(),
+        rows,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn optimal_throughput_experiments_report_ratio_one() {
+        for report in [e8_proper_clique_throughput(11, 4), e10_one_sided_throughput(12, 5)] {
+            assert!(report.passed(), "{}", report.render());
+            for row in &report.rows {
+                assert!((row.worst - 1.0).abs() < 1e-9, "{}", report.render());
+            }
+        }
+    }
+
+    #[test]
+    fn clique_approximation_within_factor_four() {
+        let report = e7_clique_throughput(13, 5);
+        assert!(report.passed(), "{}", report.render());
+    }
+}

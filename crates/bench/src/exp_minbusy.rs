@@ -1,0 +1,260 @@
+//! Experiments E1–E4, E9 and E10 (MinBusy side): measured approximation ratios of every
+//! Section 3 algorithm against exact optima (small instances) or the Observation 2.1
+//! lower bound (large instances).
+
+use busytime::bounds::lower_bound;
+use busytime::minbusy::{
+    best_cut, best_cut_guarantee, clique_matching, clique_set_cover, find_best_consecutive,
+    first_fit, greedy_pack, one_sided_optimal, set_cover_guarantee,
+};
+use busytime::maxthroughput::{minbusy_via_maxthroughput, most_throughput_consecutive_fast};
+use busytime::Instance;
+use busytime_exact::exact_minbusy_cost;
+use busytime_workload::{
+    clique_instance, general_instance, one_sided_instance, proper_clique_instance, proper_instance,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rayon::prelude::*;
+
+use crate::report::{ExperimentReport, Row};
+
+/// Ratio of an algorithm's cost to the exact optimum over `trials` random instances
+/// produced by `gen`, solved by `solve` (both run per instance).
+fn ratios_vs_exact<G, S>(seed: u64, trials: usize, gen: G, solve: S) -> Vec<f64>
+where
+    G: Fn(&mut StdRng) -> Instance + Sync,
+    S: Fn(&Instance) -> busytime::Schedule + Sync,
+{
+    (0..trials)
+        .into_par_iter()
+        .map(|t| {
+            let mut rng = StdRng::seed_from_u64(seed.wrapping_add(t as u64));
+            let instance = gen(&mut rng);
+            let schedule = solve(&instance);
+            schedule
+                .validate_complete(&instance)
+                .expect("experiment schedules must be valid and complete");
+            let cost = schedule.cost(&instance).as_f64();
+            let opt = exact_minbusy_cost(&instance).as_f64();
+            if opt == 0.0 {
+                1.0
+            } else {
+                cost / opt
+            }
+        })
+        .collect()
+}
+
+/// E1 — Lemma 3.1: the matching algorithm is optimal on clique instances with `g = 2`.
+pub fn e1_clique_matching(seed: u64, trials: usize) -> ExperimentReport {
+    let mut rows = Vec::new();
+    for n in [6usize, 9, 12] {
+        let samples = ratios_vs_exact(
+            seed ^ (n as u64) << 8,
+            trials,
+            |rng| clique_instance(rng, n, 2, 60),
+            |inst| clique_matching(inst).expect("clique g=2 instance"),
+        );
+        rows.push(Row::from_samples(format!("g=2, n={n}"), &samples, 1.0));
+    }
+    ExperimentReport {
+        id: "E1".into(),
+        title: "clique g=2 via maximum-weight matching".into(),
+        claim: "Lemma 3.1: optimal (ratio 1.0) on clique instances with g = 2".into(),
+        rows,
+    }
+}
+
+/// E2 — Lemma 3.2: the set-cover algorithm is a `g·H_g/(H_g+g−1)`-approximation on
+/// clique instances with fixed `g`.
+pub fn e2_clique_set_cover(seed: u64, trials: usize) -> ExperimentReport {
+    let mut rows = Vec::new();
+    for g in [2usize, 3, 4, 5] {
+        let n = 10;
+        let samples = ratios_vs_exact(
+            seed ^ (g as u64) << 16,
+            trials,
+            move |rng| clique_instance(rng, n, g, 60),
+            |inst| clique_set_cover(inst).expect("clique instance"),
+        );
+        rows.push(Row::from_samples(
+            format!("g={g}, n={n}"),
+            &samples,
+            set_cover_guarantee(g),
+        ));
+    }
+    ExperimentReport {
+        id: "E2".into(),
+        title: "clique fixed-g via weighted set cover".into(),
+        claim: "Lemma 3.2: ratio ≤ g·H_g/(H_g+g−1) (< 2 for g ≤ 6)".into(),
+        rows,
+    }
+}
+
+/// E3 — Theorem 3.1: BestCut is a `(2 − 1/g)`-approximation on proper instances; also
+/// compares against the FirstFit baseline of [13] on larger instances.
+pub fn e3_best_cut(seed: u64, trials: usize) -> ExperimentReport {
+    let mut rows = Vec::new();
+    // Small instances: ratio vs the exact optimum.
+    for g in [2usize, 3, 5] {
+        let n = 12;
+        let samples = ratios_vs_exact(
+            seed ^ (g as u64) << 24,
+            trials,
+            move |rng| proper_instance(rng, n, g, 30, 6),
+            |inst| best_cut(inst).expect("proper instance"),
+        );
+        rows.push(Row::from_samples(
+            format!("vs optimum: g={g}, n={n}"),
+            &samples,
+            best_cut_guarantee(g),
+        ));
+    }
+    // Large instances: ratio vs the lower bound (still certifies the guarantee because
+    // LB ≤ OPT), and the FirstFit baseline measured the same way for comparison.
+    for (g, n) in [(2usize, 2_000usize), (5, 2_000)] {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xbeef ^ (g as u64));
+        let mut bc = Vec::new();
+        let mut ff = Vec::new();
+        for _ in 0..trials.min(10) {
+            let inst = proper_instance(&mut rng, n, g, 40, 8);
+            let lb = lower_bound(&inst).as_f64();
+            bc.push(best_cut(&inst).unwrap().cost(&inst).as_f64() / lb);
+            ff.push(first_fit(&inst).cost(&inst).as_f64() / lb);
+        }
+        rows.push(Row::from_samples(
+            format!("vs lower bound: g={g}, n={n}"),
+            &bc,
+            best_cut_guarantee(g),
+        ));
+        rows.push(Row::from_samples(
+            format!("FirstFit [13] baseline: g={g}, n={n}"),
+            &ff,
+            4.0,
+        ));
+    }
+    ExperimentReport {
+        id: "E3".into(),
+        title: "BestCut on proper instances".into(),
+        claim: "Theorem 3.1: ratio ≤ 2 − 1/g; should beat the FirstFit baseline of [13]".into(),
+        rows,
+    }
+}
+
+/// E4 — Theorem 3.2: FindBestConsecutive is optimal on proper clique instances.
+pub fn e4_proper_clique_dp(seed: u64, trials: usize) -> ExperimentReport {
+    let mut rows = Vec::new();
+    for (n, g) in [(8usize, 2usize), (12, 3), (14, 6)] {
+        let samples = ratios_vs_exact(
+            seed ^ ((n * 31 + g) as u64),
+            trials,
+            move |rng| proper_clique_instance(rng, n, g, 100),
+            |inst| find_best_consecutive(inst).expect("proper clique instance"),
+        );
+        rows.push(Row::from_samples(format!("g={g}, n={n}"), &samples, 1.0));
+    }
+    ExperimentReport {
+        id: "E4".into(),
+        title: "FindBestConsecutive on proper clique instances".into(),
+        claim: "Theorem 3.2: optimal (ratio 1.0) in O(n·g) time".into(),
+        rows,
+    }
+}
+
+/// E9 — Proposition 2.1 (any schedule is a `g`-approximation, measured on the greedy
+/// packing baseline) and Proposition 2.2 (MinBusy recovered through a MaxThroughput
+/// oracle by binary search).
+pub fn e9_bounds_and_reduction(seed: u64, trials: usize) -> ExperimentReport {
+    let mut rows = Vec::new();
+    // Proposition 2.1 on general instances.
+    for g in [2usize, 4] {
+        let n = 12;
+        let samples = ratios_vs_exact(
+            seed ^ 0x2121 ^ (g as u64),
+            trials,
+            move |rng| general_instance(rng, n, g, 60, 20),
+            greedy_pack,
+        );
+        rows.push(Row::from_samples(
+            format!("greedy packing: g={g}, n={n}"),
+            &samples,
+            g as f64,
+        ));
+    }
+    // Proposition 2.2 on proper clique instances (the MaxThroughput oracle is the
+    // Theorem 4.2 DP, so the reduction must return exactly the optimum).
+    let mut diffs = Vec::new();
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x22);
+    for _ in 0..trials {
+        let inst = proper_clique_instance(&mut rng, 12, 3, 80);
+        let direct = find_best_consecutive(&inst).unwrap().cost(&inst).as_f64();
+        let via = minbusy_via_maxthroughput(&inst, most_throughput_consecutive_fast)
+            .unwrap()
+            .cost
+            .as_f64();
+        diffs.push(if direct == 0.0 { 1.0 } else { via / direct });
+    }
+    rows.push(Row::from_samples(
+        "MinBusy via MaxThroughput binary search (proper clique, g=3, n=12)",
+        &diffs,
+        1.0,
+    ));
+    ExperimentReport {
+        id: "E9".into(),
+        title: "generic bounds and the MinBusy ↔ MaxThroughput reduction".into(),
+        claim: "Prop 2.1: any schedule ≤ g·OPT; Prop 2.2: binary search over budgets recovers OPT".into(),
+        rows,
+    }
+}
+
+/// E10 — Observation 3.1: the sort-and-group rule is optimal on one-sided instances.
+pub fn e10_one_sided(seed: u64, trials: usize) -> ExperimentReport {
+    let mut rows = Vec::new();
+    for g in [2usize, 3, 5] {
+        let n = 12;
+        let samples = ratios_vs_exact(
+            seed ^ 0x1010 ^ (g as u64),
+            trials,
+            move |rng| one_sided_instance(rng, n, g, 50),
+            |inst| one_sided_optimal(inst).expect("one-sided instance"),
+        );
+        rows.push(Row::from_samples(format!("g={g}, n={n}"), &samples, 1.0));
+    }
+    ExperimentReport {
+        id: "E10".into(),
+        title: "one-sided clique instances".into(),
+        claim: "Observation 3.1: sort by length and fill machines of g jobs — optimal".into(),
+        rows,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_experiments_report_ratio_one() {
+        for report in [
+            e1_clique_matching(1, 6),
+            e4_proper_clique_dp(2, 6),
+            e10_one_sided(3, 6),
+        ] {
+            assert!(report.passed(), "{}", report.render());
+            for row in &report.rows {
+                assert!((row.worst - 1.0).abs() < 1e-9, "{}", report.render());
+            }
+        }
+    }
+
+    #[test]
+    fn approximation_experiments_stay_within_bounds() {
+        for report in [
+            e2_clique_set_cover(4, 6),
+            e3_best_cut(5, 4),
+            e9_bounds_and_reduction(6, 5),
+        ] {
+            assert!(report.passed(), "{}", report.render());
+        }
+    }
+}

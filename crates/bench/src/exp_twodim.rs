@@ -1,0 +1,142 @@
+//! Experiments E5, E6 and F3: the 2-D algorithms of Section 3.4.
+//!
+//! * F3 / E5 — the Figure 3 adversarial family drives FirstFit to a ratio approaching
+//!   `6γ₁ + 3` (Lemma 3.5's lower bound), while the upper bound `6γ₁ + 4` holds on random
+//!   rectangle instances (measured against the area lower bound).
+//! * E6 — BucketFirstFit stays within the Theorem 3.3 guarantee
+//!   `min(g, 13.82·log min(γ₁,γ₂) + O(1))` across a γ sweep, and beats plain FirstFit
+//!   once γ is large.
+
+use busytime::twodim::{
+    bucket_first_fit, bucket_first_fit_guarantee, first_fit_2d, first_fit_2d_guarantee,
+    Instance2d, DEFAULT_BUCKET_BASE,
+};
+use busytime_workload::{
+    figure3_asymptotic_ratio, figure3_firstfit_cost, figure3_good_solution_cost, figure3_instance,
+    rect_instance,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::report::{ExperimentReport, Row};
+
+fn ratio_vs_lower_bound(instance: &Instance2d, cost: i128) -> f64 {
+    let lb = instance.lower_bound();
+    if lb == 0 {
+        1.0
+    } else {
+        cost as f64 / lb as f64
+    }
+}
+
+/// E5 / F3 — FirstFit on rectangles: the Figure 3 family approaches the `6γ₁ + 3` lower
+/// bound and random instances respect the `6γ₁ + 4` upper bound.
+pub fn e5_first_fit_2d(seed: u64, trials: usize) -> ExperimentReport {
+    let mut rows = Vec::new();
+
+    // The Figure 3 construction (F3): measured FirstFit cost over the good solution.
+    for gamma1 in [1i64, 2, 4] {
+        let g = 24usize;
+        let scale = 64;
+        let inst = figure3_instance(g, gamma1, scale);
+        let schedule = first_fit_2d(&inst);
+        schedule.validate_complete(&inst).unwrap();
+        assert_eq!(
+            schedule.cost(&inst),
+            figure3_firstfit_cost(g, gamma1, scale),
+            "FirstFit must be driven to the predicted cost"
+        );
+        let ratio = schedule.cost(&inst) as f64 / figure3_good_solution_cost(g, gamma1, scale) as f64;
+        rows.push(Row {
+            label: format!("Figure 3 family: γ₁={gamma1}, g={g} (lower-bound construction)"),
+            mean: ratio,
+            worst: ratio,
+            bound: figure3_asymptotic_ratio(gamma1) + 1.0,
+            within_bound: ratio <= figure3_asymptotic_ratio(gamma1) + 1.0
+                && ratio >= figure3_asymptotic_ratio(gamma1) * 0.5,
+        });
+    }
+
+    // Random rectangles: the 6γ₁+4 upper bound measured against the area lower bound.
+    for gamma in [1.0f64, 2.0, 4.0] {
+        let mut rng = StdRng::seed_from_u64(seed ^ gamma as u64);
+        let mut samples = Vec::new();
+        for _ in 0..trials {
+            let inst = rect_instance(&mut rng, 60, 3, 120, 4, gamma, 4.0);
+            let schedule = first_fit_2d(&inst);
+            schedule.validate_complete(&inst).unwrap();
+            samples.push(ratio_vs_lower_bound(&inst, schedule.cost(&inst)));
+        }
+        rows.push(Row::from_samples(
+            format!("random rectangles: γ₁≤{gamma}, n=60, g=3"),
+            &samples,
+            first_fit_2d_guarantee(gamma),
+        ));
+    }
+
+    ExperimentReport {
+        id: "E5".into(),
+        title: "FirstFit on rectangular jobs (includes the Figure 3 reproduction)".into(),
+        claim: "Lemma 3.5: ratio in [6γ₁+3, 6γ₁+4]; the Figure 3 family approaches the lower end".into(),
+        rows,
+    }
+}
+
+/// E6 — BucketFirstFit across a γ sweep.
+pub fn e6_bucket_first_fit(seed: u64, trials: usize) -> ExperimentReport {
+    let mut rows = Vec::new();
+    for gamma in [2.0f64, 8.0, 32.0, 128.0] {
+        let mut rng = StdRng::seed_from_u64(seed ^ (gamma as u64) << 4);
+        let g = 4usize;
+        let mut bucketed = Vec::new();
+        let mut plain = Vec::new();
+        for _ in 0..trials {
+            let inst = rect_instance(&mut rng, 80, g, 200, 2, gamma, gamma);
+            let b = bucket_first_fit(&inst, DEFAULT_BUCKET_BASE);
+            b.validate_complete(&inst).unwrap();
+            bucketed.push(ratio_vs_lower_bound(&inst, b.cost(&inst)));
+            let f = first_fit_2d(&inst);
+            plain.push(ratio_vs_lower_bound(&inst, f.cost(&inst)));
+        }
+        rows.push(Row::from_samples(
+            format!("BucketFirstFit: γ≈{gamma}, n=80, g={g}"),
+            &bucketed,
+            bucket_first_fit_guarantee(g, gamma),
+        ));
+        rows.push(Row::from_samples(
+            format!("plain FirstFit baseline: γ≈{gamma}, n=80, g={g}"),
+            &plain,
+            first_fit_2d_guarantee(gamma),
+        ));
+    }
+    ExperimentReport {
+        id: "E6".into(),
+        title: "BucketFirstFit vs plain FirstFit across γ".into(),
+        claim: "Theorem 3.3: ratio ≤ min(g, 13.82·log min(γ₁,γ₂) + O(1))".into(),
+        rows,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn two_dimensional_experiments_pass() {
+        let e5 = e5_first_fit_2d(21, 3);
+        assert!(e5.passed(), "{}", e5.render());
+        let e6 = e6_bucket_first_fit(22, 3);
+        assert!(e6.passed(), "{}", e6.render());
+    }
+
+    #[test]
+    fn figure3_rows_report_large_ratios() {
+        let e5 = e5_first_fit_2d(23, 2);
+        let fig_rows: Vec<_> = e5.rows.iter().filter(|r| r.label.contains("Figure 3")).collect();
+        assert_eq!(fig_rows.len(), 3);
+        for row in fig_rows {
+            // The whole point of the construction: FirstFit is far from optimal.
+            assert!(row.mean > 4.0, "{}", e5.render());
+        }
+    }
+}

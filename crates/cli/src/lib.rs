@@ -1,0 +1,310 @@
+//! # busytime-cli
+//!
+//! Library backing the `busytime` command-line tool: a JSON on-disk instance format plus
+//! the three sub-commands (`solve`, `throughput`, `generate`) implemented as plain
+//! functions so that they can be unit-tested without spawning processes.
+//!
+//! ```text
+//! busytime generate --class proper-clique --jobs 50 --capacity 4 --seed 7 --output inst.json
+//! busytime solve inst.json
+//! busytime throughput inst.json --budget 1200
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+use busytime::analysis::ScheduleSummary;
+use busytime::{maxthroughput, minbusy, Duration, Instance};
+use busytime_workload as workload;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+/// The on-disk JSON representation of an instance.
+#[derive(Debug, Clone, Serialize, Deserialize, PartialEq, Eq)]
+pub struct InstanceFile {
+    /// The parallelism parameter `g`.
+    pub capacity: usize,
+    /// Jobs as `[start, completion]` tick pairs.
+    pub jobs: Vec<(i64, i64)>,
+}
+
+impl InstanceFile {
+    /// Convert the file representation into a library instance.
+    pub fn to_instance(&self) -> Result<Instance, String> {
+        for &(s, c) in &self.jobs {
+            if s >= c {
+                return Err(format!("job [{s}, {c}] is empty or reversed"));
+            }
+        }
+        let jobs = self
+            .jobs
+            .iter()
+            .map(|&(s, c)| busytime::Interval::from_ticks(s, c))
+            .collect();
+        Instance::new(jobs, self.capacity).map_err(|e| e.to_string())
+    }
+
+    /// Build the file representation from a library instance.
+    pub fn from_instance(instance: &Instance) -> Self {
+        InstanceFile {
+            capacity: instance.capacity(),
+            jobs: instance
+                .jobs()
+                .iter()
+                .map(|iv| (iv.start().ticks(), iv.end().ticks()))
+                .collect(),
+        }
+    }
+
+    /// Parse from a JSON string.
+    pub fn from_json(text: &str) -> Result<Self, String> {
+        serde_json::from_str(text).map_err(|e| format!("invalid instance JSON: {e}"))
+    }
+
+    /// Serialize to pretty JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("instance files always serialize")
+    }
+}
+
+/// The on-disk JSON representation of a solved schedule.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ScheduleFile {
+    /// Which algorithm produced the schedule.
+    pub algorithm: String,
+    /// Total busy time of the schedule.
+    pub busy_time: i64,
+    /// Number of machines used.
+    pub machines: usize,
+    /// Number of scheduled jobs.
+    pub scheduled_jobs: usize,
+    /// Per-machine job lists (indices into the instance's sorted job order).
+    pub machine_groups: Vec<Vec<usize>>,
+    /// Jobs left unscheduled (only non-empty for budgeted runs).
+    pub unscheduled_jobs: Vec<usize>,
+}
+
+/// Result of a CLI command: text for stdout plus an optional file payload.
+#[derive(Debug, Clone)]
+pub struct CommandOutput {
+    /// Human-readable report printed to stdout.
+    pub report: String,
+    /// JSON payload written to `--output`, when requested.
+    pub file_payload: Option<String>,
+}
+
+/// `busytime solve`: MinBusy with the automatic dispatcher.
+pub fn run_solve(file: &InstanceFile) -> Result<CommandOutput, String> {
+    let instance = file.to_instance()?;
+    let (schedule, algorithm) = minbusy::solve_auto(&instance);
+    schedule
+        .validate_complete(&instance)
+        .map_err(|e| e.to_string())?;
+    let summary = ScheduleSummary::new(&instance, &schedule);
+    let report = format!(
+        "MinBusy ({algorithm:?}, guarantee {:.3}): {summary}",
+        algorithm.guarantee(instance.capacity())
+    );
+    let payload = ScheduleFile {
+        algorithm: format!("{algorithm:?}"),
+        busy_time: schedule.cost(&instance).ticks(),
+        machines: schedule.machines_used(),
+        scheduled_jobs: schedule.throughput(),
+        machine_groups: schedule.machine_groups(),
+        unscheduled_jobs: Vec::new(),
+    };
+    Ok(CommandOutput {
+        report,
+        file_payload: Some(serde_json::to_string_pretty(&payload).expect("serializable")),
+    })
+}
+
+/// `busytime throughput`: MaxThroughput under a budget with the automatic dispatcher.
+pub fn run_throughput(file: &InstanceFile, budget: i64) -> Result<CommandOutput, String> {
+    if budget < 0 {
+        return Err("the budget must be non-negative".into());
+    }
+    let instance = file.to_instance()?;
+    let budget = Duration::new(budget);
+    let (result, algorithm) = maxthroughput::solve_auto(&instance, budget);
+    result
+        .schedule
+        .validate_budgeted(&instance, budget)
+        .map_err(|e| e.to_string())?;
+    let unscheduled: Vec<usize> = (0..instance.len())
+        .filter(|&j| !result.schedule.is_scheduled(j))
+        .collect();
+    let report = format!(
+        "MaxThroughput ({algorithm:?}): scheduled {}/{} jobs, busy time {} of budget {}",
+        result.throughput,
+        instance.len(),
+        result.cost,
+        budget
+    );
+    let payload = ScheduleFile {
+        algorithm: format!("{algorithm:?}"),
+        busy_time: result.cost.ticks(),
+        machines: result.schedule.machines_used(),
+        scheduled_jobs: result.throughput,
+        machine_groups: result.schedule.machine_groups(),
+        unscheduled_jobs: unscheduled,
+    };
+    Ok(CommandOutput {
+        report,
+        file_payload: Some(serde_json::to_string_pretty(&payload).expect("serializable")),
+    })
+}
+
+/// Workload classes understood by `busytime generate`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WorkloadClass {
+    /// All jobs share a common time point.
+    Clique,
+    /// All jobs share a common start time.
+    OneSided,
+    /// No job properly contains another.
+    Proper,
+    /// Proper and clique at once.
+    ProperClique,
+    /// Unstructured random jobs.
+    General,
+    /// Cloud-style request trace.
+    Cloud,
+    /// Lightpaths on a line network.
+    Optical,
+}
+
+impl WorkloadClass {
+    /// Parse the `--class` argument.
+    pub fn parse(text: &str) -> Result<Self, String> {
+        match text {
+            "clique" => Ok(WorkloadClass::Clique),
+            "one-sided" => Ok(WorkloadClass::OneSided),
+            "proper" => Ok(WorkloadClass::Proper),
+            "proper-clique" => Ok(WorkloadClass::ProperClique),
+            "general" => Ok(WorkloadClass::General),
+            "cloud" => Ok(WorkloadClass::Cloud),
+            "optical" => Ok(WorkloadClass::Optical),
+            other => Err(format!(
+                "unknown class '{other}' (expected clique, one-sided, proper, proper-clique, general, cloud or optical)"
+            )),
+        }
+    }
+}
+
+/// `busytime generate`: produce a random instance of the requested class.
+pub fn run_generate(
+    class: WorkloadClass,
+    jobs: usize,
+    capacity: usize,
+    seed: u64,
+) -> Result<CommandOutput, String> {
+    if capacity == 0 {
+        return Err("the capacity must be at least 1".into());
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n = jobs;
+    let instance = match class {
+        WorkloadClass::Clique => workload::clique_instance(&mut rng, n, capacity, 1_000),
+        WorkloadClass::OneSided => workload::one_sided_instance(&mut rng, n, capacity, 1_000),
+        WorkloadClass::Proper => workload::proper_instance(&mut rng, n, capacity, 60, 8),
+        WorkloadClass::ProperClique => {
+            workload::proper_clique_instance(&mut rng, n, capacity, 4 * n.max(1) as i64)
+        }
+        WorkloadClass::General => workload::general_instance(&mut rng, n, capacity, 1_000, 100),
+        WorkloadClass::Cloud => workload::cloud_trace(&mut rng, n, capacity, 5, 5, 480),
+        WorkloadClass::Optical => workload::optical_lightpaths(&mut rng, n, capacity, 128),
+    };
+    let file = InstanceFile::from_instance(&instance);
+    let report = format!(
+        "generated {class:?} instance: {} jobs, capacity {}, span {}, lower bound {}",
+        instance.len(),
+        instance.capacity(),
+        instance.span(),
+        instance.lower_bound()
+    );
+    Ok(CommandOutput { report, file_payload: Some(file.to_json()) })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_file() -> InstanceFile {
+        InstanceFile { capacity: 2, jobs: vec![(0, 10), (2, 12), (4, 14), (6, 16)] }
+    }
+
+    #[test]
+    fn instance_file_round_trip() {
+        let file = sample_file();
+        let json = file.to_json();
+        let parsed = InstanceFile::from_json(&json).unwrap();
+        assert_eq!(parsed, file);
+        let instance = parsed.to_instance().unwrap();
+        assert_eq!(instance.len(), 4);
+        assert_eq!(InstanceFile::from_instance(&instance).jobs.len(), 4);
+    }
+
+    #[test]
+    fn invalid_jobs_rejected() {
+        let bad = InstanceFile { capacity: 2, jobs: vec![(5, 5)] };
+        assert!(bad.to_instance().is_err());
+        assert!(InstanceFile::from_json("{not json").is_err());
+        let zero_g = InstanceFile { capacity: 0, jobs: vec![(0, 1)] };
+        assert!(zero_g.to_instance().is_err());
+    }
+
+    #[test]
+    fn solve_command_reports_schedule() {
+        let out = run_solve(&sample_file()).unwrap();
+        assert!(out.report.contains("MinBusy"));
+        let payload: ScheduleFile = serde_json::from_str(&out.file_payload.unwrap()).unwrap();
+        assert_eq!(payload.scheduled_jobs, 4);
+        assert!(payload.unscheduled_jobs.is_empty());
+        assert!(payload.busy_time > 0);
+    }
+
+    #[test]
+    fn throughput_command_respects_budget() {
+        let out = run_throughput(&sample_file(), 12).unwrap();
+        assert!(out.report.contains("budget 12"));
+        let payload: ScheduleFile = serde_json::from_str(&out.file_payload.unwrap()).unwrap();
+        assert!(payload.busy_time <= 12);
+        assert!(payload.scheduled_jobs < 4);
+        assert!(run_throughput(&sample_file(), -1).is_err());
+    }
+
+    #[test]
+    fn generate_command_produces_requested_class() {
+        for (name, expect_clique, expect_proper) in [
+            ("clique", true, false),
+            ("one-sided", true, false),
+            ("proper-clique", true, true),
+            ("proper", false, true),
+        ] {
+            let class = WorkloadClass::parse(name).unwrap();
+            let out = run_generate(class, 20, 3, 7).unwrap();
+            let file = InstanceFile::from_json(&out.file_payload.unwrap()).unwrap();
+            let inst = file.to_instance().unwrap();
+            assert_eq!(inst.len(), 20, "{name}");
+            if expect_clique {
+                assert!(inst.is_clique(), "{name}");
+            }
+            if expect_proper {
+                assert!(inst.is_proper(), "{name}");
+            }
+        }
+        assert!(WorkloadClass::parse("bogus").is_err());
+        assert!(run_generate(WorkloadClass::Cloud, 10, 0, 1).is_err());
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let a = run_generate(WorkloadClass::General, 15, 2, 42).unwrap().file_payload.unwrap();
+        let b = run_generate(WorkloadClass::General, 15, 2, 42).unwrap().file_payload.unwrap();
+        let c = run_generate(WorkloadClass::General, 15, 2, 43).unwrap().file_payload.unwrap();
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+}

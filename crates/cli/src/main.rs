@@ -1,0 +1,131 @@
+//! The `busytime` command-line tool.
+//!
+//! ```text
+//! busytime solve <instance.json> [--output schedule.json]
+//! busytime throughput <instance.json> --budget T [--output schedule.json]
+//! busytime generate --class <clique|one-sided|proper|proper-clique|general|cloud|optical>
+//!                   --jobs N --capacity G [--seed S] [--output instance.json]
+//! ```
+//!
+//! Instances are JSON files of the form `{"capacity": 3, "jobs": [[0, 10], [2, 12]]}`.
+
+use busytime_cli::{run_generate, run_solve, run_throughput, CommandOutput, InstanceFile, WorkloadClass};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage:\n  busytime solve <instance.json> [--output schedule.json]\n  busytime throughput <instance.json> --budget T [--output schedule.json]\n  busytime generate --class CLASS --jobs N --capacity G [--seed S] [--output instance.json]"
+    );
+    std::process::exit(2);
+}
+
+fn read_instance(path: &str) -> InstanceFile {
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("cannot read {path}: {e}");
+        std::process::exit(1);
+    });
+    InstanceFile::from_json(&text).unwrap_or_else(|e| {
+        eprintln!("{e}");
+        std::process::exit(1);
+    })
+}
+
+fn finish(output: Result<CommandOutput, String>, output_path: Option<String>) -> ! {
+    match output {
+        Ok(out) => {
+            println!("{}", out.report);
+            if let Some(path) = output_path {
+                match out.file_payload {
+                    Some(payload) => {
+                        if let Err(e) = std::fs::write(&path, payload) {
+                            eprintln!("cannot write {path}: {e}");
+                            std::process::exit(1);
+                        }
+                        println!("wrote {path}");
+                    }
+                    None => eprintln!("this command produces no file output"),
+                }
+            }
+            std::process::exit(0);
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        usage();
+    }
+    let mut output_path: Option<String> = None;
+
+    match args[0].as_str() {
+        "solve" => {
+            let mut instance_path: Option<String> = None;
+            let mut it = args[1..].iter();
+            while let Some(arg) = it.next() {
+                match arg.as_str() {
+                    "--output" => output_path = it.next().cloned(),
+                    other if instance_path.is_none() => instance_path = Some(other.to_string()),
+                    _ => usage(),
+                }
+            }
+            let path = instance_path.unwrap_or_else(|| usage());
+            finish(run_solve(&read_instance(&path)), output_path);
+        }
+        "throughput" => {
+            let mut instance_path: Option<String> = None;
+            let mut budget: Option<i64> = None;
+            let mut it = args[1..].iter();
+            while let Some(arg) = it.next() {
+                match arg.as_str() {
+                    "--output" => output_path = it.next().cloned(),
+                    "--budget" => budget = it.next().and_then(|v| v.parse().ok()),
+                    other if instance_path.is_none() => instance_path = Some(other.to_string()),
+                    _ => usage(),
+                }
+            }
+            let path = instance_path.unwrap_or_else(|| usage());
+            let budget = budget.unwrap_or_else(|| {
+                eprintln!("--budget is required");
+                std::process::exit(2);
+            });
+            finish(run_throughput(&read_instance(&path), budget), output_path);
+        }
+        "generate" => {
+            let mut class: Option<WorkloadClass> = None;
+            let mut jobs = 50usize;
+            let mut capacity = 4usize;
+            let mut seed = 2012u64;
+            let mut it = args[1..].iter();
+            while let Some(arg) = it.next() {
+                match arg.as_str() {
+                    "--class" => {
+                        class = it.next().map(|v| {
+                            WorkloadClass::parse(v).unwrap_or_else(|e| {
+                                eprintln!("{e}");
+                                std::process::exit(2);
+                            })
+                        })
+                    }
+                    "--jobs" => jobs = it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage()),
+                    "--capacity" => {
+                        capacity = it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage())
+                    }
+                    "--seed" => seed = it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage()),
+                    "--output" => output_path = it.next().cloned(),
+                    _ => usage(),
+                }
+            }
+            let class = class.unwrap_or_else(|| {
+                eprintln!("--class is required");
+                std::process::exit(2);
+            });
+            finish(run_generate(class, jobs, capacity, seed), output_path);
+        }
+        "--help" | "-h" => usage(),
+        _ => usage(),
+    }
+}

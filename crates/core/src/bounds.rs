@@ -1,0 +1,104 @@
+//! Lower and upper bounds on the optimal busy time (Observation 2.1 of the paper).
+//!
+//! For any instance `(J, g)` and any valid complete schedule `s`:
+//!
+//! * **parallelism bound** — `cost(s) ≥ len(J) / g`: no machine can run more than `g`
+//!   jobs at once, so every unit of busy time retires at most `g` units of job length;
+//! * **span bound** — `cost(s) ≥ span(J)`: whenever some job runs, at least one machine
+//!   is busy;
+//! * **length bound** — `cost(s) ≤ len(J)`: whenever a machine is busy, at least one job
+//!   runs on it (this is the cost of the one-job-per-machine schedule).
+//!
+//! Proposition 2.1 follows: *any* valid schedule is a `g`-approximation.
+
+use busytime_interval::Duration;
+
+use crate::instance::Instance;
+
+/// The parallelism bound `⌈len(J) / g⌉` (rounded up so it stays a valid lower bound for
+/// integer tick costs).
+pub fn parallelism_bound(instance: &Instance) -> Duration {
+    let len = instance.total_len().ticks();
+    let g = instance.capacity() as i64;
+    // Signed div_ceil is not yet stable; len and g are non-negative here.
+    Duration::new((len + g - 1) / g)
+}
+
+/// The span bound `span(J)`.
+pub fn span_bound(instance: &Instance) -> Duration {
+    instance.span()
+}
+
+/// The length (upper) bound `len(J)` — the cost of scheduling every job on its own
+/// machine.
+pub fn length_bound(instance: &Instance) -> Duration {
+    instance.total_len()
+}
+
+/// The best lower bound available from Observation 2.1:
+/// `max(⌈len(J)/g⌉, span(J))`.
+pub fn lower_bound(instance: &Instance) -> Duration {
+    parallelism_bound(instance).max(span_bound(instance))
+}
+
+/// The approximation ratio of a measured cost against a lower bound (or an optimum), as a
+/// floating-point number for reporting.  Returns 1.0 when both are zero.
+pub fn ratio(cost: Duration, baseline: Duration) -> f64 {
+    if baseline.is_zero() {
+        if cost.is_zero() {
+            1.0
+        } else {
+            f64::INFINITY
+        }
+    } else {
+        cost.as_f64() / baseline.as_f64()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bounds_on_a_simple_instance() {
+        // Two overlapping jobs of length 4, g = 2.
+        let inst = Instance::from_ticks(&[(0, 4), (2, 6)], 2);
+        assert_eq!(parallelism_bound(&inst), Duration::new(4));
+        assert_eq!(span_bound(&inst), Duration::new(6));
+        assert_eq!(length_bound(&inst), Duration::new(8));
+        assert_eq!(lower_bound(&inst), Duration::new(6));
+    }
+
+    #[test]
+    fn parallelism_bound_rounds_up() {
+        let inst = Instance::from_ticks(&[(0, 5), (10, 15), (20, 23)], 2);
+        // len = 13, g = 2 → ceil(6.5) = 7.
+        assert_eq!(parallelism_bound(&inst), Duration::new(7));
+    }
+
+    #[test]
+    fn bounds_sandwich_every_valid_schedule() {
+        use crate::schedule::Schedule;
+        let inst = Instance::from_ticks(&[(0, 4), (1, 5), (3, 9), (8, 12)], 2);
+        // A specific valid complete schedule.
+        let s = Schedule::from_groups(4, &[vec![0, 1], vec![2, 3]]);
+        s.validate_complete(&inst).unwrap();
+        let cost = s.cost(&inst);
+        assert!(cost >= lower_bound(&inst));
+        assert!(cost <= length_bound(&inst));
+    }
+
+    #[test]
+    fn ratio_handles_zero() {
+        assert_eq!(ratio(Duration::ZERO, Duration::ZERO), 1.0);
+        assert_eq!(ratio(Duration::new(3), Duration::new(2)), 1.5);
+        assert!(ratio(Duration::new(1), Duration::ZERO).is_infinite());
+    }
+
+    #[test]
+    fn empty_instance_bounds_are_zero() {
+        let inst = Instance::from_ticks(&[], 3);
+        assert_eq!(lower_bound(&inst), Duration::ZERO);
+        assert_eq!(length_bound(&inst), Duration::ZERO);
+    }
+}

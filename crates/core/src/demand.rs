@@ -1,0 +1,338 @@
+//! Jobs with capacity demands — the extension of Section 5 of the paper ("allow jobs
+//! requiring different amount of capacities and a machine can process jobs as long as the
+//! sum of capacity required is at most g", the model of Khandekar et al. [16]).
+//!
+//! A job now carries a demand `d_j ∈ [1, g]`; a machine may run any set of jobs whose
+//! *total demand* at every instant is at most `g`.  With all demands equal to 1 the model
+//! collapses to the paper's main model.  Busy time is defined exactly as before, so the
+//! span/length/parallelism bounds of Observation 2.1 carry over with `len(J)/g` replaced
+//! by the demand-weighted load `Σ_j d_j·len(J_j) / g`.
+//!
+//! Provided algorithms:
+//! * [`first_fit_demand`] — FirstFit by non-increasing length, placing each job on the
+//!   first machine whose peak demand stays within `g` (the natural generalization of the
+//!   baseline of [13]/[16]);
+//! * [`pack_by_demand`] — the Proposition 2.1-style baseline (fill machines greedily up to
+//!   the demand budget, ignoring overlap structure);
+//! * validation and bounds, used by the tests and by `busytime-exact`'s demand-aware
+//!   exact solver.
+
+use busytime_interval::{span, Duration, Interval, Time};
+use serde::{Deserialize, Serialize};
+
+use crate::error::Error;
+use crate::instance::JobId;
+use crate::schedule::{MachineId, Schedule};
+
+/// An instance with per-job capacity demands.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DemandInstance {
+    jobs: Vec<Interval>,
+    demands: Vec<u32>,
+    capacity: u32,
+}
+
+impl DemandInstance {
+    /// Create an instance; demands must lie in `[1, g]`.
+    pub fn new(jobs: Vec<Interval>, demands: Vec<u32>, capacity: u32) -> Result<Self, Error> {
+        if capacity == 0 {
+            return Err(Error::InvalidCapacity);
+        }
+        if jobs.len() != demands.len() {
+            return Err(Error::UnknownJob { job: jobs.len().min(demands.len()) });
+        }
+        if let Some(job) = demands.iter().position(|&d| d == 0 || d > capacity) {
+            return Err(Error::CapacityExceeded {
+                machine: usize::MAX,
+                observed: demands[job] as usize,
+                capacity: capacity as usize,
+            });
+        }
+        // Keep job order stable (callers may carry metadata keyed by index).
+        Ok(DemandInstance { jobs, demands, capacity })
+    }
+
+    /// Convenience constructor from `(start, completion, demand)` tuples.
+    ///
+    /// # Panics
+    /// Panics on invalid jobs, demands or capacity.
+    pub fn from_ticks(jobs: &[(i64, i64, u32)], capacity: u32) -> Self {
+        let intervals = jobs.iter().map(|&(s, c, _)| Interval::from_ticks(s, c)).collect();
+        let demands = jobs.iter().map(|&(_, _, d)| d).collect();
+        DemandInstance::new(intervals, demands, capacity).expect("valid demand instance")
+    }
+
+    /// The job intervals (in insertion order).
+    pub fn jobs(&self) -> &[Interval] {
+        &self.jobs
+    }
+
+    /// The job with the given id.
+    pub fn job(&self, id: JobId) -> Interval {
+        self.jobs[id]
+    }
+
+    /// The demand of the job with the given id.
+    pub fn demand(&self, id: JobId) -> u32 {
+        self.demands[id]
+    }
+
+    /// All demands.
+    pub fn demands(&self) -> &[u32] {
+        &self.demands
+    }
+
+    /// Number of jobs.
+    pub fn len(&self) -> usize {
+        self.jobs.len()
+    }
+
+    /// `true` when there are no jobs.
+    pub fn is_empty(&self) -> bool {
+        self.jobs.is_empty()
+    }
+
+    /// The machine capacity `g`.
+    pub fn capacity(&self) -> u32 {
+        self.capacity
+    }
+
+    /// Total length of all jobs.
+    pub fn total_len(&self) -> Duration {
+        self.jobs.iter().map(Interval::len).sum()
+    }
+
+    /// Span of all jobs.
+    pub fn span(&self) -> Duration {
+        span(&self.jobs)
+    }
+
+    /// The demand-weighted parallelism bound `⌈Σ d_j·len_j / g⌉`, plus the span bound —
+    /// the Observation 2.1 lower bound transplanted to the demand model.
+    pub fn lower_bound(&self) -> Duration {
+        let load: i64 = self
+            .jobs
+            .iter()
+            .zip(&self.demands)
+            .map(|(iv, &d)| iv.len().ticks() * d as i64)
+            .sum();
+        let g = self.capacity as i64;
+        Duration::new((load + g - 1) / g).max(self.span())
+    }
+
+    /// The peak total demand of a set of jobs at any instant.
+    pub fn peak_demand(&self, ids: &[JobId]) -> u32 {
+        let mut events: Vec<(Time, i64)> = Vec::with_capacity(ids.len() * 2);
+        for &id in ids {
+            events.push((self.jobs[id].start(), self.demands[id] as i64));
+            events.push((self.jobs[id].end(), -(self.demands[id] as i64)));
+        }
+        events.sort_by_key(|&(t, delta)| (t, delta));
+        let mut depth = 0i64;
+        let mut best = 0i64;
+        for (_, delta) in events {
+            depth += delta;
+            best = best.max(depth);
+        }
+        best.max(0) as u32
+    }
+
+    /// Validate a schedule against the demand model: every job assigned to at most one
+    /// machine and every machine's peak demand within `g`.  With `complete = true` every
+    /// job must be scheduled.
+    pub fn validate(&self, schedule: &Schedule, complete: bool) -> Result<(), Error> {
+        if schedule.len() != self.len() {
+            return Err(Error::UnknownJob { job: self.len().min(schedule.len()) });
+        }
+        if complete {
+            if let Some(job) = (0..self.len()).find(|&j| !schedule.is_scheduled(j)) {
+                return Err(Error::JobUnscheduled { job });
+            }
+        }
+        for (machine, group) in schedule.machine_groups().into_iter().enumerate() {
+            let peak = self.peak_demand(&group);
+            if peak > self.capacity {
+                return Err(Error::CapacityExceeded {
+                    machine,
+                    observed: peak as usize,
+                    capacity: self.capacity as usize,
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Total busy time of a schedule under the demand model (identical to the unit-demand
+    /// definition: the span of each machine's jobs).
+    pub fn cost(&self, schedule: &Schedule) -> Duration {
+        schedule
+            .machine_groups()
+            .iter()
+            .map(|group| {
+                let ivs: Vec<Interval> = group.iter().map(|&j| self.jobs[j]).collect();
+                span(&ivs)
+            })
+            .sum()
+    }
+
+    /// Forget the demands (treat every job as demand 1) — used to compare against the
+    /// unit-demand algorithms in tests and experiments.
+    pub fn to_unit_instance(&self) -> crate::instance::Instance {
+        crate::instance::Instance::new(self.jobs.clone(), self.capacity as usize)
+            .expect("capacity already validated")
+    }
+}
+
+/// FirstFit for the demand model: jobs in non-increasing order of length, each placed on
+/// the first machine whose peak demand (including the new job) stays within `g`.
+pub fn first_fit_demand(instance: &DemandInstance) -> Schedule {
+    let mut order: Vec<JobId> = (0..instance.len()).collect();
+    order.sort_by_key(|&j| (std::cmp::Reverse(instance.job(j).len()), j));
+
+    let mut machines: Vec<Vec<JobId>> = Vec::new();
+    let mut schedule = Schedule::empty(instance.len());
+    for &j in &order {
+        let mut placed = false;
+        for (m, machine) in machines.iter_mut().enumerate() {
+            machine.push(j);
+            if instance.peak_demand(machine) <= instance.capacity() {
+                schedule.assign(j, m as MachineId);
+                placed = true;
+                break;
+            }
+            machine.pop();
+        }
+        if !placed {
+            machines.push(vec![j]);
+            schedule.assign(j, machines.len() - 1);
+        }
+    }
+    schedule
+}
+
+/// The Proposition 2.1-style baseline for the demand model: fill machines with jobs (in
+/// the given order) as long as the *sum* of their demands stays within `g`, ignoring the
+/// overlap structure entirely.  Always valid because total demand bounds peak demand.
+pub fn pack_by_demand(instance: &DemandInstance) -> Schedule {
+    let mut schedule = Schedule::empty(instance.len());
+    let mut machine = 0usize;
+    let mut used = 0u32;
+    for j in 0..instance.len() {
+        let d = instance.demand(j);
+        if used + d > instance.capacity() && used > 0 {
+            machine += 1;
+            used = 0;
+        }
+        schedule.assign(j, machine);
+        used += d;
+    }
+    schedule
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::minbusy::first_fit;
+
+    fn sample() -> DemandInstance {
+        DemandInstance::from_ticks(
+            &[(0, 10, 2), (1, 11, 2), (2, 12, 1), (3, 13, 3), (20, 25, 4)],
+            4,
+        )
+    }
+
+    #[test]
+    fn construction_validation() {
+        assert!(DemandInstance::new(
+            vec![Interval::from_ticks(0, 1)],
+            vec![1],
+            0
+        )
+        .is_err());
+        assert!(DemandInstance::new(
+            vec![Interval::from_ticks(0, 1)],
+            vec![5],
+            4
+        )
+        .is_err());
+        assert!(DemandInstance::new(vec![Interval::from_ticks(0, 1)], vec![], 4).is_err());
+        let inst = sample();
+        assert_eq!(inst.len(), 5);
+        assert_eq!(inst.capacity(), 4);
+        assert_eq!(inst.demand(3), 3);
+    }
+
+    #[test]
+    fn peak_demand_counts_weighted_overlap() {
+        let inst = sample();
+        // Jobs 0,1,2 overlap on [2,10): demands 2+2+1 = 5.
+        assert_eq!(inst.peak_demand(&[0, 1, 2]), 5);
+        assert_eq!(inst.peak_demand(&[0, 4]), 4, "disjoint jobs do not stack");
+        assert_eq!(inst.peak_demand(&[]), 0);
+    }
+
+    #[test]
+    fn validation_catches_demand_overflow() {
+        let inst = sample();
+        let bad = Schedule::from_groups(5, &[vec![0, 1, 2], vec![3], vec![4]]);
+        assert!(matches!(
+            inst.validate(&bad, true),
+            Err(Error::CapacityExceeded { observed: 5, .. })
+        ));
+        let good = Schedule::from_groups(5, &[vec![0, 1], vec![2, 3], vec![4]]);
+        inst.validate(&good, true).unwrap();
+        assert_eq!(inst.cost(&good), Duration::new(11 + 11 + 5));
+    }
+
+    #[test]
+    fn first_fit_demand_is_valid_and_bounded() {
+        let inst = sample();
+        let s = first_fit_demand(&inst);
+        inst.validate(&s, true).unwrap();
+        assert!(inst.cost(&s) >= inst.lower_bound());
+        assert!(inst.cost(&s) <= inst.total_len());
+    }
+
+    #[test]
+    fn pack_by_demand_is_valid() {
+        let inst = sample();
+        let s = pack_by_demand(&inst);
+        inst.validate(&s, true).unwrap();
+        // Total demand per machine never exceeds g, so peak demand cannot either.
+    }
+
+    #[test]
+    fn unit_demands_reduce_to_plain_model() {
+        // With all demands 1 the demand validator accepts exactly the schedules the plain
+        // validator accepts, and FirstFit produces comparable costs.
+        let jobs: Vec<(i64, i64, u32)> = (0..8).map(|i| (i, i + 6, 1)).collect();
+        let inst = DemandInstance::from_ticks(&jobs, 3);
+        let unit = inst.to_unit_instance();
+        let plain = first_fit(&unit);
+        plain.validate_complete(&unit).unwrap();
+        inst.validate(&plain, true).unwrap();
+        let demand_ff = first_fit_demand(&inst);
+        inst.validate(&demand_ff, true).unwrap();
+        // The demand-aware placement can only merge more aggressively than thread-based
+        // FirstFit, never worse than the naive bound.
+        assert!(inst.cost(&demand_ff) <= inst.total_len());
+    }
+
+    #[test]
+    fn heavy_demand_jobs_do_not_share() {
+        // Two overlapping jobs of demand g must land on different machines.
+        let inst = DemandInstance::from_ticks(&[(0, 10, 3), (5, 15, 3)], 3);
+        let s = first_fit_demand(&inst);
+        inst.validate(&s, true).unwrap();
+        assert_ne!(s.machine_of(0), s.machine_of(1));
+    }
+
+    #[test]
+    fn empty_instance() {
+        let inst = DemandInstance::from_ticks(&[], 2);
+        let s = first_fit_demand(&inst);
+        inst.validate(&s, true).unwrap();
+        assert_eq!(inst.cost(&s), Duration::ZERO);
+        assert_eq!(inst.lower_bound(), Duration::ZERO);
+    }
+}

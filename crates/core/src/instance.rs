@@ -1,0 +1,200 @@
+//! Problem instances: a set of jobs plus the parallelism parameter `g`.
+//!
+//! Following Section 2 of the paper, a job is identified with the time interval during
+//! which it must be processed, and an instance of MinBusy is a pair `(J, g)`;
+//! MaxThroughput instances additionally carry a busy-time budget `T` (kept as a separate
+//! argument throughout this crate).
+
+use busytime_interval::{
+    classify, connected_components, is_clique, is_one_sided, is_proper, max_overlap, span,
+    total_len, Classification, Duration, Interval,
+};
+use serde::{Deserialize, Serialize};
+
+use crate::error::Error;
+
+/// Index of a job inside an [`Instance`] (position in the job vector).
+pub type JobId = usize;
+
+/// A MinBusy / MaxThroughput instance: jobs and the machine capacity `g`.
+///
+/// Jobs are stored sorted by `(start, completion)`.  For proper instances this is exactly
+/// the order `J_1 ≤ J_2 ≤ … ≤ J_n` the paper uses; the original insertion order is not
+/// preserved (jobs are identified by their index in the sorted order).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Instance {
+    jobs: Vec<Interval>,
+    capacity: usize,
+}
+
+impl Instance {
+    /// Create an instance from a list of job intervals and a capacity `g ≥ 1`.
+    ///
+    /// The jobs are sorted by `(start, completion)`.
+    pub fn new(mut jobs: Vec<Interval>, capacity: usize) -> Result<Self, Error> {
+        if capacity == 0 {
+            return Err(Error::InvalidCapacity);
+        }
+        jobs.sort();
+        Ok(Instance { jobs, capacity })
+    }
+
+    /// Convenience constructor from `(start, completion)` tick pairs.
+    ///
+    /// # Panics
+    /// Panics if any job would be empty or `g = 0` (use [`Instance::new`] for fallible
+    /// construction).
+    pub fn from_ticks(jobs: &[(i64, i64)], capacity: usize) -> Self {
+        let jobs = jobs.iter().map(|&(s, c)| Interval::from_ticks(s, c)).collect();
+        Instance::new(jobs, capacity).expect("capacity must be at least 1")
+    }
+
+    /// The jobs, sorted by `(start, completion)`.
+    pub fn jobs(&self) -> &[Interval] {
+        &self.jobs
+    }
+
+    /// The job with the given id.
+    pub fn job(&self, id: JobId) -> Interval {
+        self.jobs[id]
+    }
+
+    /// Number of jobs `n`.
+    pub fn len(&self) -> usize {
+        self.jobs.len()
+    }
+
+    /// `true` if the instance has no jobs.
+    pub fn is_empty(&self) -> bool {
+        self.jobs.is_empty()
+    }
+
+    /// The parallelism parameter (capacity) `g`.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Total length `len(J)` of all jobs (Definition 2.1).
+    pub fn total_len(&self) -> Duration {
+        total_len(&self.jobs)
+    }
+
+    /// Span `span(J)` of all jobs (Definition 2.2).
+    pub fn span(&self) -> Duration {
+        span(&self.jobs)
+    }
+
+    /// Largest number of jobs active at any single time.
+    pub fn max_overlap(&self) -> usize {
+        max_overlap(&self.jobs)
+    }
+
+    /// Classification of the instance (clique / one-sided / proper / connected).
+    pub fn classification(&self) -> Classification {
+        classify(&self.jobs)
+    }
+
+    /// Is this a clique instance (all jobs share a common time)?
+    pub fn is_clique(&self) -> bool {
+        is_clique(&self.jobs)
+    }
+
+    /// Is this a one-sided clique instance (common start or common completion)?
+    pub fn is_one_sided(&self) -> bool {
+        self.is_clique() && is_one_sided(&self.jobs)
+    }
+
+    /// Is this a proper instance (no job properly contains another)?
+    pub fn is_proper(&self) -> bool {
+        is_proper(&self.jobs)
+    }
+
+    /// Is this a proper clique instance?
+    pub fn is_proper_clique(&self) -> bool {
+        self.is_proper() && self.is_clique()
+    }
+
+    /// Job ids grouped by connected component of the interval graph, left to right.
+    ///
+    /// MinBusy decomposes over connected components (Section 2): a solver may be run on
+    /// each component separately and the costs added.
+    pub fn connected_components(&self) -> Vec<Vec<JobId>> {
+        connected_components(&self.jobs)
+    }
+
+    /// Build the sub-instance induced by the given job ids (same capacity).
+    ///
+    /// Returns the sub-instance together with the mapping from new job ids to the
+    /// original ids (`mapping[new_id] = old_id`).
+    pub fn sub_instance(&self, ids: &[JobId]) -> (Instance, Vec<JobId>) {
+        let mut pairs: Vec<(Interval, JobId)> = ids.iter().map(|&i| (self.jobs[i], i)).collect();
+        pairs.sort();
+        let jobs: Vec<Interval> = pairs.iter().map(|&(iv, _)| iv).collect();
+        let mapping: Vec<JobId> = pairs.iter().map(|&(_, id)| id).collect();
+        (
+            Instance { jobs, capacity: self.capacity },
+            mapping,
+        )
+    }
+
+    /// Lower bounds of Observation 2.1 (see [`crate::bounds`]).
+    pub fn lower_bound(&self) -> Duration {
+        crate::bounds::lower_bound(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_sorts_jobs() {
+        let inst = Instance::from_ticks(&[(5, 9), (0, 4), (2, 8)], 2);
+        let starts: Vec<i64> = inst.jobs().iter().map(|j| j.start().ticks()).collect();
+        assert_eq!(starts, vec![0, 2, 5]);
+        assert_eq!(inst.len(), 3);
+        assert_eq!(inst.capacity(), 2);
+    }
+
+    #[test]
+    fn zero_capacity_rejected() {
+        assert_eq!(
+            Instance::new(vec![Interval::from_ticks(0, 1)], 0).unwrap_err(),
+            Error::InvalidCapacity
+        );
+    }
+
+    #[test]
+    fn aggregate_measures() {
+        let inst = Instance::from_ticks(&[(0, 4), (2, 6), (10, 12)], 3);
+        assert_eq!(inst.total_len(), Duration::new(4 + 4 + 2));
+        assert_eq!(inst.span(), Duration::new(6 + 2));
+        assert_eq!(inst.max_overlap(), 2);
+        assert!(!inst.is_clique());
+        assert!(inst.is_proper());
+        assert!(!inst.is_empty());
+    }
+
+    #[test]
+    fn classification_shortcuts_agree() {
+        let clique = Instance::from_ticks(&[(0, 10), (3, 8), (5, 20)], 2);
+        assert!(clique.is_clique());
+        assert!(!clique.is_proper(), "[0,10) properly contains [3,8)");
+        let c = clique.classification();
+        assert_eq!(c.clique, clique.is_clique());
+        assert_eq!(c.proper, clique.is_proper());
+        assert_eq!(c.one_sided, clique.is_one_sided());
+    }
+
+    #[test]
+    fn sub_instance_maps_ids() {
+        let inst = Instance::from_ticks(&[(0, 4), (2, 6), (10, 12), (11, 15)], 2);
+        let comps = inst.connected_components();
+        assert_eq!(comps.len(), 2);
+        let (sub, mapping) = inst.sub_instance(&comps[1]);
+        assert_eq!(sub.len(), 2);
+        assert_eq!(mapping, comps[1]);
+        assert_eq!(sub.job(0), inst.job(mapping[0]));
+        assert_eq!(sub.capacity(), 2);
+    }
+}

@@ -1,0 +1,67 @@
+//! # busytime
+//!
+//! Busy-time interval scheduling on parallel machines — a complete, from-scratch
+//! reproduction of *"Optimizing Busy Time on Parallel Machines"* (Mertzios, Shalom,
+//! Voloshin, Wong, Zaks; IEEE IPDPS 2012, journal version in Theoretical Computer
+//! Science 562, 2015).
+//!
+//! ## The model
+//!
+//! `n` jobs are fixed time intervals; a machine may run at most `g` jobs simultaneously;
+//! a machine is *busy* whenever at least one of its jobs runs, and the cost of a schedule
+//! is the total busy time over all machines (machines are free and unlimited in number).
+//!
+//! * **MinBusy** — schedule every job, minimize total busy time ([`minbusy`]).
+//! * **MaxThroughput** — given a busy-time budget `T`, schedule as many jobs as possible
+//!   ([`maxthroughput`]).
+//! * The 2-D generalization to rectangular jobs (Section 3.4 of the paper) lives in
+//!   [`twodim`].
+//!
+//! ## Quick start
+//!
+//! ```rust
+//! use busytime::{Instance, minbusy, maxthroughput, Duration};
+//!
+//! // Four jobs sharing a common time, capacity 2.
+//! let instance = Instance::from_ticks(&[(0, 10), (2, 12), (4, 14), (6, 16)], 2);
+//!
+//! // MinBusy: the auto-dispatcher picks the optimal proper-clique DP here.
+//! let (schedule, algorithm) = minbusy::solve_auto(&instance);
+//! assert!(algorithm.is_exact());
+//! schedule.validate_complete(&instance).unwrap();
+//!
+//! // MaxThroughput with a tight budget.
+//! let (result, _) = maxthroughput::solve_auto(&instance, Duration::new(12));
+//! assert!(result.cost <= Duration::new(12));
+//! ```
+//!
+//! ## Crate layout
+//!
+//! | module | contents |
+//! |---|---|
+//! | [`minbusy`] | every MinBusy algorithm of Section 3 plus baselines |
+//! | [`maxthroughput`] | every MaxThroughput algorithm of Section 4 plus the reductions of Section 2 |
+//! | [`twodim`] | rectangular jobs, FirstFit-2D and BucketFirstFit (Section 3.4) |
+//! | [`demand`] | the Section 5 extension with per-job capacity demands ([16]) |
+//! | [`bounds`] | the parallelism / span / length bounds of Observation 2.1 |
+//! | [`analysis`] | schedule summaries and ratio reporting |
+//! | [`par`] | rayon-parallel batch solvers used by the experiment harness |
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod analysis;
+pub mod bounds;
+pub mod demand;
+mod error;
+mod instance;
+pub mod maxthroughput;
+pub mod minbusy;
+pub mod par;
+mod schedule;
+pub mod twodim;
+
+pub use busytime_interval::{Duration, Interval, Time};
+pub use error::Error;
+pub use instance::{Instance, JobId};
+pub use schedule::{MachineId, Schedule, SolveResult, ThroughputResult};

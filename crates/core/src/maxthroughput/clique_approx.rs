@@ -1,0 +1,312 @@
+//! Theorem 4.1: a 4-approximation for MaxThroughput on clique instances.
+//!
+//! Two complementary algorithms, run both and keep the better schedule:
+//!
+//! * **Alg1** (Lemma 4.1, good when the optimum schedules more than `4g` jobs): fix a time
+//!   `t` common to all jobs; split every job at `t` into a *head* (the longer part) and a
+//!   *tail*.  Work in the *reduced cost* model where only heads consume machine time — a
+//!   one-sided problem on each side of `t` that Observation 3.1 solves exactly.  Choose
+//!   the largest prefix pair (left-heavy and right-heavy jobs with the shortest heads)
+//!   whose reduced cost fits in `T/2`; the real cost is at most twice the reduced cost,
+//!   hence within `T`.
+//! * **Alg2** (Lemma 4.2, good when the optimum schedules at most `4g` jobs): the span of
+//!   any candidate job subset is delimited by at most two jobs, so enumerate all pairs
+//!   whose span is within `T`, take the pair covering the most jobs, and schedule up to
+//!   `g` of them on a single machine.
+
+use busytime_interval::{common_point, span, Duration, Time};
+
+use crate::error::Error;
+use crate::instance::{Instance, JobId};
+use crate::schedule::{Schedule, ThroughputResult};
+
+/// The combined 4-approximation of Theorem 4.1: the better of [`clique_alg1`] and
+/// [`clique_alg2`].
+///
+/// Returns [`Error::NotClique`] on non-clique instances.
+pub fn clique_max_throughput(
+    instance: &Instance,
+    budget: Duration,
+) -> Result<ThroughputResult, Error> {
+    let a = clique_alg1(instance, budget)?;
+    let b = clique_alg2(instance, budget)?;
+    Ok(a.better(b))
+}
+
+/// Alg1 of Section 4.1 (prefix pairs of left-heavy and right-heavy jobs in the reduced
+/// cost model).
+pub fn clique_alg1(instance: &Instance, budget: Duration) -> Result<ThroughputResult, Error> {
+    if !instance.is_clique() {
+        return Err(Error::NotClique);
+    }
+    let n = instance.len();
+    if n == 0 {
+        return Ok(ThroughputResult::new(Schedule::empty(0), instance));
+    }
+    let t = common_point(instance.jobs()).expect("non-empty clique instance has a common point");
+    let g = instance.capacity();
+
+    // Split into left-heavy and right-heavy jobs; record head lengths.
+    let (left, right) = split_by_heavy_side(instance, t);
+
+    // Reduced-optimal cost of every prefix (j shortest heads) on each side.
+    let left_costs = prefix_reduced_costs(&left, g);
+    let right_costs = prefix_reduced_costs(&right, g);
+
+    // Choose the prefix pair maximizing j + k subject to 2·(rc_L[j] + rc_R[k]) ≤ T.
+    let mut best: Option<(usize, usize)> = None;
+    for j in 0..left_costs.len() {
+        let lc = left_costs[j].ticks();
+        if 2 * lc > budget.ticks() {
+            break; // prefix costs are non-decreasing
+        }
+        // Largest k with 2*(lc + rc_R[k]) <= T.
+        let limit = (budget.ticks() - 2 * lc) / 2;
+        let k = right_costs.partition_point(|&c| c.ticks() <= limit) - 1;
+        if best.is_none_or(|(bj, bk)| j + k > bj + bk) {
+            best = Some((j, k));
+        }
+    }
+    let (j, k) = best.unwrap_or((0, 0));
+
+    // Schedule the chosen prefixes reduced-optimally: group each side's jobs by
+    // non-increasing head length, g per machine.
+    let mut schedule = Schedule::empty(n);
+    let mut next_machine = 0usize;
+    next_machine += assign_by_head_groups(&left[..j], g, next_machine, &mut schedule);
+    assign_by_head_groups(&right[..k], g, next_machine, &mut schedule);
+
+    let result = ThroughputResult::new(schedule, instance);
+    debug_assert!(
+        result.cost <= budget,
+        "Alg1 cost {} exceeded the budget {}",
+        result.cost,
+        budget
+    );
+    Ok(result)
+}
+
+/// Alg2 of Section 4.1 (best span delimited by a pair of jobs, one machine).
+pub fn clique_alg2(instance: &Instance, budget: Duration) -> Result<ThroughputResult, Error> {
+    if !instance.is_clique() {
+        return Err(Error::NotClique);
+    }
+    let n = instance.len();
+    let g = instance.capacity();
+    let jobs = instance.jobs();
+
+    // Enumerate all pairs (including i = j); keep the span covering the most jobs.
+    let mut best_cover: Vec<JobId> = Vec::new();
+    for i in 0..n {
+        for j in i..n {
+            let pair_span = span(&[jobs[i], jobs[j]]);
+            if pair_span > budget {
+                continue;
+            }
+            let window = jobs[i].hull(&jobs[j]);
+            let cover: Vec<JobId> = (0..n).filter(|&k| window.contains(&jobs[k])).collect();
+            if cover.len() > best_cover.len() {
+                best_cover = cover;
+            }
+        }
+    }
+
+    // Schedule up to g covered jobs on one machine, shortest first (any choice satisfies
+    // the budget; shortest keeps the measured cost low).
+    let mut chosen = best_cover;
+    chosen.sort_by_key(|&k| (jobs[k].len(), k));
+    chosen.truncate(g);
+    let mut schedule = Schedule::empty(n);
+    for &k in &chosen {
+        schedule.assign(k, 0);
+    }
+    let result = ThroughputResult::new(schedule, instance);
+    debug_assert!(result.cost <= budget);
+    Ok(result)
+}
+
+/// A job id annotated with its head length (the longer of its two parts around `t`).
+#[derive(Debug, Clone, Copy)]
+struct HeadJob {
+    id: JobId,
+    head: Duration,
+}
+
+/// Split the jobs of a clique instance into left-heavy and right-heavy lists, each sorted
+/// by non-decreasing head length.
+fn split_by_heavy_side(instance: &Instance, t: Time) -> (Vec<HeadJob>, Vec<HeadJob>) {
+    let mut left = Vec::new();
+    let mut right = Vec::new();
+    for id in 0..instance.len() {
+        let (l, r) = instance.job(id).split_at(t);
+        if l >= r {
+            left.push(HeadJob { id, head: l });
+        } else {
+            right.push(HeadJob { id, head: r });
+        }
+    }
+    left.sort_by_key(|h| (h.head, h.id));
+    right.sort_by_key(|h| (h.head, h.id));
+    (left, right)
+}
+
+/// `costs[j]` = reduced-optimal cost of scheduling the `j` shortest-head jobs of `side`:
+/// group heads by non-increasing length, `g` per machine, pay each group's maximum head.
+fn prefix_reduced_costs(side: &[HeadJob], g: usize) -> Vec<Duration> {
+    let mut costs = Vec::with_capacity(side.len() + 1);
+    costs.push(Duration::ZERO);
+    for j in 1..=side.len() {
+        // The j shortest heads are side[..j]; longest-first order is the reverse.
+        let mut cost = Duration::ZERO;
+        let mut idx = 0usize;
+        while idx < j {
+            cost += side[j - 1 - idx].head;
+            idx += g;
+        }
+        costs.push(cost);
+    }
+    costs
+}
+
+/// Assign the given jobs to machines of `g` jobs each in non-increasing head order,
+/// starting at `machine_offset`; returns the number of machines used.
+fn assign_by_head_groups(
+    side: &[HeadJob],
+    g: usize,
+    machine_offset: usize,
+    schedule: &mut Schedule,
+) -> usize {
+    if side.is_empty() {
+        return 0;
+    }
+    let mut order: Vec<&HeadJob> = side.iter().collect();
+    order.sort_by_key(|h| (std::cmp::Reverse(h.head), h.id));
+    for (pos, h) in order.iter().enumerate() {
+        schedule.assign(h.id, machine_offset + pos / g);
+    }
+    order.len().div_ceil(g)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A clique instance with a mix of left- and right-heavy jobs around t = 10.
+    fn mixed_instance() -> Instance {
+        Instance::from_ticks(
+            &[
+                (0, 11),  // left-heavy, head 10
+                (2, 12),  // left-heavy, head 8
+                (8, 13),  // right-heavy? left 2, right 3 → right-heavy, head 3
+                (9, 20),  // right-heavy, head 10
+                (7, 14),  // left 3, right 4 → right-heavy, head 4
+                (5, 12),  // left 5, right 2 → left-heavy, head 5
+            ],
+            2,
+        )
+    }
+
+    #[test]
+    fn alg1_respects_budget_and_schedules_cheap_heads_first() {
+        let inst = mixed_instance();
+        for t in [0, 5, 10, 20, 40, 100] {
+            let budget = Duration::new(t);
+            let r = clique_alg1(&inst, budget).unwrap();
+            r.schedule.validate_budgeted(&inst, budget).unwrap();
+        }
+        // A generous budget schedules everything.
+        let r = clique_alg1(&inst, Duration::new(1000)).unwrap();
+        assert_eq!(r.throughput, 6);
+    }
+
+    #[test]
+    fn alg2_finds_a_dense_window() {
+        // Many short jobs clustered together plus two huge ones; tiny budget.
+        let inst = Instance::from_ticks(
+            &[(9, 12), (10, 12), (9, 11), (10, 13), (0, 100), (5, 90)],
+            4,
+        );
+        let budget = Duration::new(4);
+        let r = clique_alg2(&inst, budget).unwrap();
+        r.schedule.validate_budgeted(&inst, budget).unwrap();
+        assert_eq!(r.throughput, 4, "the four clustered jobs fit in the window [9,13)");
+    }
+
+    #[test]
+    fn alg2_schedules_at_most_g_jobs() {
+        let inst = Instance::from_ticks(&[(0, 10); 7], 3);
+        let r = clique_alg2(&inst, Duration::new(10)).unwrap();
+        assert_eq!(r.throughput, 3);
+    }
+
+    #[test]
+    fn combined_takes_the_better_of_the_two() {
+        let inst = mixed_instance();
+        for t in [0, 3, 8, 15, 30, 60] {
+            let budget = Duration::new(t);
+            let combined = clique_max_throughput(&inst, budget).unwrap();
+            let a1 = clique_alg1(&inst, budget).unwrap();
+            let a2 = clique_alg2(&inst, budget).unwrap();
+            assert!(combined.throughput >= a1.throughput);
+            assert!(combined.throughput >= a2.throughput);
+            combined.schedule.validate_budgeted(&inst, budget).unwrap();
+        }
+    }
+
+    #[test]
+    fn non_clique_rejected() {
+        let inst = Instance::from_ticks(&[(0, 5), (6, 10)], 2);
+        assert_eq!(clique_alg1(&inst, Duration::new(10)).unwrap_err(), Error::NotClique);
+        assert_eq!(clique_alg2(&inst, Duration::new(10)).unwrap_err(), Error::NotClique);
+        assert_eq!(
+            clique_max_throughput(&inst, Duration::new(10)).unwrap_err(),
+            Error::NotClique
+        );
+    }
+
+    #[test]
+    fn zero_budget_schedules_nothing() {
+        let inst = mixed_instance();
+        let r = clique_max_throughput(&inst, Duration::ZERO).unwrap();
+        assert_eq!(r.throughput, 0);
+        assert_eq!(r.cost, Duration::ZERO);
+    }
+
+    #[test]
+    fn empty_instance() {
+        let inst = Instance::from_ticks(&[], 3);
+        let r = clique_max_throughput(&inst, Duration::new(5)).unwrap();
+        assert_eq!(r.throughput, 0);
+    }
+
+    #[test]
+    fn head_split_ties_go_left() {
+        // Job perfectly centred on t: left part must be the head (left-heavy).
+        let inst = Instance::from_ticks(&[(0, 20), (5, 15), (9, 11)], 2);
+        let t = common_point(inst.jobs()).unwrap();
+        let (left, right) = split_by_heavy_side(&inst, t);
+        assert_eq!(left.len() + right.len(), 3);
+        // With t = 9 (latest start): job (0,20): left 9, right 11 → right-heavy.
+        // job (5,15): left 4, right 6 → right-heavy. job (9,11): left 0, right 2 → right-heavy.
+        assert_eq!(t, Time::new(9));
+        assert_eq!(right.len(), 3);
+        // A symmetric job around t = 9.
+        let inst2 = Instance::from_ticks(&[(4, 14), (8, 10), (9, 11)], 2);
+        let t2 = common_point(inst2.jobs()).unwrap();
+        let (l2, _r2) = split_by_heavy_side(&inst2, t2);
+        assert!(l2.iter().any(|h| inst2.job(h.id) == busytime_interval::Interval::from_ticks(4, 14)));
+    }
+
+    #[test]
+    fn prefix_costs_are_monotone() {
+        let inst = mixed_instance();
+        let t = common_point(inst.jobs()).unwrap();
+        let (left, right) = split_by_heavy_side(&inst, t);
+        for side in [&left, &right] {
+            let costs = prefix_reduced_costs(side, 2);
+            for w in costs.windows(2) {
+                assert!(w[0] <= w[1]);
+            }
+        }
+    }
+}

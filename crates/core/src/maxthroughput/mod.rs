@@ -1,0 +1,208 @@
+//! MaxThroughput: scheduling as many jobs as possible under a busy-time budget
+//! (Section 4 of the paper).
+//!
+//! | function | instance class | guarantee | paper reference |
+//! |---|---|---|---|
+//! | [`one_sided_max_throughput`] | one-sided clique | optimal | Proposition 4.1 |
+//! | [`clique_max_throughput`] | clique | 4 | Theorem 4.1 (Alg1 + Alg2) |
+//! | [`most_throughput_consecutive`] | proper clique | optimal | Theorem 4.2 |
+//! | [`most_throughput_consecutive_fast`] | proper clique | optimal | `O(n²·g)` variant |
+//! | [`minbusy_via_maxthroughput`] | any | — | Proposition 2.2 |
+//! | [`maxthroughput_via_minbusy`] | any | — | Proposition 2.3 |
+//! | [`weighted_throughput_proper_clique`] | proper clique | optimal (Pareto DP) | Section 5 extension (weighted throughput) |
+//!
+//! [`solve_auto`] classifies the instance and dispatches to the strongest applicable
+//! algorithm.
+
+mod clique_approx;
+mod consecutive_dp;
+mod one_sided;
+mod reduction;
+mod weighted;
+
+pub use clique_approx::{clique_alg1, clique_alg2, clique_max_throughput};
+pub use consecutive_dp::{most_throughput_consecutive, most_throughput_consecutive_fast};
+pub use one_sided::{
+    one_sided_max_throughput, one_sided_max_throughput_value, one_sided_subset_cost,
+};
+pub use reduction::{
+    maxthroughput_via_minbusy, minbusy_via_maxthroughput, shortest_prefix_candidates,
+};
+pub use weighted::{weighted_throughput_proper_clique, WeightedThroughputResult};
+
+use busytime_interval::Duration;
+
+use crate::instance::Instance;
+use crate::schedule::{Schedule, ThroughputResult};
+
+/// Which MaxThroughput algorithm [`solve_auto`] selected for an instance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MaxThroughputAlgorithm {
+    /// Proposition 4.1 (optimal, one-sided clique).
+    OneSided,
+    /// Theorem 4.2 (optimal, proper clique).
+    ProperCliqueDp,
+    /// Theorem 4.1 (4-approximation, clique).
+    CliqueApprox,
+    /// Greedy fallback for instances outside the classes analysed by the paper (no
+    /// guarantee; provided so that the API is total).
+    GreedyFallback,
+}
+
+impl MaxThroughputAlgorithm {
+    /// `true` when the algorithm is optimal on its instance class.
+    pub fn is_exact(self) -> bool {
+        matches!(
+            self,
+            MaxThroughputAlgorithm::OneSided | MaxThroughputAlgorithm::ProperCliqueDp
+        )
+    }
+}
+
+/// Classify the instance and run the strongest applicable MaxThroughput algorithm.
+///
+/// Selection order: one-sided clique → proper clique DP → clique 4-approximation →
+/// greedy fallback (shortest jobs first onto FirstFit machines, stopping before the
+/// budget is exceeded).
+pub fn solve_auto(
+    instance: &Instance,
+    budget: Duration,
+) -> (ThroughputResult, MaxThroughputAlgorithm) {
+    if instance.is_one_sided() {
+        if let Ok(r) = one_sided_max_throughput(instance, budget) {
+            return (r, MaxThroughputAlgorithm::OneSided);
+        }
+    }
+    if instance.is_proper_clique() {
+        if let Ok(r) = most_throughput_consecutive_fast(instance, budget) {
+            return (r, MaxThroughputAlgorithm::ProperCliqueDp);
+        }
+    }
+    if instance.is_clique() {
+        if let Ok(r) = clique_max_throughput(instance, budget) {
+            return (r, MaxThroughputAlgorithm::CliqueApprox);
+        }
+    }
+    (greedy_fallback(instance, budget), MaxThroughputAlgorithm::GreedyFallback)
+}
+
+/// Heuristic for instances outside the paper's analysed classes: consider jobs shortest
+/// first and place each on the first machine thread where it fits, skipping any job that
+/// would push the total cost above the budget.  Always valid and within budget; no
+/// approximation guarantee.
+pub fn greedy_fallback(instance: &Instance, budget: Duration) -> ThroughputResult {
+    let g = instance.capacity();
+    let mut order: Vec<usize> = (0..instance.len()).collect();
+    order.sort_by_key(|&j| (instance.job(j).len(), j));
+
+    let mut threads: Vec<Vec<Vec<busytime_interval::Interval>>> = Vec::new();
+    let mut schedule = Schedule::empty(instance.len());
+    let mut cost = Duration::ZERO;
+    for &j in &order {
+        let iv = instance.job(j);
+        // Find the cheapest feasible placement (first fit over machines/threads).
+        let mut placement: Option<(usize, usize, Duration)> = None;
+        for (m, machine) in threads.iter().enumerate() {
+            for (tid, thread) in machine.iter().enumerate() {
+                if thread.iter().all(|other| !iv.overlaps(other)) {
+                    // Additional busy time caused on this machine.
+                    let mut machine_jobs: Vec<busytime_interval::Interval> =
+                        machine.iter().flatten().copied().collect();
+                    let before = busytime_interval::span(&machine_jobs);
+                    machine_jobs.push(iv);
+                    let after = busytime_interval::span(&machine_jobs);
+                    let delta = after - before;
+                    if placement.is_none_or(|(_, _, d)| delta < d) {
+                        placement = Some((m, tid, delta));
+                    }
+                }
+            }
+        }
+        let (machine, thread, delta) = match placement {
+            Some(p) => p,
+            None => (threads.len(), 0, iv.len()),
+        };
+        if cost + delta > budget {
+            continue;
+        }
+        cost += delta;
+        if machine == threads.len() {
+            threads.push(vec![Vec::new(); g]);
+        }
+        threads[machine][thread].push(iv);
+        schedule.assign(j, machine);
+    }
+    ThroughputResult::new(schedule, instance)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn auto_dispatch_selects_expected_algorithms() {
+        let one_sided = Instance::from_ticks(&[(0, 5), (0, 9), (0, 2)], 2);
+        assert_eq!(
+            solve_auto(&one_sided, Duration::new(10)).1,
+            MaxThroughputAlgorithm::OneSided
+        );
+
+        let proper_clique = Instance::from_ticks(&[(0, 10), (2, 12), (4, 14)], 2);
+        assert_eq!(
+            solve_auto(&proper_clique, Duration::new(10)).1,
+            MaxThroughputAlgorithm::ProperCliqueDp
+        );
+
+        let clique = Instance::from_ticks(&[(0, 20), (5, 10), (6, 18)], 2);
+        assert_eq!(
+            solve_auto(&clique, Duration::new(10)).1,
+            MaxThroughputAlgorithm::CliqueApprox
+        );
+
+        let general = Instance::from_ticks(&[(0, 10), (2, 5), (8, 20), (15, 18)], 2);
+        assert_eq!(
+            solve_auto(&general, Duration::new(10)).1,
+            MaxThroughputAlgorithm::GreedyFallback
+        );
+    }
+
+    #[test]
+    fn auto_dispatch_results_respect_budget() {
+        let instances = [
+            Instance::from_ticks(&[(0, 5), (0, 9), (0, 2)], 2),
+            Instance::from_ticks(&[(0, 10), (2, 12), (4, 14)], 2),
+            Instance::from_ticks(&[(0, 20), (5, 10), (6, 18)], 2),
+            Instance::from_ticks(&[(0, 10), (2, 5), (8, 20), (15, 18)], 2),
+        ];
+        for inst in &instances {
+            for t in [0i64, 3, 7, 12, 25, 100] {
+                let budget = Duration::new(t);
+                let (r, _) = solve_auto(inst, budget);
+                r.schedule.validate_budgeted(inst, budget).unwrap();
+            }
+        }
+    }
+
+    #[test]
+    fn greedy_fallback_schedules_everything_with_huge_budget() {
+        let inst = Instance::from_ticks(&[(0, 10), (2, 5), (8, 20), (15, 18)], 2);
+        let r = greedy_fallback(&inst, Duration::new(1_000));
+        assert_eq!(r.throughput, inst.len());
+        r.schedule.validate_budgeted(&inst, Duration::new(1_000)).unwrap();
+    }
+
+    #[test]
+    fn greedy_fallback_zero_budget() {
+        let inst = Instance::from_ticks(&[(0, 10), (2, 5)], 2);
+        let r = greedy_fallback(&inst, Duration::ZERO);
+        assert_eq!(r.throughput, 0);
+    }
+
+    #[test]
+    fn exactness_flags() {
+        assert!(MaxThroughputAlgorithm::OneSided.is_exact());
+        assert!(MaxThroughputAlgorithm::ProperCliqueDp.is_exact());
+        assert!(!MaxThroughputAlgorithm::CliqueApprox.is_exact());
+        assert!(!MaxThroughputAlgorithm::GreedyFallback.is_exact());
+    }
+}

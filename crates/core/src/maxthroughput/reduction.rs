@@ -1,0 +1,184 @@
+//! Reductions between MinBusy and MaxThroughput (Propositions 2.2 and 2.3).
+//!
+//! * Proposition 2.2: MinBusy reduces to MaxThroughput by binary-searching the budget —
+//!   the smallest budget under which *all* jobs can be scheduled is the optimal busy
+//!   time.  With integer tick times no scaling step is needed.
+//! * Proposition 2.3: MaxThroughput reduces to MinBusy given a polynomial candidate
+//!   family of job subsets that is guaranteed to contain the job set of some optimal
+//!   budgeted schedule — solve MinBusy on every candidate and keep the largest one that
+//!   fits the budget.
+
+use busytime_interval::Duration;
+
+use crate::bounds::{length_bound, lower_bound};
+use crate::error::Error;
+use crate::instance::{Instance, JobId};
+use crate::schedule::{Schedule, SolveResult, ThroughputResult};
+
+/// Proposition 2.2: solve MinBusy by binary search over the budget of a MaxThroughput
+/// oracle.
+///
+/// `oracle(instance, budget)` must return a valid partial schedule of cost at most
+/// `budget`; when the oracle is optimal (e.g. [`super::most_throughput_consecutive`] on
+/// proper clique instances, or an exact solver) the returned cost is the optimal busy
+/// time.  The number of oracle calls is `O(log(len(J)))`.
+pub fn minbusy_via_maxthroughput<F>(instance: &Instance, mut oracle: F) -> Result<SolveResult, Error>
+where
+    F: FnMut(&Instance, Duration) -> Result<ThroughputResult, Error>,
+{
+    let n = instance.len();
+    if n == 0 {
+        return Ok(SolveResult::new(Schedule::empty(0), instance));
+    }
+    let mut lo = lower_bound(instance).ticks();
+    let mut hi = length_bound(instance).ticks();
+
+    // Establish the invariant: `hi` is always feasible (the length bound schedules every
+    // job on its own machine, and an optimal oracle finds *some* complete schedule of
+    // cost ≤ len(J); an approximate oracle may fail, in which case we report the failure).
+    let at_hi = oracle(instance, Duration::new(hi))?;
+    if at_hi.throughput < n {
+        return Err(Error::BudgetExceeded {
+            cost: Duration::new(hi),
+            budget: Duration::new(hi),
+        });
+    }
+    let mut best = at_hi;
+
+    while lo < hi {
+        let mid = lo + (hi - lo) / 2;
+        let res = oracle(instance, Duration::new(mid))?;
+        if res.throughput == n {
+            hi = mid;
+            best = res;
+        } else {
+            lo = mid + 1;
+        }
+    }
+    debug_assert!(best.cost.ticks() <= hi);
+    Ok(SolveResult::new(best.schedule, instance))
+}
+
+/// Proposition 2.3: solve MaxThroughput given a candidate family of job subsets and a
+/// MinBusy solver.
+///
+/// For every candidate subset the sub-instance is solved with `minbusy_solver`; among the
+/// candidates whose optimal cost fits the budget, the largest is returned (ties broken by
+/// lower cost).  The empty schedule is always a fallback.
+pub fn maxthroughput_via_minbusy<F>(
+    instance: &Instance,
+    budget: Duration,
+    candidates: &[Vec<JobId>],
+    mut minbusy_solver: F,
+) -> Result<ThroughputResult, Error>
+where
+    F: FnMut(&Instance) -> Result<Schedule, Error>,
+{
+    let mut best = ThroughputResult::new(Schedule::empty(instance.len()), instance);
+    for candidate in candidates {
+        if candidate.iter().any(|&j| j >= instance.len()) {
+            return Err(Error::UnknownJob {
+                job: *candidate.iter().find(|&&j| j >= instance.len()).unwrap(),
+            });
+        }
+        let (sub, mapping) = instance.sub_instance(candidate);
+        let sub_schedule = minbusy_solver(&sub)?;
+        let cost = sub_schedule.cost(&sub);
+        if cost > budget {
+            continue;
+        }
+        // Lift the sub-schedule back to the original job ids.
+        let mut lifted = Schedule::empty(instance.len());
+        for (sub_id, machine) in sub_schedule.assignment().iter().enumerate() {
+            if let Some(m) = machine {
+                lifted.assign(mapping[sub_id], *m);
+            }
+        }
+        best = best.better(ThroughputResult::new(lifted, instance));
+    }
+    Ok(best)
+}
+
+/// The prefix candidate family used by Proposition 4.1-style arguments: the `k` shortest
+/// jobs, for every `k`.  (For one-sided clique instances this family provably contains an
+/// optimal MaxThroughput job set.)
+pub fn shortest_prefix_candidates(instance: &Instance) -> Vec<Vec<JobId>> {
+    let mut by_len: Vec<JobId> = (0..instance.len()).collect();
+    by_len.sort_by_key(|&j| (instance.job(j).len(), j));
+    (0..=instance.len()).map(|k| by_len[..k].to_vec()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::maxthroughput::{most_throughput_consecutive_fast, one_sided_max_throughput};
+    use crate::minbusy::{find_best_consecutive, one_sided_optimal};
+
+    #[test]
+    fn minbusy_recovered_from_throughput_oracle_proper_clique() {
+        let jobs: Vec<(i64, i64)> = (0..7).map(|i| (i, 12 + i)).collect();
+        let inst = Instance::from_ticks(&jobs, 3);
+        assert!(inst.is_proper_clique());
+        let direct = find_best_consecutive(&inst).unwrap();
+        let via = minbusy_via_maxthroughput(&inst, most_throughput_consecutive_fast).unwrap();
+        via.schedule.validate_complete(&inst).unwrap();
+        assert_eq!(via.cost, direct.cost(&inst));
+    }
+
+    #[test]
+    fn minbusy_recovered_from_throughput_oracle_one_sided() {
+        let inst = Instance::from_ticks(&[(0, 3), (0, 8), (0, 11), (0, 2), (0, 9)], 2);
+        let direct = one_sided_optimal(&inst).unwrap();
+        let via = minbusy_via_maxthroughput(&inst, one_sided_max_throughput).unwrap();
+        via.schedule.validate_complete(&inst).unwrap();
+        assert_eq!(via.cost, direct.cost(&inst));
+    }
+
+    #[test]
+    fn empty_instance_reduction() {
+        let inst = Instance::from_ticks(&[], 2);
+        let via = minbusy_via_maxthroughput(&inst, one_sided_max_throughput).unwrap();
+        assert_eq!(via.cost, Duration::ZERO);
+    }
+
+    #[test]
+    fn throughput_via_minbusy_on_one_sided_prefixes() {
+        // Proposition 2.3 with the shortest-prefix family reproduces Proposition 4.1.
+        let inst = Instance::from_ticks(&[(0, 2), (0, 3), (0, 5), (0, 8), (0, 13)], 2);
+        let candidates = shortest_prefix_candidates(&inst);
+        for budget in [0i64, 2, 3, 7, 11, 20, 100] {
+            let budget = Duration::new(budget);
+            let via = maxthroughput_via_minbusy(&inst, budget, &candidates, |sub| {
+                one_sided_optimal(sub)
+            })
+            .unwrap();
+            let direct = one_sided_max_throughput(&inst, budget).unwrap();
+            assert_eq!(via.throughput, direct.throughput, "budget {budget}");
+            via.schedule.validate_budgeted(&inst, budget).unwrap();
+        }
+    }
+
+    #[test]
+    fn unknown_candidate_job_rejected() {
+        let inst = Instance::from_ticks(&[(0, 2)], 1);
+        let err = maxthroughput_via_minbusy(&inst, Duration::new(10), &[vec![3]], |sub| {
+            Ok(crate::minbusy::naive(sub))
+        })
+        .unwrap_err();
+        assert_eq!(err, Error::UnknownJob { job: 3 });
+    }
+
+    #[test]
+    fn prefix_candidates_are_nested() {
+        let inst = Instance::from_ticks(&[(0, 5), (0, 2), (0, 9)], 2);
+        let cands = shortest_prefix_candidates(&inst);
+        assert_eq!(cands.len(), 4);
+        assert!(cands[0].is_empty());
+        for w in cands.windows(2) {
+            assert_eq!(&w[1][..w[0].len()], &w[0][..]);
+        }
+        // Sorted by length: job ids of lengths 2, 5, 9.
+        let lens: Vec<i64> = cands[3].iter().map(|&j| inst.job(j).len().ticks()).collect();
+        assert_eq!(lens, vec![2, 5, 9]);
+    }
+}

@@ -1,0 +1,113 @@
+//! Lemma 3.1: optimal MinBusy for clique instances with `g = 2` via maximum-weight
+//! matching.
+//!
+//! In a clique instance every pair of jobs overlaps, so with capacity 2 every machine can
+//! host at most two jobs and a schedule is precisely a matching in the overlap graph
+//! `G_m` (Section 3.1).  Pairing jobs `J_i, J_j` saves exactly the length of their
+//! overlap, hence minimizing cost is the same as maximizing the weight of the matching,
+//! which the blossom algorithm solves optimally in polynomial time.
+
+use busytime_graph::{max_weight_matching, OverlapGraph};
+
+use crate::error::Error;
+use crate::instance::Instance;
+use crate::schedule::Schedule;
+
+/// Optimal schedule for a clique instance with `g = 2` (Lemma 3.1).
+///
+/// Returns [`Error::WrongCapacity`] when `g ≠ 2` and [`Error::NotClique`] when the jobs
+/// do not share a common time point.
+pub fn clique_matching(instance: &Instance) -> Result<Schedule, Error> {
+    if instance.capacity() != 2 {
+        return Err(Error::WrongCapacity { expected: 2, actual: instance.capacity() });
+    }
+    if !instance.is_clique() {
+        return Err(Error::NotClique);
+    }
+    let graph = OverlapGraph::build(instance.jobs());
+    let matching = max_weight_matching(graph.vertex_count(), graph.edges(), false);
+
+    let mut schedule = Schedule::empty(instance.len());
+    let mut next_machine = 0usize;
+    let mut done = vec![false; instance.len()];
+    for j in 0..instance.len() {
+        if done[j] {
+            continue;
+        }
+        match matching.mate(j) {
+            Some(k) if !done[k] => {
+                schedule.assign(j, next_machine);
+                schedule.assign(k, next_machine);
+                done[j] = true;
+                done[k] = true;
+            }
+            _ => {
+                schedule.assign(j, next_machine);
+                done[j] = true;
+            }
+        }
+        next_machine += 1;
+    }
+    Ok(schedule)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use busytime_interval::Duration;
+
+    #[test]
+    fn pairs_jobs_with_largest_overlap() {
+        // Four jobs all containing time 10.
+        // Overlaps: (0,1) large, (2,3) large; cross pairs small.
+        let inst = Instance::from_ticks(&[(0, 20), (2, 18), (8, 12), (9, 11)], 2);
+        let s = clique_matching(&inst).unwrap();
+        s.validate_complete(&inst).unwrap();
+        // Optimal pairing is {0,1} and {2,3}: cost = 20 + 4 = 24.
+        assert_eq!(s.cost(&inst), Duration::new(24));
+        assert_eq!(s.machines_used(), 2);
+    }
+
+    #[test]
+    fn odd_number_of_jobs_leaves_one_alone() {
+        let inst = Instance::from_ticks(&[(0, 10), (5, 15), (9, 30)], 2);
+        let s = clique_matching(&inst).unwrap();
+        s.validate_complete(&inst).unwrap();
+        assert_eq!(s.machines_used(), 2);
+        // Best pairing: {0,1} (overlap 5) leaving 2 alone → 15 + 21 = 36, or
+        // {1,2} (overlap 6) leaving 0 alone → 25 + 10 = 35, or {0,2} (overlap 1) → 30+10=39... (0 spans [0,10), 2 spans [9,30) hull [0,30)=30, plus job1 len 10 → 40.)
+        assert_eq!(s.cost(&inst), Duration::new(35));
+    }
+
+    #[test]
+    fn capacity_other_than_two_rejected() {
+        let inst = Instance::from_ticks(&[(0, 10), (1, 11)], 3);
+        assert_eq!(
+            clique_matching(&inst).unwrap_err(),
+            Error::WrongCapacity { expected: 2, actual: 3 }
+        );
+    }
+
+    #[test]
+    fn non_clique_rejected() {
+        let inst = Instance::from_ticks(&[(0, 5), (6, 10)], 2);
+        assert_eq!(clique_matching(&inst).unwrap_err(), Error::NotClique);
+    }
+
+    #[test]
+    fn single_job_instance() {
+        let inst = Instance::from_ticks(&[(3, 8)], 2);
+        let s = clique_matching(&inst).unwrap();
+        s.validate_complete(&inst).unwrap();
+        assert_eq!(s.cost(&inst), Duration::new(5));
+    }
+
+    #[test]
+    fn identical_jobs_pair_perfectly() {
+        let inst = Instance::from_ticks(&[(0, 10); 6], 2);
+        let s = clique_matching(&inst).unwrap();
+        s.validate_complete(&inst).unwrap();
+        assert_eq!(s.machines_used(), 3);
+        assert_eq!(s.cost(&inst), Duration::new(30));
+    }
+}

@@ -1,0 +1,163 @@
+//! Theorem 3.2: **FindBestConsecutive**, an optimal `O(n·g)` dynamic program for proper
+//! clique instances.
+//!
+//! Lemma 3.3 shows that a proper clique instance always has an optimal schedule in which
+//! every machine processes a *consecutive* block of jobs (in the order
+//! `J_1 ≤ J_2 ≤ … ≤ J_n`).  The optimum is therefore a minimum-cost partition of the
+//! sorted job sequence into blocks of at most `g` jobs, where the cost of a block
+//! `J_a, …, J_b` is its span `c_b − s_a` (the block is an interval because all jobs share
+//! a common point).  The dynamic program below scans the jobs once, keeping for each
+//! prefix the best cost over the size of the last block — exactly the recurrence of
+//! Algorithm 2 in the paper, written in terms of block spans.
+
+use crate::error::Error;
+use crate::instance::Instance;
+use crate::schedule::Schedule;
+
+/// Optimal schedule for a proper clique instance (Theorem 3.2).
+///
+/// Returns [`Error::NotProperClique`] when the instance is not both proper and a clique.
+pub fn find_best_consecutive(instance: &Instance) -> Result<Schedule, Error> {
+    if !instance.is_proper_clique() {
+        return Err(Error::NotProperClique);
+    }
+    Ok(consecutive_partition_dp(instance))
+}
+
+/// The underlying DP: best partition of the sorted jobs into consecutive blocks of at
+/// most `g`, minimizing the sum of block spans.  Exposed separately because the paper's
+/// consecutiveness property (Lemma 3.3) only guarantees optimality on proper clique
+/// instances, but the partition itself is a *valid* schedule for any clique instance.
+pub fn consecutive_partition_dp(instance: &Instance) -> Schedule {
+    let n = instance.len();
+    let g = instance.capacity();
+    if n == 0 {
+        return Schedule::empty(0);
+    }
+    let jobs = instance.jobs();
+
+    // best[i] = minimal cost of scheduling the first i jobs; choice[i] = size of the last
+    // block in an optimal solution for the first i jobs.
+    let mut best = vec![i64::MAX; n + 1];
+    let mut choice = vec![0usize; n + 1];
+    best[0] = 0;
+    for i in 1..=n {
+        for j in 1..=g.min(i) {
+            // Block J_{i-j+1} .. J_i (1-based), i.e. indices i-j .. i-1 (0-based).
+            let block_span = block_span(jobs, i - j, i - 1);
+            let cand = best[i - j].saturating_add(block_span);
+            if cand < best[i] {
+                best[i] = cand;
+                choice[i] = j;
+            }
+        }
+    }
+
+    // Reconstruct the blocks.
+    let mut schedule = Schedule::empty(n);
+    let mut machine = 0usize;
+    let mut i = n;
+    let mut blocks_rev: Vec<(usize, usize)> = Vec::new();
+    while i > 0 {
+        let j = choice[i];
+        blocks_rev.push((i - j, i - 1));
+        i -= j;
+    }
+    for &(a, b) in blocks_rev.iter().rev() {
+        for job in a..=b {
+            schedule.assign(job, machine);
+        }
+        machine += 1;
+    }
+    schedule
+}
+
+/// The span of the consecutive block `jobs[a..=b]` of a clique instance sorted by
+/// `(start, end)`: all jobs share a common point, so the union is one interval from the
+/// earliest start to the latest completion.  (Starts are non-decreasing by the sort; ends
+/// are not necessarily monotone for non-proper inputs, hence the explicit max.)
+fn block_span(jobs: &[busytime_interval::Interval], a: usize, b: usize) -> i64 {
+    let start = jobs[a].start();
+    let end = jobs[a..=b].iter().map(|j| j.end()).max().expect("non-empty block");
+    (end - start).ticks()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use busytime_interval::Duration;
+
+    #[test]
+    fn single_block_when_n_le_g() {
+        let inst = Instance::from_ticks(&[(0, 10), (2, 12), (4, 14)], 5);
+        let s = find_best_consecutive(&inst).unwrap();
+        s.validate_complete(&inst).unwrap();
+        assert_eq!(s.machines_used(), 1);
+        assert_eq!(s.cost(&inst), Duration::new(14));
+    }
+
+    #[test]
+    fn staircase_clique_partitions_optimally() {
+        // Proper clique: all contain time 10; starts 0..5, ends 11..16, g = 2.
+        let jobs: Vec<(i64, i64)> = (0..6).map(|i| (i, 11 + i)).collect();
+        let inst = Instance::from_ticks(&jobs, 2);
+        assert!(inst.is_proper_clique());
+        let s = find_best_consecutive(&inst).unwrap();
+        s.validate_complete(&inst).unwrap();
+        // Consecutive pairs: spans (12-0), (14-2), (16-4) = 12 + 12 + 12 = 36.
+        assert_eq!(s.cost(&inst), Duration::new(36));
+        assert_eq!(s.machines_used(), 3);
+    }
+
+    #[test]
+    fn uneven_lengths_prefer_smaller_last_block() {
+        // Jobs: two long overlapping ones and one short at the end; g = 2.
+        // Sorted: [0,100), [1,101), [2,102) would pair the first two.
+        let inst = Instance::from_ticks(&[(0, 100), (1, 101), (90, 190)], 2);
+        assert!(inst.is_proper_clique());
+        let s = find_best_consecutive(&inst).unwrap();
+        s.validate_complete(&inst).unwrap();
+        // Pair {0,1} (span 101) + {2} (span 100) = 201 beats {0} + {1,2} (100 + 189 = 289)
+        // and singletons (300).
+        assert_eq!(s.cost(&inst), Duration::new(201));
+    }
+
+    #[test]
+    fn rejects_non_proper_or_non_clique() {
+        let not_proper = Instance::from_ticks(&[(0, 10), (2, 8)], 2);
+        assert_eq!(find_best_consecutive(&not_proper).unwrap_err(), Error::NotProperClique);
+        let not_clique = Instance::from_ticks(&[(0, 4), (3, 8), (7, 12)], 2);
+        assert_eq!(find_best_consecutive(&not_clique).unwrap_err(), Error::NotProperClique);
+    }
+
+    #[test]
+    fn capacity_one_gives_total_length() {
+        let jobs: Vec<(i64, i64)> = (0..5).map(|i| (i, 10 + i)).collect();
+        let inst = Instance::from_ticks(&jobs, 1);
+        let s = find_best_consecutive(&inst).unwrap();
+        assert_eq!(s.cost(&inst), inst.total_len());
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        let empty = Instance::from_ticks(&[], 2);
+        assert_eq!(find_best_consecutive(&empty).unwrap().machines_used(), 0);
+        let single = Instance::from_ticks(&[(3, 9)], 2);
+        let s = find_best_consecutive(&single).unwrap();
+        assert_eq!(s.cost(&single), Duration::new(6));
+    }
+
+    #[test]
+    fn blocks_are_consecutive_in_sorted_order() {
+        let jobs: Vec<(i64, i64)> = (0..9).map(|i| (i * 2, 100 + i * 3)).collect();
+        let inst = Instance::from_ticks(&jobs, 3);
+        assert!(inst.is_proper_clique());
+        let s = find_best_consecutive(&inst).unwrap();
+        for group in s.machine_groups() {
+            // group is sorted by job id; consecutive means max - min + 1 == len.
+            let min = *group.first().unwrap();
+            let max = *group.last().unwrap();
+            assert_eq!(max - min + 1, group.len());
+        }
+    }
+}

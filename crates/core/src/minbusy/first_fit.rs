@@ -1,0 +1,132 @@
+//! FirstFit for one-dimensional instances — the 4-approximation baseline of
+//! Flammini et al. [13], against which the paper's Section 3 algorithms are compared.
+//!
+//! Jobs are considered in non-increasing order of length; every machine has `g` threads
+//! of execution and a job is placed on the first thread (of the first machine) whose jobs
+//! it does not overlap.  The paper's Section 3.4 2-D FirstFit is the same algorithm with
+//! rectangles and a per-dimension sort key; it lives in [`crate::twodim`].
+
+use busytime_interval::{Duration, Interval};
+
+use crate::instance::Instance;
+use crate::schedule::Schedule;
+
+/// FirstFit with `g` threads per machine, jobs in non-increasing order of length.
+///
+/// Valid for every instance (no structural precondition); a 4-approximation on general
+/// instances by the analysis of [13].
+pub fn first_fit(instance: &Instance) -> Schedule {
+    let mut order: Vec<usize> = (0..instance.len()).collect();
+    order.sort_by_key(|&j| (std::cmp::Reverse(instance.job(j).len()), j));
+    first_fit_in_order(instance, &order)
+}
+
+/// FirstFit considering the jobs in the given explicit order (used by tests and by the
+/// bucketed 2-D variant's 1-D counterpart).
+pub fn first_fit_in_order(instance: &Instance, order: &[usize]) -> Schedule {
+    let g = instance.capacity();
+    // threads[m][t] is the list of intervals currently on thread t of machine m.
+    let mut threads: Vec<Vec<Vec<Interval>>> = Vec::new();
+    let mut schedule = Schedule::empty(instance.len());
+    for &j in order {
+        let iv = instance.job(j);
+        let mut placed = false;
+        'machines: for (m, machine) in threads.iter_mut().enumerate() {
+            for thread in machine.iter_mut() {
+                if thread.iter().all(|other| !iv.overlaps(other)) {
+                    thread.push(iv);
+                    schedule.assign(j, m);
+                    placed = true;
+                    break 'machines;
+                }
+            }
+        }
+        if !placed {
+            let mut machine: Vec<Vec<Interval>> = vec![Vec::new(); g];
+            machine[0].push(iv);
+            threads.push(machine);
+            schedule.assign(j, threads.len() - 1);
+        }
+    }
+    schedule
+}
+
+/// Total idle time of a schedule: busy time not covered by any job of the machine's
+/// *first* thread — a diagnostic used when comparing FirstFit with the structured
+/// algorithms in the experiment harness.
+pub fn total_busy(instance: &Instance, schedule: &Schedule) -> Duration {
+    schedule.cost(instance)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bounds::{length_bound, lower_bound};
+
+    #[test]
+    fn fills_threads_before_opening_machines() {
+        // Four identical jobs, g = 2 → 2 machines.
+        let inst = Instance::from_ticks(&[(0, 10); 4], 2);
+        let s = first_fit(&inst);
+        s.validate_complete(&inst).unwrap();
+        assert_eq!(s.machines_used(), 2);
+        assert_eq!(s.cost(&inst), Duration::new(20));
+    }
+
+    #[test]
+    fn non_overlapping_jobs_share_one_thread() {
+        let inst = Instance::from_ticks(&[(0, 2), (2, 4), (4, 6), (6, 8)], 1);
+        let s = first_fit(&inst);
+        s.validate_complete(&inst).unwrap();
+        assert_eq!(s.machines_used(), 1);
+        assert_eq!(s.cost(&inst), Duration::new(8));
+    }
+
+    #[test]
+    fn longest_jobs_are_seeds() {
+        // One long job and several short ones inside it; g = 2 → all fit on one machine
+        // only if the short ones are pairwise disjoint.
+        let inst = Instance::from_ticks(&[(0, 100), (10, 20), (30, 40), (50, 60)], 2);
+        let s = first_fit(&inst);
+        s.validate_complete(&inst).unwrap();
+        assert_eq!(s.machines_used(), 1);
+        assert_eq!(s.cost(&inst), Duration::new(100));
+    }
+
+    #[test]
+    fn respects_capacity() {
+        let inst = Instance::from_ticks(&[(0, 10), (1, 11), (2, 12), (3, 13)], 2);
+        let s = first_fit(&inst);
+        s.validate_complete(&inst).unwrap();
+        assert_eq!(s.machines_used(), 2);
+    }
+
+    #[test]
+    fn cost_between_bounds() {
+        let jobs: Vec<(i64, i64)> = (0..20).map(|i| (i * 3, i * 3 + 7)).collect();
+        let inst = Instance::from_ticks(&jobs, 3);
+        let s = first_fit(&inst);
+        s.validate_complete(&inst).unwrap();
+        assert!(s.cost(&inst) >= lower_bound(&inst));
+        assert!(s.cost(&inst) <= length_bound(&inst));
+    }
+
+    #[test]
+    fn explicit_order_is_honoured() {
+        // Force a deliberately bad order (shortest first) and check FirstFit still builds
+        // a valid schedule.
+        let inst = Instance::from_ticks(&[(0, 100), (10, 20), (15, 25)], 1);
+        let order = vec![1, 2, 0];
+        let s = first_fit_in_order(&inst, &order);
+        s.validate_complete(&inst).unwrap();
+        assert_eq!(s.machines_used(), 3);
+    }
+
+    #[test]
+    fn empty_instance() {
+        let inst = Instance::from_ticks(&[], 2);
+        let s = first_fit(&inst);
+        assert_eq!(s.machines_used(), 0);
+        assert_eq!(total_busy(&inst, &s), Duration::ZERO);
+    }
+}

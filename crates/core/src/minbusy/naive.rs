@@ -1,0 +1,74 @@
+//! Trivial baseline schedules.
+//!
+//! * [`naive`] — one job per machine; its cost is exactly `len(J)` (the length bound).
+//! * [`greedy_pack`] — fill machines with `g` jobs each in sorted order, ignoring all
+//!   structure.  Any valid schedule is a `g`-approximation (Proposition 2.1), and this is
+//!   the simplest schedule realizing maximal packing, so it is the baseline used by the
+//!   experiment harness for Proposition 2.1.
+
+use crate::instance::Instance;
+use crate::schedule::Schedule;
+
+/// One job per machine.  Always valid; cost equals `len(J)`.
+pub fn naive(instance: &Instance) -> Schedule {
+    let mut s = Schedule::empty(instance.len());
+    for j in 0..instance.len() {
+        s.assign(j, j);
+    }
+    s
+}
+
+/// Pack jobs into machines of exactly `g` jobs each (the last machine may get fewer), in
+/// the instance's sorted order.  Valid for every instance because a machine holding at
+/// most `g` jobs can never run more than `g` simultaneously.
+pub fn greedy_pack(instance: &Instance) -> Schedule {
+    let g = instance.capacity();
+    let mut s = Schedule::empty(instance.len());
+    for j in 0..instance.len() {
+        s.assign(j, j / g);
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bounds::{length_bound, lower_bound};
+    use busytime_interval::Duration;
+
+    #[test]
+    fn naive_cost_is_total_length() {
+        let inst = Instance::from_ticks(&[(0, 5), (2, 9), (4, 6)], 3);
+        let s = naive(&inst);
+        s.validate_complete(&inst).unwrap();
+        assert_eq!(s.cost(&inst), length_bound(&inst));
+        assert_eq!(s.machines_used(), 3);
+    }
+
+    #[test]
+    fn greedy_pack_uses_ceil_n_over_g_machines() {
+        let inst = Instance::from_ticks(&[(0, 5), (2, 9), (4, 6), (1, 3), (0, 9)], 2);
+        let s = greedy_pack(&inst);
+        s.validate_complete(&inst).unwrap();
+        assert_eq!(s.machines_used(), 3);
+    }
+
+    #[test]
+    fn greedy_pack_is_a_g_approximation() {
+        // Proposition 2.1: cost(any schedule) <= len(J) <= g * cost*.
+        // Check against the lower bound, which is <= cost*.
+        let inst = Instance::from_ticks(&[(0, 10), (0, 10), (0, 10), (0, 10)], 2);
+        let s = greedy_pack(&inst);
+        s.validate_complete(&inst).unwrap();
+        let g = inst.capacity() as i64;
+        assert!(s.cost(&inst) <= Duration::new(lower_bound(&inst).ticks() * g));
+        assert_eq!(s.cost(&inst), Duration::new(20));
+    }
+
+    #[test]
+    fn empty_instance() {
+        let inst = Instance::from_ticks(&[], 2);
+        assert_eq!(naive(&inst).cost(&inst), Duration::ZERO);
+        assert_eq!(greedy_pack(&inst).machines_used(), 0);
+    }
+}

@@ -1,0 +1,90 @@
+//! Data-parallel batch helpers built on rayon.
+//!
+//! The experiment harness evaluates every algorithm on hundreds of independent random
+//! instances per parameter point; these helpers parallelize such sweeps without changing
+//! any algorithmic result (each instance is solved independently, results are returned in
+//! input order).
+
+use busytime_interval::Duration;
+use rayon::prelude::*;
+
+use crate::instance::Instance;
+use crate::minbusy::{self, MinBusyAlgorithm};
+use crate::maxthroughput::{self, MaxThroughputAlgorithm};
+use crate::schedule::{Schedule, ThroughputResult};
+
+/// Solve MinBusy on every instance in parallel with the automatic dispatcher.
+///
+/// Returns, per instance and in input order, the schedule and the algorithm chosen.
+pub fn solve_minbusy_batch(instances: &[Instance]) -> Vec<(Schedule, MinBusyAlgorithm)> {
+    instances.par_iter().map(minbusy::solve_auto).collect()
+}
+
+/// Solve MaxThroughput on every `(instance, budget)` pair in parallel with the automatic
+/// dispatcher.
+pub fn solve_maxthroughput_batch(
+    cases: &[(Instance, Duration)],
+) -> Vec<(ThroughputResult, MaxThroughputAlgorithm)> {
+    cases
+        .par_iter()
+        .map(|(instance, budget)| maxthroughput::solve_auto(instance, *budget))
+        .collect()
+}
+
+/// Apply an arbitrary per-instance solver in parallel, preserving order.
+///
+/// Generic glue used by the benchmark harness to sweep a parameter grid with any of the
+/// library's algorithms (or an exact reference solver).
+pub fn map_instances<T, F>(instances: &[Instance], solver: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(&Instance) -> T + Sync + Send,
+{
+    instances.par_iter().map(solver).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn instances() -> Vec<Instance> {
+        vec![
+            Instance::from_ticks(&[(0, 5), (0, 9), (0, 2)], 2),
+            Instance::from_ticks(&[(0, 10), (2, 12), (4, 14)], 2),
+            Instance::from_ticks(&[(0, 10), (2, 5), (8, 20), (15, 18)], 2),
+            Instance::from_ticks(&[], 3),
+        ]
+    }
+
+    #[test]
+    fn batch_minbusy_matches_sequential() {
+        let insts = instances();
+        let parallel = solve_minbusy_batch(&insts);
+        for (inst, (schedule, algo)) in insts.iter().zip(&parallel) {
+            let (seq_schedule, seq_algo) = minbusy::solve_auto(inst);
+            assert_eq!(algo, &seq_algo);
+            assert_eq!(schedule.cost(inst), seq_schedule.cost(inst));
+            schedule.validate_complete(inst).unwrap();
+        }
+    }
+
+    #[test]
+    fn batch_maxthroughput_respects_budgets() {
+        let cases: Vec<(Instance, Duration)> = instances()
+            .into_iter()
+            .map(|i| (i, Duration::new(12)))
+            .collect();
+        let results = solve_maxthroughput_batch(&cases);
+        assert_eq!(results.len(), cases.len());
+        for ((inst, budget), (result, _)) in cases.iter().zip(&results) {
+            result.schedule.validate_budgeted(inst, *budget).unwrap();
+        }
+    }
+
+    #[test]
+    fn map_instances_preserves_order() {
+        let insts = instances();
+        let lens = map_instances(&insts, |i| i.len());
+        assert_eq!(lens, vec![3, 3, 4, 0]);
+    }
+}

@@ -1,0 +1,195 @@
+//! BucketFirstFit (Algorithm 4) and the Theorem 3.3 guarantee.
+//!
+//! Jobs are partitioned into geometric buckets by their `len₁` value: bucket `b` holds
+//! jobs with `ℓ·β^{b−1} ≤ len₁ ≤ ℓ·β^b` where `ℓ` is the shortest `len₁`.  Each bucket is
+//! scheduled on a fresh set of machines with [`super::first_fit_2d`]; inside a bucket the
+//! effective `γ₁` is at most `β`, so FirstFit is a `(6β + 4)`-approximation there, and the
+//! number of buckets is `⌈log_β γ₁⌉`.  With the paper's choice `β = 3.3` this yields the
+//! `min(g, 13.82·log min(γ₁, γ₂) + O(1))` bound of Theorem 3.3.
+//!
+//! The paper assumes `γ₁ ≤ γ₂` without loss of generality; [`bucket_first_fit`] enforces
+//! this by swapping the dimensions when needed (the measure is symmetric under the swap).
+
+use crate::twodim::first_fit::first_fit_2d_in_order;
+use crate::twodim::instance2d::{Instance2d, Schedule2d};
+
+/// The bucket base `β = 3.3` used in the paper to obtain the constant 13.82.
+pub const DEFAULT_BUCKET_BASE: f64 = 3.3;
+
+/// The Theorem 3.3 guarantee `min(g, (6β+4)/log₂β · log₂ γ + O(β))`, reported for the
+/// default base; `gamma_min = min(γ₁, γ₂)`.
+pub fn bucket_first_fit_guarantee(g: usize, gamma_min: f64) -> f64 {
+    let beta = DEFAULT_BUCKET_BASE;
+    let per_bucket = 6.0 * beta + 4.0;
+    let buckets = (gamma_min.max(1.0)).log2() / beta.log2() + 2.0;
+    (g as f64).min(per_bucket * buckets)
+}
+
+/// BucketFirstFit (Algorithm 4) with an explicit base `β ≥ 1`.
+///
+/// Dimensions are swapped internally when `γ₁ > γ₂` so that bucketing happens on the
+/// dimension with the smaller spread, matching the WLOG assumption of the paper.
+pub fn bucket_first_fit(instance: &Instance2d, beta: f64) -> Schedule2d {
+    assert!(beta >= 1.0, "the bucket base must be at least 1");
+    if instance.is_empty() {
+        return Schedule2d::empty(0);
+    }
+    // Work on the orientation with γ₁ ≤ γ₂; the schedule assignment is identical for the
+    // swapped instance because machine groups are orientation-independent.
+    let g1 = instance.gamma(1).unwrap_or(1.0);
+    let g2 = instance.gamma(2).unwrap_or(1.0);
+    let swapped;
+    let work: &Instance2d = if g1 <= g2 {
+        instance
+    } else {
+        swapped = instance.swap_dimensions();
+        &swapped
+    };
+
+    let min_len1 = work
+        .jobs()
+        .iter()
+        .map(|r| r.len_k(1).ticks())
+        .min()
+        .expect("non-empty instance");
+    let gamma1 = work.gamma(1).unwrap_or(1.0);
+    let bucket_count = if gamma1 <= 1.0 {
+        1
+    } else {
+        (gamma1.log2() / beta.log2()).ceil().max(1.0) as usize
+    };
+
+    // Precompute the global non-increasing len₂ order once so that every bucket keeps it.
+    let mut order: Vec<usize> = (0..work.len()).collect();
+    order.sort_by_key(|&j| (std::cmp::Reverse(work.job(j).len_k(2)), j));
+
+    let mut schedule = Schedule2d::empty(work.len());
+    let mut machine_offset = 0usize;
+    for b in 1..=bucket_count {
+        let lo = min_len1 as f64 * beta.powi(b as i32 - 1);
+        let hi = min_len1 as f64 * beta.powi(b as i32);
+        let bucket_jobs: Vec<usize> = order
+            .iter()
+            .copied()
+            .filter(|&j| {
+                let l1 = work.job(j).len_k(1).ticks() as f64;
+                // Bucket 1 starts at exactly ℓ; later buckets are half-open to avoid
+                // double-assigning boundary jobs.  The last bucket has no upper limit so
+                // that floating-point rounding of β^b can never leave a job unassigned.
+                let above = if b == 1 { true } else { l1 > lo };
+                let below = if b == bucket_count { true } else { l1 <= hi };
+                above && below
+            })
+            .collect();
+        if bucket_jobs.is_empty() {
+            continue;
+        }
+        // Schedule the bucket on fresh machines.
+        let sub = Instance2d::new(
+            bucket_jobs.iter().map(|&j| work.job(j)).collect(),
+            work.capacity(),
+        )
+        .expect("capacity already validated");
+        let sub_order: Vec<usize> = (0..sub.len()).collect(); // already in len₂ order
+        let sub_schedule = first_fit_2d_in_order(&sub, &sub_order);
+        let used = sub_schedule.machines_used();
+        for (sub_id, &orig_id) in bucket_jobs.iter().enumerate() {
+            let m = sub_schedule
+                .machine_of(sub_id)
+                .expect("FirstFit schedules every job");
+            schedule.assign(orig_id, machine_offset + m);
+        }
+        machine_offset += used;
+    }
+    schedule
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::twodim::first_fit::first_fit_2d;
+
+    #[test]
+    fn single_bucket_equals_first_fit() {
+        // All len₁ equal → one bucket → identical machine grouping as plain FirstFit.
+        let inst = Instance2d::from_ticks(
+            &[(0, 4, 0, 8), (1, 5, 2, 9), (2, 6, 1, 7), (3, 7, 0, 5)],
+            2,
+        );
+        let bucketed = bucket_first_fit(&inst, DEFAULT_BUCKET_BASE);
+        let plain = first_fit_2d(&inst);
+        bucketed.validate_complete(&inst).unwrap();
+        assert_eq!(bucketed.cost(&inst), plain.cost(&inst));
+    }
+
+    #[test]
+    fn buckets_separate_widely_different_widths() {
+        // Two groups: tiny width 1 and huge width 100.  Heights vary even more, so
+        // dimension 1 is the bucketing dimension (γ₁ = 100 ≤ γ₂ = 200, no swap) and the
+        // two width classes must never share a machine.
+        let mut jobs = Vec::new();
+        for i in 0..4i64 {
+            jobs.push((i * 2, i * 2 + 1, 0, 10 + i)); // width 1, heights 10..13
+        }
+        for i in 0..4i64 {
+            jobs.push((i * 300, i * 300 + 100, 0, 2000)); // width 100, height 2000
+        }
+        let inst = Instance2d::from_ticks(&jobs, 4);
+        assert!(inst.gamma(1).unwrap() <= inst.gamma(2).unwrap());
+        let s = bucket_first_fit(&inst, DEFAULT_BUCKET_BASE);
+        s.validate_complete(&inst).unwrap();
+        // No machine mixes the two width classes.
+        for group in s.machine_groups() {
+            let widths: Vec<i64> = group.iter().map(|&j| inst.job(j).len_k(1).ticks()).collect();
+            assert!(
+                widths.iter().all(|&w| w == 1) || widths.iter().all(|&w| w == 100),
+                "machine mixes width classes: {widths:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn guarantee_holds_on_mixed_instance() {
+        let mut jobs = Vec::new();
+        for i in 0..5i64 {
+            jobs.push((i, i + 2, 0, 6));
+            jobs.push((i * 3, i * 3 + 9, 1, 5));
+        }
+        let inst = Instance2d::from_ticks(&jobs, 3);
+        let s = bucket_first_fit(&inst, DEFAULT_BUCKET_BASE);
+        s.validate_complete(&inst).unwrap();
+        let bound = bucket_first_fit_guarantee(inst.capacity(), inst.gamma_min().unwrap());
+        let ratio = s.cost(&inst) as f64 / inst.lower_bound() as f64;
+        assert!(ratio <= bound + 1e-9, "ratio {ratio} vs bound {bound}");
+    }
+
+    #[test]
+    fn swaps_dimensions_when_gamma1_larger() {
+        // γ₁ = 8, γ₂ = 1: the algorithm must bucket on dimension 2 (after swapping).
+        let inst = Instance2d::from_ticks(&[(0, 1, 0, 4), (0, 8, 1, 5), (2, 4, 2, 6)], 2);
+        assert!(inst.gamma(1).unwrap() > inst.gamma(2).unwrap());
+        let s = bucket_first_fit(&inst, DEFAULT_BUCKET_BASE);
+        s.validate_complete(&inst).unwrap();
+    }
+
+    #[test]
+    fn empty_instance() {
+        let inst = Instance2d::from_ticks(&[], 3);
+        let s = bucket_first_fit(&inst, DEFAULT_BUCKET_BASE);
+        assert_eq!(s.machines_used(), 0);
+    }
+
+    #[test]
+    fn guarantee_is_capped_by_g() {
+        assert!(bucket_first_fit_guarantee(2, 1e9) <= 2.0);
+        assert!(bucket_first_fit_guarantee(100, 1.0) <= 100.0);
+        assert!(bucket_first_fit_guarantee(1000, 2.0) < 1000.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn beta_below_one_rejected() {
+        let inst = Instance2d::from_ticks(&[(0, 1, 0, 1)], 1);
+        let _ = bucket_first_fit(&inst, 0.5);
+    }
+}

@@ -1,0 +1,289 @@
+//! Instances and schedules for the 2-D (rectangular) variant of MinBusy.
+
+use busytime_interval::{gamma, max_cover_depth, total_area, union_area, Area, Rect};
+use serde::{Deserialize, Serialize};
+
+use crate::error::Error;
+use crate::instance::JobId;
+use crate::schedule::MachineId;
+
+/// A 2-D MinBusy instance: rectangular jobs and the machine capacity `g`.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Instance2d {
+    jobs: Vec<Rect>,
+    capacity: usize,
+}
+
+impl Instance2d {
+    /// Create an instance from rectangles and a capacity `g ≥ 1`.
+    pub fn new(jobs: Vec<Rect>, capacity: usize) -> Result<Self, Error> {
+        if capacity == 0 {
+            return Err(Error::InvalidCapacity);
+        }
+        Ok(Instance2d { jobs, capacity })
+    }
+
+    /// Convenience constructor from `(s₁, c₁, s₂, c₂)` tick tuples.
+    ///
+    /// # Panics
+    /// Panics if a rectangle is degenerate or `g = 0`.
+    pub fn from_ticks(jobs: &[(i64, i64, i64, i64)], capacity: usize) -> Self {
+        let jobs = jobs
+            .iter()
+            .map(|&(s1, c1, s2, c2)| Rect::from_ticks(s1, c1, s2, c2))
+            .collect();
+        Instance2d::new(jobs, capacity).expect("capacity must be at least 1")
+    }
+
+    /// The rectangular jobs.
+    pub fn jobs(&self) -> &[Rect] {
+        &self.jobs
+    }
+
+    /// The job with the given id.
+    pub fn job(&self, id: JobId) -> Rect {
+        self.jobs[id]
+    }
+
+    /// Number of jobs.
+    pub fn len(&self) -> usize {
+        self.jobs.len()
+    }
+
+    /// `true` when there are no jobs.
+    pub fn is_empty(&self) -> bool {
+        self.jobs.is_empty()
+    }
+
+    /// The capacity `g`.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Total area of all jobs (`len(J)` in the paper's 2-D notation).
+    pub fn total_area(&self) -> Area {
+        total_area(&self.jobs)
+    }
+
+    /// Area of the union of all jobs (`span(J)`).
+    pub fn span_area(&self) -> Area {
+        union_area(&self.jobs)
+    }
+
+    /// `γ_k`: ratio of the longest to the shortest projection in dimension `k`.
+    pub fn gamma(&self, k: usize) -> Option<f64> {
+        gamma(&self.jobs, k)
+    }
+
+    /// `min(γ₁, γ₂)`, the quantity that drives the Theorem 3.3 guarantee.
+    pub fn gamma_min(&self) -> Option<f64> {
+        match (self.gamma(1), self.gamma(2)) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            _ => None,
+        }
+    }
+
+    /// Lower bounds of Observation 2.1 transplanted to areas:
+    /// `max(⌈total_area/g⌉, span_area)`.
+    pub fn lower_bound(&self) -> Area {
+        let parallelism = {
+            let total = self.total_area();
+            let g = self.capacity as Area;
+            // Signed div_ceil is not yet stable; both operands are non-negative.
+            (total + g - 1) / g
+        };
+        parallelism.max(self.span_area())
+    }
+
+    /// Swap the two dimensions of every job (used to enforce the WLOG `γ₁ ≤ γ₂`
+    /// assumption of Section 3.4).
+    pub fn swap_dimensions(&self) -> Instance2d {
+        Instance2d {
+            jobs: self
+                .jobs
+                .iter()
+                .map(|r| Rect::new(r.dim2(), r.dim1()))
+                .collect(),
+            capacity: self.capacity,
+        }
+    }
+}
+
+/// A complete assignment of rectangular jobs to machines.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Schedule2d {
+    assignment: Vec<Option<MachineId>>,
+}
+
+impl Schedule2d {
+    /// An empty schedule for `n` jobs.
+    pub fn empty(n: usize) -> Self {
+        Schedule2d { assignment: vec![None; n] }
+    }
+
+    /// Assign a job to a machine.
+    pub fn assign(&mut self, job: JobId, machine: MachineId) {
+        self.assignment[job] = Some(machine);
+    }
+
+    /// The machine of a job, if assigned.
+    pub fn machine_of(&self, job: JobId) -> Option<MachineId> {
+        self.assignment.get(job).copied().flatten()
+    }
+
+    /// Jobs grouped per machine (densely re-indexed, in order of first job).
+    pub fn machine_groups(&self) -> Vec<Vec<JobId>> {
+        let mut remap: Vec<Option<usize>> = Vec::new();
+        let mut groups: Vec<Vec<JobId>> = Vec::new();
+        for (j, a) in self.assignment.iter().enumerate() {
+            if let Some(m) = a {
+                if *m >= remap.len() {
+                    remap.resize(m + 1, None);
+                }
+                let dense = *remap[*m].get_or_insert_with(|| {
+                    groups.push(Vec::new());
+                    groups.len() - 1
+                });
+                groups[dense].push(j);
+            }
+        }
+        groups
+    }
+
+    /// Number of machines used.
+    pub fn machines_used(&self) -> usize {
+        self.machine_groups().len()
+    }
+
+    /// Busy area of every machine (union area of its rectangles).
+    pub fn busy_areas(&self, instance: &Instance2d) -> Vec<Area> {
+        self.machine_groups()
+            .iter()
+            .map(|group| {
+                let rects: Vec<Rect> = group.iter().map(|&j| instance.job(j)).collect();
+                union_area(&rects)
+            })
+            .collect()
+    }
+
+    /// Total cost: the sum of machine busy areas.
+    pub fn cost(&self, instance: &Instance2d) -> Area {
+        self.busy_areas(instance).into_iter().sum()
+    }
+
+    /// Validate the schedule: every job assigned, and no machine covering a point with
+    /// more than `g` rectangles.
+    pub fn validate_complete(&self, instance: &Instance2d) -> Result<(), Error> {
+        if self.assignment.len() != instance.len() {
+            return Err(Error::UnknownJob { job: instance.len().min(self.assignment.len()) });
+        }
+        if let Some(job) = (0..instance.len()).find(|&j| self.machine_of(j).is_none()) {
+            return Err(Error::JobUnscheduled { job });
+        }
+        for (machine, group) in self.machine_groups().into_iter().enumerate() {
+            let rects: Vec<Rect> = group.iter().map(|&j| instance.job(j)).collect();
+            let depth = max_cover_depth(&rects);
+            if depth > instance.capacity() {
+                return Err(Error::CapacityExceeded {
+                    machine,
+                    observed: depth,
+                    capacity: instance.capacity(),
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+/// A schedule together with its cost, as returned by the 2-D algorithms.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SolveResult2d {
+    /// The schedule.
+    pub schedule: Schedule2d,
+    /// Its total busy area.
+    pub cost: Area,
+}
+
+impl SolveResult2d {
+    /// Pair a schedule with its cost.
+    pub fn new(schedule: Schedule2d, instance: &Instance2d) -> Self {
+        let cost = schedule.cost(instance);
+        SolveResult2d { schedule, cost }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> Instance2d {
+        Instance2d::from_ticks(&[(0, 4, 0, 4), (2, 6, 2, 6), (10, 12, 0, 2)], 2)
+    }
+
+    #[test]
+    fn instance_measures() {
+        let inst = small();
+        assert_eq!(inst.len(), 3);
+        assert_eq!(inst.total_area(), 16 + 16 + 4);
+        assert_eq!(inst.span_area(), 16 + 16 - 4 + 4);
+        assert_eq!(inst.gamma(1), Some(2.0));
+        assert_eq!(inst.gamma(2), Some(2.0));
+        assert_eq!(inst.gamma_min(), Some(2.0));
+        // Lower bound: max(ceil(36/2), 32) = max(18, 32) = 32.
+        assert_eq!(inst.lower_bound(), 32);
+    }
+
+    #[test]
+    fn zero_capacity_rejected() {
+        assert_eq!(
+            Instance2d::new(vec![Rect::from_ticks(0, 1, 0, 1)], 0).unwrap_err(),
+            Error::InvalidCapacity
+        );
+    }
+
+    #[test]
+    fn schedule_cost_and_validation() {
+        let inst = small();
+        let mut s = Schedule2d::empty(3);
+        s.assign(0, 0);
+        s.assign(1, 0);
+        s.assign(2, 1);
+        s.validate_complete(&inst).unwrap();
+        assert_eq!(s.cost(&inst), (16 + 16 - 4) + 4);
+        assert_eq!(s.machines_used(), 2);
+    }
+
+    #[test]
+    fn missing_job_detected() {
+        let inst = small();
+        let mut s = Schedule2d::empty(3);
+        s.assign(0, 0);
+        s.assign(1, 1);
+        assert_eq!(s.validate_complete(&inst).unwrap_err(), Error::JobUnscheduled { job: 2 });
+    }
+
+    #[test]
+    fn capacity_violation_detected() {
+        // Three mutually overlapping rectangles on one machine with g = 2.
+        let inst = Instance2d::from_ticks(&[(0, 4, 0, 4), (1, 5, 1, 5), (2, 6, 2, 6)], 2);
+        let mut s = Schedule2d::empty(3);
+        for j in 0..3 {
+            s.assign(j, 0);
+        }
+        assert_eq!(
+            s.validate_complete(&inst).unwrap_err(),
+            Error::CapacityExceeded { machine: 0, observed: 3, capacity: 2 }
+        );
+    }
+
+    #[test]
+    fn swap_dimensions_swaps_gamma() {
+        let inst = Instance2d::from_ticks(&[(0, 2, 0, 10), (0, 8, 0, 5)], 2);
+        assert_eq!(inst.gamma(1), Some(4.0));
+        assert_eq!(inst.gamma(2), Some(2.0));
+        let swapped = inst.swap_dimensions();
+        assert_eq!(swapped.gamma(1), Some(2.0));
+        assert_eq!(swapped.gamma(2), Some(4.0));
+        assert_eq!(swapped.total_area(), inst.total_area());
+    }
+}

@@ -1,0 +1,152 @@
+//! Interval-graph helpers: the overlap graph of a job set.
+//!
+//! Section 1 of the paper views the input as an interval graph — one vertex per job, one
+//! edge per overlapping pair.  Section 3.1 additionally weighs each edge `{J_i, J_j}` by
+//! the length of the overlap, which is exactly the saving obtained by putting the two
+//! jobs on the same machine when `g = 2`.
+
+use busytime_interval::{Duration, Interval};
+
+use crate::matching::WeightedEdge;
+
+/// The overlap graph `G_m = (J, E_m)` of Section 3.1: an edge for every overlapping pair,
+/// weighted by the overlap length.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OverlapGraph {
+    n: usize,
+    edges: Vec<WeightedEdge>,
+}
+
+impl OverlapGraph {
+    /// Build the overlap graph of a set of intervals (vertex `i` is `intervals[i]`).
+    ///
+    /// Quadratic in the number of intervals, which matches the sizes for which the
+    /// matching-based algorithm of Lemma 3.1 is run.
+    pub fn build(intervals: &[Interval]) -> Self {
+        let n = intervals.len();
+        let mut edges = Vec::new();
+        for i in 0..n {
+            for j in (i + 1)..n {
+                let ov = intervals[i].overlap_len(&intervals[j]);
+                if ov > Duration::ZERO {
+                    edges.push(WeightedEdge::new(i, j, ov.ticks()));
+                }
+            }
+        }
+        OverlapGraph { n, edges }
+    }
+
+    /// Number of vertices (jobs).
+    pub fn vertex_count(&self) -> usize {
+        self.n
+    }
+
+    /// The weighted edges (one per overlapping pair).
+    pub fn edges(&self) -> &[WeightedEdge] {
+        &self.edges
+    }
+
+    /// Number of edges.
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Is the overlap graph complete (every pair overlaps)?  For interval graphs this is
+    /// equivalent to the job set being a clique set.
+    pub fn is_complete(&self) -> bool {
+        self.n < 2 || self.edges.len() == self.n * (self.n - 1) / 2
+    }
+
+    /// Total edge weight.
+    pub fn total_weight(&self) -> i64 {
+        self.edges.iter().map(|e| e.weight).sum()
+    }
+
+    /// Adjacency list representation: `adj[v]` is the list of `(neighbour, weight)` pairs.
+    pub fn adjacency(&self) -> Vec<Vec<(usize, i64)>> {
+        let mut adj = vec![Vec::new(); self.n];
+        for e in &self.edges {
+            adj[e.u].push((e.v, e.weight));
+            adj[e.v].push((e.u, e.weight));
+        }
+        adj
+    }
+
+    /// Degree of each vertex.
+    pub fn degrees(&self) -> Vec<usize> {
+        let mut deg = vec![0usize; self.n];
+        for e in &self.edges {
+            deg[e.u] += 1;
+            deg[e.v] += 1;
+        }
+        deg
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use busytime_interval::is_clique;
+
+    fn iv(s: i64, c: i64) -> Interval {
+        Interval::from_ticks(s, c)
+    }
+
+    #[test]
+    fn overlap_graph_of_clique_is_complete() {
+        let set = [iv(0, 10), iv(2, 12), iv(4, 9), iv(1, 20)];
+        assert!(is_clique(&set));
+        let g = OverlapGraph::build(&set);
+        assert_eq!(g.vertex_count(), 4);
+        assert!(g.is_complete());
+        assert_eq!(g.edge_count(), 6);
+    }
+
+    #[test]
+    fn edge_weights_are_overlap_lengths() {
+        let set = [iv(0, 10), iv(5, 15), iv(20, 30)];
+        let g = OverlapGraph::build(&set);
+        assert_eq!(g.edge_count(), 1);
+        assert_eq!(g.edges()[0], WeightedEdge::new(0, 1, 5));
+        assert!(!g.is_complete());
+        assert_eq!(g.total_weight(), 5);
+    }
+
+    #[test]
+    fn touching_intervals_are_not_adjacent() {
+        let set = [iv(0, 5), iv(5, 10)];
+        let g = OverlapGraph::build(&set);
+        assert_eq!(g.edge_count(), 0);
+        assert_eq!(g.degrees(), vec![0, 0]);
+    }
+
+    #[test]
+    fn adjacency_is_symmetric() {
+        // [0,6) overlaps both others ([3,6) and [5,6)); [3,9) overlaps [5,12) on [5,9).
+        let set = [iv(0, 6), iv(3, 9), iv(5, 12)];
+        let g = OverlapGraph::build(&set);
+        let adj = g.adjacency();
+        for (v, neighbours) in adj.iter().enumerate() {
+            for &(u, w) in neighbours {
+                assert!(adj[u].contains(&(v, w)));
+            }
+        }
+        assert_eq!(g.degrees(), vec![2, 2, 2]);
+        assert_eq!(g.edge_count(), 3);
+
+        // A chain where the extremes do not overlap.
+        let chain = [iv(0, 4), iv(3, 8), iv(7, 12)];
+        let g = OverlapGraph::build(&chain);
+        assert_eq!(g.degrees(), vec![1, 2, 1]);
+    }
+
+    #[test]
+    fn empty_and_singleton_graphs() {
+        assert_eq!(OverlapGraph::build(&[]).vertex_count(), 0);
+        assert!(OverlapGraph::build(&[]).is_complete());
+        let g = OverlapGraph::build(&[iv(0, 1)]);
+        assert_eq!(g.vertex_count(), 1);
+        assert_eq!(g.edge_count(), 0);
+        assert!(g.is_complete());
+    }
+}

@@ -1,0 +1,991 @@
+//! Maximum-weight matching in general graphs.
+//!
+//! Lemma 3.1 of the paper reduces MinBusy on clique instances with `g = 2` to a
+//! maximum-weight matching problem on the *overlap graph*: vertices are jobs, the weight
+//! of an edge is the length of the overlap of the two jobs, and the saving of a schedule
+//! equals the weight of the matching it induces.  The overlap graph of a clique instance
+//! is complete, so we need matching on **general** (non-bipartite) graphs.
+//!
+//! The implementation below is the classic primal–dual blossom algorithm in the
+//! formulation of Galil ("Efficient algorithms for finding maximum matching in graphs",
+//! 1986), following the widely used reference implementation by Joris van Rantwijk
+//! (`mwmatching.py`).  Running time is `O(n³)`; all arithmetic is on integer weights so
+//! the duals stay exact (they are maintained pre-multiplied by two).
+//!
+//! The module also exposes a brute-force matcher used as ground truth in tests and by the
+//! exact solvers for very small instances.
+
+use std::collections::VecDeque;
+
+/// An undirected weighted edge `(u, v, weight)` between two distinct vertices.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WeightedEdge {
+    /// First endpoint.
+    pub u: usize,
+    /// Second endpoint.
+    pub v: usize,
+    /// Edge weight.  Only non-negative weights are useful for maximum-weight matching
+    /// (negative edges are never part of an optimal matching) but they are accepted.
+    pub weight: i64,
+}
+
+impl WeightedEdge {
+    /// Construct an edge.
+    ///
+    /// # Panics
+    /// Panics on self-loops.
+    pub fn new(u: usize, v: usize, weight: i64) -> Self {
+        assert_ne!(u, v, "matching edges must connect distinct vertices");
+        WeightedEdge { u, v, weight }
+    }
+}
+
+/// The result of a matching computation: `mate[v]` is the partner of `v`, or `None`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Matching {
+    mate: Vec<Option<usize>>,
+    weight: i64,
+}
+
+impl Matching {
+    /// Partner of vertex `v`, if matched.
+    pub fn mate(&self, v: usize) -> Option<usize> {
+        self.mate.get(v).copied().flatten()
+    }
+
+    /// The full mate vector.
+    pub fn mates(&self) -> &[Option<usize>] {
+        &self.mate
+    }
+
+    /// Total weight of the matching.
+    pub fn weight(&self) -> i64 {
+        self.weight
+    }
+
+    /// Number of matched pairs.
+    pub fn len(&self) -> usize {
+        self.mate.iter().flatten().count() / 2
+    }
+
+    /// `true` when no vertex is matched.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The matched pairs, each reported once with `u < v`.
+    pub fn pairs(&self) -> Vec<(usize, usize)> {
+        let mut out = Vec::with_capacity(self.len());
+        for (v, m) in self.mate.iter().enumerate() {
+            if let Some(u) = m {
+                if v < *u {
+                    out.push((v, *u));
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Compute a maximum-weight matching of the given graph.
+///
+/// * `n` — number of vertices (vertices are `0..n`; isolated vertices are allowed).
+/// * `edges` — undirected weighted edges; parallel edges are allowed (only the best one
+///   can ever matter).
+/// * `max_cardinality` — when `true`, only maximum-cardinality matchings are considered
+///   and the heaviest among them is returned.
+///
+/// Runs in `O(n³)` time and `O(n + m)` space.
+pub fn max_weight_matching(n: usize, edges: &[WeightedEdge], max_cardinality: bool) -> Matching {
+    let mut solver = Blossom::new(n, edges, max_cardinality);
+    solver.solve();
+    let mate = solver.mate_vertices();
+    let weight = matching_weight(edges, &mate);
+    Matching { mate, weight }
+}
+
+/// Total weight of the given mate vector with respect to `edges` (each matched pair is
+/// counted once, using the heaviest parallel edge between the pair).
+fn matching_weight(edges: &[WeightedEdge], mate: &[Option<usize>]) -> i64 {
+    let mut best: std::collections::HashMap<(usize, usize), i64> = std::collections::HashMap::new();
+    for e in edges {
+        let key = (e.u.min(e.v), e.u.max(e.v));
+        let entry = best.entry(key).or_insert(i64::MIN);
+        *entry = (*entry).max(e.weight);
+    }
+    let mut total = 0;
+    for (v, m) in mate.iter().enumerate() {
+        if let Some(u) = m {
+            if v < *u {
+                total += best.get(&(v, *u)).copied().unwrap_or(0);
+            }
+        }
+    }
+    total
+}
+
+/// Brute-force maximum-weight matching by exhaustive search over all matchings.
+///
+/// Exponential; intended for graphs with at most ~12 vertices.  Used as ground truth in
+/// the test-suite and by `busytime-exact`.
+pub fn max_weight_matching_brute(n: usize, edges: &[WeightedEdge], max_cardinality: bool) -> Matching {
+    // Adjacency matrix of best weights.
+    let mut w = vec![vec![None::<i64>; n]; n];
+    for e in edges {
+        let cur = w[e.u][e.v];
+        if cur.is_none_or(|c| c < e.weight) {
+            w[e.u][e.v] = Some(e.weight);
+            w[e.v][e.u] = Some(e.weight);
+        }
+    }
+    let mut best_mate: Vec<Option<usize>> = vec![None; n];
+    let mut best_key = (0usize, i64::MIN);
+    let mut mate: Vec<Option<usize>> = vec![None; n];
+
+    fn rec(
+        v: usize,
+        n: usize,
+        w: &[Vec<Option<i64>>],
+        mate: &mut Vec<Option<usize>>,
+        cur_weight: i64,
+        cur_card: usize,
+        best_key: &mut (usize, i64),
+        best_mate: &mut Vec<Option<usize>>,
+        max_cardinality: bool,
+    ) {
+        if v == n {
+            let key = if max_cardinality { (cur_card, cur_weight) } else { (0, cur_weight) };
+            if key > *best_key {
+                *best_key = key;
+                best_mate.clone_from(mate);
+            }
+            return;
+        }
+        if mate[v].is_some() {
+            rec(v + 1, n, w, mate, cur_weight, cur_card, best_key, best_mate, max_cardinality);
+            return;
+        }
+        // Leave v unmatched.
+        rec(v + 1, n, w, mate, cur_weight, cur_card, best_key, best_mate, max_cardinality);
+        // Match v with any later unmatched neighbour.
+        for u in v + 1..n {
+            if mate[u].is_none() {
+                if let Some(wt) = w[v][u] {
+                    mate[v] = Some(u);
+                    mate[u] = Some(v);
+                    rec(v + 1, n, w, mate, cur_weight + wt, cur_card + 1, best_key, best_mate, max_cardinality);
+                    mate[v] = None;
+                    mate[u] = None;
+                }
+            }
+        }
+    }
+    if max_cardinality {
+        best_key = (0, i64::MIN);
+    }
+    rec(0, n, &w, &mut mate, 0, 0, &mut best_key, &mut best_mate, max_cardinality);
+    let weight = matching_weight(edges, &best_mate);
+    Matching { mate: best_mate, weight }
+}
+
+const LABEL_FREE: u8 = 0;
+const LABEL_S: u8 = 1;
+const LABEL_T: u8 = 2;
+const LABEL_CRUMB: u8 = 5;
+
+/// The blossom algorithm state.  Vertices are `0..n`; non-trivial blossoms are
+/// `n..2n`.  Edge endpoints are `2k` and `2k+1` for edge `k`.
+struct Blossom {
+    n: usize,
+    edges: Vec<WeightedEdge>,
+    max_cardinality: bool,
+    endpoint: Vec<usize>,
+    neighbend: Vec<Vec<usize>>,
+    mate: Vec<i64>,
+    label: Vec<u8>,
+    labelend: Vec<i64>,
+    inblossom: Vec<usize>,
+    blossomparent: Vec<i64>,
+    blossomchilds: Vec<Vec<usize>>,
+    blossombase: Vec<i64>,
+    blossomendps: Vec<Vec<usize>>,
+    bestedge: Vec<i64>,
+    blossombestedges: Vec<Vec<usize>>,
+    unusedblossoms: Vec<usize>,
+    dualvar: Vec<i64>,
+    allowedge: Vec<bool>,
+    queue: VecDeque<usize>,
+}
+
+impl Blossom {
+    fn new(n: usize, edges: &[WeightedEdge], max_cardinality: bool) -> Self {
+        let edges: Vec<WeightedEdge> = edges.to_vec();
+        for e in &edges {
+            assert!(e.u < n && e.v < n, "edge endpoint out of range");
+        }
+        let nedge = edges.len();
+        let maxweight = edges.iter().map(|e| e.weight).max().unwrap_or(0).max(0);
+        let mut endpoint = Vec::with_capacity(2 * nedge);
+        for e in &edges {
+            endpoint.push(e.u);
+            endpoint.push(e.v);
+        }
+        let mut neighbend = vec![Vec::new(); n];
+        for (k, e) in edges.iter().enumerate() {
+            neighbend[e.u].push(2 * k + 1);
+            neighbend[e.v].push(2 * k);
+        }
+        Blossom {
+            n,
+            max_cardinality,
+            endpoint,
+            neighbend,
+            mate: vec![-1; n],
+            label: vec![LABEL_FREE; 2 * n],
+            labelend: vec![-1; 2 * n],
+            inblossom: (0..n).collect(),
+            blossomparent: vec![-1; 2 * n],
+            blossomchilds: vec![Vec::new(); 2 * n],
+            blossombase: (0..n as i64).chain(std::iter::repeat_n(-1, n)).collect(),
+            blossomendps: vec![Vec::new(); 2 * n],
+            bestedge: vec![-1; 2 * n],
+            blossombestedges: vec![Vec::new(); 2 * n],
+            unusedblossoms: (n..2 * n).collect(),
+            dualvar: std::iter::repeat_n(maxweight, n)
+                .chain(std::iter::repeat_n(0, n))
+                .collect(),
+            allowedge: vec![false; nedge],
+            queue: VecDeque::new(),
+            edges,
+        }
+    }
+
+    /// 2 × slack of edge `k` (valid only for edges whose endpoints are in distinct
+    /// top-level blossoms).
+    fn slack(&self, k: usize) -> i64 {
+        let e = self.edges[k];
+        self.dualvar[e.u] + self.dualvar[e.v] - 2 * e.weight
+    }
+
+    /// All leaf vertices of (sub-)blossom `b`.
+    fn blossom_leaves(&self, b: usize, out: &mut Vec<usize>) {
+        if b < self.n {
+            out.push(b);
+        } else {
+            for &t in &self.blossomchilds[b] {
+                self.blossom_leaves(t, out);
+            }
+        }
+    }
+
+    fn leaves(&self, b: usize) -> Vec<usize> {
+        let mut out = Vec::new();
+        self.blossom_leaves(b, &mut out);
+        out
+    }
+
+    /// Assign label `t` to the top-level blossom containing vertex `w`, reached through
+    /// the edge with remote endpoint `p` (`-1` for none).
+    fn assign_label(&mut self, w: usize, t: u8, p: i64) {
+        let b = self.inblossom[w];
+        debug_assert!(self.label[w] == LABEL_FREE && self.label[b] == LABEL_FREE);
+        self.label[w] = t;
+        self.label[b] = t;
+        self.labelend[w] = p;
+        self.labelend[b] = p;
+        self.bestedge[w] = -1;
+        self.bestedge[b] = -1;
+        if t == LABEL_S {
+            for v in self.leaves(b) {
+                self.queue.push_back(v);
+            }
+        } else if t == LABEL_T {
+            let base = self.blossombase[b] as usize;
+            debug_assert!(self.mate[base] >= 0);
+            let mate_ep = self.mate[base] as usize;
+            self.assign_label(self.endpoint[mate_ep], LABEL_S, (mate_ep ^ 1) as i64);
+        }
+    }
+
+    /// Trace back from `v` and `w` to discover either a new blossom or an augmenting
+    /// path.  Returns the base vertex of the new blossom, or `-1` if an augmenting path
+    /// was found.
+    fn scan_blossom(&mut self, v: usize, w: usize) -> i64 {
+        let mut path: Vec<usize> = Vec::new();
+        let mut base: i64 = -1;
+        let mut v = v as i64;
+        let mut w = w as i64;
+        while v != -1 || w != -1 {
+            let mut b = self.inblossom[v as usize];
+            if self.label[b] & 4 != 0 {
+                base = self.blossombase[b];
+                break;
+            }
+            debug_assert_eq!(self.label[b], LABEL_S);
+            path.push(b);
+            self.label[b] = LABEL_CRUMB;
+            debug_assert_eq!(self.labelend[b], self.mate[self.blossombase[b] as usize]);
+            if self.labelend[b] == -1 {
+                v = -1;
+            } else {
+                v = self.endpoint[self.labelend[b] as usize] as i64;
+                b = self.inblossom[v as usize];
+                debug_assert_eq!(self.label[b], LABEL_T);
+                debug_assert!(self.labelend[b] >= 0);
+                v = self.endpoint[self.labelend[b] as usize] as i64;
+            }
+            if w != -1 {
+                std::mem::swap(&mut v, &mut w);
+            }
+        }
+        for b in path {
+            self.label[b] = LABEL_S;
+        }
+        base
+    }
+
+    /// Construct a new blossom with the given base, containing edge `k` connecting a pair
+    /// of S-vertices.
+    fn add_blossom(&mut self, base: usize, k: usize) {
+        let e = self.edges[k];
+        let (mut v, mut w) = (e.u, e.v);
+        let bb = self.inblossom[base];
+        let mut bv = self.inblossom[v];
+        let mut bw = self.inblossom[w];
+        let b = self.unusedblossoms.pop().expect("blossom numbers exhausted");
+        self.blossombase[b] = base as i64;
+        self.blossomparent[b] = -1;
+        self.blossomparent[bb] = b as i64;
+        let mut path: Vec<usize> = Vec::new();
+        let mut endps: Vec<usize> = Vec::new();
+        // Trace back from v to base.
+        while bv != bb {
+            self.blossomparent[bv] = b as i64;
+            path.push(bv);
+            endps.push(self.labelend[bv] as usize);
+            debug_assert!(
+                self.label[bv] == LABEL_T
+                    || (self.label[bv] == LABEL_S
+                        && self.labelend[bv] == self.mate[self.blossombase[bv] as usize])
+            );
+            debug_assert!(self.labelend[bv] >= 0);
+            v = self.endpoint[self.labelend[bv] as usize];
+            bv = self.inblossom[v];
+        }
+        path.push(bb);
+        path.reverse();
+        endps.reverse();
+        endps.push(2 * k);
+        // Trace back from w to base.
+        while bw != bb {
+            self.blossomparent[bw] = b as i64;
+            path.push(bw);
+            endps.push((self.labelend[bw] as usize) ^ 1);
+            debug_assert!(
+                self.label[bw] == LABEL_T
+                    || (self.label[bw] == LABEL_S
+                        && self.labelend[bw] == self.mate[self.blossombase[bw] as usize])
+            );
+            debug_assert!(self.labelend[bw] >= 0);
+            w = self.endpoint[self.labelend[bw] as usize];
+            bw = self.inblossom[w];
+        }
+        debug_assert_eq!(self.label[bb], LABEL_S);
+        // Record the blossom structure before relabeling: `leaves(b)` below needs it.
+        self.blossomchilds[b] = path.clone();
+        self.blossomendps[b] = endps;
+        self.label[b] = LABEL_S;
+        self.labelend[b] = self.labelend[bb];
+        self.dualvar[b] = 0;
+        // Relabel vertices.
+        for v in self.leaves(b) {
+            if self.label[self.inblossom[v]] == LABEL_T {
+                self.queue.push_back(v);
+            }
+            self.inblossom[v] = b;
+        }
+        // Compute blossombestedges[b].
+        let mut bestedgeto: Vec<i64> = vec![-1; 2 * self.n];
+        for &bv in &path {
+            let nblists: Vec<Vec<usize>> = if self.blossombestedges[bv].is_empty() {
+                self.leaves(bv)
+                    .into_iter()
+                    .map(|v| self.neighbend[v].iter().map(|&p| p / 2).collect())
+                    .collect()
+            } else {
+                vec![self.blossombestedges[bv].clone()]
+            };
+            for nblist in nblists {
+                for k in nblist {
+                    let e = self.edges[k];
+                    let (_, mut j) = (e.u, e.v);
+                    if self.inblossom[j] == b {
+                        j = e.u;
+                    }
+                    let bj = self.inblossom[j];
+                    if bj != b
+                        && self.label[bj] == LABEL_S
+                        && (bestedgeto[bj] == -1 || self.slack(k) < self.slack(bestedgeto[bj] as usize))
+                    {
+                        bestedgeto[bj] = k as i64;
+                    }
+                }
+            }
+            self.blossombestedges[bv].clear();
+            self.bestedge[bv] = -1;
+        }
+        self.blossombestedges[b] = bestedgeto
+            .into_iter()
+            .filter(|&k| k != -1)
+            .map(|k| k as usize)
+            .collect();
+        self.bestedge[b] = -1;
+        for i in 0..self.blossombestedges[b].len() {
+            let k = self.blossombestedges[b][i];
+            if self.bestedge[b] == -1 || self.slack(k) < self.slack(self.bestedge[b] as usize) {
+                self.bestedge[b] = k as i64;
+            }
+        }
+    }
+
+    /// Expand the given top-level blossom.
+    fn expand_blossom(&mut self, b: usize, endstage: bool) {
+        let childs = self.blossomchilds[b].clone();
+        for &s in &childs {
+            self.blossomparent[s] = -1;
+            if s < self.n {
+                self.inblossom[s] = s;
+            } else if endstage && self.dualvar[s] == 0 {
+                self.expand_blossom(s, endstage);
+            } else {
+                for v in self.leaves(s) {
+                    self.inblossom[v] = s;
+                }
+            }
+        }
+        if !endstage && self.label[b] == LABEL_T {
+            debug_assert!(self.labelend[b] >= 0);
+            let entrychild = self.inblossom[self.endpoint[(self.labelend[b] as usize) ^ 1]];
+            let len = self.blossomchilds[b].len() as i64;
+            let idx = |j: i64| -> usize { (j.rem_euclid(len)) as usize };
+            let mut j = self.blossomchilds[b]
+                .iter()
+                .position(|&c| c == entrychild)
+                .expect("entry child must be a direct child") as i64;
+            let (jstep, endptrick): (i64, i64) = if j & 1 != 0 {
+                j -= len;
+                (1, 0)
+            } else {
+                (-1, 1)
+            };
+            let mut p = self.labelend[b] as usize;
+            while j != 0 {
+                // Relabel the T-sub-blossom.
+                self.label[self.endpoint[p ^ 1]] = LABEL_FREE;
+                let ep = self.blossomendps[b][idx(j - endptrick)];
+                self.label[self.endpoint[ep ^ (endptrick as usize) ^ 1]] = LABEL_FREE;
+                self.assign_label(self.endpoint[p ^ 1], LABEL_T, p as i64);
+                // Step to the next S-sub-blossom and note its forward endpoint.
+                self.allowedge[self.blossomendps[b][idx(j - endptrick)] / 2] = true;
+                j += jstep;
+                p = self.blossomendps[b][idx(j - endptrick)] ^ (endptrick as usize);
+                // Step to the next T-sub-blossom.
+                self.allowedge[p / 2] = true;
+                j += jstep;
+            }
+            // Relabel the base T-sub-blossom without stepping through to its mate.
+            let bv = self.blossomchilds[b][idx(j)];
+            self.label[self.endpoint[p ^ 1]] = LABEL_T;
+            self.label[bv] = LABEL_T;
+            self.labelend[self.endpoint[p ^ 1]] = p as i64;
+            self.labelend[bv] = p as i64;
+            self.bestedge[bv] = -1;
+            // Continue along the blossom until we get back to entrychild.
+            j += jstep;
+            while self.blossomchilds[b][idx(j)] != entrychild {
+                let bv = self.blossomchilds[b][idx(j)];
+                if self.label[bv] == LABEL_S {
+                    j += jstep;
+                    continue;
+                }
+                let mut reached: Option<usize> = None;
+                for v in self.leaves(bv) {
+                    if self.label[v] != LABEL_FREE {
+                        reached = Some(v);
+                        break;
+                    }
+                }
+                if let Some(v) = reached {
+                    debug_assert_eq!(self.label[v], LABEL_T);
+                    debug_assert_eq!(self.inblossom[v], bv);
+                    self.label[v] = LABEL_FREE;
+                    let base = self.blossombase[bv] as usize;
+                    self.label[self.endpoint[self.mate[base] as usize]] = LABEL_FREE;
+                    let le = self.labelend[v];
+                    self.assign_label(v, LABEL_T, le);
+                }
+                j += jstep;
+            }
+        }
+        // Recycle the blossom number.
+        self.label[b] = LABEL_FREE;
+        self.labelend[b] = -1;
+        self.blossomchilds[b].clear();
+        self.blossomendps[b].clear();
+        self.blossombase[b] = -1;
+        self.blossombestedges[b].clear();
+        self.bestedge[b] = -1;
+        self.unusedblossoms.push(b);
+    }
+
+    /// Swap matched/unmatched edges over an alternating path through blossom `b` between
+    /// vertex `v` and the base vertex.
+    fn augment_blossom(&mut self, b: usize, v: usize) {
+        // Bubble up through the blossom tree from v to an immediate sub-blossom of b.
+        let mut t = v;
+        while self.blossomparent[t] != b as i64 {
+            t = self.blossomparent[t] as usize;
+        }
+        if t >= self.n {
+            self.augment_blossom(t, v);
+        }
+        let len = self.blossomchilds[b].len() as i64;
+        let idx = |j: i64| -> usize { (j.rem_euclid(len)) as usize };
+        let i = self.blossomchilds[b]
+            .iter()
+            .position(|&c| c == t)
+            .expect("sub-blossom must be a child") as i64;
+        let mut j = i;
+        let (jstep, endptrick): (i64, i64) = if i & 1 != 0 {
+            j -= len;
+            (1, 0)
+        } else {
+            (-1, 1)
+        };
+        while j != 0 {
+            j += jstep;
+            let t = self.blossomchilds[b][idx(j)];
+            let p = self.blossomendps[b][idx(j - endptrick)] ^ (endptrick as usize);
+            if t >= self.n {
+                self.augment_blossom(t, self.endpoint[p]);
+            }
+            j += jstep;
+            let t = self.blossomchilds[b][idx(j)];
+            if t >= self.n {
+                self.augment_blossom(t, self.endpoint[p ^ 1]);
+            }
+            self.mate[self.endpoint[p]] = (p ^ 1) as i64;
+            self.mate[self.endpoint[p ^ 1]] = p as i64;
+        }
+        // Rotate the list of sub-blossoms to put the new base at the front.
+        let i = i as usize;
+        self.blossomchilds[b].rotate_left(i);
+        self.blossomendps[b].rotate_left(i);
+        self.blossombase[b] = self.blossombase[self.blossomchilds[b][0]];
+        debug_assert_eq!(self.blossombase[b], v as i64);
+    }
+
+    /// Swap matched/unmatched edges over an alternating path between two single vertices,
+    /// running through edge `k` which connects a pair of S-vertices.
+    fn augment_matching(&mut self, k: usize) {
+        let e = self.edges[k];
+        for (s0, p0) in [(e.u, 2 * k + 1), (e.v, 2 * k)] {
+            let mut s = s0;
+            let mut p = p0;
+            loop {
+                let bs = self.inblossom[s];
+                debug_assert_eq!(self.label[bs], LABEL_S);
+                debug_assert_eq!(self.labelend[bs], self.mate[self.blossombase[bs] as usize]);
+                if bs >= self.n {
+                    self.augment_blossom(bs, s);
+                }
+                self.mate[s] = p as i64;
+                if self.labelend[bs] == -1 {
+                    break;
+                }
+                let t = self.endpoint[self.labelend[bs] as usize];
+                let bt = self.inblossom[t];
+                debug_assert_eq!(self.label[bt], LABEL_T);
+                debug_assert!(self.labelend[bt] >= 0);
+                s = self.endpoint[self.labelend[bt] as usize];
+                let j = self.endpoint[(self.labelend[bt] as usize) ^ 1];
+                debug_assert_eq!(self.blossombase[bt], t as i64);
+                if bt >= self.n {
+                    self.augment_blossom(bt, j);
+                }
+                self.mate[j] = self.labelend[bt];
+                p = (self.labelend[bt] as usize) ^ 1;
+            }
+        }
+    }
+
+    fn solve(&mut self) {
+        if self.edges.is_empty() || self.n == 0 {
+            return;
+        }
+        let n = self.n;
+        for _ in 0..n {
+            // Stage.
+            self.label.iter_mut().for_each(|l| *l = LABEL_FREE);
+            self.bestedge.iter_mut().for_each(|b| *b = -1);
+            for b in n..2 * n {
+                self.blossombestedges[b].clear();
+            }
+            self.allowedge.iter_mut().for_each(|a| *a = false);
+            self.queue.clear();
+
+            for v in 0..n {
+                if self.mate[v] == -1 && self.label[self.inblossom[v]] == LABEL_FREE {
+                    self.assign_label(v, LABEL_S, -1);
+                }
+            }
+
+            let mut augmented = false;
+            loop {
+                // Substage.
+                while let Some(v) = self.queue.pop_back() {
+                    if augmented {
+                        break;
+                    }
+                    debug_assert_eq!(self.label[self.inblossom[v]], LABEL_S);
+                    let neighbours = self.neighbend[v].clone();
+                    for p in neighbours {
+                        let k = p / 2;
+                        let w = self.endpoint[p];
+                        if self.inblossom[v] == self.inblossom[w] {
+                            continue;
+                        }
+                        let mut kslack = 0;
+                        if !self.allowedge[k] {
+                            kslack = self.slack(k);
+                            if kslack <= 0 {
+                                self.allowedge[k] = true;
+                            }
+                        }
+                        if self.allowedge[k] {
+                            if self.label[self.inblossom[w]] == LABEL_FREE {
+                                self.assign_label(w, LABEL_T, (p ^ 1) as i64);
+                            } else if self.label[self.inblossom[w]] == LABEL_S {
+                                let base = self.scan_blossom(v, w);
+                                if base >= 0 {
+                                    self.add_blossom(base as usize, k);
+                                } else {
+                                    self.augment_matching(k);
+                                    augmented = true;
+                                    break;
+                                }
+                            } else if self.label[w] == LABEL_FREE {
+                                debug_assert_eq!(self.label[self.inblossom[w]], LABEL_T);
+                                self.label[w] = LABEL_T;
+                                self.labelend[w] = (p ^ 1) as i64;
+                            }
+                        } else if self.label[self.inblossom[w]] == LABEL_S {
+                            let b = self.inblossom[v];
+                            if self.bestedge[b] == -1 || kslack < self.slack(self.bestedge[b] as usize) {
+                                self.bestedge[b] = k as i64;
+                            }
+                        } else if self.label[w] == LABEL_FREE
+                            && (self.bestedge[w] == -1 || kslack < self.slack(self.bestedge[w] as usize))
+                        {
+                            self.bestedge[w] = k as i64;
+                        }
+                    }
+                    if augmented {
+                        break;
+                    }
+                }
+                if augmented {
+                    break;
+                }
+
+                // No augmenting path under these constraints; update duals.
+                let mut deltatype: i32 = -1;
+                let mut delta: i64 = 0;
+                let mut deltaedge: i64 = -1;
+                let mut deltablossom: i64 = -1;
+
+                if !self.max_cardinality {
+                    deltatype = 1;
+                    delta = self.dualvar[..n].iter().copied().min().unwrap_or(0);
+                }
+
+                for v in 0..n {
+                    if self.label[self.inblossom[v]] == LABEL_FREE && self.bestedge[v] != -1 {
+                        let d = self.slack(self.bestedge[v] as usize);
+                        if deltatype == -1 || d < delta {
+                            delta = d;
+                            deltatype = 2;
+                            deltaedge = self.bestedge[v];
+                        }
+                    }
+                }
+
+                for b in 0..2 * n {
+                    if self.blossomparent[b] == -1 && self.label[b] == LABEL_S && self.bestedge[b] != -1 {
+                        let kslack = self.slack(self.bestedge[b] as usize);
+                        debug_assert_eq!(kslack % 2, 0);
+                        let d = kslack / 2;
+                        if deltatype == -1 || d < delta {
+                            delta = d;
+                            deltatype = 3;
+                            deltaedge = self.bestedge[b];
+                        }
+                    }
+                }
+
+                for b in n..2 * n {
+                    if self.blossombase[b] >= 0
+                        && self.blossomparent[b] == -1
+                        && self.label[b] == LABEL_T
+                        && (deltatype == -1 || self.dualvar[b] < delta)
+                    {
+                        delta = self.dualvar[b];
+                        deltatype = 4;
+                        deltablossom = b as i64;
+                    }
+                }
+
+                if deltatype == -1 {
+                    // No further improvement possible; max-cardinality optimum reached.
+                    debug_assert!(self.max_cardinality);
+                    deltatype = 1;
+                    delta = self.dualvar[..n].iter().copied().min().unwrap_or(0).max(0);
+                }
+
+                // Update dual variables.
+                for v in 0..n {
+                    match self.label[self.inblossom[v]] {
+                        LABEL_S => self.dualvar[v] -= delta,
+                        LABEL_T => self.dualvar[v] += delta,
+                        _ => {}
+                    }
+                }
+                for b in n..2 * n {
+                    if self.blossombase[b] >= 0 && self.blossomparent[b] == -1 {
+                        match self.label[b] {
+                            LABEL_S => self.dualvar[b] += delta,
+                            LABEL_T => self.dualvar[b] -= delta,
+                            _ => {}
+                        }
+                    }
+                }
+
+                match deltatype {
+                    1 => break,
+                    2 => {
+                        self.allowedge[deltaedge as usize] = true;
+                        let e = self.edges[deltaedge as usize];
+                        let i = if self.label[self.inblossom[e.u]] == LABEL_FREE {
+                            e.v
+                        } else {
+                            e.u
+                        };
+                        debug_assert_eq!(self.label[self.inblossom[i]], LABEL_S);
+                        self.queue.push_back(i);
+                    }
+                    3 => {
+                        self.allowedge[deltaedge as usize] = true;
+                        let e = self.edges[deltaedge as usize];
+                        debug_assert_eq!(self.label[self.inblossom[e.u]], LABEL_S);
+                        self.queue.push_back(e.u);
+                    }
+                    4 => {
+                        self.expand_blossom(deltablossom as usize, false);
+                    }
+                    _ => unreachable!("invalid delta type"),
+                }
+            }
+
+            if !augmented {
+                break;
+            }
+
+            // End of stage: expand all S-blossoms with zero dual.
+            for b in n..2 * n {
+                if self.blossomparent[b] == -1
+                    && self.blossombase[b] >= 0
+                    && self.label[b] == LABEL_S
+                    && self.dualvar[b] == 0
+                {
+                    self.expand_blossom(b, true);
+                }
+            }
+        }
+    }
+
+    /// Convert the internal endpoint-based mate array into a vertex-based one.
+    fn mate_vertices(&self) -> Vec<Option<usize>> {
+        let mut out = vec![None; self.n];
+        for v in 0..self.n {
+            if self.mate[v] >= 0 {
+                out[v] = Some(self.endpoint[self.mate[v] as usize]);
+            }
+        }
+        for v in 0..self.n {
+            if let Some(u) = out[v] {
+                debug_assert_eq!(out[u], Some(v), "mate array must be symmetric");
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn e(u: usize, v: usize, w: i64) -> WeightedEdge {
+        WeightedEdge::new(u, v, w)
+    }
+
+    fn solve(n: usize, edges: &[WeightedEdge]) -> Matching {
+        max_weight_matching(n, edges, false)
+    }
+
+    #[test]
+    fn empty_graph() {
+        let m = solve(0, &[]);
+        assert_eq!(m.weight(), 0);
+        assert!(m.is_empty());
+        let m = solve(5, &[]);
+        assert_eq!(m.len(), 0);
+    }
+
+    #[test]
+    fn single_edge() {
+        let m = solve(2, &[e(0, 1, 7)]);
+        assert_eq!(m.pairs(), vec![(0, 1)]);
+        assert_eq!(m.weight(), 7);
+    }
+
+    #[test]
+    fn prefers_heavy_single_edge_over_two_light() {
+        // Path 0-1-2-3 with middle edge heavier than the two outer edges combined.
+        let m = solve(4, &[e(0, 1, 2), e(1, 2, 10), e(2, 3, 2)]);
+        assert_eq!(m.pairs(), vec![(1, 2)]);
+        assert_eq!(m.weight(), 10);
+    }
+
+    #[test]
+    fn prefers_two_edges_when_heavier() {
+        let m = solve(4, &[e(0, 1, 6), e(1, 2, 10), e(2, 3, 6)]);
+        assert_eq!(m.pairs(), vec![(0, 1), (2, 3)]);
+        assert_eq!(m.weight(), 12);
+    }
+
+    #[test]
+    fn triangle_picks_heaviest_edge() {
+        let m = solve(3, &[e(0, 1, 5), e(1, 2, 6), e(0, 2, 4)]);
+        assert_eq!(m.weight(), 6);
+        assert_eq!(m.pairs(), vec![(1, 2)]);
+    }
+
+    /// The classic case where a greedy algorithm fails but blossom shrinking is needed:
+    /// create nested structure with an odd cycle (from the mwmatching test-suite).
+    #[test]
+    fn blossom_with_augmenting_path() {
+        // Test taken from van Rantwijk's test14_maxcard-like structures.
+        let edges = [e(1, 2, 9), e(1, 3, 8), e(2, 3, 10), e(1, 4, 5), e(4, 5, 4), e(1, 6, 3)];
+        let m = solve(7, &edges);
+        let brute = max_weight_matching_brute(7, &edges, false);
+        assert_eq!(m.weight(), brute.weight());
+    }
+
+    #[test]
+    fn s_blossom_and_use_for_augmentation() {
+        // van Rantwijk test15: create S-blossom and use it for augmentation.
+        let edges = [e(1, 2, 8), e(1, 3, 9), e(2, 3, 10), e(3, 4, 7)];
+        let m = solve(5, &edges);
+        assert_eq!(m.weight(), 8 + 7);
+        assert_eq!(m.mate(1), Some(2));
+        assert_eq!(m.mate(3), Some(4));
+
+        // With two extra pendant edges the optimum switches to using the blossom edge
+        // (2,3) plus both pendants: 10 + 6 + 5.
+        let edges2 = [e(1, 2, 8), e(1, 3, 9), e(2, 3, 10), e(3, 4, 7), e(1, 6, 5), e(4, 5, 6)];
+        let m2 = solve(7, &edges2);
+        let brute2 = max_weight_matching_brute(7, &edges2, false);
+        assert_eq!(m2.weight(), brute2.weight());
+        assert_eq!(m2.weight(), 10 + 6 + 5);
+    }
+
+    #[test]
+    fn t_blossom_expansion_cases() {
+        // van Rantwijk test20: create blossom, relabel as T in more than one way, expand.
+        let edges = [
+            e(1, 2, 9), e(1, 3, 8), e(2, 3, 10), e(1, 4, 5), e(4, 5, 4), e(1, 6, 3),
+        ];
+        let m = solve(7, &edges);
+        let brute = max_weight_matching_brute(7, &edges, false);
+        assert_eq!(m.weight(), brute.weight());
+
+        // test21: create blossom, relabel as T, expand such that a new least-slack edge is used.
+        let edges = [
+            e(1, 2, 23), e(1, 5, 22), e(1, 6, 15), e(2, 3, 25), e(3, 4, 22), e(4, 5, 25), e(4, 8, 14), e(5, 7, 13),
+        ];
+        let m = solve(9, &edges);
+        let brute = max_weight_matching_brute(9, &edges, false);
+        assert_eq!(m.weight(), brute.weight());
+    }
+
+    #[test]
+    fn nested_s_blossom_expansion() {
+        // van Rantwijk test24: create nested S-blossom, augment, expand recursively.
+        let edges = [
+            e(1, 2, 19), e(1, 3, 20), e(1, 8, 8), e(2, 3, 25), e(2, 4, 18),
+            e(3, 5, 18), e(4, 5, 13), e(4, 7, 7), e(5, 6, 7),
+        ];
+        let m = solve(9, &edges);
+        let brute = max_weight_matching_brute(9, &edges, false);
+        assert_eq!(m.weight(), brute.weight());
+    }
+
+    #[test]
+    fn max_cardinality_flag() {
+        // Without max-cardinality the lone light edge may be dropped; with it, it must be used.
+        let edges = [e(0, 1, 10), e(1, 2, 1)];
+        let m = max_weight_matching(3, &edges, false);
+        assert_eq!(m.len(), 1);
+        assert_eq!(m.weight(), 10);
+        let mc = max_weight_matching(3, &edges, true);
+        assert_eq!(mc.len(), 1, "only one edge can be in any matching here");
+
+        let edges = [e(0, 1, 2), e(1, 2, 100), e(2, 3, 2)];
+        let mc = max_weight_matching(4, &edges, true);
+        assert_eq!(mc.len(), 2);
+        assert_eq!(mc.weight(), 4);
+        let m = max_weight_matching(4, &edges, false);
+        assert_eq!(m.weight(), 100);
+    }
+
+    #[test]
+    fn brute_force_agrees_on_complete_k6() {
+        // Complete graph on 6 vertices with deterministic pseudo-random weights.
+        let mut edges = Vec::new();
+        let mut seed: i64 = 0x2545F491;
+        for u in 0..6usize {
+            for v in (u + 1)..6 {
+                seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                let w = (seed >> 33).abs() % 100;
+                edges.push(e(u, v, w));
+            }
+        }
+        let fast = solve(6, &edges);
+        let brute = max_weight_matching_brute(6, &edges, false);
+        assert_eq!(fast.weight(), brute.weight());
+    }
+
+    #[test]
+    fn negative_weight_edges_are_never_used() {
+        let edges = [e(0, 1, -5), e(2, 3, 4)];
+        let m = solve(4, &edges);
+        assert_eq!(m.pairs(), vec![(2, 3)]);
+        assert_eq!(m.weight(), 4);
+    }
+
+    #[test]
+    #[should_panic]
+    fn self_loop_rejected() {
+        let _ = WeightedEdge::new(3, 3, 1);
+    }
+}

@@ -1,0 +1,132 @@
+//! Property-based validation of the blossom maximum-weight matching implementation
+//! against exhaustive search, on random small graphs of several densities, plus
+//! structural invariants that must hold on larger random graphs.
+
+use busytime_graph::{max_weight_matching, max_weight_matching_brute, WeightedEdge};
+use proptest::prelude::*;
+
+/// Random graph strategy: up to `max_n` vertices with each possible edge present with
+/// roughly the given density and a small random weight.
+fn graph_strategy(max_n: usize) -> impl Strategy<Value = (usize, Vec<WeightedEdge>)> {
+    (2usize..=max_n).prop_flat_map(|n| {
+        let pairs: Vec<(usize, usize)> = (0..n)
+            .flat_map(|u| ((u + 1)..n).map(move |v| (u, v)))
+            .collect();
+        let m = pairs.len();
+        (
+            Just(n),
+            prop::collection::vec((any::<bool>(), 0i64..50), m).prop_map(move |choices| {
+                pairs
+                    .iter()
+                    .zip(choices)
+                    .filter(|(_, (present, _))| *present)
+                    .map(|(&(u, v), (_, w))| WeightedEdge::new(u, v, w))
+                    .collect::<Vec<_>>()
+            }),
+        )
+    })
+}
+
+/// Complete graph strategy (the shape produced by clique instances of the paper).
+fn complete_graph_strategy(max_n: usize) -> impl Strategy<Value = (usize, Vec<WeightedEdge>)> {
+    (2usize..=max_n).prop_flat_map(|n| {
+        let pairs: Vec<(usize, usize)> = (0..n)
+            .flat_map(|u| ((u + 1)..n).map(move |v| (u, v)))
+            .collect();
+        let m = pairs.len();
+        (
+            Just(n),
+            prop::collection::vec(0i64..100, m).prop_map(move |ws| {
+                pairs
+                    .iter()
+                    .zip(ws)
+                    .map(|(&(u, v), w)| WeightedEdge::new(u, v, w))
+                    .collect::<Vec<_>>()
+            }),
+        )
+    })
+}
+
+fn is_valid_matching(n: usize, edges: &[WeightedEdge], mates: &[Option<usize>]) -> bool {
+    if mates.len() != n {
+        return false;
+    }
+    for (v, m) in mates.iter().enumerate() {
+        if let Some(u) = m {
+            if *u >= n || mates[*u] != Some(v) || *u == v {
+                return false;
+            }
+            if !edges.iter().any(|e| (e.u == v && e.v == *u) || (e.u == *u && e.v == v)) {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// On sparse random graphs the blossom result equals exhaustive search.
+    #[test]
+    fn blossom_matches_brute_force_sparse((n, edges) in graph_strategy(8)) {
+        let fast = max_weight_matching(n, &edges, false);
+        let brute = max_weight_matching_brute(n, &edges, false);
+        prop_assert!(is_valid_matching(n, &edges, fast.mates()));
+        prop_assert_eq!(fast.weight(), brute.weight());
+    }
+
+    /// On complete graphs (the clique-instance shape) the blossom result equals
+    /// exhaustive search.
+    #[test]
+    fn blossom_matches_brute_force_complete((n, edges) in complete_graph_strategy(8)) {
+        let fast = max_weight_matching(n, &edges, false);
+        let brute = max_weight_matching_brute(n, &edges, false);
+        prop_assert!(is_valid_matching(n, &edges, fast.mates()));
+        prop_assert_eq!(fast.weight(), brute.weight());
+    }
+
+    /// Maximum-cardinality mode: cardinality equals the brute-force maximum cardinality,
+    /// and among those the weight is maximal.
+    #[test]
+    fn blossom_max_cardinality_matches_brute((n, edges) in graph_strategy(7)) {
+        let fast = max_weight_matching(n, &edges, true);
+        let brute = max_weight_matching_brute(n, &edges, true);
+        prop_assert!(is_valid_matching(n, &edges, fast.mates()));
+        prop_assert_eq!(fast.len(), brute.len());
+        prop_assert_eq!(fast.weight(), brute.weight());
+    }
+
+    /// Structural invariants on larger graphs where brute force is infeasible:
+    /// validity, non-negative weight, and weight at least that of a greedy matching.
+    #[test]
+    fn blossom_beats_greedy_on_larger_graphs((n, edges) in complete_graph_strategy(16)) {
+        let fast = max_weight_matching(n, &edges, false);
+        prop_assert!(is_valid_matching(n, &edges, fast.mates()));
+        // Greedy: repeatedly take the heaviest edge between two unmatched vertices.
+        let mut sorted = edges.clone();
+        sorted.sort_by_key(|e| std::cmp::Reverse(e.weight));
+        let mut taken = vec![false; n];
+        let mut greedy_weight = 0i64;
+        for e in &sorted {
+            if !taken[e.u] && !taken[e.v] && e.weight > 0 {
+                taken[e.u] = true;
+                taken[e.v] = true;
+                greedy_weight += e.weight;
+            }
+        }
+        prop_assert!(fast.weight() >= greedy_weight);
+    }
+
+    /// Scaling all weights by a positive constant scales the optimum by the same constant.
+    #[test]
+    fn blossom_weight_scaling((n, edges) in graph_strategy(7), factor in 1i64..5) {
+        let base = max_weight_matching(n, &edges, false);
+        let scaled_edges: Vec<WeightedEdge> = edges
+            .iter()
+            .map(|e| WeightedEdge::new(e.u, e.v, e.weight * factor))
+            .collect();
+        let scaled = max_weight_matching(n, &scaled_edges, false);
+        prop_assert_eq!(scaled.weight(), base.weight() * factor);
+    }
+}

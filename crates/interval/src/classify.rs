@@ -1,0 +1,221 @@
+//! Classification of interval sets into the special instance classes studied by the paper.
+//!
+//! * **clique set** — there is a time common to all intervals (Section 2); equivalently the
+//!   corresponding interval graph is a clique.
+//! * **one-sided clique** — a clique set in which all intervals share the same start time
+//!   or all share the same completion time.
+//! * **proper set** — no interval properly contains another (then sorting by start also
+//!   sorts by completion, Property 3.1).
+//! * connected components of the interval graph (MinBusy decomposes over them).
+
+use crate::interval::Interval;
+use crate::span::common_point;
+use crate::time::Time;
+use serde::{Deserialize, Serialize};
+
+/// Which special structure an interval set exhibits.  The classes are not mutually
+/// exclusive (e.g. a proper clique instance is both proper and a clique); this struct
+/// reports each property independently.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Classification {
+    /// All intervals share a common time point.
+    pub clique: bool,
+    /// All intervals share a common start, or all share a common completion time.
+    pub one_sided: bool,
+    /// No interval properly contains another.
+    pub proper: bool,
+    /// The interval graph is connected.
+    pub connected: bool,
+}
+
+impl Classification {
+    /// A proper clique instance (Sections 3.3 and 4.2).
+    pub fn is_proper_clique(&self) -> bool {
+        self.proper && self.clique
+    }
+}
+
+/// Is the set a clique set, i.e. is there a time common to all intervals?
+pub fn is_clique(intervals: &[Interval]) -> bool {
+    intervals.is_empty() || common_point(intervals).is_some()
+}
+
+/// Is the set one-sided: all starts equal, or all completions equal?
+///
+/// The paper defines one-sided instances as clique instances with this property; a set
+/// with all starts equal is automatically a clique set, so no separate clique check is
+/// needed.
+pub fn is_one_sided(intervals: &[Interval]) -> bool {
+    if intervals.len() <= 1 {
+        return true;
+    }
+    let first = intervals[0];
+    intervals.iter().all(|iv| iv.start() == first.start())
+        || intervals.iter().all(|iv| iv.end() == first.end())
+}
+
+/// Is the set proper, i.e. does no interval properly contain another?
+///
+/// Checked in `O(n log n)` by sorting: in a sorted-by-(start, end) list, a proper
+/// containment exists iff some interval ends strictly after a later-starting interval, or
+/// two intervals share a start with different ends.
+pub fn is_proper(intervals: &[Interval]) -> bool {
+    if intervals.len() <= 1 {
+        return true;
+    }
+    let mut sorted = intervals.to_vec();
+    sorted.sort();
+    // After sorting by (start, end): set is proper iff ends are also non-decreasing AND
+    // no pair has equal start but different end (the latter is containment) AND no pair
+    // has different start but equal end.  Checking non-decreasing ends catches
+    // "later start, earlier-or-equal end" which covers both strict cases; equal intervals
+    // are allowed (they contain each other, but not *properly*).
+    for w in sorted.windows(2) {
+        let (a, b) = (w[0], w[1]);
+        if a.properly_contains(&b) || b.properly_contains(&a) {
+            return false;
+        }
+        if b.end() < a.end() {
+            // b starts no earlier than a and ends strictly earlier: a properly contains b.
+            return false;
+        }
+        if a.start() == b.start() && a.end() != b.end() {
+            return false;
+        }
+        if a.end() == b.end() && a.start() != b.start() {
+            return false;
+        }
+    }
+    // windows(2) only compares neighbours, but with the sort order that is sufficient:
+    // ends non-decreasing overall follows by induction, and equal-start (equal-end) runs
+    // are contiguous after sorting.
+    let mut prev_end = sorted[0].end();
+    for iv in &sorted[1..] {
+        if iv.end() < prev_end {
+            return false;
+        }
+        prev_end = iv.end();
+    }
+    true
+}
+
+/// Is the interval graph of the set connected?
+///
+/// Note the graph semantics: intervals that merely touch (`[0,4)` and `[4,8)`) do **not**
+/// overlap, hence do not connect — this differs from [`union`](crate::union), which merges
+/// touching intervals into one busy stretch.
+pub fn is_connected(intervals: &[Interval]) -> bool {
+    connected_components(intervals).len() <= 1
+}
+
+/// Full classification of a set of intervals.
+pub fn classify(intervals: &[Interval]) -> Classification {
+    Classification {
+        clique: is_clique(intervals),
+        one_sided: is_clique(intervals) && is_one_sided(intervals),
+        proper: is_proper(intervals),
+        connected: is_connected(intervals),
+    }
+}
+
+/// Partition indices of the intervals into connected components of the interval graph.
+///
+/// Two intervals are adjacent when they overlap (intersection of positive length).
+/// MinBusy decomposes over connected components (Section 2), so solvers can be run per
+/// component.  Components are returned sorted by their leftmost start time, and within a
+/// component indices are sorted by `(start, end, index)`.
+pub fn connected_components(intervals: &[Interval]) -> Vec<Vec<usize>> {
+    if intervals.is_empty() {
+        return Vec::new();
+    }
+    let mut order: Vec<usize> = (0..intervals.len()).collect();
+    order.sort_by_key(|&i| (intervals[i].start(), intervals[i].end(), i));
+    let mut components: Vec<Vec<usize>> = Vec::new();
+    let mut current: Vec<usize> = vec![order[0]];
+    let mut reach: Time = intervals[order[0]].end();
+    for &i in &order[1..] {
+        let iv = intervals[i];
+        if iv.start() < reach {
+            // Overlaps the current component (touching does not connect).
+            current.push(i);
+            reach = reach.max(iv.end());
+        } else {
+            components.push(std::mem::take(&mut current));
+            current.push(i);
+            reach = iv.end();
+        }
+    }
+    components.push(current);
+    components
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn iv(s: i64, c: i64) -> Interval {
+        Interval::from_ticks(s, c)
+    }
+
+    #[test]
+    fn clique_detection() {
+        assert!(is_clique(&[]));
+        assert!(is_clique(&[iv(0, 10), iv(5, 15), iv(9, 12)]));
+        // Pairwise overlapping on a line implies a common point (Helly).
+        assert!(!is_clique(&[iv(0, 5), iv(4, 9), iv(8, 12)]));
+        assert!(!is_clique(&[iv(0, 2), iv(2, 4)]));
+    }
+
+    #[test]
+    fn one_sided_detection() {
+        assert!(is_one_sided(&[iv(0, 3), iv(0, 7), iv(0, 5)]));
+        assert!(is_one_sided(&[iv(1, 9), iv(4, 9), iv(0, 9)]));
+        assert!(!is_one_sided(&[iv(0, 3), iv(1, 7)]));
+        assert!(is_one_sided(&[iv(2, 5)]));
+        assert!(is_one_sided(&[]));
+    }
+
+    #[test]
+    fn proper_detection() {
+        assert!(is_proper(&[]));
+        assert!(is_proper(&[iv(0, 4)]));
+        assert!(is_proper(&[iv(0, 4), iv(1, 5), iv(2, 6)]));
+        // Duplicates contain each other but not properly.
+        assert!(is_proper(&[iv(0, 4), iv(0, 4)]));
+        assert!(!is_proper(&[iv(0, 10), iv(2, 8)]));
+        assert!(!is_proper(&[iv(0, 10), iv(0, 8)]), "same start, nested end");
+        assert!(!is_proper(&[iv(0, 10), iv(3, 10)]), "same end, nested start");
+        // Non-adjacent containment after sorting.
+        assert!(!is_proper(&[iv(0, 100), iv(1, 2), iv(3, 4)]));
+    }
+
+    #[test]
+    fn connectivity_and_components() {
+        assert!(is_connected(&[]));
+        assert!(is_connected(&[iv(0, 4), iv(3, 8)]));
+        assert!(!is_connected(&[iv(0, 4), iv(4, 8)]), "touching does not connect");
+        let set = [iv(10, 12), iv(0, 3), iv(2, 5), iv(11, 14), iv(20, 25)];
+        let comps = connected_components(&set);
+        assert_eq!(comps, vec![vec![1, 2], vec![0, 3], vec![4]]);
+        // Every index appears exactly once.
+        let mut all: Vec<usize> = comps.into_iter().flatten().collect();
+        all.sort();
+        assert_eq!(all, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn classify_combines_everything() {
+        let proper_clique = [iv(0, 10), iv(2, 12), iv(4, 14)];
+        let c = classify(&proper_clique);
+        assert!(c.clique && c.proper && c.connected && !c.one_sided);
+        assert!(c.is_proper_clique());
+
+        let one_sided = [iv(0, 3), iv(0, 9)];
+        let c = classify(&one_sided);
+        assert!(c.clique && c.one_sided && !c.proper);
+
+        let scattered = [iv(0, 1), iv(5, 6)];
+        let c = classify(&scattered);
+        assert!(!c.clique && !c.connected && c.proper);
+    }
+}

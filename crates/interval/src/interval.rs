@@ -1,0 +1,292 @@
+//! Half-open time intervals `[start, end)`.
+//!
+//! Following Section 2 of the paper, a job `[s_J, c_J]` is *not* considered to be processed
+//! at its completion time `c_J`; two intervals are **overlapping** only when their
+//! intersection contains more than one point.  This is exactly the semantics of half-open
+//! intervals, which is how [`Interval`] behaves: `[1,2)` and `[2,3)` do not overlap, and a
+//! machine running `[1,2)`, `[2,3)` and `[1,3)` is processing at most two jobs at any time.
+
+use crate::time::{Duration, Time};
+use core::fmt;
+use serde::{Deserialize, Serialize};
+
+/// A non-empty half-open interval `[start, end)` on the time line.
+///
+/// Invariant: `start < end` (zero-length jobs are rejected at construction; they would
+/// contribute nothing to busy time and break the "overlap = more than one common point"
+/// convention of the paper).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Interval {
+    start: Time,
+    end: Time,
+}
+
+/// Error returned when attempting to construct an empty or reversed interval.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EmptyIntervalError {
+    /// The offending start time.
+    pub start: Time,
+    /// The offending end time.
+    pub end: Time,
+}
+
+impl fmt::Display for EmptyIntervalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "interval [{}, {}) is empty or reversed; jobs must have positive length",
+            self.start, self.end
+        )
+    }
+}
+
+impl std::error::Error for EmptyIntervalError {}
+
+impl Interval {
+    /// Construct the interval `[start, end)`, failing if it would be empty.
+    pub fn try_new(start: Time, end: Time) -> Result<Self, EmptyIntervalError> {
+        if start < end {
+            Ok(Interval { start, end })
+        } else {
+            Err(EmptyIntervalError { start, end })
+        }
+    }
+
+    /// Construct the interval `[start, end)`.
+    ///
+    /// # Panics
+    /// Panics if `start >= end`.
+    pub fn new(start: Time, end: Time) -> Self {
+        Self::try_new(start, end).expect("interval must have positive length")
+    }
+
+    /// Convenience constructor from raw tick counts.
+    ///
+    /// # Panics
+    /// Panics if `start >= end`.
+    pub fn from_ticks(start: i64, end: i64) -> Self {
+        Self::new(Time::new(start), Time::new(end))
+    }
+
+    /// Start time (inclusive).
+    #[inline]
+    pub const fn start(&self) -> Time {
+        self.start
+    }
+
+    /// End (completion) time (exclusive).
+    #[inline]
+    pub const fn end(&self) -> Time {
+        self.end
+    }
+
+    /// Length `end - start` (Definition 2.1 in the paper).
+    #[inline]
+    pub fn len(&self) -> Duration {
+        self.end - self.start
+    }
+
+    /// Always `false`: intervals are non-empty by construction.  Present for API symmetry.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Does the interval contain the point `t` (with `end` excluded)?
+    #[inline]
+    pub fn contains_point(&self, t: Time) -> bool {
+        self.start <= t && t < self.end
+    }
+
+    /// Does `self` contain `other` (not necessarily properly)?
+    #[inline]
+    pub fn contains(&self, other: &Interval) -> bool {
+        self.start <= other.start && other.end <= self.end
+    }
+
+    /// Does `self` *properly* contain `other`, i.e. contain it with at least one strict
+    /// inequality on each side excluded?  (Used by the "proper instance" classification:
+    /// an instance is proper when no job properly includes another.)
+    #[inline]
+    pub fn properly_contains(&self, other: &Interval) -> bool {
+        self.contains(other) && (self.start < other.start || other.end < self.end) && *self != *other
+    }
+
+    /// The overlap convention of the paper: two intervals overlap iff their intersection
+    /// contains more than one point, i.e. iff the half-open intervals intersect.
+    #[inline]
+    pub fn overlaps(&self, other: &Interval) -> bool {
+        self.start < other.end && other.start < self.end
+    }
+
+    /// Length of the overlap between the two intervals (zero when they do not overlap).
+    #[inline]
+    pub fn overlap_len(&self, other: &Interval) -> Duration {
+        let lo = self.start.max(other.start);
+        let hi = self.end.min(other.end);
+        Duration::saturating_non_negative((hi - lo).ticks())
+    }
+
+    /// The intersection of two intervals, if it is non-empty.
+    pub fn intersection(&self, other: &Interval) -> Option<Interval> {
+        let lo = self.start.max(other.start);
+        let hi = self.end.min(other.end);
+        if lo < hi {
+            Some(Interval { start: lo, end: hi })
+        } else {
+            None
+        }
+    }
+
+    /// The smallest interval containing both inputs (their convex hull on the line).
+    pub fn hull(&self, other: &Interval) -> Interval {
+        Interval {
+            start: self.start.min(other.start),
+            end: self.end.max(other.end),
+        }
+    }
+
+    /// Translate the interval by `delta`.
+    pub fn shift(&self, delta: Duration) -> Interval {
+        Interval {
+            start: self.start + delta,
+            end: self.end + delta,
+        }
+    }
+
+    /// The point `t` splits the interval into a left part `[start, t]` and a right part
+    /// `[t, end]` (Section 4.1 of the paper).  Returns `(left_len, right_len)`, clamping
+    /// to zero when `t` lies outside the interval.
+    pub fn split_at(&self, t: Time) -> (Duration, Duration) {
+        let left = Duration::saturating_non_negative((t.min(self.end) - self.start).ticks());
+        let right = Duration::saturating_non_negative((self.end - t.max(self.start)).ticks());
+        (left, right)
+    }
+}
+
+impl fmt::Debug for Interval {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}, {})", self.start, self.end)
+    }
+}
+
+impl fmt::Display for Interval {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}, {})", self.start, self.end)
+    }
+}
+
+impl From<(i64, i64)> for Interval {
+    fn from((s, c): (i64, i64)) -> Self {
+        Interval::from_ticks(s, c)
+    }
+}
+
+/// Order intervals by start time, breaking ties by end time.
+///
+/// For proper instances this is exactly the total order `J_1 ≤ J_2 ≤ … ≤ J_n` used
+/// throughout Sections 3.2–3.3 and 4.2 of the paper (non-decreasing starts *and*
+/// non-decreasing completions).
+impl PartialOrd for Interval {
+    fn partial_cmp(&self, other: &Self) -> Option<core::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Interval {
+    fn cmp(&self, other: &Self) -> core::cmp::Ordering {
+        (self.start, self.end).cmp(&(other.start, other.end))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn iv(s: i64, c: i64) -> Interval {
+        Interval::from_ticks(s, c)
+    }
+
+    #[test]
+    fn construction_rejects_empty() {
+        assert!(Interval::try_new(Time::new(3), Time::new(3)).is_err());
+        assert!(Interval::try_new(Time::new(4), Time::new(3)).is_err());
+        assert!(Interval::try_new(Time::new(3), Time::new(4)).is_ok());
+    }
+
+    #[test]
+    #[should_panic]
+    fn new_panics_on_empty() {
+        let _ = iv(5, 5);
+    }
+
+    #[test]
+    fn len_and_contains_point() {
+        let i = iv(2, 7);
+        assert_eq!(i.len(), Duration::new(5));
+        assert!(i.contains_point(Time::new(2)));
+        assert!(i.contains_point(Time::new(6)));
+        assert!(!i.contains_point(Time::new(7)), "end point excluded");
+        assert!(!i.contains_point(Time::new(1)));
+    }
+
+    #[test]
+    fn paper_overlap_convention() {
+        // "a machine processing jobs [1,2], [2,3], [1,3] is considered to be processing
+        //  two jobs during the interval [1,3] including time 2."
+        let a = iv(1, 2);
+        let b = iv(2, 3);
+        let c = iv(1, 3);
+        assert!(!a.overlaps(&b), "touching intervals do not overlap");
+        assert!(a.overlaps(&c));
+        assert!(b.overlaps(&c));
+        assert_eq!(a.overlap_len(&b), Duration::ZERO);
+        assert_eq!(a.overlap_len(&c), Duration::new(1));
+    }
+
+    #[test]
+    fn containment_proper_vs_not() {
+        let outer = iv(0, 10);
+        let inner = iv(2, 8);
+        let flush = iv(0, 10);
+        assert!(outer.contains(&inner));
+        assert!(outer.properly_contains(&inner));
+        assert!(outer.contains(&flush));
+        assert!(!outer.properly_contains(&flush), "equal intervals are not proper containment");
+        assert!(outer.properly_contains(&iv(0, 9)));
+        assert!(outer.properly_contains(&iv(1, 10)));
+        assert!(!inner.properly_contains(&outer));
+    }
+
+    #[test]
+    fn intersection_and_hull() {
+        let a = iv(0, 5);
+        let b = iv(3, 9);
+        assert_eq!(a.intersection(&b), Some(iv(3, 5)));
+        assert_eq!(a.hull(&b), iv(0, 9));
+        let c = iv(6, 7);
+        assert_eq!(a.intersection(&c), None);
+        assert_eq!(a.overlap_len(&c), Duration::ZERO);
+    }
+
+    #[test]
+    fn split_at_clamps() {
+        let a = iv(2, 10);
+        assert_eq!(a.split_at(Time::new(6)), (Duration::new(4), Duration::new(4)));
+        assert_eq!(a.split_at(Time::new(0)), (Duration::ZERO, Duration::new(8)));
+        assert_eq!(a.split_at(Time::new(12)), (Duration::new(8), Duration::ZERO));
+    }
+
+    #[test]
+    fn ordering_matches_proper_instance_order() {
+        let mut v = vec![iv(3, 9), iv(1, 5), iv(1, 4), iv(2, 6)];
+        v.sort();
+        assert_eq!(v, vec![iv(1, 4), iv(1, 5), iv(2, 6), iv(3, 9)]);
+    }
+
+    #[test]
+    fn shift_translates() {
+        assert_eq!(iv(1, 4).shift(Duration::new(10)), iv(11, 14));
+        assert_eq!(iv(1, 4).shift(Duration::new(-2)), iv(-1, 2));
+    }
+}

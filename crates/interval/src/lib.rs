@@ -1,0 +1,37 @@
+//! # busytime-interval
+//!
+//! Time, interval and rectangle primitives for busy-time scheduling on parallel machines.
+//!
+//! This crate is the geometric substrate of the `busytime` workspace, which reproduces
+//! *"Optimizing Busy Time on Parallel Machines"* (Mertzios, Shalom, Voloshin, Wong, Zaks;
+//! IPDPS 2012 / TCS 2015).  It provides:
+//!
+//! * [`Time`] / [`Duration`] — exact integer time points and durations,
+//! * [`Interval`] — half-open one-dimensional job intervals with the paper's overlap
+//!   convention (Section 2),
+//! * [`Rect`] — two-dimensional rectangular intervals (Section 3.4),
+//! * span / length / union computations for sets of intervals and rectangles
+//!   (Definitions 2.1, 2.2, 3.1, 3.2),
+//! * classification of interval sets into the special instance classes the paper studies
+//!   (clique, one-sided, proper, connected).
+//!
+//! Everything here is purely geometric: jobs, machines and schedules live in the
+//! `busytime` core crate.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod classify;
+mod interval;
+mod rect;
+mod span;
+mod time;
+
+pub use classify::{
+    classify, connected_components, is_clique, is_connected, is_one_sided, is_proper,
+    Classification,
+};
+pub use interval::{EmptyIntervalError, Interval};
+pub use rect::{gamma, max_cover_depth, total_area, union_area, Area, Rect};
+pub use span::{common_point, depth_profile, hull, max_overlap, span, total_len, union};
+pub use time::{Duration, Time};

@@ -1,0 +1,347 @@
+//! Two-dimensional (rectangular) intervals — Section 3.4 of the paper.
+//!
+//! A rectangular interval is the product of two one-dimensional intervals: one per
+//! dimension (e.g. *hours of the day* × *days*, for periodic jobs).  Definition 3.1 of the
+//! paper defines per-dimension projections `π_k`, per-dimension lengths `len_k`, the area
+//! `len = len_1 · len_2`, and Definition 3.2 defines the span of a set of rectangles as
+//! the **area of their union**.
+
+use crate::interval::Interval;
+use crate::time::{Duration, Time};
+use core::fmt;
+use serde::{Deserialize, Serialize};
+
+/// An axis-aligned rectangle, the product `π_1 × π_2` of two half-open intervals.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Rect {
+    dim1: Interval,
+    dim2: Interval,
+}
+
+/// Area of a rectangle or a set of rectangles, in squared ticks.
+///
+/// Areas can exceed what fits in an `i64` duration product only for absurdly large
+/// instances; we use `i128` to stay exact.
+pub type Area = i128;
+
+impl Rect {
+    /// Construct a rectangle from its two projections.
+    pub fn new(dim1: Interval, dim2: Interval) -> Self {
+        Rect { dim1, dim2 }
+    }
+
+    /// Convenience constructor from raw tick coordinates
+    /// `(start_1, end_1, start_2, end_2)`.
+    ///
+    /// # Panics
+    /// Panics if either projection would be empty.
+    pub fn from_ticks(s1: i64, c1: i64, s2: i64, c2: i64) -> Self {
+        Rect::new(Interval::from_ticks(s1, c1), Interval::from_ticks(s2, c2))
+    }
+
+    /// The projection `π_k` of the rectangle on dimension `k ∈ {1, 2}` (Definition 3.1).
+    ///
+    /// # Panics
+    /// Panics if `k` is not 1 or 2.
+    pub fn projection(&self, k: usize) -> Interval {
+        match k {
+            1 => self.dim1,
+            2 => self.dim2,
+            _ => panic!("rectangles have dimensions 1 and 2, got {k}"),
+        }
+    }
+
+    /// Projection on dimension 1.
+    #[inline]
+    pub const fn dim1(&self) -> Interval {
+        self.dim1
+    }
+
+    /// Projection on dimension 2.
+    #[inline]
+    pub const fn dim2(&self) -> Interval {
+        self.dim2
+    }
+
+    /// `len_k`, the length of the projection on dimension `k` (Definition 3.1).
+    pub fn len_k(&self, k: usize) -> Duration {
+        self.projection(k).len()
+    }
+
+    /// `len = len_1 · len_2`, the area of the rectangle (Definition 3.1).
+    pub fn area(&self) -> Area {
+        self.dim1.len().ticks() as Area * self.dim2.len().ticks() as Area
+    }
+
+    /// Two rectangles overlap when their intersection has positive area.
+    pub fn overlaps(&self, other: &Rect) -> bool {
+        self.dim1.overlaps(&other.dim1) && self.dim2.overlaps(&other.dim2)
+    }
+
+    /// The intersection rectangle, if it has positive area.
+    pub fn intersection(&self, other: &Rect) -> Option<Rect> {
+        Some(Rect {
+            dim1: self.dim1.intersection(&other.dim1)?,
+            dim2: self.dim2.intersection(&other.dim2)?,
+        })
+    }
+
+    /// The smallest rectangle containing both (the bounding box).
+    pub fn hull(&self, other: &Rect) -> Rect {
+        Rect {
+            dim1: self.dim1.hull(&other.dim1),
+            dim2: self.dim2.hull(&other.dim2),
+        }
+    }
+
+    /// Mirror the rectangle in dimension 1 around the origin: `[(s1,s2),(c1,c2)]` becomes
+    /// `[(-c1,s2),(-s1,c2)]`.  This is the `-A` notation used in the Figure 3 lower-bound
+    /// construction of the paper.
+    pub fn mirror_dim1(&self) -> Rect {
+        Rect {
+            dim1: Interval::new(
+                Time::new(-self.dim1.end().ticks()),
+                Time::new(-self.dim1.start().ticks()),
+            ),
+            dim2: self.dim2,
+        }
+    }
+
+    /// The rectangle `±(s1, s2) = [(-s1,-s2),(s1,s2)]` centred at the origin, as used in
+    /// the Figure 3 construction.
+    ///
+    /// # Panics
+    /// Panics unless both arguments are strictly positive.
+    pub fn centered(s1: i64, s2: i64) -> Rect {
+        assert!(s1 > 0 && s2 > 0, "centered rectangle needs positive half-lengths");
+        Rect::from_ticks(-s1, s1, -s2, s2)
+    }
+}
+
+impl fmt::Debug for Rect {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:?}x{:?}", self.dim1, self.dim2)
+    }
+}
+
+impl fmt::Display for Rect {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}x{}", self.dim1, self.dim2)
+    }
+}
+
+/// `len(I)` for a set of rectangles: total area counted with multiplicity.
+pub fn total_area(rects: &[Rect]) -> Area {
+    rects.iter().map(Rect::area).sum()
+}
+
+/// `span(I)` for a set of rectangles: the area of their union (Definition 3.2).
+///
+/// Computed with a sweep over dimension 1: at each vertical strip between consecutive
+/// distinct x-coordinates, the covered length in dimension 2 is the measure of the union
+/// of the active projections, obtained by a coordinate-compressed counting structure.
+/// Complexity `O(n² log n)` which is ample for the instance sizes of the experiments.
+pub fn union_area(rects: &[Rect]) -> Area {
+    if rects.is_empty() {
+        return 0;
+    }
+    // Events on dimension 1.
+    #[derive(Clone, Copy)]
+    struct Event {
+        x: Time,
+        open: bool,
+        y: Interval,
+    }
+    let mut events: Vec<Event> = Vec::with_capacity(rects.len() * 2);
+    for r in rects {
+        events.push(Event { x: r.dim1.start(), open: true, y: r.dim2 });
+        events.push(Event { x: r.dim1.end(), open: false, y: r.dim2 });
+    }
+    events.sort_by_key(|e| (e.x, e.open));
+
+    // Compressed y-coordinates.
+    let mut ys: Vec<Time> = rects
+        .iter()
+        .flat_map(|r| [r.dim2.start(), r.dim2.end()])
+        .collect();
+    ys.sort();
+    ys.dedup();
+    // coverage count per elementary y-segment [ys[i], ys[i+1])
+    let mut cover: Vec<i32> = vec![0; ys.len().saturating_sub(1)];
+
+    let covered_length = |cover: &[i32]| -> i64 {
+        cover
+            .iter()
+            .enumerate()
+            .filter(|&(_, &c)| c > 0)
+            .map(|(i, _)| (ys[i + 1] - ys[i]).ticks())
+            .sum()
+    };
+
+    let mut area: Area = 0;
+    let mut prev_x: Option<Time> = None;
+    let mut idx = 0usize;
+    while idx < events.len() {
+        let x = events[idx].x;
+        if let Some(px) = prev_x {
+            let width = (x - px).ticks();
+            if width > 0 {
+                area += covered_length(&cover) as Area * width as Area;
+            }
+        }
+        // Apply all events at this x.
+        while idx < events.len() && events[idx].x == x {
+            let e = events[idx];
+            let lo = ys.partition_point(|&y| y < e.y.start());
+            let hi = ys.partition_point(|&y| y < e.y.end());
+            for seg in cover.iter_mut().take(hi).skip(lo) {
+                *seg += if e.open { 1 } else { -1 };
+            }
+            idx += 1;
+        }
+        prev_x = Some(x);
+    }
+    area
+}
+
+/// The maximum number of rectangles covering any single point (with positive-area
+/// overlap semantics): the 2-D analogue of [`crate::max_overlap`].
+///
+/// Used to validate 2-D schedules: a machine of capacity `g` may be assigned a rectangle
+/// set only if no point is covered by more than `g` of them.  Computed by the same sweep
+/// as [`union_area`], tracking the maximum covered depth of any elementary cell.
+pub fn max_cover_depth(rects: &[Rect]) -> usize {
+    if rects.is_empty() {
+        return 0;
+    }
+    let mut events: Vec<(Time, bool, Interval)> = Vec::with_capacity(rects.len() * 2);
+    for r in rects {
+        events.push((r.dim1.start(), true, r.dim2));
+        events.push((r.dim1.end(), false, r.dim2));
+    }
+    events.sort_by_key(|&(x, open, _)| (x, open));
+    let mut ys: Vec<Time> = rects
+        .iter()
+        .flat_map(|r| [r.dim2.start(), r.dim2.end()])
+        .collect();
+    ys.sort();
+    ys.dedup();
+    let mut cover: Vec<i32> = vec![0; ys.len().saturating_sub(1)];
+    let mut best = 0i32;
+    let mut idx = 0usize;
+    while idx < events.len() {
+        let x = events[idx].0;
+        while idx < events.len() && events[idx].0 == x {
+            let (_, open, y) = events[idx];
+            let lo = ys.partition_point(|&t| t < y.start());
+            let hi = ys.partition_point(|&t| t < y.end());
+            for seg in cover.iter_mut().take(hi).skip(lo) {
+                *seg += if open { 1 } else { -1 };
+            }
+            idx += 1;
+        }
+        best = best.max(cover.iter().copied().max().unwrap_or(0));
+    }
+    best.max(0) as usize
+}
+
+/// `γ_k` of Section 3.4: the ratio between the longest and the shortest projection on
+/// dimension `k`, reported as an exact rational `(max, min)` pair together with its
+/// floating-point value.  Returns `None` for an empty set.
+pub fn gamma(rects: &[Rect], k: usize) -> Option<f64> {
+    let max = rects.iter().map(|r| r.len_k(k).ticks()).max()?;
+    let min = rects.iter().map(|r| r.len_k(k).ticks()).min()?;
+    Some(max as f64 / min as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(s1: i64, c1: i64, s2: i64, c2: i64) -> Rect {
+        Rect::from_ticks(s1, c1, s2, c2)
+    }
+
+    #[test]
+    fn projections_lengths_area() {
+        let a = r(0, 4, 1, 3);
+        assert_eq!(a.projection(1), Interval::from_ticks(0, 4));
+        assert_eq!(a.projection(2), Interval::from_ticks(1, 3));
+        assert_eq!(a.len_k(1), Duration::new(4));
+        assert_eq!(a.len_k(2), Duration::new(2));
+        assert_eq!(a.area(), 8);
+    }
+
+    #[test]
+    #[should_panic]
+    fn bad_dimension_panics() {
+        let _ = r(0, 1, 0, 1).projection(3);
+    }
+
+    #[test]
+    fn overlap_needs_both_dimensions() {
+        let a = r(0, 4, 0, 4);
+        let b = r(2, 6, 2, 6);
+        let c = r(4, 8, 0, 4); // touches a in dim1 only
+        let d = r(2, 6, 4, 8); // touches a in dim2
+        assert!(a.overlaps(&b));
+        assert!(!a.overlaps(&c));
+        assert!(!a.overlaps(&d));
+        assert_eq!(a.intersection(&b), Some(r(2, 4, 2, 4)));
+        assert_eq!(a.intersection(&c), None);
+    }
+
+    #[test]
+    fn hull_is_bounding_box() {
+        assert_eq!(r(0, 1, 0, 1).hull(&r(5, 6, -2, 0)), r(0, 6, -2, 1));
+    }
+
+    #[test]
+    fn mirror_and_centered_match_figure3_notation() {
+        let a = r(1, 3, 1, 3);
+        assert_eq!(a.mirror_dim1(), r(-3, -1, 1, 3));
+        assert_eq!(Rect::centered(1, 1), r(-1, 1, -1, 1));
+        assert_eq!(Rect::centered(2, 3), r(-2, 2, -3, 3));
+    }
+
+    #[test]
+    fn union_area_disjoint_and_overlapping() {
+        assert_eq!(union_area(&[]), 0);
+        assert_eq!(union_area(&[r(0, 2, 0, 2)]), 4);
+        // Disjoint: areas add.
+        assert_eq!(union_area(&[r(0, 2, 0, 2), r(10, 12, 0, 2)]), 8);
+        // Identical: counted once.
+        assert_eq!(union_area(&[r(0, 2, 0, 2), r(0, 2, 0, 2)]), 4);
+        // Overlapping quarter.
+        assert_eq!(union_area(&[r(0, 2, 0, 2), r(1, 3, 1, 3)]), 7);
+        // Cross shape.
+        assert_eq!(union_area(&[r(-3, 3, -1, 1), r(-1, 1, -3, 3)]), 12 + 12 - 4);
+    }
+
+    #[test]
+    fn union_area_never_exceeds_total_area() {
+        let set = [r(0, 5, 0, 5), r(3, 8, 2, 7), r(-1, 1, -1, 1)];
+        assert!(union_area(&set) <= total_area(&set));
+    }
+
+    #[test]
+    fn max_cover_depth_counts_overlaps() {
+        assert_eq!(max_cover_depth(&[]), 0);
+        assert_eq!(max_cover_depth(&[r(0, 2, 0, 2)]), 1);
+        // Touching rectangles never overlap.
+        assert_eq!(max_cover_depth(&[r(0, 2, 0, 2), r(2, 4, 0, 2)]), 1);
+        assert_eq!(max_cover_depth(&[r(0, 2, 0, 2), r(0, 2, 2, 4)]), 1);
+        // A stack of three.
+        assert_eq!(max_cover_depth(&[r(0, 4, 0, 4), r(1, 3, 1, 3), r(2, 5, 2, 5)]), 3);
+        // Cross shape: centre covered twice.
+        assert_eq!(max_cover_depth(&[r(-3, 3, -1, 1), r(-1, 1, -3, 3)]), 2);
+    }
+
+    #[test]
+    fn gamma_ratio() {
+        let set = [r(0, 2, 0, 10), r(0, 8, 0, 5)];
+        assert_eq!(gamma(&set, 1), Some(4.0));
+        assert_eq!(gamma(&set, 2), Some(2.0));
+        assert_eq!(gamma(&[], 1), None);
+    }
+}

@@ -1,0 +1,206 @@
+//! Span (union length) of sets of intervals.
+//!
+//! Definition 2.2 of the paper: for a set `I` of intervals, `SPAN(I) = ∪I` and
+//! `span(I) = len(SPAN(I))`.  The span is computed by a single sweep over the
+//! intervals sorted by start time; the union itself is returned as a list of maximal
+//! disjoint intervals.
+
+use crate::interval::Interval;
+use crate::time::{Duration, Time};
+
+/// The union of a set of intervals as a sorted list of maximal, pairwise disjoint,
+/// non-touching intervals.
+///
+/// Touching intervals (`[1,2)` and `[2,3)`) are merged into one component: this matches
+/// the paper's treatment of a machine's busy period as a contiguous stretch whenever its
+/// jobs chain together without a gap of positive length.
+pub fn union(intervals: &[Interval]) -> Vec<Interval> {
+    if intervals.is_empty() {
+        return Vec::new();
+    }
+    let mut sorted: Vec<Interval> = intervals.to_vec();
+    sorted.sort();
+    let mut out: Vec<Interval> = Vec::with_capacity(sorted.len());
+    let mut cur = sorted[0];
+    for iv in &sorted[1..] {
+        if iv.start() <= cur.end() {
+            // Extend the current component (touching counts as the same busy stretch).
+            if iv.end() > cur.end() {
+                cur = Interval::new(cur.start(), iv.end());
+            }
+        } else {
+            out.push(cur);
+            cur = *iv;
+        }
+    }
+    out.push(cur);
+    out
+}
+
+/// `span(I)`: the total length of the union of the intervals (Definition 2.2).
+pub fn span(intervals: &[Interval]) -> Duration {
+    union(intervals).iter().map(Interval::len).sum()
+}
+
+/// `len(I)`: the total length of the intervals counted with multiplicity (Definition 2.1).
+pub fn total_len(intervals: &[Interval]) -> Duration {
+    intervals.iter().map(Interval::len).sum()
+}
+
+/// The smallest single interval containing every input interval (the convex hull of the
+/// set on the line), or `None` for an empty set.
+pub fn hull(intervals: &[Interval]) -> Option<Interval> {
+    let mut it = intervals.iter();
+    let first = *it.next()?;
+    Some(it.fold(first, |acc, iv| acc.hull(iv)))
+}
+
+/// Maximum number of intervals that overlap at any single point in time, i.e. the size of
+/// the maximum clique of the corresponding interval graph.
+///
+/// This is the minimum number of execution threads (capacity `g`) under which the whole
+/// set could in principle share one machine.
+pub fn max_overlap(intervals: &[Interval]) -> usize {
+    // Sweep: +1 at each start, -1 at each end.  Ends sort before starts at equal time
+    // because the intervals are half-open.
+    let mut events: Vec<(Time, i32)> = Vec::with_capacity(intervals.len() * 2);
+    for iv in intervals {
+        events.push((iv.start(), 1));
+        events.push((iv.end(), -1));
+    }
+    events.sort_by_key(|&(t, delta)| (t, delta));
+    let mut depth = 0i32;
+    let mut best = 0i32;
+    for (_, delta) in events {
+        depth += delta;
+        best = best.max(depth);
+    }
+    best.max(0) as usize
+}
+
+/// For every point in time, how long is the total stretch during which at least `k`
+/// intervals run simultaneously?  Returns a vector `v` where `v[k-1]` is that length, for
+/// `k = 1 ..= max_overlap`.  (`v[0]` equals `span`.)
+///
+/// This "depth profile" gives the exact optimum busy time for the fractional relaxation
+/// `Σ_k ceil(depth_k / g)`-style bounds and is used by the experiment harness to report
+/// instance statistics.
+pub fn depth_profile(intervals: &[Interval]) -> Vec<Duration> {
+    let mut events: Vec<(Time, i32)> = Vec::with_capacity(intervals.len() * 2);
+    for iv in intervals {
+        events.push((iv.start(), 1));
+        events.push((iv.end(), -1));
+    }
+    events.sort_by_key(|&(t, delta)| (t, delta));
+    let mut profile: Vec<Duration> = Vec::new();
+    let mut depth: usize = 0;
+    let mut prev: Option<Time> = None;
+    for (t, delta) in events {
+        if let Some(p) = prev {
+            if depth > 0 && t > p {
+                let seg = t - p;
+                if profile.len() < depth {
+                    profile.resize(depth, Duration::ZERO);
+                }
+                for d in profile.iter_mut().take(depth) {
+                    *d += seg;
+                }
+            }
+        }
+        if delta > 0 {
+            depth += 1;
+        } else {
+            depth -= 1;
+        }
+        prev = Some(t);
+    }
+    profile
+}
+
+/// A time point contained in every interval of the set, if one exists.
+///
+/// By the Helly property of intervals on a line this exists if and only if every pair of
+/// intervals intersects, i.e. iff the set is a *clique set* in the sense of Section 2 of
+/// the paper.  The returned point is the latest start time (which then must precede every
+/// completion time).
+pub fn common_point(intervals: &[Interval]) -> Option<Time> {
+    if intervals.is_empty() {
+        return None;
+    }
+    let latest_start = intervals.iter().map(Interval::start).max()?;
+    let earliest_end = intervals.iter().map(Interval::end).min()?;
+    if latest_start < earliest_end {
+        Some(latest_start)
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn iv(s: i64, c: i64) -> Interval {
+        Interval::from_ticks(s, c)
+    }
+
+    #[test]
+    fn union_merges_touching_and_overlapping() {
+        let u = union(&[iv(1, 3), iv(3, 5), iv(7, 9), iv(8, 12)]);
+        assert_eq!(u, vec![iv(1, 5), iv(7, 12)]);
+    }
+
+    #[test]
+    fn union_of_empty_is_empty() {
+        assert!(union(&[]).is_empty());
+        assert_eq!(span(&[]), Duration::ZERO);
+        assert_eq!(total_len(&[]), Duration::ZERO);
+        assert_eq!(hull(&[]), None);
+    }
+
+    #[test]
+    fn span_vs_len_bound() {
+        // span(I) <= len(I), equality iff pairwise non-overlapping (Section 2).
+        let disjoint = [iv(0, 2), iv(3, 5)];
+        assert_eq!(span(&disjoint), total_len(&disjoint));
+        let overlapping = [iv(0, 4), iv(2, 6)];
+        assert_eq!(span(&overlapping), Duration::new(6));
+        assert_eq!(total_len(&overlapping), Duration::new(8));
+        assert!(span(&overlapping) < total_len(&overlapping));
+    }
+
+    #[test]
+    fn hull_covers_everything() {
+        assert_eq!(hull(&[iv(4, 6), iv(0, 2), iv(5, 9)]), Some(iv(0, 9)));
+    }
+
+    #[test]
+    fn max_overlap_counts_clique() {
+        assert_eq!(max_overlap(&[]), 0);
+        assert_eq!(max_overlap(&[iv(0, 1)]), 1);
+        // Touching intervals do not overlap.
+        assert_eq!(max_overlap(&[iv(0, 2), iv(2, 4)]), 1);
+        assert_eq!(max_overlap(&[iv(0, 4), iv(1, 5), iv(2, 6), iv(10, 11)]), 3);
+    }
+
+    #[test]
+    fn depth_profile_matches_span_and_overlaps() {
+        let set = [iv(0, 4), iv(1, 5), iv(2, 6)];
+        let profile = depth_profile(&set);
+        assert_eq!(profile.len(), 3);
+        assert_eq!(profile[0], span(&set));
+        assert_eq!(profile[0], Duration::new(6));
+        assert_eq!(profile[1], Duration::new(4)); // [1,4) and [2,5)
+        assert_eq!(profile[2], Duration::new(2)); // [2,4)
+        // Sum over depths equals total length.
+        let total: Duration = profile.iter().sum();
+        assert_eq!(total, total_len(&set));
+    }
+
+    #[test]
+    fn common_point_exists_iff_clique() {
+        assert_eq!(common_point(&[iv(0, 4), iv(2, 6), iv(3, 10)]), Some(Time::new(3)));
+        assert_eq!(common_point(&[iv(0, 2), iv(2, 4)]), None, "touching is not a clique");
+        assert_eq!(common_point(&[]), None);
+    }
+}

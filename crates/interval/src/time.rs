@@ -1,0 +1,348 @@
+//! Discrete time points.
+//!
+//! The paper ("Optimizing Busy Time on Parallel Machines", Mertzios et al.) states all
+//! results over the reals, but every construction it uses — including the `ε′`-shifted
+//! rectangles of Figure 3 — can be realized after scaling by a common denominator
+//! (this is exactly the scaling argument used in Proposition 2.2 of the paper).
+//! We therefore represent time as an `i64` tick count.  This keeps every span / length /
+//! cost computation exact, makes schedules comparable with `==` in tests, and avoids all
+//! floating-point tolerance questions in the approximation-ratio experiments.
+
+use core::fmt;
+use core::iter::Sum;
+use core::ops::{Add, AddAssign, Div, Mul, Neg, Sub, SubAssign};
+use serde::{Deserialize, Serialize};
+
+/// A point in (discrete) time, measured in abstract ticks.
+///
+/// `Time` is a thin newtype over `i64`.  Negative values are allowed — the lower-bound
+/// construction of Figure 3 in the paper places rectangles symmetrically around the
+/// origin — and arithmetic is checked in debug builds through the underlying `i64`
+/// semantics.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+pub struct Time(pub i64);
+
+/// A duration (difference of two [`Time`] points), also measured in ticks.
+///
+/// Durations are the unit in which every cost in the library is expressed: busy time,
+/// span, length, budgets, savings.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+pub struct Duration(pub i64);
+
+impl Time {
+    /// The smallest representable time point.
+    pub const MIN: Time = Time(i64::MIN);
+    /// The largest representable time point.
+    pub const MAX: Time = Time(i64::MAX);
+    /// The origin (tick 0).
+    pub const ZERO: Time = Time(0);
+
+    /// Construct a time point from a raw tick count.
+    #[inline]
+    pub const fn new(ticks: i64) -> Self {
+        Time(ticks)
+    }
+
+    /// The raw tick count.
+    #[inline]
+    pub const fn ticks(self) -> i64 {
+        self.0
+    }
+
+    /// The earlier of two time points.
+    #[inline]
+    pub fn min(self, other: Time) -> Time {
+        if self <= other {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// The later of two time points.
+    #[inline]
+    pub fn max(self, other: Time) -> Time {
+        if self >= other {
+            self
+        } else {
+            other
+        }
+    }
+}
+
+impl Duration {
+    /// The zero duration.
+    pub const ZERO: Duration = Duration(0);
+    /// The largest representable duration (useful as an "unbounded budget" sentinel).
+    pub const MAX: Duration = Duration(i64::MAX);
+
+    /// Construct a duration from a raw tick count.
+    #[inline]
+    pub const fn new(ticks: i64) -> Self {
+        Duration(ticks)
+    }
+
+    /// The raw tick count.
+    #[inline]
+    pub const fn ticks(self) -> i64 {
+        self.0
+    }
+
+    /// `true` if the duration is zero.
+    #[inline]
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// `true` if the duration is strictly positive.
+    #[inline]
+    pub const fn is_positive(self) -> bool {
+        self.0 > 0
+    }
+
+    /// The smaller of two durations.
+    #[inline]
+    pub fn min(self, other: Duration) -> Duration {
+        if self <= other {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// The larger of two durations.
+    #[inline]
+    pub fn max(self, other: Duration) -> Duration {
+        if self >= other {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// Clamp a possibly-negative tick count to a non-negative duration.
+    #[inline]
+    pub fn saturating_non_negative(ticks: i64) -> Duration {
+        Duration(ticks.max(0))
+    }
+
+    /// This duration as a floating-point number of ticks (for ratio reporting only;
+    /// all scheduling decisions in the library are made on exact integers).
+    #[inline]
+    pub fn as_f64(self) -> f64 {
+        self.0 as f64
+    }
+}
+
+impl fmt::Debug for Time {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+impl fmt::Display for Time {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl fmt::Debug for Duration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}d", self.0)
+    }
+}
+
+impl fmt::Display for Duration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl From<i64> for Time {
+    #[inline]
+    fn from(v: i64) -> Self {
+        Time(v)
+    }
+}
+
+impl From<i64> for Duration {
+    #[inline]
+    fn from(v: i64) -> Self {
+        Duration(v)
+    }
+}
+
+impl Sub for Time {
+    type Output = Duration;
+    #[inline]
+    fn sub(self, rhs: Time) -> Duration {
+        Duration(self.0 - rhs.0)
+    }
+}
+
+impl Add<Duration> for Time {
+    type Output = Time;
+    #[inline]
+    fn add(self, rhs: Duration) -> Time {
+        Time(self.0 + rhs.0)
+    }
+}
+
+impl Sub<Duration> for Time {
+    type Output = Time;
+    #[inline]
+    fn sub(self, rhs: Duration) -> Time {
+        Time(self.0 - rhs.0)
+    }
+}
+
+impl AddAssign<Duration> for Time {
+    #[inline]
+    fn add_assign(&mut self, rhs: Duration) {
+        self.0 += rhs.0;
+    }
+}
+
+impl SubAssign<Duration> for Time {
+    #[inline]
+    fn sub_assign(&mut self, rhs: Duration) {
+        self.0 -= rhs.0;
+    }
+}
+
+impl Add for Duration {
+    type Output = Duration;
+    #[inline]
+    fn add(self, rhs: Duration) -> Duration {
+        Duration(self.0 + rhs.0)
+    }
+}
+
+impl Sub for Duration {
+    type Output = Duration;
+    #[inline]
+    fn sub(self, rhs: Duration) -> Duration {
+        Duration(self.0 - rhs.0)
+    }
+}
+
+impl AddAssign for Duration {
+    #[inline]
+    fn add_assign(&mut self, rhs: Duration) {
+        self.0 += rhs.0;
+    }
+}
+
+impl SubAssign for Duration {
+    #[inline]
+    fn sub_assign(&mut self, rhs: Duration) {
+        self.0 -= rhs.0;
+    }
+}
+
+impl Neg for Duration {
+    type Output = Duration;
+    #[inline]
+    fn neg(self) -> Duration {
+        Duration(-self.0)
+    }
+}
+
+impl Mul<i64> for Duration {
+    type Output = Duration;
+    #[inline]
+    fn mul(self, rhs: i64) -> Duration {
+        Duration(self.0 * rhs)
+    }
+}
+
+impl Mul<Duration> for i64 {
+    type Output = Duration;
+    #[inline]
+    fn mul(self, rhs: Duration) -> Duration {
+        Duration(self * rhs.0)
+    }
+}
+
+impl Div<i64> for Duration {
+    type Output = Duration;
+    #[inline]
+    fn div(self, rhs: i64) -> Duration {
+        Duration(self.0 / rhs)
+    }
+}
+
+impl Sum for Duration {
+    fn sum<I: Iterator<Item = Duration>>(iter: I) -> Duration {
+        Duration(iter.map(|d| d.0).sum())
+    }
+}
+
+impl<'a> Sum<&'a Duration> for Duration {
+    fn sum<I: Iterator<Item = &'a Duration>>(iter: I) -> Duration {
+        Duration(iter.map(|d| d.0).sum())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn time_arithmetic_roundtrips() {
+        let a = Time::new(10);
+        let b = Time::new(25);
+        assert_eq!(b - a, Duration::new(15));
+        assert_eq!(a + Duration::new(15), b);
+        assert_eq!(b - Duration::new(15), a);
+    }
+
+    #[test]
+    fn duration_sum_and_scaling() {
+        let ds = [Duration::new(1), Duration::new(2), Duration::new(3)];
+        let total: Duration = ds.iter().sum();
+        assert_eq!(total, Duration::new(6));
+        assert_eq!(total * 2, Duration::new(12));
+        assert_eq!(total / 3, Duration::new(2));
+        assert_eq!(-total, Duration::new(-6));
+    }
+
+    #[test]
+    fn ordering_and_min_max() {
+        let a = Time::new(-5);
+        let b = Time::new(3);
+        assert!(a < b);
+        assert_eq!(a.min(b), a);
+        assert_eq!(a.max(b), b);
+        let d1 = Duration::new(4);
+        let d2 = Duration::new(7);
+        assert_eq!(d1.min(d2), d1);
+        assert_eq!(d1.max(d2), d2);
+    }
+
+    #[test]
+    fn saturating_non_negative_clamps() {
+        assert_eq!(Duration::saturating_non_negative(-3), Duration::ZERO);
+        assert_eq!(Duration::saturating_non_negative(3), Duration::new(3));
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(format!("{}", Time::new(7)), "7");
+        assert_eq!(format!("{:?}", Time::new(7)), "t7");
+        assert_eq!(format!("{}", Duration::new(9)), "9");
+        assert_eq!(format!("{:?}", Duration::new(9)), "9d");
+    }
+
+    #[test]
+    fn mutation_operators() {
+        let mut t = Time::new(0);
+        t += Duration::new(5);
+        t -= Duration::new(2);
+        assert_eq!(t, Time::new(3));
+        let mut d = Duration::new(1);
+        d += Duration::new(2);
+        d -= Duration::new(1);
+        assert_eq!(d, Duration::new(2));
+    }
+}

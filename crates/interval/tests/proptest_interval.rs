@@ -1,0 +1,158 @@
+//! Property-based tests for the geometric substrate.
+//!
+//! These check the invariants the rest of the workspace relies on: span ≤ len with
+//! equality iff pairwise disjoint, union covering exactly the input, the Helly property
+//! driving clique detection, additivity of the depth profile, and 2-D union area bounds.
+
+use busytime_interval::{
+    classify, common_point, depth_profile, is_clique, is_proper, max_overlap, span, total_area,
+    total_len, union, union_area, Duration, Interval, Rect, Time,
+};
+use proptest::prelude::*;
+
+/// Strategy for an arbitrary non-empty interval with small coordinates.
+fn interval_strategy() -> impl Strategy<Value = Interval> {
+    (-200i64..200, 1i64..100).prop_map(|(s, l)| Interval::from_ticks(s, s + l))
+}
+
+fn interval_vec(max: usize) -> impl Strategy<Value = Vec<Interval>> {
+    prop::collection::vec(interval_strategy(), 0..max)
+}
+
+fn rect_strategy() -> impl Strategy<Value = Rect> {
+    (-50i64..50, 1i64..30, -50i64..50, 1i64..30)
+        .prop_map(|(s1, l1, s2, l2)| Rect::from_ticks(s1, s1 + l1, s2, s2 + l2))
+}
+
+proptest! {
+    /// span(I) ≤ len(I), and span equals len exactly when no two intervals overlap
+    /// (the observation after Definition 2.2).
+    #[test]
+    fn span_le_len_with_equality_iff_disjoint(set in interval_vec(12)) {
+        let s = span(&set);
+        let l = total_len(&set);
+        prop_assert!(s <= l);
+        let any_overlap = (0..set.len()).any(|i| (i + 1..set.len()).any(|j| set[i].overlaps(&set[j])));
+        prop_assert_eq!(s == l, !any_overlap);
+    }
+
+    /// The union is sorted, pairwise disjoint and non-touching, and has the same span.
+    #[test]
+    fn union_is_canonical(set in interval_vec(12)) {
+        let u = union(&set);
+        for w in u.windows(2) {
+            prop_assert!(w[0].end() < w[1].start());
+        }
+        prop_assert_eq!(span(&u), span(&set));
+        // Every input point set is covered: each input interval is inside some union part.
+        for iv in &set {
+            prop_assert!(u.iter().any(|p| p.contains(iv)));
+        }
+    }
+
+    /// Helly property on the line: the set is a clique iff all pairs overlap.
+    #[test]
+    fn clique_iff_pairwise_overlap(set in interval_vec(10)) {
+        let pairwise = (0..set.len())
+            .all(|i| (i + 1..set.len()).all(|j| set[i].overlaps(&set[j])));
+        prop_assert_eq!(is_clique(&set), pairwise);
+        if let Some(t) = common_point(&set) {
+            for iv in &set {
+                prop_assert!(iv.contains_point(t));
+            }
+        }
+    }
+
+    /// The depth profile sums to the total length, its first level is the span, and it is
+    /// non-increasing with depth; its height is the maximum overlap.
+    #[test]
+    fn depth_profile_consistency(set in interval_vec(12)) {
+        let profile = depth_profile(&set);
+        let total: Duration = profile.iter().copied().sum();
+        prop_assert_eq!(total, total_len(&set));
+        if set.is_empty() {
+            prop_assert!(profile.is_empty());
+        } else {
+            prop_assert_eq!(profile[0], span(&set));
+        }
+        for w in profile.windows(2) {
+            prop_assert!(w[0] >= w[1]);
+        }
+        prop_assert_eq!(profile.len(), max_overlap(&set));
+    }
+
+    /// Proper-ness is preserved by translation and is order-insensitive.
+    #[test]
+    fn proper_invariant_under_shift_and_permutation(set in interval_vec(10), delta in -100i64..100) {
+        let p = is_proper(&set);
+        let shifted: Vec<Interval> = set.iter().map(|iv| iv.shift(Duration::new(delta))).collect();
+        prop_assert_eq!(is_proper(&shifted), p);
+        let mut reversed = set.clone();
+        reversed.reverse();
+        prop_assert_eq!(is_proper(&reversed), p);
+    }
+
+    /// Brute-force check of `is_proper` against the pairwise definition.
+    #[test]
+    fn proper_matches_pairwise_definition(set in interval_vec(10)) {
+        let brute = (0..set.len()).all(|i| {
+            (0..set.len()).all(|j| i == j || !set[i].properly_contains(&set[j]))
+        });
+        prop_assert_eq!(is_proper(&set), brute);
+    }
+
+    /// Classification is internally consistent.
+    #[test]
+    fn classification_consistency(set in interval_vec(10)) {
+        let c = classify(&set);
+        if c.one_sided {
+            prop_assert!(c.clique, "one-sided instances are clique instances by definition");
+        }
+        prop_assert_eq!(c.is_proper_clique(), c.proper && c.clique);
+    }
+
+    /// 2-D union area is bounded by total area and by the bounding-box area, and a single
+    /// rectangle's union area is its own area.
+    #[test]
+    fn rect_union_area_bounds(rects in prop::collection::vec(rect_strategy(), 0..8)) {
+        let ua = union_area(&rects);
+        prop_assert!(ua >= 0);
+        prop_assert!(ua <= total_area(&rects));
+        if let Some(first) = rects.first() {
+            let bbox = rects.iter().skip(1).fold(*first, |acc, r| acc.hull(r));
+            prop_assert!(ua <= bbox.area());
+            prop_assert!(ua >= rects.iter().map(Rect::area).max().unwrap());
+        } else {
+            prop_assert_eq!(ua, 0);
+        }
+    }
+
+    /// Mirroring in dimension 1 preserves area and projection lengths.
+    #[test]
+    fn rect_mirror_preserves_measure(r in rect_strategy()) {
+        let m = r.mirror_dim1();
+        prop_assert_eq!(m.area(), r.area());
+        prop_assert_eq!(m.len_k(1), r.len_k(1));
+        prop_assert_eq!(m.len_k(2), r.len_k(2));
+        prop_assert_eq!(m.mirror_dim1(), r);
+    }
+
+    /// Interval overlap length is symmetric and bounded by both lengths.
+    #[test]
+    fn overlap_len_symmetric_and_bounded(a in interval_strategy(), b in interval_strategy()) {
+        prop_assert_eq!(a.overlap_len(&b), b.overlap_len(&a));
+        prop_assert!(a.overlap_len(&b) <= a.len());
+        prop_assert!(a.overlap_len(&b) <= b.len());
+        prop_assert_eq!(a.overlap_len(&b) > Duration::ZERO, a.overlaps(&b));
+    }
+
+    /// split_at partitions the interval length when the point is inside.
+    #[test]
+    fn split_at_partitions(a in interval_strategy(), t in -250i64..250) {
+        let (l, r) = a.split_at(Time::new(t));
+        if a.contains_point(Time::new(t)) || Time::new(t) == a.end() {
+            prop_assert_eq!(l + r, a.len());
+        }
+        prop_assert!(l <= a.len() && r <= a.len());
+    }
+}

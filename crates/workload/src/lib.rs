@@ -1,0 +1,33 @@
+//! # busytime-workload
+//!
+//! Synthetic workload generators for the `busytime` reproduction of *"Optimizing Busy
+//! Time on Parallel Machines"*.  The paper contains no experimental evaluation, so the
+//! experiment harness validates its theorems on random instances of the structural
+//! classes the paper analyses; this crate provides one generator per class plus the
+//! adversarial Figure 3 family used in the FirstFit lower-bound proof:
+//!
+//! * [`clique_instance`], [`one_sided_instance`], [`proper_clique_instance`],
+//!   [`proper_instance`], [`general_instance`] — the one-dimensional classes;
+//! * [`cloud_trace`], [`optical_lightpaths`] — application-flavoured workloads
+//!   (Section 1's cloud-computing and optical-grooming motivations);
+//! * [`rect_instance`] — random rectangles with controllable `γ₁`, `γ₂` (Section 3.4);
+//! * [`figure3_instance`] and companions — the exact lower-bound construction of
+//!   Figure 3, reproduced with integer coordinates.
+//!
+//! All generators take a caller-provided RNG so experiments are reproducible from a
+//! printed seed.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod onedim;
+mod twodim;
+
+pub use onedim::{
+    clique_instance, cloud_trace, general_instance, one_sided_instance, optical_lightpaths,
+    proper_clique_instance, proper_instance,
+};
+pub use twodim::{
+    figure3_asymptotic_ratio, figure3_firstfit_cost, figure3_good_solution_cost,
+    figure3_instance, rect_instance,
+};

@@ -1,0 +1,245 @@
+//! Random generators for one-dimensional instances of every structural class the paper
+//! analyses, plus two application-flavoured workloads (cloud requests, optical
+//! lightpaths).
+//!
+//! All generators are deterministic given an RNG; the experiment harness seeds them
+//! explicitly so every reported number is reproducible.
+
+use busytime::Instance;
+use rand::Rng;
+
+/// A random **clique** instance: every job contains time 0 (starts drawn from
+/// `[-max_side, 0)`, completions from `(0, max_side]`).
+pub fn clique_instance<R: Rng>(rng: &mut R, n: usize, g: usize, max_side: i64) -> Instance {
+    assert!(max_side >= 1);
+    let jobs: Vec<(i64, i64)> = (0..n)
+        .map(|_| {
+            let s = -rng.random_range(1..=max_side);
+            let c = rng.random_range(1..=max_side);
+            (s, c)
+        })
+        .collect();
+    Instance::from_ticks(&jobs, g)
+}
+
+/// A random **one-sided clique** instance: all jobs start at time 0 with lengths in
+/// `[1, max_len]`.
+pub fn one_sided_instance<R: Rng>(rng: &mut R, n: usize, g: usize, max_len: i64) -> Instance {
+    assert!(max_len >= 1);
+    let jobs: Vec<(i64, i64)> = (0..n).map(|_| (0, rng.random_range(1..=max_len))).collect();
+    Instance::from_ticks(&jobs, g)
+}
+
+/// A random **proper clique** instance: starts strictly increase inside `[0, spread)`,
+/// completions strictly increase inside `[spread, 2·spread)`, so every job contains the
+/// point `spread` and no job properly contains another.
+pub fn proper_clique_instance<R: Rng>(rng: &mut R, n: usize, g: usize, spread: i64) -> Instance {
+    assert!(spread as usize >= n.max(1), "spread must allow n distinct starts");
+    let starts = distinct_sorted(rng, n, 0, spread);
+    let ends = distinct_sorted(rng, n, spread, 2 * spread);
+    let jobs: Vec<(i64, i64)> = starts.into_iter().zip(ends).collect();
+    Instance::from_ticks(&jobs, g)
+}
+
+/// A random **proper** (not necessarily clique) instance: both starts and completions
+/// strictly increase, with consecutive jobs overlapping with probability roughly
+/// `overlap_bias` so that connected runs of varying length appear.
+pub fn proper_instance<R: Rng>(
+    rng: &mut R,
+    n: usize,
+    g: usize,
+    max_len: i64,
+    max_gap: i64,
+) -> Instance {
+    assert!(max_len >= 2 && max_gap >= 1);
+    let mut jobs = Vec::with_capacity(n);
+    let mut start = 0i64;
+    let mut end = 0i64;
+    for i in 0..n {
+        if i == 0 {
+            start = 0;
+            end = rng.random_range(2..=max_len);
+        } else {
+            start += rng.random_range(1..=max_gap);
+            let min_end = (end + 1).max(start + 1);
+            end = min_end + rng.random_range(0..max_len);
+        }
+        jobs.push((start, end));
+    }
+    Instance::from_ticks(&jobs, g)
+}
+
+/// A random **general** instance: starts uniform in `[0, horizon)`, lengths uniform in
+/// `[1, max_len]`.  No structural guarantee (typically neither proper nor clique).
+pub fn general_instance<R: Rng>(
+    rng: &mut R,
+    n: usize,
+    g: usize,
+    horizon: i64,
+    max_len: i64,
+) -> Instance {
+    assert!(horizon >= 1 && max_len >= 1);
+    let jobs: Vec<(i64, i64)> = (0..n)
+        .map(|_| {
+            let s = rng.random_range(0..horizon);
+            let l = rng.random_range(1..=max_len);
+            (s, s + l)
+        })
+        .collect();
+    Instance::from_ticks(&jobs, g)
+}
+
+/// A cloud-style request trace: inter-arrival times geometric with mean
+/// `mean_interarrival`, durations drawn log-uniformly between `min_duration` and
+/// `max_duration` (a crude heavy tail: many short tasks, a few long-running services).
+///
+/// This models the "clients renting identical computing units" application of Section 1;
+/// `g` is the number of tasks a rented machine can host concurrently.
+pub fn cloud_trace<R: Rng>(
+    rng: &mut R,
+    n: usize,
+    g: usize,
+    mean_interarrival: i64,
+    min_duration: i64,
+    max_duration: i64,
+) -> Instance {
+    assert!(mean_interarrival >= 1 && min_duration >= 1 && max_duration >= min_duration);
+    let mut jobs = Vec::with_capacity(n);
+    let mut now = 0i64;
+    let ratio = (max_duration as f64 / min_duration as f64).max(1.0);
+    for _ in 0..n {
+        now += rng.random_range(0..=2 * mean_interarrival);
+        let u: f64 = rng.random_range(0.0..1.0);
+        let duration = ((min_duration as f64) * ratio.powf(u)).round() as i64;
+        let duration = duration.clamp(min_duration, max_duration);
+        jobs.push((now, now + duration));
+    }
+    Instance::from_ticks(&jobs, g)
+}
+
+/// An optical-network workload: lightpaths along a line of `nodes` nodes, each occupying
+/// a contiguous segment `[a, b)` of the line; the grooming factor `g` plays the role of
+/// the machine capacity and the busy time of a machine corresponds to the regenerator
+/// cost of a colour (Section 1 and Section 5 of the paper).
+pub fn optical_lightpaths<R: Rng>(rng: &mut R, n: usize, g: usize, nodes: i64) -> Instance {
+    assert!(nodes >= 2);
+    let jobs: Vec<(i64, i64)> = (0..n)
+        .map(|_| {
+            let a = rng.random_range(0..nodes - 1);
+            let b = rng.random_range(a + 1..nodes);
+            (a, b)
+        })
+        .collect();
+    Instance::from_ticks(&jobs, g)
+}
+
+/// `count` strictly increasing values in `[lo, hi)`.
+///
+/// # Panics
+/// Panics if the range cannot hold `count` distinct values.
+fn distinct_sorted<R: Rng>(rng: &mut R, count: usize, lo: i64, hi: i64) -> Vec<i64> {
+    assert!((hi - lo) as usize >= count);
+    // Sample by choosing `count` gaps in the available slack, keeping values distinct.
+    let slack = (hi - lo) as usize - count;
+    let mut cuts: Vec<usize> = (0..count).map(|_| rng.random_range(0..=slack)).collect();
+    cuts.sort_unstable();
+    cuts.iter()
+        .enumerate()
+        .map(|(i, &c)| lo + (c + i) as i64)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(42)
+    }
+
+    #[test]
+    fn clique_instances_are_cliques() {
+        let mut r = rng();
+        for n in [1usize, 2, 5, 20, 50] {
+            let inst = clique_instance(&mut r, n, 3, 100);
+            assert_eq!(inst.len(), n);
+            assert!(inst.is_clique());
+        }
+    }
+
+    #[test]
+    fn one_sided_instances_are_one_sided() {
+        let mut r = rng();
+        for _ in 0..10 {
+            let inst = one_sided_instance(&mut r, 12, 4, 50);
+            assert!(inst.is_one_sided());
+            assert!(inst.is_clique());
+        }
+    }
+
+    #[test]
+    fn proper_clique_instances_are_proper_cliques() {
+        let mut r = rng();
+        for n in [1usize, 3, 10, 40] {
+            let inst = proper_clique_instance(&mut r, n, 2, 64);
+            assert!(inst.is_proper(), "n={n}");
+            assert!(inst.is_clique(), "n={n}");
+        }
+    }
+
+    #[test]
+    fn proper_instances_are_proper() {
+        let mut r = rng();
+        for _ in 0..20 {
+            let inst = proper_instance(&mut r, 30, 3, 20, 5);
+            assert!(inst.is_proper());
+        }
+    }
+
+    #[test]
+    fn general_and_cloud_and_optical_have_requested_size() {
+        let mut r = rng();
+        assert_eq!(general_instance(&mut r, 25, 2, 100, 10).len(), 25);
+        assert_eq!(cloud_trace(&mut r, 40, 8, 5, 1, 500).len(), 40);
+        let opt = optical_lightpaths(&mut r, 30, 4, 16);
+        assert_eq!(opt.len(), 30);
+        // Lightpaths stay within the line.
+        for job in opt.jobs() {
+            assert!(job.start().ticks() >= 0 && job.end().ticks() <= 16);
+        }
+    }
+
+    #[test]
+    fn generators_are_deterministic_given_seed() {
+        let a = clique_instance(&mut StdRng::seed_from_u64(7), 15, 2, 30);
+        let b = clique_instance(&mut StdRng::seed_from_u64(7), 15, 2, 30);
+        assert_eq!(a, b);
+        let c = clique_instance(&mut StdRng::seed_from_u64(8), 15, 2, 30);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn distinct_sorted_is_strictly_increasing() {
+        let mut r = rng();
+        for _ in 0..20 {
+            let v = distinct_sorted(&mut r, 10, 5, 40);
+            assert_eq!(v.len(), 10);
+            for w in v.windows(2) {
+                assert!(w[0] < w[1]);
+            }
+            assert!(*v.first().unwrap() >= 5 && *v.last().unwrap() < 40);
+        }
+    }
+
+    #[test]
+    fn cloud_durations_respect_bounds() {
+        let mut r = rng();
+        let inst = cloud_trace(&mut r, 200, 4, 10, 3, 300);
+        for job in inst.jobs() {
+            let len = job.len().ticks();
+            assert!((3..=300).contains(&len));
+        }
+    }
+}

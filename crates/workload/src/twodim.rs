@@ -1,0 +1,237 @@
+//! Random generators for two-dimensional (rectangular) instances, plus the exact
+//! lower-bound construction of Figure 3 of the paper.
+
+use busytime::twodim::Instance2d;
+use busytime_interval::{union_area, Area, Rect};
+use rand::Rng;
+
+/// A random rectangle instance with controllable aspect spreads.
+///
+/// Projections in dimension `k` have lengths log-uniform in `[base_len, base_len·γ_k]`,
+/// and positions are uniform inside a box of side `horizon`, so the generated instance
+/// has `γ_k` close to (never above) the requested value.
+pub fn rect_instance<R: Rng>(
+    rng: &mut R,
+    n: usize,
+    g: usize,
+    horizon: i64,
+    base_len: i64,
+    gamma1: f64,
+    gamma2: f64,
+) -> Instance2d {
+    assert!(horizon >= 1 && base_len >= 1 && gamma1 >= 1.0 && gamma2 >= 1.0);
+    let mut jobs = Vec::with_capacity(n);
+    for _ in 0..n {
+        let l1 = log_uniform_len(rng, base_len, gamma1);
+        let l2 = log_uniform_len(rng, base_len, gamma2);
+        let s1 = rng.random_range(0..horizon);
+        let s2 = rng.random_range(0..horizon);
+        jobs.push((s1, s1 + l1, s2, s2 + l2));
+    }
+    Instance2d::from_ticks(&jobs, g)
+}
+
+fn log_uniform_len<R: Rng>(rng: &mut R, base: i64, gamma: f64) -> i64 {
+    let u: f64 = rng.random_range(0.0..1.0);
+    let len = (base as f64) * gamma.powf(u);
+    (len.round() as i64).clamp(base, (base as f64 * gamma).floor() as i64)
+}
+
+/// The adversarial instance of Figure 3 (the lower-bound proof of Lemma 3.5), scaled to
+/// integer coordinates.
+///
+/// The construction takes `ε′ = 1/scale` in the paper's real-valued description and
+/// multiplies every coordinate by `scale`; larger scales approach the asymptotic ratio
+/// `6γ₁ + 3`.  The instance consists of `g` rounds, each containing `g − 3` copies of the
+/// central square `X` followed by one copy of each of `A, C, −A, −C, B, −B, D, E`
+/// (this is exactly the tie-breaking order used in the proof, and all rectangles have
+/// equal `len₂`, so FirstFit processes them in this order).
+///
+/// # Panics
+/// Panics unless `g ≥ 4`, `gamma1 ≥ 1` and `scale ≥ 2` (the construction needs
+/// `0 < ε′ < 1`).
+pub fn figure3_instance(g: usize, gamma1: i64, scale: i64) -> Instance2d {
+    assert!(g >= 4, "the Figure 3 construction needs g ≥ 4");
+    assert!(gamma1 >= 1 && scale >= 2);
+    let rects = figure3_round_rects(gamma1, scale);
+    let x = rects.x;
+    let round: Vec<Rect> = vec![
+        rects.a,
+        rects.c,
+        rects.a.mirror_dim1(),
+        rects.c.mirror_dim1(),
+        rects.b,
+        rects.b.mirror_dim1(),
+        rects.d,
+        rects.e,
+    ];
+    let mut jobs: Vec<Rect> = Vec::with_capacity(g * (g - 3) + 8 * g);
+    for _ in 0..g {
+        for _ in 0..(g - 3) {
+            jobs.push(x);
+        }
+        jobs.extend(round.iter().copied());
+    }
+    Instance2d::new(jobs, g).expect("g >= 4")
+}
+
+/// The named rectangles of the Figure 3 construction (one "round"), scaled by `scale`
+/// with `ε′ = 1/scale`.
+struct Figure3Rects {
+    a: Rect,
+    b: Rect,
+    c: Rect,
+    d: Rect,
+    e: Rect,
+    x: Rect,
+}
+
+fn figure3_round_rects(gamma1: i64, s: i64) -> Figure3Rects {
+    // Real coordinates (paper, equation (6)) multiplied by s, with ε′·s = 1.
+    let eps = 1i64; // ε′ after scaling
+    let a = Rect::from_ticks(s - eps, s + 2 * gamma1 * s - eps, s - eps, 3 * s - eps);
+    let b = Rect::from_ticks(s - eps, s + 2 * gamma1 * s - eps, -s, s);
+    let c = Rect::from_ticks(s - eps, s + 2 * gamma1 * s - eps, -3 * s + eps, -s + eps);
+    let d = Rect::from_ticks(-s, s, s - eps, 3 * s - eps);
+    let e = Rect::from_ticks(-s, s, -3 * s + eps, -s + eps);
+    let x = Rect::centered(s, s);
+    Figure3Rects { a, b, c, d, e, x }
+}
+
+/// The busy-area cost that FirstFit is driven to on the Figure 3 instance:
+/// `g · span(Y)` where `Y` is the union of one round's rectangles.
+pub fn figure3_firstfit_cost(g: usize, gamma1: i64, scale: i64) -> Area {
+    assert!(g >= 4);
+    let r = figure3_round_rects(gamma1, scale);
+    let round = [
+        r.x,
+        r.a,
+        r.b,
+        r.c,
+        r.d,
+        r.e,
+        r.a.mirror_dim1(),
+        r.b.mirror_dim1(),
+        r.c.mirror_dim1(),
+    ];
+    g as Area * union_area(&round)
+}
+
+/// The cost of the good solution exhibited in the lower-bound proof (an upper bound on
+/// the optimum): `(g−3)·area(X) + 2(area(A)+area(B)+area(C)) + area(D) + area(E)`.
+pub fn figure3_good_solution_cost(g: usize, gamma1: i64, scale: i64) -> Area {
+    assert!(g >= 4);
+    let r = figure3_round_rects(gamma1, scale);
+    (g as Area - 3) * r.x.area()
+        + 2 * (r.a.area() + r.b.area() + r.c.area())
+        + r.d.area()
+        + r.e.area()
+}
+
+/// The asymptotic lower bound `6γ₁ + 3` that the Figure 3 family approaches as `g` and
+/// `scale` grow.
+pub fn figure3_asymptotic_ratio(gamma1: i64) -> f64 {
+    6.0 * gamma1 as f64 + 3.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use busytime::twodim::first_fit_2d;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn rect_instance_respects_gamma_targets() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let inst = rect_instance(&mut rng, 60, 3, 200, 4, 8.0, 2.0);
+        assert_eq!(inst.len(), 60);
+        assert!(inst.gamma(1).unwrap() <= 8.0 + 1e-9);
+        assert!(inst.gamma(2).unwrap() <= 2.0 + 1e-9);
+    }
+
+    #[test]
+    fn figure3_structure_matches_paper() {
+        let g = 5;
+        let inst = figure3_instance(g, 2, 8);
+        assert_eq!(inst.len(), g * (g - 3) + 8 * g);
+        // All rectangles share the same len₂ (the construction relies on it).
+        let len2: Vec<i64> = inst.jobs().iter().map(|r| r.len_k(2).ticks()).collect();
+        assert!(len2.iter().all(|&l| l == len2[0]));
+        // γ₁ of the instance equals the requested γ₁ (len₁ is either 2s or 2γ₁s).
+        assert!((inst.gamma(1).unwrap() - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn figure3_first_fit_is_driven_to_g_machines() {
+        for (g, gamma1) in [(4usize, 1i64), (5, 2), (6, 1)] {
+            let scale = 16;
+            let inst = figure3_instance(g, gamma1, scale);
+            let schedule = first_fit_2d(&inst);
+            schedule.validate_complete(&inst).unwrap();
+            assert_eq!(schedule.machines_used(), g, "g={g} gamma1={gamma1}");
+            assert_eq!(schedule.cost(&inst), figure3_firstfit_cost(g, gamma1, scale));
+        }
+    }
+
+    #[test]
+    fn figure3_good_solution_is_much_cheaper() {
+        let (g, gamma1, scale) = (20usize, 2i64, 32);
+        let ff = figure3_firstfit_cost(g, gamma1, scale);
+        let good = figure3_good_solution_cost(g, gamma1, scale);
+        let ratio = ff as f64 / good as f64;
+        // The ratio approaches 6γ₁+3 = 15 from below as g and scale grow (the paper's
+        // formula is g(1+2γ₁−ε′)(3−ε′)/(g+6γ₁−1)); with g = 20 it must already exceed
+        // half of the asymptote.
+        assert!(ratio > figure3_asymptotic_ratio(gamma1) / 2.0, "ratio {ratio}");
+        assert!(ratio <= figure3_asymptotic_ratio(gamma1) + 1.0);
+    }
+
+    #[test]
+    fn figure3_good_solution_is_feasible() {
+        // Build the good solution explicitly and validate it: (g-3) machines of g X's,
+        // plus machines for the g copies of each letter as in the proof.
+        let (g, gamma1, scale) = (5usize, 1i64, 8);
+        let inst = figure3_instance(g, gamma1, scale);
+        // Partition jobs by shape.
+        let r = figure3_round_rects(gamma1, scale);
+        let mut schedule = busytime::twodim::Schedule2d::empty(inst.len());
+        let mut machine = 0usize;
+        // X copies: g per machine.
+        let x_ids: Vec<usize> = (0..inst.len()).filter(|&i| inst.job(i) == r.x).collect();
+        assert_eq!(x_ids.len(), g * (g - 3));
+        for chunk in x_ids.chunks(g) {
+            for &i in chunk {
+                schedule.assign(i, machine);
+            }
+            machine += 1;
+        }
+        // Every other shape: all g copies on one machine (the copies are identical, so at
+        // most g overlap anywhere).
+        for shape in [
+            r.a,
+            r.b,
+            r.c,
+            r.d,
+            r.e,
+            r.a.mirror_dim1(),
+            r.b.mirror_dim1(),
+            r.c.mirror_dim1(),
+        ] {
+            let ids: Vec<usize> = (0..inst.len()).filter(|&i| inst.job(i) == shape).collect();
+            assert_eq!(ids.len(), g);
+            for &i in &ids {
+                schedule.assign(i, machine);
+            }
+            machine += 1;
+        }
+        schedule.validate_complete(&inst).unwrap();
+        assert_eq!(schedule.cost(&inst), figure3_good_solution_cost(g, gamma1, scale));
+    }
+
+    #[test]
+    #[should_panic]
+    fn figure3_requires_g_at_least_4() {
+        let _ = figure3_instance(3, 1, 8);
+    }
+}

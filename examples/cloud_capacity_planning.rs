@@ -1,0 +1,80 @@
+//! Cloud capacity planning: clients rent identical machines that can each host `g`
+//! concurrent tasks and pay for the total time machines are switched on (Section 1 of
+//! the paper, cloud-computing motivation).
+//!
+//! The example generates a synthetic request trace, compares the busy time (≈ the bill)
+//! achieved by the library's algorithms against the naive one-machine-per-task policy,
+//! and then answers the reverse question: with a fixed budget, how many tasks can be
+//! served (MaxThroughput)?
+//!
+//! Run with `cargo run -p busytime-bench --example cloud_capacity_planning --release`.
+
+use busytime::bounds::{length_bound, lower_bound};
+use busytime::maxthroughput::greedy_fallback;
+use busytime::minbusy::{first_fit, greedy_pack, naive, solve_auto};
+use busytime::{Duration, Instance};
+use busytime_workload::cloud_trace;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn report(label: &str, instance: &Instance, cost: Duration) {
+    let bill = cost.ticks();
+    let naive_bill = length_bound(instance).ticks();
+    println!(
+        "  {label:<28} bill = {bill:>8} machine-minutes   ({:>5.1}% of the naive bill)",
+        100.0 * bill as f64 / naive_bill as f64
+    );
+}
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(7);
+    // 400 tasks, machines host up to 8 concurrent tasks, mean inter-arrival 3 minutes,
+    // task durations between 5 minutes and 8 hours (log-uniform).
+    let instance = cloud_trace(&mut rng, 400, 8, 3, 5, 480);
+    println!(
+        "cloud trace: {} tasks over ~{} minutes, capacity g = {}",
+        instance.len(),
+        instance.span(),
+        instance.capacity()
+    );
+    println!(
+        "theoretical minimum bill (Observation 2.1 lower bound): {} machine-minutes\n",
+        lower_bound(&instance)
+    );
+
+    println!("MinBusy — total machine-on time under different schedulers:");
+    let n = naive(&instance);
+    report("one task per machine", &instance, n.cost(&instance));
+    let packed = greedy_pack(&instance);
+    report("blind packing (Prop 2.1)", &instance, packed.cost(&instance));
+    let ff = first_fit(&instance);
+    report("FirstFit [13]", &instance, ff.cost(&instance));
+    let (auto, algo) = solve_auto(&instance);
+    report(
+        &format!("auto dispatch ({algo:?})"),
+        &instance,
+        auto.cost(&instance),
+    );
+    for schedule in [&n, &packed, &ff, &auto] {
+        schedule.validate_complete(&instance).expect("valid schedule");
+    }
+
+    // Budget question: the client only wants to spend 60% of the FirstFit bill.
+    let budget = Duration::new(ff.cost(&instance).ticks() * 6 / 10);
+    let budgeted = greedy_fallback(&instance, budget);
+    budgeted
+        .schedule
+        .validate_budgeted(&instance, budget)
+        .expect("budget respected");
+    println!(
+        "\nMaxThroughput — with a budget of {} machine-minutes ({}% of the FirstFit bill):",
+        budget,
+        60
+    );
+    println!(
+        "  {} of {} tasks can be served (busy time used: {})",
+        budgeted.throughput,
+        instance.len(),
+        budgeted.cost
+    );
+}

@@ -1,0 +1,72 @@
+//! Energy-aware cluster scheduling: machines consume power whenever they are switched on
+//! (busy), and each machine can host at most `g` jobs at a time.  Total busy time is a
+//! direct proxy for energy (Section 1 of the paper, energy motivation).
+//!
+//! The workload is a batch of jobs whose start times drift forward and whose runtimes are
+//! similar — a *proper* instance (no job properly contains another), the class for which
+//! the paper's BestCut algorithm guarantees a (2 − 1/g)-approximation (Theorem 3.1).
+//! The example measures the energy saved by BestCut against the FirstFit baseline and the
+//! no-consolidation policy, for several machine capacities.
+//!
+//! Run with `cargo run -p busytime-bench --example energy_aware_cluster --release`.
+
+use busytime::bounds::lower_bound;
+use busytime::minbusy::{best_cut, best_cut_guarantee, first_fit, naive};
+use busytime::Instance;
+use busytime_workload::proper_instance;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Energy model: 1 tick of busy time = 1 energy unit (identical machines).
+fn energy(cost: busytime::Duration) -> f64 {
+    cost.ticks() as f64
+}
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(2012);
+    let base = proper_instance(&mut rng, 1_000, 1, 60, 4);
+    println!(
+        "batch of {} jobs, span {} ticks (proper instance: {})",
+        base.len(),
+        base.span(),
+        base.is_proper()
+    );
+    println!(
+        "\n{:<6} {:>14} {:>14} {:>14} {:>12} {:>16}",
+        "g", "no consolidation", "FirstFit [13]", "BestCut (Thm 3.1)", "saving", "ratio vs LB"
+    );
+
+    for g in [2usize, 4, 8, 16] {
+        // Same job set, different machine capacity.
+        let instance = Instance::new(base.jobs().to_vec(), g).expect("g >= 1");
+        let no_consolidation = naive(&instance);
+        let ff = first_fit(&instance);
+        let bc = best_cut(&instance).expect("proper instance");
+        for s in [&no_consolidation, &ff, &bc] {
+            s.validate_complete(&instance).expect("valid schedule");
+        }
+        let e_naive = energy(no_consolidation.cost(&instance));
+        let e_ff = energy(ff.cost(&instance));
+        let e_bc = energy(bc.cost(&instance));
+        let saving = 100.0 * (1.0 - e_bc / e_naive);
+        let ratio = e_bc / lower_bound(&instance).ticks() as f64;
+        println!(
+            "{:<6} {:>14.0} {:>14.0} {:>14.0} {:>11.1}% {:>10.3} (≤ {:.3})",
+            g,
+            e_naive,
+            e_ff,
+            e_bc,
+            saving,
+            ratio,
+            best_cut_guarantee(g)
+        );
+        assert!(ratio <= best_cut_guarantee(g) + 1e-9, "Theorem 3.1 must hold");
+    }
+
+    println!(
+        "\nReading: consolidating up to g jobs per machine saves energy roughly in \
+         proportion to the overlap between consecutive jobs; BestCut never exceeds \
+         (2 - 1/g) times the optimum while the FirstFit baseline only guarantees a \
+         factor 4."
+    );
+}

@@ -1,0 +1,70 @@
+//! Quickstart: build a small instance, solve MinBusy and MaxThroughput, inspect the
+//! schedules.
+//!
+//! Run with `cargo run -p busytime-bench --example quickstart`.
+
+use busytime::analysis::ScheduleSummary;
+use busytime::{maxthroughput, minbusy, Duration, Instance};
+
+fn main() {
+    // Eight jobs given as (start, completion) tick pairs — think of ticks as minutes.
+    // Every machine can run at most g = 3 jobs at a time.
+    let instance = Instance::from_ticks(
+        &[
+            (0, 90),
+            (10, 100),
+            (20, 110),
+            (30, 120),
+            (40, 130),
+            (200, 260),
+            (210, 280),
+            (215, 275),
+        ],
+        3,
+    );
+
+    println!("instance: {} jobs, capacity g = {}", instance.len(), instance.capacity());
+    println!(
+        "classification: clique = {}, proper = {}, one-sided = {}, connected = {}",
+        instance.is_clique(),
+        instance.is_proper(),
+        instance.is_one_sided(),
+        instance.classification().connected
+    );
+    println!(
+        "lower bound (Observation 2.1): {}   naive upper bound: {}",
+        instance.lower_bound(),
+        instance.total_len()
+    );
+
+    // ---- MinBusy: schedule every job with minimum total busy time. -------------------
+    let (schedule, algorithm) = minbusy::solve_auto(&instance);
+    schedule
+        .validate_complete(&instance)
+        .expect("solve_auto always returns a valid complete schedule");
+    println!("\nMinBusy via {algorithm:?}:");
+    println!("  {}", ScheduleSummary::new(&instance, &schedule));
+    for (machine, jobs) in schedule.machine_groups().iter().enumerate() {
+        let intervals: Vec<String> = jobs.iter().map(|&j| instance.job(j).to_string()).collect();
+        println!("  machine {machine}: jobs {jobs:?} -> {}", intervals.join(", "));
+    }
+
+    // ---- MaxThroughput: a busy-time budget of 150 ticks. ------------------------------
+    let budget = Duration::new(150);
+    let (result, algorithm) = maxthroughput::solve_auto(&instance, budget);
+    result
+        .schedule
+        .validate_budgeted(&instance, budget)
+        .expect("budgeted schedules never exceed the budget");
+    println!("\nMaxThroughput via {algorithm:?} with budget {budget}:");
+    println!(
+        "  scheduled {} of {} jobs using busy time {}",
+        result.throughput,
+        instance.len(),
+        result.cost
+    );
+    let skipped: Vec<usize> = (0..instance.len())
+        .filter(|&j| !result.schedule.is_scheduled(j))
+        .collect();
+    println!("  skipped jobs: {skipped:?}");
+}

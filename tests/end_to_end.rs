@@ -1,0 +1,153 @@
+//! End-to-end integration tests: workload generation → automatic dispatch → validation →
+//! reporting, plus the experiment harness itself, exercised the way a downstream user
+//! would drive the library.
+
+use busytime::analysis::ScheduleSummary;
+use busytime::maxthroughput::{self, MaxThroughputAlgorithm};
+use busytime::minbusy::{self, MinBusyAlgorithm};
+use busytime::par::{map_instances, solve_maxthroughput_batch, solve_minbusy_batch};
+use busytime::twodim::{bucket_first_fit, first_fit_2d, DEFAULT_BUCKET_BASE};
+use busytime::{Duration, Instance};
+use busytime_bench::all_experiments;
+use busytime_workload::{
+    clique_instance, cloud_trace, general_instance, one_sided_instance, optical_lightpaths,
+    proper_clique_instance, proper_instance, rect_instance,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// The automatic dispatcher picks the expected algorithm per generated class and always
+/// produces a valid complete schedule.
+#[test]
+fn dispatcher_matches_generated_classes() {
+    let mut rng = StdRng::seed_from_u64(1);
+    let cases: Vec<(Instance, MinBusyAlgorithm)> = vec![
+        (one_sided_instance(&mut rng, 30, 4, 50), MinBusyAlgorithm::OneSided),
+        (proper_clique_instance(&mut rng, 30, 4, 100), MinBusyAlgorithm::ProperCliqueDp),
+        (proper_instance(&mut rng, 30, 4, 20, 5), MinBusyAlgorithm::BestCut),
+    ];
+    for (inst, expected) in cases {
+        let (schedule, algo) = minbusy::solve_auto(&inst);
+        schedule.validate_complete(&inst).unwrap();
+        // A random proper instance could accidentally be a proper clique (stronger class);
+        // accept the expected algorithm or a strictly stronger exact one.
+        assert!(
+            algo == expected || algo.is_exact(),
+            "expected {expected:?}, got {algo:?}"
+        );
+    }
+
+    // Clique instances: the dispatcher uses matching for g = 2 and set cover otherwise.
+    let clique2 = clique_instance(&mut rng, 20, 2, 60);
+    assert_eq!(minbusy::solve_auto(&clique2).1, MinBusyAlgorithm::CliqueMatching);
+    let clique3 = clique_instance(&mut rng, 12, 3, 60);
+    let (_, algo3) = minbusy::solve_auto(&clique3);
+    assert!(matches!(
+        algo3,
+        MinBusyAlgorithm::CliqueSetCover | MinBusyAlgorithm::ProperCliqueDp
+    ));
+
+    // A general instance falls back to FirstFit.
+    let general = general_instance(&mut rng, 50, 3, 200, 30);
+    let (schedule, algo) = minbusy::solve_auto(&general);
+    schedule.validate_complete(&general).unwrap();
+    assert!(matches!(
+        algo,
+        MinBusyAlgorithm::FirstFit | MinBusyAlgorithm::BestCut | MinBusyAlgorithm::CliqueSetCover
+    ));
+}
+
+/// The budgeted dispatcher respects every budget on every workload family.
+#[test]
+fn budgeted_dispatcher_respects_budgets() {
+    let mut rng = StdRng::seed_from_u64(2);
+    let instances = vec![
+        one_sided_instance(&mut rng, 25, 3, 40),
+        proper_clique_instance(&mut rng, 25, 3, 80),
+        clique_instance(&mut rng, 25, 3, 40),
+        cloud_trace(&mut rng, 60, 6, 4, 2, 200),
+        optical_lightpaths(&mut rng, 40, 4, 32),
+    ];
+    for inst in &instances {
+        for frac in [10i64, 4, 2, 1] {
+            let budget = Duration::new(inst.total_len().ticks() / frac);
+            let (result, algo) = maxthroughput::solve_auto(inst, budget);
+            result.schedule.validate_budgeted(inst, budget).unwrap();
+            if inst.is_one_sided() {
+                assert_eq!(algo, MaxThroughputAlgorithm::OneSided);
+            }
+        }
+    }
+}
+
+/// Parallel batch APIs agree with the sequential dispatcher.
+#[test]
+fn parallel_batch_agrees_with_sequential() {
+    let mut rng = StdRng::seed_from_u64(3);
+    let instances: Vec<Instance> = (0..12)
+        .map(|i| match i % 3 {
+            0 => proper_clique_instance(&mut rng, 40, 4, 160),
+            1 => one_sided_instance(&mut rng, 40, 4, 60),
+            _ => proper_instance(&mut rng, 40, 4, 20, 6),
+        })
+        .collect();
+    let batch = solve_minbusy_batch(&instances);
+    for (inst, (schedule, algo)) in instances.iter().zip(&batch) {
+        let (seq_schedule, seq_algo) = minbusy::solve_auto(inst);
+        assert_eq!(algo, &seq_algo);
+        assert_eq!(schedule.cost(inst), seq_schedule.cost(inst));
+    }
+    let cases: Vec<(Instance, Duration)> = instances
+        .iter()
+        .map(|i| (i.clone(), Duration::new(i.total_len().ticks() / 3)))
+        .collect();
+    let tbatch = solve_maxthroughput_batch(&cases);
+    for ((inst, budget), (result, _)) in cases.iter().zip(&tbatch) {
+        result.schedule.validate_budgeted(inst, *budget).unwrap();
+    }
+    let costs = map_instances(&instances, |i| minbusy::solve_auto(i).0.cost(i));
+    assert_eq!(costs.len(), instances.len());
+}
+
+/// Schedule summaries stay internally consistent on a realistic trace.
+#[test]
+fn summaries_are_consistent() {
+    let mut rng = StdRng::seed_from_u64(4);
+    let inst = cloud_trace(&mut rng, 120, 8, 3, 5, 300);
+    let (schedule, _) = minbusy::solve_auto(&inst);
+    let summary = ScheduleSummary::new(&inst, &schedule);
+    assert_eq!(summary.jobs, 120);
+    assert_eq!(summary.scheduled, 120);
+    assert!(summary.cost >= summary.lower_bound);
+    assert!(summary.cost <= summary.upper_bound);
+    assert!(summary.ratio_vs_lower_bound >= 1.0);
+    assert!((0.0..=1.0).contains(&summary.saving_fraction));
+}
+
+/// The 2-D pipeline: generator → FirstFit / BucketFirstFit → validation, including the
+/// dimension-swap path.
+#[test]
+fn two_dimensional_pipeline() {
+    let mut rng = StdRng::seed_from_u64(5);
+    for (g1, g2) in [(2.0f64, 16.0f64), (16.0, 2.0), (1.0, 1.0)] {
+        let inst = rect_instance(&mut rng, 120, 4, 300, 2, g1, g2);
+        let ff = first_fit_2d(&inst);
+        ff.validate_complete(&inst).unwrap();
+        let bf = bucket_first_fit(&inst, DEFAULT_BUCKET_BASE);
+        bf.validate_complete(&inst).unwrap();
+        assert!(ff.cost(&inst) >= inst.lower_bound());
+        assert!(bf.cost(&inst) >= inst.lower_bound());
+    }
+}
+
+/// The experiment harness itself runs end to end (with a tiny trial count) and every
+/// claim passes.
+#[test]
+fn experiment_harness_smoke() {
+    let reports = all_experiments(7, 2);
+    assert_eq!(reports.len(), 11);
+    for report in &reports {
+        assert!(report.passed(), "{}", report.render());
+        assert!(!report.rows.is_empty());
+    }
+}

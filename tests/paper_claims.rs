@@ -1,0 +1,220 @@
+//! Direct checks of the paper's individual claims on hand-constructed and deterministic
+//! instances — one test per lemma/theorem/observation/proposition, referenced by number.
+
+use busytime::bounds::{length_bound, lower_bound, parallelism_bound, span_bound};
+use busytime::maxthroughput::{
+    clique_max_throughput, maxthroughput_via_minbusy, minbusy_via_maxthroughput,
+    most_throughput_consecutive_fast, one_sided_max_throughput, shortest_prefix_candidates,
+};
+use busytime::minbusy::{
+    best_cut, best_cut_guarantee, clique_matching, clique_set_cover, find_best_consecutive,
+    greedy_pack, naive, one_sided_optimal, set_cover_guarantee,
+};
+use busytime::{Duration, Instance};
+use busytime_exact::{exact_maxthroughput_value, exact_minbusy_cost};
+use busytime_workload::{
+    clique_instance, figure3_firstfit_cost, figure3_good_solution_cost, figure3_instance,
+    proper_clique_instance,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Observation 2.1: parallelism bound, span bound and length bound sandwich the optimum.
+#[test]
+fn observation_2_1_bounds() {
+    let inst = Instance::from_ticks(&[(0, 7), (3, 12), (5, 9), (20, 26), (22, 30)], 2);
+    let opt = exact_minbusy_cost(&inst);
+    assert!(parallelism_bound(&inst) <= opt);
+    assert!(span_bound(&inst) <= opt);
+    assert!(opt <= length_bound(&inst));
+    assert_eq!(lower_bound(&inst), parallelism_bound(&inst).max(span_bound(&inst)));
+}
+
+/// Proposition 2.1: any valid schedule is a g-approximation.
+#[test]
+fn proposition_2_1_any_schedule_is_g_approx() {
+    for g in 1..=4usize {
+        let mut rng = StdRng::seed_from_u64(g as u64);
+        let inst = clique_instance(&mut rng, 9, g, 25);
+        let opt = exact_minbusy_cost(&inst).ticks();
+        for schedule in [naive(&inst), greedy_pack(&inst)] {
+            schedule.validate_complete(&inst).unwrap();
+            assert!(schedule.cost(&inst).ticks() <= g as i64 * opt);
+        }
+    }
+}
+
+/// Proposition 2.2: MinBusy is recovered by binary search over MaxThroughput budgets.
+#[test]
+fn proposition_2_2_reduction() {
+    let mut rng = StdRng::seed_from_u64(22);
+    for _ in 0..10 {
+        let inst = proper_clique_instance(&mut rng, 11, 3, 80);
+        let direct = find_best_consecutive(&inst).unwrap().cost(&inst);
+        let via = minbusy_via_maxthroughput(&inst, most_throughput_consecutive_fast).unwrap();
+        via.schedule.validate_complete(&inst).unwrap();
+        assert_eq!(via.cost, direct);
+    }
+}
+
+/// Proposition 2.3: MaxThroughput solved through MinBusy over a candidate family.
+#[test]
+fn proposition_2_3_reduction() {
+    let inst = Instance::from_ticks(&[(0, 4), (0, 7), (0, 11), (0, 13), (0, 20)], 2);
+    let candidates = shortest_prefix_candidates(&inst);
+    for budget in [0i64, 4, 11, 18, 30, 60] {
+        let budget = Duration::new(budget);
+        let via = maxthroughput_via_minbusy(&inst, budget, &candidates, one_sided_optimal).unwrap();
+        assert_eq!(via.throughput, exact_maxthroughput_value(&inst, budget));
+    }
+}
+
+/// Observation 3.1: sort by length and group by g is optimal on one-sided instances.
+#[test]
+fn observation_3_1_one_sided_optimal() {
+    let inst = Instance::from_ticks(&[(0, 13), (0, 11), (0, 7), (0, 4), (0, 2), (0, 1)], 3);
+    let schedule = one_sided_optimal(&inst).unwrap();
+    schedule.validate_complete(&inst).unwrap();
+    // Groups {13,11,7} and {4,2,1}: cost 13 + 4 = 17.
+    assert_eq!(schedule.cost(&inst), Duration::new(17));
+    assert_eq!(schedule.cost(&inst), exact_minbusy_cost(&inst));
+}
+
+/// Lemma 3.1: maximum-weight matching is optimal for clique instances with g = 2.
+#[test]
+fn lemma_3_1_matching_optimal() {
+    let mut rng = StdRng::seed_from_u64(31);
+    for _ in 0..15 {
+        let inst = clique_instance(&mut rng, 10, 2, 50);
+        let schedule = clique_matching(&inst).unwrap();
+        schedule.validate_complete(&inst).unwrap();
+        assert_eq!(schedule.cost(&inst), exact_minbusy_cost(&inst));
+    }
+}
+
+/// Lemma 3.2: the set-cover algorithm respects its guarantee, and the guarantee value
+/// itself matches the closed form from the paper (1.2 for g = 2, < 2 up to g = 6).
+#[test]
+fn lemma_3_2_set_cover_guarantee() {
+    assert!((set_cover_guarantee(2) - 1.2).abs() < 1e-12);
+    assert!(set_cover_guarantee(6) < 2.0 && set_cover_guarantee(7) > set_cover_guarantee(6));
+    let mut rng = StdRng::seed_from_u64(32);
+    for g in 2..=4usize {
+        for _ in 0..10 {
+            let inst = clique_instance(&mut rng, 9, g, 40);
+            let schedule = clique_set_cover(&inst).unwrap();
+            schedule.validate_complete(&inst).unwrap();
+            let opt = exact_minbusy_cost(&inst).as_f64();
+            assert!(schedule.cost(&inst).as_f64() <= set_cover_guarantee(g) * opt + 1e-6);
+        }
+    }
+}
+
+/// Theorem 3.1: BestCut is a (2 − 1/g)-approximation; on the staircase instance used in
+/// the analysis the bound is respected with room to spare.
+#[test]
+fn theorem_3_1_best_cut() {
+    for g in 2..=5usize {
+        let jobs: Vec<(i64, i64)> = (0..12).map(|i| (i * 2, i * 2 + 9)).collect();
+        let inst = Instance::from_ticks(&jobs, g);
+        assert!(inst.is_proper());
+        let schedule = best_cut(&inst).unwrap();
+        schedule.validate_complete(&inst).unwrap();
+        let opt = exact_minbusy_cost(&inst).as_f64();
+        assert!(schedule.cost(&inst).as_f64() <= best_cut_guarantee(g) * opt + 1e-9);
+    }
+}
+
+/// Theorem 3.2: FindBestConsecutive is optimal on proper clique instances, and the
+/// schedule uses consecutive blocks.
+#[test]
+fn theorem_3_2_consecutive_dp() {
+    let mut rng = StdRng::seed_from_u64(33);
+    for _ in 0..10 {
+        let inst = proper_clique_instance(&mut rng, 12, 4, 64);
+        let schedule = find_best_consecutive(&inst).unwrap();
+        schedule.validate_complete(&inst).unwrap();
+        assert_eq!(schedule.cost(&inst), exact_minbusy_cost(&inst));
+        for group in schedule.machine_groups() {
+            assert_eq!(group.last().unwrap() - group.first().unwrap() + 1, group.len());
+        }
+    }
+}
+
+/// Lemma 3.5 / Figure 3: FirstFit on the adversarial family costs exactly g·span(Y) while
+/// a feasible solution of cost (g−3)·span(X)+2(span(A)+span(B)+span(C))+span(D)+span(E)
+/// exists, so the ratio grows like 6γ₁ + 3.
+#[test]
+fn lemma_3_5_figure_3_lower_bound() {
+    use busytime::twodim::first_fit_2d;
+    for gamma1 in [1i64, 3] {
+        let (g, scale) = (16usize, 32i64);
+        let inst = figure3_instance(g, gamma1, scale);
+        let schedule = first_fit_2d(&inst);
+        schedule.validate_complete(&inst).unwrap();
+        assert_eq!(schedule.cost(&inst), figure3_firstfit_cost(g, gamma1, scale));
+        assert_eq!(schedule.machines_used(), g);
+        let ratio =
+            schedule.cost(&inst) as f64 / figure3_good_solution_cost(g, gamma1, scale) as f64;
+        // The exact finite-size value from the proof: g(1+2γ−ε)(3−ε)/(g+6γ−1) up to the
+        // integer scaling; it must already be well above the trivial bounds and below the
+        // asymptote 6γ+3.
+        assert!(ratio > 3.0, "gamma1={gamma1}: ratio {ratio}");
+        assert!(ratio <= 6.0 * gamma1 as f64 + 3.0 + 1e-9);
+    }
+}
+
+/// Theorem 3.3: BucketFirstFit guarantee is capped by g and grows only logarithmically
+/// with γ.
+#[test]
+fn theorem_3_3_bucket_guarantee_shape() {
+    use busytime::twodim::bucket_first_fit_guarantee;
+    assert!(bucket_first_fit_guarantee(3, 1e12) <= 3.0);
+    let small = bucket_first_fit_guarantee(1_000, 4.0);
+    let large = bucket_first_fit_guarantee(1_000, 4_000.0);
+    assert!(large > small);
+    // Logarithmic growth: multiplying γ by 1000 adds roughly 13.82·log₂(1000) ≈ 138.
+    assert!(large - small < 300.0);
+}
+
+/// Proposition 4.1: one-sided MaxThroughput is optimal for every budget.
+#[test]
+fn proposition_4_1_one_sided_throughput() {
+    let inst = Instance::from_ticks(&[(0, 2), (0, 3), (0, 5), (0, 8), (0, 13)], 2);
+    for budget in 0..=25i64 {
+        let budget = Duration::new(budget);
+        let r = one_sided_max_throughput(&inst, budget).unwrap();
+        r.schedule.validate_budgeted(&inst, budget).unwrap();
+        assert_eq!(r.throughput, exact_maxthroughput_value(&inst, budget));
+    }
+}
+
+/// Theorem 4.1: the combined clique algorithm is a 4-approximation for every budget.
+#[test]
+fn theorem_4_1_clique_throughput() {
+    let mut rng = StdRng::seed_from_u64(41);
+    for _ in 0..10 {
+        let inst = clique_instance(&mut rng, 10, 3, 30);
+        for frac in [4i64, 2, 1] {
+            let budget = Duration::new(inst.total_len().ticks() / frac);
+            let r = clique_max_throughput(&inst, budget).unwrap();
+            r.schedule.validate_budgeted(&inst, budget).unwrap();
+            assert!(exact_maxthroughput_value(&inst, budget) <= 4 * r.throughput);
+        }
+    }
+}
+
+/// Theorem 4.2: the consecutive DP is optimal on proper clique instances for every budget.
+#[test]
+fn theorem_4_2_budgeted_dp_optimal() {
+    let mut rng = StdRng::seed_from_u64(42);
+    for _ in 0..10 {
+        let inst = proper_clique_instance(&mut rng, 10, 3, 60);
+        for frac in [5i64, 3, 2, 1] {
+            let budget = Duration::new(inst.total_len().ticks() / frac);
+            let r = most_throughput_consecutive_fast(&inst, budget).unwrap();
+            r.schedule.validate_budgeted(&inst, budget).unwrap();
+            assert_eq!(r.throughput, exact_maxthroughput_value(&inst, budget));
+        }
+    }
+}
