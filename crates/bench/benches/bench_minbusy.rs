@@ -75,7 +75,12 @@ fn bench_e3_firstfit_baseline(c: &mut Criterion) {
 fn bench_e4_proper_clique_dp(c: &mut Criterion) {
     let mut group = c.benchmark_group("e4_proper_clique_dp");
     group.sample_size(20);
-    for (n, g) in [(1_000usize, 5usize), (10_000, 5), (10_000, 50), (100_000, 5)] {
+    for (n, g) in [
+        (1_000usize, 5usize),
+        (10_000, 5),
+        (10_000, 50),
+        (100_000, 5),
+    ] {
         let mut rng = StdRng::seed_from_u64(5);
         let inst = proper_clique_instance(&mut rng, n, g, 4 * n as i64);
         group.bench_with_input(

@@ -6,8 +6,8 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use std::hint::black_box;
 
-use busytime::minbusy::{best_cut, find_best_consecutive, first_fit, one_sided_optimal};
 use busytime::maxthroughput::most_throughput_consecutive_fast;
+use busytime::minbusy::{best_cut, find_best_consecutive, first_fit, one_sided_optimal};
 use busytime::par::solve_minbusy_batch;
 use busytime::{Duration, Instance};
 use busytime_workload::{one_sided_instance, proper_clique_instance, proper_instance};

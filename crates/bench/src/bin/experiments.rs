@@ -21,7 +21,11 @@ struct Args {
 }
 
 fn parse_args() -> Args {
-    let mut args = Args { seed: 2012, trials: 20, json: None };
+    let mut args = Args {
+        seed: 2012,
+        trials: 20,
+        json: None,
+    };
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
         match arg.as_str() {

@@ -2,11 +2,8 @@
 //! and the proper-clique dynamic program of Theorem 4.2 (including the fast-variant
 //! ablation), plus the budgeted side of the one-sided experiment E10.
 
-use busytime::maxthroughput::{
-    clique_max_throughput, most_throughput_consecutive, most_throughput_consecutive_fast,
-    one_sided_max_throughput,
-};
-use busytime::{Duration, Instance};
+use busytime::maxthroughput::{most_throughput_consecutive, most_throughput_consecutive_fast};
+use busytime::{Algorithm, Duration, Instance, Solver};
 use busytime_exact::exact_maxthroughput_value;
 use busytime_workload::{clique_instance, one_sided_instance, proper_clique_instance};
 use rand::rngs::StdRng;
@@ -14,6 +11,23 @@ use rand::SeedableRng;
 use rayon::prelude::*;
 
 use crate::report::{ExperimentReport, Row};
+
+/// A `(&Instance, Duration) -> usize` throughput solver that forces one facade
+/// algorithm, so every sweep goes through the unified `Solver` and records exactly the
+/// algorithm under test; the returned schedule is budget-validated before counting.
+fn forced_throughput(algorithm: Algorithm) -> impl Fn(&Instance, Duration) -> usize + Sync {
+    let solver = Solver::builder().force_algorithm(algorithm).build();
+    move |instance, budget| {
+        let solution = solver
+            .solve_max_throughput(instance, budget)
+            .unwrap_or_else(|e| panic!("forced {algorithm} failed: {e}"));
+        solution
+            .schedule
+            .validate_budgeted(instance, budget)
+            .expect("budget respected");
+        solution.schedule.throughput()
+    }
+}
 
 /// Budgets used across throughput experiments: fractions of the naive upper bound
 /// `len(J)` so that every regime (nothing fits … everything fits) is exercised.
@@ -64,15 +78,16 @@ pub fn e7_clique_throughput(seed: u64, trials: usize) -> ExperimentReport {
             seed ^ ((n * 131 + g) as u64),
             trials,
             move |rng| clique_instance(rng, n, g, 40),
-            |inst, budget| {
-                let r = clique_max_throughput(inst, budget).expect("clique instance");
-                r.schedule
-                    .validate_budgeted(inst, budget)
-                    .expect("budget respected");
-                r.throughput
-            },
+            forced_throughput(Algorithm::ThroughputCliqueApprox),
         );
-        rows.push(Row::from_samples(format!("g={g}, n={n}"), &samples, 4.0));
+        rows.push(Row::from_samples(
+            format!(
+                "{} (forced): g={g}, n={n}",
+                Algorithm::ThroughputCliqueApprox
+            ),
+            &samples,
+            4.0,
+        ));
     }
     ExperimentReport {
         id: "E7".into(),
@@ -91,14 +106,13 @@ pub fn e8_proper_clique_throughput(seed: u64, trials: usize) -> ExperimentReport
             seed ^ ((n * 17 + g) as u64),
             trials,
             move |rng| proper_clique_instance(rng, n, g, 60),
-            |inst, budget| {
-                most_throughput_consecutive_fast(inst, budget)
-                    .expect("proper clique instance")
-                    .throughput
-            },
+            forced_throughput(Algorithm::ThroughputProperCliqueDp),
         );
         rows.push(Row::from_samples(
-            format!("fast DP vs optimum: g={g}, n={n}"),
+            format!(
+                "{} (forced) vs optimum: g={g}, n={n}",
+                Algorithm::ThroughputProperCliqueDp
+            ),
             &samples,
             1.0,
         ));
@@ -109,8 +123,12 @@ pub fn e8_proper_clique_throughput(seed: u64, trials: usize) -> ExperimentReport
     for _ in 0..trials {
         let inst = proper_clique_instance(&mut rng, 10, 3, 60);
         for budget in budgets_for(&inst) {
-            let slow = most_throughput_consecutive(&inst, budget).unwrap().throughput;
-            let fast = most_throughput_consecutive_fast(&inst, budget).unwrap().throughput;
+            let slow = most_throughput_consecutive(&inst, budget)
+                .unwrap()
+                .throughput;
+            let fast = most_throughput_consecutive_fast(&inst, budget)
+                .unwrap()
+                .throughput;
             agreement.push(if slow == fast { 1.0 } else { 2.0 });
         }
     }
@@ -137,13 +155,13 @@ pub fn e10_one_sided_throughput(seed: u64, trials: usize) -> ExperimentReport {
             seed ^ 0x4141 ^ (g as u64),
             trials,
             move |rng| one_sided_instance(rng, n, g, 50),
-            |inst, budget| {
-                one_sided_max_throughput(inst, budget)
-                    .expect("one-sided instance")
-                    .throughput
-            },
+            forced_throughput(Algorithm::ThroughputOneSided),
         );
-        rows.push(Row::from_samples(format!("g={g}, n={n}"), &samples, 1.0));
+        rows.push(Row::from_samples(
+            format!("{} (forced): g={g}, n={n}", Algorithm::ThroughputOneSided),
+            &samples,
+            1.0,
+        ));
     }
     ExperimentReport {
         id: "E10b".into(),
@@ -159,7 +177,10 @@ mod tests {
 
     #[test]
     fn optimal_throughput_experiments_report_ratio_one() {
-        for report in [e8_proper_clique_throughput(11, 4), e10_one_sided_throughput(12, 5)] {
+        for report in [
+            e8_proper_clique_throughput(11, 4),
+            e10_one_sided_throughput(12, 5),
+        ] {
             assert!(report.passed(), "{}", report.render());
             for row in &report.rows {
                 assert!((row.worst - 1.0).abs() < 1e-9, "{}", report.render());

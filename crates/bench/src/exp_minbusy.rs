@@ -3,12 +3,11 @@
 //! lower bound (large instances).
 
 use busytime::bounds::lower_bound;
-use busytime::minbusy::{
-    best_cut, best_cut_guarantee, clique_matching, clique_set_cover, find_best_consecutive,
-    first_fit, greedy_pack, one_sided_optimal, set_cover_guarantee,
-};
 use busytime::maxthroughput::{minbusy_via_maxthroughput, most_throughput_consecutive_fast};
-use busytime::Instance;
+use busytime::minbusy::{
+    best_cut_guarantee, find_best_consecutive, greedy_pack, set_cover_guarantee,
+};
+use busytime::{Algorithm, Instance, Schedule, Solver};
 use busytime_exact::exact_minbusy_cost;
 use busytime_workload::{
     clique_instance, general_instance, one_sided_instance, proper_clique_instance, proper_instance,
@@ -18,6 +17,19 @@ use rand::SeedableRng;
 use rayon::prelude::*;
 
 use crate::report::{ExperimentReport, Row};
+
+/// A `&Instance -> Schedule` solver that forces one facade algorithm, so every sweep
+/// goes through the unified `Solver` and records exactly the algorithm under test
+/// (dispatch failures are typed errors, never silently re-routed).
+fn forced(algorithm: Algorithm) -> impl Fn(&Instance) -> Schedule + Sync {
+    let solver = Solver::builder().force_algorithm(algorithm).build();
+    move |instance| {
+        solver
+            .solve_min_busy(instance)
+            .unwrap_or_else(|e| panic!("forced {algorithm} failed: {e}"))
+            .schedule
+    }
+}
 
 /// Ratio of an algorithm's cost to the exact optimum over `trials` random instances
 /// produced by `gen`, solved by `solve` (both run per instance).
@@ -54,9 +66,13 @@ pub fn e1_clique_matching(seed: u64, trials: usize) -> ExperimentReport {
             seed ^ (n as u64) << 8,
             trials,
             |rng| clique_instance(rng, n, 2, 60),
-            |inst| clique_matching(inst).expect("clique g=2 instance"),
+            forced(Algorithm::CliqueMatching),
         );
-        rows.push(Row::from_samples(format!("g=2, n={n}"), &samples, 1.0));
+        rows.push(Row::from_samples(
+            format!("{} (forced): g=2, n={n}", Algorithm::CliqueMatching),
+            &samples,
+            1.0,
+        ));
     }
     ExperimentReport {
         id: "E1".into(),
@@ -76,10 +92,10 @@ pub fn e2_clique_set_cover(seed: u64, trials: usize) -> ExperimentReport {
             seed ^ (g as u64) << 16,
             trials,
             move |rng| clique_instance(rng, n, g, 60),
-            |inst| clique_set_cover(inst).expect("clique instance"),
+            forced(Algorithm::CliqueSetCover),
         );
         rows.push(Row::from_samples(
-            format!("g={g}, n={n}"),
+            format!("{} (forced): g={g}, n={n}", Algorithm::CliqueSetCover),
             &samples,
             set_cover_guarantee(g),
         ));
@@ -103,16 +119,18 @@ pub fn e3_best_cut(seed: u64, trials: usize) -> ExperimentReport {
             seed ^ (g as u64) << 24,
             trials,
             move |rng| proper_instance(rng, n, g, 30, 6),
-            |inst| best_cut(inst).expect("proper instance"),
+            forced(Algorithm::BestCut),
         );
         rows.push(Row::from_samples(
-            format!("vs optimum: g={g}, n={n}"),
+            format!("{} (forced) vs optimum: g={g}, n={n}", Algorithm::BestCut),
             &samples,
             best_cut_guarantee(g),
         ));
     }
     // Large instances: ratio vs the lower bound (still certifies the guarantee because
     // LB ≤ OPT), and the FirstFit baseline measured the same way for comparison.
+    let best_cut_forced = forced(Algorithm::BestCut);
+    let first_fit_forced = forced(Algorithm::FirstFit);
     for (g, n) in [(2usize, 2_000usize), (5, 2_000)] {
         let mut rng = StdRng::seed_from_u64(seed ^ 0xbeef ^ (g as u64));
         let mut bc = Vec::new();
@@ -120,8 +138,8 @@ pub fn e3_best_cut(seed: u64, trials: usize) -> ExperimentReport {
         for _ in 0..trials.min(10) {
             let inst = proper_instance(&mut rng, n, g, 40, 8);
             let lb = lower_bound(&inst).as_f64();
-            bc.push(best_cut(&inst).unwrap().cost(&inst).as_f64() / lb);
-            ff.push(first_fit(&inst).cost(&inst).as_f64() / lb);
+            bc.push(best_cut_forced(&inst).cost(&inst).as_f64() / lb);
+            ff.push(first_fit_forced(&inst).cost(&inst).as_f64() / lb);
         }
         rows.push(Row::from_samples(
             format!("vs lower bound: g={g}, n={n}"),
@@ -150,9 +168,13 @@ pub fn e4_proper_clique_dp(seed: u64, trials: usize) -> ExperimentReport {
             seed ^ ((n * 31 + g) as u64),
             trials,
             move |rng| proper_clique_instance(rng, n, g, 100),
-            |inst| find_best_consecutive(inst).expect("proper clique instance"),
+            forced(Algorithm::ProperCliqueDp),
         );
-        rows.push(Row::from_samples(format!("g={g}, n={n}"), &samples, 1.0));
+        rows.push(Row::from_samples(
+            format!("{} (forced): g={g}, n={n}", Algorithm::ProperCliqueDp),
+            &samples,
+            1.0,
+        ));
     }
     ExperimentReport {
         id: "E4".into(),
@@ -203,7 +225,8 @@ pub fn e9_bounds_and_reduction(seed: u64, trials: usize) -> ExperimentReport {
     ExperimentReport {
         id: "E9".into(),
         title: "generic bounds and the MinBusy ↔ MaxThroughput reduction".into(),
-        claim: "Prop 2.1: any schedule ≤ g·OPT; Prop 2.2: binary search over budgets recovers OPT".into(),
+        claim: "Prop 2.1: any schedule ≤ g·OPT; Prop 2.2: binary search over budgets recovers OPT"
+            .into(),
         rows,
     }
 }
@@ -217,9 +240,13 @@ pub fn e10_one_sided(seed: u64, trials: usize) -> ExperimentReport {
             seed ^ 0x1010 ^ (g as u64),
             trials,
             move |rng| one_sided_instance(rng, n, g, 50),
-            |inst| one_sided_optimal(inst).expect("one-sided instance"),
+            forced(Algorithm::OneSided),
         );
-        rows.push(Row::from_samples(format!("g={g}, n={n}"), &samples, 1.0));
+        rows.push(Row::from_samples(
+            format!("{} (forced): g={g}, n={n}", Algorithm::OneSided),
+            &samples,
+            1.0,
+        ));
     }
     ExperimentReport {
         id: "E10".into(),

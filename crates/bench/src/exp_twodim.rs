@@ -8,8 +8,8 @@
 //!   once γ is large.
 
 use busytime::twodim::{
-    bucket_first_fit, bucket_first_fit_guarantee, first_fit_2d, first_fit_2d_guarantee,
-    Instance2d, DEFAULT_BUCKET_BASE,
+    bucket_first_fit, bucket_first_fit_guarantee, first_fit_2d, first_fit_2d_guarantee, Instance2d,
+    DEFAULT_BUCKET_BASE,
 };
 use busytime_workload::{
     figure3_asymptotic_ratio, figure3_firstfit_cost, figure3_good_solution_cost, figure3_instance,
@@ -46,7 +46,8 @@ pub fn e5_first_fit_2d(seed: u64, trials: usize) -> ExperimentReport {
             figure3_firstfit_cost(g, gamma1, scale),
             "FirstFit must be driven to the predicted cost"
         );
-        let ratio = schedule.cost(&inst) as f64 / figure3_good_solution_cost(g, gamma1, scale) as f64;
+        let ratio =
+            schedule.cost(&inst) as f64 / figure3_good_solution_cost(g, gamma1, scale) as f64;
         rows.push(Row {
             label: format!("Figure 3 family: γ₁={gamma1}, g={g} (lower-bound construction)"),
             mean: ratio,
@@ -77,7 +78,8 @@ pub fn e5_first_fit_2d(seed: u64, trials: usize) -> ExperimentReport {
     ExperimentReport {
         id: "E5".into(),
         title: "FirstFit on rectangular jobs (includes the Figure 3 reproduction)".into(),
-        claim: "Lemma 3.5: ratio in [6γ₁+3, 6γ₁+4]; the Figure 3 family approaches the lower end".into(),
+        claim: "Lemma 3.5: ratio in [6γ₁+3, 6γ₁+4]; the Figure 3 family approaches the lower end"
+            .into(),
         rows,
     }
 }
@@ -132,7 +134,11 @@ mod tests {
     #[test]
     fn figure3_rows_report_large_ratios() {
         let e5 = e5_first_fit_2d(23, 2);
-        let fig_rows: Vec<_> = e5.rows.iter().filter(|r| r.label.contains("Figure 3")).collect();
+        let fig_rows: Vec<_> = e5
+            .rows
+            .iter()
+            .filter(|r| r.label.contains("Figure 3"))
+            .collect();
         assert_eq!(fig_rows.len(), 3);
         for row in fig_rows {
             // The whole point of the construction: FirstFit is far from optimal.

@@ -14,14 +14,18 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+mod exp_dispatch;
 mod exp_maxthroughput;
 mod exp_minbusy;
 mod exp_twodim;
 pub mod report;
 
-pub use exp_maxthroughput::{e10_one_sided_throughput, e7_clique_throughput, e8_proper_clique_throughput};
+pub use exp_dispatch::e0_facade_dispatch;
+pub use exp_maxthroughput::{
+    e10_one_sided_throughput, e7_clique_throughput, e8_proper_clique_throughput,
+};
 pub use exp_minbusy::{
-    e1_clique_matching, e10_one_sided, e2_clique_set_cover, e3_best_cut, e4_proper_clique_dp,
+    e10_one_sided, e1_clique_matching, e2_clique_set_cover, e3_best_cut, e4_proper_clique_dp,
     e9_bounds_and_reduction,
 };
 pub use exp_twodim::{e5_first_fit_2d, e6_bucket_first_fit};
@@ -33,6 +37,7 @@ pub use report::{ExperimentReport, Row};
 /// IPDPS paper) and `trials = 20`.
 pub fn all_experiments(seed: u64, trials: usize) -> Vec<ExperimentReport> {
     vec![
+        e0_facade_dispatch(seed, trials),
         e1_clique_matching(seed, trials),
         e2_clique_set_cover(seed, trials),
         e3_best_cut(seed, trials),
@@ -54,7 +59,7 @@ mod tests {
     #[test]
     fn full_suite_passes_with_few_trials() {
         let reports = all_experiments(2012, 2);
-        assert_eq!(reports.len(), 11);
+        assert_eq!(reports.len(), 12);
         for report in &reports {
             assert!(report.passed(), "{}", report.render());
         }
@@ -62,6 +67,6 @@ mod tests {
         let mut ids: Vec<&str> = reports.iter().map(|r| r.id.as_str()).collect();
         ids.sort();
         ids.dedup();
-        assert_eq!(ids.len(), 11);
+        assert_eq!(ids.len(), 12);
     }
 }

@@ -66,8 +66,8 @@ impl ExperimentReport {
         let _ = writeln!(out, "claim: {}", self.claim);
         let _ = writeln!(
             out,
-            "{:<34} {:>12} {:>12} {:>12}  {}",
-            "parameters", "mean", "worst", "bound", "ok"
+            "{:<34} {:>12} {:>12} {:>12}  ok",
+            "parameters", "mean", "worst", "bound"
         );
         for row in &self.rows {
             let bound = if row.bound.is_finite() {

@@ -4,17 +4,23 @@
 //! the three sub-commands (`solve`, `throughput`, `generate`) implemented as plain
 //! functions so that they can be unit-tested without spawning processes.
 //!
+//! Both solving sub-commands go through the unified [`busytime::Solver`] facade, so they
+//! accept the same policy flags: `--algorithm NAME` forces a specific algorithm (a typed
+//! error is reported when it does not apply) and `--exact-only` restricts dispatch to
+//! provably optimal algorithms.
+//!
 //! ```text
 //! busytime generate --class proper-clique --jobs 50 --capacity 4 --seed 7 --output inst.json
 //! busytime solve inst.json
-//! busytime throughput inst.json --budget 1200
+//! busytime solve inst.json --algorithm best-cut
+//! busytime throughput inst.json --budget 1200 --exact-only
 //! ```
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
 use busytime::analysis::ScheduleSummary;
-use busytime::{maxthroughput, minbusy, Duration, Instance};
+use busytime::{Algorithm, Duration, Instance, Problem, Solution, Solver};
 use busytime_workload as workload;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -71,10 +77,14 @@ impl InstanceFile {
 /// The on-disk JSON representation of a solved schedule.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct ScheduleFile {
-    /// Which algorithm produced the schedule.
+    /// Which algorithm produced the schedule (its stable kebab-case name).
     pub algorithm: String,
+    /// The algorithm's proven approximation guarantee, when the paper proves one.
+    pub guarantee: Option<f64>,
     /// Total busy time of the schedule.
     pub busy_time: i64,
+    /// The Observation 2.1 lower bound of the instance.
+    pub lower_bound: i64,
     /// Number of machines used.
     pub machines: usize,
     /// Number of scheduled jobs.
@@ -83,6 +93,27 @@ pub struct ScheduleFile {
     pub machine_groups: Vec<Vec<usize>>,
     /// Jobs left unscheduled (only non-empty for budgeted runs).
     pub unscheduled_jobs: Vec<usize>,
+    /// The dispatch trace: every algorithm considered and why it was skipped or failed.
+    pub trace: Vec<String>,
+}
+
+impl ScheduleFile {
+    fn from_solution(instance: &Instance, solution: &Solution) -> Self {
+        let unscheduled: Vec<usize> = (0..instance.len())
+            .filter(|&j| !solution.schedule.is_scheduled(j))
+            .collect();
+        ScheduleFile {
+            algorithm: solution.algorithm.name().to_string(),
+            guarantee: solution.guarantee,
+            busy_time: solution.objective.cost().ticks(),
+            lower_bound: solution.bounds.lower.ticks(),
+            machines: solution.schedule.machines_used(),
+            scheduled_jobs: solution.schedule.throughput(),
+            machine_groups: solution.schedule.machine_groups(),
+            unscheduled_jobs: unscheduled,
+            trace: solution.trace.iter().map(|a| a.to_string()).collect(),
+        }
+    }
 }
 
 /// Result of a CLI command: text for stdout plus an optional file payload.
@@ -94,62 +125,77 @@ pub struct CommandOutput {
     pub file_payload: Option<String>,
 }
 
-/// `busytime solve`: MinBusy with the automatic dispatcher.
-pub fn run_solve(file: &InstanceFile) -> Result<CommandOutput, String> {
+/// Solve-policy options shared by the `solve` and `throughput` sub-commands.
+#[derive(Debug, Clone, Default)]
+pub struct SolveOptions {
+    /// Force this algorithm instead of auto-dispatching (`--algorithm NAME`).
+    pub algorithm: Option<Algorithm>,
+    /// Restrict dispatch to provably optimal algorithms (`--exact-only`).
+    pub exact_only: bool,
+}
+
+impl SolveOptions {
+    fn solver(&self) -> Solver {
+        let mut builder = Solver::builder().require_exact(self.exact_only);
+        if let Some(algorithm) = self.algorithm {
+            builder = builder.force_algorithm(algorithm);
+        }
+        builder.build()
+    }
+}
+
+/// `busytime solve`: MinBusy through the [`Solver`] facade.
+pub fn run_solve(file: &InstanceFile, options: &SolveOptions) -> Result<CommandOutput, String> {
     let instance = file.to_instance()?;
-    let (schedule, algorithm) = minbusy::solve_auto(&instance);
-    schedule
+    let solution = options
+        .solver()
+        .solve(&Problem::min_busy(instance.clone()))
+        .map_err(|e| e.to_string())?;
+    solution
+        .schedule
         .validate_complete(&instance)
         .map_err(|e| e.to_string())?;
-    let summary = ScheduleSummary::new(&instance, &schedule);
-    let report = format!(
-        "MinBusy ({algorithm:?}, guarantee {:.3}): {summary}",
-        algorithm.guarantee(instance.capacity())
-    );
-    let payload = ScheduleFile {
-        algorithm: format!("{algorithm:?}"),
-        busy_time: schedule.cost(&instance).ticks(),
-        machines: schedule.machines_used(),
-        scheduled_jobs: schedule.throughput(),
-        machine_groups: schedule.machine_groups(),
-        unscheduled_jobs: Vec::new(),
+    let summary = ScheduleSummary::new(&instance, &solution.schedule);
+    let guarantee = match solution.guarantee {
+        Some(g) => format!("guarantee {g:.3}"),
+        None => "no proven guarantee".to_string(),
     };
+    let report = format!("MinBusy ({}, {guarantee}): {summary}", solution.algorithm);
+    let payload = ScheduleFile::from_solution(&instance, &solution);
     Ok(CommandOutput {
         report,
         file_payload: Some(serde_json::to_string_pretty(&payload).expect("serializable")),
     })
 }
 
-/// `busytime throughput`: MaxThroughput under a budget with the automatic dispatcher.
-pub fn run_throughput(file: &InstanceFile, budget: i64) -> Result<CommandOutput, String> {
+/// `busytime throughput`: MaxThroughput under a budget through the [`Solver`] facade.
+pub fn run_throughput(
+    file: &InstanceFile,
+    budget: i64,
+    options: &SolveOptions,
+) -> Result<CommandOutput, String> {
     if budget < 0 {
         return Err("the budget must be non-negative".into());
     }
     let instance = file.to_instance()?;
     let budget = Duration::new(budget);
-    let (result, algorithm) = maxthroughput::solve_auto(&instance, budget);
-    result
+    let solution = options
+        .solver()
+        .solve(&Problem::max_throughput(instance.clone(), budget))
+        .map_err(|e| e.to_string())?;
+    solution
         .schedule
         .validate_budgeted(&instance, budget)
         .map_err(|e| e.to_string())?;
-    let unscheduled: Vec<usize> = (0..instance.len())
-        .filter(|&j| !result.schedule.is_scheduled(j))
-        .collect();
     let report = format!(
-        "MaxThroughput ({algorithm:?}): scheduled {}/{} jobs, busy time {} of budget {}",
-        result.throughput,
+        "MaxThroughput ({}): scheduled {}/{} jobs, busy time {} of budget {}",
+        solution.algorithm,
+        solution.schedule.throughput(),
         instance.len(),
-        result.cost,
+        solution.objective.cost(),
         budget
     );
-    let payload = ScheduleFile {
-        algorithm: format!("{algorithm:?}"),
-        busy_time: result.cost.ticks(),
-        machines: result.schedule.machines_used(),
-        scheduled_jobs: result.throughput,
-        machine_groups: result.schedule.machine_groups(),
-        unscheduled_jobs: unscheduled,
-    };
+    let payload = ScheduleFile::from_solution(&instance, &solution);
     Ok(CommandOutput {
         report,
         file_payload: Some(serde_json::to_string_pretty(&payload).expect("serializable")),
@@ -224,7 +270,10 @@ pub fn run_generate(
         instance.span(),
         instance.lower_bound()
     );
-    Ok(CommandOutput { report, file_payload: Some(file.to_json()) })
+    Ok(CommandOutput {
+        report,
+        file_payload: Some(file.to_json()),
+    })
 }
 
 #[cfg(test)]
@@ -232,7 +281,14 @@ mod tests {
     use super::*;
 
     fn sample_file() -> InstanceFile {
-        InstanceFile { capacity: 2, jobs: vec![(0, 10), (2, 12), (4, 14), (6, 16)] }
+        InstanceFile {
+            capacity: 2,
+            jobs: vec![(0, 10), (2, 12), (4, 14), (6, 16)],
+        }
+    }
+
+    fn auto() -> SolveOptions {
+        SolveOptions::default()
     }
 
     #[test]
@@ -248,31 +304,84 @@ mod tests {
 
     #[test]
     fn invalid_jobs_rejected() {
-        let bad = InstanceFile { capacity: 2, jobs: vec![(5, 5)] };
+        let bad = InstanceFile {
+            capacity: 2,
+            jobs: vec![(5, 5)],
+        };
         assert!(bad.to_instance().is_err());
         assert!(InstanceFile::from_json("{not json").is_err());
-        let zero_g = InstanceFile { capacity: 0, jobs: vec![(0, 1)] };
+        let zero_g = InstanceFile {
+            capacity: 0,
+            jobs: vec![(0, 1)],
+        };
         assert!(zero_g.to_instance().is_err());
     }
 
     #[test]
-    fn solve_command_reports_schedule() {
-        let out = run_solve(&sample_file()).unwrap();
+    fn solve_command_reports_schedule_and_trace() {
+        let out = run_solve(&sample_file(), &auto()).unwrap();
         assert!(out.report.contains("MinBusy"));
+        assert!(out.report.contains("proper-clique-dp"));
         let payload: ScheduleFile = serde_json::from_str(&out.file_payload.unwrap()).unwrap();
         assert_eq!(payload.scheduled_jobs, 4);
         assert!(payload.unscheduled_jobs.is_empty());
         assert!(payload.busy_time > 0);
+        assert!(payload.busy_time >= payload.lower_bound);
+        assert_eq!(payload.guarantee, Some(1.0));
+        assert!(payload.trace.iter().any(|line| line.contains("selected")));
+    }
+
+    #[test]
+    fn solve_command_honours_forced_algorithm() {
+        let forced = SolveOptions {
+            algorithm: Some(Algorithm::FirstFit),
+            exact_only: false,
+        };
+        let out = run_solve(&sample_file(), &forced).unwrap();
+        let payload: ScheduleFile = serde_json::from_str(&out.file_payload.unwrap()).unwrap();
+        assert_eq!(payload.algorithm, "first-fit");
+        assert_eq!(payload.guarantee, Some(4.0));
+    }
+
+    #[test]
+    fn solve_command_rejects_inapplicable_forced_algorithm() {
+        // The sample is a proper clique with g = 2; one-sided requires a shared endpoint.
+        let forced = SolveOptions {
+            algorithm: Some(Algorithm::OneSided),
+            exact_only: false,
+        };
+        let err = run_solve(&sample_file(), &forced).unwrap_err();
+        assert!(err.contains("one-sided"), "{err}");
+    }
+
+    #[test]
+    fn exact_only_is_enforced() {
+        // A general instance has no exact algorithm: solve must fail rather than
+        // silently fall back.
+        let general = InstanceFile {
+            capacity: 2,
+            jobs: vec![(0, 10), (2, 5), (8, 20), (15, 18)],
+        };
+        let exact = SolveOptions {
+            algorithm: None,
+            exact_only: true,
+        };
+        let err = run_solve(&general, &exact).unwrap_err();
+        assert!(err.contains("no MinBusy algorithm applies"), "{err}");
+        // The proper-clique sample solves exactly.
+        let out = run_solve(&sample_file(), &exact).unwrap();
+        assert!(out.report.contains("proper-clique-dp"));
     }
 
     #[test]
     fn throughput_command_respects_budget() {
-        let out = run_throughput(&sample_file(), 12).unwrap();
+        let out = run_throughput(&sample_file(), 12, &auto()).unwrap();
         assert!(out.report.contains("budget 12"));
         let payload: ScheduleFile = serde_json::from_str(&out.file_payload.unwrap()).unwrap();
         assert!(payload.busy_time <= 12);
         assert!(payload.scheduled_jobs < 4);
-        assert!(run_throughput(&sample_file(), -1).is_err());
+        assert!(!payload.unscheduled_jobs.is_empty());
+        assert!(run_throughput(&sample_file(), -1, &auto()).is_err());
     }
 
     #[test]
@@ -301,9 +410,18 @@ mod tests {
 
     #[test]
     fn generation_is_deterministic_per_seed() {
-        let a = run_generate(WorkloadClass::General, 15, 2, 42).unwrap().file_payload.unwrap();
-        let b = run_generate(WorkloadClass::General, 15, 2, 42).unwrap().file_payload.unwrap();
-        let c = run_generate(WorkloadClass::General, 15, 2, 43).unwrap().file_payload.unwrap();
+        let a = run_generate(WorkloadClass::General, 15, 2, 42)
+            .unwrap()
+            .file_payload
+            .unwrap();
+        let b = run_generate(WorkloadClass::General, 15, 2, 42)
+            .unwrap()
+            .file_payload
+            .unwrap();
+        let c = run_generate(WorkloadClass::General, 15, 2, 43)
+            .unwrap()
+            .file_payload
+            .unwrap();
         assert_eq!(a, b);
         assert_ne!(a, c);
     }

@@ -1,19 +1,28 @@
 //! The `busytime` command-line tool.
 //!
 //! ```text
-//! busytime solve <instance.json> [--output schedule.json]
-//! busytime throughput <instance.json> --budget T [--output schedule.json]
+//! busytime solve <instance.json> [--algorithm NAME] [--exact-only] [--output schedule.json]
+//! busytime throughput <instance.json> --budget T [--algorithm NAME] [--exact-only]
+//!                     [--output schedule.json]
 //! busytime generate --class <clique|one-sided|proper|proper-clique|general|cloud|optical>
 //!                   --jobs N --capacity G [--seed S] [--output instance.json]
 //! ```
 //!
 //! Instances are JSON files of the form `{"capacity": 3, "jobs": [[0, 10], [2, 12]]}`.
+//! `--algorithm` forces a specific algorithm through the solver facade (for MinBusy:
+//! `one-sided`, `proper-clique-dp`, `clique-matching`, `clique-set-cover`, `best-cut`,
+//! `first-fit`; for throughput the `throughput-*` names); `--exact-only` refuses any
+//! approximate algorithm.
 
-use busytime_cli::{run_generate, run_solve, run_throughput, CommandOutput, InstanceFile, WorkloadClass};
+use busytime::Algorithm;
+use busytime_cli::{
+    run_generate, run_solve, run_throughput, CommandOutput, InstanceFile, SolveOptions,
+    WorkloadClass,
+};
 
 fn usage() -> ! {
     eprintln!(
-        "usage:\n  busytime solve <instance.json> [--output schedule.json]\n  busytime throughput <instance.json> --budget T [--output schedule.json]\n  busytime generate --class CLASS --jobs N --capacity G [--seed S] [--output instance.json]"
+        "usage:\n  busytime solve <instance.json> [--algorithm NAME] [--exact-only] [--output schedule.json]\n  busytime throughput <instance.json> --budget T [--algorithm NAME] [--exact-only] [--output schedule.json]\n  busytime generate --class CLASS --jobs N --capacity G [--seed S] [--output instance.json]"
     );
     std::process::exit(2);
 }
@@ -26,6 +35,17 @@ fn read_instance(path: &str) -> InstanceFile {
     InstanceFile::from_json(&text).unwrap_or_else(|e| {
         eprintln!("{e}");
         std::process::exit(1);
+    })
+}
+
+fn parse_algorithm(value: Option<&String>) -> Algorithm {
+    let text = value.unwrap_or_else(|| {
+        eprintln!("--algorithm needs a value");
+        std::process::exit(2);
+    });
+    Algorithm::parse(text).unwrap_or_else(|e| {
+        eprintln!("{e}");
+        std::process::exit(2);
     })
 }
 
@@ -64,25 +84,31 @@ fn main() {
     match args[0].as_str() {
         "solve" => {
             let mut instance_path: Option<String> = None;
+            let mut options = SolveOptions::default();
             let mut it = args[1..].iter();
             while let Some(arg) = it.next() {
                 match arg.as_str() {
                     "--output" => output_path = it.next().cloned(),
+                    "--algorithm" => options.algorithm = Some(parse_algorithm(it.next())),
+                    "--exact-only" => options.exact_only = true,
                     other if instance_path.is_none() => instance_path = Some(other.to_string()),
                     _ => usage(),
                 }
             }
             let path = instance_path.unwrap_or_else(|| usage());
-            finish(run_solve(&read_instance(&path)), output_path);
+            finish(run_solve(&read_instance(&path), &options), output_path);
         }
         "throughput" => {
             let mut instance_path: Option<String> = None;
             let mut budget: Option<i64> = None;
+            let mut options = SolveOptions::default();
             let mut it = args[1..].iter();
             while let Some(arg) = it.next() {
                 match arg.as_str() {
                     "--output" => output_path = it.next().cloned(),
                     "--budget" => budget = it.next().and_then(|v| v.parse().ok()),
+                    "--algorithm" => options.algorithm = Some(parse_algorithm(it.next())),
+                    "--exact-only" => options.exact_only = true,
                     other if instance_path.is_none() => instance_path = Some(other.to_string()),
                     _ => usage(),
                 }
@@ -92,7 +118,10 @@ fn main() {
                 eprintln!("--budget is required");
                 std::process::exit(2);
             });
-            finish(run_throughput(&read_instance(&path), budget), output_path);
+            finish(
+                run_throughput(&read_instance(&path), budget, &options),
+                output_path,
+            );
         }
         "generate" => {
             let mut class: Option<WorkloadClass> = None;
@@ -110,11 +139,24 @@ fn main() {
                             })
                         })
                     }
-                    "--jobs" => jobs = it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage()),
-                    "--capacity" => {
-                        capacity = it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage())
+                    "--jobs" => {
+                        jobs = it
+                            .next()
+                            .and_then(|v| v.parse().ok())
+                            .unwrap_or_else(|| usage())
                     }
-                    "--seed" => seed = it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage()),
+                    "--capacity" => {
+                        capacity = it
+                            .next()
+                            .and_then(|v| v.parse().ok())
+                            .unwrap_or_else(|| usage())
+                    }
+                    "--seed" => {
+                        seed = it
+                            .next()
+                            .and_then(|v| v.parse().ok())
+                            .unwrap_or_else(|| usage())
+                    }
                     "--output" => output_path = it.next().cloned(),
                     _ => usage(),
                 }

@@ -39,7 +39,9 @@ impl DemandInstance {
             return Err(Error::InvalidCapacity);
         }
         if jobs.len() != demands.len() {
-            return Err(Error::UnknownJob { job: jobs.len().min(demands.len()) });
+            return Err(Error::UnknownJob {
+                job: jobs.len().min(demands.len()),
+            });
         }
         if let Some(job) = demands.iter().position(|&d| d == 0 || d > capacity) {
             return Err(Error::CapacityExceeded {
@@ -49,7 +51,11 @@ impl DemandInstance {
             });
         }
         // Keep job order stable (callers may carry metadata keyed by index).
-        Ok(DemandInstance { jobs, demands, capacity })
+        Ok(DemandInstance {
+            jobs,
+            demands,
+            capacity,
+        })
     }
 
     /// Convenience constructor from `(start, completion, demand)` tuples.
@@ -57,7 +63,10 @@ impl DemandInstance {
     /// # Panics
     /// Panics on invalid jobs, demands or capacity.
     pub fn from_ticks(jobs: &[(i64, i64, u32)], capacity: u32) -> Self {
-        let intervals = jobs.iter().map(|&(s, c, _)| Interval::from_ticks(s, c)).collect();
+        let intervals = jobs
+            .iter()
+            .map(|&(s, c, _)| Interval::from_ticks(s, c))
+            .collect();
         let demands = jobs.iter().map(|&(_, _, d)| d).collect();
         DemandInstance::new(intervals, demands, capacity).expect("valid demand instance")
     }
@@ -142,7 +151,9 @@ impl DemandInstance {
     /// job must be scheduled.
     pub fn validate(&self, schedule: &Schedule, complete: bool) -> Result<(), Error> {
         if schedule.len() != self.len() {
-            return Err(Error::UnknownJob { job: self.len().min(schedule.len()) });
+            return Err(Error::UnknownJob {
+                job: self.len().min(schedule.len()),
+            });
         }
         if complete {
             if let Some(job) = (0..self.len()).find(|&j| !schedule.is_scheduled(j)) {
@@ -243,18 +254,8 @@ mod tests {
 
     #[test]
     fn construction_validation() {
-        assert!(DemandInstance::new(
-            vec![Interval::from_ticks(0, 1)],
-            vec![1],
-            0
-        )
-        .is_err());
-        assert!(DemandInstance::new(
-            vec![Interval::from_ticks(0, 1)],
-            vec![5],
-            4
-        )
-        .is_err());
+        assert!(DemandInstance::new(vec![Interval::from_ticks(0, 1)], vec![1], 0).is_err());
+        assert!(DemandInstance::new(vec![Interval::from_ticks(0, 1)], vec![5], 4).is_err());
         assert!(DemandInstance::new(vec![Interval::from_ticks(0, 1)], vec![], 4).is_err());
         let inst = sample();
         assert_eq!(inst.len(), 5);

@@ -99,10 +99,22 @@ mod tests {
     #[test]
     fn display_messages_are_informative() {
         assert!(Error::NotClique.to_string().contains("clique"));
-        assert!(Error::WrongCapacity { expected: 2, actual: 5 }.to_string().contains("g = 2"));
-        let e = Error::CapacityExceeded { machine: 3, observed: 4, capacity: 2 };
+        assert!(Error::WrongCapacity {
+            expected: 2,
+            actual: 5
+        }
+        .to_string()
+        .contains("g = 2"));
+        let e = Error::CapacityExceeded {
+            machine: 3,
+            observed: 4,
+            capacity: 2,
+        };
         assert!(e.to_string().contains("machine 3"));
-        let e = Error::BudgetExceeded { cost: Duration::new(10), budget: Duration::new(7) };
+        let e = Error::BudgetExceeded {
+            cost: Duration::new(10),
+            budget: Duration::new(7),
+        };
         assert!(e.to_string().contains("10"));
         assert!(e.to_string().contains('7'));
     }

@@ -45,7 +45,10 @@ impl Instance {
     /// Panics if any job would be empty or `g = 0` (use [`Instance::new`] for fallible
     /// construction).
     pub fn from_ticks(jobs: &[(i64, i64)], capacity: usize) -> Self {
-        let jobs = jobs.iter().map(|&(s, c)| Interval::from_ticks(s, c)).collect();
+        let jobs = jobs
+            .iter()
+            .map(|&(s, c)| Interval::from_ticks(s, c))
+            .collect();
         Instance::new(jobs, capacity).expect("capacity must be at least 1")
     }
 
@@ -132,7 +135,10 @@ impl Instance {
         let jobs: Vec<Interval> = pairs.iter().map(|&(iv, _)| iv).collect();
         let mapping: Vec<JobId> = pairs.iter().map(|&(_, id)| id).collect();
         (
-            Instance { jobs, capacity: self.capacity },
+            Instance {
+                jobs,
+                capacity: self.capacity,
+            },
             mapping,
         )
     }

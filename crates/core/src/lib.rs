@@ -19,36 +19,53 @@
 //!
 //! ## Quick start
 //!
+//! Every problem goes through the unified [`Solver`] facade: build a [`Problem`], solve
+//! it, and read the schedule, objective, chosen algorithm and dispatch trace off the
+//! returned [`Solution`].
+//!
 //! ```rust
-//! use busytime::{Instance, minbusy, maxthroughput, Duration};
+//! use busytime::{Problem, Solver, Instance, Duration};
 //!
 //! // Four jobs sharing a common time, capacity 2.
 //! let instance = Instance::from_ticks(&[(0, 10), (2, 12), (4, 14), (6, 16)], 2);
+//! let solver = Solver::new();
 //!
-//! // MinBusy: the auto-dispatcher picks the optimal proper-clique DP here.
-//! let (schedule, algorithm) = minbusy::solve_auto(&instance);
-//! assert!(algorithm.is_exact());
-//! schedule.validate_complete(&instance).unwrap();
+//! // MinBusy: the dispatcher picks the optimal proper-clique DP here and says so.
+//! let solution = solver.solve(&Problem::min_busy(instance.clone())).unwrap();
+//! assert!(solution.is_exact());
+//! assert_eq!(solution.algorithm.name(), "proper-clique-dp");
+//! solution.schedule.validate_complete(&instance).unwrap();
 //!
-//! // MaxThroughput with a tight budget.
-//! let (result, _) = maxthroughput::solve_auto(&instance, Duration::new(12));
-//! assert!(result.cost <= Duration::new(12));
+//! // MaxThroughput with a tight budget; the trace records every dispatch decision.
+//! let budgeted = solver
+//!     .solve(&Problem::max_throughput(instance, Duration::new(12)))
+//!     .unwrap();
+//! assert!(budgeted.objective.cost() <= Duration::new(12));
+//! assert!(!budgeted.trace.is_empty());
+//!
+//! // Policies: force or forbid algorithms, require exactness, disable fallbacks.
+//! let exact_only = Solver::builder().require_exact(true).build();
+//! assert!(exact_only.policy().require_exact);
 //! ```
 //!
 //! ## Crate layout
 //!
 //! | module | contents |
 //! |---|---|
+//! | [`solver`] | the [`Solver`] / [`Problem`] / [`Solution`] facade with policy-driven dispatch |
 //! | [`minbusy`] | every MinBusy algorithm of Section 3 plus baselines |
 //! | [`maxthroughput`] | every MaxThroughput algorithm of Section 4 plus the reductions of Section 2 |
 //! | [`twodim`] | rectangular jobs, FirstFit-2D and BucketFirstFit (Section 3.4) |
 //! | [`demand`] | the Section 5 extension with per-job capacity demands ([16]) |
 //! | [`bounds`] | the parallelism / span / length bounds of Observation 2.1 |
 //! | [`analysis`] | schedule summaries and ratio reporting |
-//! | [`par`] | rayon-parallel batch solvers used by the experiment harness |
+//! | [`par`] | batch wrappers over [`Solver::solve_batch`] (kept for compatibility) |
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
+// The dynamic programs index several tables in lockstep by the same variable, exactly
+// as the paper's recurrences are written; iterator rewrites would obscure them.
+#![allow(clippy::needless_range_loop)]
 
 pub mod analysis;
 pub mod bounds;
@@ -59,9 +76,14 @@ pub mod maxthroughput;
 pub mod minbusy;
 pub mod par;
 mod schedule;
+pub mod solver;
 pub mod twodim;
 
 pub use busytime_interval::{Duration, Interval, Time};
 pub use error::Error;
 pub use instance::{Instance, JobId};
 pub use schedule::{MachineId, Schedule, SolveResult, ThroughputResult};
+pub use solver::{
+    Algorithm, AttemptOutcome, DispatchAttempt, InstanceBounds, Objective, Problem, ProblemKind,
+    SkipReason, Solution, SolveError, SolvePolicy, Solver, SolverBuilder,
+};

@@ -195,12 +195,12 @@ mod tests {
     fn mixed_instance() -> Instance {
         Instance::from_ticks(
             &[
-                (0, 11),  // left-heavy, head 10
-                (2, 12),  // left-heavy, head 8
-                (8, 13),  // right-heavy? left 2, right 3 → right-heavy, head 3
-                (9, 20),  // right-heavy, head 10
-                (7, 14),  // left 3, right 4 → right-heavy, head 4
-                (5, 12),  // left 5, right 2 → left-heavy, head 5
+                (0, 11), // left-heavy, head 10
+                (2, 12), // left-heavy, head 8
+                (8, 13), // right-heavy? left 2, right 3 → right-heavy, head 3
+                (9, 20), // right-heavy, head 10
+                (7, 14), // left 3, right 4 → right-heavy, head 4
+                (5, 12), // left 5, right 2 → left-heavy, head 5
             ],
             2,
         )
@@ -229,7 +229,10 @@ mod tests {
         let budget = Duration::new(4);
         let r = clique_alg2(&inst, budget).unwrap();
         r.schedule.validate_budgeted(&inst, budget).unwrap();
-        assert_eq!(r.throughput, 4, "the four clustered jobs fit in the window [9,13)");
+        assert_eq!(
+            r.throughput, 4,
+            "the four clustered jobs fit in the window [9,13)"
+        );
     }
 
     #[test]
@@ -256,8 +259,14 @@ mod tests {
     #[test]
     fn non_clique_rejected() {
         let inst = Instance::from_ticks(&[(0, 5), (6, 10)], 2);
-        assert_eq!(clique_alg1(&inst, Duration::new(10)).unwrap_err(), Error::NotClique);
-        assert_eq!(clique_alg2(&inst, Duration::new(10)).unwrap_err(), Error::NotClique);
+        assert_eq!(
+            clique_alg1(&inst, Duration::new(10)).unwrap_err(),
+            Error::NotClique
+        );
+        assert_eq!(
+            clique_alg2(&inst, Duration::new(10)).unwrap_err(),
+            Error::NotClique
+        );
         assert_eq!(
             clique_max_throughput(&inst, Duration::new(10)).unwrap_err(),
             Error::NotClique
@@ -294,7 +303,9 @@ mod tests {
         let inst2 = Instance::from_ticks(&[(4, 14), (8, 10), (9, 11)], 2);
         let t2 = common_point(inst2.jobs()).unwrap();
         let (l2, _r2) = split_by_heavy_side(&inst2, t2);
-        assert!(l2.iter().any(|h| inst2.job(h.id) == busytime_interval::Interval::from_ticks(4, 14)));
+        assert!(l2
+            .iter()
+            .any(|h| inst2.job(h.id) == busytime_interval::Interval::from_ticks(4, 14)));
     }
 
     #[test]

@@ -258,7 +258,10 @@ pub fn most_throughput_consecutive_fast(
     while i > 0 {
         decision[i] = match j {
             0 => Step::Unscheduled,
-            1 => Step::NewMachine { prev_j: 0, prev_u: 0 },
+            1 => Step::NewMachine {
+                prev_j: 0,
+                prev_u: 0,
+            },
             _ => Step::Append,
         };
         let pj = parent[i][j][t];
@@ -363,7 +366,10 @@ mod tests {
     #[test]
     fn zero_budget_schedules_nothing() {
         let inst = staircase(5, 1, 5, 2);
-        for f in [most_throughput_consecutive, most_throughput_consecutive_fast] {
+        for f in [
+            most_throughput_consecutive,
+            most_throughput_consecutive_fast,
+        ] {
             let r = f(&inst, Duration::ZERO).unwrap();
             assert_eq!(r.throughput, 0);
             assert_eq!(r.cost, Duration::ZERO);
@@ -386,19 +392,34 @@ mod tests {
     #[test]
     fn rejects_wrong_instance_class() {
         let not_clique = Instance::from_ticks(&[(0, 3), (2, 5), (4, 8)], 2);
-        for f in [most_throughput_consecutive, most_throughput_consecutive_fast] {
-            assert_eq!(f(&not_clique, Duration::new(5)).unwrap_err(), Error::NotProperClique);
+        for f in [
+            most_throughput_consecutive,
+            most_throughput_consecutive_fast,
+        ] {
+            assert_eq!(
+                f(&not_clique, Duration::new(5)).unwrap_err(),
+                Error::NotProperClique
+            );
         }
         let not_proper = Instance::from_ticks(&[(0, 10), (2, 8)], 2);
-        for f in [most_throughput_consecutive, most_throughput_consecutive_fast] {
-            assert_eq!(f(&not_proper, Duration::new(5)).unwrap_err(), Error::NotProperClique);
+        for f in [
+            most_throughput_consecutive,
+            most_throughput_consecutive_fast,
+        ] {
+            assert_eq!(
+                f(&not_proper, Duration::new(5)).unwrap_err(),
+                Error::NotProperClique
+            );
         }
     }
 
     #[test]
     fn empty_instance_ok() {
         let inst = Instance::from_ticks(&[], 2);
-        for f in [most_throughput_consecutive, most_throughput_consecutive_fast] {
+        for f in [
+            most_throughput_consecutive,
+            most_throughput_consecutive_fast,
+        ] {
             let r = f(&inst, Duration::new(3)).unwrap();
             assert_eq!(r.throughput, 0);
         }
@@ -424,7 +445,11 @@ mod tests {
         for group in r.schedule.machine_groups() {
             let min = *group.first().unwrap();
             let max = *group.last().unwrap();
-            assert_eq!(max - min + 1, group.len(), "machine blocks must be consecutive");
+            assert_eq!(
+                max - min + 1,
+                group.len(),
+                "machine blocks must be consecutive"
+            );
         }
     }
 }

@@ -62,8 +62,8 @@ impl MaxThroughputAlgorithm {
 /// Classify the instance and run the strongest applicable MaxThroughput algorithm.
 ///
 /// Selection order: one-sided clique → proper clique DP → clique 4-approximation →
-/// greedy fallback (shortest jobs first onto FirstFit machines, stopping before the
-/// budget is exceeded).
+/// greedy fallback (shortest jobs first, each placed best-fit where it adds the least
+/// busy time, skipping jobs that would exceed the budget).
 pub fn solve_auto(
     instance: &Instance,
     budget: Duration,
@@ -83,13 +83,17 @@ pub fn solve_auto(
             return (r, MaxThroughputAlgorithm::CliqueApprox);
         }
     }
-    (greedy_fallback(instance, budget), MaxThroughputAlgorithm::GreedyFallback)
+    (
+        greedy_fallback(instance, budget),
+        MaxThroughputAlgorithm::GreedyFallback,
+    )
 }
 
 /// Heuristic for instances outside the paper's analysed classes: consider jobs shortest
-/// first and place each on the first machine thread where it fits, skipping any job that
-/// would push the total cost above the budget.  Always valid and within budget; no
-/// approximation guarantee.
+/// first and place each **best-fit** — on the machine thread where it causes the smallest
+/// increase in that machine's busy time (opening a fresh machine when no thread fits) —
+/// skipping any job whose placement would push the total cost above the budget.  Always
+/// valid and within budget; no approximation guarantee.
 pub fn greedy_fallback(instance: &Instance, budget: Duration) -> ThroughputResult {
     let g = instance.capacity();
     let mut order: Vec<usize> = (0..instance.len()).collect();
@@ -100,7 +104,8 @@ pub fn greedy_fallback(instance: &Instance, budget: Duration) -> ThroughputResul
     let mut cost = Duration::ZERO;
     for &j in &order {
         let iv = instance.job(j);
-        // Find the cheapest feasible placement (first fit over machines/threads).
+        // Find the cheapest feasible placement (best fit: the thread whose machine's
+        // busy time grows the least).
         let mut placement: Option<(usize, usize, Duration)> = None;
         for (m, machine) in threads.iter().enumerate() {
             for (tid, thread) in machine.iter().enumerate() {
@@ -188,7 +193,9 @@ mod tests {
         let inst = Instance::from_ticks(&[(0, 10), (2, 5), (8, 20), (15, 18)], 2);
         let r = greedy_fallback(&inst, Duration::new(1_000));
         assert_eq!(r.throughput, inst.len());
-        r.schedule.validate_budgeted(&inst, Duration::new(1_000)).unwrap();
+        r.schedule
+            .validate_budgeted(&inst, Duration::new(1_000))
+            .unwrap();
     }
 
     #[test]

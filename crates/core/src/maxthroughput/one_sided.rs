@@ -60,7 +60,10 @@ pub fn one_sided_max_throughput(
 }
 
 /// The optimal throughput value only (no schedule), for use in tight loops.
-pub fn one_sided_max_throughput_value(instance: &Instance, budget: Duration) -> Result<usize, Error> {
+pub fn one_sided_max_throughput_value(
+    instance: &Instance,
+    budget: Duration,
+) -> Result<usize, Error> {
     one_sided_max_throughput(instance, budget).map(|r| r.throughput)
 }
 
@@ -91,7 +94,9 @@ mod tests {
     fn unlimited_budget_schedules_everything() {
         let r = one_sided_max_throughput(&inst(), Duration::new(1_000)).unwrap();
         assert_eq!(r.throughput, 5);
-        r.schedule.validate_budgeted(&inst(), Duration::new(1_000)).unwrap();
+        r.schedule
+            .validate_budgeted(&inst(), Duration::new(1_000))
+            .unwrap();
         // Optimal complete cost: groups {13,8},{5,3},{2} = 13 + 5 + 2 = 20.
         assert_eq!(r.cost, Duration::new(20));
     }
@@ -139,7 +144,10 @@ mod tests {
     #[test]
     fn subset_cost_helper_matches_observation_3_1() {
         let i = inst();
-        assert_eq!(one_sided_subset_cost(&i, &[0, 1, 2, 3, 4]), Duration::new(20));
+        assert_eq!(
+            one_sided_subset_cost(&i, &[0, 1, 2, 3, 4]),
+            Duration::new(20)
+        );
         assert_eq!(one_sided_subset_cost(&i, &[0, 1]), Duration::new(3));
         assert_eq!(one_sided_subset_cost(&i, &[]), Duration::ZERO);
     }

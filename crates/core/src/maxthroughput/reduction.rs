@@ -22,7 +22,10 @@ use crate::schedule::{Schedule, SolveResult, ThroughputResult};
 /// `budget`; when the oracle is optimal (e.g. [`super::most_throughput_consecutive`] on
 /// proper clique instances, or an exact solver) the returned cost is the optimal busy
 /// time.  The number of oracle calls is `O(log(len(J)))`.
-pub fn minbusy_via_maxthroughput<F>(instance: &Instance, mut oracle: F) -> Result<SolveResult, Error>
+pub fn minbusy_via_maxthroughput<F>(
+    instance: &Instance,
+    mut oracle: F,
+) -> Result<SolveResult, Error>
 where
     F: FnMut(&Instance, Duration) -> Result<ThroughputResult, Error>,
 {
@@ -148,10 +151,8 @@ mod tests {
         let candidates = shortest_prefix_candidates(&inst);
         for budget in [0i64, 2, 3, 7, 11, 20, 100] {
             let budget = Duration::new(budget);
-            let via = maxthroughput_via_minbusy(&inst, budget, &candidates, |sub| {
-                one_sided_optimal(sub)
-            })
-            .unwrap();
+            let via =
+                maxthroughput_via_minbusy(&inst, budget, &candidates, one_sided_optimal).unwrap();
             let direct = one_sided_max_throughput(&inst, budget).unwrap();
             assert_eq!(via.throughput, direct.throughput, "budget {budget}");
             via.schedule.validate_budgeted(&inst, budget).unwrap();
@@ -178,7 +179,10 @@ mod tests {
             assert_eq!(&w[1][..w[0].len()], &w[0][..]);
         }
         // Sorted by length: job ids of lengths 2, 5, 9.
-        let lens: Vec<i64> = cands[3].iter().map(|&j| inst.job(j).len().ticks()).collect();
+        let lens: Vec<i64> = cands[3]
+            .iter()
+            .map(|&j| inst.job(j).len().ticks())
+            .collect();
         assert_eq!(lens, vec![2, 5, 9]);
     }
 }

@@ -62,12 +62,17 @@ pub fn weighted_throughput_proper_clique(
     budget: Duration,
 ) -> Result<WeightedThroughputResult, Error> {
     if profits.len() != instance.len() {
-        return Err(Error::UnknownJob { job: profits.len().min(instance.len()) });
+        return Err(Error::UnknownJob {
+            job: profits.len().min(instance.len()),
+        });
     }
     if !instance.is_proper_clique() {
         return Err(Error::NotProperClique);
     }
-    assert!(profits.iter().all(|&p| p >= 0), "profits must be non-negative");
+    assert!(
+        profits.iter().all(|&p| p >= 0),
+        "profits must be non-negative"
+    );
     let n = instance.len();
     if n == 0 {
         return Ok(WeightedThroughputResult {
@@ -83,13 +88,23 @@ pub fn weighted_throughput_proper_clique(
     // i (1-based), where j = 0 means job i is unscheduled and j ≥ 1 means job i is the
     // j-th job on the open machine.
     let mut frontiers: Vec<Vec<Vec<FrontierPoint>>> = vec![vec![Vec::new(); g + 1]; n + 1];
-    frontiers[0][0].push(FrontierPoint { cost: 0, profit: 0, parent: 0, parent_j: 0, step: 0 });
+    frontiers[0][0].push(FrontierPoint {
+        cost: 0,
+        profit: 0,
+        parent: 0,
+        parent_j: 0,
+        step: 0,
+    });
 
     let budget_ticks = budget.ticks();
     for i in 1..=n {
         let job = jobs[i - 1];
         let job_len = job.len().ticks();
-        let append_inc = if i >= 2 { (job.end() - jobs[i - 2].end()).ticks() } else { 0 };
+        let append_inc = if i >= 2 {
+            (job.end() - jobs[i - 2].end()).ticks()
+        } else {
+            0
+        };
         // Collect candidate points per target j, then prune to the frontier.
         let mut candidates: Vec<Vec<FrontierPoint>> = vec![Vec::new(); g + 1];
         for prev_j in 0..=g {
@@ -181,7 +196,11 @@ pub fn weighted_throughput_proper_clique(
         .map(|job| profits[job])
         .sum();
     debug_assert!(cost <= budget);
-    Ok(WeightedThroughputResult { schedule, profit, cost })
+    Ok(WeightedThroughputResult {
+        schedule,
+        profit,
+        cost,
+    })
 }
 
 /// Keep only Pareto-optimal `(cost, profit)` points (minimal cost for any achievable
@@ -217,7 +236,10 @@ mod tests {
             let budget = Duration::new(budget);
             let weighted = weighted_throughput_proper_clique(&inst, &profits, budget).unwrap();
             let unweighted = most_throughput_consecutive_fast(&inst, budget).unwrap();
-            assert_eq!(weighted.profit as usize, unweighted.throughput, "budget {budget}");
+            assert_eq!(
+                weighted.profit as usize, unweighted.throughput,
+                "budget {budget}"
+            );
             weighted.schedule.validate_budgeted(&inst, budget).unwrap();
         }
     }
@@ -231,14 +253,15 @@ mod tests {
         let r = weighted_throughput_proper_clique(&inst, &profits, Duration::new(11)).unwrap();
         assert!(r.schedule.is_scheduled(2));
         assert_eq!(r.profit, 101);
-        r.schedule.validate_budgeted(&inst, Duration::new(11)).unwrap();
+        r.schedule
+            .validate_budgeted(&inst, Duration::new(11))
+            .unwrap();
     }
 
     #[test]
     fn zero_budget_schedules_nothing() {
         let inst = staircase(4, 5, 2);
-        let r =
-            weighted_throughput_proper_clique(&inst, &[3, 1, 4, 1], Duration::ZERO).unwrap();
+        let r = weighted_throughput_proper_clique(&inst, &[3, 1, 4, 1], Duration::ZERO).unwrap();
         assert_eq!(r.profit, 0);
         assert_eq!(r.cost, Duration::ZERO);
     }
@@ -266,12 +289,9 @@ mod tests {
             let r = weighted_throughput_proper_clique(&inst, &profits, budget).unwrap();
             r.schedule.validate_budgeted(&inst, budget).unwrap();
             // Profit is monotone in the budget.
-            let bigger = weighted_throughput_proper_clique(
-                &inst,
-                &profits,
-                budget + Duration::new(10),
-            )
-            .unwrap();
+            let bigger =
+                weighted_throughput_proper_clique(&inst, &profits, budget + Duration::new(10))
+                    .unwrap();
             assert!(bigger.profit >= r.profit);
         }
     }

@@ -19,7 +19,10 @@ use crate::schedule::Schedule;
 /// do not share a common time point.
 pub fn clique_matching(instance: &Instance) -> Result<Schedule, Error> {
     if instance.capacity() != 2 {
-        return Err(Error::WrongCapacity { expected: 2, actual: instance.capacity() });
+        return Err(Error::WrongCapacity {
+            expected: 2,
+            actual: instance.capacity(),
+        });
     }
     if !instance.is_clique() {
         return Err(Error::NotClique);
@@ -84,7 +87,10 @@ mod tests {
         let inst = Instance::from_ticks(&[(0, 10), (1, 11)], 3);
         assert_eq!(
             clique_matching(&inst).unwrap_err(),
-            Error::WrongCapacity { expected: 2, actual: 3 }
+            Error::WrongCapacity {
+                expected: 2,
+                actual: 3
+            }
         );
     }
 

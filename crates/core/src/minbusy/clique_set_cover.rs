@@ -108,7 +108,13 @@ fn count_subsets_up_to(n: usize, g: usize, limit: usize) -> usize {
 /// Enumerate all subsets of `{0..n}` of size 1..=g in lexicographic order, invoking the
 /// callback with each.
 fn enumerate_subsets(n: usize, g: usize, current: &mut Vec<usize>, f: &mut impl FnMut(&[usize])) {
-    fn rec(n: usize, g: usize, start: usize, current: &mut Vec<usize>, f: &mut impl FnMut(&[usize])) {
+    fn rec(
+        n: usize,
+        g: usize,
+        start: usize,
+        current: &mut Vec<usize>,
+        f: &mut impl FnMut(&[usize]),
+    ) {
         if !current.is_empty() {
             f(current);
         }
@@ -146,7 +152,10 @@ mod tests {
         for g in 2..=6 {
             assert!(set_cover_guarantee(g) < 2.0, "g = {g}");
         }
-        assert!(set_cover_guarantee(7) > set_cover_guarantee(6), "monotone increasing");
+        assert!(
+            set_cover_guarantee(7) > set_cover_guarantee(6),
+            "monotone increasing"
+        );
     }
 
     #[test]

@@ -78,7 +78,11 @@ pub fn consecutive_partition_dp(instance: &Instance) -> Schedule {
 /// are not necessarily monotone for non-proper inputs, hence the explicit max.)
 fn block_span(jobs: &[busytime_interval::Interval], a: usize, b: usize) -> i64 {
     let start = jobs[a].start();
-    let end = jobs[a..=b].iter().map(|j| j.end()).max().expect("non-empty block");
+    let end = jobs[a..=b]
+        .iter()
+        .map(|j| j.end())
+        .max()
+        .expect("non-empty block");
     (end - start).ticks()
 }
 
@@ -125,9 +129,15 @@ mod tests {
     #[test]
     fn rejects_non_proper_or_non_clique() {
         let not_proper = Instance::from_ticks(&[(0, 10), (2, 8)], 2);
-        assert_eq!(find_best_consecutive(&not_proper).unwrap_err(), Error::NotProperClique);
+        assert_eq!(
+            find_best_consecutive(&not_proper).unwrap_err(),
+            Error::NotProperClique
+        );
         let not_clique = Instance::from_ticks(&[(0, 4), (3, 8), (7, 12)], 2);
-        assert_eq!(find_best_consecutive(&not_clique).unwrap_err(), Error::NotProperClique);
+        assert_eq!(
+            find_best_consecutive(&not_clique).unwrap_err(),
+            Error::NotProperClique
+        );
     }
 
     #[test]

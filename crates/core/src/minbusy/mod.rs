@@ -125,7 +125,10 @@ mod tests {
         assert_eq!(solve_auto(&one_sided).1, MinBusyAlgorithm::OneSided);
 
         let proper_clique = Instance::from_ticks(&[(0, 10), (2, 12), (4, 14)], 2);
-        assert_eq!(solve_auto(&proper_clique).1, MinBusyAlgorithm::ProperCliqueDp);
+        assert_eq!(
+            solve_auto(&proper_clique).1,
+            MinBusyAlgorithm::ProperCliqueDp
+        );
 
         // Clique but not proper, g = 2 → matching.
         let clique_g2 = Instance::from_ticks(&[(0, 20), (5, 10), (6, 18)], 2);

@@ -19,7 +19,10 @@ pub fn one_sided_optimal(instance: &Instance) -> Result<Schedule, Error> {
     if !instance.is_one_sided() {
         return Err(Error::NotOneSided);
     }
-    Ok(schedule_by_length_groups(instance, &(0..instance.len()).collect::<Vec<_>>()))
+    Ok(schedule_by_length_groups(
+        instance,
+        &(0..instance.len()).collect::<Vec<_>>(),
+    ))
 }
 
 /// Group the given jobs of `instance` by non-increasing length, `g` per machine, and
@@ -84,7 +87,10 @@ mod tests {
     fn rejects_non_one_sided() {
         let inst = Instance::from_ticks(&[(0, 10), (2, 12)], 2);
         assert_eq!(one_sided_optimal(&inst).unwrap_err(), Error::NotOneSided);
-        assert_eq!(one_sided_optimal_cost(&inst).unwrap_err(), Error::NotOneSided);
+        assert_eq!(
+            one_sided_optimal_cost(&inst).unwrap_err(),
+            Error::NotOneSided
+        );
     }
 
     #[test]

@@ -1,23 +1,39 @@
-//! Data-parallel batch helpers built on rayon.
+//! Data-parallel batch helpers, kept as thin compatibility wrappers over
+//! [`Solver::solve_batch`](crate::Solver::solve_batch).
 //!
 //! The experiment harness evaluates every algorithm on hundreds of independent random
 //! instances per parameter point; these helpers parallelize such sweeps without changing
 //! any algorithmic result (each instance is solved independently, results are returned in
-//! input order).
+//! input order).  New code should call [`crate::Solver::solve_batch`] directly — it
+//! additionally reports guarantees, bounds and the dispatch trace per instance.
 
 use busytime_interval::Duration;
 use rayon::prelude::*;
 
 use crate::instance::Instance;
-use crate::minbusy::{self, MinBusyAlgorithm};
-use crate::maxthroughput::{self, MaxThroughputAlgorithm};
+use crate::maxthroughput::MaxThroughputAlgorithm;
+use crate::minbusy::MinBusyAlgorithm;
 use crate::schedule::{Schedule, ThroughputResult};
+use crate::solver::{Problem, Solver};
 
 /// Solve MinBusy on every instance in parallel with the automatic dispatcher.
 ///
 /// Returns, per instance and in input order, the schedule and the algorithm chosen.
 pub fn solve_minbusy_batch(instances: &[Instance]) -> Vec<(Schedule, MinBusyAlgorithm)> {
-    instances.par_iter().map(minbusy::solve_auto).collect()
+    let solver = Solver::new();
+    instances
+        .par_iter()
+        .map(|instance| {
+            let solution = solver
+                .solve_min_busy(instance)
+                .expect("the default policy always solves MinBusy");
+            let algorithm = solution
+                .algorithm
+                .as_minbusy()
+                .expect("MinBusy dispatch selects MinBusy algorithms");
+            (solution.schedule, algorithm)
+        })
+        .collect()
 }
 
 /// Solve MaxThroughput on every `(instance, budget)` pair in parallel with the automatic
@@ -25,9 +41,37 @@ pub fn solve_minbusy_batch(instances: &[Instance]) -> Vec<(Schedule, MinBusyAlgo
 pub fn solve_maxthroughput_batch(
     cases: &[(Instance, Duration)],
 ) -> Vec<(ThroughputResult, MaxThroughputAlgorithm)> {
-    cases
-        .par_iter()
-        .map(|(instance, budget)| maxthroughput::solve_auto(instance, *budget))
+    let solver = Solver::new();
+    let problems: Vec<Problem> = cases
+        .iter()
+        .map(|(instance, budget)| Problem::max_throughput(instance.clone(), *budget))
+        .collect();
+    solver
+        .solve_batch(&problems)
+        .into_iter()
+        .map(|result| {
+            let solution = result.expect("the default policy always solves MaxThroughput");
+            let algorithm = solution
+                .algorithm
+                .as_maxthroughput()
+                .expect("MaxThroughput dispatch selects MaxThroughput algorithms");
+            // The facade already computed the throughput and cost; reuse them rather
+            // than re-deriving both from the schedule.
+            let (throughput, cost) = match solution.objective {
+                crate::solver::Objective::Throughput { scheduled, cost } => (scheduled, cost),
+                other => {
+                    unreachable!("MaxThroughput solutions carry a throughput objective: {other:?}")
+                }
+            };
+            (
+                ThroughputResult {
+                    schedule: solution.schedule,
+                    throughput,
+                    cost,
+                },
+                algorithm,
+            )
+        })
         .collect()
 }
 
@@ -46,6 +90,8 @@ where
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::maxthroughput;
+    use crate::minbusy;
 
     fn instances() -> Vec<Instance> {
         vec![
@@ -76,8 +122,9 @@ mod tests {
             .collect();
         let results = solve_maxthroughput_batch(&cases);
         assert_eq!(results.len(), cases.len());
-        for ((inst, budget), (result, _)) in cases.iter().zip(&results) {
+        for ((inst, budget), (result, algo)) in cases.iter().zip(&results) {
             result.schedule.validate_budgeted(inst, *budget).unwrap();
+            assert_eq!(*algo, maxthroughput::solve_auto(inst, *budget).1);
         }
     }
 

@@ -27,7 +27,9 @@ pub struct Schedule {
 impl Schedule {
     /// An empty (all-unscheduled) schedule for `n` jobs.
     pub fn empty(n: usize) -> Self {
-        Schedule { assignment: vec![None; n] }
+        Schedule {
+            assignment: vec![None; n],
+        }
     }
 
     /// Build a schedule from an explicit assignment vector.
@@ -89,7 +91,9 @@ impl Schedule {
 
     /// Ids of all scheduled jobs.
     pub fn scheduled_jobs(&self) -> Vec<JobId> {
-        (0..self.assignment.len()).filter(|&j| self.is_scheduled(j)).collect()
+        (0..self.assignment.len())
+            .filter(|&j| self.is_scheduled(j))
+            .collect()
     }
 
     /// Number of scheduled jobs (`tput` in the paper).
@@ -157,7 +161,9 @@ impl Schedule {
         if self.assignment.len() != instance.len() {
             // A schedule over a different number of jobs necessarily references unknown
             // jobs (or misses some); report the first discrepancy.
-            return Err(Error::UnknownJob { job: instance.len().min(self.assignment.len()) });
+            return Err(Error::UnknownJob {
+                job: instance.len().min(self.assignment.len()),
+            });
         }
         for (machine, group) in self.machine_groups().into_iter().enumerate() {
             let ivs: Vec<Interval> = group.iter().map(|&j| instance.job(j)).collect();
@@ -230,7 +236,11 @@ impl ThroughputResult {
     pub fn new(schedule: Schedule, instance: &Instance) -> Self {
         let throughput = schedule.throughput();
         let cost = schedule.cost(instance);
-        ThroughputResult { schedule, throughput, cost }
+        ThroughputResult {
+            schedule,
+            throughput,
+            cost,
+        }
     }
 
     /// The better of two throughput results: more jobs, ties broken by lower cost.
@@ -273,7 +283,10 @@ mod tests {
         let inst = instance();
         // Machine 0: jobs 0 and 1 (span [0,5) = 5); machine 1: jobs 2 and 3 (span 4+2=6).
         let s = Schedule::from_groups(4, &[vec![0, 1], vec![2, 3]]);
-        assert_eq!(s.busy_times(&inst), vec![Duration::new(5), Duration::new(6)]);
+        assert_eq!(
+            s.busy_times(&inst),
+            vec![Duration::new(5), Duration::new(6)]
+        );
         assert_eq!(s.cost(&inst), Duration::new(11));
         assert_eq!(s.machines_used(), 2);
         assert_eq!(s.throughput(), 4);
@@ -289,7 +302,11 @@ mod tests {
         let s = Schedule::from_groups(4, &[vec![0, 1, 2], vec![3]]);
         assert_eq!(
             s.validate(&inst).unwrap_err(),
-            Error::CapacityExceeded { machine: 0, observed: 3, capacity: 2 }
+            Error::CapacityExceeded {
+                machine: 0,
+                observed: 3,
+                capacity: 2
+            }
         );
     }
 
@@ -312,7 +329,10 @@ mod tests {
         assert!(s.validate_budgeted(&inst, Duration::new(5)).is_ok());
         assert_eq!(
             s.validate_budgeted(&inst, Duration::new(4)).unwrap_err(),
-            Error::BudgetExceeded { cost: Duration::new(5), budget: Duration::new(4) }
+            Error::BudgetExceeded {
+                cost: Duration::new(5),
+                budget: Duration::new(4)
+            }
         );
     }
 

@@ -112,10 +112,8 @@ mod tests {
     #[test]
     fn single_bucket_equals_first_fit() {
         // All len₁ equal → one bucket → identical machine grouping as plain FirstFit.
-        let inst = Instance2d::from_ticks(
-            &[(0, 4, 0, 8), (1, 5, 2, 9), (2, 6, 1, 7), (3, 7, 0, 5)],
-            2,
-        );
+        let inst =
+            Instance2d::from_ticks(&[(0, 4, 0, 8), (1, 5, 2, 9), (2, 6, 1, 7), (3, 7, 0, 5)], 2);
         let bucketed = bucket_first_fit(&inst, DEFAULT_BUCKET_BASE);
         let plain = first_fit_2d(&inst);
         bucketed.validate_complete(&inst).unwrap();
@@ -140,7 +138,10 @@ mod tests {
         s.validate_complete(&inst).unwrap();
         // No machine mixes the two width classes.
         for group in s.machine_groups() {
-            let widths: Vec<i64> = group.iter().map(|&j| inst.job(j).len_k(1).ticks()).collect();
+            let widths: Vec<i64> = group
+                .iter()
+                .map(|&j| inst.job(j).len_k(1).ticks())
+                .collect();
             assert!(
                 widths.iter().all(|&w| w == 1) || widths.iter().all(|&w| w == 100),
                 "machine mixes width classes: {widths:?}"

@@ -80,7 +80,12 @@ mod tests {
     fn tall_jobs_seed_machines() {
         // One tall job (large len₂) and small ones that fit beside it.
         let inst = Instance2d::from_ticks(
-            &[(0, 2, 0, 100), (3, 5, 0, 10), (3, 5, 20, 30), (3, 5, 40, 50)],
+            &[
+                (0, 2, 0, 100),
+                (3, 5, 0, 10),
+                (3, 5, 20, 30),
+                (3, 5, 40, 50),
+            ],
             2,
         );
         let s = first_fit_2d(&inst);

@@ -118,7 +118,9 @@ pub struct Schedule2d {
 impl Schedule2d {
     /// An empty schedule for `n` jobs.
     pub fn empty(n: usize) -> Self {
-        Schedule2d { assignment: vec![None; n] }
+        Schedule2d {
+            assignment: vec![None; n],
+        }
     }
 
     /// Assign a job to a machine.
@@ -175,7 +177,9 @@ impl Schedule2d {
     /// more than `g` rectangles.
     pub fn validate_complete(&self, instance: &Instance2d) -> Result<(), Error> {
         if self.assignment.len() != instance.len() {
-            return Err(Error::UnknownJob { job: instance.len().min(self.assignment.len()) });
+            return Err(Error::UnknownJob {
+                job: instance.len().min(self.assignment.len()),
+            });
         }
         if let Some(job) = (0..instance.len()).find(|&j| self.machine_of(j).is_none()) {
             return Err(Error::JobUnscheduled { job });
@@ -259,7 +263,10 @@ mod tests {
         let mut s = Schedule2d::empty(3);
         s.assign(0, 0);
         s.assign(1, 1);
-        assert_eq!(s.validate_complete(&inst).unwrap_err(), Error::JobUnscheduled { job: 2 });
+        assert_eq!(
+            s.validate_complete(&inst).unwrap_err(),
+            Error::JobUnscheduled { job: 2 }
+        );
     }
 
     #[test]
@@ -272,7 +279,11 @@ mod tests {
         }
         assert_eq!(
             s.validate_complete(&inst).unwrap_err(),
-            Error::CapacityExceeded { machine: 0, observed: 3, capacity: 2 }
+            Error::CapacityExceeded {
+                machine: 0,
+                observed: 3,
+                capacity: 2
+            }
         );
     }
 

@@ -161,7 +161,6 @@ pub fn exact_maxthroughput(instance: &Instance, budget: Duration) -> ThroughputR
     result
 }
 
-
 /// Exact MinBusy for the demand model of Section 5 (jobs with capacity demands, the
 /// model of [16]): the same subset DP as [`exact_minbusy`], with "at most `g`
 /// simultaneous jobs" replaced by "peak total demand at most `g`".
@@ -170,7 +169,10 @@ pub fn exact_maxthroughput(instance: &Instance, budget: Duration) -> ThroughputR
 /// Panics if the instance has more than [`MAX_EXACT_JOBS`] jobs.
 pub fn exact_demand_minbusy(instance: &busytime::demand::DemandInstance) -> (Schedule, Duration) {
     let n = instance.len();
-    assert!(n <= MAX_EXACT_JOBS, "exact solver limited to {MAX_EXACT_JOBS} jobs, got {n}");
+    assert!(
+        n <= MAX_EXACT_JOBS,
+        "exact solver limited to {MAX_EXACT_JOBS} jobs, got {n}"
+    );
     if n == 0 {
         return (Schedule::empty(0), Duration::ZERO);
     }
@@ -288,7 +290,10 @@ mod tests {
             let budget = Duration::new(t);
             let r = exact_maxthroughput(&inst, budget);
             r.schedule.validate_budgeted(&inst, budget).unwrap();
-            assert!(r.throughput >= last, "throughput must be monotone in the budget");
+            assert!(
+                r.throughput >= last,
+                "throughput must be monotone in the budget"
+            );
             last = r.throughput;
         }
         assert_eq!(last, 5);
@@ -301,7 +306,8 @@ mod tests {
         assert!(inst.is_proper_clique());
         for t in [0i64, 5, 9, 10, 15, 20, 30, 50, 80] {
             let budget = Duration::new(t);
-            let dp = busytime::maxthroughput::most_throughput_consecutive_fast(&inst, budget).unwrap();
+            let dp =
+                busytime::maxthroughput::most_throughput_consecutive_fast(&inst, budget).unwrap();
             let exact = exact_maxthroughput(&inst, budget);
             assert_eq!(dp.throughput, exact.throughput, "budget {t}");
         }
@@ -333,7 +339,9 @@ mod tests {
     #[test]
     #[should_panic]
     fn too_large_instance_rejected() {
-        let jobs: Vec<(i64, i64)> = (0..(MAX_EXACT_JOBS as i64 + 1)).map(|i| (i, i + 10)).collect();
+        let jobs: Vec<(i64, i64)> = (0..(MAX_EXACT_JOBS as i64 + 1))
+            .map(|i| (i, i + 10))
+            .collect();
         let inst = Instance::from_ticks(&jobs, 2);
         let _ = exact_minbusy(&inst);
     }

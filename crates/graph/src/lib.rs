@@ -11,6 +11,9 @@
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
+// The blossom algorithm is written to mirror the classical presentation: stage state is
+// threaded through explicit parameters and arrays are indexed in lockstep.
+#![allow(clippy::needless_range_loop, clippy::too_many_arguments)]
 
 mod interval_graph;
 mod matching;

@@ -128,7 +128,11 @@ fn matching_weight(edges: &[WeightedEdge], mate: &[Option<usize>]) -> i64 {
 ///
 /// Exponential; intended for graphs with at most ~12 vertices.  Used as ground truth in
 /// the test-suite and by `busytime-exact`.
-pub fn max_weight_matching_brute(n: usize, edges: &[WeightedEdge], max_cardinality: bool) -> Matching {
+pub fn max_weight_matching_brute(
+    n: usize,
+    edges: &[WeightedEdge],
+    max_cardinality: bool,
+) -> Matching {
     // Adjacency matrix of best weights.
     let mut w = vec![vec![None::<i64>; n]; n];
     for e in edges {
@@ -154,7 +158,11 @@ pub fn max_weight_matching_brute(n: usize, edges: &[WeightedEdge], max_cardinali
         max_cardinality: bool,
     ) {
         if v == n {
-            let key = if max_cardinality { (cur_card, cur_weight) } else { (0, cur_weight) };
+            let key = if max_cardinality {
+                (cur_card, cur_weight)
+            } else {
+                (0, cur_weight)
+            };
             if key > *best_key {
                 *best_key = key;
                 best_mate.clone_from(mate);
@@ -162,18 +170,48 @@ pub fn max_weight_matching_brute(n: usize, edges: &[WeightedEdge], max_cardinali
             return;
         }
         if mate[v].is_some() {
-            rec(v + 1, n, w, mate, cur_weight, cur_card, best_key, best_mate, max_cardinality);
+            rec(
+                v + 1,
+                n,
+                w,
+                mate,
+                cur_weight,
+                cur_card,
+                best_key,
+                best_mate,
+                max_cardinality,
+            );
             return;
         }
         // Leave v unmatched.
-        rec(v + 1, n, w, mate, cur_weight, cur_card, best_key, best_mate, max_cardinality);
+        rec(
+            v + 1,
+            n,
+            w,
+            mate,
+            cur_weight,
+            cur_card,
+            best_key,
+            best_mate,
+            max_cardinality,
+        );
         // Match v with any later unmatched neighbour.
         for u in v + 1..n {
             if mate[u].is_none() {
                 if let Some(wt) = w[v][u] {
                     mate[v] = Some(u);
                     mate[u] = Some(v);
-                    rec(v + 1, n, w, mate, cur_weight + wt, cur_card + 1, best_key, best_mate, max_cardinality);
+                    rec(
+                        v + 1,
+                        n,
+                        w,
+                        mate,
+                        cur_weight + wt,
+                        cur_card + 1,
+                        best_key,
+                        best_mate,
+                        max_cardinality,
+                    );
                     mate[v] = None;
                     mate[u] = None;
                 }
@@ -183,9 +221,22 @@ pub fn max_weight_matching_brute(n: usize, edges: &[WeightedEdge], max_cardinali
     if max_cardinality {
         best_key = (0, i64::MIN);
     }
-    rec(0, n, &w, &mut mate, 0, 0, &mut best_key, &mut best_mate, max_cardinality);
+    rec(
+        0,
+        n,
+        &w,
+        &mut mate,
+        0,
+        0,
+        &mut best_key,
+        &mut best_mate,
+        max_cardinality,
+    );
     let weight = matching_weight(edges, &best_mate);
-    Matching { mate: best_mate, weight }
+    Matching {
+        mate: best_mate,
+        weight,
+    }
 }
 
 const LABEL_FREE: u8 = 0;
@@ -352,7 +403,10 @@ impl Blossom {
         let bb = self.inblossom[base];
         let mut bv = self.inblossom[v];
         let mut bw = self.inblossom[w];
-        let b = self.unusedblossoms.pop().expect("blossom numbers exhausted");
+        let b = self
+            .unusedblossoms
+            .pop()
+            .expect("blossom numbers exhausted");
         self.blossombase[b] = base as i64;
         self.blossomparent[b] = -1;
         self.blossomparent[bb] = b as i64;
@@ -425,7 +479,8 @@ impl Blossom {
                     let bj = self.inblossom[j];
                     if bj != b
                         && self.label[bj] == LABEL_S
-                        && (bestedgeto[bj] == -1 || self.slack(k) < self.slack(bestedgeto[bj] as usize))
+                        && (bestedgeto[bj] == -1
+                            || self.slack(k) < self.slack(bestedgeto[bj] as usize))
                     {
                         bestedgeto[bj] = k as i64;
                     }
@@ -681,11 +736,14 @@ impl Blossom {
                             }
                         } else if self.label[self.inblossom[w]] == LABEL_S {
                             let b = self.inblossom[v];
-                            if self.bestedge[b] == -1 || kslack < self.slack(self.bestedge[b] as usize) {
+                            if self.bestedge[b] == -1
+                                || kslack < self.slack(self.bestedge[b] as usize)
+                            {
                                 self.bestedge[b] = k as i64;
                             }
                         } else if self.label[w] == LABEL_FREE
-                            && (self.bestedge[w] == -1 || kslack < self.slack(self.bestedge[w] as usize))
+                            && (self.bestedge[w] == -1
+                                || kslack < self.slack(self.bestedge[w] as usize))
                         {
                             self.bestedge[w] = k as i64;
                         }
@@ -721,7 +779,10 @@ impl Blossom {
                 }
 
                 for b in 0..2 * n {
-                    if self.blossomparent[b] == -1 && self.label[b] == LABEL_S && self.bestedge[b] != -1 {
+                    if self.blossomparent[b] == -1
+                        && self.label[b] == LABEL_S
+                        && self.bestedge[b] != -1
+                    {
                         let kslack = self.slack(self.bestedge[b] as usize);
                         debug_assert_eq!(kslack % 2, 0);
                         let d = kslack / 2;
@@ -885,7 +946,14 @@ mod tests {
     #[test]
     fn blossom_with_augmenting_path() {
         // Test taken from van Rantwijk's test14_maxcard-like structures.
-        let edges = [e(1, 2, 9), e(1, 3, 8), e(2, 3, 10), e(1, 4, 5), e(4, 5, 4), e(1, 6, 3)];
+        let edges = [
+            e(1, 2, 9),
+            e(1, 3, 8),
+            e(2, 3, 10),
+            e(1, 4, 5),
+            e(4, 5, 4),
+            e(1, 6, 3),
+        ];
         let m = solve(7, &edges);
         let brute = max_weight_matching_brute(7, &edges, false);
         assert_eq!(m.weight(), brute.weight());
@@ -902,7 +970,14 @@ mod tests {
 
         // With two extra pendant edges the optimum switches to using the blossom edge
         // (2,3) plus both pendants: 10 + 6 + 5.
-        let edges2 = [e(1, 2, 8), e(1, 3, 9), e(2, 3, 10), e(3, 4, 7), e(1, 6, 5), e(4, 5, 6)];
+        let edges2 = [
+            e(1, 2, 8),
+            e(1, 3, 9),
+            e(2, 3, 10),
+            e(3, 4, 7),
+            e(1, 6, 5),
+            e(4, 5, 6),
+        ];
         let m2 = solve(7, &edges2);
         let brute2 = max_weight_matching_brute(7, &edges2, false);
         assert_eq!(m2.weight(), brute2.weight());
@@ -913,7 +988,12 @@ mod tests {
     fn t_blossom_expansion_cases() {
         // van Rantwijk test20: create blossom, relabel as T in more than one way, expand.
         let edges = [
-            e(1, 2, 9), e(1, 3, 8), e(2, 3, 10), e(1, 4, 5), e(4, 5, 4), e(1, 6, 3),
+            e(1, 2, 9),
+            e(1, 3, 8),
+            e(2, 3, 10),
+            e(1, 4, 5),
+            e(4, 5, 4),
+            e(1, 6, 3),
         ];
         let m = solve(7, &edges);
         let brute = max_weight_matching_brute(7, &edges, false);
@@ -921,7 +1001,14 @@ mod tests {
 
         // test21: create blossom, relabel as T, expand such that a new least-slack edge is used.
         let edges = [
-            e(1, 2, 23), e(1, 5, 22), e(1, 6, 15), e(2, 3, 25), e(3, 4, 22), e(4, 5, 25), e(4, 8, 14), e(5, 7, 13),
+            e(1, 2, 23),
+            e(1, 5, 22),
+            e(1, 6, 15),
+            e(2, 3, 25),
+            e(3, 4, 22),
+            e(4, 5, 25),
+            e(4, 8, 14),
+            e(5, 7, 13),
         ];
         let m = solve(9, &edges);
         let brute = max_weight_matching_brute(9, &edges, false);
@@ -932,8 +1019,15 @@ mod tests {
     fn nested_s_blossom_expansion() {
         // van Rantwijk test24: create nested S-blossom, augment, expand recursively.
         let edges = [
-            e(1, 2, 19), e(1, 3, 20), e(1, 8, 8), e(2, 3, 25), e(2, 4, 18),
-            e(3, 5, 18), e(4, 5, 13), e(4, 7, 7), e(5, 6, 7),
+            e(1, 2, 19),
+            e(1, 3, 20),
+            e(1, 8, 8),
+            e(2, 3, 25),
+            e(2, 4, 18),
+            e(3, 5, 18),
+            e(4, 5, 13),
+            e(4, 7, 7),
+            e(5, 6, 7),
         ];
         let m = solve(9, &edges);
         let brute = max_weight_matching_brute(9, &edges, false);
@@ -965,7 +1059,9 @@ mod tests {
         let mut seed: i64 = 0x2545F491;
         for u in 0..6usize {
             for v in (u + 1)..6 {
-                seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                seed = seed
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 let w = (seed >> 33).abs() % 100;
                 edges.push(e(u, v, w));
             }

@@ -121,7 +121,10 @@ pub fn greedy_set_cover(
             }
         }
     }
-    Ok(SetCover { chosen, total_weight })
+    Ok(SetCover {
+        chosen,
+        total_weight,
+    })
 }
 
 /// Greedy weighted set **partition**: like [`greedy_set_cover`], but a candidate may only
@@ -180,7 +183,10 @@ pub fn greedy_set_partition(
             }
         }
     }
-    Ok(SetCover { chosen, total_weight })
+    Ok(SetCover {
+        chosen,
+        total_weight,
+    })
 }
 
 /// Exact minimum-weight set cover by exhaustive search (for ground truth in tests).
@@ -188,11 +194,24 @@ pub fn greedy_set_partition(
 /// Exponential in the number of candidate sets; intended for tiny families only.
 pub fn exact_set_cover(universe_size: usize, sets: &[WeightedSet]) -> Option<SetCover> {
     if universe_size == 0 {
-        return Some(SetCover { chosen: Vec::new(), total_weight: 0 });
+        return Some(SetCover {
+            chosen: Vec::new(),
+            total_weight: 0,
+        });
     }
-    assert!(universe_size <= 63, "exact set cover uses a u64 bitmask universe");
-    assert!(sets.len() <= 24, "exact set cover is exponential in the number of sets");
-    let full: u64 = if universe_size == 63 { !0 >> 1 } else { (1u64 << universe_size) - 1 };
+    assert!(
+        universe_size <= 63,
+        "exact set cover uses a u64 bitmask universe"
+    );
+    assert!(
+        sets.len() <= 24,
+        "exact set cover is exponential in the number of sets"
+    );
+    let full: u64 = if universe_size == 63 {
+        !0 >> 1
+    } else {
+        (1u64 << universe_size) - 1
+    };
     let masks: Vec<u64> = sets
         .iter()
         .map(|s| s.elements.iter().fold(0u64, |m, &e| m | (1 << e)))
@@ -213,7 +232,10 @@ pub fn exact_set_cover(universe_size: usize, sets: &[WeightedSet]) -> Option<Set
             best = Some((w, chosen));
         }
     }
-    best.map(|(total_weight, chosen)| SetCover { chosen, total_weight })
+    best.map(|(total_weight, chosen)| SetCover {
+        chosen,
+        total_weight,
+    })
 }
 
 #[cfg(test)]
@@ -262,7 +284,7 @@ mod tests {
         let exact = exact_set_cover(6, &sets).unwrap();
         assert!(exact.total_weight <= greedy.total_weight);
         // Validate the greedy cover covers everything.
-        let mut covered = vec![false; 6];
+        let mut covered = [false; 6];
         for &i in &greedy.chosen {
             for &e in &sets[i].elements {
                 covered[e] = true;
@@ -304,7 +326,7 @@ mod tests {
         ];
         let cover = greedy_set_partition(4, &sets).unwrap();
         // Chosen sets must be pairwise disjoint and cover everything.
-        let mut seen = vec![false; 4];
+        let mut seen = [false; 4];
         for &i in &cover.chosen {
             for &e in &sets[i].elements {
                 assert!(!seen[e], "element {e} covered twice");
@@ -327,7 +349,9 @@ mod tests {
         // Deterministic pseudo-random family; exact must never exceed greedy.
         let mut seed = 12345u64;
         let mut rnd = || {
-            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            seed = seed
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             (seed >> 33) as usize
         };
         for _ in 0..20 {

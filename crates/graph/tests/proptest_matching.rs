@@ -56,7 +56,10 @@ fn is_valid_matching(n: usize, edges: &[WeightedEdge], mates: &[Option<usize>]) 
             if *u >= n || mates[*u] != Some(v) || *u == v {
                 return false;
             }
-            if !edges.iter().any(|e| (e.u == v && e.v == *u) || (e.u == *u && e.v == v)) {
+            if !edges
+                .iter()
+                .any(|e| (e.u == v && e.v == *u) || (e.u == *u && e.v == v))
+            {
                 return false;
             }
         }

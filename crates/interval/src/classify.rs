@@ -184,7 +184,10 @@ mod tests {
         assert!(is_proper(&[iv(0, 4), iv(0, 4)]));
         assert!(!is_proper(&[iv(0, 10), iv(2, 8)]));
         assert!(!is_proper(&[iv(0, 10), iv(0, 8)]), "same start, nested end");
-        assert!(!is_proper(&[iv(0, 10), iv(3, 10)]), "same end, nested start");
+        assert!(
+            !is_proper(&[iv(0, 10), iv(3, 10)]),
+            "same end, nested start"
+        );
         // Non-adjacent containment after sorting.
         assert!(!is_proper(&[iv(0, 100), iv(1, 2), iv(3, 4)]));
     }
@@ -193,7 +196,10 @@ mod tests {
     fn connectivity_and_components() {
         assert!(is_connected(&[]));
         assert!(is_connected(&[iv(0, 4), iv(3, 8)]));
-        assert!(!is_connected(&[iv(0, 4), iv(4, 8)]), "touching does not connect");
+        assert!(
+            !is_connected(&[iv(0, 4), iv(4, 8)]),
+            "touching does not connect"
+        );
         let set = [iv(10, 12), iv(0, 3), iv(2, 5), iv(11, 14), iv(20, 25)];
         let comps = connected_components(&set);
         assert_eq!(comps, vec![vec![1, 2], vec![0, 3], vec![4]]);

@@ -109,7 +109,9 @@ impl Interval {
     /// an instance is proper when no job properly includes another.)
     #[inline]
     pub fn properly_contains(&self, other: &Interval) -> bool {
-        self.contains(other) && (self.start < other.start || other.end < self.end) && *self != *other
+        self.contains(other)
+            && (self.start < other.start || other.end < self.end)
+            && *self != *other
     }
 
     /// The overlap convention of the paper: two intervals overlap iff their intersection
@@ -252,7 +254,10 @@ mod tests {
         assert!(outer.contains(&inner));
         assert!(outer.properly_contains(&inner));
         assert!(outer.contains(&flush));
-        assert!(!outer.properly_contains(&flush), "equal intervals are not proper containment");
+        assert!(
+            !outer.properly_contains(&flush),
+            "equal intervals are not proper containment"
+        );
         assert!(outer.properly_contains(&iv(0, 9)));
         assert!(outer.properly_contains(&iv(1, 10)));
         assert!(!inner.properly_contains(&outer));
@@ -272,9 +277,15 @@ mod tests {
     #[test]
     fn split_at_clamps() {
         let a = iv(2, 10);
-        assert_eq!(a.split_at(Time::new(6)), (Duration::new(4), Duration::new(4)));
+        assert_eq!(
+            a.split_at(Time::new(6)),
+            (Duration::new(4), Duration::new(4))
+        );
         assert_eq!(a.split_at(Time::new(0)), (Duration::ZERO, Duration::new(8)));
-        assert_eq!(a.split_at(Time::new(12)), (Duration::new(8), Duration::ZERO));
+        assert_eq!(
+            a.split_at(Time::new(12)),
+            (Duration::new(8), Duration::ZERO)
+        );
     }
 
     #[test]

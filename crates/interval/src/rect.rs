@@ -113,7 +113,10 @@ impl Rect {
     /// # Panics
     /// Panics unless both arguments are strictly positive.
     pub fn centered(s1: i64, s2: i64) -> Rect {
-        assert!(s1 > 0 && s2 > 0, "centered rectangle needs positive half-lengths");
+        assert!(
+            s1 > 0 && s2 > 0,
+            "centered rectangle needs positive half-lengths"
+        );
         Rect::from_ticks(-s1, s1, -s2, s2)
     }
 }
@@ -154,8 +157,16 @@ pub fn union_area(rects: &[Rect]) -> Area {
     }
     let mut events: Vec<Event> = Vec::with_capacity(rects.len() * 2);
     for r in rects {
-        events.push(Event { x: r.dim1.start(), open: true, y: r.dim2 });
-        events.push(Event { x: r.dim1.end(), open: false, y: r.dim2 });
+        events.push(Event {
+            x: r.dim1.start(),
+            open: true,
+            y: r.dim2,
+        });
+        events.push(Event {
+            x: r.dim1.end(),
+            open: false,
+            y: r.dim2,
+        });
     }
     events.sort_by_key(|e| (e.x, e.open));
 
@@ -332,7 +343,10 @@ mod tests {
         assert_eq!(max_cover_depth(&[r(0, 2, 0, 2), r(2, 4, 0, 2)]), 1);
         assert_eq!(max_cover_depth(&[r(0, 2, 0, 2), r(0, 2, 2, 4)]), 1);
         // A stack of three.
-        assert_eq!(max_cover_depth(&[r(0, 4, 0, 4), r(1, 3, 1, 3), r(2, 5, 2, 5)]), 3);
+        assert_eq!(
+            max_cover_depth(&[r(0, 4, 0, 4), r(1, 3, 1, 3), r(2, 5, 2, 5)]),
+            3
+        );
         // Cross shape: centre covered twice.
         assert_eq!(max_cover_depth(&[r(-3, 3, -1, 1), r(-1, 1, -3, 3)]), 2);
     }

@@ -192,15 +192,22 @@ mod tests {
         assert_eq!(profile[0], Duration::new(6));
         assert_eq!(profile[1], Duration::new(4)); // [1,4) and [2,5)
         assert_eq!(profile[2], Duration::new(2)); // [2,4)
-        // Sum over depths equals total length.
+                                                  // Sum over depths equals total length.
         let total: Duration = profile.iter().sum();
         assert_eq!(total, total_len(&set));
     }
 
     #[test]
     fn common_point_exists_iff_clique() {
-        assert_eq!(common_point(&[iv(0, 4), iv(2, 6), iv(3, 10)]), Some(Time::new(3)));
-        assert_eq!(common_point(&[iv(0, 2), iv(2, 4)]), None, "touching is not a clique");
+        assert_eq!(
+            common_point(&[iv(0, 4), iv(2, 6), iv(3, 10)]),
+            Some(Time::new(3))
+        );
+        assert_eq!(
+            common_point(&[iv(0, 2), iv(2, 4)]),
+            None,
+            "touching is not a clique"
+        );
         assert_eq!(common_point(&[]), None);
     }
 }

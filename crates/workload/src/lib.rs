@@ -28,6 +28,6 @@ pub use onedim::{
     proper_clique_instance, proper_instance,
 };
 pub use twodim::{
-    figure3_asymptotic_ratio, figure3_firstfit_cost, figure3_good_solution_cost,
-    figure3_instance, rect_instance,
+    figure3_asymptotic_ratio, figure3_firstfit_cost, figure3_good_solution_cost, figure3_instance,
+    rect_instance,
 };

@@ -34,7 +34,10 @@ pub fn one_sided_instance<R: Rng>(rng: &mut R, n: usize, g: usize, max_len: i64)
 /// completions strictly increase inside `[spread, 2·spread)`, so every job contains the
 /// point `spread` and no job properly contains another.
 pub fn proper_clique_instance<R: Rng>(rng: &mut R, n: usize, g: usize, spread: i64) -> Instance {
-    assert!(spread as usize >= n.max(1), "spread must allow n distinct starts");
+    assert!(
+        spread as usize >= n.max(1),
+        "spread must allow n distinct starts"
+    );
     let starts = distinct_sorted(rng, n, 0, spread);
     let ends = distinct_sorted(rng, n, spread, 2 * spread);
     let jobs: Vec<(i64, i64)> = starts.into_iter().zip(ends).collect();

@@ -170,7 +170,10 @@ mod tests {
             let schedule = first_fit_2d(&inst);
             schedule.validate_complete(&inst).unwrap();
             assert_eq!(schedule.machines_used(), g, "g={g} gamma1={gamma1}");
-            assert_eq!(schedule.cost(&inst), figure3_firstfit_cost(g, gamma1, scale));
+            assert_eq!(
+                schedule.cost(&inst),
+                figure3_firstfit_cost(g, gamma1, scale)
+            );
         }
     }
 
@@ -183,7 +186,10 @@ mod tests {
         // The ratio approaches 6γ₁+3 = 15 from below as g and scale grow (the paper's
         // formula is g(1+2γ₁−ε′)(3−ε′)/(g+6γ₁−1)); with g = 20 it must already exceed
         // half of the asymptote.
-        assert!(ratio > figure3_asymptotic_ratio(gamma1) / 2.0, "ratio {ratio}");
+        assert!(
+            ratio > figure3_asymptotic_ratio(gamma1) / 2.0,
+            "ratio {ratio}"
+        );
         assert!(ratio <= figure3_asymptotic_ratio(gamma1) + 1.0);
     }
 
@@ -226,7 +232,10 @@ mod tests {
             machine += 1;
         }
         schedule.validate_complete(&inst).unwrap();
-        assert_eq!(schedule.cost(&inst), figure3_good_solution_cost(g, gamma1, scale));
+        assert_eq!(
+            schedule.cost(&inst),
+            figure3_good_solution_cost(g, gamma1, scale)
+        );
     }
 
     #[test]

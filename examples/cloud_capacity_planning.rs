@@ -3,25 +3,20 @@
 //! the paper, cloud-computing motivation).
 //!
 //! The example generates a synthetic request trace, compares the busy time (≈ the bill)
-//! achieved by the library's algorithms against the naive one-machine-per-task policy,
-//! and then answers the reverse question: with a fixed budget, how many tasks can be
-//! served (MaxThroughput)?
+//! achieved through the unified `Solver` facade — forced FirstFit versus the automatic
+//! dispatch — against the naive one-machine-per-task policy, and then answers the
+//! reverse question: with a fixed budget, how many tasks can be served (MaxThroughput)?
 //!
 //! Run with `cargo run -p busytime-bench --example cloud_capacity_planning --release`.
 
-use busytime::bounds::{length_bound, lower_bound};
-use busytime::maxthroughput::greedy_fallback;
-use busytime::minbusy::{first_fit, greedy_pack, naive, solve_auto};
-use busytime::{Duration, Instance};
+use busytime::{Algorithm, Duration, Problem, Solver};
 use busytime_workload::cloud_trace;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-fn report(label: &str, instance: &Instance, cost: Duration) {
-    let bill = cost.ticks();
-    let naive_bill = length_bound(instance).ticks();
+fn report(label: &str, naive_bill: i64, bill: i64) {
     println!(
-        "  {label:<28} bill = {bill:>8} machine-minutes   ({:>5.1}% of the naive bill)",
+        "  {label:<34} bill = {bill:>8} machine-minutes   ({:>5.1}% of the naive bill)",
         100.0 * bill as f64 / naive_bill as f64
     );
 }
@@ -37,44 +32,63 @@ fn main() {
         instance.span(),
         instance.capacity()
     );
-    println!(
-        "theoretical minimum bill (Observation 2.1 lower bound): {} machine-minutes\n",
-        lower_bound(&instance)
-    );
 
-    println!("MinBusy — total machine-on time under different schedulers:");
-    let n = naive(&instance);
-    report("one task per machine", &instance, n.cost(&instance));
-    let packed = greedy_pack(&instance);
-    report("blind packing (Prop 2.1)", &instance, packed.cost(&instance));
-    let ff = first_fit(&instance);
-    report("FirstFit [13]", &instance, ff.cost(&instance));
-    let (auto, algo) = solve_auto(&instance);
-    report(
-        &format!("auto dispatch ({algo:?})"),
-        &instance,
-        auto.cost(&instance),
-    );
-    for schedule in [&n, &packed, &ff, &auto] {
-        schedule.validate_complete(&instance).expect("valid schedule");
+    let problem = Problem::min_busy(instance.clone());
+    let auto = Solver::new()
+        .solve(&problem)
+        .expect("MinBusy always dispatches");
+    let forced_ff = Solver::builder()
+        .force_algorithm(Algorithm::FirstFit)
+        .build()
+        .solve(&problem)
+        .expect("FirstFit applies to any instance");
+    for solution in [&auto, &forced_ff] {
+        solution
+            .schedule
+            .validate_complete(&instance)
+            .expect("valid schedule");
     }
 
+    println!(
+        "theoretical minimum bill (Observation 2.1 lower bound): {} machine-minutes\n",
+        auto.bounds.lower
+    );
+    println!("MinBusy — total machine-on time under different schedulers:");
+    let naive_bill = auto.bounds.length.ticks(); // one task per machine
+    report("one task per machine", naive_bill, naive_bill);
+    report(
+        "FirstFit [13] (forced)",
+        naive_bill,
+        forced_ff.objective.cost().ticks(),
+    );
+    report(
+        &format!("auto dispatch ({})", auto.algorithm),
+        naive_bill,
+        auto.objective.cost().ticks(),
+    );
+    println!(
+        "  dispatch trace: {}",
+        auto.trace_report().replace('\n', "; ")
+    );
+
     // Budget question: the client only wants to spend 60% of the FirstFit bill.
-    let budget = Duration::new(ff.cost(&instance).ticks() * 6 / 10);
-    let budgeted = greedy_fallback(&instance, budget);
+    let budget = Duration::new(forced_ff.objective.cost().ticks() * 6 / 10);
+    let budgeted = Solver::new()
+        .solve(&Problem::max_throughput(instance.clone(), budget))
+        .expect("MaxThroughput always dispatches");
     budgeted
         .schedule
         .validate_budgeted(&instance, budget)
         .expect("budget respected");
     println!(
-        "\nMaxThroughput — with a budget of {} machine-minutes ({}% of the FirstFit bill):",
-        budget,
-        60
+        "\nMaxThroughput — with a budget of {} machine-minutes (60% of the FirstFit bill):",
+        budget
     );
     println!(
-        "  {} of {} tasks can be served (busy time used: {})",
-        budgeted.throughput,
+        "  {} of {} tasks can be served via {} (busy time used: {})",
+        budgeted.schedule.throughput(),
         instance.len(),
-        budgeted.cost
+        budgeted.algorithm,
+        budgeted.objective.cost()
     );
 }

@@ -5,14 +5,13 @@
 //! The workload is a batch of jobs whose start times drift forward and whose runtimes are
 //! similar — a *proper* instance (no job properly contains another), the class for which
 //! the paper's BestCut algorithm guarantees a (2 − 1/g)-approximation (Theorem 3.1).
-//! The example measures the energy saved by BestCut against the FirstFit baseline and the
+//! The example measures, through the unified `Solver` facade with forced-algorithm
+//! policies, the energy saved by BestCut against the FirstFit baseline and the
 //! no-consolidation policy, for several machine capacities.
 //!
 //! Run with `cargo run -p busytime-bench --example energy_aware_cluster --release`.
 
-use busytime::bounds::lower_bound;
-use busytime::minbusy::{best_cut, best_cut_guarantee, first_fit, naive};
-use busytime::Instance;
+use busytime::{Algorithm, Instance, Problem, Solver};
 use busytime_workload::proper_instance;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -36,31 +35,40 @@ fn main() {
         "g", "no consolidation", "FirstFit [13]", "BestCut (Thm 3.1)", "saving", "ratio vs LB"
     );
 
+    let first_fit = Solver::builder()
+        .force_algorithm(Algorithm::FirstFit)
+        .build();
+    let best_cut = Solver::builder()
+        .force_algorithm(Algorithm::BestCut)
+        .build();
+
     for g in [2usize, 4, 8, 16] {
         // Same job set, different machine capacity.
         let instance = Instance::new(base.jobs().to_vec(), g).expect("g >= 1");
-        let no_consolidation = naive(&instance);
-        let ff = first_fit(&instance);
-        let bc = best_cut(&instance).expect("proper instance");
-        for s in [&no_consolidation, &ff, &bc] {
-            s.validate_complete(&instance).expect("valid schedule");
+        let problem = Problem::min_busy(instance.clone());
+        let ff = first_fit
+            .solve(&problem)
+            .expect("FirstFit applies to any instance");
+        let bc = best_cut
+            .solve(&problem)
+            .expect("the batch is a proper instance");
+        for s in [&ff, &bc] {
+            s.schedule
+                .validate_complete(&instance)
+                .expect("valid schedule");
         }
-        let e_naive = energy(no_consolidation.cost(&instance));
-        let e_ff = energy(ff.cost(&instance));
-        let e_bc = energy(bc.cost(&instance));
+        // No consolidation = one job per machine = the length bound the facade reports.
+        let e_naive = energy(bc.bounds.length);
+        let e_ff = energy(ff.objective.cost());
+        let e_bc = energy(bc.objective.cost());
         let saving = 100.0 * (1.0 - e_bc / e_naive);
-        let ratio = e_bc / lower_bound(&instance).ticks() as f64;
+        let ratio = e_bc / bc.bounds.lower.ticks() as f64;
+        let guarantee = bc.guarantee.expect("BestCut has a proven guarantee");
         println!(
             "{:<6} {:>14.0} {:>14.0} {:>14.0} {:>11.1}% {:>10.3} (≤ {:.3})",
-            g,
-            e_naive,
-            e_ff,
-            e_bc,
-            saving,
-            ratio,
-            best_cut_guarantee(g)
+            g, e_naive, e_ff, e_bc, saving, ratio, guarantee
         );
-        assert!(ratio <= best_cut_guarantee(g) + 1e-9, "Theorem 3.1 must hold");
+        assert!(ratio <= guarantee + 1e-9, "Theorem 3.1 must hold");
     }
 
     println!(

@@ -6,12 +6,12 @@
 //!
 //! MinBusy answers "how few regenerators suffice to satisfy every request", and
 //! MaxThroughput answers "how many requests can be satisfied with a regenerator budget".
+//! Both go through the unified `Solver` facade; the budgeted sweep also forces the
+//! greedy fallback to show what the policy knob does.
 //!
 //! Run with `cargo run -p busytime-bench --example optical_grooming --release`.
 
-use busytime::maxthroughput::{greedy_fallback, solve_auto as solve_throughput};
-use busytime::minbusy::{first_fit, solve_auto};
-use busytime::Duration;
+use busytime::{Algorithm, Duration, Problem, Solver};
 use busytime_workload::optical_lightpaths;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -29,42 +29,61 @@ fn main() {
     );
 
     // --- Minimum regenerator deployment ------------------------------------------------
-    let (schedule, algorithm) = solve_auto(&instance);
-    schedule.validate_complete(&instance).unwrap();
-    let ff = first_fit(&instance);
+    let solver = Solver::new();
+    let solution = solver
+        .solve(&Problem::min_busy(instance.clone()))
+        .expect("MinBusy always dispatches");
+    solution.schedule.validate_complete(&instance).unwrap();
+    let ff = Solver::builder()
+        .force_algorithm(Algorithm::FirstFit)
+        .build()
+        .solve(&Problem::min_busy(instance.clone()))
+        .expect("FirstFit applies to any instance");
     println!("\nregenerator cost to satisfy every request:");
     println!(
-        "  FirstFit [13]      : {} regenerator-hops over {} colours",
-        ff.cost(&instance),
-        ff.machines_used()
+        "  FirstFit [13] (forced): {} regenerator-hops over {} colours",
+        ff.objective.cost(),
+        ff.schedule.machines_used()
     );
     println!(
-        "  auto ({algorithm:?}): {} regenerator-hops over {} colours",
-        schedule.cost(&instance),
-        schedule.machines_used()
+        "  auto ({})    : {} regenerator-hops over {} colours",
+        solution.algorithm,
+        solution.objective.cost(),
+        solution.schedule.machines_used()
     );
     println!(
         "  lower bound        : {} regenerator-hops",
-        instance.lower_bound()
+        solution.bounds.lower
     );
 
     // --- Budgeted deployment ------------------------------------------------------------
     println!("\nrequests satisfiable under a regenerator budget:");
-    let full_cost = schedule.cost(&instance).ticks();
+    let full_cost = solution.objective.cost().ticks();
+    let greedy_only = Solver::builder()
+        .force_algorithm(Algorithm::ThroughputGreedy)
+        .build();
     for percent in [25i64, 50, 75, 100] {
         let budget = Duration::new(full_cost * percent / 100);
-        // The structured solver handles the recognised instance classes; the greedy
-        // fallback covers this general instance.
-        let (result, algo) = solve_throughput(&instance, budget);
-        result.schedule.validate_budgeted(&instance, budget).unwrap();
-        let fallback = greedy_fallback(&instance, budget);
+        let problem = Problem::max_throughput(instance.clone(), budget);
+        // The facade dispatches to the strongest applicable algorithm; forcing the
+        // greedy fallback shows what a policy restriction costs.
+        let result = solver
+            .solve(&problem)
+            .expect("MaxThroughput always dispatches");
+        result
+            .schedule
+            .validate_budgeted(&instance, budget)
+            .unwrap();
+        let fallback = greedy_only
+            .solve(&problem)
+            .expect("the greedy fallback always applies");
         println!(
-            "  budget {:>6} ({percent:>3}%): {:>3}/{} requests via {:?} (greedy fallback alone: {})",
+            "  budget {:>6} ({percent:>3}%): {:>3}/{} requests via {} (greedy fallback alone: {})",
             budget,
-            result.throughput,
+            result.schedule.throughput(),
             instance.len(),
-            algo,
-            fallback.throughput
+            result.algorithm,
+            fallback.schedule.throughput()
         );
     }
 }

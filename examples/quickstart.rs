@@ -1,10 +1,10 @@
-//! Quickstart: build a small instance, solve MinBusy and MaxThroughput, inspect the
-//! schedules.
+//! Quickstart: build a small instance, solve MinBusy and MaxThroughput through the
+//! unified `Solver` facade, inspect the solutions and their dispatch traces.
 //!
 //! Run with `cargo run -p busytime-bench --example quickstart`.
 
 use busytime::analysis::ScheduleSummary;
-use busytime::{maxthroughput, minbusy, Duration, Instance};
+use busytime::{Duration, Instance, Problem, Solver};
 
 fn main() {
     // Eight jobs given as (start, completion) tick pairs — think of ticks as minutes.
@@ -23,7 +23,11 @@ fn main() {
         3,
     );
 
-    println!("instance: {} jobs, capacity g = {}", instance.len(), instance.capacity());
+    println!(
+        "instance: {} jobs, capacity g = {}",
+        instance.len(),
+        instance.capacity()
+    );
     println!(
         "classification: clique = {}, proper = {}, one-sided = {}, connected = {}",
         instance.is_clique(),
@@ -31,40 +35,71 @@ fn main() {
         instance.is_one_sided(),
         instance.classification().connected
     );
-    println!(
-        "lower bound (Observation 2.1): {}   naive upper bound: {}",
-        instance.lower_bound(),
-        instance.total_len()
-    );
+
+    let solver = Solver::new();
 
     // ---- MinBusy: schedule every job with minimum total busy time. -------------------
-    let (schedule, algorithm) = minbusy::solve_auto(&instance);
-    schedule
+    let solution = solver
+        .solve(&Problem::min_busy(instance.clone()))
+        .expect("the default policy always solves MinBusy");
+    solution
+        .schedule
         .validate_complete(&instance)
-        .expect("solve_auto always returns a valid complete schedule");
-    println!("\nMinBusy via {algorithm:?}:");
-    println!("  {}", ScheduleSummary::new(&instance, &schedule));
-    for (machine, jobs) in schedule.machine_groups().iter().enumerate() {
+        .expect("facade solutions are valid complete schedules");
+    println!(
+        "\nMinBusy via {} (exact: {}, guarantee: {:?}):",
+        solution.algorithm,
+        solution.is_exact(),
+        solution.guarantee
+    );
+    println!(
+        "  bounds (Observation 2.1): lower {} (parallelism {}, span {}), upper {}",
+        solution.bounds.lower,
+        solution.bounds.parallelism,
+        solution.bounds.span,
+        solution.bounds.length
+    );
+    println!("  {}", ScheduleSummary::new(&instance, &solution.schedule));
+    for (machine, jobs) in solution.schedule.machine_groups().iter().enumerate() {
         let intervals: Vec<String> = jobs.iter().map(|&j| instance.job(j).to_string()).collect();
-        println!("  machine {machine}: jobs {jobs:?} -> {}", intervals.join(", "));
+        println!(
+            "  machine {machine}: jobs {jobs:?} -> {}",
+            intervals.join(", ")
+        );
+    }
+    println!("  dispatch trace:");
+    for attempt in &solution.trace {
+        println!("    {attempt}");
     }
 
     // ---- MaxThroughput: a busy-time budget of 150 ticks. ------------------------------
     let budget = Duration::new(150);
-    let (result, algorithm) = maxthroughput::solve_auto(&instance, budget);
-    result
+    let budgeted = solver
+        .solve(&Problem::max_throughput(instance.clone(), budget))
+        .expect("the default policy always solves MaxThroughput");
+    budgeted
         .schedule
         .validate_budgeted(&instance, budget)
         .expect("budgeted schedules never exceed the budget");
-    println!("\nMaxThroughput via {algorithm:?} with budget {budget}:");
+    println!(
+        "\nMaxThroughput via {} with budget {budget}:",
+        budgeted.algorithm
+    );
     println!(
         "  scheduled {} of {} jobs using busy time {}",
-        result.throughput,
+        budgeted.schedule.throughput(),
         instance.len(),
-        result.cost
+        budgeted.objective.cost()
     );
     let skipped: Vec<usize> = (0..instance.len())
-        .filter(|&j| !result.schedule.is_scheduled(j))
+        .filter(|&j| !budgeted.schedule.is_scheduled(j))
         .collect();
     println!("  skipped jobs: {skipped:?}");
+
+    // ---- Policies: the same instance under an exact-only solver. ----------------------
+    let exact_only = Solver::builder().require_exact(true).build();
+    match exact_only.solve(&Problem::min_busy(instance)) {
+        Ok(exact) => println!("\nexact-only policy solved via {}", exact.algorithm),
+        Err(e) => println!("\nexact-only policy refused: {e}"),
+    }
 }

@@ -4,15 +4,17 @@
 //! days (dimension 2); a machine can serve at most `g` overlapping jobs and its cost is
 //! the *area* of the union of its jobs (hours × days it must be reserved).
 //!
-//! The example compares plain FirstFit with BucketFirstFit on a random periodic workload
-//! and then reproduces the Figure 3 adversarial family on which FirstFit is provably bad.
+//! The example compares plain FirstFit with BucketFirstFit on a random periodic workload,
+//! shows the 1-D relaxation through the `Solver` facade's rectangle conversion hook, and
+//! then reproduces the Figure 3 adversarial family on which FirstFit is provably bad.
 //!
 //! Run with `cargo run -p busytime-bench --example rectangle_scheduling --release`.
 
 use busytime::twodim::{
-    bucket_first_fit, bucket_first_fit_guarantee, first_fit_2d, first_fit_2d_guarantee,
-    Instance2d, DEFAULT_BUCKET_BASE,
+    bucket_first_fit, bucket_first_fit_guarantee, first_fit_2d, first_fit_2d_guarantee, Instance2d,
+    DEFAULT_BUCKET_BASE,
 };
+use busytime::{Problem, Solver};
 use busytime_workload::{
     figure3_asymptotic_ratio, figure3_good_solution_cost, figure3_instance, rect_instance,
 };
@@ -47,6 +49,20 @@ fn main() {
         bucketed.cost(&instance),
         bucketed.cost(&instance) as f64 / lb as f64,
         bucket_first_fit_guarantee(instance.capacity(), instance.gamma_min().unwrap())
+    );
+
+    // --- The facade's 1-D relaxation hook. ---------------------------------------------
+    // Projecting every rectangle onto dimension 1 gives an ordinary interval instance
+    // that the unified solver dispatches like any other (a relaxation of the 2-D
+    // problem, exact when all rectangles share the same dimension-2 extent).
+    let relaxation = Problem::min_busy_from_rects(&instance, 1);
+    let relaxed = Solver::new()
+        .solve(&relaxation)
+        .expect("MinBusy always dispatches");
+    println!(
+        "  1-D relaxation (dim 1)    : busy time {} via {} on the projected intervals",
+        relaxed.objective.cost(),
+        relaxed.algorithm
     );
 
     // --- The Figure 3 lower-bound family. ----------------------------------------------

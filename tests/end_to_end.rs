@@ -1,13 +1,13 @@
-//! End-to-end integration tests: workload generation → automatic dispatch → validation →
-//! reporting, plus the experiment harness itself, exercised the way a downstream user
-//! would drive the library.
+//! End-to-end integration tests: workload generation → the unified `Solver` facade →
+//! validation → reporting, plus the experiment harness itself, exercised the way a
+//! downstream user would drive the library.
 
 use busytime::analysis::ScheduleSummary;
-use busytime::maxthroughput::{self, MaxThroughputAlgorithm};
-use busytime::minbusy::{self, MinBusyAlgorithm};
 use busytime::par::{map_instances, solve_maxthroughput_batch, solve_minbusy_batch};
 use busytime::twodim::{bucket_first_fit, first_fit_2d, DEFAULT_BUCKET_BASE};
-use busytime::{Duration, Instance};
+use busytime::{
+    Algorithm, AttemptOutcome, Duration, Instance, Problem, ProblemKind, SolveError, Solver,
+};
 use busytime_bench::all_experiments;
 use busytime_workload::{
     clique_instance, cloud_trace, general_instance, one_sided_instance, optical_lightpaths,
@@ -16,51 +16,72 @@ use busytime_workload::{
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-/// The automatic dispatcher picks the expected algorithm per generated class and always
-/// produces a valid complete schedule.
+/// The facade picks the expected algorithm per generated class, always produces a valid
+/// complete schedule, and accounts for every dispatch decision in the trace.
 #[test]
-fn dispatcher_matches_generated_classes() {
+fn facade_dispatch_matches_generated_classes() {
     let mut rng = StdRng::seed_from_u64(1);
-    let cases: Vec<(Instance, MinBusyAlgorithm)> = vec![
-        (one_sided_instance(&mut rng, 30, 4, 50), MinBusyAlgorithm::OneSided),
-        (proper_clique_instance(&mut rng, 30, 4, 100), MinBusyAlgorithm::ProperCliqueDp),
-        (proper_instance(&mut rng, 30, 4, 20, 5), MinBusyAlgorithm::BestCut),
+    let solver = Solver::new();
+    let cases: Vec<(Instance, Algorithm)> = vec![
+        (one_sided_instance(&mut rng, 30, 4, 50), Algorithm::OneSided),
+        (
+            proper_clique_instance(&mut rng, 30, 4, 100),
+            Algorithm::ProperCliqueDp,
+        ),
+        (proper_instance(&mut rng, 30, 4, 20, 5), Algorithm::BestCut),
     ];
     for (inst, expected) in cases {
-        let (schedule, algo) = minbusy::solve_auto(&inst);
-        schedule.validate_complete(&inst).unwrap();
-        // A random proper instance could accidentally be a proper clique (stronger class);
-        // accept the expected algorithm or a strictly stronger exact one.
+        let solution = solver.solve(&Problem::min_busy(inst.clone())).unwrap();
+        solution.schedule.validate_complete(&inst).unwrap();
+        // A random proper instance could accidentally be a proper clique (stronger
+        // class); accept the expected algorithm or a strictly stronger exact one.
         assert!(
-            algo == expected || algo.is_exact(),
-            "expected {expected:?}, got {algo:?}"
+            solution.algorithm == expected || solution.is_exact(),
+            "expected {expected:?}, got {:?}",
+            solution.algorithm
         );
+        // The trace ends with the selection and records every earlier skip.
+        let last = solution.trace.last().unwrap();
+        assert_eq!(last.algorithm, solution.algorithm);
+        assert_eq!(last.outcome, AttemptOutcome::Selected);
+        for attempt in &solution.trace[..solution.trace.len() - 1] {
+            assert!(
+                !matches!(attempt.outcome, AttemptOutcome::Selected),
+                "only the last attempt may be selected: {attempt}"
+            );
+        }
     }
 
     // Clique instances: the dispatcher uses matching for g = 2 and set cover otherwise.
     let clique2 = clique_instance(&mut rng, 20, 2, 60);
-    assert_eq!(minbusy::solve_auto(&clique2).1, MinBusyAlgorithm::CliqueMatching);
+    assert_eq!(
+        solver.solve(&Problem::min_busy(clique2)).unwrap().algorithm,
+        Algorithm::CliqueMatching
+    );
     let clique3 = clique_instance(&mut rng, 12, 3, 60);
-    let (_, algo3) = minbusy::solve_auto(&clique3);
+    let algo3 = solver.solve(&Problem::min_busy(clique3)).unwrap().algorithm;
     assert!(matches!(
         algo3,
-        MinBusyAlgorithm::CliqueSetCover | MinBusyAlgorithm::ProperCliqueDp
+        Algorithm::CliqueSetCover | Algorithm::ProperCliqueDp
     ));
 
-    // A general instance falls back to FirstFit.
+    // A general instance falls back to FirstFit (and the trace says why nothing
+    // stronger applied).
     let general = general_instance(&mut rng, 50, 3, 200, 30);
-    let (schedule, algo) = minbusy::solve_auto(&general);
-    schedule.validate_complete(&general).unwrap();
+    let solution = solver.solve(&Problem::min_busy(general.clone())).unwrap();
+    solution.schedule.validate_complete(&general).unwrap();
     assert!(matches!(
-        algo,
-        MinBusyAlgorithm::FirstFit | MinBusyAlgorithm::BestCut | MinBusyAlgorithm::CliqueSetCover
+        solution.algorithm,
+        Algorithm::FirstFit | Algorithm::BestCut | Algorithm::CliqueSetCover
     ));
+    assert!(!solution.trace.is_empty());
 }
 
-/// The budgeted dispatcher respects every budget on every workload family.
+/// The budgeted facade respects every budget on every workload family.
 #[test]
-fn budgeted_dispatcher_respects_budgets() {
+fn budgeted_facade_respects_budgets() {
     let mut rng = StdRng::seed_from_u64(2);
+    let solver = Solver::new();
     let instances = vec![
         one_sided_instance(&mut rng, 25, 3, 40),
         proper_clique_instance(&mut rng, 25, 3, 80),
@@ -71,16 +92,19 @@ fn budgeted_dispatcher_respects_budgets() {
     for inst in &instances {
         for frac in [10i64, 4, 2, 1] {
             let budget = Duration::new(inst.total_len().ticks() / frac);
-            let (result, algo) = maxthroughput::solve_auto(inst, budget);
-            result.schedule.validate_budgeted(inst, budget).unwrap();
+            let solution = solver
+                .solve(&Problem::max_throughput(inst.clone(), budget))
+                .unwrap();
+            solution.schedule.validate_budgeted(inst, budget).unwrap();
+            assert!(solution.objective.cost() <= budget);
             if inst.is_one_sided() {
-                assert_eq!(algo, MaxThroughputAlgorithm::OneSided);
+                assert_eq!(solution.algorithm, Algorithm::ThroughputOneSided);
             }
         }
     }
 }
 
-/// Parallel batch APIs agree with the sequential dispatcher.
+/// `Solver::solve_batch` and the compatibility wrappers agree with sequential solves.
 #[test]
 fn parallel_batch_agrees_with_sequential() {
     let mut rng = StdRng::seed_from_u64(3);
@@ -91,11 +115,27 @@ fn parallel_batch_agrees_with_sequential() {
             _ => proper_instance(&mut rng, 40, 4, 20, 6),
         })
         .collect();
-    let batch = solve_minbusy_batch(&instances);
-    for (inst, (schedule, algo)) in instances.iter().zip(&batch) {
-        let (seq_schedule, seq_algo) = minbusy::solve_auto(inst);
-        assert_eq!(algo, &seq_algo);
-        assert_eq!(schedule.cost(inst), seq_schedule.cost(inst));
+
+    // The facade's own batch entry point.
+    let solver = Solver::new();
+    let problems: Vec<Problem> = instances
+        .iter()
+        .map(|i| Problem::min_busy(i.clone()))
+        .collect();
+    let batch = solver.solve_batch(&problems);
+    for (problem, result) in problems.iter().zip(&batch) {
+        let batched = result.as_ref().unwrap();
+        let sequential = solver.solve(problem).unwrap();
+        assert_eq!(batched.algorithm, sequential.algorithm);
+        assert_eq!(batched.objective, sequential.objective);
+    }
+
+    // The compatibility wrappers in `busytime::par`.
+    let wrapped = solve_minbusy_batch(&instances);
+    for ((inst, (schedule, algo)), result) in instances.iter().zip(&wrapped).zip(&batch) {
+        let batched = result.as_ref().unwrap();
+        assert_eq!(Algorithm::from(*algo), batched.algorithm);
+        assert_eq!(schedule.cost(inst), batched.objective.cost());
     }
     let cases: Vec<(Instance, Duration)> = instances
         .iter()
@@ -105,8 +145,60 @@ fn parallel_batch_agrees_with_sequential() {
     for ((inst, budget), (result, _)) in cases.iter().zip(&tbatch) {
         result.schedule.validate_budgeted(inst, *budget).unwrap();
     }
-    let costs = map_instances(&instances, |i| minbusy::solve_auto(i).0.cost(i));
+    let costs = map_instances(&instances, |i| {
+        solver.solve_min_busy(i).unwrap().objective.cost()
+    });
     assert_eq!(costs.len(), instances.len());
+}
+
+/// Policy knobs behave end to end: forcing, forbidding and exact-only dispatch.
+#[test]
+fn policies_behave_end_to_end() {
+    let mut rng = StdRng::seed_from_u64(6);
+    let pc = proper_clique_instance(&mut rng, 20, 3, 80);
+    let problem = Problem::min_busy(pc.clone());
+
+    // Forcing an applicable algorithm runs exactly that algorithm.
+    let forced = Solver::builder()
+        .force_algorithm(Algorithm::FirstFit)
+        .build();
+    assert_eq!(
+        forced.solve(&problem).unwrap().algorithm,
+        Algorithm::FirstFit
+    );
+
+    // Forcing an inapplicable algorithm is a typed error, not a silent fallback.
+    let wrong = Solver::builder()
+        .force_algorithm(Algorithm::CliqueMatching)
+        .build();
+    let general = general_instance(&mut rng, 30, 3, 200, 30);
+    match wrong.solve(&Problem::min_busy(general.clone())) {
+        Err(SolveError::ForcedFailed { algorithm, .. }) => {
+            assert_eq!(algorithm, Algorithm::CliqueMatching);
+        }
+        other => panic!("expected ForcedFailed, got {other:?}"),
+    }
+
+    // Forbidding the winner reroutes to the next applicable algorithm.
+    let reroute = Solver::builder()
+        .forbid_algorithm(Algorithm::ProperCliqueDp)
+        .build();
+    let rerouted = reroute.solve(&problem).unwrap();
+    assert_ne!(rerouted.algorithm, Algorithm::ProperCliqueDp);
+    rerouted.schedule.validate_complete(&pc).unwrap();
+
+    // Exact-only on a general instance reports a full trace instead of approximating.
+    let exact = Solver::builder().require_exact(true).build();
+    match exact.solve(&Problem::min_busy(general)) {
+        Err(SolveError::Exhausted { kind, trace }) => {
+            assert_eq!(kind, ProblemKind::MinBusy);
+            assert_eq!(
+                trace.len(),
+                Algorithm::candidates(ProblemKind::MinBusy).len()
+            );
+        }
+        other => panic!("expected Exhausted, got {other:?}"),
+    }
 }
 
 /// Schedule summaries stay internally consistent on a realistic trace.
@@ -114,18 +206,23 @@ fn parallel_batch_agrees_with_sequential() {
 fn summaries_are_consistent() {
     let mut rng = StdRng::seed_from_u64(4);
     let inst = cloud_trace(&mut rng, 120, 8, 3, 5, 300);
-    let (schedule, _) = minbusy::solve_auto(&inst);
-    let summary = ScheduleSummary::new(&inst, &schedule);
+    let solution = Solver::new()
+        .solve(&Problem::min_busy(inst.clone()))
+        .unwrap();
+    let summary = ScheduleSummary::new(&inst, &solution.schedule);
     assert_eq!(summary.jobs, 120);
     assert_eq!(summary.scheduled, 120);
     assert!(summary.cost >= summary.lower_bound);
     assert!(summary.cost <= summary.upper_bound);
     assert!(summary.ratio_vs_lower_bound >= 1.0);
     assert!((0.0..=1.0).contains(&summary.saving_fraction));
+    // The facade reports the same bounds the summary derives.
+    assert_eq!(summary.lower_bound, solution.bounds.lower);
+    assert_eq!(summary.upper_bound, solution.bounds.length);
 }
 
 /// The 2-D pipeline: generator → FirstFit / BucketFirstFit → validation, including the
-/// dimension-swap path.
+/// dimension-swap path and the facade's projection hook.
 #[test]
 fn two_dimensional_pipeline() {
     let mut rng = StdRng::seed_from_u64(5);
@@ -137,15 +234,25 @@ fn two_dimensional_pipeline() {
         bf.validate_complete(&inst).unwrap();
         assert!(ff.cost(&inst) >= inst.lower_bound());
         assert!(bf.cost(&inst) >= inst.lower_bound());
+        // The projection hook produces a solvable 1-D relaxation in either dimension.
+        for k in [1usize, 2] {
+            let relaxed = Problem::min_busy_from_rects(&inst, k);
+            let solution = Solver::new().solve(&relaxed).unwrap();
+            solution
+                .schedule
+                .validate_complete(relaxed.instance())
+                .unwrap();
+        }
     }
 }
 
 /// The experiment harness itself runs end to end (with a tiny trial count) and every
-/// claim passes.
+/// claim passes, including the facade-dispatch experiment E0.
 #[test]
 fn experiment_harness_smoke() {
     let reports = all_experiments(7, 2);
-    assert_eq!(reports.len(), 11);
+    assert_eq!(reports.len(), 12);
+    assert!(reports.iter().any(|r| r.id == "E0"));
     for report in &reports {
         assert!(report.passed(), "{}", report.render());
         assert!(!report.rows.is_empty());

@@ -27,7 +27,10 @@ fn observation_2_1_bounds() {
     assert!(parallelism_bound(&inst) <= opt);
     assert!(span_bound(&inst) <= opt);
     assert!(opt <= length_bound(&inst));
-    assert_eq!(lower_bound(&inst), parallelism_bound(&inst).max(span_bound(&inst)));
+    assert_eq!(
+        lower_bound(&inst),
+        parallelism_bound(&inst).max(span_bound(&inst))
+    );
 }
 
 /// Proposition 2.1: any valid schedule is a g-approximation.
@@ -136,7 +139,10 @@ fn theorem_3_2_consecutive_dp() {
         schedule.validate_complete(&inst).unwrap();
         assert_eq!(schedule.cost(&inst), exact_minbusy_cost(&inst));
         for group in schedule.machine_groups() {
-            assert_eq!(group.last().unwrap() - group.first().unwrap() + 1, group.len());
+            assert_eq!(
+                group.last().unwrap() - group.first().unwrap() + 1,
+                group.len()
+            );
         }
     }
 }
@@ -152,7 +158,10 @@ fn lemma_3_5_figure_3_lower_bound() {
         let inst = figure3_instance(g, gamma1, scale);
         let schedule = first_fit_2d(&inst);
         schedule.validate_complete(&inst).unwrap();
-        assert_eq!(schedule.cost(&inst), figure3_firstfit_cost(g, gamma1, scale));
+        assert_eq!(
+            schedule.cost(&inst),
+            figure3_firstfit_cost(g, gamma1, scale)
+        );
         assert_eq!(schedule.machines_used(), g);
         let ratio =
             schedule.cost(&inst) as f64 / figure3_good_solution_cost(g, gamma1, scale) as f64;

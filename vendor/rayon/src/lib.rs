@@ -1,0 +1,202 @@
+//! Offline vendor stub of [`rayon`](https://docs.rs/rayon).
+//!
+//! This workspace builds in environments without network access to crates.io, so the
+//! small slice of rayon it uses — `par_iter` / `into_par_iter` followed by `map` and
+//! `collect` — is reimplemented here on top of `std::thread::scope`.  Items are
+//! materialized, split into one contiguous chunk per available core, mapped on worker
+//! threads, and reassembled in input order, so results are deterministic and identical
+//! to a sequential run (each item is processed independently, exactly as with the real
+//! rayon).  Swapping the real crate back in is a one-line change in the workspace
+//! manifest; no caller code depends on anything beyond the genuine rayon API.
+
+#![forbid(unsafe_code)]
+
+/// The traits a caller needs in scope, mirroring `rayon::prelude`.
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, IntoParallelRefIterator, ParallelIterator};
+}
+
+/// Number of worker threads for `n` items: one per available core, never more than `n`.
+fn worker_count(n: usize) -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+        .min(n)
+        .max(1)
+}
+
+/// Apply `f` to every item on a pool of scoped threads, preserving input order.
+fn parallel_map<T, R, F>(items: Vec<T>, f: &F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let n = items.len();
+    let workers = worker_count(n);
+    if workers <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let chunk = n.div_ceil(workers);
+    let mut chunks: Vec<Vec<T>> = Vec::with_capacity(workers);
+    let mut it = items.into_iter();
+    loop {
+        let c: Vec<T> = it.by_ref().take(chunk).collect();
+        if c.is_empty() {
+            break;
+        }
+        chunks.push(c);
+    }
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = chunks
+            .into_iter()
+            .map(|c| scope.spawn(move || c.into_iter().map(f).collect::<Vec<R>>()))
+            .collect();
+        let mut out = Vec::with_capacity(n);
+        for handle in handles {
+            match handle.join() {
+                Ok(part) => out.extend(part),
+                Err(panic) => std::panic::resume_unwind(panic),
+            }
+        }
+        out
+    })
+}
+
+/// A parallel iterator: a pipeline that can be driven to an ordered `Vec`.
+pub trait ParallelIterator: Sized {
+    /// The item type produced by the pipeline.
+    type Item: Send;
+
+    /// Run the pipeline and collect every item in input order.
+    fn drive(self) -> Vec<Self::Item>;
+
+    /// Map every item through `f` (executed on worker threads at drive time).
+    fn map<R, F>(self, f: F) -> Map<Self, F>
+    where
+        R: Send,
+        F: Fn(Self::Item) -> R + Sync + Send,
+    {
+        Map { base: self, f }
+    }
+
+    /// Collect the results; `C` is anything buildable from an ordered `Vec` (in practice
+    /// `Vec<Item>` itself, matching how this workspace uses rayon).
+    fn collect<C: From<Vec<Self::Item>>>(self) -> C {
+        C::from(self.drive())
+    }
+}
+
+/// Leaf pipeline stage: an owned list of items.
+pub struct VecParIter<T> {
+    items: Vec<T>,
+}
+
+impl<T: Send> ParallelIterator for VecParIter<T> {
+    type Item = T;
+
+    fn drive(self) -> Vec<T> {
+        self.items
+    }
+}
+
+/// A `map` pipeline stage.
+pub struct Map<B, F> {
+    base: B,
+    f: F,
+}
+
+impl<B, R, F> ParallelIterator for Map<B, F>
+where
+    B: ParallelIterator,
+    R: Send,
+    F: Fn(B::Item) -> R + Sync + Send,
+{
+    type Item = R;
+
+    fn drive(self) -> Vec<R> {
+        parallel_map(self.base.drive(), &self.f)
+    }
+}
+
+/// Conversion into a parallel iterator (`0..n`, `Vec<T>`, `&[T]`, …).
+pub trait IntoParallelIterator {
+    /// The item type of the resulting iterator.
+    type Item: Send;
+    /// The resulting iterator type.
+    type Iter: ParallelIterator<Item = Self::Item>;
+    /// Convert `self` into a parallel iterator.
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+impl<I> IntoParallelIterator for I
+where
+    I: IntoIterator,
+    I::Item: Send,
+{
+    type Item = I::Item;
+    type Iter = VecParIter<I::Item>;
+
+    fn into_par_iter(self) -> VecParIter<I::Item> {
+        VecParIter {
+            items: self.into_iter().collect(),
+        }
+    }
+}
+
+/// `par_iter()` on collections, yielding shared references.
+pub trait IntoParallelRefIterator<'a> {
+    /// The reference item type.
+    type Item: Send;
+    /// The resulting iterator type.
+    type Iter: ParallelIterator<Item = Self::Item>;
+    /// Iterate over `&self` in parallel.
+    fn par_iter(&'a self) -> Self::Iter;
+}
+
+impl<'a, C: ?Sized> IntoParallelRefIterator<'a> for C
+where
+    C: 'a,
+    &'a C: IntoParallelIterator,
+{
+    type Item = <&'a C as IntoParallelIterator>::Item;
+    type Iter = <&'a C as IntoParallelIterator>::Iter;
+
+    fn par_iter(&'a self) -> Self::Iter {
+        self.into_par_iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let doubled: Vec<i64> = (0..1000i64).into_par_iter().map(|x| x * 2).collect();
+        assert_eq!(doubled, (0..1000i64).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn par_iter_over_slice() {
+        let items = vec![3usize, 1, 4, 1, 5];
+        let lens: Vec<usize> = items.par_iter().map(|&x| x + 1).collect();
+        assert_eq!(lens, vec![4, 2, 5, 2, 6]);
+    }
+
+    #[test]
+    fn chained_maps() {
+        let out: Vec<String> = (0..10u32)
+            .into_par_iter()
+            .map(|x| x + 1)
+            .map(|x| x.to_string())
+            .collect();
+        assert_eq!(out[9], "10");
+    }
+
+    #[test]
+    fn empty_input() {
+        let out: Vec<u8> = Vec::<u8>::new().into_par_iter().map(|x| x).collect();
+        assert!(out.is_empty());
+    }
+}

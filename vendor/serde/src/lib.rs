@@ -1,0 +1,320 @@
+//! Offline vendor stub of [`serde`](https://docs.rs/serde).
+//!
+//! The real serde is a zero-copy visitor framework; this stub replaces it with a much
+//! simpler tree model: [`Serialize`] renders a type into a [`Value`], [`Deserialize`]
+//! rebuilds a type from one.  The `#[derive(Serialize, Deserialize)]` macros (from the
+//! sibling `serde_derive` stub) generate impls of these traits with the same on-the-wire
+//! conventions as real serde + serde_json for the shapes this workspace uses: structs as
+//! objects, newtype structs as their inner value, tuples and `Vec`s as arrays, `Option`
+//! as the value or `null`.  Swapping the real crates back in is a one-line change in the
+//! workspace manifest.
+
+#![forbid(unsafe_code)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+use std::fmt;
+
+/// A serialized tree — the stub's entire data model.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null` (also used for non-finite floats, as real serde_json does).
+    Null,
+    /// A boolean.
+    Bool(bool),
+    /// Any integer (all integer widths used by this workspace fit in `i64`).
+    Int(i64),
+    /// A floating-point number.
+    Float(f64),
+    /// A string.
+    Str(String),
+    /// An ordered sequence.
+    Array(Vec<Value>),
+    /// An ordered map with string keys (insertion order is preserved).
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Look up a field of an object.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// Look up a required field of an object, with a descriptive error.
+    pub fn field(&self, key: &str) -> Result<&Value, Error> {
+        match self {
+            Value::Object(_) => self
+                .get(key)
+                .ok_or_else(|| Error::custom(format!("missing field `{key}`"))),
+            other => Err(Error::custom(format!(
+                "expected an object with field `{key}`, found {}",
+                other.kind()
+            ))),
+        }
+    }
+
+    /// A short name for the variant, used in error messages.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "a boolean",
+            Value::Int(_) => "an integer",
+            Value::Float(_) => "a number",
+            Value::Str(_) => "a string",
+            Value::Array(_) => "an array",
+            Value::Object(_) => "an object",
+        }
+    }
+}
+
+/// Serialization / deserialization error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error(String);
+
+impl Error {
+    /// Build an error from any message.
+    pub fn custom(message: impl Into<String>) -> Self {
+        Error(message.into())
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Render `self` into a [`Value`] tree.
+pub trait Serialize {
+    /// Serialize into the stub's tree model.
+    fn serialize(&self) -> Value;
+}
+
+/// Rebuild `Self` from a [`Value`] tree.
+pub trait Deserialize: Sized {
+    /// Deserialize from the stub's tree model.
+    fn deserialize(value: &Value) -> Result<Self, Error>;
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize(&self) -> Value {
+        (**self).serialize()
+    }
+}
+
+macro_rules! int_impls {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize(&self) -> Value {
+                Value::Int(*self as i64)
+            }
+        }
+        impl Deserialize for $t {
+            fn deserialize(value: &Value) -> Result<Self, Error> {
+                match value {
+                    Value::Int(i) => <$t>::try_from(*i)
+                        .map_err(|_| Error::custom(format!("{i} out of range for {}", stringify!($t)))),
+                    other => Err(Error::custom(format!("expected an integer, found {}", other.kind()))),
+                }
+            }
+        }
+    )*};
+}
+
+int_impls!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize);
+
+macro_rules! float_impls {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize(&self) -> Value {
+                let f = *self as f64;
+                // Real serde_json has no representation for non-finite floats and emits
+                // null; mirror that so experiment reports with infinite bounds serialize.
+                if f.is_finite() { Value::Float(f) } else { Value::Null }
+            }
+        }
+        impl Deserialize for $t {
+            fn deserialize(value: &Value) -> Result<Self, Error> {
+                match value {
+                    Value::Float(f) => Ok(*f as $t),
+                    Value::Int(i) => Ok(*i as $t),
+                    Value::Null => Ok(<$t>::NAN),
+                    other => Err(Error::custom(format!("expected a number, found {}", other.kind()))),
+                }
+            }
+        }
+    )*};
+}
+
+float_impls!(f32, f64);
+
+impl Serialize for bool {
+    fn serialize(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Bool(b) => Ok(*b),
+            other => Err(Error::custom(format!(
+                "expected a boolean, found {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn serialize(&self) -> Value {
+        Value::Str(self.to_owned())
+    }
+}
+
+impl Serialize for String {
+    fn serialize(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Str(s) => Ok(s.clone()),
+            other => Err(Error::custom(format!(
+                "expected a string, found {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::serialize).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Array(items) => items.iter().map(T::deserialize).collect(),
+            other => Err(Error::custom(format!(
+                "expected an array, found {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize(&self) -> Value {
+        match self {
+            Some(v) => v.serialize(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Null => Ok(None),
+            other => T::deserialize(other).map(Some),
+        }
+    }
+}
+
+macro_rules! tuple_impls {
+    ($(($($name:ident : $idx:tt),+))*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn serialize(&self) -> Value {
+                Value::Array(vec![$(self.$idx.serialize()),+])
+            }
+        }
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn deserialize(value: &Value) -> Result<Self, Error> {
+                let expected = [$($idx),+].len();
+                match value {
+                    Value::Array(items) if items.len() == expected => {
+                        Ok(($($name::deserialize(&items[$idx])?,)+))
+                    }
+                    Value::Array(items) => Err(Error::custom(format!(
+                        "expected an array of {expected} elements, found {}",
+                        items.len()
+                    ))),
+                    other => Err(Error::custom(format!("expected an array, found {}", other.kind()))),
+                }
+            }
+        }
+    )*};
+}
+
+tuple_impls! {
+    (A: 0)
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, D: 3)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_round_trip() {
+        assert_eq!(i64::deserialize(&42i64.serialize()).unwrap(), 42);
+        assert_eq!(u32::deserialize(&7u32.serialize()).unwrap(), 7);
+        assert!(bool::deserialize(&true.serialize()).unwrap());
+        assert_eq!(
+            String::deserialize(&"hi".to_string().serialize()).unwrap(),
+            "hi"
+        );
+        assert_eq!(f64::deserialize(&1.5f64.serialize()).unwrap(), 1.5);
+    }
+
+    #[test]
+    fn containers_round_trip() {
+        let v = vec![(1i64, 2i64), (3, 4)];
+        assert_eq!(Vec::<(i64, i64)>::deserialize(&v.serialize()).unwrap(), v);
+        let opt: Option<usize> = None;
+        assert_eq!(
+            Option::<usize>::deserialize(&opt.serialize()).unwrap(),
+            None
+        );
+        assert_eq!(
+            Option::<usize>::deserialize(&Some(3usize).serialize()).unwrap(),
+            Some(3)
+        );
+    }
+
+    #[test]
+    fn non_finite_floats_become_null() {
+        assert_eq!(f64::INFINITY.serialize(), Value::Null);
+        assert!(f64::deserialize(&Value::Null).unwrap().is_nan());
+    }
+
+    #[test]
+    fn out_of_range_int_rejected() {
+        assert!(u8::deserialize(&Value::Int(300)).is_err());
+        assert!(usize::deserialize(&Value::Int(-1)).is_err());
+    }
+
+    #[test]
+    fn field_lookup_errors_are_descriptive() {
+        let obj = Value::Object(vec![("a".into(), Value::Int(1))]);
+        assert!(obj.field("a").is_ok());
+        assert!(obj
+            .field("b")
+            .unwrap_err()
+            .to_string()
+            .contains("missing field `b`"));
+        assert!(Value::Int(3).field("a").is_err());
+    }
+}
