@@ -6,8 +6,13 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use std::hint::black_box;
 
-use busytime::maxthroughput::most_throughput_consecutive_fast;
-use busytime::minbusy::{best_cut, find_best_consecutive, first_fit, one_sided_optimal};
+use busytime::maxthroughput::{
+    greedy_fallback, greedy_fallback_scan, most_throughput_consecutive_fast,
+};
+use busytime::minbusy::{
+    best_cut, find_best_consecutive, first_fit, first_fit_in_order, first_fit_in_order_scan,
+    one_sided_optimal,
+};
 use busytime::par::solve_minbusy_batch;
 use busytime::{Duration, Instance};
 use busytime_workload::{one_sided_instance, proper_clique_instance, proper_instance};
@@ -71,10 +76,68 @@ fn bench_scaling_parallel_batch(c: &mut Criterion) {
     group.finish();
 }
 
+/// The kernel-vs-scan comparison behind the acceptance numbers in
+/// `BENCH_scaling.json` (the `scaling` binary writes the machine-readable record;
+/// this group gives the same comparison the Criterion treatment).
+fn bench_scaling_kernel_vs_scan(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scaling_kernel_vs_scan");
+    group.sample_size(10);
+    for n in [10_000usize, 50_000] {
+        let mut rng = StdRng::seed_from_u64(2012);
+        let inst = proper_instance(&mut rng, n, 10, 40, 8);
+        let mut order: Vec<usize> = (0..inst.len()).collect();
+        order.sort_by_key(|&j| (std::cmp::Reverse(inst.job(j).len()), j));
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::new("first_fit_kernel", n), &inst, |b, inst| {
+            b.iter(|| first_fit_in_order(black_box(inst), &order))
+        });
+        group.bench_with_input(BenchmarkId::new("first_fit_scan", n), &inst, |b, inst| {
+            b.iter(|| first_fit_in_order_scan(black_box(inst), &order))
+        });
+        let arrival: Vec<usize> = (0..inst.len()).collect();
+        group.bench_with_input(
+            BenchmarkId::new("first_fit_arrival_kernel", n),
+            &inst,
+            |b, inst| b.iter(|| first_fit_in_order(black_box(inst), &arrival)),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("first_fit_arrival_scan", n),
+            &inst,
+            |b, inst| b.iter(|| first_fit_in_order_scan(black_box(inst), &arrival)),
+        );
+        let schedule = first_fit_in_order(&inst, &order);
+        group.bench_with_input(
+            BenchmarkId::new("validate_and_cost", n),
+            &inst,
+            |b, inst| {
+                b.iter(|| {
+                    schedule.validate(black_box(inst)).unwrap();
+                    schedule.cost(black_box(inst))
+                })
+            },
+        );
+        let budget = Duration::new(inst.total_len().ticks());
+        group.bench_with_input(
+            BenchmarkId::new("greedy_best_fit_kernel", n),
+            &inst,
+            |b, inst| b.iter(|| greedy_fallback(black_box(inst), budget)),
+        );
+        if n <= 10_000 {
+            group.bench_with_input(
+                BenchmarkId::new("greedy_best_fit_scan", n),
+                &inst,
+                |b, inst| b.iter(|| greedy_fallback_scan(black_box(inst), budget)),
+            );
+        }
+    }
+    group.finish();
+}
+
 criterion_group!(
     scaling,
     bench_scaling_minbusy,
     bench_scaling_throughput_dp,
-    bench_scaling_parallel_batch
+    bench_scaling_parallel_batch,
+    bench_scaling_kernel_vs_scan
 );
 criterion_main!(scaling);

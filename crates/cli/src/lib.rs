@@ -37,18 +37,13 @@ pub struct InstanceFile {
 
 impl InstanceFile {
     /// Convert the file representation into a library instance.
-    pub fn to_instance(&self) -> Result<Instance, String> {
-        for &(s, c) in &self.jobs {
-            if s >= c {
-                return Err(format!("job [{s}, {c}] is empty or reversed"));
-            }
-        }
-        let jobs = self
-            .jobs
-            .iter()
-            .map(|&(s, c)| busytime::Interval::from_ticks(s, c))
-            .collect();
-        Instance::new(jobs, self.capacity).map_err(|e| e.to_string())
+    ///
+    /// Malformed files — an empty or reversed job, or a zero capacity — come back as
+    /// the library's typed [`busytime::Error`] (pointing at the offending job record)
+    /// rather than a panic or a stringly-typed message; callers render it at the
+    /// process boundary.
+    pub fn to_instance(&self) -> Result<Instance, busytime::Error> {
+        Instance::try_from_ticks(&self.jobs, self.capacity)
     }
 
     /// Build the file representation from a library instance.
@@ -146,7 +141,7 @@ impl SolveOptions {
 
 /// `busytime solve`: MinBusy through the [`Solver`] facade.
 pub fn run_solve(file: &InstanceFile, options: &SolveOptions) -> Result<CommandOutput, String> {
-    let instance = file.to_instance()?;
+    let instance = file.to_instance().map_err(|e| e.to_string())?;
     let solution = options
         .solver()
         .solve(&Problem::min_busy(instance.clone()))
@@ -177,7 +172,7 @@ pub fn run_throughput(
     if budget < 0 {
         return Err("the budget must be non-negative".into());
     }
-    let instance = file.to_instance()?;
+    let instance = file.to_instance().map_err(|e| e.to_string())?;
     let budget = Duration::new(budget);
     let solution = options
         .solver()
@@ -303,18 +298,39 @@ mod tests {
     }
 
     #[test]
-    fn invalid_jobs_rejected() {
+    fn invalid_jobs_rejected_with_typed_errors() {
         let bad = InstanceFile {
             capacity: 2,
-            jobs: vec![(5, 5)],
+            jobs: vec![(0, 4), (5, 5)],
         };
-        assert!(bad.to_instance().is_err());
+        assert_eq!(
+            bad.to_instance().unwrap_err(),
+            busytime::Error::EmptyJob {
+                index: 1,
+                start: 5,
+                end: 5
+            }
+        );
+        let reversed = InstanceFile {
+            capacity: 2,
+            jobs: vec![(7, 3)],
+        };
+        assert!(matches!(
+            reversed.to_instance().unwrap_err(),
+            busytime::Error::EmptyJob { index: 0, .. }
+        ));
         assert!(InstanceFile::from_json("{not json").is_err());
         let zero_g = InstanceFile {
             capacity: 0,
             jobs: vec![(0, 1)],
         };
-        assert!(zero_g.to_instance().is_err());
+        assert_eq!(
+            zero_g.to_instance().unwrap_err(),
+            busytime::Error::InvalidCapacity
+        );
+        // The command entry points surface the typed error as a readable message.
+        let err = run_solve(&bad, &SolveOptions::default()).unwrap_err();
+        assert!(err.contains("job 1"), "{err}");
     }
 
     #[test]

@@ -8,6 +8,16 @@ use core::fmt;
 pub enum Error {
     /// The parallelism parameter `g` must be at least 1.
     InvalidCapacity,
+    /// A job interval is empty or reversed (`start >= completion`), reported with its
+    /// position in the input so malformed job files point at the offending record.
+    EmptyJob {
+        /// Position of the job in the input list.
+        index: usize,
+        /// The offending start tick.
+        start: i64,
+        /// The offending completion tick.
+        end: i64,
+    },
     /// The algorithm requires a clique instance (all jobs sharing a common time).
     NotClique,
     /// The algorithm requires a proper instance (no job properly containing another).
@@ -64,6 +74,10 @@ impl fmt::Display for Error {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             Error::InvalidCapacity => write!(f, "the parallelism parameter g must be at least 1"),
+            Error::EmptyJob { index, start, end } => write!(
+                f,
+                "job {index} has interval [{start}, {end}), which is empty or reversed; jobs must have positive length"
+            ),
             Error::NotClique => write!(f, "this algorithm requires a clique instance"),
             Error::NotProper => write!(f, "this algorithm requires a proper instance"),
             Error::NotProperClique => write!(f, "this algorithm requires a proper clique instance"),

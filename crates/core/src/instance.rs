@@ -6,8 +6,8 @@
 //! argument throughout this crate).
 
 use busytime_interval::{
-    classify, connected_components, is_clique, is_one_sided, is_proper, max_overlap, span,
-    total_len, Classification, Duration, Interval,
+    classify_sorted, connected_components_sorted, is_clique, is_one_sided, is_proper_sorted,
+    max_overlap, span, total_len, Classification, Duration, Interval,
 };
 use serde::{Deserialize, Serialize};
 
@@ -39,17 +39,38 @@ impl Instance {
         Ok(Instance { jobs, capacity })
     }
 
+    /// Fallible constructor from `(start, completion)` tick pairs: empty or reversed
+    /// jobs are reported as [`Error::EmptyJob`] (with the offending position) and a
+    /// zero capacity as [`Error::InvalidCapacity`], instead of panicking.
+    ///
+    /// This is the entry point for untrusted input such as on-disk job files; the CLI
+    /// input pipeline goes through it.
+    pub fn try_from_ticks(jobs: &[(i64, i64)], capacity: usize) -> Result<Self, Error> {
+        let jobs = jobs
+            .iter()
+            .enumerate()
+            .map(|(index, &(s, c))| {
+                Interval::try_new(
+                    busytime_interval::Time::new(s),
+                    busytime_interval::Time::new(c),
+                )
+                .map_err(|_| Error::EmptyJob {
+                    index,
+                    start: s,
+                    end: c,
+                })
+            })
+            .collect::<Result<Vec<_>, Error>>()?;
+        Instance::new(jobs, capacity)
+    }
+
     /// Convenience constructor from `(start, completion)` tick pairs.
     ///
     /// # Panics
-    /// Panics if any job would be empty or `g = 0` (use [`Instance::new`] for fallible
-    /// construction).
+    /// Panics if any job would be empty or `g = 0` (use [`Instance::try_from_ticks`]
+    /// for fallible construction).
     pub fn from_ticks(jobs: &[(i64, i64)], capacity: usize) -> Self {
-        let jobs = jobs
-            .iter()
-            .map(|&(s, c)| Interval::from_ticks(s, c))
-            .collect();
-        Instance::new(jobs, capacity).expect("capacity must be at least 1")
+        Instance::try_from_ticks(jobs, capacity).expect("jobs must be non-empty and g at least 1")
     }
 
     /// The jobs, sorted by `(start, completion)`.
@@ -93,8 +114,11 @@ impl Instance {
     }
 
     /// Classification of the instance (clique / one-sided / proper / connected).
+    ///
+    /// The jobs are already stored sorted, so this is a single linear pass over them —
+    /// no re-sorting per property.
     pub fn classification(&self) -> Classification {
-        classify(&self.jobs)
+        classify_sorted(&self.jobs)
     }
 
     /// Is this a clique instance (all jobs share a common time)?
@@ -109,7 +133,7 @@ impl Instance {
 
     /// Is this a proper instance (no job properly contains another)?
     pub fn is_proper(&self) -> bool {
-        is_proper(&self.jobs)
+        is_proper_sorted(&self.jobs)
     }
 
     /// Is this a proper clique instance?
@@ -122,7 +146,7 @@ impl Instance {
     /// MinBusy decomposes over connected components (Section 2): a solver may be run on
     /// each component separately and the costs added.
     pub fn connected_components(&self) -> Vec<Vec<JobId>> {
-        connected_components(&self.jobs)
+        connected_components_sorted(&self.jobs)
     }
 
     /// Build the sub-instance induced by the given job ids (same capacity).

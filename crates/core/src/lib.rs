@@ -53,6 +53,7 @@
 //! | module | contents |
 //! |---|---|
 //! | [`solver`] | the [`Solver`] / [`Problem`] / [`Solution`] facade with policy-driven dispatch |
+//! | [`machine`] | incremental [`MachineState`] / [`ScheduleBuilder`] powering the greedy placements |
 //! | [`minbusy`] | every MinBusy algorithm of Section 3 plus baselines |
 //! | [`maxthroughput`] | every MaxThroughput algorithm of Section 4 plus the reductions of Section 2 |
 //! | [`twodim`] | rectangular jobs, FirstFit-2D and BucketFirstFit (Section 3.4) |
@@ -72,6 +73,7 @@ pub mod bounds;
 pub mod demand;
 mod error;
 mod instance;
+pub mod machine;
 pub mod maxthroughput;
 pub mod minbusy;
 pub mod par;
@@ -82,6 +84,7 @@ pub mod twodim;
 pub use busytime_interval::{Duration, Interval, Time};
 pub use error::Error;
 pub use instance::{Instance, JobId};
+pub use machine::{MachineState, Placement, ScheduleBuilder};
 pub use schedule::{MachineId, Schedule, SolveResult, ThroughputResult};
 pub use solver::{
     Algorithm, AttemptOutcome, DispatchAttempt, InstanceBounds, Objective, Problem, ProblemKind,

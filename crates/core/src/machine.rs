@@ -1,0 +1,468 @@
+//! Incremental machine state: per-machine occupancy maintained under job insertion.
+//!
+//! The greedy algorithms (FirstFit of [13], the best-fit MaxThroughput fallback) place
+//! one job at a time.  Before this module they re-derived every overlap fact from
+//! scratch at each step — scanning whole thread job lists for conflicts and re-unioning
+//! a machine's jobs to price a placement — which made placement quadratic.
+//! [`MachineState`] keeps each machine's occupancy live instead:
+//!
+//! * one [`DisjointIntervalSet`] per thread of execution, giving `O(log n)` conflict
+//!   tests against the thread's whole history,
+//! * one [`SweepSet`] coverage profile for the whole machine, giving the marginal busy
+//!   time of a placement (`len(J) −` already-covered length) and the machine's running
+//!   busy time without any re-unioning.
+//!
+//! [`ScheduleBuilder`] assembles a pool of machine states into a schedule, tracking the
+//! total cost incrementally; it is the engine behind `minbusy::first_fit` and
+//! `maxthroughput::greedy_fallback`.
+//!
+//! ```
+//! use busytime::machine::ScheduleBuilder;
+//! use busytime::{Duration, Instance};
+//!
+//! let instance = Instance::from_ticks(&[(0, 10), (2, 12), (4, 14), (20, 25)], 2);
+//! let mut builder = ScheduleBuilder::new(&instance);
+//! for job in 0..instance.len() {
+//!     builder.place_first_fit(job);
+//! }
+//! // Machine 0 runs [0,10), [2,12) and [20,25); machine 1 runs [4,14).
+//! assert_eq!(builder.cost(), Duration::new((12 + 5) + 10)); // tracked live
+//! let schedule = builder.finish();
+//! schedule.validate_complete(&instance).unwrap();
+//! assert_eq!(schedule.cost(&instance), Duration::new(27));
+//! ```
+
+use busytime_interval::{DisjointIntervalSet, Duration, Interval, SweepSet};
+
+use crate::instance::{Instance, JobId};
+use crate::schedule::{MachineId, Schedule};
+
+/// The live occupancy of one machine: `g` threads of execution plus a coverage profile
+/// over the whole machine.
+///
+/// The thread structure mirrors how the paper's FirstFit reasons about capacity: a
+/// machine may run up to `g` jobs at a time because it has `g` threads, and a job joins
+/// a thread only when it overlaps none of the thread's jobs.
+#[derive(Debug, Clone)]
+pub struct MachineState {
+    threads: Vec<DisjointIntervalSet>,
+    coverage: SweepSet,
+    /// Hull of everything on the machine (`None` when empty): a window disjoint from
+    /// it is accepted in `O(1)` without touching the profiles.
+    hull: Option<(i64, i64)>,
+    /// The widest known *saturated* stretch — coverage depth equal to `g`, meaning
+    /// every thread provably runs a job throughout it.  A window overlapping it is
+    /// rejected in `O(1)`; this is what keeps rejection-dominated placement (many
+    /// full machines probed per job) as cheap as the full-scan path it replaced.
+    saturated: Option<(i64, i64)>,
+}
+
+/// Cap on how far [`SweepSet::widest_run_at_least`] follows a saturated run past the
+/// inserted window when refreshing the cache — bounds the per-insert cost on heavily
+/// fragmented machines.
+const SATURATED_WALK_CAP: usize = 64;
+
+impl MachineState {
+    /// An empty machine with `g` threads of execution.
+    pub fn new(capacity: usize) -> Self {
+        MachineState {
+            threads: vec![DisjointIntervalSet::new(); capacity],
+            coverage: SweepSet::new(),
+            hull: None,
+            saturated: None,
+        }
+    }
+
+    /// The machine's capacity `g` (number of threads).
+    pub fn capacity(&self) -> usize {
+        self.threads.len()
+    }
+
+    /// Number of jobs currently on the machine.
+    pub fn job_count(&self) -> usize {
+        self.coverage.interval_count()
+    }
+
+    /// The machine's current busy time (span of its jobs).
+    pub fn busy_time(&self) -> Duration {
+        self.coverage.span()
+    }
+
+    /// Hull of everything on the machine, if non-empty.
+    pub fn hull(&self) -> Option<Interval> {
+        self.hull.map(|(lo, hi)| Interval::from_ticks(lo, hi))
+    }
+
+    /// The widest known stretch where every thread provably runs a job (coverage depth
+    /// equal to `g`); any job overlapping it is rejected outright.
+    pub fn saturated_stretch(&self) -> Option<Interval> {
+        self.saturated.map(|(lo, hi)| Interval::from_ticks(lo, hi))
+    }
+
+    /// Largest number of jobs this machine runs simultaneously.
+    pub fn max_depth(&self) -> usize {
+        self.coverage.max_depth()
+    }
+
+    /// The first thread on which `iv` overlaps no already-placed job, if any.
+    ///
+    /// The two cached summaries answer the common cases in `O(1)`: a window disjoint
+    /// from the machine's hull conflicts with nothing (thread 0), and a window
+    /// touching a saturated stretch conflicts everywhere (every thread is busy at the
+    /// shared point).  Only the remaining cases consult the coverage profile and the
+    /// per-thread sets, each in `O(log n)`.
+    pub fn first_free_thread(&self, iv: Interval) -> Option<usize> {
+        if self.threads.is_empty() {
+            return None;
+        }
+        let (s, e) = (iv.start().ticks(), iv.end().ticks());
+        match self.hull {
+            Some((lo, hi)) if s < hi && lo < e => {}
+            _ => return Some(0),
+        }
+        if let Some((lo, hi)) = self.saturated {
+            if s < hi && lo < e {
+                return None;
+            }
+        }
+        if !self.coverage.overlaps(iv) {
+            return Some(0);
+        }
+        self.threads.iter().position(|t| !t.conflicts(iv))
+    }
+
+    /// The increase in this machine's busy time if `iv` were placed on it: the part of
+    /// `iv` not already covered by the machine's jobs.
+    pub fn marginal_busy(&self, iv: Interval) -> Duration {
+        iv.len() - self.coverage.covered_len(iv)
+    }
+
+    /// Place `iv` on `thread`.
+    ///
+    /// Returns the increase in the machine's busy time.
+    ///
+    /// # Panics
+    /// Panics if the thread already runs an overlapping job.
+    pub fn insert(&mut self, iv: Interval, thread: usize) -> Duration {
+        let inserted = self.threads[thread].insert(iv);
+        assert!(
+            inserted,
+            "thread {thread} already runs a job overlapping {iv}"
+        );
+        let delta = self.coverage.insert(iv);
+        let (s, e) = (iv.start().ticks(), iv.end().ticks());
+        self.hull = match self.hull {
+            Some((lo, hi)) => Some((lo.min(s), hi.max(e))),
+            None => Some((s, e)),
+        };
+        // Depth can only have reached `g` inside the inserted window; keep the widest
+        // saturated stretch seen so far.
+        if self.coverage.max_depth() == self.capacity() {
+            if let Some(run) =
+                self.coverage
+                    .widest_run_at_least(self.capacity(), iv, SATURATED_WALK_CAP)
+            {
+                if self
+                    .saturated
+                    .is_none_or(|(lo, hi)| hi - lo < run.len().ticks())
+                {
+                    self.saturated = Some((run.start().ticks(), run.end().ticks()));
+                }
+            }
+        }
+        delta
+    }
+
+    /// Remove a job previously placed on `thread`; returns the decrease in busy time,
+    /// or `None` when the job was not on that thread.
+    pub fn remove(&mut self, iv: Interval, thread: usize) -> Option<Duration> {
+        if !self.threads[thread].remove(iv) {
+            return None;
+        }
+        // Both caches are conservative over-approximations after a removal: the hull
+        // may only be too large (costs a probe, never correctness), but a saturated
+        // stretch may no longer be saturated, so it must be dropped.
+        self.saturated = None;
+        Some(self.coverage.remove(iv))
+    }
+}
+
+/// Where [`ScheduleBuilder::best_fit`] would put a job, and at what price.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Placement {
+    /// The machine (equal to the current machine count when a new one must open).
+    pub machine: MachineId,
+    /// The thread of execution on that machine.
+    pub thread: usize,
+    /// The increase in total busy time the placement causes.
+    pub delta: Duration,
+}
+
+/// A compact per-machine digest kept in a flat side array so that the placement scans
+/// stream through cache lines instead of hopping across the full [`MachineState`]
+/// structs: most machines are rejected (window touches their saturated stretch) or
+/// accepted (window misses their hull) right here.
+#[derive(Debug, Clone, Copy)]
+struct MachineSummary {
+    hull_lo: i64,
+    hull_hi: i64,
+    sat_lo: i64,
+    sat_hi: i64,
+}
+
+impl MachineSummary {
+    const EMPTY: MachineSummary = MachineSummary {
+        hull_lo: i64::MAX,
+        hull_hi: i64::MIN,
+        sat_lo: i64::MAX,
+        sat_hi: i64::MIN,
+    };
+
+    fn of(machine: &MachineState) -> Self {
+        let mut summary = MachineSummary::EMPTY;
+        if let Some(hull) = machine.hull() {
+            summary.hull_lo = hull.start().ticks();
+            summary.hull_hi = hull.end().ticks();
+        }
+        if let Some(sat) = machine.saturated_stretch() {
+            summary.sat_lo = sat.start().ticks();
+            summary.sat_hi = sat.end().ticks();
+        }
+        summary
+    }
+
+    /// The window provably conflicts on every thread (it touches a saturated stretch).
+    #[inline]
+    fn rejects(&self, s: i64, e: i64) -> bool {
+        s < self.sat_hi && self.sat_lo < e
+    }
+
+    /// The window provably conflicts with nothing (it misses the hull entirely).
+    #[inline]
+    fn accepts(&self, s: i64, e: i64) -> bool {
+        e <= self.hull_lo || self.hull_hi <= s
+    }
+}
+
+/// Builds a schedule one placement at a time over a growing pool of [`MachineState`]s,
+/// with the total busy time maintained incrementally.
+#[derive(Debug, Clone)]
+pub struct ScheduleBuilder<'a> {
+    instance: &'a Instance,
+    machines: Vec<MachineState>,
+    summaries: Vec<MachineSummary>,
+    schedule: Schedule,
+    cost: Duration,
+}
+
+impl<'a> ScheduleBuilder<'a> {
+    /// Start an empty schedule for `instance`.
+    pub fn new(instance: &'a Instance) -> Self {
+        ScheduleBuilder {
+            instance,
+            machines: Vec::new(),
+            summaries: Vec::new(),
+            schedule: Schedule::empty(instance.len()),
+            cost: Duration::ZERO,
+        }
+    }
+
+    /// The machines opened so far.
+    pub fn machines(&self) -> &[MachineState] {
+        &self.machines
+    }
+
+    /// The running total busy time of all machines.
+    pub fn cost(&self) -> Duration {
+        self.cost
+    }
+
+    /// Place `job` on the first thread of the first machine that can run it without a
+    /// conflict, opening a fresh machine when none can (FirstFit's placement rule).
+    /// Returns the chosen machine.
+    pub fn place_first_fit(&mut self, job: JobId) -> MachineId {
+        let iv = self.instance.job(job);
+        let (s, e) = (iv.start().ticks(), iv.end().ticks());
+        let mut placement = None;
+        for (m, summary) in self.summaries.iter().enumerate() {
+            if summary.rejects(s, e) {
+                continue;
+            }
+            if summary.accepts(s, e) {
+                placement = Some((m, 0));
+                break;
+            }
+            if let Some(t) = self.machines[m].first_free_thread(iv) {
+                placement = Some((m, t));
+                break;
+            }
+        }
+        let (machine, thread) = placement.unwrap_or((self.machines.len(), 0));
+        self.commit(job, machine, thread);
+        machine
+    }
+
+    /// The cheapest placement for `job`: the earliest (machine, thread) whose busy-time
+    /// increase is strictly smallest, falling back to a fresh machine at full job
+    /// length when no existing machine can run the job.
+    pub fn best_fit(&self, job: JobId) -> Placement {
+        let iv = self.instance.job(job);
+        let (s, e) = (iv.start().ticks(), iv.end().ticks());
+        let mut best: Option<Placement> = None;
+        for (m, summary) in self.summaries.iter().enumerate() {
+            if summary.rejects(s, e) {
+                continue;
+            }
+            let candidate = if summary.accepts(s, e) {
+                // Nothing overlaps: thread 0 fits and the job pays its full length,
+                // exactly what the probes would conclude.
+                Some((0, iv.len()))
+            } else {
+                let machine = &self.machines[m];
+                machine
+                    .first_free_thread(iv)
+                    .map(|t| (t, machine.marginal_busy(iv)))
+            };
+            if let Some((thread, delta)) = candidate {
+                if best.is_none_or(|b| delta < b.delta) {
+                    best = Some(Placement {
+                        machine: m,
+                        thread,
+                        delta,
+                    });
+                    if delta.is_zero() {
+                        // No later machine can beat a free placement (strict `<`).
+                        break;
+                    }
+                }
+            }
+        }
+        best.unwrap_or(Placement {
+            machine: self.machines.len(),
+            thread: 0,
+            delta: iv.len(),
+        })
+    }
+
+    /// Apply a placement (from [`ScheduleBuilder::best_fit`] or chosen by the caller),
+    /// opening the machine if it does not exist yet.
+    pub fn commit(&mut self, job: JobId, machine: MachineId, thread: usize) {
+        let iv = self.instance.job(job);
+        if machine == self.machines.len() {
+            self.machines
+                .push(MachineState::new(self.instance.capacity()));
+            self.summaries.push(MachineSummary::EMPTY);
+        }
+        self.cost += self.machines[machine].insert(iv, thread);
+        self.summaries[machine] = MachineSummary::of(&self.machines[machine]);
+        self.schedule.assign(job, machine);
+    }
+
+    /// Finish building and return the schedule.
+    pub fn finish(self) -> Schedule {
+        self.schedule
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn iv(s: i64, c: i64) -> Interval {
+        Interval::from_ticks(s, c)
+    }
+
+    #[test]
+    fn machine_state_tracks_busy_and_depth() {
+        let mut m = MachineState::new(2);
+        assert_eq!(m.capacity(), 2);
+        assert_eq!(m.first_free_thread(iv(0, 10)), Some(0));
+        assert_eq!(m.insert(iv(0, 10), 0), Duration::new(10));
+        assert_eq!(m.first_free_thread(iv(5, 15)), Some(1));
+        assert_eq!(m.marginal_busy(iv(5, 15)), Duration::new(5));
+        assert_eq!(m.insert(iv(5, 15), 1), Duration::new(5));
+        assert_eq!(m.busy_time(), Duration::new(15));
+        assert_eq!(m.max_depth(), 2);
+        assert_eq!(m.job_count(), 2);
+        // Both threads busy around [5, 10): nothing fits there.
+        assert_eq!(m.first_free_thread(iv(7, 9)), None);
+        // But a disjoint job fits the first thread.
+        assert_eq!(m.first_free_thread(iv(20, 30)), Some(0));
+    }
+
+    #[test]
+    fn machine_remove_undoes_insert() {
+        let mut m = MachineState::new(1);
+        m.insert(iv(0, 4), 0);
+        m.insert(iv(6, 8), 0);
+        assert_eq!(m.remove(iv(0, 4), 0), Some(Duration::new(4)));
+        assert_eq!(m.remove(iv(0, 4), 0), None, "already removed");
+        assert_eq!(m.busy_time(), Duration::new(2));
+        assert_eq!(m.job_count(), 1);
+    }
+
+    #[test]
+    #[should_panic]
+    fn conflicting_insert_panics() {
+        let mut m = MachineState::new(1);
+        m.insert(iv(0, 4), 0);
+        m.insert(iv(2, 6), 0);
+    }
+
+    #[test]
+    fn first_fit_placement_fills_threads_then_machines() {
+        let instance = Instance::from_ticks(&[(0, 10); 4], 2);
+        let mut b = ScheduleBuilder::new(&instance);
+        assert_eq!(b.place_first_fit(0), 0);
+        assert_eq!(b.place_first_fit(1), 0);
+        assert_eq!(b.place_first_fit(2), 1);
+        assert_eq!(b.place_first_fit(3), 1);
+        assert_eq!(b.cost(), Duration::new(20));
+        let s = b.finish();
+        s.validate_complete(&instance).unwrap();
+    }
+
+    #[test]
+    fn best_fit_prefers_overlap_coverage() {
+        // Machine 0 holds [0, 10); placing [8, 14) there costs only 4.
+        let instance = Instance::from_ticks(&[(0, 10), (8, 14)], 2);
+        let mut b = ScheduleBuilder::new(&instance);
+        b.place_first_fit(0);
+        let p = b.best_fit(1);
+        assert_eq!(
+            p,
+            Placement {
+                machine: 0,
+                thread: 1,
+                delta: Duration::new(4)
+            }
+        );
+        b.commit(1, p.machine, p.thread);
+        assert_eq!(b.cost(), Duration::new(14));
+    }
+
+    #[test]
+    fn best_fit_opens_machine_when_nothing_fits() {
+        let instance = Instance::from_ticks(&[(0, 10), (0, 10)], 1);
+        let mut b = ScheduleBuilder::new(&instance);
+        b.place_first_fit(0);
+        let p = b.best_fit(1);
+        assert_eq!(p.machine, 1);
+        assert_eq!(p.delta, Duration::new(10));
+    }
+
+    #[test]
+    fn builder_cost_matches_schedule_cost() {
+        let instance =
+            Instance::from_ticks(&[(0, 4), (1, 5), (3, 9), (10, 12), (11, 15), (2, 6)], 2);
+        let mut b = ScheduleBuilder::new(&instance);
+        for job in 0..instance.len() {
+            let p = b.best_fit(job);
+            b.commit(job, p.machine, p.thread);
+        }
+        let tracked = b.cost();
+        let s = b.finish();
+        assert_eq!(s.cost(&instance), tracked);
+        s.validate_complete(&instance).unwrap();
+    }
+}

@@ -14,7 +14,7 @@
 //!   whose span is within `T`, take the pair covering the most jobs, and schedule up to
 //!   `g` of them on a single machine.
 
-use busytime_interval::{common_point, span, Duration, Time};
+use busytime_interval::{common_point, Duration, Time};
 
 use crate::error::Error;
 use crate::instance::{Instance, JobId};
@@ -86,7 +86,14 @@ pub fn clique_alg1(instance: &Instance, budget: Duration) -> Result<ThroughputRe
     Ok(result)
 }
 
-/// Alg2 of Section 4.1 (best span delimited by a pair of jobs, one machine).
+/// Alg2 of Section 4.1: the densest budget-length window, one machine.
+///
+/// Lemma 4.2 observes that the span of any machine's job set is delimited by its
+/// leftmost start; every candidate set is therefore contained in a window
+/// `[s_i, s_i + T)` anchored at some job's start.  Jobs are sorted by start, so for
+/// each anchor the contained jobs form a suffix filtered by completion time — a
+/// dominance count answered by a Fenwick tree over the compressed completions in
+/// `O(n log n)` total, replacing the cubic pair-times-cover enumeration.
 pub fn clique_alg2(instance: &Instance, budget: Duration) -> Result<ThroughputResult, Error> {
     if !instance.is_clique() {
         return Err(Error::NotClique);
@@ -94,26 +101,55 @@ pub fn clique_alg2(instance: &Instance, budget: Duration) -> Result<ThroughputRe
     let n = instance.len();
     let g = instance.capacity();
     let jobs = instance.jobs();
+    if n == 0 {
+        return Ok(ThroughputResult::new(Schedule::empty(0), instance));
+    }
 
-    // Enumerate all pairs (including i = j); keep the span covering the most jobs.
-    let mut best_cover: Vec<JobId> = Vec::new();
-    for i in 0..n {
-        for j in i..n {
-            let pair_span = span(&[jobs[i], jobs[j]]);
-            if pair_span > budget {
-                continue;
-            }
-            let window = jobs[i].hull(&jobs[j]);
-            let cover: Vec<JobId> = (0..n).filter(|&k| window.contains(&jobs[k])).collect();
-            if cover.len() > best_cover.len() {
-                best_cover = cover;
+    // Compressed completion coordinates.
+    let mut end_coords: Vec<i64> = jobs.iter().map(|j| j.end().ticks()).collect();
+    end_coords.sort_unstable();
+    end_coords.dedup();
+    let mut tree = Fenwick::new(end_coords.len());
+
+    // Sweep anchors right to left, keeping exactly the jobs starting at or after the
+    // anchor in the tree; count those completing within the window.
+    let mut best: Option<(usize, usize)> = None; // (count, anchor index)
+    let mut ptr = n;
+    for i in (0..n).rev() {
+        let anchor = jobs[i].start().ticks();
+        // All jobs from the first index sharing this start onward are candidates.
+        while ptr > 0 && jobs[ptr - 1].start().ticks() >= anchor {
+            ptr -= 1;
+            let pos = end_coords
+                .binary_search(&jobs[ptr].end().ticks())
+                .expect("every completion is a coordinate");
+            tree.add(pos, 1);
+        }
+        let limit = anchor.saturating_add(budget.ticks());
+        let covered = end_coords.partition_point(|&e| e <= limit);
+        let count = tree.prefix_sum(covered);
+        // `>=` so that among equal counts the leftmost anchor wins, mirroring the
+        // first-window-found rule of the pair enumeration this replaces.
+        if best.is_none_or(|(c, _)| count >= c) {
+            best = Some((count, i));
+        }
+    }
+
+    let (count, anchor) = best.expect("non-empty instance has an anchor");
+    let mut chosen: Vec<JobId> = Vec::with_capacity(count);
+    if count > 0 {
+        let s = jobs[anchor].start().ticks();
+        let limit = s.saturating_add(budget.ticks());
+        for (k, job) in jobs.iter().enumerate() {
+            if job.start().ticks() >= s && job.end().ticks() <= limit {
+                chosen.push(k);
             }
         }
+        debug_assert_eq!(chosen.len(), count);
     }
 
     // Schedule up to g covered jobs on one machine, shortest first (any choice satisfies
     // the budget; shortest keeps the measured cost low).
-    let mut chosen = best_cover;
     chosen.sort_by_key(|&k| (jobs[k].len(), k));
     chosen.truncate(g);
     let mut schedule = Schedule::empty(n);
@@ -123,6 +159,39 @@ pub fn clique_alg2(instance: &Instance, budget: Duration) -> Result<ThroughputRe
     let result = ThroughputResult::new(schedule, instance);
     debug_assert!(result.cost <= budget);
     Ok(result)
+}
+
+/// A minimal Fenwick (binary indexed) tree over counts, used by [`clique_alg2`].
+struct Fenwick {
+    tree: Vec<usize>,
+}
+
+impl Fenwick {
+    fn new(len: usize) -> Self {
+        Fenwick {
+            tree: vec![0; len + 1],
+        }
+    }
+
+    /// Add `value` at position `pos` (0-based).
+    fn add(&mut self, pos: usize, value: usize) {
+        let mut i = pos + 1;
+        while i < self.tree.len() {
+            self.tree[i] += value;
+            i += i & i.wrapping_neg();
+        }
+    }
+
+    /// Sum of the first `len` positions.
+    fn prefix_sum(&self, len: usize) -> usize {
+        let mut i = len.min(self.tree.len() - 1);
+        let mut sum = 0;
+        while i > 0 {
+            sum += self.tree[i];
+            i -= i & i.wrapping_neg();
+        }
+        sum
+    }
 }
 
 /// A job id annotated with its head length (the longer of its two parts around `t`).

@@ -94,7 +94,34 @@ pub fn solve_auto(
 /// increase in that machine's busy time (opening a fresh machine when no thread fits) —
 /// skipping any job whose placement would push the total cost above the budget.  Always
 /// valid and within budget; no approximation guarantee.
+///
+/// Placement and pricing go through the incremental [`crate::machine::ScheduleBuilder`]:
+/// each machine answers "does the job fit, and what does it add to my busy time?" from
+/// its live occupancy profile instead of re-unioning its whole job list per candidate
+/// (see `greedy_fallback_scan` for the pre-kernel reference).
 pub fn greedy_fallback(instance: &Instance, budget: Duration) -> ThroughputResult {
+    let mut order: Vec<usize> = (0..instance.len()).collect();
+    order.sort_by_key(|&j| (instance.job(j).len(), j));
+
+    let mut builder = crate::machine::ScheduleBuilder::new(instance);
+    for &j in &order {
+        let placement = builder.best_fit(j);
+        if builder.cost() + placement.delta > budget {
+            continue;
+        }
+        builder.commit(j, placement.machine, placement.thread);
+    }
+    ThroughputResult::new(builder.finish(), instance)
+}
+
+/// The pre-kernel best-fit greedy: identical placement rule and results, but every
+/// conflict test scans a thread's whole job list and every price re-unions the
+/// machine's jobs.
+///
+/// Kept as the equivalence baseline for the kernel (property tests pin
+/// [`greedy_fallback`] `==` this function) and as the "before" side of the scaling
+/// benchmarks recorded in `BENCH_scaling.json`.  Do not use it for real workloads.
+pub fn greedy_fallback_scan(instance: &Instance, budget: Duration) -> ThroughputResult {
     let g = instance.capacity();
     let mut order: Vec<usize> = (0..instance.len()).collect();
     order.sort_by_key(|&j| (instance.job(j).len(), j));

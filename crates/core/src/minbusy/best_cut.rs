@@ -50,22 +50,38 @@ fn best_cut_component(
         return 0;
     }
 
+    // In a proper component sorted by (start, end) both starts and completions are
+    // non-decreasing, so the span of any consecutive block `a..=b` is the hull length
+    // minus the uncovered gaps between consecutive jobs — and every gap is a prefix-sum
+    // difference.  Each candidate grouping is then priced in O(#blocks) instead of
+    // re-unioning every block's intervals.
+    let mut gap_prefix = vec![0i64; n];
+    for k in 1..n {
+        let prev = instance.job(component[k - 1]);
+        let cur = instance.job(component[k]);
+        gap_prefix[k] = gap_prefix[k - 1] + (cur.start() - prev.end()).ticks().max(0);
+    }
+    let block_span = |a: usize, b: usize| -> i64 {
+        let hull = instance.job(component[b]).end() - instance.job(component[a]).start();
+        hull.ticks() - (gap_prefix[b] - gap_prefix[a])
+    };
+
     // Evaluate the g shifted groupings and keep the cheapest.
-    let mut best: Option<(i64, Vec<Vec<JobId>>)> = None;
+    let mut best: Option<(i64, usize)> = None;
     for shift in 1..=g.min(n) {
-        let groups = shifted_groups(component, shift, g);
-        let cost: i64 = groups
-            .iter()
-            .map(|grp| {
-                let ivs: Vec<_> = grp.iter().map(|&j| instance.job(j)).collect();
-                busytime_interval::span(&ivs).ticks()
-            })
-            .sum();
-        if best.as_ref().is_none_or(|(bc, _)| cost < *bc) {
-            best = Some((cost, groups));
+        let mut cost = block_span(0, shift - 1);
+        let mut a = shift;
+        while a < n {
+            let b = (a + g).min(n) - 1;
+            cost += block_span(a, b);
+            a = b + 1;
+        }
+        if best.is_none_or(|(bc, _)| cost < bc) {
+            best = Some((cost, shift));
         }
     }
-    let (_, groups) = best.expect("component is non-empty");
+    let (_, shift) = best.expect("component is non-empty");
+    let groups = shifted_groups(component, shift, g);
     let used = groups.len();
     for (m, grp) in groups.into_iter().enumerate() {
         for j in grp {

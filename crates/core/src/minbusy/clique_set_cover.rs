@@ -19,7 +19,7 @@
 //! guards against accidental exponential blow-ups.
 
 use busytime_graph::{greedy_set_partition, WeightedSet};
-use busytime_interval::{hull, span, total_len, Interval};
+use busytime_interval::{hull, span, Interval};
 
 use crate::error::Error;
 use crate::instance::Instance;
@@ -59,18 +59,26 @@ pub fn clique_set_cover_with_limit(instance: &Instance, limit: usize) -> Result<
     }
 
     // Enumerate all subsets of size 1..=g with the shifted weight g·span(Q) − len(Q).
+    // Every subset of a clique instance is itself a clique, so its span is simply the
+    // hull length (latest completion − earliest start); with jobs sorted by start the
+    // earliest start is the first chosen job's, and the latest completion and total
+    // length are carried incrementally through the enumeration — no per-subset
+    // re-unioning.
     let jobs = instance.jobs();
     let g_i64 = instance.capacity() as i64;
     let mut sets: Vec<WeightedSet> = Vec::with_capacity(required);
     let mut current: Vec<usize> = Vec::with_capacity(g);
-    enumerate_subsets(n, g, &mut current, &mut |subset| {
-        let ivs: Vec<Interval> = subset.iter().map(|&i| jobs[i]).collect();
-        let sp = span(&ivs).ticks();
-        let ln = total_len(&ivs).ticks();
-        let weight = g_i64 * sp - ln;
-        debug_assert!(weight >= 0, "span ≥ len/g for every set of ≤ g intervals");
-        sets.push(WeightedSet::new(subset.to_vec(), weight));
-    });
+    enumerate_subsets(
+        n,
+        g,
+        jobs,
+        &mut current,
+        &mut |subset, span_ticks, len_ticks| {
+            let weight = g_i64 * span_ticks - len_ticks;
+            debug_assert!(weight >= 0, "span ≥ len/g for every set of ≤ g intervals");
+            sets.push(WeightedSet::new(subset.to_vec(), weight));
+        },
+    );
 
     // The greedy must build a *partition* (disjoint picks): the shifted weight
     // span(Q) − len(Q)/g is not monotone under dropping elements, so converting an
@@ -106,28 +114,47 @@ fn count_subsets_up_to(n: usize, g: usize, limit: usize) -> usize {
 }
 
 /// Enumerate all subsets of `{0..n}` of size 1..=g in lexicographic order, invoking the
-/// callback with each.
-fn enumerate_subsets(n: usize, g: usize, current: &mut Vec<usize>, f: &mut impl FnMut(&[usize])) {
-    fn rec(
+/// callback with each subset plus its clique span and total length in ticks (maintained
+/// incrementally; `jobs` must be sorted by start, as in an [`Instance`]).
+fn enumerate_subsets(
+    n: usize,
+    g: usize,
+    jobs: &[Interval],
+    current: &mut Vec<usize>,
+    f: &mut impl FnMut(&[usize], i64, i64),
+) {
+    struct Ctx<'a, F> {
         n: usize,
         g: usize,
+        jobs: &'a [Interval],
+        f: F,
+    }
+
+    fn rec<F: FnMut(&[usize], i64, i64)>(
+        ctx: &mut Ctx<'_, F>,
         start: usize,
+        max_end: i64,
+        total_len: i64,
         current: &mut Vec<usize>,
-        f: &mut impl FnMut(&[usize]),
     ) {
-        if !current.is_empty() {
-            f(current);
+        if let Some(&first) = current.first() {
+            let span = max_end - ctx.jobs[first].start().ticks();
+            (ctx.f)(current, span, total_len);
         }
-        if current.len() == g {
+        if current.len() == ctx.g {
             return;
         }
-        for next in start..n {
+        for next in start..ctx.n {
             current.push(next);
-            rec(n, g, next + 1, current, f);
+            let end = ctx.jobs[next].end().ticks();
+            let len = ctx.jobs[next].len().ticks();
+            rec(ctx, next + 1, max_end.max(end), total_len + len, current);
             current.pop();
         }
     }
-    rec(n, g, 0, current, f);
+
+    let mut ctx = Ctx { n, g, jobs, f };
+    rec(&mut ctx, 0, i64::MIN, 0, current);
 }
 
 /// Sanity check used in docs and tests: the hull of a clique set equals its span interval.
@@ -159,9 +186,15 @@ mod tests {
     }
 
     #[test]
-    fn subset_enumeration_counts() {
+    fn subset_enumeration_counts_and_aggregates() {
+        let jobs: Vec<Interval> = (0..5).map(|i| Interval::from_ticks(i, i + 10)).collect();
         let mut count = 0usize;
-        enumerate_subsets(5, 2, &mut Vec::new(), &mut |_| count += 1);
+        enumerate_subsets(5, 2, &jobs, &mut Vec::new(), &mut |subset, sp, ln| {
+            count += 1;
+            let ivs: Vec<Interval> = subset.iter().map(|&i| jobs[i]).collect();
+            assert_eq!(sp, span(&ivs).ticks());
+            assert_eq!(ln, ivs.iter().map(|iv| iv.len().ticks()).sum::<i64>());
+        });
         assert_eq!(count, 5 + 10);
         assert_eq!(count_subsets_up_to(5, 2, 1000), 15);
         assert_eq!(count_subsets_up_to(10, 3, 10_000), 10 + 45 + 120);

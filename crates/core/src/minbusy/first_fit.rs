@@ -9,6 +9,7 @@
 use busytime_interval::{Duration, Interval};
 
 use crate::instance::Instance;
+use crate::machine::ScheduleBuilder;
 use crate::schedule::Schedule;
 
 /// FirstFit with `g` threads per machine, jobs in non-increasing order of length.
@@ -23,7 +24,27 @@ pub fn first_fit(instance: &Instance) -> Schedule {
 
 /// FirstFit considering the jobs in the given explicit order (used by tests and by the
 /// bucketed 2-D variant's 1-D counterpart).
+///
+/// Placement goes through the incremental [`ScheduleBuilder`]: each conflict test is a
+/// logarithmic probe of the machine's live occupancy instead of a scan over every job
+/// already placed there, which is what makes FirstFit usable at the scales the
+/// experiment harness runs (see `first_fit_in_order_scan` for the pre-kernel
+/// reference).
 pub fn first_fit_in_order(instance: &Instance, order: &[usize]) -> Schedule {
+    let mut builder = ScheduleBuilder::new(instance);
+    for &j in order {
+        builder.place_first_fit(j);
+    }
+    builder.finish()
+}
+
+/// The pre-kernel FirstFit: identical placement rule and results, but every conflict
+/// test scans the candidate thread's whole job list.
+///
+/// Kept as the equivalence baseline for the kernel (property tests pin
+/// `first_fit_in_order ==` this function) and as the "before" side of the scaling
+/// benchmarks recorded in `BENCH_scaling.json`.  Do not use it for real workloads.
+pub fn first_fit_in_order_scan(instance: &Instance, order: &[usize]) -> Schedule {
     let g = instance.capacity();
     // threads[m][t] is the list of intervals currently on thread t of machine m.
     let mut threads: Vec<Vec<Vec<Interval>>> = Vec::new();
@@ -128,5 +149,40 @@ mod tests {
         let s = first_fit(&inst);
         assert_eq!(s.machines_used(), 0);
         assert_eq!(total_busy(&inst, &s), Duration::ZERO);
+    }
+
+    #[test]
+    fn kernel_placement_matches_scan_reference() {
+        // A deterministic pseudo-random mix of clustered and scattered jobs; the
+        // kernel-backed FirstFit must reproduce the scan version assignment-for-
+        // assignment (same placement rule, different data structure).
+        let mut state = 88172645463325252u64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for g in [1usize, 2, 3, 5] {
+            let jobs: Vec<(i64, i64)> = (0..200)
+                .map(|_| {
+                    let s = (next() % 500) as i64;
+                    let len = (next() % 60 + 1) as i64;
+                    (s, s + len)
+                })
+                .collect();
+            let inst = Instance::from_ticks(&jobs, g);
+            let order: Vec<usize> = (0..inst.len()).collect();
+            assert_eq!(
+                first_fit_in_order(&inst, &order),
+                first_fit_in_order_scan(&inst, &order),
+                "g = {g}"
+            );
+            assert_eq!(first_fit(&inst), {
+                let mut by_len: Vec<usize> = (0..inst.len()).collect();
+                by_len.sort_by_key(|&j| (std::cmp::Reverse(inst.job(j).len()), j));
+                first_fit_in_order_scan(&inst, &by_len)
+            });
+        }
     }
 }

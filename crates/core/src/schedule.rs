@@ -7,7 +7,7 @@
 //! machines, where the busy time of a machine is the span of the jobs assigned to it
 //! (Section 2 of the paper).
 
-use busytime_interval::{max_overlap, span, Duration, Interval};
+use busytime_interval::{Duration, SortedSweep};
 use serde::{Deserialize, Serialize};
 
 use crate::error::Error;
@@ -101,24 +101,38 @@ impl Schedule {
         self.assignment.iter().filter(|a| a.is_some()).count()
     }
 
-    /// Jobs grouped per machine: `groups[m]` is the (sorted) list of jobs on machine `m`.
-    /// Machines are re-indexed densely in order of their first job id; empty machines do
-    /// not appear.
-    pub fn machine_groups(&self) -> Vec<Vec<JobId>> {
+    /// Visit every assigned job in job-id order as `(dense_machine, job)`, densely
+    /// re-indexing machines in order of their first job id.  This single traversal
+    /// defines the machine order every derived view shares ([`Schedule::machine_groups`],
+    /// the busy-time/validity sweeps), so they cannot drift apart.
+    fn for_each_assigned(&self, mut f: impl FnMut(usize, JobId)) {
         let mut remap: Vec<Option<usize>> = Vec::new();
-        let mut groups: Vec<Vec<JobId>> = Vec::new();
+        let mut dense_count = 0usize;
         for (j, a) in self.assignment.iter().enumerate() {
             if let Some(m) = a {
                 if *m >= remap.len() {
                     remap.resize(m + 1, None);
                 }
                 let dense = *remap[*m].get_or_insert_with(|| {
-                    groups.push(Vec::new());
-                    groups.len() - 1
+                    dense_count += 1;
+                    dense_count - 1
                 });
-                groups[dense].push(j);
+                f(dense, j);
             }
         }
+    }
+
+    /// Jobs grouped per machine: `groups[m]` is the (sorted) list of jobs on machine `m`.
+    /// Machines are re-indexed densely in order of their first job id; empty machines do
+    /// not appear.
+    pub fn machine_groups(&self) -> Vec<Vec<JobId>> {
+        let mut groups: Vec<Vec<JobId>> = Vec::new();
+        self.for_each_assigned(|dense, j| {
+            if dense == groups.len() {
+                groups.push(Vec::new());
+            }
+            groups[dense].push(j);
+        });
         groups
     }
 
@@ -127,20 +141,36 @@ impl Schedule {
         self.machine_groups().len()
     }
 
+    /// One streaming sweep per machine, fed in job-id order.  Jobs of an [`Instance`]
+    /// are stored sorted by `(start, completion)`, so iterating the assignment in job
+    /// order hands every machine its jobs in non-decreasing start order — exactly what
+    /// [`SortedSweep`] needs to maintain span and maximum depth incrementally, with no
+    /// per-machine grouping, collecting or re-sorting.
+    fn machine_sweeps(&self, instance: &Instance) -> Vec<SortedSweep> {
+        let mut sweeps: Vec<SortedSweep> = Vec::new();
+        self.for_each_assigned(|dense, j| {
+            if dense == sweeps.len() {
+                sweeps.push(SortedSweep::new());
+            }
+            sweeps[dense].push(instance.job(j));
+        });
+        sweeps
+    }
+
     /// Busy time of every machine: the span of the intervals assigned to it.
     pub fn busy_times(&self, instance: &Instance) -> Vec<Duration> {
-        self.machine_groups()
+        self.machine_sweeps(instance)
             .iter()
-            .map(|group| {
-                let ivs: Vec<Interval> = group.iter().map(|&j| instance.job(j)).collect();
-                span(&ivs)
-            })
+            .map(SortedSweep::span)
             .collect()
     }
 
     /// Total busy time `Σ_i busy_i` of the schedule (the MinBusy objective).
     pub fn cost(&self, instance: &Instance) -> Duration {
-        self.busy_times(instance).into_iter().sum()
+        self.machine_sweeps(instance)
+            .iter()
+            .map(SortedSweep::span)
+            .sum()
     }
 
     /// The saving of a complete schedule relative to the one-job-per-machine schedule:
@@ -155,9 +185,9 @@ impl Schedule {
         scheduled_len - self.cost(instance)
     }
 
-    /// Check that the schedule is **valid** for the instance: every referenced job id
-    /// exists and no machine runs more than `g` jobs at any instant.
-    pub fn validate(&self, instance: &Instance) -> Result<(), Error> {
+    /// The validity checks plus the sweeps they produced, so budget checking can price
+    /// the schedule from the same single pass.
+    fn validated_sweeps(&self, instance: &Instance) -> Result<Vec<SortedSweep>, Error> {
         if self.assignment.len() != instance.len() {
             // A schedule over a different number of jobs necessarily references unknown
             // jobs (or misses some); report the first discrepancy.
@@ -165,9 +195,9 @@ impl Schedule {
                 job: instance.len().min(self.assignment.len()),
             });
         }
-        for (machine, group) in self.machine_groups().into_iter().enumerate() {
-            let ivs: Vec<Interval> = group.iter().map(|&j| instance.job(j)).collect();
-            let depth = max_overlap(&ivs);
+        let sweeps = self.machine_sweeps(instance);
+        for (machine, sweep) in sweeps.iter().enumerate() {
+            let depth = sweep.max_depth();
             if depth > instance.capacity() {
                 return Err(Error::CapacityExceeded {
                     machine,
@@ -176,7 +206,13 @@ impl Schedule {
                 });
             }
         }
-        Ok(())
+        Ok(sweeps)
+    }
+
+    /// Check that the schedule is **valid** for the instance: every referenced job id
+    /// exists and no machine runs more than `g` jobs at any instant.
+    pub fn validate(&self, instance: &Instance) -> Result<(), Error> {
+        self.validated_sweeps(instance).map(|_| ())
     }
 
     /// Check that the schedule is a valid **complete** schedule (MinBusy solution): valid
@@ -190,10 +226,11 @@ impl Schedule {
     }
 
     /// Check that the schedule is a valid MaxThroughput solution for budget `budget`:
-    /// valid and within budget.
+    /// valid and within budget.  Depths and cost come from one pass over the
+    /// assignment.
     pub fn validate_budgeted(&self, instance: &Instance, budget: Duration) -> Result<(), Error> {
-        self.validate(instance)?;
-        let cost = self.cost(instance);
+        let sweeps = self.validated_sweeps(instance)?;
+        let cost: Duration = sweeps.iter().map(SortedSweep::span).sum();
         if cost > budget {
             return Err(Error::BudgetExceeded { cost, budget });
         }

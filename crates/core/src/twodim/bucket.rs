@@ -25,12 +25,14 @@ pub fn bucket_first_fit_guarantee(g: usize, gamma_min: f64) -> f64 {
     (g as f64).min(per_bucket * buckets)
 }
 
-/// BucketFirstFit (Algorithm 4) with an explicit base `β ≥ 1`.
+/// BucketFirstFit (Algorithm 4) with an explicit base `β > 1`.
 ///
 /// Dimensions are swapped internally when `γ₁ > γ₂` so that bucketing happens on the
 /// dimension with the smaller spread, matching the WLOG assumption of the paper.
 pub fn bucket_first_fit(instance: &Instance2d, beta: f64) -> Schedule2d {
-    assert!(beta >= 1.0, "the bucket base must be at least 1");
+    // A base of exactly 1 would need infinitely many geometric buckets to cover any
+    // spread; the analysis of Theorem 3.3 assumes β > 1 throughout.
+    assert!(beta > 1.0, "the bucket base must be greater than 1");
     if instance.is_empty() {
         return Schedule2d::empty(0);
     }
@@ -63,24 +65,23 @@ pub fn bucket_first_fit(instance: &Instance2d, beta: f64) -> Schedule2d {
     let mut order: Vec<usize> = (0..work.len()).collect();
     order.sort_by_key(|&j| (std::cmp::Reverse(work.job(j).len_k(2)), j));
 
+    // Partition the ordered jobs into their buckets in one pass (each job belongs to
+    // the first bucket whose upper limit admits it; the last bucket has no upper limit
+    // so that floating-point rounding of β^b can never leave a job unassigned).  The
+    // geometric thresholds are computed once per bucket, not once per job-bucket pair.
+    let limits: Vec<f64> = (1..=bucket_count)
+        .map(|b| min_len1 as f64 * beta.powi(b as i32))
+        .collect();
+    let mut buckets: Vec<Vec<usize>> = vec![Vec::new(); bucket_count];
+    for &j in &order {
+        let l1 = work.job(j).len_k(1).ticks() as f64;
+        let b = limits[..bucket_count - 1].partition_point(|&hi| l1 > hi);
+        buckets[b].push(j);
+    }
+
     let mut schedule = Schedule2d::empty(work.len());
     let mut machine_offset = 0usize;
-    for b in 1..=bucket_count {
-        let lo = min_len1 as f64 * beta.powi(b as i32 - 1);
-        let hi = min_len1 as f64 * beta.powi(b as i32);
-        let bucket_jobs: Vec<usize> = order
-            .iter()
-            .copied()
-            .filter(|&j| {
-                let l1 = work.job(j).len_k(1).ticks() as f64;
-                // Bucket 1 starts at exactly ℓ; later buckets are half-open to avoid
-                // double-assigning boundary jobs.  The last bucket has no upper limit so
-                // that floating-point rounding of β^b can never leave a job unassigned.
-                let above = if b == 1 { true } else { l1 > lo };
-                let below = if b == bucket_count { true } else { l1 <= hi };
-                above && below
-            })
-            .collect();
+    for bucket_jobs in buckets {
         if bucket_jobs.is_empty() {
             continue;
         }
@@ -192,5 +193,14 @@ mod tests {
     fn beta_below_one_rejected() {
         let inst = Instance2d::from_ticks(&[(0, 1, 0, 1)], 1);
         let _ = bucket_first_fit(&inst, 0.5);
+    }
+
+    #[test]
+    #[should_panic]
+    fn beta_of_exactly_one_rejected() {
+        // β = 1 would need infinitely many geometric buckets; it used to slip past the
+        // assert and blow up in the bucket-count computation instead.
+        let inst = Instance2d::from_ticks(&[(0, 1, 0, 1), (0, 4, 0, 1)], 1);
+        let _ = bucket_first_fit(&inst, 1.0);
     }
 }

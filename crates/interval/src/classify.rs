@@ -60,21 +60,24 @@ pub fn is_one_sided(intervals: &[Interval]) -> bool {
 /// containment exists iff some interval ends strictly after a later-starting interval, or
 /// two intervals share a start with different ends.
 pub fn is_proper(intervals: &[Interval]) -> bool {
-    if intervals.len() <= 1 {
-        return true;
-    }
     let mut sorted = intervals.to_vec();
     sorted.sort();
-    // After sorting by (start, end): set is proper iff ends are also non-decreasing AND
-    // no pair has equal start but different end (the latter is containment) AND no pair
-    // has different start but equal end.  Checking non-decreasing ends catches
-    // "later start, earlier-or-equal end" which covers both strict cases; equal intervals
-    // are allowed (they contain each other, but not *properly*).
+    is_proper_sorted(&sorted)
+}
+
+/// [`is_proper`] for a slice already sorted by `(start, end)` — skips the sort, which
+/// lets `Instance` (whose jobs are stored in exactly this order) classify in one pass.
+pub fn is_proper_sorted(sorted: &[Interval]) -> bool {
+    debug_assert!(
+        sorted.windows(2).all(|w| w[0] <= w[1]),
+        "input must be sorted"
+    );
+    // In sorted-by-(start, end) order the set is proper iff ends are also
+    // non-decreasing AND no adjacent pair shares exactly one endpoint (sharing a start
+    // with different ends, or an end with different starts, is containment; equal
+    // intervals contain each other but not *properly*, so duplicates are fine).
     for w in sorted.windows(2) {
         let (a, b) = (w[0], w[1]);
-        if a.properly_contains(&b) || b.properly_contains(&a) {
-            return false;
-        }
         if b.end() < a.end() {
             // b starts no earlier than a and ends strictly earlier: a properly contains b.
             return false;
@@ -85,16 +88,6 @@ pub fn is_proper(intervals: &[Interval]) -> bool {
         if a.end() == b.end() && a.start() != b.start() {
             return false;
         }
-    }
-    // windows(2) only compares neighbours, but with the sort order that is sufficient:
-    // ends non-decreasing overall follows by induction, and equal-start (equal-end) runs
-    // are contiguous after sorting.
-    let mut prev_end = sorted[0].end();
-    for iv in &sorted[1..] {
-        if iv.end() < prev_end {
-            return false;
-        }
-        prev_end = iv.end();
     }
     true
 }
@@ -109,13 +102,39 @@ pub fn is_connected(intervals: &[Interval]) -> bool {
 }
 
 /// Full classification of a set of intervals.
+///
+/// The intervals are sorted once and every property is read off the same sorted
+/// sweep — no per-property re-sorting.
 pub fn classify(intervals: &[Interval]) -> Classification {
+    let mut sorted = intervals.to_vec();
+    sorted.sort();
+    classify_sorted(&sorted)
+}
+
+/// [`classify`] for a slice already sorted by `(start, end)` (the order `Instance`
+/// stores jobs in): one linear pass over the sorted intervals.
+pub fn classify_sorted(sorted: &[Interval]) -> Classification {
+    let clique = is_clique(sorted);
     Classification {
-        clique: is_clique(intervals),
-        one_sided: is_clique(intervals) && is_one_sided(intervals),
-        proper: is_proper(intervals),
-        connected: is_connected(intervals),
+        clique,
+        one_sided: clique && is_one_sided(sorted),
+        proper: is_proper_sorted(sorted),
+        connected: is_connected_sorted(sorted),
     }
+}
+
+/// [`is_connected`] for a slice already sorted by `(start, end)`: a single
+/// reachability sweep without the index sort.
+pub fn is_connected_sorted(sorted: &[Interval]) -> bool {
+    let mut reach: Option<Time> = None;
+    for iv in sorted {
+        match reach {
+            Some(r) if iv.start() >= r => return false,
+            Some(r) => reach = Some(r.max(iv.end())),
+            None => reach = Some(iv.end()),
+        }
+    }
+    true
 }
 
 /// Partition indices of the intervals into connected components of the interval graph.
@@ -125,11 +144,24 @@ pub fn classify(intervals: &[Interval]) -> Classification {
 /// component.  Components are returned sorted by their leftmost start time, and within a
 /// component indices are sorted by `(start, end, index)`.
 pub fn connected_components(intervals: &[Interval]) -> Vec<Vec<usize>> {
-    if intervals.is_empty() {
-        return Vec::new();
-    }
     let mut order: Vec<usize> = (0..intervals.len()).collect();
     order.sort_by_key(|&i| (intervals[i].start(), intervals[i].end(), i));
+    components_of_order(intervals, &order)
+}
+
+/// [`connected_components`] for a slice already sorted by `(start, end)`: the index
+/// sort collapses to the identity permutation.
+pub fn connected_components_sorted(sorted: &[Interval]) -> Vec<Vec<usize>> {
+    let order: Vec<usize> = (0..sorted.len()).collect();
+    components_of_order(sorted, &order)
+}
+
+/// The reachability sweep shared by both component entry points: `order` lists the
+/// interval indices sorted by `(start, end, index)`.
+fn components_of_order(intervals: &[Interval], order: &[usize]) -> Vec<Vec<usize>> {
+    if order.is_empty() {
+        return Vec::new();
+    }
     let mut components: Vec<Vec<usize>> = Vec::new();
     let mut current: Vec<usize> = vec![order[0]];
     let mut reach: Time = intervals[order[0]].end();

@@ -1,11 +1,13 @@
 //! Span (union length) of sets of intervals.
 //!
 //! Definition 2.2 of the paper: for a set `I` of intervals, `SPAN(I) = ∪I` and
-//! `span(I) = len(SPAN(I))`.  The span is computed by a single sweep over the
-//! intervals sorted by start time; the union itself is returned as a list of maximal
-//! disjoint intervals.
+//! `span(I) = len(SPAN(I))`.  All aggregate quantities here are thin wrappers over the
+//! shared sweep-line kernel ([`DepthProfile`](crate::DepthProfile)): the endpoint events
+//! are sorted once and every measure (union, span, max overlap, per-depth lengths) is
+//! read off the same compressed timeline.
 
 use crate::interval::Interval;
+use crate::sweep::DepthProfile;
 use crate::time::{Duration, Time};
 
 /// The union of a set of intervals as a sorted list of maximal, pairwise disjoint,
@@ -15,31 +17,12 @@ use crate::time::{Duration, Time};
 /// the paper's treatment of a machine's busy period as a contiguous stretch whenever its
 /// jobs chain together without a gap of positive length.
 pub fn union(intervals: &[Interval]) -> Vec<Interval> {
-    if intervals.is_empty() {
-        return Vec::new();
-    }
-    let mut sorted: Vec<Interval> = intervals.to_vec();
-    sorted.sort();
-    let mut out: Vec<Interval> = Vec::with_capacity(sorted.len());
-    let mut cur = sorted[0];
-    for iv in &sorted[1..] {
-        if iv.start() <= cur.end() {
-            // Extend the current component (touching counts as the same busy stretch).
-            if iv.end() > cur.end() {
-                cur = Interval::new(cur.start(), iv.end());
-            }
-        } else {
-            out.push(cur);
-            cur = *iv;
-        }
-    }
-    out.push(cur);
-    out
+    DepthProfile::new(intervals).union()
 }
 
 /// `span(I)`: the total length of the union of the intervals (Definition 2.2).
 pub fn span(intervals: &[Interval]) -> Duration {
-    union(intervals).iter().map(Interval::len).sum()
+    DepthProfile::new(intervals).span()
 }
 
 /// `len(I)`: the total length of the intervals counted with multiplicity (Definition 2.1).
@@ -61,21 +44,7 @@ pub fn hull(intervals: &[Interval]) -> Option<Interval> {
 /// This is the minimum number of execution threads (capacity `g`) under which the whole
 /// set could in principle share one machine.
 pub fn max_overlap(intervals: &[Interval]) -> usize {
-    // Sweep: +1 at each start, -1 at each end.  Ends sort before starts at equal time
-    // because the intervals are half-open.
-    let mut events: Vec<(Time, i32)> = Vec::with_capacity(intervals.len() * 2);
-    for iv in intervals {
-        events.push((iv.start(), 1));
-        events.push((iv.end(), -1));
-    }
-    events.sort_by_key(|&(t, delta)| (t, delta));
-    let mut depth = 0i32;
-    let mut best = 0i32;
-    for (_, delta) in events {
-        depth += delta;
-        best = best.max(depth);
-    }
-    best.max(0) as usize
+    DepthProfile::new(intervals).max_depth()
 }
 
 /// For every point in time, how long is the total stretch during which at least `k`
@@ -86,35 +55,7 @@ pub fn max_overlap(intervals: &[Interval]) -> usize {
 /// `Σ_k ceil(depth_k / g)`-style bounds and is used by the experiment harness to report
 /// instance statistics.
 pub fn depth_profile(intervals: &[Interval]) -> Vec<Duration> {
-    let mut events: Vec<(Time, i32)> = Vec::with_capacity(intervals.len() * 2);
-    for iv in intervals {
-        events.push((iv.start(), 1));
-        events.push((iv.end(), -1));
-    }
-    events.sort_by_key(|&(t, delta)| (t, delta));
-    let mut profile: Vec<Duration> = Vec::new();
-    let mut depth: usize = 0;
-    let mut prev: Option<Time> = None;
-    for (t, delta) in events {
-        if let Some(p) = prev {
-            if depth > 0 && t > p {
-                let seg = t - p;
-                if profile.len() < depth {
-                    profile.resize(depth, Duration::ZERO);
-                }
-                for d in profile.iter_mut().take(depth) {
-                    *d += seg;
-                }
-            }
-        }
-        if delta > 0 {
-            depth += 1;
-        } else {
-            depth -= 1;
-        }
-        prev = Some(t);
-    }
-    profile
+    DepthProfile::new(intervals).per_depth_lengths()
 }
 
 /// A time point contained in every interval of the set, if one exists.

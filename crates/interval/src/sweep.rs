@@ -1,0 +1,870 @@
+//! The coordinate-compressed sweep-line kernel.
+//!
+//! Every structural fact the paper states about an interval set — maximum clique size
+//! (Observation 2.1's parallelism bound), span, connected components, the proper order
+//! `J_1 ≤ … ≤ J_n` — is a statement about a single swept timeline.  This module is the
+//! one place where that timeline is materialised; the rest of the workspace (the
+//! `classify`/`span` helpers here, `MachineState` and the schedule validators in the
+//! `busytime` core crate, the 2-D bucketing) queries it instead of re-deriving overlap
+//! facts with ad-hoc quadratic scans.
+//!
+//! Three views of the timeline are provided, ordered by generality:
+//!
+//! * [`DepthProfile`] — an immutable snapshot built in `O(n log n)`: compressed
+//!   endpoint coordinates plus the coverage depth of every segment between them, with
+//!   point/range queries and the derived aggregates (max depth, span, union, per-depth
+//!   lengths).
+//! * [`SweepSet`] — an incremental profile supporting interval insertion *and* removal
+//!   in `O((k + 1) log n)` (where `k` is the number of segment boundaries inside the
+//!   updated window) while maintaining the running maximum depth and covered length.
+//! * [`SortedSweep`] — a streaming profile for intervals pushed in non-decreasing start
+//!   order (the order `Instance` stores jobs in), maintaining span and maximum depth in
+//!   `O(log d)` per push, where `d` is the current depth.
+//!
+//! [`DisjointIntervalSet`] rounds the kernel out: an ordered set of pairwise
+//! non-overlapping intervals with `O(log n)` conflict tests, which is exactly what a
+//! single thread of execution of a machine holds.
+//!
+//! ```
+//! use busytime_interval::{DepthProfile, Interval, SweepSet, Time};
+//!
+//! let jobs = [
+//!     Interval::from_ticks(0, 4),
+//!     Interval::from_ticks(1, 5),
+//!     Interval::from_ticks(8, 9),
+//! ];
+//! let profile = DepthProfile::new(&jobs);
+//! assert_eq!(profile.max_depth(), 2);
+//! assert_eq!(profile.span().ticks(), 6);
+//! assert_eq!(profile.depth_at(Time::new(2)), 2);
+//!
+//! let mut sweep = SweepSet::new();
+//! for job in &jobs {
+//!     sweep.insert(*job);
+//! }
+//! assert_eq!(sweep.max_depth(), 2);
+//! sweep.remove(jobs[1]);
+//! assert_eq!(sweep.max_depth(), 1);
+//! assert_eq!(sweep.span().ticks(), 5);
+//! ```
+
+use std::collections::BTreeMap;
+
+use crate::interval::Interval;
+use crate::time::{Duration, Time};
+
+/// An immutable coordinate-compressed depth profile of a set of intervals.
+///
+/// Construction sorts the `2n` endpoint events once (`O(n log n)`); every derived
+/// quantity — maximum overlap, span, union components, per-depth lengths, point and
+/// range queries — is then read off the compressed segments without touching the
+/// original intervals again.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DepthProfile {
+    /// Segment boundaries: `bounds[i]..bounds[i+1]` is segment `i`.  Empty iff the
+    /// profile was built from no intervals.
+    bounds: Vec<i64>,
+    /// Coverage depth of each segment (`bounds.len() - 1` entries).
+    depths: Vec<u32>,
+    max_depth: usize,
+    span: i64,
+}
+
+impl DepthProfile {
+    /// Build the profile of a set of intervals.
+    pub fn new(intervals: &[Interval]) -> Self {
+        let mut events: Vec<(i64, i32)> = Vec::with_capacity(intervals.len() * 2);
+        for iv in intervals {
+            events.push((iv.start().ticks(), 1));
+            events.push((iv.end().ticks(), -1));
+        }
+        // Ends sort before starts at equal time (half-open semantics), matching the
+        // paper's convention that touching intervals do not overlap.
+        events.sort_unstable();
+
+        let mut bounds = Vec::new();
+        let mut depths = Vec::new();
+        let mut depth: i32 = 0;
+        let mut max_depth: i32 = 0;
+        let mut span: i64 = 0;
+        let mut i = 0;
+        while i < events.len() {
+            let t = events[i].0;
+            if let Some(&prev) = bounds.last() {
+                if t > prev {
+                    depths.push(depth as u32);
+                    if depth > 0 {
+                        span += t - prev;
+                    }
+                    bounds.push(t);
+                }
+            } else {
+                bounds.push(t);
+            }
+            while i < events.len() && events[i].0 == t {
+                depth += events[i].1;
+                i += 1;
+            }
+            max_depth = max_depth.max(depth);
+        }
+        debug_assert_eq!(depth, 0, "every start event has a matching end event");
+        DepthProfile {
+            bounds,
+            depths,
+            max_depth: max_depth.max(0) as usize,
+            span,
+        }
+    }
+
+    /// Largest number of intervals covering any single point (the maximum clique of the
+    /// interval graph).
+    pub fn max_depth(&self) -> usize {
+        self.max_depth
+    }
+
+    /// Total length covered by at least one interval (`span(I)`, Definition 2.2).
+    pub fn span(&self) -> Duration {
+        Duration::new(self.span)
+    }
+
+    /// Number of compressed segments.
+    pub fn segment_count(&self) -> usize {
+        self.depths.len()
+    }
+
+    /// Coverage depth at the point `t`.
+    pub fn depth_at(&self, t: Time) -> usize {
+        let t = t.ticks();
+        match self.bounds.partition_point(|&b| b <= t) {
+            0 => 0,
+            i => self.depths.get(i - 1).copied().unwrap_or(0) as usize,
+        }
+    }
+
+    /// Maximum coverage depth over the window `window` (zero when the window lies
+    /// outside the profile).
+    pub fn range_max_depth(&self, window: Interval) -> usize {
+        let mut best = 0usize;
+        self.walk(window, |_, _, depth| best = best.max(depth));
+        best
+    }
+
+    /// Length of the part of `window` covered by at least one interval.
+    pub fn covered_len(&self, window: Interval) -> Duration {
+        let mut covered = 0i64;
+        self.walk(window, |lo, hi, depth| {
+            if depth > 0 {
+                covered += hi - lo;
+            }
+        });
+        Duration::new(covered)
+    }
+
+    /// The union of the intervals as maximal disjoint stretches of positive depth.
+    ///
+    /// Touching inputs (`[1,2)` and `[2,3)`) produce one stretch, matching
+    /// [`union`](crate::union).
+    pub fn union(&self) -> Vec<Interval> {
+        let mut out = Vec::new();
+        let mut open: Option<i64> = None;
+        for (i, &d) in self.depths.iter().enumerate() {
+            if d > 0 {
+                open.get_or_insert(self.bounds[i]);
+            } else if let Some(start) = open.take() {
+                out.push(Interval::from_ticks(start, self.bounds[i]));
+            }
+        }
+        if let Some(start) = open {
+            out.push(Interval::from_ticks(start, *self.bounds.last().unwrap()));
+        }
+        out
+    }
+
+    /// `v[k-1]` = total length covered by at least `k` intervals, for
+    /// `k = 1 ..= max_depth` (so `v[0]` equals [`DepthProfile::span`]).
+    pub fn per_depth_lengths(&self) -> Vec<Duration> {
+        let mut exact = vec![0i64; self.max_depth + 1];
+        for (i, &d) in self.depths.iter().enumerate() {
+            if d > 0 {
+                exact[d as usize] += self.bounds[i + 1] - self.bounds[i];
+            }
+        }
+        // Suffix-sum the exact-depth lengths into at-least-depth lengths.
+        let mut acc = 0i64;
+        let mut out = vec![Duration::ZERO; self.max_depth];
+        for k in (1..=self.max_depth).rev() {
+            acc += exact[k];
+            out[k - 1] = Duration::new(acc);
+        }
+        out
+    }
+
+    /// Visit every `(lo, hi, depth)` piece of the profile intersecting `window`.
+    fn walk(&self, window: Interval, mut f: impl FnMut(i64, i64, usize)) {
+        if self.bounds.is_empty() {
+            return;
+        }
+        let (s, e) = (window.start().ticks(), window.end().ticks());
+        // First segment whose end is past the window start.
+        let mut i = self.bounds.partition_point(|&b| b <= s).saturating_sub(1);
+        while i < self.depths.len() && self.bounds[i] < e {
+            let lo = self.bounds[i].max(s);
+            let hi = self.bounds[i + 1].min(e);
+            if lo < hi {
+                f(lo, hi, self.depths[i] as usize);
+            }
+            i += 1;
+        }
+    }
+}
+
+/// An incremental depth profile over the timeline: intervals can be inserted and
+/// removed while the maximum depth and the covered length (span) are maintained.
+///
+/// Internally a piecewise-constant depth map keyed by segment boundary, plus a
+/// histogram of positive segment depths so that the running maximum survives
+/// removals.  An update touches only the boundaries inside the changed window.
+#[derive(Debug, Clone, Default)]
+pub struct SweepSet {
+    /// `segs[b]` is the depth of the segment `[b, next boundary)`.  The segment after
+    /// the last boundary (and before the first) has depth 0; the last boundary always
+    /// carries depth 0.
+    segs: BTreeMap<i64, u32>,
+    /// How many segments currently sit at each positive depth.
+    depth_counts: BTreeMap<u32, usize>,
+    /// Total length of all segments with positive depth.
+    busy: i64,
+    /// Number of intervals currently in the set.
+    intervals: usize,
+}
+
+impl SweepSet {
+    /// An empty timeline.
+    pub fn new() -> Self {
+        SweepSet::default()
+    }
+
+    /// Number of intervals currently in the set.
+    pub fn interval_count(&self) -> usize {
+        self.intervals
+    }
+
+    /// `true` when no interval is present.
+    pub fn is_empty(&self) -> bool {
+        self.intervals == 0
+    }
+
+    /// Current maximum coverage depth.
+    pub fn max_depth(&self) -> usize {
+        self.depth_counts
+            .keys()
+            .next_back()
+            .map_or(0, |&d| d as usize)
+    }
+
+    /// Total length covered by at least one interval.
+    pub fn span(&self) -> Duration {
+        Duration::new(self.busy)
+    }
+
+    /// Coverage depth at the point `t`.
+    pub fn depth_at(&self, t: Time) -> usize {
+        self.segs
+            .range(..=t.ticks())
+            .next_back()
+            .map_or(0, |(_, &d)| d as usize)
+    }
+
+    /// Maximum coverage depth over `window`.
+    pub fn range_max_depth(&self, window: Interval) -> usize {
+        let mut best = 0usize;
+        self.walk(window, |_, _, d| best = best.max(d));
+        best
+    }
+
+    /// Length of the part of `window` covered by at least one interval.
+    pub fn covered_len(&self, window: Interval) -> Duration {
+        let mut covered = 0i64;
+        self.walk(window, |lo, hi, d| {
+            if d > 0 {
+                covered += hi - lo;
+            }
+        });
+        Duration::new(covered)
+    }
+
+    /// Does any interval of the set overlap `window`?
+    ///
+    /// Placement hot path: answers from the segment covering the window start plus a
+    /// short-circuiting scan of the boundaries inside, rather than a full walk.
+    pub fn overlaps(&self, window: Interval) -> bool {
+        let (s, e) = (window.start().ticks(), window.end().ticks());
+        if self
+            .segs
+            .range(..=s)
+            .next_back()
+            .is_some_and(|(_, &d)| d > 0)
+        {
+            return true;
+        }
+        self.segs
+            .range((std::ops::Bound::Excluded(s), std::ops::Bound::Excluded(e)))
+            .any(|(_, &d)| d > 0)
+    }
+
+    /// Insert an interval, returning the increase in covered length (the *marginal
+    /// busy time* of the insertion — zero when the window was already fully covered).
+    pub fn insert(&mut self, iv: Interval) -> Duration {
+        let delta = self.apply(iv, 1);
+        self.intervals += 1;
+        Duration::new(delta)
+    }
+
+    /// Remove a previously inserted interval, returning the decrease in covered
+    /// length.
+    ///
+    /// Removing an interval that was never inserted corrupts the profile; this is the
+    /// caller's contract (debug builds panic on depth underflow).
+    pub fn remove(&mut self, iv: Interval) -> Duration {
+        let delta = self.apply(iv, -1);
+        self.intervals -= 1;
+        Duration::new(-delta)
+    }
+
+    /// Add `sign` to the depth of every segment in `iv`'s window; returns the signed
+    /// change in covered length.
+    fn apply(&mut self, iv: Interval, sign: i32) -> i64 {
+        let (s, e) = (iv.start().ticks(), iv.end().ticks());
+        self.ensure_boundary(s);
+        self.ensure_boundary(e);
+        let keys: Vec<i64> = self.segs.range(s..=e).map(|(&k, _)| k).collect();
+        let mut busy_delta = 0i64;
+        for pair in keys.windows(2) {
+            let len = pair[1] - pair[0];
+            let depth = self.segs.get_mut(&pair[0]).expect("boundary exists");
+            let old = *depth;
+            let new = (old as i64 + sign as i64) as u32;
+            debug_assert!(
+                old as i64 + sign as i64 >= 0,
+                "removed an interval that was never inserted"
+            );
+            *depth = new;
+            if old > 0 {
+                self.dec_count(old);
+            }
+            if new > 0 {
+                self.inc_count(new);
+            }
+            if old == 0 && new > 0 {
+                busy_delta += len;
+            } else if old > 0 && new == 0 {
+                busy_delta -= len;
+            }
+        }
+        self.busy += busy_delta;
+        if sign < 0 {
+            // Removals are the only updates that can leave a boundary carrying the
+            // same depth as its predecessor; merging those keeps the map proportional
+            // to the *live* intervals instead of every endpoint ever inserted.
+            let mut prev_depth = self.segs.range(..s).next_back().map_or(0, |(_, &d)| d);
+            for &k in &keys {
+                let d = *self.segs.get(&k).expect("boundary still present");
+                if d == prev_depth {
+                    self.segs.remove(&k);
+                    if d > 0 {
+                        self.dec_count(d);
+                    }
+                } else {
+                    prev_depth = d;
+                }
+            }
+        }
+        busy_delta
+    }
+
+    /// Make `t` a segment boundary, splitting the segment covering it if needed.
+    fn ensure_boundary(&mut self, t: i64) {
+        if self.segs.contains_key(&t) {
+            return;
+        }
+        let depth = self.segs.range(..t).next_back().map_or(0, |(_, &d)| d);
+        self.segs.insert(t, depth);
+        if depth > 0 {
+            // Splitting one positive-depth segment into two.
+            self.inc_count(depth);
+        }
+    }
+
+    fn inc_count(&mut self, depth: u32) {
+        *self.depth_counts.entry(depth).or_insert(0) += 1;
+    }
+
+    fn dec_count(&mut self, depth: u32) {
+        match self.depth_counts.get_mut(&depth) {
+            Some(c) if *c > 1 => *c -= 1,
+            Some(_) => {
+                self.depth_counts.remove(&depth);
+            }
+            None => debug_assert!(false, "depth histogram out of sync"),
+        }
+    }
+
+    /// A maximal stretch with depth at least `depth` intersecting `window`: the run
+    /// whose *window-clamped* part is widest, extended to its true boundaries (which
+    /// may reach beyond the window).  Note the selection is by clamped width — a run
+    /// barely poking into the window is not preferred even if its full extent is the
+    /// larger one.
+    ///
+    /// Used by machine states to cache a *saturated* region: a stretch at depth `g`
+    /// rejects every job overlapping it in `O(1)` afterwards.  The walk is capped at
+    /// `cap` boundaries in each direction beyond the window, so a heavily fragmented
+    /// profile cannot make the query linear; a capped answer is still a genuine
+    /// at-least-`depth` stretch, just possibly not maximal.
+    pub fn widest_run_at_least(
+        &self,
+        depth: usize,
+        window: Interval,
+        cap: usize,
+    ) -> Option<Interval> {
+        if depth == 0 {
+            return None;
+        }
+        let d = depth as u32;
+        let (ws, we) = (window.start().ticks(), window.end().ticks());
+        // Runs fully inside the window (clamped walk), merged across segment joins.
+        let mut best: Option<(i64, i64)> = None;
+        let mut cur: Option<(i64, i64)> = None;
+        self.walk(window, |lo, hi, seg_depth| {
+            if seg_depth >= depth {
+                cur = match cur {
+                    Some((s, e)) if e == lo => Some((s, hi)),
+                    Some(run) => {
+                        if best.is_none_or(|(bs, be)| be - bs < run.1 - run.0) {
+                            best = Some(run);
+                        }
+                        Some((lo, hi))
+                    }
+                    None => Some((lo, hi)),
+                };
+            } else if let Some(run) = cur.take() {
+                if best.is_none_or(|(bs, be)| be - bs < run.1 - run.0) {
+                    best = Some(run);
+                }
+            }
+        });
+        if let Some(run) = cur {
+            if best.is_none_or(|(bs, be)| be - bs < run.1 - run.0) {
+                best = Some(run);
+            }
+        }
+        let (mut lo, mut hi) = best?;
+        // Extend the winning run beyond the window edges to its true boundaries.
+        if lo == ws {
+            for (&k, &seg_depth) in self.segs.range(..ws).rev().take(cap) {
+                if seg_depth >= d {
+                    lo = k;
+                } else {
+                    break;
+                }
+            }
+        }
+        if hi == we {
+            // If the window edge falls inside a segment, that segment's tail (whose
+            // depth the walk already inspected) belongs to the run unconditionally.
+            if !self.segs.contains_key(&we) {
+                if let Some((&k, _)) = self.segs.range(we..).next() {
+                    hi = k;
+                }
+            }
+            // Then follow whole segments rightward while the depth holds up.
+            let mut steps = 0;
+            while steps < cap {
+                match self.segs.get(&hi) {
+                    Some(&seg_depth) if seg_depth >= d => {
+                        match self
+                            .segs
+                            .range((std::ops::Bound::Excluded(hi), std::ops::Bound::Unbounded))
+                            .next()
+                        {
+                            Some((&next, _)) => {
+                                hi = next;
+                                steps += 1;
+                            }
+                            None => break,
+                        }
+                    }
+                    _ => break,
+                }
+            }
+        }
+        Some(Interval::from_ticks(lo, hi))
+    }
+
+    /// Visit every `(lo, hi, depth)` piece of the profile intersecting `window`.
+    fn walk(&self, window: Interval, mut f: impl FnMut(i64, i64, usize)) {
+        let (s, e) = (window.start().ticks(), window.end().ticks());
+        let mut prev: Option<(i64, u32)> = self
+            .segs
+            .range(..=s)
+            .next_back()
+            .map(|(&k, &d)| (k.max(s), d));
+        for (&k, &d) in self
+            .segs
+            .range((std::ops::Bound::Excluded(s), std::ops::Bound::Excluded(e)))
+        {
+            if let Some((lo, depth)) = prev {
+                f(lo, k, depth as usize);
+            }
+            prev = Some((k, d));
+        }
+        if let Some((lo, depth)) = prev {
+            if lo < e {
+                f(lo, e, depth as usize);
+            }
+        }
+    }
+}
+
+/// A streaming depth profile for intervals arriving in non-decreasing start order —
+/// the order in which an `Instance` stores its jobs, which makes this the engine of
+/// schedule validation and costing: one pass over a schedule's assignment feeds each
+/// machine's jobs into its own `SortedSweep`.
+///
+/// Maintains the span (union length, merging touching intervals like
+/// [`union`](crate::union)) and the maximum simultaneous depth in `O(log d)` per push.
+#[derive(Debug, Clone, Default)]
+pub struct SortedSweep {
+    /// Min-heap of the end times of intervals still active at the current front.
+    active: std::collections::BinaryHeap<std::cmp::Reverse<i64>>,
+    max_depth: usize,
+    /// End of the current contiguous busy stretch.
+    frontier: Option<i64>,
+    busy: i64,
+    count: usize,
+    last_start: i64,
+}
+
+impl SortedSweep {
+    /// An empty profile.
+    pub fn new() -> Self {
+        SortedSweep::default()
+    }
+
+    /// Number of intervals pushed so far.
+    pub fn interval_count(&self) -> usize {
+        self.count
+    }
+
+    /// Push the next interval.
+    ///
+    /// # Panics
+    /// Debug builds panic when `iv` starts before a previously pushed interval.
+    pub fn push(&mut self, iv: Interval) {
+        let (s, e) = (iv.start().ticks(), iv.end().ticks());
+        debug_assert!(
+            self.count == 0 || s >= self.last_start,
+            "SortedSweep requires non-decreasing start order"
+        );
+        self.last_start = s;
+        // Retire intervals that ended at or before the new start (half-open: an
+        // interval ending exactly at `s` no longer overlaps).
+        while let Some(&std::cmp::Reverse(end)) = self.active.peek() {
+            if end <= s {
+                self.active.pop();
+            } else {
+                break;
+            }
+        }
+        self.active.push(std::cmp::Reverse(e));
+        self.max_depth = self.max_depth.max(self.active.len());
+        // Union maintenance: touching stretches merge.
+        match self.frontier {
+            Some(f) if s <= f => {
+                if e > f {
+                    self.busy += e - f;
+                    self.frontier = Some(e);
+                }
+            }
+            _ => {
+                self.busy += e - s;
+                self.frontier = Some(e);
+            }
+        }
+        self.count += 1;
+    }
+
+    /// Maximum number of simultaneously active intervals seen so far.
+    pub fn max_depth(&self) -> usize {
+        self.max_depth
+    }
+
+    /// Number of intervals active at the most recent front (after retiring the ones
+    /// that ended before the last pushed start).
+    pub fn current_depth(&self) -> usize {
+        self.active.len()
+    }
+
+    /// Total union length of everything pushed so far.
+    pub fn span(&self) -> Duration {
+        Duration::new(self.busy)
+    }
+}
+
+/// An ordered set of pairwise non-overlapping intervals — the occupancy of one thread
+/// of execution of a machine — with logarithmic conflict tests and updates.
+///
+/// ```
+/// use busytime_interval::{DisjointIntervalSet, Interval};
+///
+/// let mut thread = DisjointIntervalSet::new();
+/// assert!(thread.insert(Interval::from_ticks(0, 4)));
+/// assert!(thread.insert(Interval::from_ticks(4, 6)), "touching is allowed");
+/// assert!(!thread.insert(Interval::from_ticks(3, 5)), "overlap is rejected");
+/// assert_eq!(thread.interval_count(), 2);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct DisjointIntervalSet {
+    /// start → end of each member; members are pairwise disjoint, so start order is
+    /// also end order.
+    map: BTreeMap<i64, i64>,
+    total: i64,
+}
+
+impl DisjointIntervalSet {
+    /// An empty set.
+    pub fn new() -> Self {
+        DisjointIntervalSet::default()
+    }
+
+    /// Number of intervals in the set.
+    pub fn interval_count(&self) -> usize {
+        self.map.len()
+    }
+
+    /// `true` when the set has no intervals.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Total length of the members (disjoint, so also the covered length).
+    pub fn total_len(&self) -> Duration {
+        Duration::new(self.total)
+    }
+
+    /// Does any member overlap `iv` (intersection of positive length)?
+    pub fn conflicts(&self, iv: Interval) -> bool {
+        // The only candidate is the member with the largest start strictly before
+        // iv's end; every earlier member ends at or before that one's start.
+        self.map
+            .range(..iv.end().ticks())
+            .next_back()
+            .is_some_and(|(_, &end)| end > iv.start().ticks())
+    }
+
+    /// Insert `iv` if it conflicts with no member; returns whether it was inserted.
+    pub fn insert(&mut self, iv: Interval) -> bool {
+        if self.conflicts(iv) {
+            return false;
+        }
+        self.map.insert(iv.start().ticks(), iv.end().ticks());
+        self.total += iv.len().ticks();
+        true
+    }
+
+    /// Remove the exact interval `iv` from the set; returns whether it was a member.
+    pub fn remove(&mut self, iv: Interval) -> bool {
+        match self.map.get(&iv.start().ticks()) {
+            Some(&end) if end == iv.end().ticks() => {
+                self.map.remove(&iv.start().ticks());
+                self.total -= iv.len().ticks();
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// The members in start order.
+    pub fn iter(&self) -> impl Iterator<Item = Interval> + '_ {
+        self.map.iter().map(|(&s, &e)| Interval::from_ticks(s, e))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn iv(s: i64, c: i64) -> Interval {
+        Interval::from_ticks(s, c)
+    }
+
+    #[test]
+    fn profile_matches_hand_computation() {
+        let set = [iv(0, 4), iv(1, 5), iv(2, 6), iv(10, 11)];
+        let p = DepthProfile::new(&set);
+        assert_eq!(p.max_depth(), 3);
+        assert_eq!(p.span(), Duration::new(7));
+        assert_eq!(p.depth_at(Time::new(3)), 3);
+        assert_eq!(p.depth_at(Time::new(5)), 1);
+        assert_eq!(p.depth_at(Time::new(6)), 0);
+        assert_eq!(p.depth_at(Time::new(-1)), 0);
+        assert_eq!(p.depth_at(Time::new(10)), 1);
+        assert_eq!(p.depth_at(Time::new(11)), 0);
+        assert_eq!(p.union(), vec![iv(0, 6), iv(10, 11)]);
+        assert_eq!(
+            p.per_depth_lengths(),
+            vec![Duration::new(7), Duration::new(4), Duration::new(2)]
+        );
+    }
+
+    #[test]
+    fn profile_range_queries() {
+        let set = [iv(0, 4), iv(2, 8)];
+        let p = DepthProfile::new(&set);
+        assert_eq!(p.range_max_depth(iv(0, 2)), 1);
+        assert_eq!(p.range_max_depth(iv(1, 3)), 2);
+        assert_eq!(p.range_max_depth(iv(8, 9)), 0);
+        assert_eq!(p.covered_len(iv(-5, 20)), Duration::new(8));
+        assert_eq!(p.covered_len(iv(3, 10)), Duration::new(5));
+        assert_eq!(p.covered_len(iv(9, 12)), Duration::ZERO);
+    }
+
+    #[test]
+    fn profile_touching_is_one_union_but_depth_one() {
+        let set = [iv(0, 2), iv(2, 4)];
+        let p = DepthProfile::new(&set);
+        assert_eq!(p.max_depth(), 1);
+        assert_eq!(p.union(), vec![iv(0, 4)]);
+    }
+
+    #[test]
+    fn empty_profile() {
+        let p = DepthProfile::new(&[]);
+        assert_eq!(p.max_depth(), 0);
+        assert_eq!(p.span(), Duration::ZERO);
+        assert!(p.union().is_empty());
+        assert!(p.per_depth_lengths().is_empty());
+        assert_eq!(p.depth_at(Time::new(0)), 0);
+        assert_eq!(p.range_max_depth(iv(0, 10)), 0);
+    }
+
+    #[test]
+    fn sweep_set_insert_remove_roundtrip() {
+        let mut s = SweepSet::new();
+        assert!(s.is_empty());
+        assert_eq!(s.insert(iv(0, 10)), Duration::new(10));
+        assert_eq!(s.insert(iv(5, 15)), Duration::new(5));
+        assert_eq!(s.insert(iv(20, 25)), Duration::new(5));
+        assert_eq!(s.max_depth(), 2);
+        assert_eq!(s.span(), Duration::new(20));
+        assert_eq!(s.depth_at(Time::new(7)), 2);
+        assert_eq!(s.range_max_depth(iv(16, 22)), 1);
+        assert_eq!(s.covered_len(iv(8, 22)), Duration::new(9));
+        assert!(s.overlaps(iv(14, 16)));
+        assert!(!s.overlaps(iv(15, 20)), "gap between the stretches");
+
+        assert_eq!(s.remove(iv(0, 10)), Duration::new(5));
+        assert_eq!(s.max_depth(), 1);
+        assert_eq!(s.span(), Duration::new(15));
+        assert_eq!(s.interval_count(), 2);
+        assert_eq!(s.remove(iv(5, 15)), Duration::new(10));
+        assert_eq!(s.remove(iv(20, 25)), Duration::new(5));
+        assert_eq!(s.span(), Duration::ZERO);
+        assert_eq!(s.max_depth(), 0);
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn sweep_set_marginal_cost_is_uncovered_length() {
+        let mut s = SweepSet::new();
+        s.insert(iv(0, 4));
+        s.insert(iv(8, 12));
+        // [2, 10) adds only the uncovered middle [4, 8).
+        assert_eq!(s.insert(iv(2, 10)), Duration::new(4));
+        assert_eq!(s.span(), Duration::new(12));
+        assert_eq!(s.max_depth(), 2);
+    }
+
+    #[test]
+    fn sweep_set_matches_profile_on_interleaved_updates() {
+        let base = [iv(0, 6), iv(3, 9), iv(3, 4), iv(12, 20), iv(-4, 2)];
+        let mut s = SweepSet::new();
+        let mut live: Vec<Interval> = Vec::new();
+        for (i, &interval) in base.iter().enumerate() {
+            s.insert(interval);
+            live.push(interval);
+            if i % 2 == 1 {
+                let victim = live.remove(0);
+                s.remove(victim);
+            }
+            let p = DepthProfile::new(&live);
+            assert_eq!(s.max_depth(), p.max_depth(), "after step {i}");
+            assert_eq!(s.span(), p.span(), "after step {i}");
+            assert_eq!(s.interval_count(), live.len());
+        }
+    }
+
+    #[test]
+    fn widest_run_extends_beyond_window() {
+        let mut s = SweepSet::new();
+        // Depth-2 plateau on [2, 10), depth-1 elsewhere in [0, 14).
+        s.insert(iv(0, 10));
+        s.insert(iv(2, 14));
+        s.insert(iv(2, 10));
+        assert_eq!(s.range_max_depth(iv(2, 10)), 3);
+        // Query a narrow window inside the plateau: the run's true extent comes back.
+        assert_eq!(s.widest_run_at_least(3, iv(5, 6), 64), Some(iv(2, 10)));
+        assert_eq!(s.widest_run_at_least(2, iv(5, 6), 64), Some(iv(2, 10)));
+        assert_eq!(s.widest_run_at_least(1, iv(5, 6), 64), Some(iv(0, 14)));
+        assert_eq!(s.widest_run_at_least(4, iv(0, 20), 64), None);
+        assert_eq!(s.widest_run_at_least(3, iv(10, 20), 64), None);
+        // Two runs in the window: the widest wins.
+        let mut t = SweepSet::new();
+        t.insert(iv(0, 3));
+        t.insert(iv(0, 3));
+        t.insert(iv(5, 11));
+        t.insert(iv(5, 11));
+        assert_eq!(t.widest_run_at_least(2, iv(0, 20), 64), Some(iv(5, 11)));
+        assert_eq!(t.widest_run_at_least(2, iv(1, 2), 64), Some(iv(0, 3)));
+    }
+
+    #[test]
+    fn sorted_sweep_tracks_span_and_depth() {
+        let mut s = SortedSweep::new();
+        for interval in [iv(0, 4), iv(1, 5), iv(2, 6), iv(10, 12)] {
+            s.push(interval);
+        }
+        assert_eq!(s.max_depth(), 3);
+        assert_eq!(s.span(), Duration::new(8));
+        assert_eq!(s.current_depth(), 1);
+        assert_eq!(s.interval_count(), 4);
+    }
+
+    #[test]
+    fn sorted_sweep_touching_merges_span_not_depth() {
+        let mut s = SortedSweep::new();
+        s.push(iv(0, 2));
+        s.push(iv(2, 4));
+        assert_eq!(s.max_depth(), 1, "touching intervals never overlap");
+        assert_eq!(s.span(), Duration::new(4), "but their busy stretch merges");
+    }
+
+    #[test]
+    fn disjoint_set_conflicts_and_updates() {
+        let mut t = DisjointIntervalSet::new();
+        assert!(!t.conflicts(iv(0, 10)));
+        assert!(t.insert(iv(0, 4)));
+        assert!(t.insert(iv(6, 8)));
+        assert!(t.conflicts(iv(3, 7)));
+        assert!(t.conflicts(iv(-2, 1)));
+        assert!(!t.conflicts(iv(4, 6)));
+        assert!(!t.conflicts(iv(8, 20)));
+        assert!(t.insert(iv(4, 6)));
+        assert_eq!(t.total_len(), Duration::new(8));
+        assert_eq!(t.interval_count(), 3);
+        assert!(t.remove(iv(4, 6)));
+        assert!(!t.remove(iv(4, 7)), "end must match exactly");
+        assert_eq!(t.interval_count(), 2);
+        let members: Vec<Interval> = t.iter().collect();
+        assert_eq!(members, vec![iv(0, 4), iv(6, 8)]);
+    }
+}

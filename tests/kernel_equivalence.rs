@@ -1,0 +1,147 @@
+//! Property tests pinning the incremental machine/schedule layer to the pre-kernel
+//! reference implementations: the sweep-backed placements and validators must be
+//! behaviourally indistinguishable from the full-scan versions they replaced, on
+//! arbitrary random instances of every structure class.
+
+use busytime::machine::ScheduleBuilder;
+use busytime::maxthroughput::{greedy_fallback, greedy_fallback_scan};
+use busytime::minbusy::{first_fit_in_order, first_fit_in_order_scan};
+use busytime::twodim::{first_fit_2d_in_order, first_fit_2d_in_order_scan, Instance2d};
+use busytime::{Duration, Instance, Interval, Schedule};
+use busytime_interval::{max_overlap, span, Rect};
+use proptest::prelude::*;
+
+/// Random instances mixing overlap-heavy and scattered jobs.
+fn instance_strategy() -> impl Strategy<Value = Instance> {
+    (
+        prop::collection::vec((-80i64..80, 1i64..50), 0..40),
+        1usize..5,
+    )
+        .prop_map(|(jobs, g)| {
+            let jobs: Vec<(i64, i64)> = jobs.into_iter().map(|(s, l)| (s, s + l)).collect();
+            Instance::try_from_ticks(&jobs, g).expect("generated jobs are non-empty")
+        })
+}
+
+/// The pre-kernel `Schedule::cost`: group per machine, collect, re-union.
+fn cost_reference(schedule: &Schedule, instance: &Instance) -> Duration {
+    schedule
+        .machine_groups()
+        .iter()
+        .map(|group| {
+            let ivs: Vec<Interval> = group.iter().map(|&j| instance.job(j)).collect();
+            span(&ivs)
+        })
+        .sum()
+}
+
+/// The pre-kernel validity check: no machine's group may exceed depth `g`.
+fn is_valid_reference(schedule: &Schedule, instance: &Instance) -> bool {
+    schedule.machine_groups().iter().all(|group| {
+        let ivs: Vec<Interval> = group.iter().map(|&j| instance.job(j)).collect();
+        max_overlap(&ivs) <= instance.capacity()
+    })
+}
+
+proptest! {
+    /// The incremental cost a `ScheduleBuilder` tracks equals `Schedule::cost`, which
+    /// in turn equals the old group-and-re-union computation.
+    #[test]
+    fn builder_cost_equals_schedule_cost(instance in instance_strategy()) {
+        let mut builder = ScheduleBuilder::new(&instance);
+        for job in 0..instance.len() {
+            let p = builder.best_fit(job);
+            builder.commit(job, p.machine, p.thread);
+        }
+        let tracked = builder.cost();
+        let schedule = builder.finish();
+        prop_assert_eq!(tracked, schedule.cost(&instance));
+        prop_assert_eq!(tracked, cost_reference(&schedule, &instance));
+    }
+
+    /// Kernel-backed FirstFit produces the identical schedule to the full-scan
+    /// reference, in both the length order and the raw id order.
+    #[test]
+    fn first_fit_matches_scan_reference(instance in instance_strategy()) {
+        let id_order: Vec<usize> = (0..instance.len()).collect();
+        prop_assert_eq!(
+            first_fit_in_order(&instance, &id_order),
+            first_fit_in_order_scan(&instance, &id_order)
+        );
+        let mut by_len = id_order.clone();
+        by_len.sort_by_key(|&j| (std::cmp::Reverse(instance.job(j).len()), j));
+        prop_assert_eq!(
+            first_fit_in_order(&instance, &by_len),
+            first_fit_in_order_scan(&instance, &by_len)
+        );
+    }
+
+    /// Kernel-backed best-fit greedy produces the identical schedule, throughput and
+    /// cost to the full-scan reference under every budget regime.
+    #[test]
+    fn greedy_fallback_matches_scan_reference(
+        instance in instance_strategy(),
+        budget in 0i64..400,
+    ) {
+        let budget = Duration::new(budget);
+        let fast = greedy_fallback(&instance, budget);
+        let slow = greedy_fallback_scan(&instance, budget);
+        prop_assert_eq!(&fast.schedule, &slow.schedule);
+        prop_assert_eq!(fast.throughput, slow.throughput);
+        prop_assert_eq!(fast.cost, slow.cost);
+        prop_assert!(fast.cost <= budget);
+    }
+
+    /// The dimension-1-pruned 2-D FirstFit produces the identical schedule to the
+    /// full-scan reference, in both the canonical `len₂` order and arrival order.
+    #[test]
+    fn first_fit_2d_matches_scan_reference(
+        rects in prop::collection::vec((-30i64..30, 1i64..20, -30i64..30, 1i64..20), 0..30),
+        g in 1usize..4,
+    ) {
+        let jobs: Vec<Rect> = rects
+            .into_iter()
+            .map(|(s1, l1, s2, l2)| Rect::from_ticks(s1, s1 + l1, s2, s2 + l2))
+            .collect();
+        let instance = Instance2d::new(jobs, g).expect("g >= 1");
+        let mut by_len2: Vec<usize> = (0..instance.len()).collect();
+        by_len2.sort_by_key(|&j| (std::cmp::Reverse(instance.job(j).len_k(2)), j));
+        let fast = first_fit_2d_in_order(&instance, &by_len2);
+        prop_assert_eq!(&fast, &first_fit_2d_in_order_scan(&instance, &by_len2));
+        fast.validate_complete(&instance).unwrap();
+        let arrival: Vec<usize> = (0..instance.len()).collect();
+        prop_assert_eq!(
+            first_fit_2d_in_order(&instance, &arrival),
+            first_fit_2d_in_order_scan(&instance, &arrival)
+        );
+    }
+
+    /// The sweep-backed validator agrees with the old per-group `max_overlap` check on
+    /// arbitrary (also invalid) assignments.
+    #[test]
+    fn validate_matches_reference(
+        instance in instance_strategy(),
+        machines in prop::collection::vec(0usize..6, 0..40),
+    ) {
+        let assignment: Vec<Option<usize>> = (0..instance.len())
+            .map(|j| machines.get(j).copied())
+            .collect();
+        let schedule = Schedule::from_assignment(assignment);
+        if schedule.len() == instance.len() {
+            prop_assert_eq!(
+                schedule.validate(&instance).is_ok(),
+                is_valid_reference(&schedule, &instance)
+            );
+            prop_assert_eq!(
+                schedule.cost(&instance),
+                cost_reference(&schedule, &instance)
+            );
+            prop_assert_eq!(
+                schedule.busy_times(&instance).into_iter().sum::<Duration>(),
+                schedule.cost(&instance)
+            );
+        } else {
+            prop_assert!(schedule.validate(&instance).is_err());
+        }
+    }
+}
