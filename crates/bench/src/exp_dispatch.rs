@@ -7,6 +7,7 @@
 //! The row labels record which algorithm was selected, so the report doubles as a
 //! dispatch audit.
 
+use busytime::par::ThreadPool;
 use busytime::{Algorithm, Instance, Solver};
 use busytime_exact::exact_minbusy_cost;
 use busytime_workload::{
@@ -14,7 +15,6 @@ use busytime_workload::{
 };
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use rayon::prelude::*;
 
 use crate::report::{ExperimentReport, Row};
 
@@ -25,9 +25,8 @@ where
     G: Fn(&mut StdRng) -> Instance + Sync,
 {
     let solver = Solver::new();
-    let runs: Vec<(f64, Algorithm, f64)> = (0..trials)
-        .into_par_iter()
-        .map(|t| {
+    let runs: Vec<(f64, Algorithm, f64)> =
+        ThreadPool::with_default_parallelism().map_range(trials, |t| {
             let mut rng = StdRng::seed_from_u64(seed.wrapping_add(t as u64));
             let instance = gen(&mut rng);
             let solution = solver
@@ -49,8 +48,7 @@ where
                 solution.algorithm,
                 solution.guarantee.unwrap_or(f64::INFINITY),
             )
-        })
-        .collect();
+        });
     let ratios = runs.iter().map(|&(r, _, _)| r).collect();
     let mut algorithms: Vec<Algorithm> = runs.iter().map(|&(_, a, _)| a).collect();
     algorithms.sort_by_key(|a| a.name());

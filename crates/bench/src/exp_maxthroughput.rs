@@ -3,12 +3,12 @@
 //! ablation), plus the budgeted side of the one-sided experiment E10.
 
 use busytime::maxthroughput::{most_throughput_consecutive, most_throughput_consecutive_fast};
+use busytime::par::ThreadPool;
 use busytime::{Algorithm, Duration, Instance, Solver};
 use busytime_exact::exact_maxthroughput_value;
 use busytime_workload::{clique_instance, one_sided_instance, proper_clique_instance};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use rayon::prelude::*;
 
 use crate::report::{ExperimentReport, Row};
 
@@ -46,27 +46,24 @@ where
     G: Fn(&mut StdRng) -> Instance + Sync,
     S: Fn(&Instance, Duration) -> usize + Sync,
 {
-    (0..trials)
-        .into_par_iter()
-        .map(|t| {
-            let mut rng = StdRng::seed_from_u64(seed.wrapping_add(t as u64));
-            let instance = gen(&mut rng);
-            let mut worst: f64 = 1.0;
-            for budget in budgets_for(&instance) {
-                let opt = exact_maxthroughput_value(&instance, budget);
-                let alg = solve(&instance, budget);
-                let ratio = if opt == 0 {
-                    1.0
-                } else if alg == 0 {
-                    f64::INFINITY
-                } else {
-                    opt as f64 / alg as f64
-                };
-                worst = worst.max(ratio);
-            }
-            worst
-        })
-        .collect()
+    ThreadPool::with_default_parallelism().map_range(trials, |t| {
+        let mut rng = StdRng::seed_from_u64(seed.wrapping_add(t as u64));
+        let instance = gen(&mut rng);
+        let mut worst: f64 = 1.0;
+        for budget in budgets_for(&instance) {
+            let opt = exact_maxthroughput_value(&instance, budget);
+            let alg = solve(&instance, budget);
+            let ratio = if opt == 0 {
+                1.0
+            } else if alg == 0 {
+                f64::INFINITY
+            } else {
+                opt as f64 / alg as f64
+            };
+            worst = worst.max(ratio);
+        }
+        worst
+    })
 }
 
 /// E7 — Theorem 4.1: the combined Alg1/Alg2 algorithm is a 4-approximation on clique

@@ -7,6 +7,7 @@ use busytime::maxthroughput::{minbusy_via_maxthroughput, most_throughput_consecu
 use busytime::minbusy::{
     best_cut_guarantee, find_best_consecutive, greedy_pack, set_cover_guarantee,
 };
+use busytime::par::ThreadPool;
 use busytime::{Algorithm, Instance, Schedule, Solver};
 use busytime_exact::exact_minbusy_cost;
 use busytime_workload::{
@@ -14,7 +15,6 @@ use busytime_workload::{
 };
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use rayon::prelude::*;
 
 use crate::report::{ExperimentReport, Row};
 
@@ -38,24 +38,21 @@ where
     G: Fn(&mut StdRng) -> Instance + Sync,
     S: Fn(&Instance) -> busytime::Schedule + Sync,
 {
-    (0..trials)
-        .into_par_iter()
-        .map(|t| {
-            let mut rng = StdRng::seed_from_u64(seed.wrapping_add(t as u64));
-            let instance = gen(&mut rng);
-            let schedule = solve(&instance);
-            schedule
-                .validate_complete(&instance)
-                .expect("experiment schedules must be valid and complete");
-            let cost = schedule.cost(&instance).as_f64();
-            let opt = exact_minbusy_cost(&instance).as_f64();
-            if opt == 0.0 {
-                1.0
-            } else {
-                cost / opt
-            }
-        })
-        .collect()
+    ThreadPool::with_default_parallelism().map_range(trials, |t| {
+        let mut rng = StdRng::seed_from_u64(seed.wrapping_add(t as u64));
+        let instance = gen(&mut rng);
+        let schedule = solve(&instance);
+        schedule
+            .validate_complete(&instance)
+            .expect("experiment schedules must be valid and complete");
+        let cost = schedule.cost(&instance).as_f64();
+        let opt = exact_minbusy_cost(&instance).as_f64();
+        if opt == 0.0 {
+            1.0
+        } else {
+            cost / opt
+        }
+    })
 }
 
 /// E1 — Lemma 3.1: the matching algorithm is optimal on clique instances with `g = 2`.

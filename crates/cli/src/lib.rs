@@ -1,25 +1,29 @@
 //! # busytime-cli
 //!
 //! Library backing the `busytime` command-line tool: a JSON on-disk instance format plus
-//! the three sub-commands (`solve`, `throughput`, `generate`) implemented as plain
-//! functions so that they can be unit-tested without spawning processes.
+//! the four sub-commands (`solve`, `throughput`, `batch`, `generate`) implemented as
+//! plain functions so that they can be unit-tested without spawning processes.
 //!
-//! Both solving sub-commands go through the unified [`busytime::Solver`] facade, so they
+//! The solving sub-commands go through the unified [`busytime::Solver`] facade, so they
 //! accept the same policy flags: `--algorithm NAME` forces a specific algorithm (a typed
 //! error is reported when it does not apply) and `--exact-only` restricts dispatch to
-//! provably optimal algorithms.
+//! provably optimal algorithms.  `batch` solves a whole file of instances through
+//! [`busytime::Solver::solve_batch`] on the work-stealing thread pool; `--threads N`
+//! pins the pool size (the default is one worker per core).
 //!
 //! ```text
 //! busytime generate --class proper-clique --jobs 50 --capacity 4 --seed 7 --output inst.json
 //! busytime solve inst.json
 //! busytime solve inst.json --algorithm best-cut
 //! busytime throughput inst.json --budget 1200 --exact-only
+//! busytime batch instances.json --threads 4 --output results.json
 //! ```
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
 use busytime::analysis::ScheduleSummary;
+use busytime::par::ThreadPool;
 use busytime::{Algorithm, Duration, Instance, Problem, Solution, Solver};
 use busytime_workload as workload;
 use rand::rngs::StdRng;
@@ -194,6 +198,109 @@ pub fn run_throughput(
     Ok(CommandOutput {
         report,
         file_payload: Some(serde_json::to_string_pretty(&payload).expect("serializable")),
+    })
+}
+
+/// A batch of instances, as stored on disk: a JSON array of instance objects.
+#[derive(Debug, Clone)]
+pub struct BatchFile {
+    /// The instances, in file order.
+    pub instances: Vec<InstanceFile>,
+}
+
+impl BatchFile {
+    /// Parse a batch from a JSON array (`[{"capacity": …, "jobs": […]} , …]`).
+    pub fn from_json(text: &str) -> Result<Self, String> {
+        let instances: Vec<InstanceFile> =
+            serde_json::from_str(text).map_err(|e| format!("invalid batch JSON: {e}"))?;
+        Ok(BatchFile { instances })
+    }
+}
+
+/// `busytime batch`: solve every instance of a batch file concurrently through
+/// [`Solver::solve_batch`] on the work-stealing pool.
+///
+/// With a budget every instance becomes a MaxThroughput request under that budget;
+/// without one every instance is a MinBusy request.  `threads` pins the pool width
+/// for this batch only (`None` keeps the default of one worker per core); the
+/// process-wide default is left untouched.  Results are reported in file order; a
+/// per-instance failure (e.g. `--exact-only` on a general instance) is reported
+/// inline without aborting the rest of the batch.
+pub fn run_batch(
+    batch: &BatchFile,
+    budget: Option<i64>,
+    options: &SolveOptions,
+    threads: Option<usize>,
+) -> Result<CommandOutput, String> {
+    if threads == Some(0) {
+        return Err("--threads must be at least 1".into());
+    }
+    let pool = threads.map_or_else(ThreadPool::with_default_parallelism, ThreadPool::new);
+    let budget = match budget {
+        Some(t) if t < 0 => return Err("the budget must be non-negative".into()),
+        Some(t) => Some(Duration::new(t)),
+        None => None,
+    };
+    let instances: Vec<Instance> = batch
+        .instances
+        .iter()
+        .enumerate()
+        .map(|(i, file)| file.to_instance().map_err(|e| format!("instance {i}: {e}")))
+        .collect::<Result<_, _>>()?;
+    let problems: Vec<Problem> = instances
+        .iter()
+        .map(|instance| match budget {
+            Some(t) => Problem::max_throughput(instance.clone(), t),
+            None => Problem::min_busy(instance.clone()),
+        })
+        .collect();
+
+    let solver = options.solver();
+    let started = std::time::Instant::now();
+    // Identical to `Solver::solve_batch`, but on an explicitly sized pool.
+    let results = pool.map(&problems, |p| solver.solve(p));
+    let elapsed = started.elapsed();
+
+    let mut lines = Vec::with_capacity(results.len() + 1);
+    let mut payloads: Vec<Option<ScheduleFile>> = Vec::with_capacity(results.len());
+    let mut solved = 0usize;
+    let mut total_cost = 0i64;
+    for (i, (instance, result)) in instances.iter().zip(&results).enumerate() {
+        match result {
+            Ok(solution) => {
+                solved += 1;
+                total_cost += solution.objective.cost().ticks();
+                lines.push(format!(
+                    "  [{i}] {} jobs: {} via {}, busy time {}",
+                    instance.len(),
+                    match solution.objective.scheduled() {
+                        Some(count) => format!("scheduled {count}"),
+                        None => "complete".to_string(),
+                    },
+                    solution.algorithm,
+                    solution.objective.cost()
+                ));
+                payloads.push(Some(ScheduleFile::from_solution(instance, solution)));
+            }
+            Err(error) => {
+                lines.push(format!("  [{i}] failed: {error}"));
+                payloads.push(None);
+            }
+        }
+    }
+    let header = format!(
+        "batch: {solved}/{} instances solved on {} thread(s) in {:.3}s, total busy time {total_cost}",
+        results.len(),
+        pool.threads(),
+        elapsed.as_secs_f64(),
+    );
+    let report = std::iter::once(header)
+        .chain(lines)
+        .collect::<Vec<_>>()
+        .join("\n");
+    Ok(CommandOutput {
+        report,
+        file_payload: Some(serde_json::to_string_pretty(&payloads).expect("serializable")),
     })
 }
 
@@ -398,6 +505,64 @@ mod tests {
         assert!(payload.scheduled_jobs < 4);
         assert!(!payload.unscheduled_jobs.is_empty());
         assert!(run_throughput(&sample_file(), -1, &auto()).is_err());
+    }
+
+    #[test]
+    fn batch_command_solves_every_instance() {
+        let batch = BatchFile {
+            instances: vec![
+                sample_file(),
+                InstanceFile {
+                    capacity: 1,
+                    jobs: vec![(0, 2), (2, 4), (5, 7)],
+                },
+            ],
+        };
+        let default_width_before = busytime::par::default_threads();
+        let out = run_batch(&batch, None, &auto(), Some(2)).unwrap();
+        assert!(
+            out.report
+                .contains("batch: 2/2 instances solved on 2 thread(s)"),
+            "{}",
+            out.report
+        );
+        assert!(out.report.contains("[0] 4 jobs"), "{}", out.report);
+        let payloads: Vec<Option<ScheduleFile>> =
+            serde_json::from_str(&out.file_payload.unwrap()).unwrap();
+        assert_eq!(payloads.len(), 2);
+        assert!(payloads.iter().all(Option::is_some));
+        // Batch results agree with solving each instance alone.
+        let single = run_solve(&sample_file(), &auto()).unwrap();
+        let alone: ScheduleFile = serde_json::from_str(&single.file_payload.unwrap()).unwrap();
+        let batched = payloads[0].as_ref().unwrap();
+        assert_eq!(batched.algorithm, alone.algorithm);
+        assert_eq!(batched.busy_time, alone.busy_time);
+        // The per-batch width must not leak into the process-wide default.
+        assert_eq!(busytime::par::default_threads(), default_width_before);
+    }
+
+    #[test]
+    fn batch_command_with_budget_and_failures() {
+        let batch = BatchFile::from_json(
+            r#"[{"capacity": 2, "jobs": [[0, 10], [2, 12]]},
+                {"capacity": 2, "jobs": [[0, 10], [2, 5], [8, 20], [15, 18]]}]"#,
+        )
+        .unwrap();
+        // Budgeted: every instance becomes a MaxThroughput request.
+        let out = run_batch(&batch, Some(12), &auto(), None).unwrap();
+        assert!(out.report.contains("scheduled"), "{}", out.report);
+        // Exact-only: the general instance fails inline, the rest still solve.
+        let exact = SolveOptions {
+            algorithm: None,
+            exact_only: true,
+        };
+        let out = run_batch(&batch, None, &exact, None).unwrap();
+        assert!(out.report.contains("batch: 1/2"), "{}", out.report);
+        assert!(out.report.contains("[1] failed"), "{}", out.report);
+        // Bad arguments are rejected up front.
+        assert!(run_batch(&batch, Some(-1), &auto(), None).is_err());
+        assert!(run_batch(&batch, None, &auto(), Some(0)).is_err());
+        assert!(BatchFile::from_json("{\"capacity\": 1}").is_err());
     }
 
     #[test]

@@ -4,25 +4,29 @@
 //! busytime solve <instance.json> [--algorithm NAME] [--exact-only] [--output schedule.json]
 //! busytime throughput <instance.json> --budget T [--algorithm NAME] [--exact-only]
 //!                     [--output schedule.json]
+//! busytime batch <instances.json> [--budget T] [--threads N] [--algorithm NAME]
+//!                [--exact-only] [--output results.json]
 //! busytime generate --class <clique|one-sided|proper|proper-clique|general|cloud|optical>
 //!                   --jobs N --capacity G [--seed S] [--output instance.json]
 //! ```
 //!
-//! Instances are JSON files of the form `{"capacity": 3, "jobs": [[0, 10], [2, 12]]}`.
-//! `--algorithm` forces a specific algorithm through the solver facade (for MinBusy:
-//! `one-sided`, `proper-clique-dp`, `clique-matching`, `clique-set-cover`, `best-cut`,
-//! `first-fit`; for throughput the `throughput-*` names); `--exact-only` refuses any
-//! approximate algorithm.
+//! Instances are JSON files of the form `{"capacity": 3, "jobs": [[0, 10], [2, 12]]}`;
+//! batches are JSON arrays of such objects.  `--algorithm` forces a specific algorithm
+//! through the solver facade (for MinBusy: `one-sided`, `proper-clique-dp`,
+//! `clique-matching`, `clique-set-cover`, `best-cut`, `first-fit`; for throughput the
+//! `throughput-*` names); `--exact-only` refuses any approximate algorithm;
+//! `--threads` pins the work-stealing pool driving `batch` (default: one worker per
+//! core).
 
 use busytime::Algorithm;
 use busytime_cli::{
-    run_generate, run_solve, run_throughput, CommandOutput, InstanceFile, SolveOptions,
-    WorkloadClass,
+    run_batch, run_generate, run_solve, run_throughput, BatchFile, CommandOutput, InstanceFile,
+    SolveOptions, WorkloadClass,
 };
 
 fn usage() -> ! {
     eprintln!(
-        "usage:\n  busytime solve <instance.json> [--algorithm NAME] [--exact-only] [--output schedule.json]\n  busytime throughput <instance.json> --budget T [--algorithm NAME] [--exact-only] [--output schedule.json]\n  busytime generate --class CLASS --jobs N --capacity G [--seed S] [--output instance.json]"
+        "usage:\n  busytime solve <instance.json> [--algorithm NAME] [--exact-only] [--output schedule.json]\n  busytime throughput <instance.json> --budget T [--algorithm NAME] [--exact-only] [--output schedule.json]\n  busytime batch <instances.json> [--budget T] [--threads N] [--algorithm NAME] [--exact-only] [--output results.json]\n  busytime generate --class CLASS --jobs N --capacity G [--seed S] [--output instance.json]"
     );
     std::process::exit(2);
 }
@@ -122,6 +126,48 @@ fn main() {
                 run_throughput(&read_instance(&path), budget, &options),
                 output_path,
             );
+        }
+        "batch" => {
+            let mut batch_path: Option<String> = None;
+            let mut budget: Option<i64> = None;
+            let mut threads: Option<usize> = None;
+            let mut options = SolveOptions::default();
+            let mut it = args[1..].iter();
+            while let Some(arg) = it.next() {
+                match arg.as_str() {
+                    "--output" => output_path = it.next().cloned(),
+                    // A malformed budget must not silently demote the batch to
+                    // MinBusy: reject it like any other unparsable flag value.
+                    "--budget" => {
+                        budget = Some(
+                            it.next()
+                                .and_then(|v| v.parse().ok())
+                                .unwrap_or_else(|| usage()),
+                        )
+                    }
+                    "--threads" => {
+                        threads = Some(
+                            it.next()
+                                .and_then(|v| v.parse().ok())
+                                .unwrap_or_else(|| usage()),
+                        )
+                    }
+                    "--algorithm" => options.algorithm = Some(parse_algorithm(it.next())),
+                    "--exact-only" => options.exact_only = true,
+                    other if batch_path.is_none() => batch_path = Some(other.to_string()),
+                    _ => usage(),
+                }
+            }
+            let path = batch_path.unwrap_or_else(|| usage());
+            let text = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+                eprintln!("cannot read {path}: {e}");
+                std::process::exit(1);
+            });
+            let batch = BatchFile::from_json(&text).unwrap_or_else(|e| {
+                eprintln!("{e}");
+                std::process::exit(1);
+            });
+            finish(run_batch(&batch, budget, &options, threads), output_path);
         }
         "generate" => {
             let mut class: Option<WorkloadClass> = None;

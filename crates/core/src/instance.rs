@@ -7,11 +7,12 @@
 
 use busytime_interval::{
     classify_sorted, connected_components_sorted, is_clique, is_one_sided, is_proper_sorted,
-    max_overlap, span, total_len, Classification, Duration, Interval,
+    Classification, DepthProfile, Duration, Interval,
 };
 use serde::{Deserialize, Serialize};
 
 use crate::error::Error;
+use crate::soa::JobsSoa;
 
 /// Index of a job inside an [`Instance`] (position in the job vector).
 pub type JobId = usize;
@@ -21,10 +22,44 @@ pub type JobId = usize;
 /// Jobs are stored sorted by `(start, completion)`.  For proper instances this is exactly
 /// the order `J_1 ≤ J_2 ≤ … ≤ J_n` the paper uses; the original insertion order is not
 /// preserved (jobs are identified by their index in the sorted order).
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+///
+/// Next to the interval vector, the instance keeps the flat [`JobsSoa`] columns —
+/// `start[]`/`end[]` arrays plus lazily cached canonical orders and the depth profile —
+/// which is what the hot placement paths and the aggregate queries actually consume
+/// (see [`Instance::soa`]).  The columns are derived data: equality, ordering and the
+/// serialized form consider only the jobs and the capacity.
+#[derive(Debug, Clone)]
 pub struct Instance {
     jobs: Vec<Interval>,
     capacity: usize,
+    soa: JobsSoa,
+}
+
+impl PartialEq for Instance {
+    fn eq(&self, other: &Self) -> bool {
+        // The SoA columns are a pure function of the jobs; comparing them would be
+        // redundant work.
+        self.jobs == other.jobs && self.capacity == other.capacity
+    }
+}
+
+impl Eq for Instance {}
+
+impl Serialize for Instance {
+    fn serialize(&self) -> serde::Value {
+        serde::Value::Object(vec![
+            ("jobs".to_string(), self.jobs.serialize()),
+            ("capacity".to_string(), self.capacity.serialize()),
+        ])
+    }
+}
+
+impl Deserialize for Instance {
+    fn deserialize(value: &serde::Value) -> Result<Self, serde::Error> {
+        let jobs = Vec::<Interval>::deserialize(value.field("jobs")?)?;
+        let capacity = usize::deserialize(value.field("capacity")?)?;
+        Instance::new(jobs, capacity).map_err(|e| serde::Error::custom(e.to_string()))
+    }
 }
 
 impl Instance {
@@ -36,7 +71,17 @@ impl Instance {
             return Err(Error::InvalidCapacity);
         }
         jobs.sort();
-        Ok(Instance { jobs, capacity })
+        Ok(Instance::from_sorted(jobs, capacity))
+    }
+
+    /// Internal constructor for job lists already sorted by `(start, completion)`.
+    fn from_sorted(jobs: Vec<Interval>, capacity: usize) -> Self {
+        let soa = JobsSoa::new(&jobs);
+        Instance {
+            jobs,
+            capacity,
+            soa,
+        }
     }
 
     /// Fallible constructor from `(start, completion)` tick pairs: empty or reversed
@@ -98,19 +143,53 @@ impl Instance {
         self.capacity
     }
 
+    /// The flat columnar view of the jobs: `start[]`/`end[]` arrays aligned with the
+    /// job ids, plus cached canonical orders and the depth profile.
+    pub fn soa(&self) -> &JobsSoa {
+        &self.soa
+    }
+
+    /// Start ticks by job id (sorted non-decreasing — job ids are arrival order).
+    pub fn starts(&self) -> &[i64] {
+        self.soa.starts()
+    }
+
+    /// End ticks by job id, aligned with [`Instance::starts`].
+    pub fn ends(&self) -> &[i64] {
+        self.soa.ends()
+    }
+
+    /// Job ids in non-increasing length order (FirstFit's canonical order), computed
+    /// once per instance.
+    pub fn order_by_length_desc(&self) -> &[u32] {
+        self.soa.by_length_desc()
+    }
+
+    /// Job ids in non-decreasing length order (the best-fit greedy's canonical order),
+    /// computed once per instance.
+    pub fn order_by_length_asc(&self) -> &[u32] {
+        self.soa.by_length_asc()
+    }
+
+    /// The coordinate-compressed depth profile of the job set, built once from the SoA
+    /// endpoint runs and shared by every aggregate query.
+    pub fn depth_profile(&self) -> &DepthProfile {
+        self.soa.profile()
+    }
+
     /// Total length `len(J)` of all jobs (Definition 2.1).
     pub fn total_len(&self) -> Duration {
-        total_len(&self.jobs)
+        Duration::new(self.soa.total_len_ticks())
     }
 
     /// Span `span(J)` of all jobs (Definition 2.2).
     pub fn span(&self) -> Duration {
-        span(&self.jobs)
+        self.soa.profile().span()
     }
 
     /// Largest number of jobs active at any single time.
     pub fn max_overlap(&self) -> usize {
-        max_overlap(&self.jobs)
+        self.soa.profile().max_depth()
     }
 
     /// Classification of the instance (clique / one-sided / proper / connected).
@@ -158,13 +237,7 @@ impl Instance {
         pairs.sort();
         let jobs: Vec<Interval> = pairs.iter().map(|&(iv, _)| iv).collect();
         let mapping: Vec<JobId> = pairs.iter().map(|&(_, id)| id).collect();
-        (
-            Instance {
-                jobs,
-                capacity: self.capacity,
-            },
-            mapping,
-        )
+        (Instance::from_sorted(jobs, self.capacity), mapping)
     }
 
     /// Lower bounds of Observation 2.1 (see [`crate::bounds`]).

@@ -54,13 +54,16 @@
 //! |---|---|
 //! | [`solver`] | the [`Solver`] / [`Problem`] / [`Solution`] facade with policy-driven dispatch |
 //! | [`machine`] | incremental [`MachineState`] / [`ScheduleBuilder`] powering the greedy placements |
+//! | [`placement`] | the global [`PlacementIndex`] selecting machines in `O(log m)` |
+//! | [`soa`] | the flat [`JobsSoa`] columnar job layout behind [`Instance`] |
+//! | [`tuning`] | calibrated scan/kernel cutover thresholds for adaptive dispatch |
 //! | [`minbusy`] | every MinBusy algorithm of Section 3 plus baselines |
 //! | [`maxthroughput`] | every MaxThroughput algorithm of Section 4 plus the reductions of Section 2 |
 //! | [`twodim`] | rectangular jobs, FirstFit-2D and BucketFirstFit (Section 3.4) |
 //! | [`demand`] | the Section 5 extension with per-job capacity demands ([16]) |
 //! | [`bounds`] | the parallelism / span / length bounds of Observation 2.1 |
 //! | [`analysis`] | schedule summaries and ratio reporting |
-//! | [`par`] | batch wrappers over [`Solver::solve_batch`] (kept for compatibility) |
+//! | [`par`] | the work-stealing [`par::ThreadPool`] batch engine and batch helpers |
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -77,15 +80,20 @@ pub mod machine;
 pub mod maxthroughput;
 pub mod minbusy;
 pub mod par;
+pub mod placement;
 mod schedule;
+pub mod soa;
 pub mod solver;
+pub mod tuning;
 pub mod twodim;
 
 pub use busytime_interval::{Duration, Interval, Time};
 pub use error::Error;
 pub use instance::{Instance, JobId};
 pub use machine::{MachineState, Placement, ScheduleBuilder};
+pub use placement::{MachineDigest, PlacementIndex};
 pub use schedule::{MachineId, Schedule, SolveResult, ThroughputResult};
+pub use soa::JobsSoa;
 pub use solver::{
     Algorithm, AttemptOutcome, DispatchAttempt, InstanceBounds, Objective, Problem, ProblemKind,
     SkipReason, Solution, SolveError, SolvePolicy, Solver, SolverBuilder,

@@ -35,6 +35,7 @@
 use busytime_interval::{DisjointIntervalSet, Duration, Interval, SweepSet};
 
 use crate::instance::{Instance, JobId};
+use crate::placement::{MachineDigest, PlacementIndex};
 use crate::schedule::{MachineId, Schedule};
 
 /// The live occupancy of one machine: `g` threads of execution plus a coverage profile
@@ -61,6 +62,12 @@ pub struct MachineState {
 /// inserted window when refreshing the cache — bounds the per-insert cost on heavily
 /// fragmented machines.
 const SATURATED_WALK_CAP: usize = 64;
+
+/// Machines probed flat (two comparisons each) before first-fit switches to the
+/// placement-index candidate stream: placements that land early pay nothing for the
+/// index, placements that skip thousands of full machines still get the `O(log m)`
+/// descent for everything past the prefix.
+const FIRST_FIT_LINEAR_PREFIX: usize = 48;
 
 impl MachineState {
     /// An empty machine with `g` threads of execution.
@@ -198,59 +205,29 @@ pub struct Placement {
     pub delta: Duration,
 }
 
-/// A compact per-machine digest kept in a flat side array so that the placement scans
-/// stream through cache lines instead of hopping across the full [`MachineState`]
-/// structs: most machines are rejected (window touches their saturated stretch) or
-/// accepted (window misses their hull) right here.
-#[derive(Debug, Clone, Copy)]
-struct MachineSummary {
-    hull_lo: i64,
-    hull_hi: i64,
-    sat_lo: i64,
-    sat_hi: i64,
-}
-
-impl MachineSummary {
-    const EMPTY: MachineSummary = MachineSummary {
-        hull_lo: i64::MAX,
-        hull_hi: i64::MIN,
-        sat_lo: i64::MAX,
-        sat_hi: i64::MIN,
-    };
-
-    fn of(machine: &MachineState) -> Self {
-        let mut summary = MachineSummary::EMPTY;
-        if let Some(hull) = machine.hull() {
-            summary.hull_lo = hull.start().ticks();
-            summary.hull_hi = hull.end().ticks();
-        }
-        if let Some(sat) = machine.saturated_stretch() {
-            summary.sat_lo = sat.start().ticks();
-            summary.sat_hi = sat.end().ticks();
-        }
-        summary
-    }
-
-    /// The window provably conflicts on every thread (it touches a saturated stretch).
-    #[inline]
-    fn rejects(&self, s: i64, e: i64) -> bool {
-        s < self.sat_hi && self.sat_lo < e
-    }
-
-    /// The window provably conflicts with nothing (it misses the hull entirely).
-    #[inline]
-    fn accepts(&self, s: i64, e: i64) -> bool {
-        e <= self.hull_lo || self.hull_hi <= s
-    }
+fn digest_of(machine: &MachineState) -> MachineDigest {
+    MachineDigest::new(
+        machine.hull().map(|h| (h.start().ticks(), h.end().ticks())),
+        machine
+            .saturated_stretch()
+            .map(|s| (s.start().ticks(), s.end().ticks())),
+    )
 }
 
 /// Builds a schedule one placement at a time over a growing pool of [`MachineState`]s,
 /// with the total busy time maintained incrementally.
+///
+/// Machine selection goes through the global [`PlacementIndex`]: committing a job
+/// refreshes the machine's digest in the index (`O(log m)`), and the first-fit /
+/// best-fit queries descend the index instead of scanning a flat summary array.  The
+/// pre-index linear scans survive as [`ScheduleBuilder::place_first_fit_linear`] and
+/// [`ScheduleBuilder::best_fit_linear`] — equivalence baselines for the property tests
+/// and the calibration benchmarks.
 #[derive(Debug, Clone)]
 pub struct ScheduleBuilder<'a> {
     instance: &'a Instance,
     machines: Vec<MachineState>,
-    summaries: Vec<MachineSummary>,
+    index: PlacementIndex,
     schedule: Schedule,
     cost: Duration,
 }
@@ -261,7 +238,7 @@ impl<'a> ScheduleBuilder<'a> {
         ScheduleBuilder {
             instance,
             machines: Vec::new(),
-            summaries: Vec::new(),
+            index: PlacementIndex::new(),
             schedule: Schedule::empty(instance.len()),
             cost: Duration::ZERO,
         }
@@ -272,6 +249,11 @@ impl<'a> ScheduleBuilder<'a> {
         &self.machines
     }
 
+    /// The live placement index over the machine pool.
+    pub fn placement_index(&self) -> &PlacementIndex {
+        &self.index
+    }
+
     /// The running total busy time of all machines.
     pub fn cost(&self) -> Duration {
         self.cost
@@ -280,15 +262,71 @@ impl<'a> ScheduleBuilder<'a> {
     /// Place `job` on the first thread of the first machine that can run it without a
     /// conflict, opening a fresh machine when none can (FirstFit's placement rule).
     /// Returns the chosen machine.
+    ///
+    /// The search is a two-tier hybrid over the same candidate order the linear scan
+    /// probes.  A short digest prefix is walked flat — when the job lands on an early
+    /// machine (the common case for length-ordered placement on loaded pools), two
+    /// `i64` comparisons per machine beat any tree descent.  Past the prefix the
+    /// candidate stream switches to [`PlacementIndex::next_placeable`], so long runs
+    /// of machines whose saturated stretch covers the job (the common case for
+    /// arrival-ordered placement, where thousands of early machines are full) are
+    /// skipped in `O(log m)` instead of being rejected one by one.  Every surviving
+    /// candidate is probed exactly as the linear scan would, so the chosen machine is
+    /// identical to [`ScheduleBuilder::place_first_fit_linear`].
     pub fn place_first_fit(&mut self, job: JobId) -> MachineId {
         let iv = self.instance.job(job);
         let (s, e) = (iv.start().ticks(), iv.end().ticks());
         let mut placement = None;
-        for (m, summary) in self.summaries.iter().enumerate() {
-            if summary.rejects(s, e) {
+        let prefix = self.machines.len().min(FIRST_FIT_LINEAR_PREFIX);
+        for (m, digest) in self.index.digests()[..prefix].iter().enumerate() {
+            if digest.rejects(s, e) {
                 continue;
             }
-            if summary.accepts(s, e) {
+            if digest.accepts(s, e) {
+                placement = Some((m, 0));
+                break;
+            }
+            if let Some(t) = self.machines[m].first_free_thread(iv) {
+                placement = Some((m, t));
+                break;
+            }
+        }
+        if placement.is_none() {
+            let mut m = self.index.next_placeable(s, e, prefix);
+            placement = loop {
+                if m >= self.machines.len() {
+                    break None;
+                }
+                if self.index.digest(m).accepts(s, e) {
+                    break Some((m, 0));
+                }
+                if let Some(t) = self.machines[m].first_free_thread(iv) {
+                    break Some((m, t));
+                }
+                m = self.index.next_placeable(s, e, m + 1);
+            };
+        }
+        let (machine, thread) = placement.unwrap_or((self.machines.len(), 0));
+        self.commit(job, machine, thread);
+        machine
+    }
+
+    /// The linear-scan first fit: identical placement rule and result as
+    /// [`ScheduleBuilder::place_first_fit`], probing every machine digest in order.
+    ///
+    /// Kept as the equivalence baseline for the placement index (property tests pin
+    /// the two paths together) and as the faster choice on very small pools, where the
+    /// adaptive dispatch in [`crate::minbusy::first_fit_in_order`] routes placements
+    /// through the plain scan instead.
+    pub fn place_first_fit_linear(&mut self, job: JobId) -> MachineId {
+        let iv = self.instance.job(job);
+        let (s, e) = (iv.start().ticks(), iv.end().ticks());
+        let mut placement = None;
+        for (m, digest) in self.index.digests().iter().enumerate() {
+            if digest.rejects(s, e) {
+                continue;
+            }
+            if digest.accepts(s, e) {
                 placement = Some((m, 0));
                 break;
             }
@@ -305,15 +343,57 @@ impl<'a> ScheduleBuilder<'a> {
     /// The cheapest placement for `job`: the earliest (machine, thread) whose busy-time
     /// increase is strictly smallest, falling back to a fresh machine at full job
     /// length when no existing machine can run the job.
+    ///
+    /// Only machines whose hull overlaps the job can price it below its full length,
+    /// so the search probes exactly those (streamed in machine order from
+    /// [`PlacementIndex::next_overlapping`]) and closes the full-length case with the
+    /// earliest hull-disjoint machine from [`PlacementIndex::first_disjoint`]; every
+    /// machine is either hull-overlapping or hull-disjoint, so the candidate set — and
+    /// the (delta, machine) minimum over it — is identical to the linear scan's.
     pub fn best_fit(&self, job: JobId) -> Placement {
         let iv = self.instance.job(job);
         let (s, e) = (iv.start().ticks(), iv.end().ticks());
+        // The earliest machine the job misses entirely (or the fresh-machine slot):
+        // accepted on thread 0 at full length.
+        let mut best = Placement {
+            machine: self.index.first_disjoint(s, e),
+            thread: 0,
+            delta: iv.len(),
+        };
+        let mut m = self.index.next_overlapping(s, e, 0);
+        while let Some(candidate) = m {
+            let machine = &self.machines[candidate];
+            if let Some(thread) = machine.first_free_thread(iv) {
+                let delta = machine.marginal_busy(iv);
+                if delta < best.delta || (delta == best.delta && candidate < best.machine) {
+                    best = Placement {
+                        machine: candidate,
+                        thread,
+                        delta,
+                    };
+                    if delta.is_zero() {
+                        // No machine can beat a free placement, and the stream is in
+                        // machine order so no earlier zero exists.
+                        break;
+                    }
+                }
+            }
+            m = self.index.next_overlapping(s, e, candidate + 1);
+        }
+        best
+    }
+
+    /// The linear-scan best fit: identical result as [`ScheduleBuilder::best_fit`],
+    /// probing every machine digest in order (the pre-index reference path).
+    pub fn best_fit_linear(&self, job: JobId) -> Placement {
+        let iv = self.instance.job(job);
+        let (s, e) = (iv.start().ticks(), iv.end().ticks());
         let mut best: Option<Placement> = None;
-        for (m, summary) in self.summaries.iter().enumerate() {
-            if summary.rejects(s, e) {
+        for (m, digest) in self.index.digests().iter().enumerate() {
+            if digest.rejects(s, e) {
                 continue;
             }
-            let candidate = if summary.accepts(s, e) {
+            let candidate = if digest.accepts(s, e) {
                 // Nothing overlaps: thread 0 fits and the job pays its full length,
                 // exactly what the probes would conclude.
                 Some((0, iv.len()))
@@ -345,16 +425,19 @@ impl<'a> ScheduleBuilder<'a> {
     }
 
     /// Apply a placement (from [`ScheduleBuilder::best_fit`] or chosen by the caller),
-    /// opening the machine if it does not exist yet.
+    /// opening the machine if it does not exist yet.  The machine's digest in the
+    /// placement index is refreshed in the same step, keeping the index exactly
+    /// consistent with the pool.
     pub fn commit(&mut self, job: JobId, machine: MachineId, thread: usize) {
         let iv = self.instance.job(job);
         if machine == self.machines.len() {
             self.machines
                 .push(MachineState::new(self.instance.capacity()));
-            self.summaries.push(MachineSummary::EMPTY);
+            self.index.push(MachineDigest::EMPTY);
         }
         self.cost += self.machines[machine].insert(iv, thread);
-        self.summaries[machine] = MachineSummary::of(&self.machines[machine]);
+        self.index
+            .update(machine, digest_of(&self.machines[machine]));
         self.schedule.assign(job, machine);
     }
 

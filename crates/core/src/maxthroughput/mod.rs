@@ -100,11 +100,10 @@ pub fn solve_auto(
 /// its live occupancy profile instead of re-unioning its whole job list per candidate
 /// (see `greedy_fallback_scan` for the pre-kernel reference).
 pub fn greedy_fallback(instance: &Instance, budget: Duration) -> ThroughputResult {
-    let mut order: Vec<usize> = (0..instance.len()).collect();
-    order.sort_by_key(|&j| (instance.job(j).len(), j));
-
     let mut builder = crate::machine::ScheduleBuilder::new(instance);
-    for &j in &order {
+    // Shortest-first is the instance's cached SoA permutation — no per-call re-sort.
+    for &j in instance.order_by_length_asc() {
+        let j = j as usize;
         let placement = builder.best_fit(j);
         if builder.cost() + placement.delta > budget {
             continue;

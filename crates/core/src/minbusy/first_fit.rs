@@ -11,31 +11,65 @@ use busytime_interval::{Duration, Interval};
 use crate::instance::Instance;
 use crate::machine::ScheduleBuilder;
 use crate::schedule::Schedule;
+use crate::tuning;
 
 /// FirstFit with `g` threads per machine, jobs in non-increasing order of length.
 ///
 /// Valid for every instance (no structural precondition); a 4-approximation on general
 /// instances by the analysis of [13].
+///
+/// The length order comes from the instance's cached SoA permutation (no per-call
+/// re-sort) and placement goes through [`first_fit_in_order_adaptive`], so small
+/// instances run the plain scan and large ones the kernel + placement index.
 pub fn first_fit(instance: &Instance) -> Schedule {
-    let mut order: Vec<usize> = (0..instance.len()).collect();
-    order.sort_by_key(|&j| (std::cmp::Reverse(instance.job(j).len()), j));
-    first_fit_in_order(instance, &order)
+    place_adaptive(
+        instance,
+        instance.order_by_length_desc().iter().map(|&j| j as usize),
+    )
 }
 
 /// FirstFit considering the jobs in the given explicit order (used by tests and by the
 /// bucketed 2-D variant's 1-D counterpart).
 ///
-/// Placement goes through the incremental [`ScheduleBuilder`]: each conflict test is a
-/// logarithmic probe of the machine's live occupancy instead of a scan over every job
-/// already placed there, which is what makes FirstFit usable at the scales the
-/// experiment harness runs (see `first_fit_in_order_scan` for the pre-kernel
-/// reference).
+/// Placement goes through the incremental [`ScheduleBuilder`] and the global
+/// [`crate::placement::PlacementIndex`]: each conflict test is a logarithmic probe of
+/// the machine's live occupancy and runs of provably-full machines are skipped in
+/// `O(log m)`, which is what makes FirstFit usable at the scales the experiment
+/// harness runs (see `first_fit_in_order_scan` for the pre-kernel reference and
+/// [`first_fit_in_order_adaptive`] for the size-aware entry point).
 pub fn first_fit_in_order(instance: &Instance, order: &[usize]) -> Schedule {
     let mut builder = ScheduleBuilder::new(instance);
     for &j in order {
         builder.place_first_fit(j);
     }
     builder.finish()
+}
+
+/// FirstFit in an explicit order with the scan/kernel cutover applied: instances below
+/// the calibrated thresholds of [`crate::tuning`] run the plain per-thread scan (whose
+/// constant factors win at small `n`), larger or denser ones the kernel + placement
+/// index.  Both paths implement the identical placement rule, so the schedule does not
+/// depend on which one ran.
+pub fn first_fit_in_order_adaptive(instance: &Instance, order: &[usize]) -> Schedule {
+    if tuning::first_fit_use_kernel(instance) {
+        first_fit_in_order(instance, order)
+    } else {
+        first_fit_in_order_scan(instance, order)
+    }
+}
+
+/// Shared adaptive driver over any job-id stream (lets [`first_fit`] feed the cached
+/// `u32` SoA permutation straight through without materializing a `usize` vector).
+fn place_adaptive(instance: &Instance, order: impl Iterator<Item = usize>) -> Schedule {
+    if tuning::first_fit_use_kernel(instance) {
+        let mut builder = ScheduleBuilder::new(instance);
+        for j in order {
+            builder.place_first_fit(j);
+        }
+        builder.finish()
+    } else {
+        scan_impl(instance, order)
+    }
 }
 
 /// The pre-kernel FirstFit: identical placement rule and results, but every conflict
@@ -45,11 +79,15 @@ pub fn first_fit_in_order(instance: &Instance, order: &[usize]) -> Schedule {
 /// `first_fit_in_order ==` this function) and as the "before" side of the scaling
 /// benchmarks recorded in `BENCH_scaling.json`.  Do not use it for real workloads.
 pub fn first_fit_in_order_scan(instance: &Instance, order: &[usize]) -> Schedule {
+    scan_impl(instance, order.iter().copied())
+}
+
+fn scan_impl(instance: &Instance, order: impl Iterator<Item = usize>) -> Schedule {
     let g = instance.capacity();
     // threads[m][t] is the list of intervals currently on thread t of machine m.
     let mut threads: Vec<Vec<Vec<Interval>>> = Vec::new();
     let mut schedule = Schedule::empty(instance.len());
-    for &j in order {
+    for j in order {
         let iv = instance.job(j);
         let mut placed = false;
         'machines: for (m, machine) in threads.iter_mut().enumerate() {

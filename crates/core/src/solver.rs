@@ -18,7 +18,7 @@
 //!   it was skipped or failed (nothing is silently swallowed).
 //!
 //! Batch workloads go through [`Solver::solve_batch`], which fans the requests out over
-//! a rayon-style thread pool while keeping results in request order.
+//! the work-stealing [`crate::par::ThreadPool`] while keeping results in request order.
 //!
 //! ```rust
 //! use busytime::{Problem, Solver, Instance, Duration};
@@ -39,7 +39,6 @@
 use core::fmt;
 
 use busytime_interval::Duration;
-use rayon::prelude::*;
 
 use crate::bounds;
 use crate::demand::DemandInstance;
@@ -552,11 +551,13 @@ impl Solver {
 
     /// Solve many requests concurrently; results come back in request order.
     ///
-    /// This subsumes the free functions of [`crate::par`] (which are now thin wrappers
-    /// over it): each request is solved independently, so the results are identical to
-    /// calling [`Solver::solve`] in a loop.
+    /// The requests fan out over the work-stealing [`crate::par::ThreadPool`] (sized by
+    /// [`crate::par::default_threads`], i.e. every core unless pinned by
+    /// [`crate::par::set_default_threads`] or the CLI's `--threads`).  Each request is
+    /// solved independently, so the results are identical to calling
+    /// [`Solver::solve`] in a loop.
     pub fn solve_batch(&self, problems: &[Problem]) -> Vec<Result<Solution, SolveError>> {
-        problems.par_iter().map(|p| self.solve(p)).collect()
+        crate::par::ThreadPool::with_default_parallelism().map(problems, |p| self.solve(p))
     }
 
     /// Convenience: solve MinBusy for `instance` without building a [`Problem`].

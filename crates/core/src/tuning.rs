@@ -1,0 +1,97 @@
+//! Calibrated cutover thresholds for the adaptive dispatch tier.
+//!
+//! `BENCH_scaling.json` (PR 2) showed the kernel-backed FirstFit *losing* to the naive
+//! per-thread scan at small instance sizes — 0.30–0.79× at `n = 1000` — because the
+//! incremental profiles and the placement index only amortize once enough machines and
+//! long enough thread histories exist.  Rather than making every caller pick a path,
+//! the placement entry points ([`crate::minbusy::first_fit_in_order_adaptive`], the 2-D
+//! [`crate::twodim::first_fit_2d_in_order`]) consult this module and cut over between
+//! the plain scan and the kernel automatically.
+//!
+//! The decision uses two `O(1)` facts off the SoA columns:
+//!
+//! * the job count `n`, and
+//! * the hull density `len(J) / hull(J)` — the average coverage depth, which predicts
+//!   how many machines the greedy will open (density / `g` is a lower bound on the
+//!   average machine count) and therefore how much the scan pays per placement.
+//!
+//! Dense instances cross over earlier: their scan walks every open machine per job,
+//! while sparse instances keep the scan competitive longer because conflicts are found
+//! after probing a handful of short thread lists.  The constants were calibrated with
+//! `cargo run -p busytime-bench --bin scaling --release` on the shapes recorded in
+//! `BENCH_scaling.json` (sparse and dense proper instances, capacity 10); the
+//! `scaling` binary re-validates them on every run by emitting an
+//! `first_fit_adaptive` row per size, and the CI `scaling-check` job fails if any of
+//! those rows dips below parity.
+
+use crate::instance::Instance;
+
+/// Above this job count the kernel path wins on every measured shape, whatever the
+/// density.
+pub const FIRST_FIT_KERNEL_MIN_JOBS: usize = 6_000;
+
+/// Dense instances (see [`DENSE_HULL_DENSITY`]) cut over to the kernel this early:
+/// they open machines proportionally to `n`, so the scan's per-job machine walk is
+/// already the dominant cost well before [`FIRST_FIT_KERNEL_MIN_JOBS`].
+pub const FIRST_FIT_KERNEL_MIN_JOBS_DENSE: usize = 2_000;
+
+/// Hull density (average coverage depth) at which an instance counts as *dense*.
+pub const DENSE_HULL_DENSITY: f64 = 2.5;
+
+/// 2-D FirstFit keeps the plain per-thread rectangle scan below this many rectangles;
+/// the dimension-1 [`busytime_interval::SweepSet`] pruning only pays once machines
+/// accumulate enough rectangles for the profile probe to beat a short linear walk.
+pub const FIRST_FIT_2D_KERNEL_MIN_JOBS: usize = 512;
+
+/// Should 1-D FirstFit placement run through the sweep kernel and placement index
+/// (`true`) or the plain per-thread scan (`false`) for this instance?
+pub fn first_fit_use_kernel(instance: &Instance) -> bool {
+    let n = instance.len();
+    n >= FIRST_FIT_KERNEL_MIN_JOBS
+        || (n >= FIRST_FIT_KERNEL_MIN_JOBS_DENSE
+            && instance.soa().hull_density() >= DENSE_HULL_DENSITY)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn staircase(n: usize, step: i64, len: i64) -> Instance {
+        let jobs: Vec<(i64, i64)> = (0..n as i64).map(|i| (i * step, i * step + len)).collect();
+        Instance::from_ticks(&jobs, 10)
+    }
+
+    #[test]
+    fn small_instances_stay_on_the_scan() {
+        assert!(!first_fit_use_kernel(&staircase(100, 10, 8)));
+        assert!(!first_fit_use_kernel(&staircase(1_000, 10, 8)));
+    }
+
+    #[test]
+    fn large_instances_use_the_kernel() {
+        assert!(first_fit_use_kernel(&staircase(
+            FIRST_FIT_KERNEL_MIN_JOBS,
+            10,
+            8
+        )));
+    }
+
+    #[test]
+    fn dense_instances_cut_over_earlier() {
+        // Density ~ len/step = 8: dense, so the lower threshold applies.
+        let dense = staircase(3_000, 5, 40);
+        assert!(dense.soa().hull_density() >= DENSE_HULL_DENSITY);
+        assert!(first_fit_use_kernel(&dense));
+        // Same size but sparse: stays on the scan.
+        let sparse = staircase(3_000, 10, 8);
+        assert!(sparse.soa().hull_density() < DENSE_HULL_DENSITY);
+        assert!(!first_fit_use_kernel(&sparse));
+    }
+
+    #[test]
+    fn empty_instance_is_sparse() {
+        let empty = Instance::from_ticks(&[], 3);
+        assert_eq!(empty.soa().hull_density(), 0.0);
+        assert!(!first_fit_use_kernel(&empty));
+    }
+}

@@ -29,7 +29,20 @@ pub fn first_fit_2d(instance: &Instance2d) -> Schedule2d {
 /// conflict with anything there, so the common far-from-the-load case is answered by
 /// one kernel probe and the per-thread rectangle scans only run on machines whose
 /// dimension-1 profile actually intersects the candidate.
+///
+/// Below [`crate::tuning::FIRST_FIT_2D_KERNEL_MIN_JOBS`] rectangles the plain scan is
+/// used instead — the profile bookkeeping only pays off once machines hold enough
+/// rectangles; both paths implement the identical placement rule.
 pub fn first_fit_2d_in_order(instance: &Instance2d, order: &[usize]) -> Schedule2d {
+    if instance.len() < crate::tuning::FIRST_FIT_2D_KERNEL_MIN_JOBS {
+        return first_fit_2d_in_order_scan(instance, order);
+    }
+    first_fit_2d_in_order_kernel(instance, order)
+}
+
+/// The kernel-backed 2-D FirstFit (the dimension-1 profile pruning path), regardless
+/// of instance size — the "after" side of the 2-D scaling comparison.
+pub fn first_fit_2d_in_order_kernel(instance: &Instance2d, order: &[usize]) -> Schedule2d {
     let g = instance.capacity();
     // threads[m][t]: rectangles currently on thread t of machine m; dim1[m]: the
     // machine-wide coverage of their dimension-1 projections.

@@ -81,15 +81,51 @@ impl DepthProfile {
         // Ends sort before starts at equal time (half-open semantics), matching the
         // paper's convention that touching intervals do not overlap.
         events.sort_unstable();
+        Self::from_event_stream(events.len(), events.into_iter())
+    }
 
-        let mut bounds = Vec::new();
+    /// Build the profile from the flat SoA event arrays an `Instance` already holds:
+    /// `starts` sorted non-decreasing and `ends` sorted non-decreasing (the two arrays
+    /// describe the same interval multiset but need not be aligned index-by-index).
+    ///
+    /// This skips the event sort of [`DepthProfile::new`] entirely — the two runs are
+    /// merged in one `O(n)` pass — which is what makes profile-backed aggregates
+    /// (max overlap, span, per-depth lengths) linear for callers that keep their jobs
+    /// in sorted columnar form.
+    ///
+    /// # Panics
+    /// Debug builds panic if either array is unsorted or the lengths differ.
+    pub fn from_sorted_events(starts: &[i64], ends: &[i64]) -> Self {
+        debug_assert_eq!(starts.len(), ends.len(), "one end event per start event");
+        debug_assert!(starts.windows(2).all(|w| w[0] <= w[1]), "starts sorted");
+        debug_assert!(ends.windows(2).all(|w| w[0] <= w[1]), "ends sorted");
+        let (mut i, mut j) = (0usize, 0usize);
+        let merged = std::iter::from_fn(move || {
+            // Ends win ties (half-open semantics), exactly as the sorted combined
+            // event list of `new` orders `(t, -1)` before `(t, +1)`.
+            if j < ends.len() && (i >= starts.len() || ends[j] <= starts[i]) {
+                j += 1;
+                Some((ends[j - 1], -1))
+            } else if i < starts.len() {
+                i += 1;
+                Some((starts[i - 1], 1))
+            } else {
+                None
+            }
+        });
+        Self::from_event_stream(starts.len() + ends.len(), merged)
+    }
+
+    /// Shared segment builder over an event stream sorted by `(time, delta)`.
+    fn from_event_stream(count: usize, events: impl Iterator<Item = (i64, i32)>) -> Self {
+        let mut bounds: Vec<i64> = Vec::new();
         let mut depths = Vec::new();
         let mut depth: i32 = 0;
         let mut max_depth: i32 = 0;
         let mut span: i64 = 0;
-        let mut i = 0;
-        while i < events.len() {
-            let t = events[i].0;
+        let mut events = events.peekable();
+        bounds.reserve(count);
+        while let Some(&(t, _)) = events.peek() {
             if let Some(&prev) = bounds.last() {
                 if t > prev {
                     depths.push(depth as u32);
@@ -101,9 +137,12 @@ impl DepthProfile {
             } else {
                 bounds.push(t);
             }
-            while i < events.len() && events[i].0 == t {
-                depth += events[i].1;
-                i += 1;
+            while let Some(&(next, delta)) = events.peek() {
+                if next != t {
+                    break;
+                }
+                depth += delta;
+                events.next();
             }
             max_depth = max_depth.max(depth);
         }
@@ -714,6 +753,34 @@ mod tests {
             p.per_depth_lengths(),
             vec![Duration::new(7), Duration::new(4), Duration::new(2)]
         );
+    }
+
+    #[test]
+    fn profile_from_sorted_events_matches_new() {
+        let mut state = 0x2545f4914f6cdd1du64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for n in [0usize, 1, 2, 7, 100] {
+            let mut set: Vec<Interval> = (0..n)
+                .map(|_| {
+                    let s = (next() % 300) as i64;
+                    iv(s, s + (next() % 40 + 1) as i64)
+                })
+                .collect();
+            set.sort();
+            let starts: Vec<i64> = set.iter().map(|v| v.start().ticks()).collect();
+            let mut ends: Vec<i64> = set.iter().map(|v| v.end().ticks()).collect();
+            ends.sort_unstable();
+            assert_eq!(
+                DepthProfile::from_sorted_events(&starts, &ends),
+                DepthProfile::new(&set),
+                "n = {n}"
+            );
+        }
     }
 
     #[test]

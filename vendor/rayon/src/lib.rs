@@ -8,6 +8,12 @@
 //! to a sequential run (each item is processed independently, exactly as with the real
 //! rayon).  Swapping the real crate back in is a one-line change in the workspace
 //! manifest; no caller code depends on anything beyond the genuine rayon API.
+//!
+//! As of the placement/throughput rework the workspace's own batch paths
+//! (`busytime::Solver::solve_batch`, the experiment sweeps) run on the in-tree
+//! work-stealing pool in `busytime::par` instead of this stub; the crate stays in the
+//! workspace as the documented path-swap target for environments with crates.io
+//! access.
 
 #![forbid(unsafe_code)]
 
