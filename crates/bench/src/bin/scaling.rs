@@ -31,11 +31,14 @@ use std::io::Write;
 use std::time::Instant;
 
 use busytime::maxthroughput::{greedy_fallback, greedy_fallback_scan};
-use busytime::minbusy::{first_fit_in_order, first_fit_in_order_adaptive, first_fit_in_order_scan};
+use busytime::minbusy::{
+    first_fit, first_fit_in_order, first_fit_in_order_adaptive, first_fit_in_order_scan,
+};
+use busytime::online::{OnlinePolicy, OnlineScheduler};
 use busytime::{Duration, Instance, Interval, Problem, Schedule, Solver};
-use busytime_workload::proper_instance;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use busytime_workload::{
+    poisson_trace, proper_instance, seeded_rng, trace_from_instance, DurationModel,
+};
 use serde::Serialize;
 
 /// Wall-clock budget for one quadratic-baseline measurement; predicted overruns are
@@ -76,11 +79,32 @@ struct BatchRow {
     speedup_vs_1_thread: f64,
 }
 
+/// One measured online-engine configuration.
+#[derive(Debug, Serialize)]
+struct OnlineRow {
+    bench: String,
+    policy: String,
+    jobs: usize,
+    events: usize,
+    capacity: usize,
+    secs: f64,
+    /// Event throughput — the headline number for the incremental engine.
+    events_per_sec: f64,
+    peak_cost: i64,
+    final_cost: i64,
+    /// Arrivals-only rows: the offline FirstFit cost on the same job set…
+    offline_cost: Option<i64>,
+    /// …and online cost over it (the price of placing in arrival order with no
+    /// lookahead).
+    cost_ratio: Option<f64>,
+}
+
 /// The self-describing output document.
 #[derive(Debug, Serialize)]
 struct Report {
     meta: Meta,
     rows: Vec<Row>,
+    online: Vec<OnlineRow>,
     batch: Vec<BatchRow>,
 }
 
@@ -183,7 +207,7 @@ fn main() {
         // quadratic time-budget prediction.
         let mut last_greedy_scan: Option<(usize, f64)> = None;
         for &n in sizes {
-            let mut rng = StdRng::seed_from_u64(2012);
+            let mut rng = seeded_rng(2012);
             let instance = proper_instance(&mut rng, n, capacity, max_len, max_gap);
             let trials = trials_for(n);
             let name = |bench: &str| format!("{bench}/proper_{shape}");
@@ -281,12 +305,68 @@ fn main() {
         }
     }
 
+    // The online event engine: a mixed arrival/departure trace per size (2 events per
+    // job — the full grid tops out at a 100k-event trace) replayed under every policy,
+    // recording events/sec, plus an arrivals-only replay priced against the offline
+    // FirstFit on the same job set (the online-vs-offline cost ratio).
+    let mut online: Vec<OnlineRow> = Vec::new();
+    let heavy_tail = DurationModel::HeavyTail { min: 1, max: 200 };
+    for &n in sizes {
+        let trials = trials_for(n);
+        let trace = poisson_trace(&mut seeded_rng(2012), n, capacity, 3.0, &heavy_tail);
+        for &policy in OnlinePolicy::all() {
+            let secs = time_trials(trials, || {
+                OnlineScheduler::run(&trace, policy).expect("generated traces are well-formed")
+            });
+            let run =
+                OnlineScheduler::run(&trace, policy).expect("generated traces are well-formed");
+            online.push(OnlineRow {
+                bench: "online_mixed/poisson_heavy_tail".to_string(),
+                policy: policy.name().to_string(),
+                jobs: n,
+                events: trace.len(),
+                capacity,
+                secs,
+                events_per_sec: trace.len() as f64 / secs,
+                peak_cost: run.peak_cost().ticks(),
+                final_cost: run.final_cost().ticks(),
+                offline_cost: None,
+                cost_ratio: None,
+            });
+        }
+
+        // Arrivals-only: the same dense proper shape the offline rows measure, placed
+        // online in arrival order vs offline FirstFit in its canonical length order.
+        let instance = proper_instance(&mut seeded_rng(2012), n, capacity, 40, 8);
+        let arrivals = trace_from_instance(&instance);
+        let secs = time_trials(trials, || {
+            OnlineScheduler::run(&arrivals, OnlinePolicy::FirstFit)
+                .expect("instance replays are well-formed")
+        });
+        let run = OnlineScheduler::run(&arrivals, OnlinePolicy::FirstFit)
+            .expect("instance replays are well-formed");
+        let offline = first_fit(&instance).cost(&instance).ticks();
+        online.push(OnlineRow {
+            bench: "online_arrivals/proper_dense".to_string(),
+            policy: OnlinePolicy::FirstFit.name().to_string(),
+            jobs: n,
+            events: arrivals.len(),
+            capacity,
+            secs,
+            events_per_sec: arrivals.len() as f64 / secs,
+            peak_cost: run.peak_cost().ticks(),
+            final_cost: run.final_cost().ticks(),
+            offline_cost: Some(offline),
+            cost_ratio: Some(run.final_cost().ticks() as f64 / offline.max(1) as f64),
+        });
+    }
+
     // `solve_batch` over the work-stealing pool: one mixed batch, several widths.
     // Thread counts beyond the container's available parallelism are still measured —
     // the meta block records both so the numbers stay interpretable.
     let batch_instances = if quick { 200 } else { 1_000 };
     let jobs_per_instance = 60;
-    let mut rng = StdRng::seed_from_u64(2012);
+    let mut rng = seeded_rng(2012);
     let problems: Vec<Problem> = (0..batch_instances)
         .map(|_| {
             let inst = proper_instance(&mut rng, jobs_per_instance, 4, 40, 8);
@@ -330,6 +410,7 @@ fn main() {
             trials_small_n: trials_for(0),
         },
         rows,
+        online,
         batch,
     };
 
@@ -344,6 +425,16 @@ fn main() {
         text.push_str("    ");
         text.push_str(&serde_json::to_string(r).expect("rows serialize"));
         text.push_str(if i + 1 < report.rows.len() {
+            ",\n"
+        } else {
+            "\n"
+        });
+    }
+    text.push_str("  ],\n  \"online\": [\n");
+    for (i, r) in report.online.iter().enumerate() {
+        text.push_str("    ");
+        text.push_str(&serde_json::to_string(r).expect("online rows serialize"));
+        text.push_str(if i + 1 < report.online.len() {
             ",\n"
         } else {
             "\n"
@@ -382,6 +473,18 @@ fn main() {
                 .map_or("-".into(), |s| format!("{s:.2}x")),
         );
     }
+    for r in &report.online {
+        println!(
+            "{:<36} {:>16} {:>8} jobs {:>8} events: {:>11.0} events/s{}",
+            r.bench,
+            r.policy,
+            r.jobs,
+            r.events,
+            r.events_per_sec,
+            r.cost_ratio
+                .map_or(String::new(), |c| format!(", {c:.3}x offline cost")),
+        );
+    }
     for b in &report.batch {
         println!(
             "solve_batch {} x {} jobs, {} thread(s): {:.3}s ({:.2}x vs 1 thread)",
@@ -405,6 +508,17 @@ fn main() {
                 failures.push(format!(
                     "{} n={}: scan baseline absent without a skipped marker",
                     r.bench, r.n
+                ));
+            }
+        }
+        if report.online.is_empty() {
+            failures.push("no online-engine rows were recorded".to_string());
+        }
+        for r in &report.online {
+            if !(r.events_per_sec.is_finite() && r.events_per_sec > 0.0) {
+                failures.push(format!(
+                    "{} {} n={}: nonsensical event throughput {}",
+                    r.bench, r.policy, r.jobs, r.events_per_sec
                 ));
             }
         }

@@ -1,15 +1,18 @@
 //! # busytime-cli
 //!
 //! Library backing the `busytime` command-line tool: a JSON on-disk instance format plus
-//! the four sub-commands (`solve`, `throughput`, `batch`, `generate`) implemented as
-//! plain functions so that they can be unit-tested without spawning processes.
+//! the five sub-commands (`solve`, `throughput`, `batch`, `simulate`, `generate`)
+//! implemented as plain functions so that they can be unit-tested without spawning
+//! processes.
 //!
 //! The solving sub-commands go through the unified [`busytime::Solver`] facade, so they
 //! accept the same policy flags: `--algorithm NAME` forces a specific algorithm (a typed
 //! error is reported when it does not apply) and `--exact-only` restricts dispatch to
 //! provably optimal algorithms.  `batch` solves a whole file of instances through
 //! [`busytime::Solver::solve_batch`] on the work-stealing thread pool; `--threads N`
-//! pins the pool size (the default is one worker per core).
+//! pins the pool size (the default is one worker per core).  `simulate` replays an
+//! online event trace through [`busytime::Solver::solve_online`] and reports the
+//! per-event cost trajectory plus the final live schedule.
 //!
 //! ```text
 //! busytime generate --class proper-clique --jobs 50 --capacity 4 --seed 7 --output inst.json
@@ -17,17 +20,17 @@
 //! busytime solve inst.json --algorithm best-cut
 //! busytime throughput inst.json --budget 1200 --exact-only
 //! busytime batch instances.json --threads 4 --output results.json
+//! busytime simulate trace.json --policy best-fit --output sim.json
 //! ```
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
 use busytime::analysis::ScheduleSummary;
+use busytime::online::{Event, OnlinePolicy, Trace};
 use busytime::par::ThreadPool;
-use busytime::{Algorithm, Duration, Instance, Problem, Solution, Solver};
+use busytime::{Algorithm, Duration, Instance, Interval, Problem, Solution, Solver, Time};
 use busytime_workload as workload;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
 
 /// The on-disk JSON representation of an instance.
@@ -304,6 +307,142 @@ pub fn run_batch(
     })
 }
 
+/// The on-disk JSON representation of one online event.
+///
+/// An arrival carries the job's `[start, end)` window in `job`; a departure carries
+/// `null` (the id names the arrival it closes).  The flat shape keeps the format
+/// diff-friendly and independent of any enum encoding.
+#[derive(Debug, Clone, Serialize, Deserialize, PartialEq, Eq)]
+pub struct TraceEventFile {
+    /// The job's stable id (shared between its arrival and its departure).
+    pub id: u64,
+    /// `[start, end)` ticks for an arrival; `null` for a departure.
+    pub job: Option<(i64, i64)>,
+}
+
+/// The on-disk JSON representation of an online event trace.
+#[derive(Debug, Clone, Serialize, Deserialize, PartialEq, Eq)]
+pub struct TraceFile {
+    /// The parallelism parameter `g`.
+    pub capacity: usize,
+    /// The events, in online order.
+    pub events: Vec<TraceEventFile>,
+}
+
+impl TraceFile {
+    /// Convert the file representation into a library trace, validating every arrival
+    /// window (empty or reversed windows are reported with their position).
+    pub fn to_trace(&self) -> Result<Trace, String> {
+        let events = self
+            .events
+            .iter()
+            .enumerate()
+            .map(|(i, event)| match event.job {
+                Some((s, e)) => Interval::try_new(Time::new(s), Time::new(e))
+                    .map(|iv| Event::arrival(event.id, iv))
+                    .map_err(|_| format!("event {i}: arrival window [{s}, {e}) is empty")),
+                None => Ok(Event::departure(event.id)),
+            })
+            .collect::<Result<Vec<_>, String>>()?;
+        Ok(Trace::new(self.capacity, events))
+    }
+
+    /// Build the file representation from a library trace.
+    pub fn from_trace(trace: &Trace) -> Self {
+        TraceFile {
+            capacity: trace.capacity,
+            events: trace
+                .events
+                .iter()
+                .map(|event| match *event {
+                    Event::Arrival { id, interval } => TraceEventFile {
+                        id,
+                        job: Some((interval.start().ticks(), interval.end().ticks())),
+                    },
+                    Event::Departure { id } => TraceEventFile { id, job: None },
+                })
+                .collect(),
+        }
+    }
+
+    /// Parse from a JSON string.
+    pub fn from_json(text: &str) -> Result<Self, String> {
+        serde_json::from_str(text).map_err(|e| format!("invalid trace JSON: {e}"))
+    }
+
+    /// Serialize to pretty JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("trace files always serialize")
+    }
+}
+
+/// The on-disk JSON representation of a simulation result.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SimulationFile {
+    /// The online policy that was replayed (its stable kebab-case name).
+    pub policy: String,
+    /// The machine capacity `g`.
+    pub capacity: usize,
+    /// Number of events replayed.
+    pub events: usize,
+    /// Arrivals among them.
+    pub arrivals: usize,
+    /// Departures among them.
+    pub departures: usize,
+    /// Total busy time after the last event.
+    pub final_cost: i64,
+    /// Highest total busy time observed along the trace.
+    pub peak_cost: i64,
+    /// Number of machines opened over the run.
+    pub machines_opened: usize,
+    /// Jobs still live after the last event.
+    pub live_jobs: usize,
+    /// Total busy time after each event, in event order.
+    pub cost_trajectory: Vec<i64>,
+    /// Live job ids per machine after the last event (emptied machines keep their
+    /// slot, so machine ids are stable across the trajectory).
+    pub machine_groups: Vec<Vec<u64>>,
+}
+
+/// `busytime simulate`: replay an online event trace through
+/// [`busytime::Solver::solve_online`].
+pub fn run_simulate(file: &TraceFile, policy: OnlinePolicy) -> Result<CommandOutput, String> {
+    let trace = file.to_trace()?;
+    let run = Solver::new()
+        .solve_online(&trace, policy)
+        .map_err(|e| e.to_string())?;
+    let scheduler = &run.scheduler;
+    let payload = SimulationFile {
+        policy: policy.name().to_string(),
+        capacity: scheduler.capacity(),
+        events: run.events(),
+        arrivals: scheduler.arrivals(),
+        departures: scheduler.departures(),
+        final_cost: run.final_cost().ticks(),
+        peak_cost: run.peak_cost().ticks(),
+        machines_opened: scheduler.machine_count(),
+        live_jobs: scheduler.live_count(),
+        cost_trajectory: run.trajectory.iter().map(|d| d.ticks()).collect(),
+        machine_groups: scheduler.machine_groups(),
+    };
+    let report = format!(
+        "simulate ({policy}): {} events ({} arrivals, {} departures) on capacity {}, \
+         final busy time {}, peak {}, {} machines opened, {} jobs live",
+        payload.events,
+        payload.arrivals,
+        payload.departures,
+        payload.capacity,
+        payload.final_cost,
+        payload.peak_cost,
+        payload.machines_opened,
+        payload.live_jobs,
+    );
+    Ok(CommandOutput {
+        report,
+        file_payload: Some(serde_json::to_string_pretty(&payload).expect("serializable")),
+    })
+}
+
 /// Workload classes understood by `busytime generate`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum WorkloadClass {
@@ -351,7 +490,9 @@ pub fn run_generate(
     if capacity == 0 {
         return Err("the capacity must be at least 1".into());
     }
-    let mut rng = StdRng::seed_from_u64(seed);
+    // The workspace seeding convention: one logged u64 seed, one RNG, reproducible
+    // output (see `busytime_workload::seeded_rng`).
+    let mut rng = workload::seeded_rng(seed);
     let n = jobs;
     let instance = match class {
         WorkloadClass::Clique => workload::clique_instance(&mut rng, n, capacity, 1_000),
@@ -563,6 +704,86 @@ mod tests {
         assert!(run_batch(&batch, Some(-1), &auto(), None).is_err());
         assert!(run_batch(&batch, None, &auto(), Some(0)).is_err());
         assert!(BatchFile::from_json("{\"capacity\": 1}").is_err());
+    }
+
+    fn sample_trace() -> TraceFile {
+        TraceFile {
+            capacity: 2,
+            events: vec![
+                TraceEventFile {
+                    id: 1,
+                    job: Some((0, 10)),
+                },
+                TraceEventFile {
+                    id: 2,
+                    job: Some((4, 12)),
+                },
+                TraceEventFile {
+                    id: 3,
+                    job: Some((6, 14)),
+                },
+                TraceEventFile { id: 1, job: None },
+            ],
+        }
+    }
+
+    #[test]
+    fn trace_file_round_trip() {
+        let file = sample_trace();
+        let json = file.to_json();
+        let parsed = TraceFile::from_json(&json).unwrap();
+        assert_eq!(parsed, file);
+        let trace = parsed.to_trace().unwrap();
+        assert_eq!(trace.len(), 4);
+        assert_eq!(TraceFile::from_trace(&trace), file);
+        assert!(TraceFile::from_json("{not json").is_err());
+    }
+
+    #[test]
+    fn simulate_command_reports_trajectory_and_groups() {
+        let out = run_simulate(&sample_trace(), OnlinePolicy::FirstFit).unwrap();
+        assert!(
+            out.report.contains("simulate (first-fit)"),
+            "{}",
+            out.report
+        );
+        let payload: SimulationFile = serde_json::from_str(&out.file_payload.unwrap()).unwrap();
+        assert_eq!(payload.events, 4);
+        assert_eq!(payload.arrivals, 3);
+        assert_eq!(payload.departures, 1);
+        // g = 2: jobs 1 and 2 share machine 0, job 3 opens machine 1; job 1 departs.
+        assert_eq!(payload.machines_opened, 2);
+        assert_eq!(payload.live_jobs, 2);
+        assert_eq!(payload.cost_trajectory, vec![10, 12, 12 + 8, 8 + 8]);
+        assert_eq!(payload.final_cost, 16);
+        assert_eq!(payload.peak_cost, 20);
+        assert_eq!(payload.machine_groups, vec![vec![2], vec![3]]);
+    }
+
+    #[test]
+    fn simulate_command_rejects_malformed_traces() {
+        let empty_window = TraceFile {
+            capacity: 2,
+            events: vec![TraceEventFile {
+                id: 0,
+                job: Some((5, 5)),
+            }],
+        };
+        let err = run_simulate(&empty_window, OnlinePolicy::FirstFit).unwrap_err();
+        assert!(err.contains("event 0"), "{err}");
+        let unknown_departure = TraceFile {
+            capacity: 2,
+            events: vec![TraceEventFile { id: 9, job: None }],
+        };
+        let err = run_simulate(&unknown_departure, OnlinePolicy::BestFit).unwrap_err();
+        assert!(err.contains("job 9"), "{err}");
+        let zero_capacity = TraceFile {
+            capacity: 0,
+            events: vec![],
+        };
+        let err = run_simulate(&zero_capacity, OnlinePolicy::BucketByLength).unwrap_err();
+        assert!(err.contains("capacity"), "{err}");
+        assert!(OnlinePolicy::parse("bogus").is_err());
     }
 
     #[test]

@@ -6,27 +6,33 @@
 //!                     [--output schedule.json]
 //! busytime batch <instances.json> [--budget T] [--threads N] [--algorithm NAME]
 //!                [--exact-only] [--output results.json]
+//! busytime simulate <trace.json> [--policy <first-fit|best-fit|bucket-by-length>]
+//!                   [--output simulation.json]
 //! busytime generate --class <clique|one-sided|proper|proper-clique|general|cloud|optical>
 //!                   --jobs N --capacity G [--seed S] [--output instance.json]
 //! ```
 //!
 //! Instances are JSON files of the form `{"capacity": 3, "jobs": [[0, 10], [2, 12]]}`;
-//! batches are JSON arrays of such objects.  `--algorithm` forces a specific algorithm
-//! through the solver facade (for MinBusy: `one-sided`, `proper-clique-dp`,
-//! `clique-matching`, `clique-set-cover`, `best-cut`, `first-fit`; for throughput the
-//! `throughput-*` names); `--exact-only` refuses any approximate algorithm;
-//! `--threads` pins the work-stealing pool driving `batch` (default: one worker per
-//! core).
+//! batches are JSON arrays of such objects.  Traces are JSON files of the form
+//! `{"capacity": 2, "events": [{"id": 1, "job": [0, 10]}, {"id": 1, "job": null}]}`
+//! (a `null` job is the departure of the id's earlier arrival).  `--algorithm` forces
+//! a specific algorithm through the solver facade (for MinBusy: `one-sided`,
+//! `proper-clique-dp`, `clique-matching`, `clique-set-cover`, `best-cut`, `first-fit`;
+//! for throughput the `throughput-*` names); `--exact-only` refuses any approximate
+//! algorithm; `--threads` pins the work-stealing pool driving `batch` (default: one
+//! worker per core); `--policy` selects the online placement rule driving `simulate`
+//! (default: `first-fit`).
 
+use busytime::online::OnlinePolicy;
 use busytime::Algorithm;
 use busytime_cli::{
-    run_batch, run_generate, run_solve, run_throughput, BatchFile, CommandOutput, InstanceFile,
-    SolveOptions, WorkloadClass,
+    run_batch, run_generate, run_simulate, run_solve, run_throughput, BatchFile, CommandOutput,
+    InstanceFile, SolveOptions, TraceFile, WorkloadClass,
 };
 
 fn usage() -> ! {
     eprintln!(
-        "usage:\n  busytime solve <instance.json> [--algorithm NAME] [--exact-only] [--output schedule.json]\n  busytime throughput <instance.json> --budget T [--algorithm NAME] [--exact-only] [--output schedule.json]\n  busytime batch <instances.json> [--budget T] [--threads N] [--algorithm NAME] [--exact-only] [--output results.json]\n  busytime generate --class CLASS --jobs N --capacity G [--seed S] [--output instance.json]"
+        "usage:\n  busytime solve <instance.json> [--algorithm NAME] [--exact-only] [--output schedule.json]\n  busytime throughput <instance.json> --budget T [--algorithm NAME] [--exact-only] [--output schedule.json]\n  busytime batch <instances.json> [--budget T] [--threads N] [--algorithm NAME] [--exact-only] [--output results.json]\n  busytime simulate <trace.json> [--policy POLICY] [--output simulation.json]\n  busytime generate --class CLASS --jobs N --capacity G [--seed S] [--output instance.json]"
     );
     std::process::exit(2);
 }
@@ -168,6 +174,42 @@ fn main() {
                 std::process::exit(1);
             });
             finish(run_batch(&batch, budget, &options, threads), output_path);
+        }
+        "simulate" => {
+            let mut trace_path: Option<String> = None;
+            let mut policy = OnlinePolicy::FirstFit;
+            let mut it = args[1..].iter();
+            while let Some(arg) = it.next() {
+                match arg.as_str() {
+                    "--output" => output_path = it.next().cloned(),
+                    "--policy" => {
+                        policy = it
+                            .next()
+                            .map(|v| {
+                                OnlinePolicy::parse(v).unwrap_or_else(|e| {
+                                    eprintln!("{e}");
+                                    std::process::exit(2);
+                                })
+                            })
+                            .unwrap_or_else(|| {
+                                eprintln!("--policy needs a value");
+                                std::process::exit(2);
+                            })
+                    }
+                    other if trace_path.is_none() => trace_path = Some(other.to_string()),
+                    _ => usage(),
+                }
+            }
+            let path = trace_path.unwrap_or_else(|| usage());
+            let text = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+                eprintln!("cannot read {path}: {e}");
+                std::process::exit(1);
+            });
+            let trace = TraceFile::from_json(&text).unwrap_or_else(|e| {
+                eprintln!("{e}");
+                std::process::exit(1);
+            });
+            finish(run_simulate(&trace, policy), output_path);
         }
         "generate" => {
             let mut class: Option<WorkloadClass> = None;

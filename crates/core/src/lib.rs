@@ -53,7 +53,8 @@
 //! | module | contents |
 //! |---|---|
 //! | [`solver`] | the [`Solver`] / [`Problem`] / [`Solution`] facade with policy-driven dispatch |
-//! | [`machine`] | incremental [`MachineState`] / [`ScheduleBuilder`] powering the greedy placements |
+//! | [`machine`] | incremental [`MachineState`] / [`MachinePool`] / [`ScheduleBuilder`] powering the greedy placements |
+//! | [`online`] | the event-driven [`OnlineScheduler`] maintaining a live schedule under arrivals and departures |
 //! | [`placement`] | the global [`PlacementIndex`] selecting machines in `O(log m)` |
 //! | [`soa`] | the flat [`JobsSoa`] columnar job layout behind [`Instance`] |
 //! | [`tuning`] | calibrated scan/kernel cutover thresholds for adaptive dispatch |
@@ -79,6 +80,7 @@ mod instance;
 pub mod machine;
 pub mod maxthroughput;
 pub mod minbusy;
+pub mod online;
 pub mod par;
 pub mod placement;
 mod schedule;
@@ -90,7 +92,8 @@ pub mod twodim;
 pub use busytime_interval::{Duration, Interval, Time};
 pub use error::Error;
 pub use instance::{Instance, JobId};
-pub use machine::{MachineState, Placement, ScheduleBuilder};
+pub use machine::{MachinePool, MachineState, Placement, ScheduleBuilder};
+pub use online::{OnlinePolicy, OnlineRun, OnlineScheduler};
 pub use placement::{MachineDigest, PlacementIndex};
 pub use schedule::{MachineId, Schedule, SolveResult, ThroughputResult};
 pub use soa::JobsSoa;

@@ -1,4 +1,5 @@
-//! Incremental machine state: per-machine occupancy maintained under job insertion.
+//! Incremental machine state: per-machine occupancy maintained under job insertion
+//! *and removal*.
 //!
 //! The greedy algorithms (FirstFit of [13], the best-fit MaxThroughput fallback) place
 //! one job at a time.  Before this module they re-derived every overlap fact from
@@ -12,9 +13,14 @@
 //!   time of a placement (`len(J) −` already-covered length) and the machine's running
 //!   busy time without any re-unioning.
 //!
-//! [`ScheduleBuilder`] assembles a pool of machine states into a schedule, tracking the
-//! total cost incrementally; it is the engine behind `minbusy::first_fit` and
-//! `maxthroughput::greedy_fallback`.
+//! [`MachinePool`] assembles machine states into a growable pool behind the global
+//! [`PlacementIndex`], keeping the per-machine digests and the total busy time
+//! incrementally consistent across insertions *and removals* — a machine whose load
+//! drops below `g` becomes placeable again through an `O(log m)` digest refresh, never
+//! an index rebuild.  The pool is the shared engine of both the offline
+//! [`ScheduleBuilder`] (which adds the [`crate::instance::Instance`]/
+//! [`crate::schedule::Schedule`] bookkeeping) and the event-driven
+//! [`crate::online::OnlineScheduler`].
 //!
 //! ```
 //! use busytime::machine::ScheduleBuilder;
@@ -49,7 +55,9 @@ pub struct MachineState {
     threads: Vec<DisjointIntervalSet>,
     coverage: SweepSet,
     /// Hull of everything on the machine (`None` when empty): a window disjoint from
-    /// it is accepted in `O(1)` without touching the profiles.
+    /// it is accepted in `O(1)` without touching the profiles.  Kept **exact** under
+    /// removal (recomputed from the coverage profile), so a machine whose jobs depart
+    /// gets its digest tightened rather than pinned at a high-water mark.
     hull: Option<(i64, i64)>,
     /// The widest known *saturated* stretch — coverage depth equal to `g`, meaning
     /// every thread provably runs a job throughout it.  A window overlapping it is
@@ -104,6 +112,12 @@ impl MachineState {
     /// equal to `g`); any job overlapping it is rejected outright.
     pub fn saturated_stretch(&self) -> Option<Interval> {
         self.saturated.map(|(lo, hi)| Interval::from_ticks(lo, hi))
+    }
+
+    /// The machine's summary as the [`PlacementIndex`] keys it: hull plus widest known
+    /// saturated stretch.
+    pub fn digest(&self) -> MachineDigest {
+        MachineDigest::new(self.hull, self.saturated)
     }
 
     /// Largest number of jobs this machine runs simultaneously.
@@ -182,19 +196,32 @@ impl MachineState {
 
     /// Remove a job previously placed on `thread`; returns the decrease in busy time,
     /// or `None` when the job was not on that thread.
+    ///
+    /// This is the *reopen* path of the online engine: the hull is recomputed exactly
+    /// from the coverage profile (`O(log n)`, no high-water mark), and the saturated
+    /// stretch survives whenever the removed window provably missed it — anywhere else
+    /// the stretch may have lost a thread and is dropped, so a machine whose depth
+    /// falls below `g` becomes placeable again on the very next query.
     pub fn remove(&mut self, iv: Interval, thread: usize) -> Option<Duration> {
         if !self.threads[thread].remove(iv) {
             return None;
         }
-        // Both caches are conservative over-approximations after a removal: the hull
-        // may only be too large (costs a probe, never correctness), but a saturated
-        // stretch may no longer be saturated, so it must be dropped.
-        self.saturated = None;
-        Some(self.coverage.remove(iv))
+        let freed = self.coverage.remove(iv);
+        self.hull = self
+            .coverage
+            .hull()
+            .map(|h| (h.start().ticks(), h.end().ticks()));
+        if let Some((lo, hi)) = self.saturated {
+            let (s, e) = (iv.start().ticks(), iv.end().ticks());
+            if s < hi && lo < e {
+                self.saturated = None;
+            }
+        }
+        Some(freed)
     }
 }
 
-/// Where [`ScheduleBuilder::best_fit`] would put a job, and at what price.
+/// Where [`MachinePool::best_fit_slot`] would put a job, and at what price.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Placement {
     /// The machine (equal to the current machine count when a new one must open).
@@ -205,43 +232,48 @@ pub struct Placement {
     pub delta: Duration,
 }
 
-fn digest_of(machine: &MachineState) -> MachineDigest {
-    MachineDigest::new(
-        machine.hull().map(|h| (h.start().ticks(), h.end().ticks())),
-        machine
-            .saturated_stretch()
-            .map(|s| (s.start().ticks(), s.end().ticks())),
-    )
-}
-
-/// Builds a schedule one placement at a time over a growing pool of [`MachineState`]s,
-/// with the total busy time maintained incrementally.
+/// A growable pool of [`MachineState`]s behind the global [`PlacementIndex`], with the
+/// total busy time maintained incrementally.
 ///
-/// Machine selection goes through the global [`PlacementIndex`]: committing a job
-/// refreshes the machine's digest in the index (`O(log m)`), and the first-fit /
+/// The pool is the machine-selection engine shared by the offline [`ScheduleBuilder`]
+/// and the event-driven [`crate::online::OnlineScheduler`]: committing or removing a
+/// job refreshes the machine's digest in the index (`O(log m)`), and the first-fit /
 /// best-fit queries descend the index instead of scanning a flat summary array.  The
-/// pre-index linear scans survive as [`ScheduleBuilder::place_first_fit_linear`] and
-/// [`ScheduleBuilder::best_fit_linear`] — equivalence baselines for the property tests
+/// pre-index linear scans survive as [`MachinePool::first_fit_slot_linear`] and
+/// [`MachinePool::best_fit_slot_linear`] — equivalence baselines for the property tests
 /// and the calibration benchmarks.
 #[derive(Debug, Clone)]
-pub struct ScheduleBuilder<'a> {
-    instance: &'a Instance,
+pub struct MachinePool {
+    capacity: usize,
     machines: Vec<MachineState>,
     index: PlacementIndex,
-    schedule: Schedule,
     cost: Duration,
 }
 
-impl<'a> ScheduleBuilder<'a> {
-    /// Start an empty schedule for `instance`.
-    pub fn new(instance: &'a Instance) -> Self {
-        ScheduleBuilder {
-            instance,
+impl MachinePool {
+    /// An empty pool of machines with `g` threads each.
+    pub fn new(capacity: usize) -> Self {
+        MachinePool {
+            capacity,
             machines: Vec::new(),
             index: PlacementIndex::new(),
-            schedule: Schedule::empty(instance.len()),
             cost: Duration::ZERO,
         }
+    }
+
+    /// The per-machine capacity `g`.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of machines opened so far.
+    pub fn len(&self) -> usize {
+        self.machines.len()
+    }
+
+    /// `true` when no machine has been opened yet.
+    pub fn is_empty(&self) -> bool {
+        self.machines.is_empty()
     }
 
     /// The machines opened so far.
@@ -249,8 +281,13 @@ impl<'a> ScheduleBuilder<'a> {
         &self.machines
     }
 
-    /// The live placement index over the machine pool.
-    pub fn placement_index(&self) -> &PlacementIndex {
+    /// The state of machine `m`.
+    pub fn machine(&self, m: MachineId) -> &MachineState {
+        &self.machines[m]
+    }
+
+    /// The live placement index over the pool.
+    pub fn index(&self) -> &PlacementIndex {
         &self.index
     }
 
@@ -259,9 +296,8 @@ impl<'a> ScheduleBuilder<'a> {
         self.cost
     }
 
-    /// Place `job` on the first thread of the first machine that can run it without a
-    /// conflict, opening a fresh machine when none can (FirstFit's placement rule).
-    /// Returns the chosen machine.
+    /// The first (machine, thread) that can run `iv` without a conflict — the fresh
+    /// machine slot `(len, 0)` when none can (FirstFit's placement rule).
     ///
     /// The search is a two-tier hybrid over the same candidate order the linear scan
     /// probes.  A short digest prefix is walked flat — when the job lands on an early
@@ -272,75 +308,60 @@ impl<'a> ScheduleBuilder<'a> {
     /// arrival-ordered placement, where thousands of early machines are full) are
     /// skipped in `O(log m)` instead of being rejected one by one.  Every surviving
     /// candidate is probed exactly as the linear scan would, so the chosen machine is
-    /// identical to [`ScheduleBuilder::place_first_fit_linear`].
-    pub fn place_first_fit(&mut self, job: JobId) -> MachineId {
-        let iv = self.instance.job(job);
+    /// identical to [`MachinePool::first_fit_slot_linear`].
+    pub fn first_fit_slot(&self, iv: Interval) -> (MachineId, usize) {
         let (s, e) = (iv.start().ticks(), iv.end().ticks());
-        let mut placement = None;
         let prefix = self.machines.len().min(FIRST_FIT_LINEAR_PREFIX);
         for (m, digest) in self.index.digests()[..prefix].iter().enumerate() {
             if digest.rejects(s, e) {
                 continue;
             }
             if digest.accepts(s, e) {
-                placement = Some((m, 0));
-                break;
+                return (m, 0);
             }
             if let Some(t) = self.machines[m].first_free_thread(iv) {
-                placement = Some((m, t));
-                break;
+                return (m, t);
             }
         }
-        if placement.is_none() {
-            let mut m = self.index.next_placeable(s, e, prefix);
-            placement = loop {
-                if m >= self.machines.len() {
-                    break None;
-                }
-                if self.index.digest(m).accepts(s, e) {
-                    break Some((m, 0));
-                }
-                if let Some(t) = self.machines[m].first_free_thread(iv) {
-                    break Some((m, t));
-                }
-                m = self.index.next_placeable(s, e, m + 1);
-            };
+        let mut m = self.index.next_placeable(s, e, prefix);
+        loop {
+            if m >= self.machines.len() {
+                return (self.machines.len(), 0);
+            }
+            if self.index.digest(m).accepts(s, e) {
+                return (m, 0);
+            }
+            if let Some(t) = self.machines[m].first_free_thread(iv) {
+                return (m, t);
+            }
+            m = self.index.next_placeable(s, e, m + 1);
         }
-        let (machine, thread) = placement.unwrap_or((self.machines.len(), 0));
-        self.commit(job, machine, thread);
-        machine
     }
 
     /// The linear-scan first fit: identical placement rule and result as
-    /// [`ScheduleBuilder::place_first_fit`], probing every machine digest in order.
+    /// [`MachinePool::first_fit_slot`], probing every machine digest in order.
     ///
     /// Kept as the equivalence baseline for the placement index (property tests pin
     /// the two paths together) and as the faster choice on very small pools, where the
     /// adaptive dispatch in [`crate::minbusy::first_fit_in_order`] routes placements
     /// through the plain scan instead.
-    pub fn place_first_fit_linear(&mut self, job: JobId) -> MachineId {
-        let iv = self.instance.job(job);
+    pub fn first_fit_slot_linear(&self, iv: Interval) -> (MachineId, usize) {
         let (s, e) = (iv.start().ticks(), iv.end().ticks());
-        let mut placement = None;
         for (m, digest) in self.index.digests().iter().enumerate() {
             if digest.rejects(s, e) {
                 continue;
             }
             if digest.accepts(s, e) {
-                placement = Some((m, 0));
-                break;
+                return (m, 0);
             }
             if let Some(t) = self.machines[m].first_free_thread(iv) {
-                placement = Some((m, t));
-                break;
+                return (m, t);
             }
         }
-        let (machine, thread) = placement.unwrap_or((self.machines.len(), 0));
-        self.commit(job, machine, thread);
-        machine
+        (self.machines.len(), 0)
     }
 
-    /// The cheapest placement for `job`: the earliest (machine, thread) whose busy-time
+    /// The cheapest placement for `iv`: the earliest (machine, thread) whose busy-time
     /// increase is strictly smallest, falling back to a fresh machine at full job
     /// length when no existing machine can run the job.
     ///
@@ -350,8 +371,7 @@ impl<'a> ScheduleBuilder<'a> {
     /// earliest hull-disjoint machine from [`PlacementIndex::first_disjoint`]; every
     /// machine is either hull-overlapping or hull-disjoint, so the candidate set — and
     /// the (delta, machine) minimum over it — is identical to the linear scan's.
-    pub fn best_fit(&self, job: JobId) -> Placement {
-        let iv = self.instance.job(job);
+    pub fn best_fit_slot(&self, iv: Interval) -> Placement {
         let (s, e) = (iv.start().ticks(), iv.end().ticks());
         // The earliest machine the job misses entirely (or the fresh-machine slot):
         // accepted on thread 0 at full length.
@@ -383,10 +403,9 @@ impl<'a> ScheduleBuilder<'a> {
         best
     }
 
-    /// The linear-scan best fit: identical result as [`ScheduleBuilder::best_fit`],
+    /// The linear-scan best fit: identical result as [`MachinePool::best_fit_slot`],
     /// probing every machine digest in order (the pre-index reference path).
-    pub fn best_fit_linear(&self, job: JobId) -> Placement {
-        let iv = self.instance.job(job);
+    pub fn best_fit_slot_linear(&self, iv: Interval) -> Placement {
         let (s, e) = (iv.start().ticks(), iv.end().ticks());
         let mut best: Option<Placement> = None;
         for (m, digest) in self.index.digests().iter().enumerate() {
@@ -424,20 +443,116 @@ impl<'a> ScheduleBuilder<'a> {
         })
     }
 
+    /// Place `iv` on `(machine, thread)`, opening the machine when `machine` equals the
+    /// current pool size.  The machine's digest in the placement index is refreshed in
+    /// the same step (`O(log m)`), keeping the index exactly consistent with the pool.
+    ///
+    /// Returns the increase in total busy time.
+    pub fn insert(&mut self, iv: Interval, machine: MachineId, thread: usize) -> Duration {
+        if machine == self.machines.len() {
+            self.machines.push(MachineState::new(self.capacity));
+            self.index.push(MachineDigest::EMPTY);
+        }
+        let delta = self.machines[machine].insert(iv, thread);
+        self.cost += delta;
+        self.index.update(machine, self.machines[machine].digest());
+        delta
+    }
+
+    /// Remove a job previously placed on `(machine, thread)` — the *reopen* path.
+    ///
+    /// Returns the decrease in total busy time, or `None` when the job was not there.
+    /// The machine's digest is refreshed in place (`O(log m)`, never a rebuild): its
+    /// hull tightens to the surviving jobs and a saturated stretch the removal touched
+    /// is dropped, so a machine whose load fell below `g` immediately re-enters the
+    /// first-fit/best-fit candidate streams.
+    pub fn remove(&mut self, iv: Interval, machine: MachineId, thread: usize) -> Option<Duration> {
+        let freed = self.machines[machine].remove(iv, thread)?;
+        self.cost -= freed;
+        self.index.update(machine, self.machines[machine].digest());
+        Some(freed)
+    }
+}
+
+/// Builds a schedule one placement at a time over a growing [`MachinePool`], with the
+/// total busy time maintained incrementally.
+///
+/// This is the offline face of the pool — it adds the [`Instance`] job lookup and the
+/// [`Schedule`] assignment bookkeeping on top of [`MachinePool`]'s machine selection;
+/// it is the engine behind `minbusy::first_fit` and `maxthroughput::greedy_fallback`.
+#[derive(Debug, Clone)]
+pub struct ScheduleBuilder<'a> {
+    instance: &'a Instance,
+    pool: MachinePool,
+    schedule: Schedule,
+}
+
+impl<'a> ScheduleBuilder<'a> {
+    /// Start an empty schedule for `instance`.
+    pub fn new(instance: &'a Instance) -> Self {
+        ScheduleBuilder {
+            instance,
+            pool: MachinePool::new(instance.capacity()),
+            schedule: Schedule::empty(instance.len()),
+        }
+    }
+
+    /// The machines opened so far.
+    pub fn machines(&self) -> &[MachineState] {
+        self.pool.machines()
+    }
+
+    /// The live placement index over the machine pool.
+    pub fn placement_index(&self) -> &PlacementIndex {
+        self.pool.index()
+    }
+
+    /// The running total busy time of all machines.
+    pub fn cost(&self) -> Duration {
+        self.pool.cost()
+    }
+
+    /// Place `job` on the first thread of the first machine that can run it without a
+    /// conflict, opening a fresh machine when none can (FirstFit's placement rule).
+    /// Returns the chosen machine.  See [`MachinePool::first_fit_slot`].
+    pub fn place_first_fit(&mut self, job: JobId) -> MachineId {
+        let iv = self.instance.job(job);
+        let (machine, thread) = self.pool.first_fit_slot(iv);
+        self.commit(job, machine, thread);
+        machine
+    }
+
+    /// The linear-scan first fit: identical placement rule and result as
+    /// [`ScheduleBuilder::place_first_fit`], probing every machine digest in order.
+    /// See [`MachinePool::first_fit_slot_linear`].
+    pub fn place_first_fit_linear(&mut self, job: JobId) -> MachineId {
+        let iv = self.instance.job(job);
+        let (machine, thread) = self.pool.first_fit_slot_linear(iv);
+        self.commit(job, machine, thread);
+        machine
+    }
+
+    /// The cheapest placement for `job`: the earliest (machine, thread) whose busy-time
+    /// increase is strictly smallest, falling back to a fresh machine at full job
+    /// length when no existing machine can run the job.  See
+    /// [`MachinePool::best_fit_slot`].
+    pub fn best_fit(&self, job: JobId) -> Placement {
+        self.pool.best_fit_slot(self.instance.job(job))
+    }
+
+    /// The linear-scan best fit: identical result as [`ScheduleBuilder::best_fit`],
+    /// probing every machine digest in order (the pre-index reference path).
+    pub fn best_fit_linear(&self, job: JobId) -> Placement {
+        self.pool.best_fit_slot_linear(self.instance.job(job))
+    }
+
     /// Apply a placement (from [`ScheduleBuilder::best_fit`] or chosen by the caller),
     /// opening the machine if it does not exist yet.  The machine's digest in the
     /// placement index is refreshed in the same step, keeping the index exactly
     /// consistent with the pool.
     pub fn commit(&mut self, job: JobId, machine: MachineId, thread: usize) {
         let iv = self.instance.job(job);
-        if machine == self.machines.len() {
-            self.machines
-                .push(MachineState::new(self.instance.capacity()));
-            self.index.push(MachineDigest::EMPTY);
-        }
-        self.cost += self.machines[machine].insert(iv, thread);
-        self.index
-            .update(machine, digest_of(&self.machines[machine]));
+        self.pool.insert(iv, machine, thread);
         self.schedule.assign(job, machine);
     }
 
@@ -485,11 +600,56 @@ mod tests {
     }
 
     #[test]
+    fn machine_remove_tightens_hull_and_reopens_saturation() {
+        let mut m = MachineState::new(1);
+        m.insert(iv(0, 10), 0);
+        m.insert(iv(20, 32), 0);
+        assert_eq!(m.hull(), Some(iv(0, 32)));
+        assert_eq!(
+            m.saturated_stretch(),
+            Some(iv(20, 32)),
+            "g = 1: the widest single-job run saturates the machine"
+        );
+        // Removing the left job shrinks the hull exactly; the saturated stretch on the
+        // right is untouched by the removal window and survives.
+        assert_eq!(m.remove(iv(0, 10), 0), Some(Duration::new(10)));
+        assert_eq!(m.hull(), Some(iv(20, 32)));
+        assert_eq!(m.saturated_stretch(), Some(iv(20, 32)));
+        // Removing the job under the stretch drops it: the machine is placeable again.
+        assert_eq!(m.remove(iv(20, 32), 0), Some(Duration::new(12)));
+        assert_eq!(m.hull(), None);
+        assert_eq!(m.saturated_stretch(), None);
+        assert_eq!(m.first_free_thread(iv(22, 28)), Some(0));
+        assert_eq!(m.digest(), MachineDigest::EMPTY);
+    }
+
+    #[test]
     #[should_panic]
     fn conflicting_insert_panics() {
         let mut m = MachineState::new(1);
         m.insert(iv(0, 4), 0);
         m.insert(iv(2, 6), 0);
+    }
+
+    #[test]
+    fn pool_insert_remove_keeps_cost_and_digests_live() {
+        let mut pool = MachinePool::new(1);
+        assert!(pool.is_empty());
+        assert_eq!(pool.first_fit_slot(iv(0, 10)), (0, 0));
+        pool.insert(iv(0, 10), 0, 0);
+        // The machine is saturated: the next overlapping job opens machine 1.
+        assert_eq!(pool.first_fit_slot(iv(5, 15)), (1, 0));
+        pool.insert(iv(5, 15), 1, 0);
+        assert_eq!(pool.cost(), Duration::new(20));
+        assert_eq!(pool.len(), 2);
+        // Departure reopens machine 0 for the window it used to reject.
+        assert_eq!(pool.remove(iv(0, 10), 0, 0), Some(Duration::new(10)));
+        assert_eq!(pool.cost(), Duration::new(10));
+        assert_eq!(pool.first_fit_slot(iv(2, 8)), (0, 0));
+        assert_eq!(pool.index().digest(0), &MachineDigest::EMPTY);
+        // Removing a job that is not there reports None and changes nothing.
+        assert_eq!(pool.remove(iv(0, 10), 0, 0), None);
+        assert_eq!(pool.cost(), Duration::new(10));
     }
 
     #[test]

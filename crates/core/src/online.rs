@@ -1,0 +1,608 @@
+//! Event-driven online scheduling: a live schedule maintained under job arrivals and
+//! departures.
+//!
+//! The paper's busy-time model is inherently temporal — jobs are fixed intervals and a
+//! machine is "on" exactly while hosting work — yet the offline algorithms all consume a
+//! complete [`crate::instance::Instance`] up front.  This module opens the
+//! arrival/departure workload class: an [`OnlineScheduler`] consumes a time-ordered
+//! stream of [`Event`]s and keeps a live schedule **incrementally**,
+//!
+//! * placing each arrival through the shared [`MachinePool`] engine (the same
+//!   [`crate::placement::PlacementIndex`]-backed first-fit / best-fit selection the
+//!   offline greedies use),
+//! * handling each departure through the pool's remove/reopen path — the machine's
+//!   digest is refreshed in `O(log m)` (hull tightened, saturated stretch dropped only
+//!   when touched), never rebuilt, so machines whose load falls below `g` immediately
+//!   re-enter the candidate streams,
+//! * tracking the running busy-time cost as the marginal deltas the per-machine
+//!   [`busytime_interval::SweepSet`] coverage profiles report, with no from-scratch
+//!   recomputation at any event.
+//!
+//! Replaying a static instance as an arrivals-only trace reproduces the offline greedy
+//! exactly — the differential oracle the test suite pins (`tests/online_offline_oracle`):
+//! online FirstFit ≡ `minbusy::first_fit_in_order`, online BestFit ≡ the best-fit
+//! greedy of `maxthroughput::greedy_fallback` under an unbounded budget.
+//!
+//! ```
+//! use busytime::online::{Event, OnlinePolicy, OnlineScheduler};
+//! use busytime::{Duration, Interval};
+//!
+//! let mut scheduler = OnlineScheduler::new(2, OnlinePolicy::FirstFit).unwrap();
+//! scheduler.apply(&Event::arrival(1, Interval::from_ticks(0, 10))).unwrap();
+//! scheduler.apply(&Event::arrival(2, Interval::from_ticks(5, 15))).unwrap();
+//! scheduler.apply(&Event::arrival(3, Interval::from_ticks(7, 12))).unwrap();
+//! // Capacity 2: jobs 1 and 2 share machine 0, job 3 opens machine 1.
+//! assert_eq!(scheduler.machine_count(), 2);
+//! assert_eq!(scheduler.cost(), Duration::new(15 + 5));
+//! // Job 1 departs: machine 0's busy time shrinks to [5, 15) and its slot reopens.
+//! scheduler.apply(&Event::departure(1)).unwrap();
+//! assert_eq!(scheduler.cost(), Duration::new(10 + 5));
+//! assert_eq!(scheduler.live_count(), 2);
+//! ```
+
+use core::fmt;
+use std::collections::BTreeMap;
+
+use busytime_interval::{Duration, Interval};
+
+use crate::machine::{MachinePool, MachineState};
+use crate::schedule::MachineId;
+
+/// Identifier of an online job, assigned by the trace source and stable across the
+/// job's lifetime (arrival and departure carry the same id).
+pub type OnlineJobId = u64;
+
+/// One step of an online workload: a job arriving or a previously arrived job leaving.
+///
+/// Events carry no explicit timestamp — the *stream order* is the online order (an
+/// arrival's interval start is its natural arrival time, and trace generators emit
+/// events sorted that way, departures before arrivals at equal ticks to match the
+/// half-open interval semantics).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Event {
+    /// A new job becomes known and must be placed immediately.
+    Arrival {
+        /// The job's stable id.
+        id: OnlineJobId,
+        /// The job's processing interval.
+        interval: Interval,
+    },
+    /// A live job leaves the system (cancellation or early completion) and frees its
+    /// slot.
+    Departure {
+        /// The id the job arrived under.
+        id: OnlineJobId,
+    },
+}
+
+impl Event {
+    /// An arrival event.
+    pub fn arrival(id: OnlineJobId, interval: Interval) -> Self {
+        Event::Arrival { id, interval }
+    }
+
+    /// A departure event.
+    pub fn departure(id: OnlineJobId) -> Self {
+        Event::Departure { id }
+    }
+}
+
+/// A self-contained online workload: the machine capacity plus the time-ordered event
+/// stream.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Trace {
+    /// The parallelism parameter `g` of every machine.
+    pub capacity: usize,
+    /// The events, in online order.
+    pub events: Vec<Event>,
+}
+
+impl Trace {
+    /// Bundle a capacity and an event stream.
+    pub fn new(capacity: usize, events: Vec<Event>) -> Self {
+        Trace { capacity, events }
+    }
+
+    /// Number of events in the trace.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// `true` when the trace carries no events.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+}
+
+/// The placement rule an [`OnlineScheduler`] applies to each arrival.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum OnlinePolicy {
+    /// First machine (first thread) that can run the job — the online form of the
+    /// FirstFit baseline of [13].
+    FirstFit,
+    /// The placement with the smallest busy-time increase, earliest machine on ties —
+    /// the online form of the best-fit greedy fallback.
+    BestFit,
+    /// FirstFit inside geometric length buckets (bucket `b` holds jobs with
+    /// `2^b ≤ len < 2^{b+1}`, each bucket on its own machines) — the online mirror of
+    /// the offline BucketFirstFit idea of Section 3.4, which caps the length spread
+    /// `γ` each machine sees at 2.
+    BucketByLength,
+}
+
+impl OnlinePolicy {
+    /// Every policy, in CLI listing order.
+    pub fn all() -> &'static [OnlinePolicy] {
+        &[
+            OnlinePolicy::FirstFit,
+            OnlinePolicy::BestFit,
+            OnlinePolicy::BucketByLength,
+        ]
+    }
+
+    /// The stable kebab-case name (CLI flag values, report columns).
+    pub fn name(self) -> &'static str {
+        match self {
+            OnlinePolicy::FirstFit => "first-fit",
+            OnlinePolicy::BestFit => "best-fit",
+            OnlinePolicy::BucketByLength => "bucket-by-length",
+        }
+    }
+
+    /// Parse the CLI spelling of a policy name.
+    pub fn parse(text: &str) -> Result<Self, String> {
+        OnlinePolicy::all()
+            .iter()
+            .copied()
+            .find(|p| p.name() == text)
+            .ok_or_else(|| {
+                let names: Vec<&str> = OnlinePolicy::all().iter().map(|p| p.name()).collect();
+                format!(
+                    "unknown online policy '{text}' (expected one of: {})",
+                    names.join(", ")
+                )
+            })
+    }
+}
+
+impl fmt::Display for OnlinePolicy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A typed failure while applying an event stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OnlineError {
+    /// The machine capacity must be at least 1.
+    InvalidCapacity,
+    /// An arrival reused the id of a job that is still live.
+    DuplicateArrival {
+        /// The clashing id.
+        id: OnlineJobId,
+    },
+    /// A departure named an id that is not live (never arrived, or already departed).
+    UnknownDeparture {
+        /// The unknown id.
+        id: OnlineJobId,
+    },
+}
+
+impl fmt::Display for OnlineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OnlineError::InvalidCapacity => write!(f, "the machine capacity must be at least 1"),
+            OnlineError::DuplicateArrival { id } => {
+                write!(f, "arrival of job {id}, which is already live")
+            }
+            OnlineError::UnknownDeparture { id } => {
+                write!(f, "departure of job {id}, which is not live")
+            }
+        }
+    }
+}
+
+impl std::error::Error for OnlineError {}
+
+/// What one applied event did to the live schedule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EventEffect {
+    /// The machine the event touched (global machine id; for an arrival, where the job
+    /// was placed).
+    pub machine: MachineId,
+    /// The signed busy-time change in ticks (non-negative for arrivals, non-positive
+    /// for departures).
+    pub cost_delta: i64,
+    /// The total busy time after the event.
+    pub cost: Duration,
+    /// `true` for arrivals, `false` for departures.
+    pub arrival: bool,
+}
+
+/// Where a live job currently sits.
+#[derive(Debug, Clone, Copy)]
+struct LiveJob {
+    interval: Interval,
+    /// Slot into the scheduler's pool vector (always 0 for the unbucketed policies).
+    pool: usize,
+    /// Machine id local to that pool.
+    local: usize,
+    thread: usize,
+    /// Stable machine id across all pools, in order of opening.
+    global: MachineId,
+}
+
+/// The event-driven scheduler: a live busy-time schedule maintained incrementally
+/// under arrivals and departures.
+///
+/// Per-event work is incremental throughout — placement descends the live
+/// [`crate::placement::PlacementIndex`], departures refresh one machine digest, and
+/// the running cost is updated by the marginal delta the touched machine reports.
+/// Nothing is ever recomputed from scratch, which is what makes 100k-event traces
+/// tractable (the scaling bench records events/sec).
+#[derive(Debug, Clone)]
+pub struct OnlineScheduler {
+    capacity: usize,
+    policy: OnlinePolicy,
+    /// Machine pools: exactly one for the unbucketed policies, one per non-empty
+    /// length bucket for [`OnlinePolicy::BucketByLength`].
+    pools: Vec<MachinePool>,
+    /// Length bucket (`len.ilog2()`) → slot in `pools`, grown on demand.
+    bucket_slots: Vec<Option<usize>>,
+    /// Global machine id → (pool slot, local machine id), in opening order.
+    global: Vec<(usize, usize)>,
+    /// Pool slot → local machine id → global machine id.
+    pool_machines: Vec<Vec<MachineId>>,
+    /// Live jobs by id (ordered, so every iteration order is deterministic).
+    live: BTreeMap<OnlineJobId, LiveJob>,
+    cost: Duration,
+    peak_cost: Duration,
+    arrivals: usize,
+    departures: usize,
+}
+
+impl OnlineScheduler {
+    /// An empty live schedule over machines of capacity `g`.
+    pub fn new(capacity: usize, policy: OnlinePolicy) -> Result<Self, OnlineError> {
+        if capacity == 0 {
+            return Err(OnlineError::InvalidCapacity);
+        }
+        let mut scheduler = OnlineScheduler {
+            capacity,
+            policy,
+            pools: Vec::new(),
+            bucket_slots: Vec::new(),
+            global: Vec::new(),
+            pool_machines: Vec::new(),
+            live: BTreeMap::new(),
+            cost: Duration::ZERO,
+            peak_cost: Duration::ZERO,
+            arrivals: 0,
+            departures: 0,
+        };
+        if policy != OnlinePolicy::BucketByLength {
+            scheduler.pools.push(MachinePool::new(capacity));
+            scheduler.pool_machines.push(Vec::new());
+        }
+        Ok(scheduler)
+    }
+
+    /// The machine capacity `g`.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// The placement policy in force.
+    pub fn policy(&self) -> OnlinePolicy {
+        self.policy
+    }
+
+    /// The current total busy time of all machines.
+    pub fn cost(&self) -> Duration {
+        self.cost
+    }
+
+    /// The highest total busy time observed so far.
+    pub fn peak_cost(&self) -> Duration {
+        self.peak_cost
+    }
+
+    /// Number of jobs currently live.
+    pub fn live_count(&self) -> usize {
+        self.live.len()
+    }
+
+    /// Number of machines opened so far (machines are never closed, but an emptied
+    /// machine's digest returns to the fresh state and it is reused by placement).
+    pub fn machine_count(&self) -> usize {
+        self.global.len()
+    }
+
+    /// Arrivals applied so far.
+    pub fn arrivals(&self) -> usize {
+        self.arrivals
+    }
+
+    /// Departures applied so far.
+    pub fn departures(&self) -> usize {
+        self.departures
+    }
+
+    /// The machine pools behind the scheduler (one for the unbucketed policies, one
+    /// per touched length bucket for [`OnlinePolicy::BucketByLength`]).  Exposed for
+    /// the churn-fuzz suite, which cross-checks every pool's incremental index state
+    /// against a from-scratch rebuild after every event.
+    pub fn pools(&self) -> &[MachinePool] {
+        &self.pools
+    }
+
+    /// Every live job as `(id, interval, global machine id)`, in id order.
+    pub fn live_jobs(&self) -> impl Iterator<Item = (OnlineJobId, Interval, MachineId)> + '_ {
+        self.live
+            .iter()
+            .map(|(&id, job)| (id, job.interval, job.global))
+    }
+
+    /// Every opened machine as `(global machine id, state)`, in opening order.
+    pub fn machine_states(&self) -> impl Iterator<Item = (MachineId, &MachineState)> + '_ {
+        self.global
+            .iter()
+            .enumerate()
+            .map(|(g, &(pool, local))| (g, &self.pools[pool].machines()[local]))
+    }
+
+    /// Live job ids grouped by global machine (machines that opened and later emptied
+    /// appear as empty groups, keeping machine ids stable).
+    pub fn machine_groups(&self) -> Vec<Vec<OnlineJobId>> {
+        let mut groups = vec![Vec::new(); self.global.len()];
+        for (id, job) in &self.live {
+            groups[job.global].push(*id);
+        }
+        groups
+    }
+
+    /// The pool slot (created on demand) the policy routes `iv` to.
+    fn pool_slot_for(&mut self, iv: Interval) -> usize {
+        if self.policy != OnlinePolicy::BucketByLength {
+            return 0;
+        }
+        let bucket = (iv.len().ticks() as u64).ilog2() as usize;
+        if bucket >= self.bucket_slots.len() {
+            self.bucket_slots.resize(bucket + 1, None);
+        }
+        *self.bucket_slots[bucket].get_or_insert_with(|| {
+            self.pools.push(MachinePool::new(self.capacity));
+            self.pool_machines.push(Vec::new());
+            self.pools.len() - 1
+        })
+    }
+
+    /// Apply one event to the live schedule, returning its effect.
+    ///
+    /// Errors (duplicate arrival, unknown departure) leave the schedule untouched.
+    pub fn apply(&mut self, event: &Event) -> Result<EventEffect, OnlineError> {
+        match *event {
+            Event::Arrival { id, interval } => {
+                if self.live.contains_key(&id) {
+                    return Err(OnlineError::DuplicateArrival { id });
+                }
+                let pool_slot = self.pool_slot_for(interval);
+                let pool = &mut self.pools[pool_slot];
+                let (local, thread) = match self.policy {
+                    OnlinePolicy::BestFit => {
+                        let p = pool.best_fit_slot(interval);
+                        (p.machine, p.thread)
+                    }
+                    OnlinePolicy::FirstFit | OnlinePolicy::BucketByLength => {
+                        pool.first_fit_slot(interval)
+                    }
+                };
+                let opened = local == pool.len();
+                let delta = pool.insert(interval, local, thread);
+                let global = if opened {
+                    let g = self.global.len();
+                    self.global.push((pool_slot, local));
+                    self.pool_machines[pool_slot].push(g);
+                    g
+                } else {
+                    self.pool_machines[pool_slot][local]
+                };
+                self.live.insert(
+                    id,
+                    LiveJob {
+                        interval,
+                        pool: pool_slot,
+                        local,
+                        thread,
+                        global,
+                    },
+                );
+                self.cost += delta;
+                self.peak_cost = self.peak_cost.max(self.cost);
+                self.arrivals += 1;
+                Ok(EventEffect {
+                    machine: global,
+                    cost_delta: delta.ticks(),
+                    cost: self.cost,
+                    arrival: true,
+                })
+            }
+            Event::Departure { id } => {
+                let job = self
+                    .live
+                    .remove(&id)
+                    .ok_or(OnlineError::UnknownDeparture { id })?;
+                let freed = self.pools[job.pool]
+                    .remove(job.interval, job.local, job.thread)
+                    .expect("the live table and the machine state agree");
+                self.cost -= freed;
+                self.departures += 1;
+                Ok(EventEffect {
+                    machine: job.global,
+                    cost_delta: -freed.ticks(),
+                    cost: self.cost,
+                    arrival: false,
+                })
+            }
+        }
+    }
+
+    /// Apply a whole trace under `policy`, recording the cost after every event.
+    pub fn run(trace: &Trace, policy: OnlinePolicy) -> Result<OnlineRun, OnlineError> {
+        let mut scheduler = OnlineScheduler::new(trace.capacity, policy)?;
+        let mut trajectory = Vec::with_capacity(trace.events.len());
+        for event in &trace.events {
+            trajectory.push(scheduler.apply(event)?.cost);
+        }
+        Ok(OnlineRun {
+            trajectory,
+            scheduler,
+        })
+    }
+}
+
+/// The result of replaying a [`Trace`]: the per-event cost trajectory plus the final
+/// live scheduler for inspection.
+#[derive(Debug, Clone)]
+pub struct OnlineRun {
+    /// Total busy time after each event, in event order.
+    pub trajectory: Vec<Duration>,
+    /// The scheduler in its final state (live jobs, machine states, counters).
+    pub scheduler: OnlineScheduler,
+}
+
+impl OnlineRun {
+    /// The total busy time after the last event (zero for an empty trace).
+    pub fn final_cost(&self) -> Duration {
+        self.scheduler.cost()
+    }
+
+    /// The highest total busy time observed along the trace.
+    pub fn peak_cost(&self) -> Duration {
+        self.scheduler.peak_cost()
+    }
+
+    /// Number of events replayed.
+    pub fn events(&self) -> usize {
+        self.trajectory.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn iv(s: i64, e: i64) -> Interval {
+        Interval::from_ticks(s, e)
+    }
+
+    #[test]
+    fn zero_capacity_rejected() {
+        assert_eq!(
+            OnlineScheduler::new(0, OnlinePolicy::FirstFit).unwrap_err(),
+            OnlineError::InvalidCapacity
+        );
+    }
+
+    #[test]
+    fn arrival_departure_lifecycle() {
+        let mut s = OnlineScheduler::new(1, OnlinePolicy::FirstFit).unwrap();
+        let a = s.apply(&Event::arrival(7, iv(0, 10))).unwrap();
+        assert_eq!(a.machine, 0);
+        assert_eq!(a.cost_delta, 10);
+        let b = s.apply(&Event::arrival(8, iv(5, 15))).unwrap();
+        assert_eq!(b.machine, 1, "g = 1: the overlap opens a second machine");
+        assert_eq!(s.cost(), Duration::new(20));
+        assert_eq!(s.peak_cost(), Duration::new(20));
+
+        let d = s.apply(&Event::departure(7)).unwrap();
+        assert_eq!(d.machine, 0);
+        assert_eq!(d.cost_delta, -10);
+        assert_eq!(s.cost(), Duration::new(10));
+        assert_eq!(s.live_count(), 1);
+        // Machine 0 reopened: a job overlapping the departed window lands there again.
+        let e = s.apply(&Event::arrival(9, iv(2, 8))).unwrap();
+        assert_eq!(e.machine, 0);
+        assert_eq!(s.machine_count(), 2);
+        assert_eq!(s.machine_groups(), vec![vec![9], vec![8]]);
+    }
+
+    #[test]
+    fn errors_leave_state_untouched() {
+        let mut s = OnlineScheduler::new(2, OnlinePolicy::BestFit).unwrap();
+        s.apply(&Event::arrival(1, iv(0, 4))).unwrap();
+        assert_eq!(
+            s.apply(&Event::arrival(1, iv(0, 4))).unwrap_err(),
+            OnlineError::DuplicateArrival { id: 1 }
+        );
+        assert_eq!(
+            s.apply(&Event::departure(2)).unwrap_err(),
+            OnlineError::UnknownDeparture { id: 2 }
+        );
+        assert_eq!(s.live_count(), 1);
+        assert_eq!(s.cost(), Duration::new(4));
+        // Departing and re-arriving under the same id is legal.
+        s.apply(&Event::departure(1)).unwrap();
+        s.apply(&Event::arrival(1, iv(0, 4))).unwrap();
+        assert_eq!(s.live_count(), 1);
+    }
+
+    #[test]
+    fn best_fit_picks_cheapest_machine() {
+        let mut s = OnlineScheduler::new(1, OnlinePolicy::BestFit).unwrap();
+        s.apply(&Event::arrival(1, iv(0, 10))).unwrap();
+        // Best fit packs the disjoint job onto the same machine (full length either
+        // way, earliest machine wins).
+        let e = s.apply(&Event::arrival(2, iv(20, 30))).unwrap();
+        assert_eq!(e.machine, 0);
+        assert_eq!(s.machine_count(), 1);
+        // [9, 14) conflicts with both of machine 0's jobs' window at 9 (g = 1), so a
+        // fresh machine opens at full length.
+        let e = s.apply(&Event::arrival(3, iv(9, 14))).unwrap();
+        assert_eq!(e.machine, 1);
+        assert_eq!(e.cost_delta, 5);
+        assert_eq!(s.cost(), Duration::new(25));
+        // After job 1 departs, machine 0 reopens and a job bridging into its old
+        // window lands there; job 3 still blocks machine 1.
+        s.apply(&Event::departure(1)).unwrap();
+        let e = s.apply(&Event::arrival(4, iv(12, 16))).unwrap();
+        assert_eq!(e.machine, 0);
+        assert_eq!(e.cost_delta, 4);
+    }
+
+    #[test]
+    fn bucket_policy_separates_length_classes() {
+        let mut s = OnlineScheduler::new(2, OnlinePolicy::BucketByLength).unwrap();
+        // Lengths 3 (bucket 1) and 100 (bucket 6) never share a machine, even though
+        // capacity would allow it.
+        s.apply(&Event::arrival(1, iv(0, 100))).unwrap();
+        let e = s.apply(&Event::arrival(2, iv(10, 13))).unwrap();
+        assert_eq!(e.machine, 1);
+        assert_eq!(s.pools().len(), 2);
+        // A second short job joins the short machine (same bucket, capacity 2).
+        let e = s.apply(&Event::arrival(3, iv(11, 14))).unwrap();
+        assert_eq!(e.machine, 1);
+        assert_eq!(s.machine_count(), 2);
+    }
+
+    #[test]
+    fn run_records_trajectory() {
+        let trace = Trace::new(
+            1,
+            vec![
+                Event::arrival(1, iv(0, 4)),
+                Event::arrival(2, iv(2, 6)),
+                Event::departure(1),
+                Event::departure(2),
+            ],
+        );
+        let run = OnlineScheduler::run(&trace, OnlinePolicy::FirstFit).unwrap();
+        let ticks: Vec<i64> = run.trajectory.iter().map(|d| d.ticks()).collect();
+        assert_eq!(ticks, vec![4, 8, 4, 0]);
+        assert_eq!(run.final_cost(), Duration::ZERO);
+        assert_eq!(run.peak_cost(), Duration::new(8));
+        assert_eq!(run.events(), 4);
+        assert_eq!(run.scheduler.arrivals(), 2);
+        assert_eq!(run.scheduler.departures(), 2);
+    }
+}

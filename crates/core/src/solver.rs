@@ -560,6 +560,38 @@ impl Solver {
         crate::par::ThreadPool::with_default_parallelism().map(problems, |p| self.solve(p))
     }
 
+    /// Replay an online event [`crate::online::Trace`] under `policy`, returning the
+    /// per-event cost trajectory and the final live schedule.
+    ///
+    /// Online requests bypass the offline dispatch machinery — the paper analyses no
+    /// online algorithm, so there is nothing to classify or force; the policy *is* the
+    /// algorithm.  The dispatch-policy knobs of [`SolvePolicy`] (force / forbid /
+    /// require-exact) therefore do not apply here.
+    ///
+    /// ```
+    /// use busytime::online::{Event, OnlinePolicy, Trace};
+    /// use busytime::{Interval, Solver};
+    ///
+    /// let trace = Trace::new(
+    ///     2,
+    ///     vec![
+    ///         Event::arrival(1, Interval::from_ticks(0, 10)),
+    ///         Event::arrival(2, Interval::from_ticks(4, 12)),
+    ///         Event::departure(1),
+    ///     ],
+    /// );
+    /// let run = Solver::new().solve_online(&trace, OnlinePolicy::FirstFit).unwrap();
+    /// assert_eq!(run.trajectory.len(), 3);
+    /// assert_eq!(run.final_cost().ticks(), 8);
+    /// ```
+    pub fn solve_online(
+        &self,
+        trace: &crate::online::Trace,
+        policy: crate::online::OnlinePolicy,
+    ) -> Result<crate::online::OnlineRun, crate::online::OnlineError> {
+        crate::online::OnlineScheduler::run(trace, policy)
+    }
+
     /// Convenience: solve MinBusy for `instance` without building a [`Problem`].
     pub fn solve_min_busy(&self, instance: &Instance) -> Result<Solution, SolveError> {
         // Cloning the instance keeps the request self-contained; jobs are plain

@@ -306,6 +306,27 @@ impl SweepSet {
         Duration::new(self.busy)
     }
 
+    /// The convex hull of the **live** intervals (`None` when the set is empty): the
+    /// window from the first covered point to the last.
+    ///
+    /// Exact under removal: boundary merging keeps the map's outermost keys at the live
+    /// extremes rather than a high-water mark of everything ever inserted, so a machine
+    /// whose jobs depart gets its digest tightened, not just invalidated.  `O(log n)`.
+    pub fn hull(&self) -> Option<Interval> {
+        if self.intervals == 0 {
+            return None;
+        }
+        let (&lo, &first_depth) = self.segs.iter().next().expect("live set has boundaries");
+        let (&hi, _) = self
+            .segs
+            .iter()
+            .next_back()
+            .expect("live set has boundaries");
+        debug_assert!(first_depth > 0, "leading boundary of a live set is covered");
+        debug_assert!(lo < hi);
+        Some(Interval::from_ticks(lo, hi))
+    }
+
     /// Coverage depth at the point `t`.
     pub fn depth_at(&self, t: Time) -> usize {
         self.segs
@@ -867,7 +888,28 @@ mod tests {
             assert_eq!(s.max_depth(), p.max_depth(), "after step {i}");
             assert_eq!(s.span(), p.span(), "after step {i}");
             assert_eq!(s.interval_count(), live.len());
+            let hull = live
+                .iter()
+                .map(|v| (v.start().ticks(), v.end().ticks()))
+                .reduce(|(a, b), (c, d)| (a.min(c), b.max(d)))
+                .map(|(a, b)| iv(a, b));
+            assert_eq!(s.hull(), hull, "after step {i}");
         }
+    }
+
+    #[test]
+    fn sweep_set_hull_tightens_under_removal() {
+        let mut s = SweepSet::new();
+        assert_eq!(s.hull(), None);
+        s.insert(iv(0, 10));
+        s.insert(iv(20, 30));
+        assert_eq!(s.hull(), Some(iv(0, 30)));
+        // Removing the left stretch shrinks the hull to the survivor — no high-water
+        // mark survives.
+        s.remove(iv(0, 10));
+        assert_eq!(s.hull(), Some(iv(20, 30)));
+        s.remove(iv(20, 30));
+        assert_eq!(s.hull(), None);
     }
 
     #[test]

@@ -104,6 +104,13 @@ proptest! {
             prop_assert_eq!(sweep.max_depth(), profile.max_depth());
             prop_assert_eq!(sweep.span(), profile.span());
             prop_assert_eq!(sweep.interval_count(), live.len());
+            // The live hull must track the survivors exactly — no high-water mark.
+            let hull = live
+                .iter()
+                .map(|v| (v.start().ticks(), v.end().ticks()))
+                .reduce(|(a, b), (c, d)| (a.min(c), b.max(d)))
+                .map(|(a, b)| Interval::from_ticks(a, b));
+            prop_assert_eq!(sweep.hull(), hull);
         }
     }
 

@@ -12,22 +12,57 @@
 //!   (Section 1's cloud-computing and optical-grooming motivations);
 //! * [`rect_instance`] — random rectangles with controllable `γ₁`, `γ₂` (Section 3.4);
 //! * [`figure3_instance`] and companions — the exact lower-bound construction of
-//!   Figure 3, reproduced with integer coordinates.
+//!   Figure 3, reproduced with integer coordinates;
+//! * [`poisson_trace`], [`diurnal_trace`], [`trace_from_instance`],
+//!   [`churn_trace_from_instance`] — event traces for the online engine
+//!   (`busytime::online`), with pluggable [`DurationModel`]s.
 //!
-//! All generators take a caller-provided RNG so experiments are reproducible from a
-//! printed seed.
+//! ## Seeding convention
+//!
+//! Every generator — instance and trace alike — takes a caller-provided `&mut impl
+//! Rng` and draws nothing from any other source, so its output is a pure function of
+//! the RNG state.  Experiments and tests derive that RNG from a logged `u64` seed
+//! through [`seeded_rng`], which is the single place the concrete generator type is
+//! named; any reported number is reproducible by re-running with the same seed.
+//!
+//! ```
+//! use busytime_workload::{general_instance, seeded_rng};
+//!
+//! let a = general_instance(&mut seeded_rng(7), 20, 2, 100, 10);
+//! let b = general_instance(&mut seeded_rng(7), 20, 2, 100, 10);
+//! assert_eq!(a, b);
+//! ```
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
 mod onedim;
+mod trace;
 mod twodim;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
 
 pub use onedim::{
     clique_instance, cloud_trace, general_instance, one_sided_instance, optical_lightpaths,
     proper_clique_instance, proper_instance,
 };
+pub use trace::{
+    churn_trace_from_instance, diurnal_trace, poisson_trace, trace_from_instance,
+    trace_from_instance_in_order, DurationModel,
+};
 pub use twodim::{
     figure3_asymptotic_ratio, figure3_firstfit_cost, figure3_good_solution_cost, figure3_instance,
     rect_instance,
 };
+
+/// The workspace-wide seeding convention: the deterministic RNG every generator is
+/// driven by, derived from a logged `u64` seed.
+///
+/// All generators take `&mut impl Rng`, so callers may thread one RNG through several
+/// generators (streams differ per draw order) or derive a fresh one per case from
+/// `seed + case_index` (streams are independent per case); tests log the seed they
+/// used so any failure replays exactly.
+pub fn seeded_rng(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}

@@ -1,0 +1,349 @@
+//! Event-trace generators for the online scheduling engine.
+//!
+//! An online workload is a time-ordered stream of arrivals and departures
+//! ([`busytime::online::Trace`]).  This module provides the synthetic families the
+//! online experiments run on — Poisson arrivals with pluggable duration models
+//! (uniform, heavy-tail, bimodal) and diurnal burst phases — plus the replay adapters
+//! that turn any static [`Instance`] into a trace, which is what the differential
+//! oracle tests are built on.
+//!
+//! Every generator follows the workspace seeding convention (see
+//! [`crate::seeded_rng`]): it takes a caller-provided `&mut impl Rng` and is fully
+//! deterministic given the RNG state, so any reported run is reproducible from a
+//! logged `u64` seed.
+//!
+//! Event ordering: generated streams are sorted by event time (an arrival happens at
+//! its interval's start, a departure at the interval's end), with departures before
+//! arrivals at equal ticks — half-open semantics, a job ending at `t` never coexists
+//! with one starting at `t`.
+
+use busytime::online::{Event, Trace};
+use busytime::{Instance, Interval};
+use rand::Rng;
+
+/// How a trace generator draws job durations.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum DurationModel {
+    /// Uniform in `[min, max]`.
+    Uniform {
+        /// Shortest duration (at least 1).
+        min: i64,
+        /// Longest duration.
+        max: i64,
+    },
+    /// Log-uniform in `[min, max]`: many short jobs, a heavy tail of long ones (the
+    /// cloud-trace shape of Section 1's motivation).
+    HeavyTail {
+        /// Shortest duration (at least 1).
+        min: i64,
+        /// Longest duration.
+        max: i64,
+    },
+    /// A two-mode mixture: short interactive tasks and long batch services, with
+    /// nothing in between (the shape that stresses bucket-by-length placement).
+    Bimodal {
+        /// The short mode, uniform in `[short.0, short.1]`.
+        short: (i64, i64),
+        /// The long mode, uniform in `[long.0, long.1]`.
+        long: (i64, i64),
+        /// Probability of drawing from the long mode (in `[0, 1]`).
+        long_weight: f64,
+    },
+}
+
+impl DurationModel {
+    /// Draw one duration.
+    ///
+    /// # Panics
+    /// Panics when the model's bounds are empty or below 1.
+    pub fn sample<R: Rng>(&self, rng: &mut R) -> i64 {
+        match *self {
+            DurationModel::Uniform { min, max } => {
+                assert!(min >= 1 && min <= max);
+                rng.random_range(min..=max)
+            }
+            DurationModel::HeavyTail { min, max } => {
+                assert!(min >= 1 && min <= max);
+                let ratio = (max as f64 / min as f64).max(1.0);
+                let u: f64 = rng.random_range(0.0..1.0);
+                ((min as f64) * ratio.powf(u))
+                    .round()
+                    .clamp(min as f64, max as f64) as i64
+            }
+            DurationModel::Bimodal {
+                short,
+                long,
+                long_weight,
+            } => {
+                assert!(short.0 >= 1 && short.0 <= short.1 && long.0 >= 1 && long.0 <= long.1);
+                assert!((0.0..=1.0).contains(&long_weight));
+                if rng.random_bool(long_weight) {
+                    rng.random_range(long.0..=long.1)
+                } else {
+                    rng.random_range(short.0..=short.1)
+                }
+            }
+        }
+    }
+}
+
+/// An exponential inter-arrival gap with the given mean, rounded to ticks (so the
+/// arrival process is Poisson up to integer rounding; gaps of zero keep bursts).
+fn exponential_gap<R: Rng>(rng: &mut R, mean: f64) -> i64 {
+    debug_assert!(mean > 0.0);
+    let u: f64 = rng.random_range(0.0..1.0);
+    (-mean * (1.0 - u).ln()).round() as i64
+}
+
+/// Merge sampled jobs (id, interval) into a time-ordered arrival/departure stream.
+///
+/// Departures sort before arrivals at the same tick (half-open semantics); ties beyond
+/// that break by job id, so the stream is fully deterministic.
+fn events_from_jobs(capacity: usize, jobs: &[(u64, Interval)]) -> Trace {
+    let mut keyed: Vec<(i64, u8, u64, Event)> = Vec::with_capacity(jobs.len() * 2);
+    for &(id, interval) in jobs {
+        keyed.push((
+            interval.start().ticks(),
+            1,
+            id,
+            Event::arrival(id, interval),
+        ));
+        keyed.push((interval.end().ticks(), 0, id, Event::departure(id)));
+    }
+    keyed.sort_by_key(|&(t, kind, id, _)| (t, kind, id));
+    Trace::new(capacity, keyed.into_iter().map(|(_, _, _, e)| e).collect())
+}
+
+/// A Poisson arrival process: `jobs` arrivals with exponential inter-arrival gaps of
+/// mean `mean_interarrival`, durations drawn from `durations`, every job departing at
+/// its interval end.  The returned trace holds `2 · jobs` events in time order.
+pub fn poisson_trace<R: Rng>(
+    rng: &mut R,
+    jobs: usize,
+    g: usize,
+    mean_interarrival: f64,
+    durations: &DurationModel,
+) -> Trace {
+    assert!(mean_interarrival > 0.0);
+    let mut sampled = Vec::with_capacity(jobs);
+    let mut now = 0i64;
+    for id in 0..jobs {
+        now += exponential_gap(rng, mean_interarrival);
+        let len = durations.sample(rng);
+        sampled.push((id as u64, Interval::from_ticks(now, now + len)));
+    }
+    events_from_jobs(g, &sampled)
+}
+
+/// A diurnal workload: Poisson arrivals whose rate alternates between a *burst* phase
+/// (the first half of every `period`, mean gap `burst_interarrival`) and a *quiet*
+/// phase (the second half, mean gap `quiet_interarrival`) — the day/night shape of the
+/// cloud motivation.  Durations come from `durations`; every job departs at its end.
+pub fn diurnal_trace<R: Rng>(
+    rng: &mut R,
+    jobs: usize,
+    g: usize,
+    period: i64,
+    burst_interarrival: f64,
+    quiet_interarrival: f64,
+    durations: &DurationModel,
+) -> Trace {
+    assert!(period >= 2);
+    assert!(burst_interarrival > 0.0 && quiet_interarrival > 0.0);
+    let mut sampled = Vec::with_capacity(jobs);
+    let mut now = 0i64;
+    for id in 0..jobs {
+        let in_burst = now.rem_euclid(period) < period / 2;
+        let mean = if in_burst {
+            burst_interarrival
+        } else {
+            quiet_interarrival
+        };
+        now += exponential_gap(rng, mean);
+        let len = durations.sample(rng);
+        sampled.push((id as u64, Interval::from_ticks(now, now + len)));
+    }
+    events_from_jobs(g, &sampled)
+}
+
+/// Replay a static instance as an **arrivals-only** trace in job-id order (the order
+/// the instance stores its jobs in: sorted by start, i.e. arrival order).
+///
+/// This is the differential-oracle adapter: replaying the result through the online
+/// FirstFit policy must reproduce `minbusy::first_fit_in_order` on the identity order
+/// exactly, machine for machine.
+pub fn trace_from_instance(instance: &Instance) -> Trace {
+    let order: Vec<usize> = (0..instance.len()).collect();
+    trace_from_instance_in_order(instance, &order)
+}
+
+/// Replay a static instance as an arrivals-only trace in an explicit job order (e.g.
+/// the canonical length orders the offline greedies use).  Event ids are the job ids.
+pub fn trace_from_instance_in_order(instance: &Instance, order: &[usize]) -> Trace {
+    let events = order
+        .iter()
+        .map(|&j| Event::arrival(j as u64, instance.job(j)))
+        .collect();
+    Trace::new(instance.capacity(), events)
+}
+
+/// Replay a static instance as a **mixed** arrival/departure trace: every job arrives
+/// at its start and departs at its end, merged in time order (departures first at
+/// equal ticks).  The live set at any point is exactly the jobs whose interval covers
+/// that point, which is what makes this the churn counterpart of
+/// [`trace_from_instance`].
+pub fn churn_trace_from_instance(instance: &Instance) -> Trace {
+    let jobs: Vec<(u64, Interval)> = instance
+        .jobs()
+        .iter()
+        .enumerate()
+        .map(|(j, &iv)| (j as u64, iv))
+        .collect();
+    events_from_jobs(instance.capacity(), &jobs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::seeded_rng;
+    use busytime::online::{OnlinePolicy, OnlineScheduler};
+
+    fn arrivals(trace: &Trace) -> usize {
+        trace
+            .events
+            .iter()
+            .filter(|e| matches!(e, Event::Arrival { .. }))
+            .count()
+    }
+
+    fn is_time_ordered(trace: &Trace) -> bool {
+        // Reconstruct event times: arrival at start, departure at the arrival's end.
+        let mut ends = std::collections::HashMap::new();
+        let mut last = (i64::MIN, 0u8);
+        for event in &trace.events {
+            let key = match *event {
+                Event::Arrival { id, interval } => {
+                    ends.insert(id, interval.end().ticks());
+                    (interval.start().ticks(), 1)
+                }
+                Event::Departure { id } => (ends[&id], 0),
+            };
+            if key < last {
+                return false;
+            }
+            last = key;
+        }
+        true
+    }
+
+    #[test]
+    fn poisson_trace_is_ordered_and_replayable() {
+        let mut rng = seeded_rng(2012);
+        for model in [
+            DurationModel::Uniform { min: 1, max: 40 },
+            DurationModel::HeavyTail { min: 2, max: 400 },
+            DurationModel::Bimodal {
+                short: (1, 5),
+                long: (80, 120),
+                long_weight: 0.2,
+            },
+        ] {
+            let trace = poisson_trace(&mut rng, 60, 3, 4.0, &model);
+            assert_eq!(trace.len(), 120);
+            assert_eq!(arrivals(&trace), 60);
+            assert!(is_time_ordered(&trace));
+            // Every event applies cleanly and the trace drains to an empty system.
+            let run = OnlineScheduler::run(&trace, OnlinePolicy::FirstFit).unwrap();
+            assert_eq!(run.scheduler.live_count(), 0);
+            assert_eq!(run.final_cost().ticks(), 0);
+            assert!(run.peak_cost().ticks() > 0);
+        }
+    }
+
+    #[test]
+    fn diurnal_trace_bursts_are_denser() {
+        let mut rng = seeded_rng(7);
+        let model = DurationModel::Uniform { min: 1, max: 6 };
+        let trace = diurnal_trace(&mut rng, 400, 2, 200, 1.0, 20.0, &model);
+        assert!(is_time_ordered(&trace));
+        // Count arrivals landing in burst vs quiet half-periods: the burst half must
+        // dominate clearly.
+        let (mut burst, mut quiet) = (0usize, 0usize);
+        for event in &trace.events {
+            if let Event::Arrival { interval, .. } = event {
+                if interval.start().ticks().rem_euclid(200) < 100 {
+                    burst += 1;
+                } else {
+                    quiet += 1;
+                }
+            }
+        }
+        assert!(burst > 2 * quiet, "burst {burst} vs quiet {quiet}");
+    }
+
+    #[test]
+    fn bimodal_durations_stay_in_their_modes() {
+        let mut rng = seeded_rng(3);
+        let model = DurationModel::Bimodal {
+            short: (1, 4),
+            long: (50, 60),
+            long_weight: 0.5,
+        };
+        let (mut short, mut long) = (0usize, 0usize);
+        for _ in 0..500 {
+            let d = model.sample(&mut rng);
+            assert!((1..=4).contains(&d) || (50..=60).contains(&d), "{d}");
+            if d <= 4 {
+                short += 1;
+            } else {
+                long += 1;
+            }
+        }
+        assert!(short > 100 && long > 100);
+    }
+
+    #[test]
+    fn instance_replay_adapters_cover_the_instance() {
+        let mut rng = seeded_rng(11);
+        let instance = crate::general_instance(&mut rng, 40, 3, 200, 30);
+        let arrivals_only = trace_from_instance(&instance);
+        assert_eq!(arrivals_only.len(), 40);
+        assert_eq!(arrivals_only.capacity, 3);
+        assert!(arrivals_only
+            .events
+            .iter()
+            .all(|e| matches!(e, Event::Arrival { .. })));
+        // In-order replay visits the jobs exactly once, in the requested order.
+        let by_length: Vec<usize> = instance
+            .order_by_length_desc()
+            .iter()
+            .map(|&j| j as usize)
+            .collect();
+        let ordered = trace_from_instance_in_order(&instance, &by_length);
+        let ids: Vec<u64> = ordered
+            .events
+            .iter()
+            .map(|e| match e {
+                Event::Arrival { id, .. } => *id,
+                Event::Departure { .. } => unreachable!("arrivals-only trace"),
+            })
+            .collect();
+        assert_eq!(ids, by_length.iter().map(|&j| j as u64).collect::<Vec<_>>());
+        // The churn replay is time-ordered and drains completely.
+        let churn = churn_trace_from_instance(&instance);
+        assert_eq!(churn.len(), 80);
+        assert!(is_time_ordered(&churn));
+        let run = OnlineScheduler::run(&churn, OnlinePolicy::BestFit).unwrap();
+        assert_eq!(run.scheduler.live_count(), 0);
+    }
+
+    #[test]
+    fn traces_are_deterministic_given_seed() {
+        let model = DurationModel::HeavyTail { min: 1, max: 100 };
+        let a = poisson_trace(&mut seeded_rng(42), 30, 2, 3.0, &model);
+        let b = poisson_trace(&mut seeded_rng(42), 30, 2, 3.0, &model);
+        let c = poisson_trace(&mut seeded_rng(43), 30, 2, 3.0, &model);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+}

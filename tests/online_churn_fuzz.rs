@@ -1,0 +1,260 @@
+//! Churn fuzzing for the placement-index remove/reopen path: random interleaved
+//! arrival/departure sequences through the [`OnlineScheduler`], asserting after
+//! **every** event that
+//!
+//! * the incrementally maintained index state is identical to one rebuilt from scratch
+//!   (per-slot digests equal the machines' recomputed digests, and every selection
+//!   query answers exactly like both a fresh index over those digests and the linear
+//!   digest scan),
+//! * the machine summaries are honest — the hull is exactly the surviving jobs' hull
+//!   and any cached saturated stretch really runs at depth `g` throughout,
+//! * the `SweepSet`-tracked running cost equals [`Schedule::cost`] recomputed from the
+//!   surviving jobs alone.
+//!
+//! Seeds are logged in every assertion context (the uniform
+//! [`busytime_workload::seeded_rng`] convention), so any failure replays exactly.
+
+use busytime::online::{Event, OnlinePolicy, OnlineScheduler};
+use busytime::{Instance, Interval, MachinePool, PlacementIndex, Schedule};
+use busytime_workload::seeded_rng;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Linear-scan references for the three index queries (the pre-index semantics).
+fn scan_placeable(index: &PlacementIndex, s: i64, e: i64, from: usize) -> usize {
+    (from..index.len())
+        .find(|&m| !index.digest(m).rejects(s, e))
+        .unwrap_or(index.len().max(from))
+}
+
+fn scan_overlapping(index: &PlacementIndex, s: i64, e: i64, from: usize) -> Option<usize> {
+    (from..index.len())
+        .find(|&m| index.digest(m).hull_overlaps(s, e) && !index.digest(m).rejects(s, e))
+}
+
+fn scan_disjoint(index: &PlacementIndex, s: i64, e: i64) -> usize {
+    (0..index.len())
+        .find(|&m| index.digest(m).accepts(s, e))
+        .unwrap_or(index.len())
+}
+
+/// Cross-check one pool's incremental index against a from-scratch rebuild.
+fn assert_pool_consistent(pool: &MachinePool, rng: &mut StdRng, context: &str) {
+    // Slot digests must equal the digests recomputed from the live machine states —
+    // the "rebuilt after every event" index is then literally `rebuilt` below.
+    let mut rebuilt = PlacementIndex::new();
+    for (m, machine) in pool.machines().iter().enumerate() {
+        assert_eq!(
+            pool.index().digest(m),
+            &machine.digest(),
+            "{context}: stale digest for machine {m}"
+        );
+        rebuilt.push(machine.digest());
+    }
+    // Every query must agree between the incremental index, the fresh rebuild and the
+    // linear digest scan, on randomized probe windows.
+    for _ in 0..8 {
+        let s = rng.random_range(-10i64..160);
+        let e = s + rng.random_range(1i64..40);
+        let from = rng.random_range(0usize..pool.len() + 2);
+        let live = pool.index();
+        assert_eq!(
+            live.next_placeable(s, e, from),
+            rebuilt.next_placeable(s, e, from),
+            "{context}: placeable([{s},{e}), {from}) incremental vs rebuilt"
+        );
+        assert_eq!(
+            live.next_placeable(s, e, from),
+            scan_placeable(live, s, e, from),
+            "{context}: placeable([{s},{e}), {from}) vs scan"
+        );
+        assert_eq!(
+            live.next_overlapping(s, e, from),
+            rebuilt.next_overlapping(s, e, from),
+            "{context}: overlapping([{s},{e}), {from}) incremental vs rebuilt"
+        );
+        assert_eq!(
+            live.next_overlapping(s, e, from),
+            scan_overlapping(live, s, e, from),
+            "{context}: overlapping([{s},{e}), {from}) vs scan"
+        );
+        assert_eq!(
+            live.first_disjoint(s, e),
+            rebuilt.first_disjoint(s, e),
+            "{context}: disjoint([{s},{e})) incremental vs rebuilt"
+        );
+        assert_eq!(
+            live.first_disjoint(s, e),
+            scan_disjoint(live, s, e),
+            "{context}: disjoint([{s},{e})) vs scan"
+        );
+    }
+}
+
+/// Check every machine summary against the surviving jobs and the tracked cost
+/// against a from-scratch `Schedule::cost` recomputation.
+fn assert_state_consistent(scheduler: &OnlineScheduler, context: &str) {
+    let live: Vec<(u64, Interval, usize)> = scheduler.live_jobs().collect();
+    let machines: Vec<_> = scheduler.machine_states().collect();
+    let g = scheduler.capacity();
+
+    for &(gid, state) in &machines {
+        let on_machine: Vec<Interval> = live
+            .iter()
+            .filter(|&&(_, _, m)| m == gid)
+            .map(|&(_, iv, _)| iv)
+            .collect();
+        // Exact hull of the survivors, not a high-water mark.
+        let hull = on_machine
+            .iter()
+            .map(|iv| (iv.start().ticks(), iv.end().ticks()))
+            .reduce(|(a, b), (c, d)| (a.min(c), b.max(d)))
+            .map(|(a, b)| Interval::from_ticks(a, b));
+        assert_eq!(state.hull(), hull, "{context}: machine {gid} hull");
+        assert_eq!(
+            state.job_count(),
+            on_machine.len(),
+            "{context}: machine {gid} job count"
+        );
+        assert_eq!(
+            state.busy_time(),
+            busytime_interval::span(&on_machine),
+            "{context}: machine {gid} busy time"
+        );
+        // A cached saturated stretch must really be saturated: depth exactly `g` at
+        // every tick of the stretch (the per-thread structure cannot exceed `g`).
+        if let Some(stretch) = state.saturated_stretch() {
+            for t in stretch.start().ticks()..stretch.end().ticks() {
+                let depth = on_machine
+                    .iter()
+                    .filter(|iv| iv.start().ticks() <= t && t < iv.end().ticks())
+                    .count();
+                assert_eq!(
+                    depth, g,
+                    "{context}: machine {gid} claims saturation at t={t} of {stretch}"
+                );
+            }
+        }
+    }
+
+    // Tracked cost ≡ Schedule::cost over an instance of the survivors alone.  Jobs are
+    // re-sorted by Instance construction; equal intervals may swap slots between the
+    // two stable sorts, which leaves every machine's interval multiset (hence cost and
+    // validity) unchanged.
+    let mut pairs: Vec<(Interval, usize)> = live.iter().map(|&(_, iv, m)| (iv, m)).collect();
+    pairs.sort_by_key(|&(iv, _)| iv);
+    let instance = Instance::new(pairs.iter().map(|&(iv, _)| iv).collect(), g)
+        .expect("capacity is at least 1");
+    let schedule = Schedule::from_assignment(pairs.iter().map(|&(_, m)| Some(m)).collect());
+    schedule
+        .validate_complete(&instance)
+        .unwrap_or_else(|e| panic!("{context}: live schedule invalid: {e}"));
+    assert_eq!(
+        scheduler.cost(),
+        schedule.cost(&instance),
+        "{context}: tracked cost vs recomputation"
+    );
+
+    // The tracked cost is also the sum of the per-machine busy times.
+    let machine_sum: i64 = machines.iter().map(|&(_, s)| s.busy_time().ticks()).sum();
+    assert_eq!(scheduler.cost().ticks(), machine_sum, "{context}: cost sum");
+}
+
+/// One fuzz case: a random interleaving of arrivals and departures, checked after
+/// every single event.
+fn churn_case(seed: u64, policy: OnlinePolicy, g: usize, events: usize) {
+    let mut rng = seeded_rng(seed);
+    let mut scheduler = OnlineScheduler::new(g, policy).unwrap();
+    let mut live_ids: Vec<u64> = Vec::new();
+    let mut next_id = 0u64;
+    for step in 0..events {
+        let depart = !live_ids.is_empty() && rng.random_bool(0.45);
+        let event = if depart {
+            let victim = live_ids.swap_remove(rng.random_range(0..live_ids.len()));
+            Event::departure(victim)
+        } else {
+            let s = rng.random_range(0i64..150);
+            let len = rng.random_range(1i64..30);
+            let id = next_id;
+            next_id += 1;
+            live_ids.push(id);
+            Event::arrival(id, Interval::from_ticks(s, s + len))
+        };
+        scheduler
+            .apply(&event)
+            .unwrap_or_else(|e| panic!("seed={seed} {policy} step={step}: {e}"));
+        let context = format!("seed={seed} {policy} g={g} step={step}");
+        for pool in scheduler.pools() {
+            assert_pool_consistent(pool, &mut rng, &context);
+        }
+        assert_state_consistent(&scheduler, &context);
+    }
+}
+
+#[test]
+fn churn_first_fit() {
+    for seed in 0..8u64 {
+        churn_case(seed, OnlinePolicy::FirstFit, 1 + (seed as usize % 4), 120);
+    }
+}
+
+#[test]
+fn churn_best_fit() {
+    for seed in 8..16u64 {
+        churn_case(seed, OnlinePolicy::BestFit, 1 + (seed as usize % 4), 120);
+    }
+}
+
+#[test]
+fn churn_bucket_by_length() {
+    for seed in 16..24u64 {
+        churn_case(
+            seed,
+            OnlinePolicy::BucketByLength,
+            1 + (seed as usize % 4),
+            120,
+        );
+    }
+}
+
+/// Drain-and-refill: every job departs, then a fresh wave arrives — the pool must
+/// behave as if freshly built (all digests empty, cost zero, machines reusable).
+#[test]
+fn drained_pool_is_as_good_as_new() {
+    for seed in 0..4u64 {
+        let mut rng = seeded_rng(seed ^ 0xD5A1);
+        let mut scheduler = OnlineScheduler::new(2, OnlinePolicy::FirstFit).unwrap();
+        let jobs: Vec<Interval> = (0..30)
+            .map(|_| {
+                let s = rng.random_range(0i64..100);
+                Interval::from_ticks(s, s + rng.random_range(1i64..20))
+            })
+            .collect();
+        for (i, &iv) in jobs.iter().enumerate() {
+            scheduler.apply(&Event::arrival(i as u64, iv)).unwrap();
+        }
+        let machines_before = scheduler.machine_count();
+        for i in 0..jobs.len() {
+            scheduler.apply(&Event::departure(i as u64)).unwrap();
+        }
+        assert_eq!(scheduler.cost().ticks(), 0, "seed={seed}");
+        assert_eq!(scheduler.live_count(), 0);
+        for (gid, state) in scheduler.machine_states() {
+            assert_eq!(state.job_count(), 0, "seed={seed} machine {gid}");
+            assert_eq!(state.hull(), None);
+        }
+        // The refill reuses the drained machines instead of opening new ones, and
+        // produces the same placements as the first wave (the pool digests are back
+        // to their fresh state).
+        for (i, &iv) in jobs.iter().enumerate() {
+            scheduler
+                .apply(&Event::arrival((1000 + i) as u64, iv))
+                .unwrap();
+        }
+        assert_eq!(
+            scheduler.machine_count(),
+            machines_before,
+            "seed={seed}: refill must not open extra machines"
+        );
+    }
+}

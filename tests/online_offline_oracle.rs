@@ -1,0 +1,181 @@
+//! The differential oracle for the online engine: replaying any static instance
+//! through [`OnlineScheduler`] as an arrivals-only trace must reproduce the
+//! corresponding offline greedy exactly — same per-job machine, same tracked cost —
+//! and every online final state must be a valid schedule whose tracked cost equals the
+//! from-scratch [`Schedule::cost`] recomputation.
+//!
+//! Cases come from two sources: proptest-random instances (arbitrary structure) and
+//! every named workload-generator family, driven by logged seeds via the uniform
+//! [`busytime_workload::seeded_rng`] convention so any failure replays exactly.
+
+use busytime::maxthroughput::greedy_fallback;
+use busytime::minbusy::{first_fit, first_fit_in_order};
+use busytime::online::{OnlinePolicy, OnlineScheduler, Trace};
+use busytime::{Duration, Instance, Schedule};
+use busytime_workload::{
+    clique_instance, cloud_trace, general_instance, one_sided_instance, optical_lightpaths,
+    proper_clique_instance, proper_instance, seeded_rng, trace_from_instance,
+    trace_from_instance_in_order,
+};
+use proptest::prelude::*;
+
+/// Rebuild an offline [`Schedule`] from the online scheduler's final live jobs (ids of
+/// an arrivals-only instance replay are the instance's job ids, and single-pool
+/// policies open machines in the same order the offline builder does).
+fn schedule_of(run: &OnlineScheduler, n: usize) -> Schedule {
+    let mut assignment = vec![None; n];
+    for (id, _, machine) in run.live_jobs() {
+        assignment[id as usize] = Some(machine);
+    }
+    Schedule::from_assignment(assignment)
+}
+
+/// The oracle proper: one instance, all three policies against their offline twins.
+fn assert_oracle(instance: &Instance, context: &str) {
+    let n = instance.len();
+
+    // Online FirstFit over the arrival-order replay ≡ offline FirstFit on the same
+    // explicit order, machine for machine.
+    let arrival_trace = trace_from_instance(instance);
+    let run = OnlineScheduler::run(&arrival_trace, OnlinePolicy::FirstFit)
+        .unwrap_or_else(|e| panic!("{context}: arrival replay failed: {e}"));
+    let online = schedule_of(&run.scheduler, n);
+    let id_order: Vec<usize> = (0..n).collect();
+    let offline = first_fit_in_order(instance, &id_order);
+    assert_eq!(
+        online, offline,
+        "{context}: FirstFit arrival-order assignment"
+    );
+    assert_eq!(
+        run.final_cost(),
+        offline.cost(instance),
+        "{context}: FirstFit arrival-order cost"
+    );
+    offline.validate_complete(instance).unwrap();
+
+    // Online FirstFit over the canonical length-order replay ≡ the paper's FirstFit.
+    let by_length: Vec<usize> = instance
+        .order_by_length_desc()
+        .iter()
+        .map(|&j| j as usize)
+        .collect();
+    let run = OnlineScheduler::run(
+        &trace_from_instance_in_order(instance, &by_length),
+        OnlinePolicy::FirstFit,
+    )
+    .unwrap_or_else(|e| panic!("{context}: length-order replay failed: {e}"));
+    let online = schedule_of(&run.scheduler, n);
+    let offline = first_fit(instance);
+    assert_eq!(
+        online, offline,
+        "{context}: FirstFit length-order assignment"
+    );
+    assert_eq!(
+        run.final_cost(),
+        offline.cost(instance),
+        "{context}: FirstFit length-order cost"
+    );
+
+    // Online BestFit over the shortest-first replay ≡ the best-fit greedy fallback
+    // under a budget no placement can exceed.
+    let by_length_asc: Vec<usize> = instance
+        .order_by_length_asc()
+        .iter()
+        .map(|&j| j as usize)
+        .collect();
+    let run = OnlineScheduler::run(
+        &trace_from_instance_in_order(instance, &by_length_asc),
+        OnlinePolicy::BestFit,
+    )
+    .unwrap_or_else(|e| panic!("{context}: best-fit replay failed: {e}"));
+    let online = schedule_of(&run.scheduler, n);
+    let offline = greedy_fallback(instance, instance.total_len());
+    assert_eq!(
+        online, offline.schedule,
+        "{context}: BestFit shortest-first assignment"
+    );
+    assert_eq!(
+        run.final_cost(),
+        offline.cost,
+        "{context}: BestFit shortest-first cost"
+    );
+    assert_eq!(run.scheduler.live_count(), offline.throughput);
+
+    // BucketByLength has no offline twin with shared machines, but its final state
+    // must still be a valid complete schedule whose tracked cost survives a
+    // from-scratch recomputation.
+    let run = OnlineScheduler::run(&arrival_trace, OnlinePolicy::BucketByLength)
+        .unwrap_or_else(|e| panic!("{context}: bucket replay failed: {e}"));
+    let online = schedule_of(&run.scheduler, n);
+    online
+        .validate_complete(instance)
+        .unwrap_or_else(|e| panic!("{context}: bucket schedule invalid: {e}"));
+    assert_eq!(
+        run.final_cost(),
+        online.cost(instance),
+        "{context}: bucket tracked cost vs recomputation"
+    );
+}
+
+/// Every named generator family at a given (seed, n, g) — the workload half of the
+/// oracle's case source.
+fn family_instances(seed: u64, n: usize, g: usize) -> Vec<(&'static str, Instance)> {
+    vec![
+        (
+            "general",
+            general_instance(&mut seeded_rng(seed), n, g, 200, 30),
+        ),
+        (
+            "proper",
+            proper_instance(&mut seeded_rng(seed), n, g, 20, 5),
+        ),
+        ("clique", clique_instance(&mut seeded_rng(seed), n, g, 100)),
+        (
+            "proper-clique",
+            proper_clique_instance(&mut seeded_rng(seed), n, g, 4 * n.max(1) as i64),
+        ),
+        (
+            "one-sided",
+            one_sided_instance(&mut seeded_rng(seed), n, g, 60),
+        ),
+        ("cloud", cloud_trace(&mut seeded_rng(seed), n, g, 5, 1, 200)),
+        (
+            "optical",
+            optical_lightpaths(&mut seeded_rng(seed), n, g, 64),
+        ),
+    ]
+}
+
+#[test]
+fn oracle_holds_on_every_workload_family() {
+    for seed in 0..6u64 {
+        for &(n, g) in &[(1usize, 1usize), (7, 2), (24, 3), (60, 4), (120, 8)] {
+            for (family, instance) in family_instances(seed, n, g) {
+                assert_oracle(&instance, &format!("{family} seed={seed} n={n} g={g}"));
+            }
+        }
+    }
+}
+
+#[test]
+fn oracle_holds_on_the_empty_instance() {
+    let instance = Instance::from_ticks(&[], 3);
+    assert_oracle(&instance, "empty");
+    let run = OnlineScheduler::run(&Trace::new(3, Vec::new()), OnlinePolicy::FirstFit).unwrap();
+    assert_eq!(run.final_cost(), Duration::ZERO);
+    assert_eq!(run.events(), 0);
+}
+
+proptest! {
+    /// The oracle on arbitrary unstructured instances (the proptest half): overlap
+    /// mixes, duplicates and touching endpoints that the named families rarely hit.
+    #[test]
+    fn oracle_holds_on_random_instances(
+        jobs in prop::collection::vec((-80i64..80, 1i64..50), 0..40),
+        g in 1usize..5,
+    ) {
+        let jobs: Vec<(i64, i64)> = jobs.into_iter().map(|(s, l)| (s, s + l)).collect();
+        let instance = Instance::try_from_ticks(&jobs, g).expect("generated jobs are non-empty");
+        assert_oracle(&instance, "proptest");
+    }
+}

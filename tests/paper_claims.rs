@@ -10,11 +10,13 @@ use busytime::minbusy::{
     best_cut, best_cut_guarantee, clique_matching, clique_set_cover, find_best_consecutive,
     greedy_pack, naive, one_sided_optimal, set_cover_guarantee,
 };
+use busytime::online::{OnlinePolicy, OnlineScheduler};
 use busytime::{Duration, Instance};
 use busytime_exact::{exact_maxthroughput_value, exact_minbusy_cost};
 use busytime_workload::{
     clique_instance, figure3_firstfit_cost, figure3_good_solution_cost, figure3_instance,
-    proper_clique_instance,
+    general_instance, proper_clique_instance, seeded_rng, trace_from_instance,
+    trace_from_instance_in_order,
 };
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -170,6 +172,52 @@ fn lemma_3_5_figure_3_lower_bound() {
         // asymptote 6γ+3.
         assert!(ratio > 3.0, "gamma1={gamma1}: ratio {ratio}");
         assert!(ratio <= 6.0 * gamma1 as f64 + 3.0 + 1e-9);
+    }
+}
+
+/// The greedy envelope carries over to the online engine on small traces, pinned
+/// against the exhaustive exact optimum (n ≤ 10):
+///
+/// * replaying arrivals in the canonical non-increasing length order, online FirstFit
+///   *is* the FirstFit of [13], so its cost stays within the 4-approximation envelope;
+/// * in raw arrival order no FirstFit guarantee is proven, but any valid complete
+///   schedule costs at most `len(J) ≤ g · OPT` (Proposition 2.1's argument), and the
+///   online schedule must respect that envelope too.
+#[test]
+fn online_first_fit_stays_in_greedy_envelope() {
+    for seed in 0..12u64 {
+        for &(n, g) in &[(4usize, 1usize), (7, 2), (10, 3)] {
+            let inst = general_instance(&mut seeded_rng(seed), n, g, 60, 20);
+            let opt = exact_minbusy_cost(&inst).ticks();
+            let context = format!("seed={seed} n={n} g={g}");
+
+            let by_length: Vec<usize> = inst
+                .order_by_length_desc()
+                .iter()
+                .map(|&j| j as usize)
+                .collect();
+            let canonical = OnlineScheduler::run(
+                &trace_from_instance_in_order(&inst, &by_length),
+                OnlinePolicy::FirstFit,
+            )
+            .unwrap();
+            assert!(
+                canonical.final_cost().ticks() <= 4 * opt,
+                "{context}: canonical-order online FirstFit {} vs 4·OPT = {}",
+                canonical.final_cost(),
+                4 * opt
+            );
+
+            let arrival =
+                OnlineScheduler::run(&trace_from_instance(&inst), OnlinePolicy::FirstFit).unwrap();
+            assert!(
+                arrival.final_cost().ticks() <= g as i64 * opt,
+                "{context}: arrival-order online FirstFit {} vs g·OPT = {}",
+                arrival.final_cost(),
+                g as i64 * opt
+            );
+            assert!(arrival.final_cost().ticks() >= opt, "{context}: below OPT");
+        }
     }
 }
 
