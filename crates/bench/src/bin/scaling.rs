@@ -19,8 +19,10 @@
 //! silently absent number.
 //!
 //! The output is self-describing: a `meta` object records the thread count, available
-//! parallelism, git revision and build profile next to the rows, and a `batch` section
-//! measures `Solver::solve_batch` over the work-stealing pool at several widths.
+//! parallelism, git revision and build profile next to the rows, a `batch` section
+//! measures `Solver::solve_batch` over the work-stealing pool at several widths, and a
+//! `server` section drives a multi-tenant request stream through the sharded
+//! `busytime-server` registry at several shard counts (requests/s at 1 vs N shards).
 //!
 //! `--quick` shrinks the size grid and trial count (the CI configuration); `--check`
 //! validates the run after measuring — every adaptive-dispatch row must be at parity
@@ -79,6 +81,22 @@ struct BatchRow {
     speedup_vs_1_thread: f64,
 }
 
+/// One measured multi-tenant server configuration.
+#[derive(Debug, Serialize)]
+struct ServerRow {
+    tenants: usize,
+    /// Concurrent client threads driving the engine (one per tenant).
+    clients: usize,
+    /// Requests driven through the engine per trial (events only; opens excluded).
+    requests: usize,
+    shards: usize,
+    secs: f64,
+    /// Request throughput — the headline number for the sharded registry.
+    requests_per_sec: f64,
+    /// This configuration's throughput over the 1-shard throughput.
+    speedup_vs_1_shard: f64,
+}
+
 /// One measured online-engine configuration.
 #[derive(Debug, Serialize)]
 struct OnlineRow {
@@ -106,6 +124,7 @@ struct Report {
     rows: Vec<Row>,
     online: Vec<OnlineRow>,
     batch: Vec<BatchRow>,
+    server: Vec<ServerRow>,
 }
 
 #[derive(Debug, Serialize)]
@@ -393,6 +412,82 @@ fn main() {
     }
     busytime::par::set_default_threads(0);
 
+    // The multi-tenant server: one interleaved request stream over T tenants, one
+    // concurrent client thread per tenant, driven through the in-process `Engine`
+    // (the same path the TCP connection threads use, minus the socket) at several
+    // shard counts.  Each trial rebuilds a fresh registry so every configuration
+    // replays the identical stream from empty state; only the drive is timed.
+    let server_tenants = if quick { 4 } else { 8 };
+    let server_jobs = if quick { 500 } else { 2_500 };
+    let stream = busytime_workload::multi_tenant_stream(
+        &mut seeded_rng(2012),
+        server_tenants,
+        server_jobs,
+        2.0,
+        &heavy_tail,
+    );
+    // Per-tenant request sequences, prepared outside the timed section.
+    let per_tenant: Vec<Vec<busytime_server::Request>> = (0..server_tenants)
+        .map(|t| {
+            stream
+                .iter()
+                .filter(|(tenant, _)| *tenant == t)
+                .map(|(_, event)| {
+                    busytime_server::Request::from_event(&format!("tenant-{t}"), event)
+                })
+                .collect()
+        })
+        .collect();
+    let mut server = Vec::new();
+    let mut one_shard_rps = 0.0f64;
+    for shards in [1usize, 2, 4, 8] {
+        let mut samples: Vec<f64> = (0..trials)
+            .map(|_| {
+                let registry = busytime_server::Registry::new(shards);
+                let engine = registry.engine();
+                for t in 0..server_tenants {
+                    let response = engine.call(busytime_server::Request::Open {
+                        tenant: format!("tenant-{t}"),
+                        capacity,
+                        policy: Some("first-fit".to_string()),
+                    });
+                    assert!(response.is_ok(), "{response:?}");
+                }
+                let started = Instant::now();
+                std::thread::scope(|scope| {
+                    for requests in &per_tenant {
+                        let engine = engine.clone();
+                        scope.spawn(move || {
+                            for request in requests {
+                                let response = engine.call(request.clone());
+                                assert!(response.is_ok(), "{response:?}");
+                            }
+                        });
+                    }
+                });
+                let secs = started.elapsed().as_secs_f64();
+                drop(engine);
+                registry.shutdown();
+                secs
+            })
+            .collect();
+        samples.sort_by(f64::total_cmp);
+        let secs = samples[samples.len() / 2];
+        let requests_per_sec = stream.len() as f64 / secs;
+        if shards == 1 {
+            one_shard_rps = requests_per_sec;
+        }
+        server.push(ServerRow {
+            tenants: server_tenants,
+            clients: server_tenants,
+            requests: stream.len(),
+            shards,
+            secs,
+            requests_per_sec,
+            speedup_vs_1_shard: requests_per_sec / one_shard_rps,
+        });
+    }
+
     let report = Report {
         meta: Meta {
             git_rev: git_rev(),
@@ -412,6 +507,7 @@ fn main() {
         rows,
         online,
         batch,
+        server,
     };
 
     // One row object per line keeps the file diffable across regenerations.
@@ -445,6 +541,16 @@ fn main() {
         text.push_str("    ");
         text.push_str(&serde_json::to_string(r).expect("batch rows serialize"));
         text.push_str(if i + 1 < report.batch.len() {
+            ",\n"
+        } else {
+            "\n"
+        });
+    }
+    text.push_str("  ],\n  \"server\": [\n");
+    for (i, r) in report.server.iter().enumerate() {
+        text.push_str("    ");
+        text.push_str(&serde_json::to_string(r).expect("server rows serialize"));
+        text.push_str(if i + 1 < report.server.len() {
             ",\n"
         } else {
             "\n"
@@ -491,6 +597,12 @@ fn main() {
             b.instances, b.jobs_per_instance, b.threads, b.secs, b.speedup_vs_1_thread
         );
     }
+    for s in &report.server {
+        println!(
+            "server {} tenants x {} requests, {} shard(s): {:.3}s ({:.0} requests/s, {:.2}x vs 1 shard)",
+            s.tenants, s.requests, s.shards, s.secs, s.requests_per_sec, s.speedup_vs_1_shard
+        );
+    }
     println!("wrote {output}");
 
     if check {
@@ -519,6 +631,17 @@ fn main() {
                 failures.push(format!(
                     "{} {} n={}: nonsensical event throughput {}",
                     r.bench, r.policy, r.jobs, r.events_per_sec
+                ));
+            }
+        }
+        if report.server.is_empty() {
+            failures.push("no server rows were recorded".to_string());
+        }
+        for r in &report.server {
+            if !(r.requests_per_sec.is_finite() && r.requests_per_sec > 0.0) {
+                failures.push(format!(
+                    "server shards={}: nonsensical request throughput {}",
+                    r.shards, r.requests_per_sec
                 ));
             }
         }

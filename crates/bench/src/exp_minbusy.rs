@@ -106,7 +106,7 @@ pub fn e2_clique_set_cover(seed: u64, trials: usize) -> ExperimentReport {
 }
 
 /// E3 — Theorem 3.1: BestCut is a `(2 − 1/g)`-approximation on proper instances; also
-/// compares against the FirstFit baseline of [13] on larger instances.
+/// compares against the FirstFit baseline of \[13\] on larger instances.
 pub fn e3_best_cut(seed: u64, trials: usize) -> ExperimentReport {
     let mut rows = Vec::new();
     // Small instances: ratio vs the exact optimum.

@@ -1,9 +1,9 @@
 //! # busytime-cli
 //!
 //! Library backing the `busytime` command-line tool: a JSON on-disk instance format plus
-//! the five sub-commands (`solve`, `throughput`, `batch`, `simulate`, `generate`)
-//! implemented as plain functions so that they can be unit-tested without spawning
-//! processes.
+//! the sub-commands (`solve`, `throughput`, `batch`, `simulate`, `generate`, `serve`,
+//! `client`) implemented as plain functions so that they can be unit-tested without
+//! spawning processes.
 //!
 //! The solving sub-commands go through the unified [`busytime::Solver`] facade, so they
 //! accept the same policy flags: `--algorithm NAME` forces a specific algorithm (a typed
@@ -21,7 +21,14 @@
 //! busytime throughput inst.json --budget 1200 --exact-only
 //! busytime batch instances.json --threads 4 --output results.json
 //! busytime simulate trace.json --policy best-fit --output sim.json
+//! busytime serve --addr 127.0.0.1:7878 --shards 4
+//! busytime client trace.json --addr 127.0.0.1:7878 --tenant acme --policy best-fit
 //! ```
+//!
+//! `serve` runs the `busytime-server` daemon (see `PROTOCOL.md` for the wire format);
+//! `client` drives a trace file against a running daemon and reports the same
+//! [`SimulationReport`] schema `simulate` produces locally, which is what makes the
+//! two directly comparable (the CI smoke asserts it).
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -29,7 +36,8 @@
 use busytime::analysis::ScheduleSummary;
 use busytime::online::{Event, OnlinePolicy, Trace};
 use busytime::par::ThreadPool;
-use busytime::{Algorithm, Duration, Instance, Interval, Problem, Solution, Solver, Time};
+use busytime::report::{ScheduleReport, SimulationReport};
+use busytime::{Algorithm, Duration, Instance, Interval, Problem, Solver, Time};
 use busytime_workload as workload;
 use serde::{Deserialize, Serialize};
 
@@ -73,48 +81,6 @@ impl InstanceFile {
     /// Serialize to pretty JSON.
     pub fn to_json(&self) -> String {
         serde_json::to_string_pretty(self).expect("instance files always serialize")
-    }
-}
-
-/// The on-disk JSON representation of a solved schedule.
-#[derive(Debug, Clone, Serialize, Deserialize)]
-pub struct ScheduleFile {
-    /// Which algorithm produced the schedule (its stable kebab-case name).
-    pub algorithm: String,
-    /// The algorithm's proven approximation guarantee, when the paper proves one.
-    pub guarantee: Option<f64>,
-    /// Total busy time of the schedule.
-    pub busy_time: i64,
-    /// The Observation 2.1 lower bound of the instance.
-    pub lower_bound: i64,
-    /// Number of machines used.
-    pub machines: usize,
-    /// Number of scheduled jobs.
-    pub scheduled_jobs: usize,
-    /// Per-machine job lists (indices into the instance's sorted job order).
-    pub machine_groups: Vec<Vec<usize>>,
-    /// Jobs left unscheduled (only non-empty for budgeted runs).
-    pub unscheduled_jobs: Vec<usize>,
-    /// The dispatch trace: every algorithm considered and why it was skipped or failed.
-    pub trace: Vec<String>,
-}
-
-impl ScheduleFile {
-    fn from_solution(instance: &Instance, solution: &Solution) -> Self {
-        let unscheduled: Vec<usize> = (0..instance.len())
-            .filter(|&j| !solution.schedule.is_scheduled(j))
-            .collect();
-        ScheduleFile {
-            algorithm: solution.algorithm.name().to_string(),
-            guarantee: solution.guarantee,
-            busy_time: solution.objective.cost().ticks(),
-            lower_bound: solution.bounds.lower.ticks(),
-            machines: solution.schedule.machines_used(),
-            scheduled_jobs: solution.schedule.throughput(),
-            machine_groups: solution.schedule.machine_groups(),
-            unscheduled_jobs: unscheduled,
-            trace: solution.trace.iter().map(|a| a.to_string()).collect(),
-        }
     }
 }
 
@@ -163,7 +129,7 @@ pub fn run_solve(file: &InstanceFile, options: &SolveOptions) -> Result<CommandO
         None => "no proven guarantee".to_string(),
     };
     let report = format!("MinBusy ({}, {guarantee}): {summary}", solution.algorithm);
-    let payload = ScheduleFile::from_solution(&instance, &solution);
+    let payload = ScheduleReport::from_solution(&instance, &solution);
     Ok(CommandOutput {
         report,
         file_payload: Some(serde_json::to_string_pretty(&payload).expect("serializable")),
@@ -197,7 +163,7 @@ pub fn run_throughput(
         solution.objective.cost(),
         budget
     );
-    let payload = ScheduleFile::from_solution(&instance, &solution);
+    let payload = ScheduleReport::from_solution(&instance, &solution);
     Ok(CommandOutput {
         report,
         file_payload: Some(serde_json::to_string_pretty(&payload).expect("serializable")),
@@ -265,7 +231,7 @@ pub fn run_batch(
     let elapsed = started.elapsed();
 
     let mut lines = Vec::with_capacity(results.len() + 1);
-    let mut payloads: Vec<Option<ScheduleFile>> = Vec::with_capacity(results.len());
+    let mut payloads: Vec<Option<ScheduleReport>> = Vec::with_capacity(results.len());
     let mut solved = 0usize;
     let mut total_cost = 0i64;
     for (i, (instance, result)) in instances.iter().zip(&results).enumerate() {
@@ -283,7 +249,7 @@ pub fn run_batch(
                     solution.algorithm,
                     solution.objective.cost()
                 ));
-                payloads.push(Some(ScheduleFile::from_solution(instance, solution)));
+                payloads.push(Some(ScheduleReport::from_solution(instance, solution)));
             }
             Err(error) => {
                 lines.push(format!("  [{i}] failed: {error}"));
@@ -376,57 +342,11 @@ impl TraceFile {
     }
 }
 
-/// The on-disk JSON representation of a simulation result.
-#[derive(Debug, Clone, Serialize, Deserialize)]
-pub struct SimulationFile {
-    /// The online policy that was replayed (its stable kebab-case name).
-    pub policy: String,
-    /// The machine capacity `g`.
-    pub capacity: usize,
-    /// Number of events replayed.
-    pub events: usize,
-    /// Arrivals among them.
-    pub arrivals: usize,
-    /// Departures among them.
-    pub departures: usize,
-    /// Total busy time after the last event.
-    pub final_cost: i64,
-    /// Highest total busy time observed along the trace.
-    pub peak_cost: i64,
-    /// Number of machines opened over the run.
-    pub machines_opened: usize,
-    /// Jobs still live after the last event.
-    pub live_jobs: usize,
-    /// Total busy time after each event, in event order.
-    pub cost_trajectory: Vec<i64>,
-    /// Live job ids per machine after the last event (emptied machines keep their
-    /// slot, so machine ids are stable across the trajectory).
-    pub machine_groups: Vec<Vec<u64>>,
-}
-
-/// `busytime simulate`: replay an online event trace through
-/// [`busytime::Solver::solve_online`].
-pub fn run_simulate(file: &TraceFile, policy: OnlinePolicy) -> Result<CommandOutput, String> {
-    let trace = file.to_trace()?;
-    let run = Solver::new()
-        .solve_online(&trace, policy)
-        .map_err(|e| e.to_string())?;
-    let scheduler = &run.scheduler;
-    let payload = SimulationFile {
-        policy: policy.name().to_string(),
-        capacity: scheduler.capacity(),
-        events: run.events(),
-        arrivals: scheduler.arrivals(),
-        departures: scheduler.departures(),
-        final_cost: run.final_cost().ticks(),
-        peak_cost: run.peak_cost().ticks(),
-        machines_opened: scheduler.machine_count(),
-        live_jobs: scheduler.live_count(),
-        cost_trajectory: run.trajectory.iter().map(|d| d.ticks()).collect(),
-        machine_groups: scheduler.machine_groups(),
-    };
-    let report = format!(
-        "simulate ({policy}): {} events ({} arrivals, {} departures) on capacity {}, \
+/// Render a [`SimulationReport`] into the one-line summary `simulate` and `client`
+/// print (they share the schema, so they share the rendering too).
+fn render_simulation(prefix: &str, payload: &SimulationReport) -> String {
+    format!(
+        "{prefix}: {} events ({} arrivals, {} departures) on capacity {}, \
          final busy time {}, peak {}, {} machines opened, {} jobs live",
         payload.events,
         payload.arrivals,
@@ -436,11 +356,64 @@ pub fn run_simulate(file: &TraceFile, policy: OnlinePolicy) -> Result<CommandOut
         payload.peak_cost,
         payload.machines_opened,
         payload.live_jobs,
-    );
+    )
+}
+
+/// `busytime simulate`: replay an online event trace through
+/// [`busytime::Solver::solve_online`], reporting the shared
+/// [`SimulationReport`] schema (the same shape the server's `query` returns).
+pub fn run_simulate(file: &TraceFile, policy: OnlinePolicy) -> Result<CommandOutput, String> {
+    let trace = file.to_trace()?;
+    let run = Solver::new()
+        .solve_online(&trace, policy)
+        .map_err(|e| e.to_string())?;
+    let trajectory: Vec<i64> = run.trajectory.iter().map(|d| d.ticks()).collect();
+    let payload = SimulationReport::from_scheduler(&run.scheduler, trajectory);
     Ok(CommandOutput {
-        report,
+        report: render_simulation(&format!("simulate ({policy})"), &payload),
         file_payload: Some(serde_json::to_string_pretty(&payload).expect("serializable")),
     })
+}
+
+/// `busytime client`: drive a trace file against a **running** `busytime serve`
+/// daemon — open a tenant, stream every event over the wire, and report the final
+/// server-side state in the same [`SimulationReport`] schema `simulate` produces
+/// locally.
+pub fn run_client(
+    file: &TraceFile,
+    addr: &str,
+    tenant: &str,
+    policy: OnlinePolicy,
+) -> Result<CommandOutput, String> {
+    let trace = file.to_trace()?;
+    let mut client = busytime_server::Client::connect(addr)
+        .map_err(|e| format!("cannot connect to {addr}: {e}"))?;
+    let payload = client.drive_trace(tenant, &trace, policy)?;
+    Ok(CommandOutput {
+        report: render_simulation(
+            &format!("client ({policy}) -> {addr} tenant '{tenant}'"),
+            &payload,
+        ),
+        file_payload: Some(serde_json::to_string_pretty(&payload).expect("serializable")),
+    })
+}
+
+/// `busytime serve`: bind `addr` and run the sharded scheduling daemon until the
+/// process is killed.  Prints the bound address (port 0 resolves to a free port)
+/// before entering the accept loop, so scripts can scrape it.
+pub fn run_serve(addr: &str, shards: usize) -> Result<(), String> {
+    let listener =
+        std::net::TcpListener::bind(addr).map_err(|e| format!("cannot bind {addr}: {e}"))?;
+    let local = listener
+        .local_addr()
+        .map_err(|e| format!("cannot read the bound address: {e}"))?;
+    let registry = busytime_server::Registry::new(shards);
+    let engine = registry.engine();
+    println!(
+        "busytime-server listening on {local} with {} shard(s)",
+        engine.shard_count()
+    );
+    busytime_server::serve(listener, engine).map_err(|e| format!("server error: {e}"))
 }
 
 /// Workload classes understood by `busytime generate`.
@@ -586,7 +559,7 @@ mod tests {
         let out = run_solve(&sample_file(), &auto()).unwrap();
         assert!(out.report.contains("MinBusy"));
         assert!(out.report.contains("proper-clique-dp"));
-        let payload: ScheduleFile = serde_json::from_str(&out.file_payload.unwrap()).unwrap();
+        let payload: ScheduleReport = serde_json::from_str(&out.file_payload.unwrap()).unwrap();
         assert_eq!(payload.scheduled_jobs, 4);
         assert!(payload.unscheduled_jobs.is_empty());
         assert!(payload.busy_time > 0);
@@ -602,7 +575,7 @@ mod tests {
             exact_only: false,
         };
         let out = run_solve(&sample_file(), &forced).unwrap();
-        let payload: ScheduleFile = serde_json::from_str(&out.file_payload.unwrap()).unwrap();
+        let payload: ScheduleReport = serde_json::from_str(&out.file_payload.unwrap()).unwrap();
         assert_eq!(payload.algorithm, "first-fit");
         assert_eq!(payload.guarantee, Some(4.0));
     }
@@ -641,7 +614,7 @@ mod tests {
     fn throughput_command_respects_budget() {
         let out = run_throughput(&sample_file(), 12, &auto()).unwrap();
         assert!(out.report.contains("budget 12"));
-        let payload: ScheduleFile = serde_json::from_str(&out.file_payload.unwrap()).unwrap();
+        let payload: ScheduleReport = serde_json::from_str(&out.file_payload.unwrap()).unwrap();
         assert!(payload.busy_time <= 12);
         assert!(payload.scheduled_jobs < 4);
         assert!(!payload.unscheduled_jobs.is_empty());
@@ -668,13 +641,13 @@ mod tests {
             out.report
         );
         assert!(out.report.contains("[0] 4 jobs"), "{}", out.report);
-        let payloads: Vec<Option<ScheduleFile>> =
+        let payloads: Vec<Option<ScheduleReport>> =
             serde_json::from_str(&out.file_payload.unwrap()).unwrap();
         assert_eq!(payloads.len(), 2);
         assert!(payloads.iter().all(Option::is_some));
         // Batch results agree with solving each instance alone.
         let single = run_solve(&sample_file(), &auto()).unwrap();
-        let alone: ScheduleFile = serde_json::from_str(&single.file_payload.unwrap()).unwrap();
+        let alone: ScheduleReport = serde_json::from_str(&single.file_payload.unwrap()).unwrap();
         let batched = payloads[0].as_ref().unwrap();
         assert_eq!(batched.algorithm, alone.algorithm);
         assert_eq!(batched.busy_time, alone.busy_time);
@@ -747,7 +720,7 @@ mod tests {
             "{}",
             out.report
         );
-        let payload: SimulationFile = serde_json::from_str(&out.file_payload.unwrap()).unwrap();
+        let payload: SimulationReport = serde_json::from_str(&out.file_payload.unwrap()).unwrap();
         assert_eq!(payload.events, 4);
         assert_eq!(payload.arrivals, 3);
         assert_eq!(payload.departures, 1);

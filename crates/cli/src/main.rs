@@ -10,6 +10,9 @@
 //!                   [--output simulation.json]
 //! busytime generate --class <clique|one-sided|proper|proper-clique|general|cloud|optical>
 //!                   --jobs N --capacity G [--seed S] [--output instance.json]
+//! busytime serve [--addr HOST:PORT] [--shards N]
+//! busytime client <trace.json> --tenant NAME [--addr HOST:PORT] [--policy POLICY]
+//!                 [--output report.json]
 //! ```
 //!
 //! Instances are JSON files of the form `{"capacity": 3, "jobs": [[0, 10], [2, 12]]}`;
@@ -26,13 +29,16 @@
 use busytime::online::OnlinePolicy;
 use busytime::Algorithm;
 use busytime_cli::{
-    run_batch, run_generate, run_simulate, run_solve, run_throughput, BatchFile, CommandOutput,
-    InstanceFile, SolveOptions, TraceFile, WorkloadClass,
+    run_batch, run_client, run_generate, run_serve, run_simulate, run_solve, run_throughput,
+    BatchFile, CommandOutput, InstanceFile, SolveOptions, TraceFile, WorkloadClass,
 };
+
+/// Default host:port of `serve` and `client` (loopback; pass `--addr` to change).
+const DEFAULT_ADDR: &str = "127.0.0.1:7878";
 
 fn usage() -> ! {
     eprintln!(
-        "usage:\n  busytime solve <instance.json> [--algorithm NAME] [--exact-only] [--output schedule.json]\n  busytime throughput <instance.json> --budget T [--algorithm NAME] [--exact-only] [--output schedule.json]\n  busytime batch <instances.json> [--budget T] [--threads N] [--algorithm NAME] [--exact-only] [--output results.json]\n  busytime simulate <trace.json> [--policy POLICY] [--output simulation.json]\n  busytime generate --class CLASS --jobs N --capacity G [--seed S] [--output instance.json]"
+        "usage:\n  busytime solve <instance.json> [--algorithm NAME] [--exact-only] [--output schedule.json]\n  busytime throughput <instance.json> --budget T [--algorithm NAME] [--exact-only] [--output schedule.json]\n  busytime batch <instances.json> [--budget T] [--threads N] [--algorithm NAME] [--exact-only] [--output results.json]\n  busytime simulate <trace.json> [--policy POLICY] [--output simulation.json]\n  busytime generate --class CLASS --jobs N --capacity G [--seed S] [--output instance.json]\n  busytime serve [--addr HOST:PORT] [--shards N]\n  busytime client <trace.json> --tenant NAME [--addr HOST:PORT] [--policy POLICY] [--output report.json]"
     );
     std::process::exit(2);
 }
@@ -254,6 +260,69 @@ fn main() {
                 std::process::exit(2);
             });
             finish(run_generate(class, jobs, capacity, seed), output_path);
+        }
+        "serve" => {
+            let mut addr = DEFAULT_ADDR.to_string();
+            let mut shards = std::thread::available_parallelism().map_or(1, |n| n.get());
+            let mut it = args[1..].iter();
+            while let Some(arg) = it.next() {
+                match arg.as_str() {
+                    "--addr" => addr = it.next().cloned().unwrap_or_else(|| usage()),
+                    "--shards" => {
+                        shards = it
+                            .next()
+                            .and_then(|v| v.parse().ok())
+                            .filter(|&n| n > 0)
+                            .unwrap_or_else(|| usage())
+                    }
+                    _ => usage(),
+                }
+            }
+            if let Err(e) = run_serve(&addr, shards) {
+                eprintln!("error: {e}");
+                std::process::exit(1);
+            }
+        }
+        "client" => {
+            let mut trace_path: Option<String> = None;
+            let mut addr = DEFAULT_ADDR.to_string();
+            let mut tenant: Option<String> = None;
+            let mut policy = OnlinePolicy::FirstFit;
+            let mut it = args[1..].iter();
+            while let Some(arg) = it.next() {
+                match arg.as_str() {
+                    "--output" => output_path = it.next().cloned(),
+                    "--addr" => addr = it.next().cloned().unwrap_or_else(|| usage()),
+                    "--tenant" => tenant = it.next().cloned(),
+                    "--policy" => {
+                        policy = it
+                            .next()
+                            .map(|v| {
+                                OnlinePolicy::parse(v).unwrap_or_else(|e| {
+                                    eprintln!("{e}");
+                                    std::process::exit(2);
+                                })
+                            })
+                            .unwrap_or_else(|| usage())
+                    }
+                    other if trace_path.is_none() => trace_path = Some(other.to_string()),
+                    _ => usage(),
+                }
+            }
+            let path = trace_path.unwrap_or_else(|| usage());
+            let tenant = tenant.unwrap_or_else(|| {
+                eprintln!("--tenant is required");
+                std::process::exit(2);
+            });
+            let text = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+                eprintln!("cannot read {path}: {e}");
+                std::process::exit(1);
+            });
+            let trace = TraceFile::from_json(&text).unwrap_or_else(|e| {
+                eprintln!("{e}");
+                std::process::exit(1);
+            });
+            finish(run_client(&trace, &addr, &tenant, policy), output_path);
         }
         "--help" | "-h" => usage(),
         _ => usage(),

@@ -1,6 +1,6 @@
 //! Jobs with capacity demands — the extension of Section 5 of the paper ("allow jobs
 //! requiring different amount of capacities and a machine can process jobs as long as the
-//! sum of capacity required is at most g", the model of Khandekar et al. [16]).
+//! sum of capacity required is at most g", the model of Khandekar et al. \[16\]).
 //!
 //! A job now carries a demand `d_j ∈ [1, g]`; a machine may run any set of jobs whose
 //! *total demand* at every instant is at most `g`.  With all demands equal to 1 the model
@@ -11,7 +11,7 @@
 //! Provided algorithms:
 //! * [`first_fit_demand`] — FirstFit by non-increasing length, placing each job on the
 //!   first machine whose peak demand stays within `g` (the natural generalization of the
-//!   baseline of [13]/[16]);
+//!   baseline of \[13\]/\[16\]);
 //! * [`pack_by_demand`] — the Proposition 2.1-style baseline (fill machines greedily up to
 //!   the demand budget, ignoring overlap structure);
 //! * validation and bounds, used by the tests and by `busytime-exact`'s demand-aware

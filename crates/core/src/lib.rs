@@ -61,9 +61,10 @@
 //! | [`minbusy`] | every MinBusy algorithm of Section 3 plus baselines |
 //! | [`maxthroughput`] | every MaxThroughput algorithm of Section 4 plus the reductions of Section 2 |
 //! | [`twodim`] | rectangular jobs, FirstFit-2D and BucketFirstFit (Section 3.4) |
-//! | [`demand`] | the Section 5 extension with per-job capacity demands ([16]) |
+//! | [`demand`] | the Section 5 extension with per-job capacity demands (\[16\]) |
 //! | [`bounds`] | the parallelism / span / length bounds of Observation 2.1 |
 //! | [`analysis`] | schedule summaries and ratio reporting |
+//! | [`report`] | the shared JSON result schemas ([`ScheduleReport`], [`SimulationReport`]) the CLI and server emit |
 //! | [`par`] | the work-stealing [`par::ThreadPool`] batch engine and batch helpers |
 
 #![warn(missing_docs)]
@@ -83,6 +84,7 @@ pub mod minbusy;
 pub mod online;
 pub mod par;
 pub mod placement;
+pub mod report;
 mod schedule;
 pub mod soa;
 pub mod solver;
@@ -93,8 +95,9 @@ pub use busytime_interval::{Duration, Interval, Time};
 pub use error::Error;
 pub use instance::{Instance, JobId};
 pub use machine::{MachinePool, MachineState, Placement, ScheduleBuilder};
-pub use online::{OnlinePolicy, OnlineRun, OnlineScheduler};
+pub use online::{OnlinePolicy, OnlineRun, OnlineScheduler, OnlineSnapshot};
 pub use placement::{MachineDigest, PlacementIndex};
+pub use report::{ScheduleReport, SimulationReport};
 pub use schedule::{MachineId, Schedule, SolveResult, ThroughputResult};
 pub use soa::JobsSoa;
 pub use solver::{

@@ -1,7 +1,7 @@
 //! Incremental machine state: per-machine occupancy maintained under job insertion
 //! *and removal*.
 //!
-//! The greedy algorithms (FirstFit of [13], the best-fit MaxThroughput fallback) place
+//! The greedy algorithms (FirstFit of \[13\], the best-fit MaxThroughput fallback) place
 //! one job at a time.  Before this module they re-derived every overlap fact from
 //! scratch at each step — scanning whole thread job lists for conflicts and re-unioning
 //! a machine's jobs to price a placement — which made placement quadratic.
@@ -158,6 +158,18 @@ impl MachineState {
         iv.len() - self.coverage.covered_len(iv)
     }
 
+    /// Does `thread` already run a job overlapping `iv`?  A thread index at or
+    /// beyond the capacity reports `true` — a slot that does not exist can never
+    /// host the job.
+    ///
+    /// A non-panicking probe of a *specific* thread (unlike
+    /// [`MachineState::first_free_thread`], which searches).  Snapshot restoration
+    /// uses it to reject a corrupt placement with a typed error instead of hitting
+    /// the panic inside [`MachineState::insert`].
+    pub fn thread_conflicts(&self, iv: Interval, thread: usize) -> bool {
+        self.threads.get(thread).is_none_or(|t| t.conflicts(iv))
+    }
+
     /// Place `iv` on `thread`.
     ///
     /// Returns the increase in the machine's busy time.
@@ -242,6 +254,22 @@ pub struct Placement {
 /// pre-index linear scans survive as [`MachinePool::first_fit_slot_linear`] and
 /// [`MachinePool::best_fit_slot_linear`] — equivalence baselines for the property tests
 /// and the calibration benchmarks.
+///
+/// ```
+/// use busytime::machine::MachinePool;
+/// use busytime::{Duration, Interval};
+///
+/// let mut pool = MachinePool::new(1);
+/// // Nothing is open yet: the fresh-machine slot (machine count, thread 0).
+/// assert_eq!(pool.first_fit_slot(Interval::from_ticks(0, 10)), (0, 0));
+/// pool.insert(Interval::from_ticks(0, 10), 0, 0);
+/// // g = 1: an overlapping job must open a second machine...
+/// assert_eq!(pool.first_fit_slot(Interval::from_ticks(5, 15)), (1, 0));
+/// // ...until the first job departs and machine 0 reopens for that window.
+/// pool.remove(Interval::from_ticks(0, 10), 0, 0);
+/// assert_eq!(pool.first_fit_slot(Interval::from_ticks(5, 15)), (0, 0));
+/// assert_eq!(pool.cost(), Duration::ZERO);
+/// ```
 #[derive(Debug, Clone)]
 pub struct MachinePool {
     capacity: usize,
@@ -450,13 +478,26 @@ impl MachinePool {
     /// Returns the increase in total busy time.
     pub fn insert(&mut self, iv: Interval, machine: MachineId, thread: usize) -> Duration {
         if machine == self.machines.len() {
-            self.machines.push(MachineState::new(self.capacity));
-            self.index.push(MachineDigest::EMPTY);
+            self.open_empty();
         }
         let delta = self.machines[machine].insert(iv, thread);
         self.cost += delta;
         self.index.update(machine, self.machines[machine].digest());
         delta
+    }
+
+    /// Open one more (empty) machine slot without placing anything on it, returning
+    /// the new machine's id.
+    ///
+    /// This is the snapshot-restore hook: rebuilding a live schedule from an
+    /// [`crate::online::OnlineSnapshot`] must recreate machines that had opened and
+    /// later emptied, so that machine ids stay stable across the snapshot boundary.
+    /// (The ordinary placement paths never need it — [`MachinePool::insert`] opens
+    /// the machine it targets on demand.)
+    pub fn open_empty(&mut self) -> MachineId {
+        self.machines.push(MachineState::new(self.capacity));
+        self.index.push(MachineDigest::EMPTY);
+        self.machines.len() - 1
     }
 
     /// Remove a job previously placed on `(machine, thread)` — the *reopen* path.
@@ -586,6 +627,16 @@ mod tests {
         assert_eq!(m.first_free_thread(iv(7, 9)), None);
         // But a disjoint job fits the first thread.
         assert_eq!(m.first_free_thread(iv(20, 30)), Some(0));
+    }
+
+    #[test]
+    fn thread_conflicts_probes_without_panicking() {
+        let mut m = MachineState::new(2);
+        m.insert(iv(0, 10), 0);
+        assert!(m.thread_conflicts(iv(5, 8), 0));
+        assert!(!m.thread_conflicts(iv(5, 8), 1));
+        // A thread beyond the capacity does not exist: it can never host the job.
+        assert!(m.thread_conflicts(iv(5, 8), 9));
     }
 
     #[test]

@@ -16,7 +16,7 @@ use crate::tuning;
 /// FirstFit with `g` threads per machine, jobs in non-increasing order of length.
 ///
 /// Valid for every instance (no structural precondition); a 4-approximation on general
-/// instances by the analysis of [13].
+/// instances by the analysis of \[13\].
 ///
 /// The length order comes from the instance's cached SoA permutation (no per-call
 /// re-sort) and placement goes through [`first_fit_in_order_adaptive`], so small

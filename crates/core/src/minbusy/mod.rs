@@ -8,7 +8,7 @@
 //! | [`clique_set_cover`] | clique, fixed `g` | `g·H_g/(H_g+g−1)` | Lemma 3.2 |
 //! | [`best_cut`] | proper | `2 − 1/g` | Theorem 3.1 |
 //! | [`find_best_consecutive`] | proper clique | optimal | Theorem 3.2 |
-//! | [`first_fit`] | any | `4` (from [13]) | baseline |
+//! | [`first_fit`] | any | `4` (from \[13\]) | baseline |
 //! | [`greedy_pack`] / [`naive`] | any | `g` / `g` | Proposition 2.1 |
 //!
 //! [`solve_auto`] classifies the instance and dispatches to the strongest applicable
@@ -51,7 +51,7 @@ pub enum MinBusyAlgorithm {
     CliqueSetCover,
     /// Theorem 3.1 (proper instances).
     BestCut,
-    /// FirstFit baseline of [13] (general instances).
+    /// FirstFit baseline of \[13\] (general instances).
     FirstFit,
 }
 

@@ -43,7 +43,8 @@
 use core::fmt;
 use std::collections::BTreeMap;
 
-use busytime_interval::{Duration, Interval};
+use busytime_interval::{Duration, Interval, Time};
+use serde::{Deserialize, Serialize};
 
 use crate::machine::{MachinePool, MachineState};
 use crate::schedule::MachineId;
@@ -118,7 +119,7 @@ impl Trace {
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum OnlinePolicy {
     /// First machine (first thread) that can run the job — the online form of the
-    /// FirstFit baseline of [13].
+    /// FirstFit baseline of \[13\].
     FirstFit,
     /// The placement with the smallest busy-time increase, earliest machine on ties —
     /// the online form of the best-fit greedy fallback.
@@ -186,6 +187,12 @@ pub enum OnlineError {
         /// The unknown id.
         id: OnlineJobId,
     },
+    /// A snapshot could not be restored: its internal references are inconsistent
+    /// (unknown policy, machine/thread out of range, conflicting placements, …).
+    InvalidSnapshot {
+        /// What the snapshot got wrong.
+        reason: &'static str,
+    },
 }
 
 impl fmt::Display for OnlineError {
@@ -197,6 +204,9 @@ impl fmt::Display for OnlineError {
             }
             OnlineError::UnknownDeparture { id } => {
                 write!(f, "departure of job {id}, which is not live")
+            }
+            OnlineError::InvalidSnapshot { reason } => {
+                write!(f, "invalid snapshot: {reason}")
             }
         }
     }
@@ -447,6 +457,173 @@ impl OnlineScheduler {
         }
     }
 
+    /// Serialize the live schedule into a self-contained [`OnlineSnapshot`].
+    ///
+    /// The snapshot captures everything [`OnlineScheduler::restore`] needs to rebuild
+    /// a scheduler whose **observable behaviour is identical** to this one: the
+    /// capacity and policy, every opened machine (including machines that emptied —
+    /// their slots keep machine ids stable), every live job with its exact placement,
+    /// and the arrival/departure/peak counters.  The per-machine sweep profiles and
+    /// the placement index are *not* serialized; they are exact functions of the live
+    /// placements and are rebuilt by re-inserting the jobs on restore.
+    pub fn snapshot(&self) -> OnlineSnapshot {
+        let mut pool_buckets: Vec<Option<u32>> = vec![None; self.pools.len()];
+        for (bucket, slot) in self.bucket_slots.iter().enumerate() {
+            if let Some(slot) = *slot {
+                pool_buckets[slot] = Some(bucket as u32);
+            }
+        }
+        OnlineSnapshot {
+            capacity: self.capacity,
+            policy: self.policy.name().to_string(),
+            arrivals: self.arrivals,
+            departures: self.departures,
+            peak_cost: self.peak_cost.ticks(),
+            pool_buckets,
+            machines: self.global.clone(),
+            jobs: self
+                .live
+                .iter()
+                .map(|(&id, job)| SnapshotJob {
+                    id,
+                    start: job.interval.start().ticks(),
+                    end: job.interval.end().ticks(),
+                    machine: job.global,
+                    thread: job.thread,
+                })
+                .collect(),
+        }
+    }
+
+    /// Rebuild a live scheduler from a snapshot taken by [`OnlineScheduler::snapshot`].
+    ///
+    /// Every machine reopens in its original slot and every live job is re-placed on
+    /// exactly the (machine, thread) it occupied, so the restored scheduler's future
+    /// placement decisions — which descend the same exact hulls and thread sets —
+    /// match the never-snapshotted run event for event (the oracle the test suite
+    /// pins).  A snapshot that is internally inconsistent (unknown policy, dangling
+    /// machine reference, two jobs overlapping on one thread, a job in the wrong
+    /// length bucket) is rejected with [`OnlineError::InvalidSnapshot`] and never
+    /// half-applied.
+    pub fn restore(snapshot: &OnlineSnapshot) -> Result<Self, OnlineError> {
+        if snapshot.capacity == 0 {
+            return Err(OnlineError::InvalidCapacity);
+        }
+        let policy =
+            OnlinePolicy::parse(&snapshot.policy).map_err(|_| OnlineError::InvalidSnapshot {
+                reason: "unknown policy name",
+            })?;
+        let bucketed = policy == OnlinePolicy::BucketByLength;
+        if !bucketed && snapshot.pool_buckets != [None] {
+            return Err(OnlineError::InvalidSnapshot {
+                reason: "an unbucketed policy carries exactly one unbucketed pool",
+            });
+        }
+        let mut scheduler = OnlineScheduler {
+            capacity: snapshot.capacity,
+            policy,
+            pools: Vec::with_capacity(snapshot.pool_buckets.len()),
+            bucket_slots: Vec::new(),
+            global: Vec::with_capacity(snapshot.machines.len()),
+            pool_machines: Vec::with_capacity(snapshot.pool_buckets.len()),
+            live: BTreeMap::new(),
+            cost: Duration::ZERO,
+            peak_cost: Duration::ZERO,
+            arrivals: snapshot.arrivals,
+            departures: snapshot.departures,
+        };
+        for (slot, bucket) in snapshot.pool_buckets.iter().enumerate() {
+            match (bucketed, bucket) {
+                (true, Some(b)) => {
+                    let b = *b as usize;
+                    if b >= scheduler.bucket_slots.len() {
+                        scheduler.bucket_slots.resize(b + 1, None);
+                    }
+                    if scheduler.bucket_slots[b].replace(slot).is_some() {
+                        return Err(OnlineError::InvalidSnapshot {
+                            reason: "two pools claim the same length bucket",
+                        });
+                    }
+                }
+                (false, None) => {}
+                _ => {
+                    return Err(OnlineError::InvalidSnapshot {
+                        reason: "pool/bucket assignment does not match the policy",
+                    })
+                }
+            }
+            scheduler.pools.push(MachinePool::new(snapshot.capacity));
+            scheduler.pool_machines.push(Vec::new());
+        }
+        for &(pool, local) in &snapshot.machines {
+            let Some(p) = scheduler.pools.get_mut(pool) else {
+                return Err(OnlineError::InvalidSnapshot {
+                    reason: "machine references a pool that does not exist",
+                });
+            };
+            if p.open_empty() != local {
+                return Err(OnlineError::InvalidSnapshot {
+                    reason: "machines are not listed in per-pool opening order",
+                });
+            }
+            scheduler.pool_machines[pool].push(scheduler.global.len());
+            scheduler.global.push((pool, local));
+        }
+        for job in &snapshot.jobs {
+            let interval =
+                Interval::try_new(Time::new(job.start), Time::new(job.end)).map_err(|_| {
+                    OnlineError::InvalidSnapshot {
+                        reason: "a live job's window is empty or reversed",
+                    }
+                })?;
+            let &(pool, local) = scheduler.global.get(job.machine).ok_or({
+                OnlineError::InvalidSnapshot {
+                    reason: "a live job references a machine that does not exist",
+                }
+            })?;
+            if job.thread >= snapshot.capacity {
+                return Err(OnlineError::InvalidSnapshot {
+                    reason: "a live job's thread exceeds the capacity",
+                });
+            }
+            if bucketed {
+                let bucket = (interval.len().ticks() as u64).ilog2() as usize;
+                if scheduler.bucket_slots.get(bucket).copied().flatten() != Some(pool) {
+                    return Err(OnlineError::InvalidSnapshot {
+                        reason: "a live job sits in a pool outside its length bucket",
+                    });
+                }
+            }
+            if scheduler.live.contains_key(&job.id) {
+                return Err(OnlineError::InvalidSnapshot {
+                    reason: "two live jobs share an id",
+                });
+            }
+            if scheduler.pools[pool]
+                .machine(local)
+                .thread_conflicts(interval, job.thread)
+            {
+                return Err(OnlineError::InvalidSnapshot {
+                    reason: "two live jobs overlap on one thread",
+                });
+            }
+            let delta = scheduler.pools[pool].insert(interval, local, job.thread);
+            scheduler.cost += delta;
+            scheduler.live.insert(
+                job.id,
+                LiveJob {
+                    interval,
+                    pool,
+                    local,
+                    thread: job.thread,
+                    global: job.machine,
+                },
+            );
+        }
+        scheduler.peak_cost = Duration::new(snapshot.peak_cost.max(0)).max(scheduler.cost);
+        Ok(scheduler)
+    }
+
     /// Apply a whole trace under `policy`, recording the cost after every event.
     pub fn run(trace: &Trace, policy: OnlinePolicy) -> Result<OnlineRun, OnlineError> {
         let mut scheduler = OnlineScheduler::new(trace.capacity, policy)?;
@@ -486,6 +663,53 @@ impl OnlineRun {
     pub fn events(&self) -> usize {
         self.trajectory.len()
     }
+}
+
+/// One live job inside an [`OnlineSnapshot`]: where the job sat when the snapshot was
+/// taken.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SnapshotJob {
+    /// The job's stable online id.
+    pub id: OnlineJobId,
+    /// Start tick of the job's window.
+    pub start: i64,
+    /// End tick of the job's window (exclusive).
+    pub end: i64,
+    /// The global machine id the job runs on.
+    pub machine: MachineId,
+    /// The thread of execution on that machine.
+    pub thread: usize,
+}
+
+/// A serializable image of a live [`OnlineScheduler`], produced by
+/// [`OnlineScheduler::snapshot`] and consumed by [`OnlineScheduler::restore`].
+///
+/// The snapshot is *logical*: it records placements (which job sits on which machine
+/// and thread), not the derived geometry.  Sweep profiles, hulls, saturated stretches
+/// and the placement index are exact functions of the placements and are rebuilt on
+/// restore, which keeps the format small, stable and human-readable — this is the
+/// payload the `busytime-server` `snapshot`/`restore` operations ship as JSON.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OnlineSnapshot {
+    /// The machine capacity `g`.
+    pub capacity: usize,
+    /// The placement policy's stable kebab-case name.
+    pub policy: String,
+    /// Arrivals applied before the snapshot.
+    pub arrivals: usize,
+    /// Departures applied before the snapshot.
+    pub departures: usize,
+    /// Highest total busy time observed before the snapshot, in ticks.
+    pub peak_cost: i64,
+    /// Pool slot → the geometric length bucket it serves (`null` for the single pool
+    /// of the unbucketed policies).
+    pub pool_buckets: Vec<Option<u32>>,
+    /// Global machine id → `(pool slot, machine id local to that pool)`, in opening
+    /// order.  Machines that opened and later emptied are listed too: their slots
+    /// keep global machine ids stable across the snapshot boundary.
+    pub machines: Vec<(usize, usize)>,
+    /// Every live job and its exact placement, in id order.
+    pub jobs: Vec<SnapshotJob>,
 }
 
 #[cfg(test)]
@@ -583,6 +807,132 @@ mod tests {
         let e = s.apply(&Event::arrival(3, iv(11, 14))).unwrap();
         assert_eq!(e.machine, 1);
         assert_eq!(s.machine_count(), 2);
+    }
+
+    #[test]
+    fn snapshot_restore_round_trips_live_state() {
+        let mut s = OnlineScheduler::new(2, OnlinePolicy::BestFit).unwrap();
+        s.apply(&Event::arrival(1, iv(0, 10))).unwrap();
+        s.apply(&Event::arrival(2, iv(5, 15))).unwrap();
+        s.apply(&Event::arrival(3, iv(7, 12))).unwrap();
+        s.apply(&Event::departure(1)).unwrap();
+        let snapshot = s.snapshot();
+        assert_eq!(snapshot.capacity, 2);
+        assert_eq!(snapshot.policy, "best-fit");
+        assert_eq!(snapshot.jobs.len(), 2);
+
+        let r = OnlineScheduler::restore(&snapshot).unwrap();
+        assert_eq!(r.cost(), s.cost());
+        assert_eq!(r.peak_cost(), s.peak_cost());
+        assert_eq!(r.live_count(), s.live_count());
+        assert_eq!(r.machine_count(), s.machine_count());
+        assert_eq!(r.arrivals(), s.arrivals());
+        assert_eq!(r.departures(), s.departures());
+        assert_eq!(r.machine_groups(), s.machine_groups());
+        assert_eq!(
+            r.live_jobs().collect::<Vec<_>>(),
+            s.live_jobs().collect::<Vec<_>>()
+        );
+        // The JSON round trip is exact too (the server ships this payload).
+        let json = serde_json::to_string(&snapshot).unwrap();
+        let parsed: OnlineSnapshot = serde_json::from_str(&json).unwrap();
+        assert_eq!(parsed, snapshot);
+    }
+
+    #[test]
+    fn snapshot_keeps_emptied_machine_slots() {
+        let mut s = OnlineScheduler::new(1, OnlinePolicy::FirstFit).unwrap();
+        s.apply(&Event::arrival(1, iv(0, 10))).unwrap();
+        s.apply(&Event::arrival(2, iv(5, 15))).unwrap();
+        s.apply(&Event::departure(1)).unwrap();
+        // Machine 0 is empty but keeps its slot.
+        let r = OnlineScheduler::restore(&s.snapshot()).unwrap();
+        assert_eq!(r.machine_count(), 2);
+        // A job overlapping the departed window reopens machine 0, exactly as the
+        // uninterrupted scheduler would.
+        let (mut a, mut b) = (s, r);
+        let ea = a.apply(&Event::arrival(3, iv(2, 8))).unwrap();
+        let eb = b.apply(&Event::arrival(3, iv(2, 8))).unwrap();
+        assert_eq!(ea, eb);
+        assert_eq!(ea.machine, 0);
+    }
+
+    #[test]
+    fn snapshot_restores_bucket_routing() {
+        let mut s = OnlineScheduler::new(2, OnlinePolicy::BucketByLength).unwrap();
+        s.apply(&Event::arrival(1, iv(0, 100))).unwrap();
+        s.apply(&Event::arrival(2, iv(10, 13))).unwrap();
+        let snapshot = s.snapshot();
+        assert_eq!(snapshot.pool_buckets.len(), 2);
+        let mut r = OnlineScheduler::restore(&snapshot).unwrap();
+        // A new short job lands on the short bucket's machine in both schedulers.
+        let es = s.apply(&Event::arrival(3, iv(11, 14))).unwrap();
+        let er = r.apply(&Event::arrival(3, iv(11, 14))).unwrap();
+        assert_eq!(es, er);
+    }
+
+    #[test]
+    fn corrupt_snapshots_are_rejected() {
+        let mut s = OnlineScheduler::new(1, OnlinePolicy::FirstFit).unwrap();
+        s.apply(&Event::arrival(1, iv(0, 10))).unwrap();
+        let good = s.snapshot();
+
+        let mut bad = good.clone();
+        bad.policy = "bogus".into();
+        assert!(matches!(
+            OnlineScheduler::restore(&bad),
+            Err(OnlineError::InvalidSnapshot { .. })
+        ));
+
+        let mut bad = good.clone();
+        bad.capacity = 0;
+        assert_eq!(
+            OnlineScheduler::restore(&bad).unwrap_err(),
+            OnlineError::InvalidCapacity
+        );
+
+        let mut bad = good.clone();
+        bad.jobs[0].machine = 7;
+        assert!(matches!(
+            OnlineScheduler::restore(&bad),
+            Err(OnlineError::InvalidSnapshot { .. })
+        ));
+
+        let mut bad = good.clone();
+        bad.jobs[0].thread = 3;
+        assert!(matches!(
+            OnlineScheduler::restore(&bad),
+            Err(OnlineError::InvalidSnapshot { .. })
+        ));
+
+        let mut bad = good.clone();
+        bad.jobs.push(SnapshotJob {
+            id: 9,
+            start: 5,
+            end: 8,
+            machine: 0,
+            thread: 0,
+        });
+        assert!(matches!(
+            OnlineScheduler::restore(&bad),
+            Err(OnlineError::InvalidSnapshot {
+                reason: "two live jobs overlap on one thread"
+            })
+        ));
+
+        let mut bad = good.clone();
+        bad.jobs[0].end = bad.jobs[0].start;
+        assert!(matches!(
+            OnlineScheduler::restore(&bad),
+            Err(OnlineError::InvalidSnapshot { .. })
+        ));
+
+        let mut bad = good;
+        bad.pool_buckets.push(Some(3));
+        assert!(matches!(
+            OnlineScheduler::restore(&bad),
+            Err(OnlineError::InvalidSnapshot { .. })
+        ));
     }
 
     #[test]

@@ -25,7 +25,7 @@
 //! * [`PlacementIndex::first_disjoint`] — the earliest machine whose hull misses the
 //!   window entirely (the cheapest *accept-at-full-length* candidate).
 //!
-//! The index is kept incrementally consistent: [`ScheduleBuilder::commit`] refreshes
+//! The index is kept incrementally consistent: [`crate::machine::ScheduleBuilder::commit`] refreshes
 //! one leaf per placement, an `O(log m)` bubble-up.  Machines that pass the index's
 //! filters are still probed against their live [`crate::machine::MachineState`], so
 //! every query is exact — the tree only *skips* machines whose digest already decides
@@ -204,6 +204,19 @@ impl Query {
 /// Slot `m` holds the [`MachineDigest`] of machine `m`; slots at or beyond
 /// [`PlacementIndex::len`] behave like empty machines, so a query that runs off the end
 /// of the pool naturally reports the slot where the next fresh machine would open.
+///
+/// ```
+/// use busytime::placement::{MachineDigest, PlacementIndex};
+///
+/// let mut index = PlacementIndex::new();
+/// index.push(MachineDigest::new(Some((0, 50)), Some((0, 50))));   // saturated
+/// index.push(MachineDigest::new(Some((10, 30)), None));           // loaded
+/// // FirstFit's candidate stream for [20, 40) skips the saturated machine 0.
+/// assert_eq!(index.next_placeable(20, 40, 0), 1);
+/// // Refreshing a digest re-admits the machine on the next query.
+/// index.update(0, MachineDigest::new(Some((0, 50)), None));
+/// assert_eq!(index.next_placeable(20, 40, 0), 0);
+/// ```
 #[derive(Debug, Clone, Default)]
 pub struct PlacementIndex {
     digests: Vec<MachineDigest>,

@@ -188,7 +188,7 @@ pub enum Algorithm {
     CliqueSetCover,
     /// Theorem 3.1 (BestCut) — `(2 − 1/g)`-approximation on proper instances.
     BestCut,
-    /// FirstFit baseline of [13] — 4-approximation on general instances (fallback).
+    /// FirstFit baseline of \[13\] — 4-approximation on general instances (fallback).
     FirstFit,
     // MaxThroughput (Section 4).
     /// Proposition 4.1 — optimal on one-sided clique instances.

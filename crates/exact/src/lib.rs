@@ -162,7 +162,7 @@ pub fn exact_maxthroughput(instance: &Instance, budget: Duration) -> ThroughputR
 }
 
 /// Exact MinBusy for the demand model of Section 5 (jobs with capacity demands, the
-/// model of [16]): the same subset DP as [`exact_minbusy`], with "at most `g`
+/// model of \[16\]): the same subset DP as [`exact_minbusy`], with "at most `g`
 /// simultaneous jobs" replaced by "peak total demand at most `g`".
 ///
 /// # Panics

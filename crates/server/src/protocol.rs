@@ -1,0 +1,543 @@
+//! The wire protocol: newline-delimited JSON requests and responses.
+//!
+//! Every protocol message is one JSON object on one line.  Requests carry an `"op"`
+//! discriminant naming the operation and, for tenant-scoped operations, a `"tenant"`
+//! key; responses always carry `"ok"` (`true`/`false`) plus the operation's payload, so
+//! a client can route on two fixed keys without knowing the full schema.  The complete
+//! schema — every operation with a worked request/response example — is documented in
+//! `PROTOCOL.md` at the repository root, and the `protocol_doc` test round-trips every
+//! example from that document through the types here, so the document cannot drift from
+//! the implementation.
+//!
+//! The serde impls are written by hand against the vendored `serde::Value` tree (the
+//! derive stub does not cover enums), which also buys the protocol two properties the
+//! derive would not give: *missing* optional keys are accepted (not just `null`), and
+//! unknown `"op"` names produce a descriptive error naming the valid operations.
+
+use busytime::online::{Event, OnlineSnapshot};
+use busytime::report::{ScheduleReport, SimulationReport};
+use serde::{Deserialize, Error, Serialize, Value};
+
+/// Build a JSON object from `(key, value)` pairs.
+fn obj(fields: Vec<(&str, Value)>) -> Value {
+    Value::Object(
+        fields
+            .into_iter()
+            .map(|(k, v)| (k.to_string(), v))
+            .collect(),
+    )
+}
+
+/// Read an optional key: absent and `null` both mean `None`.
+fn optional<T: Deserialize>(value: &Value, key: &str) -> Result<Option<T>, Error> {
+    match value.get(key) {
+        None | Some(Value::Null) => Ok(None),
+        Some(v) => T::deserialize(v).map(Some),
+    }
+}
+
+/// One instance inside a `batch` request: the same shape as the CLI's instance files
+/// (`{"capacity": g, "jobs": [[start, end], …]}`).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BatchInstance {
+    /// The parallelism parameter `g`.
+    pub capacity: usize,
+    /// Jobs as `[start, end)` tick pairs.
+    pub jobs: Vec<(i64, i64)>,
+}
+
+/// A request to the scheduling daemon.
+///
+/// Tenant-scoped operations (everything except [`Request::Batch`] and
+/// [`Request::Stats`]) are routed to the shard owning the tenant and applied to its
+/// live [`busytime::OnlineScheduler`] single-threaded, in arrival order.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Create a tenant: an empty live schedule with the given capacity and policy.
+    Open {
+        /// The tenant's name (the sharding key).
+        tenant: String,
+        /// The machine capacity `g` for this tenant's schedulers.
+        capacity: usize,
+        /// Online policy name (`first-fit` when omitted).
+        policy: Option<String>,
+    },
+    /// Place one job on the tenant's live schedule.
+    Arrive {
+        /// The tenant.
+        tenant: String,
+        /// The job's stable id (shared with its later departure).
+        id: u64,
+        /// The job's `[start, end)` window in ticks.
+        job: (i64, i64),
+    },
+    /// Remove a live job from the tenant's schedule (its machine slot reopens).
+    Depart {
+        /// The tenant.
+        tenant: String,
+        /// The id the job arrived under.
+        id: u64,
+    },
+    /// Read the tenant's current state as a [`SimulationReport`].
+    Query {
+        /// The tenant.
+        tenant: String,
+    },
+    /// Serialize the tenant's live schedule into an [`OnlineSnapshot`].
+    Snapshot {
+        /// The tenant.
+        tenant: String,
+    },
+    /// Rebuild a tenant from a snapshot (replacing any existing state).
+    Restore {
+        /// The tenant.
+        tenant: String,
+        /// The snapshot to rebuild from.
+        snapshot: OnlineSnapshot,
+    },
+    /// Drop a tenant and all its state.
+    Close {
+        /// The tenant.
+        tenant: String,
+    },
+    /// Solve a batch of offline instances through `Solver::solve_batch` on the
+    /// work-stealing pool (MaxThroughput under `budget` when given, MinBusy
+    /// otherwise).  Not tenant-scoped: batches run beside the shards.
+    Batch {
+        /// The instances to solve, in order.
+        instances: Vec<BatchInstance>,
+        /// Busy-time budget; `null`/absent solves MinBusy.
+        budget: Option<i64>,
+    },
+    /// Server-wide counters (shards, tenants, requests served).
+    Stats,
+}
+
+impl Request {
+    /// The request driving one online [`Event`] against `tenant` — the single point
+    /// where an event stream becomes wire requests (the trace-driving client, the
+    /// benchmarks and the fuzz tests all convert through here).
+    pub fn from_event(tenant: &str, event: &Event) -> Self {
+        match *event {
+            Event::Arrival { id, interval } => Request::Arrive {
+                tenant: tenant.to_string(),
+                id,
+                job: (interval.start().ticks(), interval.end().ticks()),
+            },
+            Event::Departure { id } => Request::Depart {
+                tenant: tenant.to_string(),
+                id,
+            },
+        }
+    }
+
+    /// The request's `"op"` discriminant.
+    pub fn op(&self) -> &'static str {
+        match self {
+            Request::Open { .. } => "open",
+            Request::Arrive { .. } => "arrive",
+            Request::Depart { .. } => "depart",
+            Request::Query { .. } => "query",
+            Request::Snapshot { .. } => "snapshot",
+            Request::Restore { .. } => "restore",
+            Request::Close { .. } => "close",
+            Request::Batch { .. } => "batch",
+            Request::Stats => "stats",
+        }
+    }
+
+    /// The tenant the request is scoped to, when it is tenant-scoped.
+    pub fn tenant(&self) -> Option<&str> {
+        match self {
+            Request::Open { tenant, .. }
+            | Request::Arrive { tenant, .. }
+            | Request::Depart { tenant, .. }
+            | Request::Query { tenant }
+            | Request::Snapshot { tenant }
+            | Request::Restore { tenant, .. }
+            | Request::Close { tenant } => Some(tenant),
+            Request::Batch { .. } | Request::Stats => None,
+        }
+    }
+
+    /// Parse one line of the wire format.
+    pub fn from_json(text: &str) -> Result<Self, String> {
+        serde_json::from_str(text).map_err(|e| format!("invalid request: {e}"))
+    }
+
+    /// Serialize to one compact line of the wire format (no trailing newline).
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("requests always serialize")
+    }
+}
+
+impl Serialize for Request {
+    fn serialize(&self) -> Value {
+        let mut fields = vec![("op", Value::Str(self.op().into()))];
+        match self {
+            Request::Open {
+                tenant,
+                capacity,
+                policy,
+            } => {
+                fields.push(("tenant", tenant.serialize()));
+                fields.push(("capacity", capacity.serialize()));
+                if let Some(policy) = policy {
+                    fields.push(("policy", policy.serialize()));
+                }
+            }
+            Request::Arrive { tenant, id, job } => {
+                fields.push(("tenant", tenant.serialize()));
+                fields.push(("id", id.serialize()));
+                fields.push(("job", job.serialize()));
+            }
+            Request::Depart { tenant, id } => {
+                fields.push(("tenant", tenant.serialize()));
+                fields.push(("id", id.serialize()));
+            }
+            Request::Query { tenant }
+            | Request::Snapshot { tenant }
+            | Request::Close { tenant } => {
+                fields.push(("tenant", tenant.serialize()));
+            }
+            Request::Restore { tenant, snapshot } => {
+                fields.push(("tenant", tenant.serialize()));
+                fields.push(("snapshot", snapshot.serialize()));
+            }
+            Request::Batch { instances, budget } => {
+                fields.push(("instances", instances.serialize()));
+                if let Some(budget) = budget {
+                    fields.push(("budget", budget.serialize()));
+                }
+            }
+            Request::Stats => {}
+        }
+        obj(fields)
+    }
+}
+
+impl Deserialize for Request {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        let op = String::deserialize(value.field("op")?)?;
+        let tenant = || -> Result<String, Error> { String::deserialize(value.field("tenant")?) };
+        match op.as_str() {
+            "open" => Ok(Request::Open {
+                tenant: tenant()?,
+                capacity: usize::deserialize(value.field("capacity")?)?,
+                policy: optional(value, "policy")?,
+            }),
+            "arrive" => Ok(Request::Arrive {
+                tenant: tenant()?,
+                id: u64::deserialize(value.field("id")?)?,
+                job: <(i64, i64)>::deserialize(value.field("job")?)?,
+            }),
+            "depart" => Ok(Request::Depart {
+                tenant: tenant()?,
+                id: u64::deserialize(value.field("id")?)?,
+            }),
+            "query" => Ok(Request::Query { tenant: tenant()? }),
+            "snapshot" => Ok(Request::Snapshot { tenant: tenant()? }),
+            "restore" => Ok(Request::Restore {
+                tenant: tenant()?,
+                snapshot: OnlineSnapshot::deserialize(value.field("snapshot")?)?,
+            }),
+            "close" => Ok(Request::Close { tenant: tenant()? }),
+            "batch" => Ok(Request::Batch {
+                instances: Vec::<BatchInstance>::deserialize(value.field("instances")?)?,
+                budget: optional(value, "budget")?,
+            }),
+            "stats" => Ok(Request::Stats),
+            other => Err(Error::custom(format!(
+                "unknown op '{other}' (expected open, arrive, depart, query, snapshot, \
+                 restore, close, batch or stats)"
+            ))),
+        }
+    }
+}
+
+/// The outcome of one instance of a `batch` request: the solved schedule, or the
+/// per-instance failure (a malformed instance, or a policy refusing to solve it).
+#[derive(Debug, Clone)]
+pub enum BatchOutcome {
+    /// The instance solved; the report uses the shared schema.
+    Solved(ScheduleReport),
+    /// The instance failed; the sibling instances still solve.
+    Failed(String),
+}
+
+impl Serialize for BatchOutcome {
+    fn serialize(&self) -> Value {
+        match self {
+            BatchOutcome::Solved(report) => obj(vec![("schedule", report.serialize())]),
+            BatchOutcome::Failed(error) => obj(vec![("error", error.serialize())]),
+        }
+    }
+}
+
+impl Deserialize for BatchOutcome {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        if let Some(report) = value.get("schedule") {
+            Ok(BatchOutcome::Solved(ScheduleReport::deserialize(report)?))
+        } else if let Some(error) = value.get("error") {
+            Ok(BatchOutcome::Failed(String::deserialize(error)?))
+        } else {
+            Err(Error::custom(
+                "a batch outcome carries either `schedule` or `error`",
+            ))
+        }
+    }
+}
+
+/// A response from the scheduling daemon.  Every variant serializes with an `"ok"`
+/// key; [`Response::Error`] is the only `"ok": false` shape.
+#[derive(Debug, Clone)]
+pub enum Response {
+    /// The operation succeeded and has no payload (`open`, `restore`, `close`).
+    Ok,
+    /// An `arrive` or `depart` was applied: where, and what it did to the cost.
+    Event {
+        /// The global machine id the event touched.
+        machine: usize,
+        /// The signed busy-time change in ticks.
+        cost_delta: i64,
+        /// The tenant's total busy time after the event.
+        cost: i64,
+    },
+    /// A `query` result: the tenant's state in the shared report schema.
+    Query(SimulationReport),
+    /// A `snapshot` result: the serialized live schedule.
+    Snapshot(OnlineSnapshot),
+    /// A `batch` result: one outcome per instance, in request order.
+    Batch(Vec<BatchOutcome>),
+    /// A `stats` result: server-wide counters.
+    Stats {
+        /// Number of worker shards.
+        shards: usize,
+        /// Live tenants across all shards.
+        tenants: usize,
+        /// Requests served since startup (all operations, all connections).
+        requests: u64,
+    },
+    /// The operation failed; the connection stays usable.
+    Error(String),
+}
+
+impl Response {
+    /// Shorthand for an error response.
+    pub fn error(message: impl Into<String>) -> Self {
+        Response::Error(message.into())
+    }
+
+    /// `true` unless this is an [`Response::Error`].
+    pub fn is_ok(&self) -> bool {
+        !matches!(self, Response::Error(_))
+    }
+
+    /// Parse one line of the wire format.
+    pub fn from_json(text: &str) -> Result<Self, String> {
+        serde_json::from_str(text).map_err(|e| format!("invalid response: {e}"))
+    }
+
+    /// Serialize to one compact line of the wire format (no trailing newline).
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("responses always serialize")
+    }
+}
+
+impl Serialize for Response {
+    fn serialize(&self) -> Value {
+        match self {
+            Response::Ok => obj(vec![("ok", Value::Bool(true))]),
+            Response::Event {
+                machine,
+                cost_delta,
+                cost,
+            } => obj(vec![
+                ("ok", Value::Bool(true)),
+                ("machine", machine.serialize()),
+                ("cost_delta", cost_delta.serialize()),
+                ("cost", cost.serialize()),
+            ]),
+            Response::Query(report) => obj(vec![
+                ("ok", Value::Bool(true)),
+                ("tenant", report.serialize()),
+            ]),
+            Response::Snapshot(snapshot) => obj(vec![
+                ("ok", Value::Bool(true)),
+                ("snapshot", snapshot.serialize()),
+            ]),
+            Response::Batch(outcomes) => obj(vec![
+                ("ok", Value::Bool(true)),
+                ("results", outcomes.serialize()),
+            ]),
+            Response::Stats {
+                shards,
+                tenants,
+                requests,
+            } => obj(vec![
+                ("ok", Value::Bool(true)),
+                ("shards", shards.serialize()),
+                ("tenants", tenants.serialize()),
+                ("requests", requests.serialize()),
+            ]),
+            Response::Error(error) => obj(vec![
+                ("ok", Value::Bool(false)),
+                ("error", error.serialize()),
+            ]),
+        }
+    }
+}
+
+impl Deserialize for Response {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        let ok = bool::deserialize(value.field("ok")?)?;
+        if !ok {
+            return Ok(Response::Error(String::deserialize(value.field("error")?)?));
+        }
+        if let Some(machine) = value.get("machine") {
+            return Ok(Response::Event {
+                machine: usize::deserialize(machine)?,
+                cost_delta: i64::deserialize(value.field("cost_delta")?)?,
+                cost: i64::deserialize(value.field("cost")?)?,
+            });
+        }
+        if let Some(report) = value.get("tenant") {
+            return Ok(Response::Query(SimulationReport::deserialize(report)?));
+        }
+        if let Some(snapshot) = value.get("snapshot") {
+            return Ok(Response::Snapshot(OnlineSnapshot::deserialize(snapshot)?));
+        }
+        if let Some(results) = value.get("results") {
+            return Ok(Response::Batch(Vec::<BatchOutcome>::deserialize(results)?));
+        }
+        if let Some(shards) = value.get("shards") {
+            return Ok(Response::Stats {
+                shards: usize::deserialize(shards)?,
+                tenants: usize::deserialize(value.field("tenants")?)?,
+                requests: u64::deserialize(value.field("requests")?)?,
+            });
+        }
+        Ok(Response::Ok)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip(request: Request) {
+        let line = request.to_json();
+        assert!(!line.contains('\n'), "wire lines must be single lines");
+        let parsed = Request::from_json(&line).unwrap();
+        assert_eq!(parsed, request);
+    }
+
+    #[test]
+    fn requests_round_trip() {
+        round_trip(Request::Open {
+            tenant: "acme".into(),
+            capacity: 4,
+            policy: Some("best-fit".into()),
+        });
+        round_trip(Request::Open {
+            tenant: "acme".into(),
+            capacity: 4,
+            policy: None,
+        });
+        round_trip(Request::Arrive {
+            tenant: "acme".into(),
+            id: 17,
+            job: (0, 10),
+        });
+        round_trip(Request::Depart {
+            tenant: "acme".into(),
+            id: 17,
+        });
+        round_trip(Request::Query {
+            tenant: "acme".into(),
+        });
+        round_trip(Request::Snapshot {
+            tenant: "acme".into(),
+        });
+        round_trip(Request::Close {
+            tenant: "acme".into(),
+        });
+        round_trip(Request::Batch {
+            instances: vec![BatchInstance {
+                capacity: 2,
+                jobs: vec![(0, 10), (2, 12)],
+            }],
+            budget: Some(12),
+        });
+        round_trip(Request::Stats);
+    }
+
+    #[test]
+    fn missing_optional_keys_are_accepted() {
+        let r = Request::from_json(r#"{"op":"open","tenant":"t","capacity":2}"#).unwrap();
+        assert_eq!(
+            r,
+            Request::Open {
+                tenant: "t".into(),
+                capacity: 2,
+                policy: None
+            }
+        );
+        let r = Request::from_json(r#"{"op":"batch","instances":[]}"#).unwrap();
+        assert_eq!(
+            r,
+            Request::Batch {
+                instances: vec![],
+                budget: None
+            }
+        );
+        // Explicit null means the same thing as absent.
+        let r = Request::from_json(r#"{"op":"batch","instances":[],"budget":null}"#).unwrap();
+        assert!(matches!(r, Request::Batch { budget: None, .. }));
+    }
+
+    #[test]
+    fn malformed_requests_are_rejected_with_context() {
+        let err = Request::from_json(r#"{"op":"fly"}"#).unwrap_err();
+        assert!(err.contains("unknown op 'fly'"), "{err}");
+        let err = Request::from_json(r#"{"tenant":"t"}"#).unwrap_err();
+        assert!(err.contains("op"), "{err}");
+        let err = Request::from_json("not json").unwrap_err();
+        assert!(err.contains("invalid request"), "{err}");
+        let err = Request::from_json(r#"{"op":"arrive","tenant":"t","id":1}"#).unwrap_err();
+        assert!(err.contains("job"), "{err}");
+    }
+
+    #[test]
+    fn responses_round_trip_by_shape() {
+        let cases = vec![
+            Response::Ok,
+            Response::Event {
+                machine: 3,
+                cost_delta: -7,
+                cost: 40,
+            },
+            Response::Stats {
+                shards: 4,
+                tenants: 10,
+                requests: 1234,
+            },
+            Response::error("unknown tenant 'x'"),
+        ];
+        for response in cases {
+            let line = response.to_json();
+            let parsed = Response::from_json(&line).unwrap();
+            assert_eq!(parsed.to_json(), line);
+            assert_eq!(parsed.is_ok(), response.is_ok());
+        }
+    }
+
+    #[test]
+    fn request_metadata_accessors() {
+        assert_eq!(Request::Stats.op(), "stats");
+        assert_eq!(Request::Stats.tenant(), None);
+        let r = Request::Query { tenant: "t".into() };
+        assert_eq!(r.op(), "query");
+        assert_eq!(r.tenant(), Some("t"));
+    }
+}

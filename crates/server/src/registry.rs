@@ -1,0 +1,755 @@
+//! The sharded multi-tenant registry: live schedulers behind bounded channels.
+//!
+//! Every tenant owns one live [`OnlineScheduler`] that survives across requests —
+//! arrivals and departures mutate it incrementally through the core `MachinePool`
+//! path, so a tenant with a million placed jobs answers its next request in the same
+//! `O(log m)` a fresh one would, never re-solving from scratch.
+//!
+//! Tenants are **hash-sharded** across `N` worker shards.  Each shard is one OS
+//! thread owning a plain `HashMap` of its tenants; since a tenant's scheduler is only
+//! ever touched by its home shard, the hot path runs without any lock — the only
+//! synchronization is the bounded [`mpsc::sync_channel`] that carries requests to the
+//! shard (applying backpressure when a shard falls behind) and the rendezvous channel
+//! that carries each response back.  Requests for the same tenant are therefore
+//! applied in the order they were routed, while requests for tenants on different
+//! shards proceed in parallel.
+//!
+//! [`Engine`] is the cloneable front door: the TCP server hands one clone to every
+//! connection thread, the in-process tests and benchmarks call it directly.  Batch
+//! solves ([`Request::Batch`]) do not touch the shards at all — they fan out through
+//! [`Solver::solve_batch`] on the work-stealing pool beside them.
+
+use std::collections::HashMap;
+use std::hash::{DefaultHasher, Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{mpsc, Arc};
+use std::thread::JoinHandle;
+
+use busytime::online::{Event, OnlineScheduler};
+use busytime::report::{ScheduleReport, SimulationReport};
+use busytime::{Duration, Instance, Interval, OnlinePolicy, Problem, Solver, Time};
+
+use crate::protocol::{BatchInstance, BatchOutcome, Request, Response};
+
+/// Depth of each shard's request queue.  Bounded so that a shard falling behind
+/// applies backpressure to its callers instead of buffering unboundedly.
+const SHARD_QUEUE_DEPTH: usize = 64;
+
+/// The trajectory window a tenant retains: at least this many of the most recent
+/// per-event cost points (and at most twice as many — truncation drops the oldest
+/// half in one amortized-O(1) step).  The scheduler's `arrivals`/`departures`
+/// counters are unaffected, so `query` still reports the true event totals; only
+/// the replayable cost history is bounded, which is what keeps a long-lived
+/// tenant's memory and query latency O(window), not O(lifetime).
+pub const TRAJECTORY_WINDOW: usize = 65_536;
+
+/// Largest machine capacity `g` the wire accepts for `open`/`restore`.  The
+/// in-process API trusts its caller, but a network client must not be able to make
+/// one machine allocate `capacity` thread sets (an `open` with a huge `g` followed
+/// by one arrival would otherwise abort the daemon on allocation failure).  2^20
+/// threads per machine is far beyond any workload the paper's model contemplates.
+pub const MAX_CAPACITY: usize = 1 << 20;
+
+/// Largest absolute tick coordinate the wire accepts in a job window.  Keeps every
+/// length and cost the scheduler derives far away from `i64` overflow (a window of
+/// `[-i64::MAX/2, i64::MAX/2)` would wrap the busy-time arithmetic); ±2^42 ticks is
+/// ~139 years at nanosecond resolution.
+pub const MAX_ABS_TICK: i64 = 1 << 42;
+
+/// One tenant's state on its home shard.
+struct Tenant {
+    scheduler: OnlineScheduler,
+    /// Busy-time after each applied event since open (or since the last restore —
+    /// the trajectory restarts at a restore point, the scheduler's counters do
+    /// not), bounded to the [`TRAJECTORY_WINDOW`] most recent points.
+    trajectory: Vec<i64>,
+}
+
+/// A request en route to a shard, paired with its reply channel.
+struct ShardCall {
+    request: Request,
+    reply: mpsc::SyncSender<Response>,
+}
+
+/// The running registry: shard worker threads plus the shared counters.
+///
+/// Simply dropping the registry *detaches* the shard workers (they exit once every
+/// queue handle is gone, but nobody observes how); call [`Registry::shutdown`] for
+/// an orderly stop that joins the workers and surfaces any worker panic.
+pub struct Registry {
+    engine: Engine,
+    handles: Vec<JoinHandle<()>>,
+}
+
+impl Registry {
+    /// Spawn `shards` worker shards (clamped to at least 1).
+    pub fn new(shards: usize) -> Self {
+        let shards = shards.max(1);
+        let mut senders = Vec::with_capacity(shards);
+        let mut handles = Vec::with_capacity(shards);
+        for shard in 0..shards {
+            let (tx, rx) = mpsc::sync_channel::<ShardCall>(SHARD_QUEUE_DEPTH);
+            senders.push(tx);
+            handles.push(
+                std::thread::Builder::new()
+                    .name(format!("busytime-shard-{shard}"))
+                    .spawn(move || shard_loop(rx))
+                    .expect("spawning a shard worker"),
+            );
+        }
+        Registry {
+            engine: Engine {
+                shards: senders,
+                requests: Arc::new(AtomicU64::new(0)),
+                solver: Solver::new(),
+            },
+            handles,
+        }
+    }
+
+    /// A cloneable handle on the registry; every connection thread gets one.
+    pub fn engine(&self) -> Engine {
+        self.engine.clone()
+    }
+
+    /// Drop the registry's own queue handles and join the shard workers.  Blocks
+    /// until every outstanding [`Engine`] clone has dropped as well.
+    pub fn shutdown(self) {
+        let Registry { engine, handles } = self;
+        drop(engine);
+        for handle in handles {
+            if let Err(panic) = handle.join() {
+                std::panic::resume_unwind(panic);
+            }
+        }
+    }
+}
+
+/// The cloneable front door of the registry: routes tenant operations to their home
+/// shard over the bounded queues and runs batch solves on the work-stealing pool.
+#[derive(Clone)]
+pub struct Engine {
+    shards: Vec<mpsc::SyncSender<ShardCall>>,
+    requests: Arc<AtomicU64>,
+    solver: Solver,
+}
+
+impl Engine {
+    /// Number of worker shards behind this engine.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The shard owning `tenant` (stable for the registry's lifetime).
+    pub fn shard_for(&self, tenant: &str) -> usize {
+        let mut hasher = DefaultHasher::new();
+        tenant.hash(&mut hasher);
+        (hasher.finish() % self.shards.len() as u64) as usize
+    }
+
+    /// Apply one request and wait for its response.
+    ///
+    /// Tenant-scoped requests serialize per tenant (the home shard applies them in
+    /// routing order); requests for different shards run in parallel.  This is the
+    /// same entry point the TCP connection threads use, so the in-process tests and
+    /// benchmarks exercise the identical path minus the socket.
+    pub fn call(&self, request: Request) -> Response {
+        self.requests.fetch_add(1, Ordering::Relaxed);
+        match request {
+            Request::Batch { instances, budget } => self.solve_batch(&instances, budget),
+            Request::Stats => self.stats(),
+            request => {
+                let shard = self.shard_for(request.tenant().expect("routed ops are tenant-scoped"));
+                self.call_shard(shard, request)
+            }
+        }
+    }
+
+    /// Send one request to a specific shard and wait for the reply.
+    fn call_shard(&self, shard: usize, request: Request) -> Response {
+        let (reply_tx, reply_rx) = mpsc::sync_channel::<Response>(1);
+        if self.shards[shard]
+            .send(ShardCall {
+                request,
+                reply: reply_tx,
+            })
+            .is_err()
+        {
+            return Response::error("the shard worker is gone");
+        }
+        reply_rx
+            .recv()
+            .unwrap_or_else(|_| Response::error("the shard worker dropped the request"))
+    }
+
+    /// Server-wide counters, merged over a per-shard census.
+    fn stats(&self) -> Response {
+        let mut tenants = 0usize;
+        for shard in 0..self.shards.len() {
+            match self.call_shard(shard, Request::Stats) {
+                Response::Stats { tenants: t, .. } => tenants += t,
+                other => return other,
+            }
+        }
+        Response::Stats {
+            shards: self.shards.len(),
+            tenants,
+            requests: self.requests.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Fan a batch of instances out through [`Solver::solve_batch`]; per-instance
+    /// failures (malformed windows, zero capacity) come back inline without failing
+    /// the sibling instances.
+    fn solve_batch(&self, instances: &[BatchInstance], budget: Option<i64>) -> Response {
+        let budget = match budget {
+            Some(t) if t < 0 => return Response::error("the budget must be non-negative"),
+            Some(t) => Some(Duration::new(t)),
+            None => None,
+        };
+        let parsed: Vec<Result<Instance, String>> = instances
+            .iter()
+            .enumerate()
+            .map(|(i, file)| {
+                Instance::try_from_ticks(&file.jobs, file.capacity)
+                    .map_err(|e| format!("instance {i}: {e}"))
+            })
+            .collect();
+        let problems: Vec<Problem> = parsed
+            .iter()
+            .filter_map(|r| r.as_ref().ok())
+            .map(|instance| match budget {
+                Some(t) => Problem::max_throughput(instance.clone(), t),
+                None => Problem::min_busy(instance.clone()),
+            })
+            .collect();
+        let mut solved = self.solver.solve_batch(&problems).into_iter();
+        let outcomes: Vec<BatchOutcome> = parsed
+            .into_iter()
+            .map(|parse| match parse {
+                Err(error) => BatchOutcome::Failed(error),
+                Ok(instance) => match solved.next().expect("one result per valid instance") {
+                    Ok(solution) => {
+                        BatchOutcome::Solved(ScheduleReport::from_solution(&instance, &solution))
+                    }
+                    Err(error) => BatchOutcome::Failed(error.to_string()),
+                },
+            })
+            .collect();
+        Response::Batch(outcomes)
+    }
+}
+
+/// A shard's event loop: apply requests to the owned tenants until every queue
+/// handle is gone.
+///
+/// A panic while applying a request is contained to that request: the panicking
+/// tenant is dropped (its state can no longer be trusted), the caller gets an
+/// error response, and the shard keeps serving its other tenants — a wire client
+/// must never be able to park a whole shard in the "worker is gone" state.
+fn shard_loop(rx: mpsc::Receiver<ShardCall>) {
+    let mut tenants: HashMap<String, Tenant> = HashMap::new();
+    while let Ok(call) = rx.recv() {
+        let tenant = call.request.tenant().map(str::to_string);
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            apply(&mut tenants, call.request)
+        }));
+        let response = match outcome {
+            Ok(response) => response,
+            Err(_) => {
+                let detail = match tenant {
+                    Some(name) => {
+                        tenants.remove(&name);
+                        format!("; tenant '{name}' was dropped")
+                    }
+                    None => String::new(),
+                };
+                Response::error(format!("internal error applying the request{detail}"))
+            }
+        };
+        // A caller that hung up (connection dropped mid-request) is not an error.
+        let _ = call.reply.send(response);
+    }
+}
+
+/// Parse and bound-check one wire job window.
+///
+/// The two bounds exist because the wire is a trust boundary the in-process API is
+/// not: an empty window is a caller mistake, and a coordinate outside
+/// [`MAX_ABS_TICK`] would let a single request overflow the `i64` length/cost
+/// arithmetic downstream (wrapping the tenant's accounting in release builds,
+/// panicking the shard in debug builds).
+fn checked_window(start: i64, end: i64) -> Result<Interval, String> {
+    if start.checked_abs().is_none_or(|s| s > MAX_ABS_TICK)
+        || end.checked_abs().is_none_or(|e| e > MAX_ABS_TICK)
+    {
+        return Err(format!(
+            "job window [{start}, {end}) is out of range (ticks must stay within ±{MAX_ABS_TICK})"
+        ));
+    }
+    Interval::try_new(Time::new(start), Time::new(end))
+        .map_err(|_| format!("job window [{start}, {end}) is empty"))
+}
+
+/// Apply one tenant-scoped request to a shard's tenant map.
+fn apply(tenants: &mut HashMap<String, Tenant>, request: Request) -> Response {
+    match request {
+        Request::Open {
+            tenant,
+            capacity,
+            policy,
+        } => {
+            let policy = match policy.as_deref().map(OnlinePolicy::parse) {
+                None => OnlinePolicy::FirstFit,
+                Some(Ok(policy)) => policy,
+                Some(Err(error)) => return Response::error(error),
+            };
+            if capacity > MAX_CAPACITY {
+                return Response::error(format!(
+                    "capacity {capacity} exceeds the server limit of {MAX_CAPACITY}"
+                ));
+            }
+            if tenants.contains_key(&tenant) {
+                return Response::error(format!("tenant '{tenant}' is already open"));
+            }
+            match OnlineScheduler::new(capacity, policy) {
+                Ok(scheduler) => {
+                    tenants.insert(
+                        tenant,
+                        Tenant {
+                            scheduler,
+                            trajectory: Vec::new(),
+                        },
+                    );
+                    Response::Ok
+                }
+                Err(error) => Response::error(error.to_string()),
+            }
+        }
+        Request::Arrive { tenant, id, job } => {
+            let interval = match checked_window(job.0, job.1) {
+                Ok(interval) => interval,
+                Err(error) => return Response::error(error),
+            };
+            with_tenant(tenants, &tenant, |t| {
+                apply_event(t, &Event::arrival(id, interval))
+            })
+        }
+        Request::Depart { tenant, id } => {
+            with_tenant(tenants, &tenant, |t| apply_event(t, &Event::departure(id)))
+        }
+        Request::Query { tenant } => with_tenant(tenants, &tenant, |t| {
+            Response::Query(SimulationReport::from_scheduler(
+                &t.scheduler,
+                t.trajectory.clone(),
+            ))
+        }),
+        Request::Snapshot { tenant } => with_tenant(tenants, &tenant, |t| {
+            Response::Snapshot(t.scheduler.snapshot())
+        }),
+        Request::Restore { tenant, snapshot } => {
+            // The same wire bounds as `open`/`arrive`: a snapshot is caller-supplied
+            // data, not something this server necessarily produced.
+            if snapshot.capacity > MAX_CAPACITY {
+                return Response::error(format!(
+                    "snapshot capacity {} exceeds the server limit of {MAX_CAPACITY}",
+                    snapshot.capacity
+                ));
+            }
+            if let Some(job) = snapshot
+                .jobs
+                .iter()
+                .find(|job| checked_window(job.start, job.end).is_err())
+            {
+                return Response::error(format!(
+                    "snapshot job {} has an out-of-range or empty window [{}, {})",
+                    job.id, job.start, job.end
+                ));
+            }
+            match OnlineScheduler::restore(&snapshot) {
+                Ok(scheduler) => {
+                    tenants.insert(
+                        tenant,
+                        Tenant {
+                            scheduler,
+                            trajectory: Vec::new(),
+                        },
+                    );
+                    Response::Ok
+                }
+                Err(error) => Response::error(error.to_string()),
+            }
+        }
+        Request::Close { tenant } => match tenants.remove(&tenant) {
+            Some(_) => Response::Ok,
+            None => Response::error(format!("unknown tenant '{tenant}'")),
+        },
+        // A shard-local census used by `Engine::stats`; `shards`/`requests` are
+        // filled in by the merge.
+        Request::Stats => Response::Stats {
+            shards: 1,
+            tenants: tenants.len(),
+            requests: 0,
+        },
+        Request::Batch { .. } => Response::error("batch requests are not tenant-scoped"),
+    }
+}
+
+/// Run `f` on a tenant, or report it unknown.
+fn with_tenant(
+    tenants: &mut HashMap<String, Tenant>,
+    tenant: &str,
+    f: impl FnOnce(&mut Tenant) -> Response,
+) -> Response {
+    match tenants.get_mut(tenant) {
+        Some(t) => f(t),
+        None => Response::error(format!("unknown tenant '{tenant}'")),
+    }
+}
+
+/// Apply one online event to a tenant, recording the trajectory point (bounded to
+/// the [`TRAJECTORY_WINDOW`]: when the buffer reaches twice the window, the oldest
+/// half is dropped in one step, so the amortized per-event cost stays O(1)).
+fn apply_event(tenant: &mut Tenant, event: &Event) -> Response {
+    match tenant.scheduler.apply(event) {
+        Ok(effect) => {
+            if tenant.trajectory.len() >= 2 * TRAJECTORY_WINDOW {
+                tenant.trajectory.drain(..TRAJECTORY_WINDOW);
+            }
+            tenant.trajectory.push(effect.cost.ticks());
+            Response::Event {
+                machine: effect.machine,
+                cost_delta: effect.cost_delta,
+                cost: effect.cost.ticks(),
+            }
+        }
+        Err(error) => Response::error(error.to_string()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn arrive(tenant: &str, id: u64, job: (i64, i64)) -> Request {
+        Request::Arrive {
+            tenant: tenant.into(),
+            id,
+            job,
+        }
+    }
+
+    #[test]
+    fn tenant_lifecycle_through_the_engine() {
+        let registry = Registry::new(2);
+        let engine = registry.engine();
+        assert!(engine
+            .call(Request::Open {
+                tenant: "a".into(),
+                capacity: 2,
+                policy: None,
+            })
+            .is_ok());
+        // Re-opening is an error; the original state is untouched.
+        assert!(!engine
+            .call(Request::Open {
+                tenant: "a".into(),
+                capacity: 9,
+                policy: None,
+            })
+            .is_ok());
+
+        let r = engine.call(arrive("a", 1, (0, 10)));
+        let Response::Event {
+            machine,
+            cost_delta,
+            cost,
+        } = r
+        else {
+            panic!("expected an event response, got {r:?}");
+        };
+        assert_eq!((machine, cost_delta, cost), (0, 10, 10));
+        engine.call(arrive("a", 2, (4, 12)));
+        let r = engine.call(Request::Depart {
+            tenant: "a".into(),
+            id: 1,
+        });
+        assert!(r.is_ok());
+
+        let Response::Query(report) = engine.call(Request::Query { tenant: "a".into() }) else {
+            panic!("expected a query response");
+        };
+        assert_eq!(report.arrivals, 2);
+        assert_eq!(report.departures, 1);
+        assert_eq!(report.cost_trajectory, vec![10, 12, 8]);
+        assert_eq!(report.live_jobs, 1);
+
+        assert!(engine.call(Request::Close { tenant: "a".into() }).is_ok());
+        assert!(!engine.call(Request::Query { tenant: "a".into() }).is_ok());
+        drop(engine);
+        registry.shutdown();
+    }
+
+    #[test]
+    fn errors_name_the_problem() {
+        let registry = Registry::new(1);
+        let engine = registry.engine();
+        let Response::Error(e) = engine.call(Request::Query {
+            tenant: "ghost".into(),
+        }) else {
+            panic!("expected an error");
+        };
+        assert!(e.contains("ghost"), "{e}");
+        assert!(engine
+            .call(Request::Open {
+                tenant: "t".into(),
+                capacity: 1,
+                policy: None,
+            })
+            .is_ok());
+        let Response::Error(e) = engine.call(arrive("t", 1, (5, 5))) else {
+            panic!("expected an error");
+        };
+        assert!(e.contains("[5, 5)"), "{e}");
+        let Response::Error(e) = engine.call(Request::Depart {
+            tenant: "t".into(),
+            id: 42,
+        }) else {
+            panic!("expected an error");
+        };
+        assert!(e.contains("42"), "{e}");
+        // An unknown policy is rejected at open.
+        let Response::Error(e) = engine.call(Request::Open {
+            tenant: "u".into(),
+            capacity: 1,
+            policy: Some("bogus".into()),
+        }) else {
+            panic!("expected an error");
+        };
+        assert!(e.contains("bogus"), "{e}");
+        drop(engine);
+        registry.shutdown();
+    }
+
+    #[test]
+    fn snapshot_restore_moves_tenants() {
+        let registry = Registry::new(2);
+        let engine = registry.engine();
+        engine.call(Request::Open {
+            tenant: "src".into(),
+            capacity: 1,
+            policy: Some("best-fit".into()),
+        });
+        engine.call(arrive("src", 1, (0, 10)));
+        engine.call(arrive("src", 2, (5, 15)));
+        let Response::Snapshot(snapshot) = engine.call(Request::Snapshot {
+            tenant: "src".into(),
+        }) else {
+            panic!("expected a snapshot");
+        };
+        // Restore under a *different* tenant name (possibly another shard).
+        assert!(engine
+            .call(Request::Restore {
+                tenant: "dst".into(),
+                snapshot,
+            })
+            .is_ok());
+        let Response::Query(src) = engine.call(Request::Query {
+            tenant: "src".into(),
+        }) else {
+            panic!()
+        };
+        let Response::Query(dst) = engine.call(Request::Query {
+            tenant: "dst".into(),
+        }) else {
+            panic!()
+        };
+        assert_eq!(src.final_cost, dst.final_cost);
+        assert_eq!(src.machine_groups, dst.machine_groups);
+        assert_eq!(src.arrivals, dst.arrivals);
+        // The trajectory restarts at the restore point by design.
+        assert!(dst.cost_trajectory.is_empty());
+        drop(engine);
+        registry.shutdown();
+    }
+
+    #[test]
+    fn batch_and_stats() {
+        let registry = Registry::new(3);
+        let engine = registry.engine();
+        engine.call(Request::Open {
+            tenant: "a".into(),
+            capacity: 1,
+            policy: None,
+        });
+        engine.call(Request::Open {
+            tenant: "b".into(),
+            capacity: 1,
+            policy: None,
+        });
+        let Response::Batch(outcomes) = engine.call(Request::Batch {
+            instances: vec![
+                BatchInstance {
+                    capacity: 2,
+                    jobs: vec![(0, 10), (2, 12)],
+                },
+                BatchInstance {
+                    capacity: 0,
+                    jobs: vec![(0, 1)],
+                },
+            ],
+            budget: None,
+        }) else {
+            panic!("expected a batch response");
+        };
+        assert_eq!(outcomes.len(), 2);
+        assert!(matches!(&outcomes[0], BatchOutcome::Solved(r) if r.scheduled_jobs == 2));
+        assert!(matches!(&outcomes[1], BatchOutcome::Failed(e) if e.contains("instance 1")));
+        assert!(matches!(
+            engine.call(Request::Batch {
+                instances: vec![],
+                budget: Some(-3),
+            }),
+            Response::Error(_)
+        ));
+
+        let Response::Stats {
+            shards,
+            tenants,
+            requests,
+        } = engine.call(Request::Stats)
+        else {
+            panic!("expected stats");
+        };
+        assert_eq!(shards, 3);
+        assert_eq!(tenants, 2);
+        assert!(requests >= 4);
+        drop(engine);
+        registry.shutdown();
+    }
+
+    #[test]
+    fn wire_bounds_reject_hostile_requests() {
+        let mut tenants = HashMap::new();
+        // A capacity that would make the first arrival allocate `capacity` thread
+        // sets is refused at open...
+        let Response::Error(e) = apply(
+            &mut tenants,
+            Request::Open {
+                tenant: "t".into(),
+                capacity: MAX_CAPACITY + 1,
+                policy: None,
+            },
+        ) else {
+            panic!("expected an error");
+        };
+        assert!(e.contains("server limit"), "{e}");
+        // ...and at restore.
+        let mut snapshot = OnlineScheduler::new(1, OnlinePolicy::FirstFit)
+            .unwrap()
+            .snapshot();
+        snapshot.capacity = MAX_CAPACITY + 1;
+        let Response::Error(e) = apply(
+            &mut tenants,
+            Request::Restore {
+                tenant: "t".into(),
+                snapshot,
+            },
+        ) else {
+            panic!("expected an error");
+        };
+        assert!(e.contains("server limit"), "{e}");
+
+        // A job window wide enough to overflow i64 length arithmetic is refused
+        // before it reaches the scheduler.
+        apply(
+            &mut tenants,
+            Request::Open {
+                tenant: "t".into(),
+                capacity: 1,
+                policy: None,
+            },
+        );
+        for (s, e) in [
+            (i64::MIN, i64::MAX),
+            (-(MAX_ABS_TICK + 1), 0),
+            (0, MAX_ABS_TICK + 1),
+        ] {
+            let Response::Error(error) = apply(&mut tenants, arrive("t", 1, (s, e))) else {
+                panic!("expected an error for [{s}, {e})");
+            };
+            assert!(error.contains("out of range"), "{error}");
+        }
+        // A snapshot smuggling such a window is refused too.
+        let mut scheduler = OnlineScheduler::new(1, OnlinePolicy::FirstFit).unwrap();
+        scheduler
+            .apply(&Event::arrival(1, Interval::from_ticks(0, 5)))
+            .unwrap();
+        let mut snapshot = scheduler.snapshot();
+        snapshot.jobs[0].start = i64::MIN;
+        let Response::Error(error) = apply(
+            &mut tenants,
+            Request::Restore {
+                tenant: "u".into(),
+                snapshot,
+            },
+        ) else {
+            panic!("expected an error");
+        };
+        assert!(error.contains("out-of-range"), "{error}");
+        // In-range requests still flow.
+        assert!(apply(&mut tenants, arrive("t", 1, (0, MAX_ABS_TICK))).is_ok());
+    }
+
+    #[test]
+    fn trajectory_is_bounded_but_counters_are_not() {
+        // Drive a tenant far past the retention window (map-level, no channels):
+        // memory stays O(window) while the true event totals keep counting.
+        let mut tenants = HashMap::new();
+        apply(
+            &mut tenants,
+            Request::Open {
+                tenant: "t".into(),
+                capacity: 1,
+                policy: None,
+            },
+        );
+        let rounds = TRAJECTORY_WINDOW + 5;
+        for i in 0..rounds as u64 {
+            let s = i as i64;
+            assert!(apply(&mut tenants, arrive("t", i, (s, s + 1))).is_ok());
+            assert!(apply(
+                &mut tenants,
+                Request::Depart {
+                    tenant: "t".into(),
+                    id: i,
+                },
+            )
+            .is_ok());
+        }
+        let tenant = &tenants["t"];
+        assert!(tenant.trajectory.len() <= 2 * TRAJECTORY_WINDOW);
+        assert!(tenant.trajectory.len() >= TRAJECTORY_WINDOW);
+        let Response::Query(report) = apply(&mut tenants, Request::Query { tenant: "t".into() })
+        else {
+            panic!("expected a query response");
+        };
+        assert_eq!(report.events, 2 * rounds);
+        assert_eq!(report.arrivals, rounds);
+        assert_eq!(report.departures, rounds);
+        assert_eq!(report.cost_trajectory.len(), tenants["t"].trajectory.len());
+    }
+
+    #[test]
+    fn shard_routing_is_stable_and_total() {
+        let registry = Registry::new(4);
+        let engine = registry.engine();
+        for name in ["a", "b", "c", "tenant-42", ""] {
+            let s = engine.shard_for(name);
+            assert!(s < 4);
+            assert_eq!(s, engine.shard_for(name));
+        }
+        drop(engine);
+        registry.shutdown();
+    }
+}

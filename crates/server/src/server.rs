@@ -1,0 +1,150 @@
+//! The TCP front end: a std-only daemon speaking the newline-delimited JSON protocol.
+//!
+//! [`serve`] accepts connections on a [`TcpListener`] and spawns one thread per
+//! connection; each connection thread owns a clone of the [`Engine`] and loops
+//! read-line → [`Engine::call`] → write-line.  Malformed lines get an
+//! `{"ok": false, …}` response and the connection stays usable, so one confused
+//! client never takes the daemon down.  There is deliberately no protocol state on
+//! the connection — a client may reconnect at any time and continue driving its
+//! tenants, whose schedulers live in the registry shards, not in the socket handler.
+//!
+//! [`Client`] is the matching blocking client: one request in flight at a time,
+//! line-matched to its response.  The CLI's `client` subcommand and the CI smoke test
+//! both drive a running daemon through it.
+
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::net::{TcpListener, TcpStream, ToSocketAddrs};
+
+use busytime::online::Trace;
+use busytime::report::SimulationReport;
+use busytime::OnlinePolicy;
+
+use crate::protocol::{Request, Response};
+use crate::registry::Engine;
+
+/// Serve the engine on an already-bound listener, one thread per connection.
+///
+/// Returns only when the listener errors (callers wanting a graceful stop run this
+/// on a dedicated thread and drop the process, as the CLI's `serve` does).
+pub fn serve(listener: TcpListener, engine: Engine) -> std::io::Result<()> {
+    for stream in listener.incoming() {
+        let stream = stream?;
+        let engine = engine.clone();
+        std::thread::Builder::new()
+            .name("busytime-conn".to_string())
+            .spawn(move || {
+                // A dropped connection is the client's business, not the server's.
+                let _ = handle_connection(stream, engine);
+            })?;
+    }
+    Ok(())
+}
+
+/// Drive one connection: read lines, apply them, write the responses.
+fn handle_connection(stream: TcpStream, engine: Engine) -> std::io::Result<()> {
+    let reader = BufReader::new(stream.try_clone()?);
+    let mut writer = BufWriter::new(stream);
+    for line in reader.lines() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let response = match Request::from_json(&line) {
+            Ok(request) => engine.call(request),
+            Err(error) => Response::error(error),
+        };
+        writer.write_all(response.to_json().as_bytes())?;
+        writer.write_all(b"\n")?;
+        writer.flush()?;
+    }
+    Ok(())
+}
+
+/// A blocking protocol client: one request in flight at a time over one connection.
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: BufWriter<TcpStream>,
+}
+
+impl Client {
+    /// Connect to a running daemon.
+    pub fn connect(addr: impl ToSocketAddrs) -> std::io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(Client {
+            reader: BufReader::new(stream.try_clone()?),
+            writer: BufWriter::new(stream),
+        })
+    }
+
+    /// Send one request and wait for its response.
+    ///
+    /// Transport failures (connection gone) and undecodable responses are both
+    /// reported as `Err`; a well-formed `{"ok": false}` response comes back as
+    /// `Ok(Response::Error(..))` — the caller decides whether that fails its task.
+    pub fn call(&mut self, request: &Request) -> Result<Response, String> {
+        self.writer
+            .write_all(request.to_json().as_bytes())
+            .and_then(|()| self.writer.write_all(b"\n"))
+            .and_then(|()| self.writer.flush())
+            .map_err(|e| format!("sending the request: {e}"))?;
+        let mut line = String::new();
+        let read = self
+            .reader
+            .read_line(&mut line)
+            .map_err(|e| format!("reading the response: {e}"))?;
+        if read == 0 {
+            return Err("the server closed the connection".into());
+        }
+        Response::from_json(line.trim_end())
+    }
+
+    /// Like [`Client::call`], but treats an `{"ok": false}` response as an `Err` too
+    /// — for drivers where any failure aborts the run.
+    pub fn call_ok(&mut self, request: &Request) -> Result<Response, String> {
+        match self.call(request)? {
+            Response::Error(error) => Err(format!("{}: {error}", request.op())),
+            response => Ok(response),
+        }
+    }
+
+    /// Drive a whole trace against the server under `tenant`: open the tenant with
+    /// the trace's capacity, stream every event, and return the final `query` report.
+    ///
+    /// A leftover tenant of the same name (e.g. from an earlier drive) is closed and
+    /// reopened fresh, so driving the same trace twice produces the same report —
+    /// the run replays the trace from empty state by definition.
+    ///
+    /// This is the CLI `client` subcommand's engine; it is also what the CI smoke
+    /// runs against a freshly started daemon.
+    pub fn drive_trace(
+        &mut self,
+        tenant: &str,
+        trace: &Trace,
+        policy: OnlinePolicy,
+    ) -> Result<SimulationReport, String> {
+        let open = Request::Open {
+            tenant: tenant.to_string(),
+            capacity: trace.capacity,
+            policy: Some(policy.name().to_string()),
+        };
+        if let Response::Error(error) = self.call(&open)? {
+            if !error.contains("already open") {
+                return Err(format!("open: {error}"));
+            }
+            self.call_ok(&Request::Close {
+                tenant: tenant.to_string(),
+            })?;
+            self.call_ok(&open)?;
+        }
+        for event in &trace.events {
+            self.call_ok(&Request::from_event(tenant, event))?;
+        }
+        match self.call_ok(&Request::Query {
+            tenant: tenant.to_string(),
+        })? {
+            Response::Query(report) => Ok(report),
+            other => Err(format!("expected a query response, got {other:?}")),
+        }
+    }
+}

@@ -1,0 +1,213 @@
+//! Multi-tenant differential fuzz: a random interleaving of requests for many
+//! tenants, driven through the sharded registry (the same code path the TCP
+//! connections hit, minus the socket), must leave every tenant in **exactly** the
+//! state of a lone `OnlineScheduler` replaying that tenant's projection of the
+//! stream — whatever the shard count, and across snapshot/restore interruptions and
+//! rejected requests sprinkled into the stream.
+
+use busytime::online::{Event, OnlinePolicy, OnlineScheduler};
+use busytime::report::SimulationReport;
+use busytime_server::{Registry, Request, Response};
+use busytime_workload::{multi_tenant_stream, seeded_rng, DurationModel};
+use rand::Rng;
+
+/// A lone-scheduler oracle for one tenant: the scheduler plus the trajectory the
+/// server is documented to keep (restarting at a restore point).
+struct Oracle {
+    scheduler: OnlineScheduler,
+    trajectory: Vec<i64>,
+}
+
+fn tenant_name(t: usize) -> String {
+    format!("tenant-{t}")
+}
+
+/// The server's query report must equal the oracle's, field for field (compared via
+/// the serialized JSON, the schema both sides share).
+fn assert_reports_equal(server: &SimulationReport, oracle: &Oracle, context: &str) {
+    let expected = SimulationReport::from_scheduler(&oracle.scheduler, oracle.trajectory.clone());
+    assert_eq!(
+        serde_json::to_string(server).unwrap(),
+        serde_json::to_string(&expected).unwrap(),
+        "{context}"
+    );
+}
+
+fn query(engine: &busytime_server::Engine, tenant: &str) -> SimulationReport {
+    match engine.call(Request::Query {
+        tenant: tenant.to_string(),
+    }) {
+        Response::Query(report) => report,
+        other => panic!("expected a query response for {tenant}, got {other:?}"),
+    }
+}
+
+#[test]
+fn random_interleaving_matches_single_tenant_replay() {
+    let model = DurationModel::HeavyTail { min: 1, max: 90 };
+    for (seed, shards, tenants) in [(2012u64, 1usize, 5usize), (7, 3, 6), (23, 4, 9)] {
+        let mut rng = seeded_rng(seed ^ 0xfeed);
+        let stream = multi_tenant_stream(&mut seeded_rng(seed), tenants, 60, 2.0, &model);
+
+        let registry = Registry::new(shards);
+        let engine = registry.engine();
+        let mut oracles: Vec<Oracle> = (0..tenants)
+            .map(|t| {
+                let capacity = 1 + t % 4;
+                let policy = OnlinePolicy::all()[t % OnlinePolicy::all().len()];
+                assert!(engine
+                    .call(Request::Open {
+                        tenant: tenant_name(t),
+                        capacity,
+                        policy: Some(policy.name().to_string()),
+                    })
+                    .is_ok());
+                Oracle {
+                    scheduler: OnlineScheduler::new(capacity, policy).unwrap(),
+                    trajectory: Vec::new(),
+                }
+            })
+            .collect();
+
+        for (i, (tenant, event)) in stream.iter().enumerate() {
+            let name = tenant_name(*tenant);
+            let oracle = &mut oracles[*tenant];
+
+            // Sprinkle rejected requests in: they must error on both sides and
+            // change nothing.
+            if rng.random_range(0..20) == 0 {
+                let bogus = Request::Depart {
+                    tenant: name.clone(),
+                    id: u64::MAX,
+                };
+                assert!(matches!(engine.call(bogus), Response::Error(_)));
+                assert!(oracle.scheduler.apply(&Event::departure(u64::MAX)).is_err());
+            }
+
+            let response = engine.call(Request::from_event(&name, event));
+            let effect = oracle.scheduler.apply(event).unwrap();
+            oracle.trajectory.push(effect.cost.ticks());
+            let Response::Event {
+                machine,
+                cost_delta,
+                cost,
+            } = response
+            else {
+                panic!("event {i} for {name}: expected an event response, got {response:?}");
+            };
+            assert_eq!(machine, effect.machine, "event {i} for {name}");
+            assert_eq!(cost_delta, effect.cost_delta, "event {i} for {name}");
+            assert_eq!(cost, effect.cost.ticks(), "event {i} for {name}");
+
+            // Occasionally interrupt the tenant with a snapshot → restore round
+            // trip (the documented semantics restart the trajectory) or check a
+            // mid-stream query.
+            match rng.random_range(0..25) {
+                0 => {
+                    let Response::Snapshot(snapshot) = engine.call(Request::Snapshot {
+                        tenant: name.clone(),
+                    }) else {
+                        panic!("expected a snapshot for {name}");
+                    };
+                    assert!(engine
+                        .call(Request::Restore {
+                            tenant: name.clone(),
+                            snapshot,
+                        })
+                        .is_ok());
+                    oracle.trajectory.clear();
+                }
+                1 => {
+                    assert_reports_equal(
+                        &query(&engine, &name),
+                        oracle,
+                        &format!("mid-stream query after event {i} for {name}"),
+                    );
+                }
+                _ => {}
+            }
+        }
+
+        for (t, oracle) in oracles.iter().enumerate() {
+            let name = tenant_name(t);
+            assert_reports_equal(&query(&engine, &name), oracle, &format!("final {name}"));
+        }
+
+        let Response::Stats {
+            shards: s,
+            tenants: live,
+            ..
+        } = engine.call(Request::Stats)
+        else {
+            panic!("expected stats");
+        };
+        assert_eq!(s, shards);
+        assert_eq!(live, tenants);
+
+        drop(engine);
+        registry.shutdown();
+    }
+}
+
+#[test]
+fn concurrent_sessions_stay_isolated() {
+    // One driver thread per tenant, all hammering the same registry concurrently:
+    // per-tenant request order is preserved (each tenant has one driver), so every
+    // tenant must land in exactly its oracle state no matter how the shards
+    // interleave *across* tenants.
+    let model = DurationModel::Bimodal {
+        short: (1, 5),
+        long: (40, 80),
+        long_weight: 0.3,
+    };
+    let tenants = 8usize;
+    let stream = multi_tenant_stream(&mut seeded_rng(99), tenants, 120, 1.5, &model);
+    let registry = Registry::new(4);
+
+    let reports: Vec<SimulationReport> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..tenants)
+            .map(|t| {
+                let engine = registry.engine();
+                let events: Vec<Event> = stream
+                    .iter()
+                    .filter(|(tenant, _)| *tenant == t)
+                    .map(|&(_, e)| e)
+                    .collect();
+                scope.spawn(move || {
+                    let name = tenant_name(t);
+                    assert!(engine
+                        .call(Request::Open {
+                            tenant: name.clone(),
+                            capacity: 2,
+                            policy: Some("best-fit".to_string()),
+                        })
+                        .is_ok());
+                    for event in &events {
+                        let response = engine.call(Request::from_event(&name, event));
+                        assert!(response.is_ok(), "{name}: {response:?}");
+                    }
+                    query(&engine, &name)
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+
+    for (t, report) in reports.iter().enumerate() {
+        let events: Vec<Event> = stream
+            .iter()
+            .filter(|(tenant, _)| *tenant == t)
+            .map(|&(_, e)| e)
+            .collect();
+        let mut oracle = Oracle {
+            scheduler: OnlineScheduler::new(2, OnlinePolicy::BestFit).unwrap(),
+            trajectory: Vec::new(),
+        };
+        for event in &events {
+            let effect = oracle.scheduler.apply(event).unwrap();
+            oracle.trajectory.push(effect.cost.ticks());
+        }
+        assert_reports_equal(report, &oracle, &tenant_name(t));
+    }
+    registry.shutdown();
+}

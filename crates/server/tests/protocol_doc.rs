@@ -1,0 +1,155 @@
+//! `PROTOCOL.md` is kept honest here: every fenced JSON block in the document is
+//! extracted and round-tripped through the server's actual serde implementations —
+//! a request block must parse as a [`Request`] and re-serialize to the same JSON
+//! value, a response block as a [`Response`].  The worked session transcript is
+//! checked line by line too.  If the wire schema and the document drift apart, this
+//! test names the offending block.
+
+use busytime_server::{Request, Response};
+use serde::Value;
+
+const DOC: &str = include_str!("../../../PROTOCOL.md");
+
+/// Parse arbitrary JSON text into the vendored `Value` tree.
+fn parse_value(text: &str) -> Value {
+    struct Raw(Value);
+    impl serde::Deserialize for Raw {
+        fn deserialize(value: &Value) -> Result<Self, serde::Error> {
+            Ok(Raw(value.clone()))
+        }
+    }
+    serde_json::from_str::<Raw>(text)
+        .unwrap_or_else(|e| panic!("documented block is not valid JSON: {e}\n{text}"))
+        .0
+}
+
+/// Canonicalize a value for comparison: sort object keys recursively, so the
+/// document may order fields for readability.
+fn canonical(value: &Value) -> Value {
+    match value {
+        Value::Array(items) => Value::Array(items.iter().map(canonical).collect()),
+        Value::Object(fields) => {
+            let mut fields: Vec<(String, Value)> = fields
+                .iter()
+                .map(|(k, v)| (k.clone(), canonical(v)))
+                .collect();
+            fields.sort_by(|a, b| a.0.cmp(&b.0));
+            Value::Object(fields)
+        }
+        other => other.clone(),
+    }
+}
+
+/// Every fenced block of the given language, in document order.
+fn fenced_blocks<'a>(doc: &'a str, language: &str) -> Vec<&'a str> {
+    let mut blocks = Vec::new();
+    let mut rest = doc;
+    let open = format!("```{language}\n");
+    while let Some(start) = rest.find(&open) {
+        let body = &rest[start + open.len()..];
+        let end = body.find("```").expect("every fence closes");
+        blocks.push(&body[..end]);
+        rest = &body[end + 3..];
+    }
+    blocks
+}
+
+/// Round-trip one documented JSON object through the protocol types; returns the
+/// op/shape it was recognized as.
+fn check_block(text: &str) -> String {
+    let documented = canonical(&parse_value(text));
+    let is_request =
+        matches!(&documented, Value::Object(fields) if fields.iter().any(|(k, _)| k == "op"));
+    if is_request {
+        let request = Request::from_json(text)
+            .unwrap_or_else(|e| panic!("documented request does not parse: {e}\n{text}"));
+        let emitted = canonical(&parse_value(&request.to_json()));
+        assert_eq!(
+            emitted, documented,
+            "re-serializing the documented request changed it:\n{text}"
+        );
+        format!("request:{}", request.op())
+    } else {
+        let response = Response::from_json(text)
+            .unwrap_or_else(|e| panic!("documented response does not parse: {e}\n{text}"));
+        let emitted = canonical(&parse_value(&response.to_json()));
+        assert_eq!(
+            emitted, documented,
+            "re-serializing the documented response changed it:\n{text}"
+        );
+        "response".to_string()
+    }
+}
+
+#[test]
+fn every_documented_json_example_round_trips() {
+    let blocks = fenced_blocks(DOC, "json");
+    assert!(
+        blocks.len() >= 16,
+        "expected a request and a response example per operation, found {}",
+        blocks.len()
+    );
+    let mut seen_requests = Vec::new();
+    for block in blocks {
+        let shape = check_block(block);
+        if let Some(op) = shape.strip_prefix("request:") {
+            seen_requests.push(op.to_string());
+        }
+    }
+    // Every operation the server understands has a documented request example.
+    for op in [
+        "open", "arrive", "depart", "query", "snapshot", "restore", "close", "batch", "stats",
+    ] {
+        assert!(
+            seen_requests.iter().any(|seen| seen == op),
+            "operation '{op}' has no documented request example"
+        );
+    }
+}
+
+#[test]
+fn the_worked_session_transcript_round_trips() {
+    let transcript = fenced_blocks(DOC, "text")
+        .into_iter()
+        .find(|block| block.contains("→"))
+        .expect("the document carries a worked session transcript");
+    let mut lines = 0;
+    for line in transcript.lines() {
+        let line = line.trim();
+        if let Some(request) = line.strip_prefix("→ ") {
+            check_block(request);
+            lines += 1;
+        } else if let Some(response) = line.strip_prefix("← ") {
+            check_block(response);
+            lines += 1;
+        }
+    }
+    assert!(lines >= 10, "the transcript shows a full session: {lines}");
+}
+
+#[test]
+fn documented_session_replays_against_a_live_engine() {
+    // The transcript is not just well-formed — replaying its requests against a
+    // fresh registry produces byte-for-byte the documented responses.
+    let transcript = fenced_blocks(DOC, "text")
+        .into_iter()
+        .find(|block| block.contains("→"))
+        .unwrap();
+    let registry = busytime_server::Registry::new(1);
+    let engine = registry.engine();
+    let mut expected = Vec::new();
+    let mut actual = Vec::new();
+    for line in transcript.lines() {
+        let line = line.trim();
+        if let Some(request) = line.strip_prefix("→ ") {
+            actual.push(canonical(&parse_value(
+                &engine.call(Request::from_json(request).unwrap()).to_json(),
+            )));
+        } else if let Some(response) = line.strip_prefix("← ") {
+            expected.push(canonical(&parse_value(response)));
+        }
+    }
+    assert_eq!(actual, expected, "the documented session diverged");
+    drop(engine);
+    registry.shutdown();
+}

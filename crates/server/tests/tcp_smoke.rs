@@ -1,0 +1,161 @@
+//! End-to-end smoke over a real loopback socket: bind an ephemeral port, run the
+//! daemon's accept loop, and drive it with the blocking [`Client`] — including two
+//! concurrent connections, a snapshot/restore round trip over the wire, and a
+//! malformed line that must not take the connection down.
+
+use std::net::TcpListener;
+
+use busytime::online::{Event, Trace};
+use busytime::{Interval, OnlinePolicy};
+use busytime_server::{serve, Client, Registry, Request, Response};
+
+/// Bind an ephemeral loopback port and serve a fresh registry on a background
+/// thread; returns the address to connect to.
+fn spawn_server(shards: usize) -> String {
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap().to_string();
+    let registry = Registry::new(shards);
+    let engine = registry.engine();
+    std::thread::spawn(move || {
+        // The registry must outlive the accept loop; the test process exits with
+        // both still running, like the real daemon.
+        let _registry = registry;
+        let _ = serve(listener, engine);
+    });
+    addr
+}
+
+fn sample_trace() -> Trace {
+    Trace::new(
+        2,
+        vec![
+            Event::arrival(1, Interval::from_ticks(0, 10)),
+            Event::arrival(2, Interval::from_ticks(4, 12)),
+            Event::arrival(3, Interval::from_ticks(6, 14)),
+            Event::departure(1),
+        ],
+    )
+}
+
+#[test]
+fn drive_trace_over_the_wire_matches_local_simulation() {
+    let addr = spawn_server(2);
+    let mut client = Client::connect(&addr).unwrap();
+    let report = client
+        .drive_trace("acme", &sample_trace(), OnlinePolicy::FirstFit)
+        .unwrap();
+
+    // The local replay of the same trace (the `simulate` path).
+    let run = busytime::Solver::new()
+        .solve_online(&sample_trace(), OnlinePolicy::FirstFit)
+        .unwrap();
+    let trajectory: Vec<i64> = run.trajectory.iter().map(|d| d.ticks()).collect();
+    let local = busytime::report::SimulationReport::from_scheduler(&run.scheduler, trajectory);
+    assert_eq!(
+        serde_json::to_string(&report).unwrap(),
+        serde_json::to_string(&local).unwrap(),
+        "the wire-driven tenant must equal the local simulation"
+    );
+}
+
+#[test]
+fn driving_the_same_tenant_twice_replays_fresh() {
+    // A rerun of `busytime client` with the same tenant name must not fail on the
+    // leftover tenant — the drive closes and reopens it, replaying from empty.
+    let addr = spawn_server(2);
+    let mut client = Client::connect(&addr).unwrap();
+    let first = client
+        .drive_trace("repeat", &sample_trace(), OnlinePolicy::FirstFit)
+        .unwrap();
+    let second = client
+        .drive_trace("repeat", &sample_trace(), OnlinePolicy::FirstFit)
+        .unwrap();
+    assert_eq!(
+        serde_json::to_string(&first).unwrap(),
+        serde_json::to_string(&second).unwrap()
+    );
+}
+
+#[test]
+fn snapshot_restore_and_stats_over_the_wire() {
+    let addr = spawn_server(3);
+    let mut client = Client::connect(&addr).unwrap();
+    client
+        .drive_trace("src", &sample_trace(), OnlinePolicy::BestFit)
+        .unwrap();
+
+    let Response::Snapshot(snapshot) = client
+        .call_ok(&Request::Snapshot {
+            tenant: "src".into(),
+        })
+        .unwrap()
+    else {
+        panic!("expected a snapshot");
+    };
+    client
+        .call_ok(&Request::Restore {
+            tenant: "dst".into(),
+            snapshot,
+        })
+        .unwrap();
+
+    // Both tenants evolve identically from here (a second connection drives `dst`).
+    let mut second = Client::connect(&addr).unwrap();
+    let grow = |client: &mut Client, tenant: &str| {
+        client
+            .call_ok(&Request::Arrive {
+                tenant: tenant.into(),
+                id: 50,
+                job: (9, 21),
+            })
+            .unwrap()
+    };
+    let a = grow(&mut client, "src");
+    let b = grow(&mut second, "dst");
+    assert_eq!(a.to_json(), b.to_json());
+
+    let Response::Stats {
+        shards,
+        tenants,
+        requests,
+    } = client.call_ok(&Request::Stats).unwrap()
+    else {
+        panic!("expected stats");
+    };
+    assert_eq!(shards, 3);
+    assert_eq!(tenants, 2);
+    assert!(requests >= 8);
+}
+
+#[test]
+fn malformed_lines_do_not_kill_the_connection() {
+    use std::io::{BufRead, BufReader, Write};
+
+    let addr = spawn_server(1);
+    let mut stream = std::net::TcpStream::connect(&addr).unwrap();
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+
+    stream.write_all(b"this is not json\n").unwrap();
+    let mut line = String::new();
+    reader.read_line(&mut line).unwrap();
+    let response = Response::from_json(line.trim_end()).unwrap();
+    assert!(!response.is_ok(), "{line}");
+
+    // Blank lines are skipped; the connection is still healthy for real requests.
+    stream.write_all(b"\n{\"op\":\"stats\"}\n").unwrap();
+    line.clear();
+    reader.read_line(&mut line).unwrap();
+    assert!(matches!(
+        Response::from_json(line.trim_end()).unwrap(),
+        Response::Stats { shards: 1, .. }
+    ));
+
+    // An unknown op reports the valid ones.
+    stream.write_all(b"{\"op\":\"fly\"}\n").unwrap();
+    line.clear();
+    reader.read_line(&mut line).unwrap();
+    let Response::Error(error) = Response::from_json(line.trim_end()).unwrap() else {
+        panic!("expected an error");
+    };
+    assert!(error.contains("unknown op"), "{error}");
+}

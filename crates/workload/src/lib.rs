@@ -48,8 +48,8 @@ pub use onedim::{
     proper_clique_instance, proper_instance,
 };
 pub use trace::{
-    churn_trace_from_instance, diurnal_trace, poisson_trace, trace_from_instance,
-    trace_from_instance_in_order, DurationModel,
+    churn_trace_from_instance, diurnal_trace, multi_tenant_stream, poisson_trace,
+    trace_from_instance, trace_from_instance_in_order, DurationModel, TenantEvent,
 };
 pub use twodim::{
     figure3_asymptotic_ratio, figure3_firstfit_cost, figure3_good_solution_cost, figure3_instance,

@@ -187,6 +187,53 @@ pub fn trace_from_instance_in_order(instance: &Instance, order: &[usize]) -> Tra
     Trace::new(instance.capacity(), events)
 }
 
+/// One step of a multi-tenant request stream: which tenant the event belongs to, and
+/// the event itself.  This is the workload shape the `busytime-server` benchmarks and
+/// fuzz tests drive: the per-tenant subsequences are each well-formed online traces,
+/// and the global order is the wall-clock interleaving a server front door would see.
+pub type TenantEvent = (usize, Event);
+
+/// A multi-tenant request stream: `tenants` independent Poisson workloads (each as in
+/// [`poisson_trace`], with its own id space) interleaved into one time-ordered stream
+/// of [`TenantEvent`]s.
+///
+/// The per-tenant projection of the stream equals a single-tenant Poisson trace —
+/// that is the replay oracle the server's multi-tenant fuzz test pins: driving the
+/// interleaved stream through the sharded registry must leave every tenant in exactly
+/// the state of a lone scheduler replaying its own projection.
+///
+/// Ties are broken (time, departures-first, tenant, id), so the stream is fully
+/// deterministic given the RNG.
+pub fn multi_tenant_stream<R: Rng>(
+    rng: &mut R,
+    tenants: usize,
+    jobs_per_tenant: usize,
+    mean_interarrival: f64,
+    durations: &DurationModel,
+) -> Vec<TenantEvent> {
+    assert!(mean_interarrival > 0.0);
+    // (time, departures-first, tenant, id) — the same tie order `events_from_jobs`
+    // uses, extended by the tenant.
+    let mut keyed: Vec<(i64, u8, usize, u64, Event)> =
+        Vec::with_capacity(tenants * jobs_per_tenant * 2);
+    for tenant in 0..tenants {
+        let mut now = 0i64;
+        for id in 0..jobs_per_tenant {
+            now += exponential_gap(rng, mean_interarrival);
+            let len = durations.sample(rng);
+            let interval = Interval::from_ticks(now, now + len);
+            let id = id as u64;
+            keyed.push((now, 1, tenant, id, Event::arrival(id, interval)));
+            keyed.push((now + len, 0, tenant, id, Event::departure(id)));
+        }
+    }
+    keyed.sort_by_key(|&(t, kind, tenant, id, _)| (t, kind, tenant, id));
+    keyed
+        .into_iter()
+        .map(|(_, _, tenant, _, e)| (tenant, e))
+        .collect()
+}
+
 /// Replay a static instance as a **mixed** arrival/departure trace: every job arrives
 /// at its start and departs at its end, merged in time order (departures first at
 /// equal ticks).  The live set at any point is exactly the jobs whose interval covers
@@ -258,6 +305,44 @@ mod tests {
             assert_eq!(run.final_cost().ticks(), 0);
             assert!(run.peak_cost().ticks() > 0);
         }
+    }
+
+    #[test]
+    fn multi_tenant_stream_projects_to_replayable_traces() {
+        let mut rng = seeded_rng(2012);
+        let model = DurationModel::HeavyTail { min: 1, max: 80 };
+        let stream = multi_tenant_stream(&mut rng, 5, 40, 3.0, &model);
+        assert_eq!(stream.len(), 5 * 40 * 2);
+        // Global time order: reconstruct event times as in `is_time_ordered`, but
+        // keyed per tenant (ids are only unique within a tenant).
+        let mut ends = std::collections::HashMap::new();
+        let mut last = (i64::MIN, 0u8);
+        for &(tenant, event) in &stream {
+            let key = match event {
+                Event::Arrival { id, interval } => {
+                    ends.insert((tenant, id), interval.end().ticks());
+                    (interval.start().ticks(), 1)
+                }
+                Event::Departure { id } => (ends[&(tenant, id)], 0),
+            };
+            assert!(key >= last, "stream out of order at {key:?}");
+            last = key;
+        }
+        // Every per-tenant projection is a well-formed trace that drains cleanly.
+        for tenant in 0..5 {
+            let events: Vec<Event> = stream
+                .iter()
+                .filter(|(t, _)| *t == tenant)
+                .map(|&(_, e)| e)
+                .collect();
+            assert_eq!(events.len(), 80);
+            let run = OnlineScheduler::run(&Trace::new(2, events), OnlinePolicy::FirstFit).unwrap();
+            assert_eq!(run.scheduler.live_count(), 0);
+            assert!(run.peak_cost().ticks() > 0);
+        }
+        // Determinism per seed.
+        let replay = multi_tenant_stream(&mut seeded_rng(2012), 5, 40, 3.0, &model);
+        assert_eq!(stream, replay);
     }
 
     #[test]

@@ -1,0 +1,135 @@
+//! Snapshot/restore differential oracle: interrupting a live online run with
+//! `snapshot → JSON → restore` must be **invisible** — the restored scheduler replays
+//! the rest of the trace event for event exactly like the never-snapshotted run.
+//!
+//! This is the correctness contract behind the server's `snapshot`/`restore`
+//! operations: a tenant can be serialized, shipped to another shard or another
+//! process, rebuilt, and keep making byte-identical decisions.
+
+use busytime::online::{Event, OnlinePolicy, OnlineScheduler, OnlineSnapshot, Trace};
+use busytime_workload::{
+    churn_trace_from_instance, diurnal_trace, general_instance, poisson_trace, seeded_rng,
+    DurationModel,
+};
+
+/// Replay `trace` uninterrupted, and once more with a snapshot/restore round trip
+/// (through JSON) after `cut` events; every event effect after the cut must agree,
+/// and so must the final state.
+fn assert_snapshot_invisible(trace: &Trace, policy: OnlinePolicy, cut: usize) {
+    let mut uninterrupted = OnlineScheduler::new(trace.capacity, policy).unwrap();
+    let mut interrupted = OnlineScheduler::new(trace.capacity, policy).unwrap();
+    for event in &trace.events[..cut] {
+        uninterrupted.apply(event).unwrap();
+        interrupted.apply(event).unwrap();
+    }
+
+    // The round trip goes through the actual wire representation.
+    let snapshot = interrupted.snapshot();
+    let json = serde_json::to_string(&snapshot).unwrap();
+    let parsed: OnlineSnapshot = serde_json::from_str(&json).unwrap();
+    assert_eq!(parsed, snapshot, "snapshot JSON round trip");
+    let mut restored = OnlineScheduler::restore(&parsed).unwrap();
+
+    assert_eq!(restored.cost(), uninterrupted.cost(), "cost at the cut");
+    assert_eq!(restored.peak_cost(), uninterrupted.peak_cost());
+    assert_eq!(restored.machine_count(), uninterrupted.machine_count());
+
+    for (i, event) in trace.events[cut..].iter().enumerate() {
+        let expected = uninterrupted.apply(event).unwrap();
+        let actual = restored.apply(event).unwrap();
+        assert_eq!(
+            actual,
+            expected,
+            "event {} after the cut diverged (policy {policy}, cut {cut})",
+            cut + i
+        );
+    }
+    assert_eq!(restored.cost(), uninterrupted.cost());
+    assert_eq!(restored.peak_cost(), uninterrupted.peak_cost());
+    assert_eq!(restored.live_count(), uninterrupted.live_count());
+    assert_eq!(restored.machine_count(), uninterrupted.machine_count());
+    assert_eq!(restored.machine_groups(), uninterrupted.machine_groups());
+    assert_eq!(
+        restored.live_jobs().collect::<Vec<_>>(),
+        uninterrupted.live_jobs().collect::<Vec<_>>()
+    );
+    assert_eq!(restored.arrivals(), uninterrupted.arrivals());
+    assert_eq!(restored.departures(), uninterrupted.departures());
+}
+
+/// Cut points spread over a trace: start, early, middle, late, end.
+fn cuts(len: usize) -> Vec<usize> {
+    let mut cuts = vec![0, len / 7, len / 2, (len * 9) / 10, len];
+    cuts.dedup();
+    cuts
+}
+
+#[test]
+fn snapshot_is_invisible_on_poisson_churn() {
+    let model = DurationModel::HeavyTail { min: 1, max: 120 };
+    for (seed, g) in [(2012u64, 3usize), (7, 1), (41, 8)] {
+        let trace = poisson_trace(&mut seeded_rng(seed), 150, g, 2.5, &model);
+        for &policy in OnlinePolicy::all() {
+            for cut in cuts(trace.len()) {
+                assert_snapshot_invisible(&trace, policy, cut);
+            }
+        }
+    }
+}
+
+#[test]
+fn snapshot_is_invisible_on_diurnal_bursts() {
+    let model = DurationModel::Bimodal {
+        short: (1, 6),
+        long: (60, 140),
+        long_weight: 0.25,
+    };
+    let trace = diurnal_trace(&mut seeded_rng(2012), 200, 4, 160, 0.8, 12.0, &model);
+    for &policy in OnlinePolicy::all() {
+        for cut in cuts(trace.len()) {
+            assert_snapshot_invisible(&trace, policy, cut);
+        }
+    }
+}
+
+#[test]
+fn snapshot_is_invisible_on_instance_churn() {
+    // The churn replay of a static instance drains to empty, so late cuts exercise
+    // snapshots full of emptied machines.
+    let instance = general_instance(&mut seeded_rng(13), 120, 3, 600, 80);
+    let trace = churn_trace_from_instance(&instance);
+    for &policy in OnlinePolicy::all() {
+        for cut in cuts(trace.len()) {
+            assert_snapshot_invisible(&trace, policy, cut);
+        }
+    }
+}
+
+#[test]
+fn snapshot_of_drained_schedule_restores_machine_slots() {
+    // Arrive, fully depart, snapshot: every machine is an empty slot, and new
+    // arrivals after restore still land where the uninterrupted run puts them.
+    let mut events = Vec::new();
+    for id in 0..12u64 {
+        let s = (id as i64) * 3;
+        events.push(Event::arrival(
+            id,
+            busytime::Interval::from_ticks(s, s + 10),
+        ));
+    }
+    for id in 0..12u64 {
+        events.push(Event::departure(id));
+    }
+    for id in 12..24u64 {
+        let s = ((id - 12) as i64) * 3;
+        events.push(Event::arrival(
+            id,
+            busytime::Interval::from_ticks(s, s + 10),
+        ));
+    }
+    let trace = Trace::new(2, events);
+    for &policy in OnlinePolicy::all() {
+        // Cut exactly at the drained point.
+        assert_snapshot_invisible(&trace, policy, 24);
+    }
+}
