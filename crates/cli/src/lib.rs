@@ -401,19 +401,146 @@ pub fn run_client(
 /// `busytime serve`: bind `addr` and run the sharded scheduling daemon until the
 /// process is killed.  Prints the bound address (port 0 resolves to a free port)
 /// before entering the accept loop, so scripts can scrape it.
-pub fn run_serve(addr: &str, shards: usize) -> Result<(), String> {
+///
+/// With a [`DurabilityConfig`](busytime_server::DurabilityConfig) (`--data-dir`),
+/// the registry rebuilds every tenant from the data directory before accepting
+/// connections and journals every mutation before acknowledging it; without one
+/// the daemon is purely in-memory, exactly as before.
+pub fn run_serve(
+    addr: &str,
+    shards: usize,
+    durability: Option<busytime_server::DurabilityConfig>,
+) -> Result<(), String> {
     let listener =
         std::net::TcpListener::bind(addr).map_err(|e| format!("cannot bind {addr}: {e}"))?;
     let local = listener
         .local_addr()
         .map_err(|e| format!("cannot read the bound address: {e}"))?;
-    let registry = busytime_server::Registry::new(shards);
+    let data_dir = durability.as_ref().map(|config| config.data_dir.clone());
+    let registry = busytime_server::Registry::with_durability(shards, durability)
+        .map_err(|e| format!("cannot open the data directory: {e}"))?;
     let engine = registry.engine();
-    println!(
-        "busytime-server listening on {local} with {} shard(s)",
-        engine.shard_count()
-    );
+    match data_dir {
+        Some(dir) => println!(
+            "busytime-server listening on {local} with {} shard(s), journaling to {}",
+            engine.shard_count(),
+            dir.display()
+        ),
+        None => println!(
+            "busytime-server listening on {local} with {} shard(s)",
+            engine.shard_count()
+        ),
+    }
     busytime_server::serve(listener, engine).map_err(|e| format!("server error: {e}"))
+}
+
+/// `busytime fsck`: validate a durability data directory offline.
+///
+/// Walks every tenant under `data_dir` exactly the way server recovery would:
+/// the newest generation's snapshot must parse and restore, every journal frame
+/// must carry a valid CRC, and every journal record must replay onto the
+/// restored scheduler.  The report lists per-tenant replayable event counts.
+/// Any corruption turns the whole report into an error (nonzero process exit),
+/// so scripts can gate a restart on a clean check.
+pub fn run_fsck(data_dir: &str) -> Result<CommandOutput, String> {
+    if !std::path::Path::new(data_dir).is_dir() {
+        return Err(format!("{data_dir} is not a directory"));
+    }
+    let store = busytime_durability::Store::open(data_dir, 1)
+        .map_err(|e| format!("cannot open {data_dir}: {e}"))?;
+    let names = store
+        .tenant_names()
+        .map_err(|e| format!("cannot list the tenants in {data_dir}: {e}"))?;
+    let mut lines = vec![format!("fsck {data_dir}: {} tenant(s)", names.len())];
+    let mut corrupt = 0usize;
+    for name in &names {
+        match fsck_tenant(&store, name) {
+            Ok(summary) => lines.push(format!("  tenant '{name}': {summary}")),
+            Err(problem) => {
+                corrupt += 1;
+                lines.push(format!("  tenant '{name}': CORRUPT: {problem}"));
+            }
+        }
+    }
+    let report = lines.join("\n");
+    if corrupt > 0 {
+        Err(format!("{report}\nfsck found {corrupt} corrupt tenant(s)"))
+    } else {
+        Ok(CommandOutput {
+            report,
+            file_payload: None,
+        })
+    }
+}
+
+/// Check one tenant's newest generation: snapshot restores, journal scans
+/// clean, every record replays.  Returns the per-tenant report line, or the
+/// problem that makes the tenant corrupt.
+fn fsck_tenant(store: &busytime_durability::Store, name: &str) -> Result<String, String> {
+    let inspection = store
+        .inspect_tenant(name)
+        .map_err(|e| format!("cannot inspect the tenant directory: {e}"))?;
+    let Some(generation) = inspection.generations.first().copied() else {
+        return Err("no snapshot/journal generations on disk".to_string());
+    };
+    let snapshot_json = inspection.snapshot_json.ok_or_else(|| {
+        format!(
+            "generation {generation} snapshot is unreadable: {}",
+            inspection
+                .snapshot_error
+                .unwrap_or_else(|| "unknown error".to_string())
+        )
+    })?;
+    let snapshot: busytime::OnlineSnapshot = serde_json::from_str(&snapshot_json)
+        .map_err(|e| format!("generation {generation} snapshot does not parse: {e}"))?;
+    let mut scheduler = busytime::OnlineScheduler::restore(&snapshot)
+        .map_err(|e| format!("generation {generation} snapshot does not restore: {e}"))?;
+    let scan = inspection
+        .scan
+        .ok_or_else(|| "the generation has no journal scan".to_string())?;
+    let total = scan.records.len();
+    let mut replayed = 0usize;
+    for record in &scan.records {
+        fsck_replay(&mut scheduler, name, record).map_err(|problem| {
+            format!(
+                "journal record {replayed} does not replay ({problem}); \
+                 {replayed} of {total} event(s) replayable"
+            )
+        })?;
+        replayed += 1;
+    }
+    if let Some(corruption) = &scan.corruption {
+        return Err(format!(
+            "journal is damaged ({corruption}); {replayed} replayable event(s) precede the damage"
+        ));
+    }
+    Ok(format!(
+        "generation {generation}, snapshot ok, {replayed} replayable journal event(s), \
+         {} live job(s) after replay",
+        scheduler.live_jobs().count()
+    ))
+}
+
+/// Parse one journal record as a wire request and apply it to the scheduler.
+fn fsck_replay(
+    scheduler: &mut busytime::OnlineScheduler,
+    name: &str,
+    record: &[u8],
+) -> Result<(), String> {
+    let text = std::str::from_utf8(record).map_err(|e| format!("record is not UTF-8: {e}"))?;
+    let event = match busytime_server::Request::from_json(text)? {
+        busytime_server::Request::Arrive { tenant, id, job } if tenant == name => {
+            let interval = Interval::try_new(Time::new(job.0), Time::new(job.1))
+                .map_err(|_| format!("job window [{}, {}) is empty", job.0, job.1))?;
+            Event::arrival(id, interval)
+        }
+        busytime_server::Request::Depart { tenant, id } if tenant == name => Event::departure(id),
+        other => return Err(format!("unexpected '{}' record", other.op())),
+    };
+    scheduler
+        .apply(&event)
+        .map(|_| ())
+        .map_err(|e| e.to_string())
 }
 
 /// Workload classes understood by `busytime generate`.

@@ -10,9 +10,11 @@
 //!                   [--output simulation.json]
 //! busytime generate --class <clique|one-sided|proper|proper-clique|general|cloud|optical>
 //!                   --jobs N --capacity G [--seed S] [--output instance.json]
-//! busytime serve [--addr HOST:PORT] [--shards N]
+//! busytime serve [--addr HOST:PORT] [--shards N] [--data-dir PATH]
+//!                [--fsync-batch N] [--compact-every N]
 //! busytime client <trace.json> --tenant NAME [--addr HOST:PORT] [--policy POLICY]
 //!                 [--output report.json]
+//! busytime fsck <data-dir>
 //! ```
 //!
 //! Instances are JSON files of the form `{"capacity": 3, "jobs": [[0, 10], [2, 12]]}`;
@@ -29,16 +31,17 @@
 use busytime::online::OnlinePolicy;
 use busytime::Algorithm;
 use busytime_cli::{
-    run_batch, run_client, run_generate, run_serve, run_simulate, run_solve, run_throughput,
-    BatchFile, CommandOutput, InstanceFile, SolveOptions, TraceFile, WorkloadClass,
+    run_batch, run_client, run_fsck, run_generate, run_serve, run_simulate, run_solve,
+    run_throughput, BatchFile, CommandOutput, InstanceFile, SolveOptions, TraceFile, WorkloadClass,
 };
+use busytime_server::DurabilityConfig;
 
 /// Default host:port of `serve` and `client` (loopback; pass `--addr` to change).
 const DEFAULT_ADDR: &str = "127.0.0.1:7878";
 
 fn usage() -> ! {
     eprintln!(
-        "usage:\n  busytime solve <instance.json> [--algorithm NAME] [--exact-only] [--output schedule.json]\n  busytime throughput <instance.json> --budget T [--algorithm NAME] [--exact-only] [--output schedule.json]\n  busytime batch <instances.json> [--budget T] [--threads N] [--algorithm NAME] [--exact-only] [--output results.json]\n  busytime simulate <trace.json> [--policy POLICY] [--output simulation.json]\n  busytime generate --class CLASS --jobs N --capacity G [--seed S] [--output instance.json]\n  busytime serve [--addr HOST:PORT] [--shards N]\n  busytime client <trace.json> --tenant NAME [--addr HOST:PORT] [--policy POLICY] [--output report.json]"
+        "usage:\n  busytime solve <instance.json> [--algorithm NAME] [--exact-only] [--output schedule.json]\n  busytime throughput <instance.json> --budget T [--algorithm NAME] [--exact-only] [--output schedule.json]\n  busytime batch <instances.json> [--budget T] [--threads N] [--algorithm NAME] [--exact-only] [--output results.json]\n  busytime simulate <trace.json> [--policy POLICY] [--output simulation.json]\n  busytime generate --class CLASS --jobs N --capacity G [--seed S] [--output instance.json]\n  busytime serve [--addr HOST:PORT] [--shards N] [--data-dir PATH] [--fsync-batch N] [--compact-every N]\n  busytime client <trace.json> --tenant NAME [--addr HOST:PORT] [--policy POLICY] [--output report.json]\n  busytime fsck <data-dir>"
     );
     std::process::exit(2);
 }
@@ -264,6 +267,9 @@ fn main() {
         "serve" => {
             let mut addr = DEFAULT_ADDR.to_string();
             let mut shards = std::thread::available_parallelism().map_or(1, |n| n.get());
+            let mut data_dir: Option<String> = None;
+            let mut fsync_batch: Option<usize> = None;
+            let mut compact_every: Option<u64> = None;
             let mut it = args[1..].iter();
             while let Some(arg) = it.next() {
                 match arg.as_str() {
@@ -275,13 +281,59 @@ fn main() {
                             .filter(|&n| n > 0)
                             .unwrap_or_else(|| usage())
                     }
+                    "--data-dir" => data_dir = Some(it.next().cloned().unwrap_or_else(|| usage())),
+                    "--fsync-batch" => {
+                        fsync_batch = Some(
+                            it.next()
+                                .and_then(|v| v.parse().ok())
+                                .filter(|&n| n > 0)
+                                .unwrap_or_else(|| usage()),
+                        )
+                    }
+                    "--compact-every" => {
+                        compact_every = Some(
+                            it.next()
+                                .and_then(|v| v.parse().ok())
+                                .filter(|&n| n > 0)
+                                .unwrap_or_else(|| usage()),
+                        )
+                    }
                     _ => usage(),
                 }
             }
-            if let Err(e) = run_serve(&addr, shards) {
+            let durability = match data_dir {
+                Some(dir) => {
+                    let mut config = DurabilityConfig::new(dir);
+                    if let Some(batch) = fsync_batch {
+                        config.fsync_batch = batch;
+                    }
+                    if let Some(threshold) = compact_every {
+                        config.compact_threshold = threshold;
+                    }
+                    Some(config)
+                }
+                None if fsync_batch.is_some() || compact_every.is_some() => {
+                    eprintln!("--fsync-batch and --compact-every need --data-dir");
+                    std::process::exit(2);
+                }
+                None => None,
+            };
+            if let Err(e) = run_serve(&addr, shards, durability) {
                 eprintln!("error: {e}");
                 std::process::exit(1);
             }
+        }
+        "fsck" => {
+            let mut data_dir: Option<String> = None;
+            for arg in &args[1..] {
+                match arg.as_str() {
+                    other if data_dir.is_none() && !other.starts_with('-') => {
+                        data_dir = Some(other.to_string())
+                    }
+                    _ => usage(),
+                }
+            }
+            finish(run_fsck(&data_dir.unwrap_or_else(|| usage())), None);
         }
         "client" => {
             let mut trace_path: Option<String> = None;

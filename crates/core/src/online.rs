@@ -338,6 +338,15 @@ impl OnlineScheduler {
         self.departures
     }
 
+    /// Total events applied so far (arrivals + departures).  Durable recovery
+    /// uses this as the replay position: a scheduler restored from a snapshot
+    /// and replayed through a journal tail reports the same total as the
+    /// uninterrupted run, so the counter doubles as a cross-check that no
+    /// logged event was dropped.
+    pub fn events(&self) -> usize {
+        self.arrivals + self.departures
+    }
+
     /// The machine pools behind the scheduler (one for the unbucketed policies, one
     /// per touched length bucket for [`OnlinePolicy::BucketByLength`]).  Exposed for
     /// the churn-fuzz suite, which cross-checks every pool's incremental index state

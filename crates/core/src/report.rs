@@ -108,7 +108,7 @@ impl SimulationReport {
         SimulationReport {
             policy: scheduler.policy().name().to_string(),
             capacity: scheduler.capacity(),
-            events: scheduler.arrivals() + scheduler.departures(),
+            events: scheduler.events(),
             arrivals: scheduler.arrivals(),
             departures: scheduler.departures(),
             final_cost: scheduler.cost().ticks(),

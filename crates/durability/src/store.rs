@@ -1,0 +1,647 @@
+//! Generation-based per-tenant persistence on top of the journal.
+//!
+//! Each tenant owns one directory under the store root (its name
+//! percent-encoded to stay filesystem-safe), holding exactly one live
+//! *generation*: a `snapshot.<gen>.json` baseline plus a `journal.<gen>.log`
+//! tail of events applied since that baseline.  Compaction writes the next
+//! generation's snapshot atomically (temp file + rename), starts an empty
+//! journal, and deletes the superseded generation; recovery picks the
+//! highest generation whose snapshot restores and replays its journal tail.
+
+use std::fmt::Display;
+use std::fs;
+use std::io::{self, Write};
+use std::path::{Path, PathBuf};
+
+use crate::frame::{scan_journal, Corruption, Journal};
+
+/// Encode a tenant name into a filesystem-safe directory name.  ASCII
+/// alphanumerics, `-` and `_` pass through; every other byte becomes `%XX`.
+pub fn encode_tenant_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len());
+    for byte in name.bytes() {
+        match byte {
+            b'a'..=b'z' | b'A'..=b'Z' | b'0'..=b'9' | b'-' | b'_' => out.push(byte as char),
+            other => out.push_str(&format!("%{other:02X}")),
+        }
+    }
+    out
+}
+
+/// Decode a directory name produced by [`encode_tenant_name`].  Returns
+/// `None` for names that are not valid encodings (stray files in the data
+/// directory are skipped, not fatal).
+pub fn decode_tenant_name(encoded: &str) -> Option<String> {
+    let bytes = encoded.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'%' => {
+                let hex = bytes.get(i + 1..i + 3)?;
+                let hex = std::str::from_utf8(hex).ok()?;
+                out.push(u8::from_str_radix(hex, 16).ok()?);
+                i += 3;
+            }
+            b @ (b'a'..=b'z' | b'A'..=b'Z' | b'0'..=b'9' | b'-' | b'_') => {
+                out.push(b);
+                i += 1;
+            }
+            _ => return None,
+        }
+    }
+    String::from_utf8(out).ok()
+}
+
+/// Path of a generation's snapshot file inside a tenant directory.
+pub fn snapshot_path(dir: &Path, generation: u64) -> PathBuf {
+    dir.join(format!("snapshot.{generation}.json"))
+}
+
+/// Path of a generation's journal file inside a tenant directory.
+pub fn journal_path(dir: &Path, generation: u64) -> PathBuf {
+    dir.join(format!("journal.{generation}.log"))
+}
+
+/// Every generation with a snapshot file present in `dir`, sorted descending
+/// (newest first).  A missing directory lists as empty.
+pub fn list_generations(dir: &Path) -> io::Result<Vec<u64>> {
+    let entries = match fs::read_dir(dir) {
+        Ok(entries) => entries,
+        Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(Vec::new()),
+        Err(e) => return Err(e),
+    };
+    let mut generations = Vec::new();
+    for entry in entries {
+        let entry = entry?;
+        let name = entry.file_name();
+        let Some(name) = name.to_str() else { continue };
+        if let Some(gen) = name
+            .strip_prefix("snapshot.")
+            .and_then(|rest| rest.strip_suffix(".json"))
+            .and_then(|gen| gen.parse::<u64>().ok())
+        {
+            generations.push(gen);
+        }
+    }
+    generations.sort_unstable_by(|a, b| b.cmp(a));
+    Ok(generations)
+}
+
+/// Stage `contents` for an atomic write: the bytes land fsynced in a temp
+/// file next to `path`, to be committed later by [`commit_staged`].
+fn stage_write(path: &Path, contents: &[u8]) -> io::Result<PathBuf> {
+    let tmp = path.with_extension("tmp");
+    let mut file = fs::File::create(&tmp)?;
+    file.write_all(contents)?;
+    file.sync_data()?;
+    Ok(tmp)
+}
+
+/// Commit a staged write: rename the temp file over the destination, so a
+/// crash leaves either the old file or the new one, never a torn hybrid.
+fn commit_staged(tmp: &Path, path: &Path) -> io::Result<()> {
+    fs::rename(tmp, path)?;
+    // Persist the rename itself; failures here are ignored on filesystems
+    // that refuse to fsync a directory handle.
+    if let Some(parent) = path.parent() {
+        if let Ok(dir) = fs::File::open(parent) {
+            let _ = dir.sync_all();
+        }
+    }
+    Ok(())
+}
+
+/// Delete every snapshot/journal/temp file in `dir` that does not belong to
+/// generation `keep`.  Best effort: removal errors are ignored (a leftover
+/// stale file is harmless once the live generation is newer).
+fn remove_other_generations(dir: &Path, keep: u64) {
+    let Ok(entries) = fs::read_dir(dir) else {
+        return;
+    };
+    for entry in entries.flatten() {
+        let name = entry.file_name();
+        let Some(name) = name.to_str() else { continue };
+        let stale_snapshot = name
+            .strip_prefix("snapshot.")
+            .and_then(|rest| rest.strip_suffix(".json"))
+            .and_then(|gen| gen.parse::<u64>().ok())
+            .is_some_and(|gen| gen != keep);
+        let stale_journal = name
+            .strip_prefix("journal.")
+            .and_then(|rest| rest.strip_suffix(".log"))
+            .and_then(|gen| gen.parse::<u64>().ok())
+            .is_some_and(|gen| gen != keep);
+        let temp = name.ends_with(".tmp");
+        if stale_snapshot || stale_journal || temp {
+            let _ = fs::remove_file(entry.path());
+        }
+    }
+}
+
+/// Live write-ahead state for one tenant: the current generation's snapshot
+/// baseline plus its append-only journal.
+#[derive(Debug)]
+pub struct TenantLog {
+    dir: PathBuf,
+    generation: u64,
+    snapshot_bytes: u64,
+    journal: Journal,
+    fsync_batch: usize,
+}
+
+/// Counters describing a tenant's on-disk write-ahead state, as reported by
+/// the `wal_stats` server operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WalStats {
+    /// The live generation number (bumped by every snapshot/compaction).
+    pub generation: u64,
+    /// Records in the journal tail since the last snapshot.
+    pub log_records: u64,
+    /// Journal size in bytes, framing included.
+    pub log_bytes: u64,
+    /// Size of the baseline snapshot in bytes.
+    pub snapshot_bytes: u64,
+}
+
+impl TenantLog {
+    /// Start a generation: atomically write its snapshot, create an empty
+    /// journal, and delete superseded generations.  Used for tenant creation
+    /// (`open`/`restore`) and as the back half of compaction.
+    ///
+    /// The snapshot rename is the commit point and runs *last*: any earlier
+    /// failure (or a crash) leaves at most stray `.tmp`/journal files while
+    /// the previous generation stays canonical, so a failed `begin` never
+    /// strands events appended to the previous generation's journal.
+    pub fn begin(
+        dir: impl Into<PathBuf>,
+        generation: u64,
+        snapshot_json: &str,
+        fsync_batch: usize,
+    ) -> io::Result<TenantLog> {
+        let dir = dir.into();
+        fs::create_dir_all(&dir)?;
+        let destination = snapshot_path(&dir, generation);
+        let staged = stage_write(&destination, snapshot_json.as_bytes())?;
+        let journal = Journal::create(journal_path(&dir, generation), fsync_batch)?;
+        commit_staged(&staged, &destination)?;
+        remove_other_generations(&dir, generation);
+        Ok(TenantLog {
+            dir,
+            generation,
+            snapshot_bytes: snapshot_json.len() as u64,
+            journal,
+            fsync_batch,
+        })
+    }
+
+    /// Append one event record to the journal (group-committed).
+    pub fn append(&mut self, record: &[u8]) -> io::Result<()> {
+        self.journal.append(record)
+    }
+
+    /// Flush batched appends to stable storage.
+    pub fn sync(&mut self) -> io::Result<()> {
+        self.journal.sync()
+    }
+
+    /// Compact: make `snapshot_json` the next generation's baseline and start
+    /// an empty journal, retiring the current journal tail.  O(snapshot), not
+    /// O(journal length).
+    pub fn compact(&mut self, snapshot_json: &str) -> io::Result<()> {
+        *self = TenantLog::begin(
+            self.dir.clone(),
+            self.generation + 1,
+            snapshot_json,
+            self.fsync_batch,
+        )?;
+        Ok(())
+    }
+
+    /// Current on-disk counters.
+    pub fn stats(&self) -> WalStats {
+        WalStats {
+            generation: self.generation,
+            log_records: self.journal.records(),
+            log_bytes: self.journal.bytes(),
+            snapshot_bytes: self.snapshot_bytes,
+        }
+    }
+
+    /// The tenant directory this log writes into.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// The live generation number.
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+}
+
+/// A tenant rebuilt from disk: the restored baseline value, the journal tail
+/// to replay on top of it, and the log reopened for further appends.
+#[derive(Debug)]
+pub struct Recovered<T> {
+    /// The value the caller's `restore` closure produced from the chosen
+    /// snapshot.
+    pub value: T,
+    /// The generation the tenant recovered from.
+    pub generation: u64,
+    /// Journal records appended after that snapshot, in order; the caller
+    /// replays these through its normal apply path.
+    pub records: Vec<Vec<u8>>,
+    /// The tenant's log, truncated past any corruption and open for append.
+    pub log: TenantLog,
+    /// Journal corruption found (and repaired by truncation), if any.
+    pub corruption: Option<Corruption>,
+    /// Human-readable recovery anomalies: skipped unreadable generations,
+    /// the corruption description, etc.
+    pub notes: Vec<String>,
+}
+
+/// Handle on a data directory holding one subdirectory per tenant.
+#[derive(Debug, Clone)]
+pub struct Store {
+    root: PathBuf,
+    fsync_batch: usize,
+}
+
+impl Store {
+    /// Open (creating if needed) a store rooted at `root`.  `fsync_batch` is
+    /// the group-commit size every tenant journal uses: 1 = fsync per event,
+    /// larger values amortize the flush over that many appends.
+    pub fn open(root: impl Into<PathBuf>, fsync_batch: usize) -> io::Result<Store> {
+        let root = root.into();
+        fs::create_dir_all(&root)?;
+        Ok(Store {
+            root,
+            fsync_batch: fsync_batch.max(1),
+        })
+    }
+
+    /// The store's root directory.
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    /// The configured group-commit batch size.
+    pub fn fsync_batch(&self) -> usize {
+        self.fsync_batch
+    }
+
+    /// The directory a tenant's generations live in.
+    pub fn tenant_dir(&self, name: &str) -> PathBuf {
+        self.root.join(encode_tenant_name(name))
+    }
+
+    /// Every tenant with a directory in the store, sorted by name.  Entries
+    /// that do not decode as tenant names are skipped.
+    pub fn tenant_names(&self) -> io::Result<Vec<String>> {
+        let mut names = Vec::new();
+        for entry in fs::read_dir(&self.root)? {
+            let entry = entry?;
+            if !entry.file_type()?.is_dir() {
+                continue;
+            }
+            let encoded = entry.file_name();
+            if let Some(name) = encoded.to_str().and_then(decode_tenant_name) {
+                names.push(name);
+            }
+        }
+        names.sort_unstable();
+        Ok(names)
+    }
+
+    /// Begin durable state for a tenant with `snapshot_json` as its baseline.
+    /// If generations already exist (an `open` racing a crashed `close`, or a
+    /// `restore` over live state) the new generation supersedes them.
+    pub fn begin_tenant(&self, name: &str, snapshot_json: &str) -> io::Result<TenantLog> {
+        let dir = self.tenant_dir(name);
+        let next = list_generations(&dir)?.first().map_or(0, |gen| gen + 1);
+        TenantLog::begin(dir, next, snapshot_json, self.fsync_batch)
+    }
+
+    /// Remove a tenant's durable state entirely (the `close` operation).
+    /// Missing directories are fine — removal is idempotent.
+    pub fn remove_tenant(&self, name: &str) -> io::Result<()> {
+        match fs::remove_dir_all(self.tenant_dir(name)) {
+            Ok(()) => Ok(()),
+            Err(e) if e.kind() == io::ErrorKind::NotFound => Ok(()),
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Rebuild a tenant from disk.  Tries generations newest-first; the first
+    /// snapshot the `restore` closure accepts wins, its journal is scanned
+    /// (truncating a torn or corrupt tail in place), and older or unreadable
+    /// generations are deleted.  Fails with `InvalidData` when no generation
+    /// restores — the caller decides whether that aborts startup (it should
+    /// not; skip the tenant and keep serving the rest).
+    pub fn load_tenant<T, E: Display>(
+        &self,
+        name: &str,
+        mut restore: impl FnMut(&str) -> Result<T, E>,
+    ) -> io::Result<Recovered<T>> {
+        let dir = self.tenant_dir(name);
+        let generations = list_generations(&dir)?;
+        if generations.is_empty() {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("tenant '{name}' has no snapshot on disk"),
+            ));
+        }
+        let mut notes = Vec::new();
+        for generation in generations {
+            let snapshot_file = snapshot_path(&dir, generation);
+            let snapshot_json = match fs::read_to_string(&snapshot_file) {
+                Ok(json) => json,
+                Err(e) => {
+                    notes.push(format!("generation {generation}: unreadable snapshot: {e}"));
+                    continue;
+                }
+            };
+            let value = match restore(&snapshot_json) {
+                Ok(value) => value,
+                Err(e) => {
+                    notes.push(format!("generation {generation}: snapshot rejected: {e}"));
+                    continue;
+                }
+            };
+            let (journal, scan) =
+                Journal::recover(journal_path(&dir, generation), self.fsync_batch)?;
+            if let Some(corruption) = &scan.corruption {
+                notes.push(format!(
+                    "generation {generation}: {corruption}; truncated journal to {} intact record(s)",
+                    scan.records.len()
+                ));
+            }
+            // The chosen generation is now canonical: stale newer generations
+            // with rejected snapshots must not shadow it on the next boot.
+            remove_other_generations(&dir, generation);
+            return Ok(Recovered {
+                value,
+                generation,
+                records: scan.records,
+                log: TenantLog {
+                    dir,
+                    generation,
+                    snapshot_bytes: snapshot_json.len() as u64,
+                    journal,
+                    fsync_batch: self.fsync_batch,
+                },
+                corruption: scan.corruption,
+                notes,
+            });
+        }
+        Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!(
+                "tenant '{name}': no generation restores ({})",
+                notes.join("; ")
+            ),
+        ))
+    }
+
+    /// Read-only health report for a tenant, used by `fsck`: generation
+    /// inventory, snapshot bytes, and a journal scan.  Unlike
+    /// [`Store::load_tenant`] this never truncates or deletes anything.
+    pub fn inspect_tenant(&self, name: &str) -> io::Result<TenantInspection> {
+        let dir = self.tenant_dir(name);
+        let generations = list_generations(&dir)?;
+        let newest = generations.first().copied();
+        let (snapshot_json, snapshot_error) = match newest {
+            Some(gen) => match fs::read_to_string(snapshot_path(&dir, gen)) {
+                Ok(json) => (Some(json), None),
+                Err(e) => (None, Some(e.to_string())),
+            },
+            None => (None, Some("no snapshot file".to_string())),
+        };
+        let scan = match newest {
+            Some(gen) => Some(scan_journal(&journal_path(&dir, gen))?),
+            None => None,
+        };
+        Ok(TenantInspection {
+            generations,
+            snapshot_json,
+            snapshot_error,
+            scan,
+        })
+    }
+}
+
+/// What [`Store::inspect_tenant`] found on disk for one tenant.
+#[derive(Debug)]
+pub struct TenantInspection {
+    /// All generations present, newest first.
+    pub generations: Vec<u64>,
+    /// Contents of the newest generation's snapshot, if readable.
+    pub snapshot_json: Option<String>,
+    /// Why the snapshot could not be read, if it couldn't.
+    pub snapshot_error: Option<String>,
+    /// Scan of the newest generation's journal (`None` when the tenant has
+    /// no generations at all).
+    pub scan: Option<crate::frame::JournalScan>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_store(name: &str) -> Store {
+        let root = std::env::temp_dir().join(format!(
+            "busytime-durability-store-{}-{name}",
+            std::process::id()
+        ));
+        let _ = fs::remove_dir_all(&root);
+        Store::open(root, 1).unwrap()
+    }
+
+    fn cleanup(store: Store) {
+        let _ = fs::remove_dir_all(store.root());
+    }
+
+    #[test]
+    fn tenant_name_encoding_round_trips() {
+        for name in [
+            "plain",
+            "has space",
+            "sl/ash",
+            "dots.and%percent",
+            "ünïcode",
+            "",
+        ] {
+            let encoded = encode_tenant_name(name);
+            assert!(
+                encoded
+                    .bytes()
+                    .all(|b| b.is_ascii_alphanumeric() || b == b'-' || b == b'_' || b == b'%'),
+                "encoding of {name:?} is not filesystem-safe: {encoded}"
+            );
+            assert_eq!(decode_tenant_name(&encoded).as_deref(), Some(name));
+        }
+        assert_eq!(decode_tenant_name("not!encoded"), None);
+        assert_eq!(decode_tenant_name("trailing%4"), None);
+    }
+
+    #[test]
+    fn begin_append_load_round_trips() {
+        let store = temp_store("round-trip");
+        let mut log = store.begin_tenant("acme", "{\"state\":0}").unwrap();
+        log.append(b"event-1").unwrap();
+        log.append(b"event-2").unwrap();
+        log.sync().unwrap();
+        drop(log);
+
+        let recovered = store
+            .load_tenant("acme", |json| Ok::<_, String>(json.to_string()))
+            .unwrap();
+        assert_eq!(recovered.value, "{\"state\":0}");
+        assert_eq!(recovered.generation, 0);
+        assert_eq!(
+            recovered.records,
+            vec![b"event-1".to_vec(), b"event-2".to_vec()]
+        );
+        assert!(recovered.corruption.is_none());
+        cleanup(store);
+    }
+
+    #[test]
+    fn compaction_bumps_generation_and_drops_tail() {
+        let store = temp_store("compact");
+        let mut log = store.begin_tenant("acme", "base-0").unwrap();
+        log.append(b"one").unwrap();
+        log.compact("base-1").unwrap();
+        assert_eq!(log.generation(), 1);
+        assert_eq!(log.stats().log_records, 0);
+        log.append(b"two").unwrap();
+        log.sync().unwrap();
+        drop(log);
+
+        // Only the new generation survives on disk.
+        let dir = store.tenant_dir("acme");
+        assert_eq!(list_generations(&dir).unwrap(), vec![1]);
+        let recovered = store
+            .load_tenant("acme", |json| Ok::<_, String>(json.to_string()))
+            .unwrap();
+        assert_eq!(recovered.value, "base-1");
+        assert_eq!(recovered.records, vec![b"two".to_vec()]);
+        cleanup(store);
+    }
+
+    #[test]
+    fn rejected_newest_snapshot_falls_back_to_older_generation() {
+        let store = temp_store("fallback");
+        let mut log = store.begin_tenant("acme", "good").unwrap();
+        log.append(b"tail").unwrap();
+        log.sync().unwrap();
+        // Fake a newer generation with a snapshot the restorer rejects,
+        // mimicking a crash that left a corrupt compaction output.
+        let dir = store.tenant_dir("acme");
+        fs::write(snapshot_path(&dir, 1), "corrupt").unwrap();
+        drop(log);
+
+        let recovered = store
+            .load_tenant("acme", |json| {
+                if json == "good" {
+                    Ok(json.to_string())
+                } else {
+                    Err("unparseable".to_string())
+                }
+            })
+            .unwrap();
+        assert_eq!(recovered.value, "good");
+        assert_eq!(recovered.generation, 0);
+        assert_eq!(recovered.records, vec![b"tail".to_vec()]);
+        assert!(recovered.notes.iter().any(|n| n.contains("generation 1")));
+        // The corrupt newer generation was cleaned up.
+        assert_eq!(list_generations(&dir).unwrap(), vec![0]);
+        cleanup(store);
+    }
+
+    #[test]
+    fn load_truncates_torn_journal_tail() {
+        let store = temp_store("torn");
+        let mut log = store.begin_tenant("acme", "base").unwrap();
+        log.append(b"whole").unwrap();
+        log.append(b"torn!").unwrap();
+        log.sync().unwrap();
+        let journal_file = journal_path(&store.tenant_dir("acme"), 0);
+        drop(log);
+        let len = fs::metadata(&journal_file).unwrap().len();
+        let file = fs::OpenOptions::new()
+            .write(true)
+            .open(&journal_file)
+            .unwrap();
+        file.set_len(len - 3).unwrap();
+        drop(file);
+
+        let recovered = store
+            .load_tenant("acme", |json| Ok::<_, String>(json.to_string()))
+            .unwrap();
+        assert_eq!(recovered.records, vec![b"whole".to_vec()]);
+        assert!(recovered.corruption.is_some());
+        // Truncation is persisted: a second load sees a clean journal.
+        let again = store
+            .load_tenant("acme", |json| Ok::<_, String>(json.to_string()))
+            .unwrap();
+        assert!(again.corruption.is_none());
+        assert_eq!(again.records, vec![b"whole".to_vec()]);
+        cleanup(store);
+    }
+
+    #[test]
+    fn remove_tenant_is_idempotent_and_listing_skips_strays() {
+        let store = temp_store("remove");
+        store.begin_tenant("keep", "s").unwrap();
+        store.begin_tenant("drop", "s").unwrap();
+        fs::create_dir_all(store.root().join("not!a!tenant")).unwrap();
+        fs::write(store.root().join("stray-file"), "x").unwrap();
+        store.remove_tenant("drop").unwrap();
+        store.remove_tenant("drop").unwrap();
+        assert_eq!(store.tenant_names().unwrap(), vec!["keep".to_string()]);
+        cleanup(store);
+    }
+
+    #[test]
+    fn begin_tenant_over_existing_state_supersedes_it() {
+        let store = temp_store("supersede");
+        let mut log = store.begin_tenant("acme", "old").unwrap();
+        log.append(b"stale").unwrap();
+        log.sync().unwrap();
+        drop(log);
+        // A restore over live state starts a fresh generation.
+        let log = store.begin_tenant("acme", "new").unwrap();
+        assert_eq!(log.generation(), 1);
+        drop(log);
+        let recovered = store
+            .load_tenant("acme", |json| Ok::<_, String>(json.to_string()))
+            .unwrap();
+        assert_eq!(recovered.value, "new");
+        assert!(recovered.records.is_empty());
+        cleanup(store);
+    }
+
+    #[test]
+    fn inspect_is_read_only() {
+        let store = temp_store("inspect");
+        let mut log = store.begin_tenant("acme", "base").unwrap();
+        log.append(b"rec").unwrap();
+        log.sync().unwrap();
+        let journal_file = journal_path(&store.tenant_dir("acme"), 0);
+        drop(log);
+        let before = fs::read(&journal_file).unwrap();
+        // Corrupt the tail, inspect, and confirm the file is untouched.
+        let mut bytes = before.clone();
+        bytes.push(0xff);
+        fs::write(&journal_file, &bytes).unwrap();
+        let inspection = store.inspect_tenant("acme").unwrap();
+        assert_eq!(inspection.generations, vec![0]);
+        assert!(inspection.snapshot_json.is_some());
+        let scan = inspection.scan.unwrap();
+        assert!(!scan.is_clean());
+        assert_eq!(scan.records.len(), 1);
+        assert_eq!(fs::read(&journal_file).unwrap(), bytes);
+        cleanup(store);
+    }
+}

@@ -31,6 +31,14 @@
 //! restored scheduler's future decisions match the never-snapshotted run exactly
 //! (pinned by the snapshot oracle tests).
 //!
+//! **Durability** is opt-in: [`Registry::with_durability`] points the registry at a
+//! data directory and every shard then journals applied mutations through the
+//! `busytime-durability` write-ahead log before acknowledging them, rebuilds its
+//! tenants from disk at startup, and compacts each tenant's log behind a snapshot
+//! once it crosses a threshold.  `{"op": "persist"}` forces a compaction,
+//! `{"op": "wal_stats"}` reads the log counters.  Without a config the registry is
+//! byte-for-byte the in-memory server it always was.
+//!
 //! ```
 //! use busytime_server::{Engine, Registry, Request, Response};
 //!
@@ -62,5 +70,5 @@ pub mod registry;
 pub mod server;
 
 pub use protocol::{BatchInstance, BatchOutcome, Request, Response};
-pub use registry::{Engine, Registry};
+pub use registry::{DurabilityConfig, Engine, Registry};
 pub use server::{serve, Client};

@@ -16,6 +16,7 @@
 
 use busytime::online::{Event, OnlineSnapshot};
 use busytime::report::{ScheduleReport, SimulationReport};
+use busytime_durability::WalStats;
 use serde::{Deserialize, Error, Serialize, Value};
 
 /// Build a JSON object from `(key, value)` pairs.
@@ -100,6 +101,17 @@ pub enum Request {
         /// The tenant.
         tenant: String,
     },
+    /// Force a snapshot + log compaction for the tenant now (durable servers
+    /// only).  Responds with the post-compaction [`Response::Wal`] counters.
+    Persist {
+        /// The tenant.
+        tenant: String,
+    },
+    /// Read the tenant's write-ahead-log counters (durable servers only).
+    WalStats {
+        /// The tenant.
+        tenant: String,
+    },
     /// Solve a batch of offline instances through `Solver::solve_batch` on the
     /// work-stealing pool (MaxThroughput under `budget` when given, MinBusy
     /// otherwise).  Not tenant-scoped: batches run beside the shards.
@@ -131,6 +143,33 @@ impl Request {
         }
     }
 
+    /// The wire JSON of [`Request::from_event`], formatted directly.
+    ///
+    /// This is the write-ahead log's record format, serialized on every applied
+    /// mutation on a shard's hot path — formatting the two event shapes by hand
+    /// skips the generic value-tree serializer (about 5x less time per record).
+    /// A unit test pins it byte-for-byte to `from_event(...).to_json()`.
+    pub fn event_record_json(tenant: &str, event: &Event) -> String {
+        let name = serde_json::to_string(tenant).expect("strings always serialize");
+        // Ids travel as `i64` on the wire (the value tree's integer type); the
+        // cast round-trips every `u64` bit pattern and matches the generic
+        // serializer bit for bit.
+        match *event {
+            Event::Arrival { id, interval } => format!(
+                "{{\"op\": \"arrive\",\"tenant\": {name},\"id\": {},\"job\": [{},{}]}}",
+                id as i64,
+                interval.start().ticks(),
+                interval.end().ticks()
+            ),
+            Event::Departure { id } => {
+                format!(
+                    "{{\"op\": \"depart\",\"tenant\": {name},\"id\": {}}}",
+                    id as i64
+                )
+            }
+        }
+    }
+
     /// The request's `"op"` discriminant.
     pub fn op(&self) -> &'static str {
         match self {
@@ -141,6 +180,8 @@ impl Request {
             Request::Snapshot { .. } => "snapshot",
             Request::Restore { .. } => "restore",
             Request::Close { .. } => "close",
+            Request::Persist { .. } => "persist",
+            Request::WalStats { .. } => "wal_stats",
             Request::Batch { .. } => "batch",
             Request::Stats => "stats",
         }
@@ -155,7 +196,9 @@ impl Request {
             | Request::Query { tenant }
             | Request::Snapshot { tenant }
             | Request::Restore { tenant, .. }
-            | Request::Close { tenant } => Some(tenant),
+            | Request::Close { tenant }
+            | Request::Persist { tenant }
+            | Request::WalStats { tenant } => Some(tenant),
             Request::Batch { .. } | Request::Stats => None,
         }
     }
@@ -197,7 +240,9 @@ impl Serialize for Request {
             }
             Request::Query { tenant }
             | Request::Snapshot { tenant }
-            | Request::Close { tenant } => {
+            | Request::Close { tenant }
+            | Request::Persist { tenant }
+            | Request::WalStats { tenant } => {
                 fields.push(("tenant", tenant.serialize()));
             }
             Request::Restore { tenant, snapshot } => {
@@ -242,6 +287,8 @@ impl Deserialize for Request {
                 snapshot: OnlineSnapshot::deserialize(value.field("snapshot")?)?,
             }),
             "close" => Ok(Request::Close { tenant: tenant()? }),
+            "persist" => Ok(Request::Persist { tenant: tenant()? }),
+            "wal_stats" => Ok(Request::WalStats { tenant: tenant()? }),
             "batch" => Ok(Request::Batch {
                 instances: Vec::<BatchInstance>::deserialize(value.field("instances")?)?,
                 budget: optional(value, "budget")?,
@@ -249,7 +296,7 @@ impl Deserialize for Request {
             "stats" => Ok(Request::Stats),
             other => Err(Error::custom(format!(
                 "unknown op '{other}' (expected open, arrive, depart, query, snapshot, \
-                 restore, close, batch or stats)"
+                 restore, close, persist, wal_stats, batch or stats)"
             ))),
         }
     }
@@ -309,6 +356,9 @@ pub enum Response {
     Snapshot(OnlineSnapshot),
     /// A `batch` result: one outcome per instance, in request order.
     Batch(Vec<BatchOutcome>),
+    /// A `persist` or `wal_stats` result: the tenant's on-disk write-ahead
+    /// counters.
+    Wal(WalStats),
     /// A `stats` result: server-wide counters.
     Stats {
         /// Number of worker shards.
@@ -370,6 +420,18 @@ impl Serialize for Response {
                 ("ok", Value::Bool(true)),
                 ("results", outcomes.serialize()),
             ]),
+            Response::Wal(stats) => obj(vec![
+                ("ok", Value::Bool(true)),
+                (
+                    "wal",
+                    obj(vec![
+                        ("generation", stats.generation.serialize()),
+                        ("log_events", stats.log_records.serialize()),
+                        ("log_bytes", stats.log_bytes.serialize()),
+                        ("snapshot_bytes", stats.snapshot_bytes.serialize()),
+                    ]),
+                ),
+            ]),
             Response::Stats {
                 shards,
                 tenants,
@@ -410,6 +472,14 @@ impl Deserialize for Response {
         if let Some(results) = value.get("results") {
             return Ok(Response::Batch(Vec::<BatchOutcome>::deserialize(results)?));
         }
+        if let Some(wal) = value.get("wal") {
+            return Ok(Response::Wal(WalStats {
+                generation: u64::deserialize(wal.field("generation")?)?,
+                log_records: u64::deserialize(wal.field("log_events")?)?,
+                log_bytes: u64::deserialize(wal.field("log_bytes")?)?,
+                snapshot_bytes: u64::deserialize(wal.field("snapshot_bytes")?)?,
+            }));
+        }
         if let Some(shards) = value.get("shards") {
             return Ok(Response::Stats {
                 shards: usize::deserialize(shards)?,
@@ -430,6 +500,29 @@ mod tests {
         assert!(!line.contains('\n'), "wire lines must be single lines");
         let parsed = Request::from_json(&line).unwrap();
         assert_eq!(parsed, request);
+    }
+
+    #[test]
+    fn the_fast_event_record_matches_the_generic_serializer() {
+        use busytime::online::Event;
+        use busytime::{Interval, Time};
+        let window =
+            |s: i64, e: i64| Interval::try_new(Time::new(s), Time::new(e)).expect("non-empty");
+        // Exotic tenant names exercise the string escaping; negative ticks the
+        // number formatting.
+        for tenant in ["acme", "", "a \"quoted\"\\name", "tab\there", "ünïcode"] {
+            for event in [
+                Event::arrival(0, window(0, 10)),
+                Event::arrival(u64::MAX, window(-55, 7)),
+                Event::departure(17),
+            ] {
+                assert_eq!(
+                    Request::event_record_json(tenant, &event),
+                    Request::from_event(tenant, &event).to_json(),
+                    "the hot-path record format drifted from the wire serializer"
+                );
+            }
+        }
     }
 
     #[test]
@@ -460,6 +553,12 @@ mod tests {
             tenant: "acme".into(),
         });
         round_trip(Request::Close {
+            tenant: "acme".into(),
+        });
+        round_trip(Request::Persist {
+            tenant: "acme".into(),
+        });
+        round_trip(Request::WalStats {
             tenant: "acme".into(),
         });
         round_trip(Request::Batch {
@@ -522,6 +621,12 @@ mod tests {
                 tenants: 10,
                 requests: 1234,
             },
+            Response::Wal(WalStats {
+                generation: 2,
+                log_records: 48,
+                log_bytes: 3120,
+                snapshot_bytes: 911,
+            }),
             Response::error("unknown tenant 'x'"),
         ];
         for response in cases {

@@ -18,16 +18,27 @@
 //! connection thread, the in-process tests and benchmarks call it directly.  Batch
 //! solves ([`Request::Batch`]) do not touch the shards at all — they fan out through
 //! [`Solver::solve_batch`] on the work-stealing pool beside them.
+//!
+//! **Durability** is opt-in per registry ([`Registry::with_durability`]): each shard
+//! then writes every applied mutation to its tenant's `busytime-durability` journal
+//! *before* acknowledging it, recovers its tenants from disk at startup (restore the
+//! newest snapshot, replay the journal tail through the same `apply_event` path
+//! requests take), and compacts a tenant's log inline once it crosses the configured
+//! threshold — at most one compaction per applied request, so the shard's tail
+//! latency stays bounded by one snapshot write.  Without a [`DurabilityConfig`] the
+//! registry behaves exactly as before: purely in-memory, byte-identical responses.
 
 use std::collections::HashMap;
 use std::hash::{DefaultHasher, Hash, Hasher};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{mpsc, Arc};
 use std::thread::JoinHandle;
 
-use busytime::online::{Event, OnlineScheduler};
+use busytime::online::{Event, OnlineScheduler, OnlineSnapshot};
 use busytime::report::{ScheduleReport, SimulationReport};
 use busytime::{Duration, Instance, Interval, OnlinePolicy, Problem, Solver, Time};
+use busytime_durability::{Store, TenantLog};
 
 use crate::protocol::{BatchInstance, BatchOutcome, Request, Response};
 
@@ -56,6 +67,62 @@ pub const MAX_CAPACITY: usize = 1 << 20;
 /// ~139 years at nanosecond resolution.
 pub const MAX_ABS_TICK: i64 = 1 << 42;
 
+/// How a durable registry persists its tenants; passed to
+/// [`Registry::with_durability`].
+#[derive(Debug, Clone)]
+pub struct DurabilityConfig {
+    /// Root directory for the store — one subdirectory per tenant, created on
+    /// demand.  Scanned at startup to rebuild every tenant that was open when
+    /// the previous process died.
+    pub data_dir: PathBuf,
+    /// Group-commit size: `fsync` once per this many journal appends.  Every
+    /// append is still `write(2)`-through immediately, so a killed *process*
+    /// loses nothing acknowledged; only a machine crash can cost up to
+    /// `fsync_batch - 1` trailing events.
+    pub fsync_batch: usize,
+    /// Compact a tenant's log (snapshot + truncate) once its journal holds
+    /// this many records.  Compaction runs inline on the shard, at most once
+    /// per applied request, so tail latency is bounded by one snapshot write.
+    pub compact_threshold: u64,
+}
+
+impl DurabilityConfig {
+    /// A config with the default group-commit batch (64) and compaction
+    /// threshold (8192 journal records).
+    pub fn new(data_dir: impl Into<PathBuf>) -> Self {
+        DurabilityConfig {
+            data_dir: data_dir.into(),
+            fsync_batch: 64,
+            compact_threshold: 8192,
+        }
+    }
+}
+
+/// A shard's handle on the durable store plus the compaction policy.
+#[derive(Clone)]
+struct ShardStore {
+    store: Store,
+    compact_threshold: u64,
+}
+
+/// Everything one shard worker owns: its tenants, and (when durability is on)
+/// its store handle.
+struct ShardState {
+    tenants: HashMap<String, Tenant>,
+    store: Option<ShardStore>,
+}
+
+impl ShardState {
+    /// A store-less shard, as the map-level unit tests drive it.
+    #[cfg(test)]
+    fn in_memory() -> Self {
+        ShardState {
+            tenants: HashMap::new(),
+            store: None,
+        }
+    }
+}
+
 /// One tenant's state on its home shard.
 struct Tenant {
     scheduler: OnlineScheduler,
@@ -63,6 +130,8 @@ struct Tenant {
     /// the trajectory restarts at a restore point, the scheduler's counters do
     /// not), bounded to the [`TRAJECTORY_WINDOW`] most recent points.
     trajectory: Vec<i64>,
+    /// The tenant's write-ahead log; `None` on in-memory registries.
+    log: Option<TenantLog>,
 }
 
 /// A request en route to a shard, paired with its reply channel.
@@ -82,29 +151,58 @@ pub struct Registry {
 }
 
 impl Registry {
-    /// Spawn `shards` worker shards (clamped to at least 1).
+    /// Spawn `shards` purely in-memory worker shards (clamped to at least 1).
     pub fn new(shards: usize) -> Self {
+        Self::with_durability(shards, None).expect("an in-memory registry touches no disk")
+    }
+
+    /// Spawn `shards` worker shards (clamped to at least 1), persisting every
+    /// tenant under `durability.data_dir` when a config is given.  Each shard
+    /// rebuilds its own tenants from the data directory before serving its
+    /// first request (requests queue behind recovery, so callers simply see
+    /// the first responses after the rebuild).  A tenant whose on-disk state
+    /// cannot be restored is skipped with a diagnostic on stderr — the server
+    /// keeps serving every tenant that does recover.
+    pub fn with_durability(
+        shards: usize,
+        durability: Option<DurabilityConfig>,
+    ) -> std::io::Result<Self> {
         let shards = shards.max(1);
+        let shard_store = match durability {
+            Some(config) => Some(ShardStore {
+                store: Store::open(&config.data_dir, config.fsync_batch)?,
+                compact_threshold: config.compact_threshold.max(1),
+            }),
+            None => None,
+        };
         let mut senders = Vec::with_capacity(shards);
         let mut handles = Vec::with_capacity(shards);
         for shard in 0..shards {
             let (tx, rx) = mpsc::sync_channel::<ShardCall>(SHARD_QUEUE_DEPTH);
             senders.push(tx);
+            let store = shard_store.clone();
             handles.push(
                 std::thread::Builder::new()
                     .name(format!("busytime-shard-{shard}"))
-                    .spawn(move || shard_loop(rx))
+                    .spawn(move || {
+                        let mut state = ShardState {
+                            tenants: HashMap::new(),
+                            store,
+                        };
+                        recover_shard(&mut state, shard, shards);
+                        shard_loop(rx, state)
+                    })
                     .expect("spawning a shard worker"),
             );
         }
-        Registry {
+        Ok(Registry {
             engine: Engine {
                 shards: senders,
                 requests: Arc::new(AtomicU64::new(0)),
                 solver: Solver::new(),
             },
             handles,
-        }
+        })
     }
 
     /// A cloneable handle on the registry; every connection thread gets one.
@@ -142,9 +240,7 @@ impl Engine {
 
     /// The shard owning `tenant` (stable for the registry's lifetime).
     pub fn shard_for(&self, tenant: &str) -> usize {
-        let mut hasher = DefaultHasher::new();
-        tenant.hash(&mut hasher);
-        (hasher.finish() % self.shards.len() as u64) as usize
+        shard_index(tenant, self.shards.len())
     }
 
     /// Apply one request and wait for its response.
@@ -240,26 +336,40 @@ impl Engine {
     }
 }
 
+/// The shard a tenant name hashes to, shared by request routing and startup
+/// recovery (a recovered tenant must land on the shard that will serve it).
+fn shard_index(tenant: &str, shards: usize) -> usize {
+    let mut hasher = DefaultHasher::new();
+    tenant.hash(&mut hasher);
+    (hasher.finish() % shards as u64) as usize
+}
+
+/// Serialize a scheduler's snapshot for the durable store.
+fn snapshot_json(scheduler: &OnlineScheduler) -> String {
+    serde_json::to_string(&scheduler.snapshot()).expect("snapshots always serialize")
+}
+
 /// A shard's event loop: apply requests to the owned tenants until every queue
 /// handle is gone.
 ///
 /// A panic while applying a request is contained to that request: the panicking
-/// tenant is dropped (its state can no longer be trusted), the caller gets an
-/// error response, and the shard keeps serving its other tenants — a wire client
-/// must never be able to park a whole shard in the "worker is gone" state.
-fn shard_loop(rx: mpsc::Receiver<ShardCall>) {
-    let mut tenants: HashMap<String, Tenant> = HashMap::new();
+/// tenant is dropped from memory (its state can no longer be trusted — its
+/// durable state, which holds only acknowledged events, is untouched and will
+/// recover on the next start), the caller gets an error response, and the shard
+/// keeps serving its other tenants — a wire client must never be able to park a
+/// whole shard in the "worker is gone" state.
+fn shard_loop(rx: mpsc::Receiver<ShardCall>, mut state: ShardState) {
     while let Ok(call) = rx.recv() {
         let tenant = call.request.tenant().map(str::to_string);
         let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            apply(&mut tenants, call.request)
+            apply(&mut state, call.request)
         }));
         let response = match outcome {
             Ok(response) => response,
             Err(_) => {
                 let detail = match tenant {
                     Some(name) => {
-                        tenants.remove(&name);
+                        state.tenants.remove(&name);
                         format!("; tenant '{name}' was dropped")
                     }
                     None => String::new(),
@@ -270,6 +380,97 @@ fn shard_loop(rx: mpsc::Receiver<ShardCall>) {
         // A caller that hung up (connection dropped mid-request) is not an error.
         let _ = call.reply.send(response);
     }
+}
+
+/// Rebuild this shard's tenants from the data directory: for every stored
+/// tenant that hashes here, restore the newest snapshot and replay the journal
+/// tail through [`apply_event`] — the same path live requests take, so the
+/// recovered scheduler is the one an uninterrupted run would hold.  Tenants
+/// that fail to recover are skipped with a diagnostic; recovery never aborts
+/// the shard.
+fn recover_shard(state: &mut ShardState, shard: usize, shards: usize) {
+    let Some(shard_store) = state.store.clone() else {
+        return;
+    };
+    let names = match shard_store.store.tenant_names() {
+        Ok(names) => names,
+        Err(error) => {
+            eprintln!("busytime-server: shard {shard}: cannot scan the data directory: {error}");
+            return;
+        }
+    };
+    for name in names {
+        if shard_index(&name, shards) != shard {
+            continue;
+        }
+        match recover_tenant(&shard_store.store, &name) {
+            Ok((tenant, notes)) => {
+                for note in notes {
+                    eprintln!("busytime-server: tenant '{name}': {note}");
+                }
+                state.tenants.insert(name, tenant);
+            }
+            Err(error) => {
+                eprintln!("busytime-server: skipping unrecoverable tenant '{name}': {error}");
+            }
+        }
+    }
+}
+
+/// Rebuild one tenant: restore its newest parseable snapshot, then replay the
+/// journal tail.  A record that cannot be parsed or applied ends the replay at
+/// the last good event and the repaired state is compacted to disk, so the
+/// broken tail cannot strand later appends; journal-frame corruption was
+/// already truncated away by the store's scan.
+fn recover_tenant(store: &Store, name: &str) -> std::io::Result<(Tenant, Vec<String>)> {
+    let recovered = store.load_tenant(name, |json| -> Result<OnlineScheduler, String> {
+        let snapshot: OnlineSnapshot =
+            serde_json::from_str(json).map_err(|e| format!("snapshot does not parse: {e}"))?;
+        OnlineScheduler::restore(&snapshot).map_err(|e| e.to_string())
+    })?;
+    let mut tenant = Tenant {
+        scheduler: recovered.value,
+        trajectory: Vec::new(),
+        log: None,
+    };
+    let mut notes = recovered.notes;
+    let mut log = recovered.log;
+    let mut anomaly = None;
+    for (index, record) in recovered.records.iter().enumerate() {
+        let event = std::str::from_utf8(record)
+            .map_err(|e| e.to_string())
+            .and_then(Request::from_json)
+            .and_then(|request| match request {
+                Request::Arrive { tenant, id, job } if tenant == name => {
+                    checked_window(job.0, job.1).map(|interval| Event::arrival(id, interval))
+                }
+                Request::Depart { tenant, id } if tenant == name => Ok(Event::departure(id)),
+                other => Err(format!("unexpected '{}' record", other.op())),
+            });
+        let failure = match event {
+            Ok(event) => match apply_event(&mut tenant, &event) {
+                Response::Error(error) => Some(error),
+                _ => None,
+            },
+            Err(error) => Some(error),
+        };
+        if let Some(failure) = failure {
+            anomaly = Some(format!(
+                "journal record {index} does not replay ({failure}); keeping the {index} \
+                 event(s) before it"
+            ));
+            break;
+        }
+    }
+    if let Some(anomaly) = anomaly {
+        // Persist the repaired state: a fresh snapshot supersedes the whole
+        // journal including its unreplayable tail.  If even that fails, skip
+        // the tenant rather than appending after a tail we could not replay.
+        log.compact(&snapshot_json(&tenant.scheduler))?;
+        notes.push(anomaly);
+    }
+    tenant.log = Some(log);
+    Ok((tenant, notes))
 }
 
 /// Parse and bound-check one wire job window.
@@ -291,8 +492,11 @@ fn checked_window(start: i64, end: i64) -> Result<Interval, String> {
         .map_err(|_| format!("job window [{start}, {end}) is empty"))
 }
 
-/// Apply one tenant-scoped request to a shard's tenant map.
-fn apply(tenants: &mut HashMap<String, Tenant>, request: Request) -> Response {
+/// The error a durability-only operation gets on an in-memory registry.
+const DURABILITY_DISABLED: &str = "durability is not enabled (start the server with --data-dir)";
+
+/// Apply one tenant-scoped request to a shard's state.
+fn apply(state: &mut ShardState, request: Request) -> Response {
     match request {
         Request::Open {
             tenant,
@@ -309,20 +513,11 @@ fn apply(tenants: &mut HashMap<String, Tenant>, request: Request) -> Response {
                     "capacity {capacity} exceeds the server limit of {MAX_CAPACITY}"
                 ));
             }
-            if tenants.contains_key(&tenant) {
+            if state.tenants.contains_key(&tenant) {
                 return Response::error(format!("tenant '{tenant}' is already open"));
             }
             match OnlineScheduler::new(capacity, policy) {
-                Ok(scheduler) => {
-                    tenants.insert(
-                        tenant,
-                        Tenant {
-                            scheduler,
-                            trajectory: Vec::new(),
-                        },
-                    );
-                    Response::Ok
-                }
+                Ok(scheduler) => insert_tenant(state, tenant, scheduler),
                 Err(error) => Response::error(error.to_string()),
             }
         }
@@ -331,20 +526,16 @@ fn apply(tenants: &mut HashMap<String, Tenant>, request: Request) -> Response {
                 Ok(interval) => interval,
                 Err(error) => return Response::error(error),
             };
-            with_tenant(tenants, &tenant, |t| {
-                apply_event(t, &Event::arrival(id, interval))
-            })
+            apply_logged(state, &tenant, Event::arrival(id, interval))
         }
-        Request::Depart { tenant, id } => {
-            with_tenant(tenants, &tenant, |t| apply_event(t, &Event::departure(id)))
-        }
-        Request::Query { tenant } => with_tenant(tenants, &tenant, |t| {
+        Request::Depart { tenant, id } => apply_logged(state, &tenant, Event::departure(id)),
+        Request::Query { tenant } => with_tenant(&mut state.tenants, &tenant, |t| {
             Response::Query(SimulationReport::from_scheduler(
                 &t.scheduler,
                 t.trajectory.clone(),
             ))
         }),
-        Request::Snapshot { tenant } => with_tenant(tenants, &tenant, |t| {
+        Request::Snapshot { tenant } => with_tenant(&mut state.tenants, &tenant, |t| {
             Response::Snapshot(t.scheduler.snapshot())
         }),
         Request::Restore { tenant, snapshot } => {
@@ -367,32 +558,122 @@ fn apply(tenants: &mut HashMap<String, Tenant>, request: Request) -> Response {
                 ));
             }
             match OnlineScheduler::restore(&snapshot) {
-                Ok(scheduler) => {
-                    tenants.insert(
-                        tenant,
-                        Tenant {
-                            scheduler,
-                            trajectory: Vec::new(),
-                        },
-                    );
-                    Response::Ok
-                }
+                Ok(scheduler) => insert_tenant(state, tenant, scheduler),
                 Err(error) => Response::error(error.to_string()),
             }
         }
-        Request::Close { tenant } => match tenants.remove(&tenant) {
-            Some(_) => Response::Ok,
-            None => Response::error(format!("unknown tenant '{tenant}'")),
-        },
+        Request::Close { tenant } => {
+            if !state.tenants.contains_key(&tenant) {
+                return Response::error(format!("unknown tenant '{tenant}'"));
+            }
+            // Disk first: if the durable state cannot be removed, the tenant
+            // stays open rather than resurrecting on the next start.
+            if let Some(shard_store) = &state.store {
+                if let Err(error) = shard_store.store.remove_tenant(&tenant) {
+                    return Response::error(format!(
+                        "cannot remove tenant '{tenant}' from the data directory: {error}"
+                    ));
+                }
+            }
+            state.tenants.remove(&tenant);
+            Response::Ok
+        }
+        Request::Persist { tenant } => with_tenant(&mut state.tenants, &tenant, |t| {
+            let json = snapshot_json(&t.scheduler);
+            match t.log.as_mut() {
+                Some(log) => match log.compact(&json) {
+                    Ok(()) => Response::Wal(log.stats()),
+                    Err(error) => {
+                        Response::error(format!("compaction failed for tenant '{tenant}': {error}"))
+                    }
+                },
+                None => Response::error(DURABILITY_DISABLED),
+            }
+        }),
+        Request::WalStats { tenant } => {
+            with_tenant(&mut state.tenants, &tenant, |t| match t.log.as_mut() {
+                Some(log) => Response::Wal(log.stats()),
+                None => Response::error(DURABILITY_DISABLED),
+            })
+        }
         // A shard-local census used by `Engine::stats`; `shards`/`requests` are
         // filled in by the merge.
         Request::Stats => Response::Stats {
             shards: 1,
-            tenants: tenants.len(),
+            tenants: state.tenants.len(),
             requests: 0,
         },
         Request::Batch { .. } => Response::error("batch requests are not tenant-scoped"),
     }
+}
+
+/// Insert a freshly built tenant (`open`/`restore`), writing its baseline
+/// snapshot to the store first — the ack means "this tenant survives a crash".
+/// A restore over an existing tenant only replaces the in-memory state once
+/// the new generation is durably begun.
+fn insert_tenant(state: &mut ShardState, tenant: String, scheduler: OnlineScheduler) -> Response {
+    let log = match &state.store {
+        Some(shard_store) => {
+            match shard_store
+                .store
+                .begin_tenant(&tenant, &snapshot_json(&scheduler))
+            {
+                Ok(log) => Some(log),
+                Err(error) => {
+                    return Response::error(format!("cannot persist tenant '{tenant}': {error}"));
+                }
+            }
+        }
+        None => None,
+    };
+    state.tenants.insert(
+        tenant,
+        Tenant {
+            scheduler,
+            trajectory: Vec::new(),
+            log,
+        },
+    );
+    Response::Ok
+}
+
+/// Apply one event to a tenant and, on a durable registry, journal it before
+/// acknowledging.  If the journal write fails the tenant is dropped from
+/// memory (its disk state holds exactly the previously acknowledged events)
+/// rather than acknowledging an event that would vanish on restart.  After a
+/// successful append, compact inline once the journal crosses the threshold —
+/// at most one compaction per request keeps the shard's tail latency bounded.
+fn apply_logged(state: &mut ShardState, tenant: &str, event: Event) -> Response {
+    let Some(t) = state.tenants.get_mut(tenant) else {
+        return Response::error(format!("unknown tenant '{tenant}'"));
+    };
+    let response = apply_event(t, &event);
+    if !response.is_ok() {
+        return response;
+    }
+    if let Some(log) = t.log.as_mut() {
+        let record = Request::event_record_json(tenant, &event);
+        if let Err(error) = log.append(record.as_bytes()) {
+            state.tenants.remove(tenant);
+            return Response::error(format!(
+                "cannot journal the event for tenant '{tenant}': {error}; the tenant was \
+                 dropped (its durable state holds every previously acknowledged event)"
+            ));
+        }
+        let threshold = state
+            .store
+            .as_ref()
+            .map_or(u64::MAX, |s| s.compact_threshold);
+        if log.stats().log_records >= threshold {
+            // Best effort: a failed compaction leaves the current generation
+            // canonical and the journal simply keeps growing until a later
+            // attempt succeeds.
+            if let Err(error) = log.compact(&snapshot_json(&t.scheduler)) {
+                eprintln!("busytime-server: compaction failed for tenant '{tenant}': {error}");
+            }
+        }
+    }
+    response
 }
 
 /// Run `f` on a tenant, or report it unknown.
@@ -630,7 +911,7 @@ mod tests {
 
     #[test]
     fn wire_bounds_reject_hostile_requests() {
-        let mut tenants = HashMap::new();
+        let mut tenants = ShardState::in_memory();
         // A capacity that would make the first arrival allocate `capacity` thread
         // sets is refused at open...
         let Response::Error(e) = apply(
@@ -705,7 +986,7 @@ mod tests {
     fn trajectory_is_bounded_but_counters_are_not() {
         // Drive a tenant far past the retention window (map-level, no channels):
         // memory stays O(window) while the true event totals keep counting.
-        let mut tenants = HashMap::new();
+        let mut tenants = ShardState::in_memory();
         apply(
             &mut tenants,
             Request::Open {
@@ -727,7 +1008,7 @@ mod tests {
             )
             .is_ok());
         }
-        let tenant = &tenants["t"];
+        let tenant = &tenants.tenants["t"];
         assert!(tenant.trajectory.len() <= 2 * TRAJECTORY_WINDOW);
         assert!(tenant.trajectory.len() >= TRAJECTORY_WINDOW);
         let Response::Query(report) = apply(&mut tenants, Request::Query { tenant: "t".into() })
@@ -737,7 +1018,10 @@ mod tests {
         assert_eq!(report.events, 2 * rounds);
         assert_eq!(report.arrivals, rounds);
         assert_eq!(report.departures, rounds);
-        assert_eq!(report.cost_trajectory.len(), tenants["t"].trajectory.len());
+        assert_eq!(
+            report.cost_trajectory.len(),
+            tenants.tenants["t"].trajectory.len()
+        );
     }
 
     #[test]

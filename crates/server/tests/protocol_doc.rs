@@ -98,7 +98,17 @@ fn every_documented_json_example_round_trips() {
     }
     // Every operation the server understands has a documented request example.
     for op in [
-        "open", "arrive", "depart", "query", "snapshot", "restore", "close", "batch", "stats",
+        "open",
+        "arrive",
+        "depart",
+        "query",
+        "snapshot",
+        "restore",
+        "close",
+        "persist",
+        "wal_stats",
+        "batch",
+        "stats",
     ] {
         assert!(
             seen_requests.iter().any(|seen| seen == op),
