@@ -1,0 +1,202 @@
+//! The `loadgen` binary: a loopback (or remote) load generator for the
+//! `busytime-server` wire stack, measuring throughput and p50/p99/p999 request
+//! latency per framing × pipeline depth.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run -p busytime-bench --bin loadgen --release -- \
+//!     [--addr HOST:PORT | --shards N] [--tenants N] [--connections N]
+//!     [--events N] [--depths 1,8,64] [--framing ndjson|binary|both]
+//!     [--output PATH] [--check]
+//! ```
+//!
+//! Without `--addr` the generator spawns its own in-memory daemon on an
+//! ephemeral loopback port (`--shards`, default 4) — the self-contained mode CI
+//! uses.  Every framing × depth cell replays the identical seeded workload, so
+//! the cells compare the wire, not the workload.  `--check` validates the run:
+//! every cell finite and positive, percentiles ordered, and the best binary cell
+//! at least as fast as the best NDJSON cell (the framing must pay for itself).
+
+use busytime_bench::loadgen::{run_matrix, spawn_loopback};
+use busytime_server::Framing;
+use std::io::Write;
+
+fn parse_depths(text: &str) -> Vec<usize> {
+    text.split(',')
+        .map(|d| {
+            d.trim()
+                .parse::<usize>()
+                .unwrap_or_else(|_| panic!("--depths wants comma-separated integers, got '{d}'"))
+        })
+        .collect()
+}
+
+fn main() {
+    let mut addr: Option<String> = None;
+    let mut shards = 4usize;
+    let mut tenants = 4usize;
+    let mut connections: Option<usize> = None;
+    let mut events = 2_000usize;
+    let mut depths = vec![1usize, 8, 64];
+    let mut framings = vec![Framing::Ndjson, Framing::Binary];
+    let mut output: Option<String> = None;
+    let mut check = false;
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        let mut value = |what: &str| it.next().unwrap_or_else(|| panic!("{what} needs a value"));
+        match arg.as_str() {
+            "--addr" => addr = Some(value("--addr")),
+            "--shards" => {
+                shards = value("--shards")
+                    .parse()
+                    .expect("--shards wants an integer")
+            }
+            "--tenants" => {
+                tenants = value("--tenants")
+                    .parse()
+                    .expect("--tenants wants an integer")
+            }
+            "--connections" => {
+                connections = Some(
+                    value("--connections")
+                        .parse()
+                        .expect("--connections wants an integer"),
+                )
+            }
+            "--events" => {
+                events = value("--events")
+                    .parse()
+                    .expect("--events wants an integer")
+            }
+            "--depths" => depths = parse_depths(&value("--depths")),
+            "--framing" => {
+                framings = match value("--framing").as_str() {
+                    "both" => vec![Framing::Ndjson, Framing::Binary],
+                    one => vec![Framing::parse(one).unwrap_or_else(|e| panic!("{e}"))],
+                }
+            }
+            "--output" => output = Some(value("--output")),
+            "--check" => check = true,
+            "--help" | "-h" => {
+                println!(
+                    "usage: loadgen [--addr HOST:PORT | --shards N] [--tenants N] \
+                     [--connections N] [--events N] [--depths 1,8,64] \
+                     [--framing ndjson|binary|both] [--output PATH] [--check]"
+                );
+                return;
+            }
+            other => {
+                eprintln!("unknown argument: {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+    let connections = connections.unwrap_or(tenants).clamp(1, tenants);
+
+    // Keep the self-spawned registry alive for the whole run (dropping it
+    // detaches the shard threads; the accept loop dies with the process).
+    let (addr, _registry) = match addr {
+        Some(addr) => (addr, None),
+        None => {
+            let (addr, registry) = spawn_loopback(shards);
+            println!("spawned loopback daemon with {shards} shard(s) at {addr}");
+            (addr, Some(registry))
+        }
+    };
+
+    let rows = run_matrix(
+        &addr,
+        &framings,
+        &depths,
+        tenants,
+        connections,
+        events,
+        2012,
+    )
+    .unwrap_or_else(|e| {
+        eprintln!("load generation failed: {e}");
+        std::process::exit(1);
+    });
+
+    println!(
+        "{:<8} {:>6} {:>9} {:>10} {:>12} {:>9} {:>9} {:>9} {:>9}",
+        "framing", "depth", "requests", "secs", "req/s", "p50_us", "p99_us", "p999_us", "speedup"
+    );
+    for row in &rows {
+        println!(
+            "{:<8} {:>6} {:>9} {:>10.4} {:>12.0} {:>9.1} {:>9.1} {:>9.1} {:>8.2}x",
+            row.framing,
+            row.pipeline_depth,
+            row.requests,
+            row.secs,
+            row.requests_per_sec,
+            row.p50_us,
+            row.p99_us,
+            row.p999_us,
+            row.speedup_vs_ndjson_depth1.unwrap_or(f64::NAN),
+        );
+    }
+
+    if let Some(path) = &output {
+        let mut text = String::from("{\n");
+        text.push_str(&format!(
+            "  \"meta\": {{\"tenants\": {tenants}, \"connections\": {connections}, \
+             \"events_per_tenant\": {events}, \"parallelism\": {}}},\n",
+            std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1)
+        ));
+        text.push_str("  \"server_load\": [\n");
+        for (i, row) in rows.iter().enumerate() {
+            text.push_str("    ");
+            text.push_str(&serde_json::to_string(row).expect("rows serialize"));
+            text.push_str(if i + 1 < rows.len() { ",\n" } else { "\n" });
+        }
+        text.push_str("  ]\n}\n");
+        let mut file = std::fs::File::create(path).expect("create output file");
+        file.write_all(text.as_bytes()).expect("write output");
+        println!("wrote {path}");
+    }
+
+    if check {
+        let mut failures: Vec<String> = Vec::new();
+        for row in &rows {
+            let cell = format!("{} depth {}", row.framing, row.pipeline_depth);
+            if row.requests == 0
+                || !(row.requests_per_sec.is_finite() && row.requests_per_sec > 0.0)
+            {
+                failures.push(format!("{cell}: nonsensical throughput"));
+            }
+            if !(row.p50_us <= row.p99_us && row.p99_us <= row.p999_us && row.p999_us <= row.max_us)
+            {
+                failures.push(format!("{cell}: latency percentiles out of order"));
+            }
+        }
+        let best = |name: &str| {
+            rows.iter()
+                .filter(|row| row.framing == name)
+                .map(|row| row.requests_per_sec)
+                .fold(0.0f64, f64::max)
+        };
+        let (ndjson, binary) = (best("ndjson"), best("binary"));
+        if ndjson > 0.0 && binary > 0.0 && binary < ndjson {
+            failures.push(format!(
+                "best binary cell ({binary:.0} req/s) is slower than best ndjson cell \
+                 ({ndjson:.0} req/s)"
+            ));
+        }
+        if failures.is_empty() {
+            println!("check passed: {} cells measured", rows.len());
+        } else {
+            for failure in &failures {
+                eprintln!("check failed: {failure}");
+            }
+            std::process::exit(1);
+        }
+    }
+
+    // The detached accept loop holds an engine clone; exiting the process is the
+    // shutdown (matching the real daemon's lifecycle).
+    std::process::exit(0);
+}

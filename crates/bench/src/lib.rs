@@ -18,6 +18,7 @@ mod exp_dispatch;
 mod exp_maxthroughput;
 mod exp_minbusy;
 mod exp_twodim;
+pub mod loadgen;
 pub mod report;
 
 pub use exp_dispatch::e0_facade_dispatch;

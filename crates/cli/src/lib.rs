@@ -378,20 +378,27 @@ pub fn run_simulate(file: &TraceFile, policy: OnlinePolicy) -> Result<CommandOut
 /// `busytime client`: drive a trace file against a **running** `busytime serve`
 /// daemon — open a tenant, stream every event over the wire, and report the final
 /// server-side state in the same [`SimulationReport`] schema `simulate` produces
-/// locally.
+/// locally.  `framing` selects NDJSON or the compact binary frames and `pipeline`
+/// the number of in-flight requests (1 = lockstep); every combination produces
+/// the identical report, only the wire efficiency differs.
 pub fn run_client(
     file: &TraceFile,
     addr: &str,
     tenant: &str,
     policy: OnlinePolicy,
+    framing: busytime_server::Framing,
+    pipeline: usize,
 ) -> Result<CommandOutput, String> {
     let trace = file.to_trace()?;
-    let mut client = busytime_server::Client::connect(addr)
+    let mut client = busytime_server::Client::connect_with(addr, framing)
         .map_err(|e| format!("cannot connect to {addr}: {e}"))?;
-    let payload = client.drive_trace(tenant, &trace, policy)?;
+    let payload = client.drive_trace_pipelined(tenant, &trace, policy, pipeline)?;
     Ok(CommandOutput {
         report: render_simulation(
-            &format!("client ({policy}) -> {addr} tenant '{tenant}'"),
+            &format!(
+                "client ({policy}, {} framing, pipeline {pipeline}) -> {addr} tenant '{tenant}'",
+                framing.name()
+            ),
             &payload,
         ),
         file_payload: Some(serde_json::to_string_pretty(&payload).expect("serializable")),

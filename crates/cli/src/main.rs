@@ -13,7 +13,7 @@
 //! busytime serve [--addr HOST:PORT] [--shards N] [--data-dir PATH]
 //!                [--fsync-batch N] [--compact-every N]
 //! busytime client <trace.json> --tenant NAME [--addr HOST:PORT] [--policy POLICY]
-//!                 [--output report.json]
+//!                 [--binary] [--pipeline N] [--output report.json]
 //! busytime fsck <data-dir>
 //! ```
 //!
@@ -26,7 +26,9 @@
 //! for throughput the `throughput-*` names); `--exact-only` refuses any approximate
 //! algorithm; `--threads` pins the work-stealing pool driving `batch` (default: one
 //! worker per core); `--policy` selects the online placement rule driving `simulate`
-//! (default: `first-fit`).
+//! (default: `first-fit`).  For `client`, `--binary` switches the connection to the
+//! compact binary framing and `--pipeline N` keeps N requests in flight (default 1,
+//! lockstep); the report is identical either way.
 
 use busytime::online::OnlinePolicy;
 use busytime::Algorithm;
@@ -41,7 +43,7 @@ const DEFAULT_ADDR: &str = "127.0.0.1:7878";
 
 fn usage() -> ! {
     eprintln!(
-        "usage:\n  busytime solve <instance.json> [--algorithm NAME] [--exact-only] [--output schedule.json]\n  busytime throughput <instance.json> --budget T [--algorithm NAME] [--exact-only] [--output schedule.json]\n  busytime batch <instances.json> [--budget T] [--threads N] [--algorithm NAME] [--exact-only] [--output results.json]\n  busytime simulate <trace.json> [--policy POLICY] [--output simulation.json]\n  busytime generate --class CLASS --jobs N --capacity G [--seed S] [--output instance.json]\n  busytime serve [--addr HOST:PORT] [--shards N] [--data-dir PATH] [--fsync-batch N] [--compact-every N]\n  busytime client <trace.json> --tenant NAME [--addr HOST:PORT] [--policy POLICY] [--output report.json]\n  busytime fsck <data-dir>"
+        "usage:\n  busytime solve <instance.json> [--algorithm NAME] [--exact-only] [--output schedule.json]\n  busytime throughput <instance.json> --budget T [--algorithm NAME] [--exact-only] [--output schedule.json]\n  busytime batch <instances.json> [--budget T] [--threads N] [--algorithm NAME] [--exact-only] [--output results.json]\n  busytime simulate <trace.json> [--policy POLICY] [--output simulation.json]\n  busytime generate --class CLASS --jobs N --capacity G [--seed S] [--output instance.json]\n  busytime serve [--addr HOST:PORT] [--shards N] [--data-dir PATH] [--fsync-batch N] [--compact-every N]\n  busytime client <trace.json> --tenant NAME [--addr HOST:PORT] [--policy POLICY] [--binary] [--pipeline N] [--output report.json]\n  busytime fsck <data-dir>"
     );
     std::process::exit(2);
 }
@@ -340,12 +342,22 @@ fn main() {
             let mut addr = DEFAULT_ADDR.to_string();
             let mut tenant: Option<String> = None;
             let mut policy = OnlinePolicy::FirstFit;
+            let mut framing = busytime_server::Framing::Ndjson;
+            let mut pipeline = 1usize;
             let mut it = args[1..].iter();
             while let Some(arg) = it.next() {
                 match arg.as_str() {
                     "--output" => output_path = it.next().cloned(),
                     "--addr" => addr = it.next().cloned().unwrap_or_else(|| usage()),
                     "--tenant" => tenant = it.next().cloned(),
+                    "--binary" => framing = busytime_server::Framing::Binary,
+                    "--pipeline" => {
+                        pipeline = it
+                            .next()
+                            .and_then(|v| v.parse().ok())
+                            .filter(|&n| n > 0)
+                            .unwrap_or_else(|| usage())
+                    }
                     "--policy" => {
                         policy = it
                             .next()
@@ -374,7 +386,10 @@ fn main() {
                 eprintln!("{e}");
                 std::process::exit(1);
             });
-            finish(run_client(&trace, &addr, &tenant, policy), output_path);
+            finish(
+                run_client(&trace, &addr, &tenant, policy, framing, pipeline),
+                output_path,
+            );
         }
         "--help" | "-h" => usage(),
         _ => usage(),

@@ -9,12 +9,19 @@
 //! arrival, departure or query is an incremental `O(log m)` mutation of standing
 //! state, never a re-solve.
 //!
-//! Three layers, bottom up:
+//! Four layers, bottom up:
 //!
 //! * [`protocol`] — the wire format: newline-delimited JSON, one `{"op": …}` request
 //!   object per line, one `{"ok": …}` response per line.  `PROTOCOL.md` at the
 //!   repository root documents every operation with worked examples, and a test
 //!   round-trips those exact examples through the serde impls here.
+//! * [`frame`] — the compact binary framing negotiated per message on the same
+//!   listener: a `0xB5` magic byte opens a length-prefixed frame with a
+//!   fixed-layout fast path for `arrive`/`depart`/`query` (tenant id + job ticks
+//!   as raw little-endian integers) and a JSON-payload frame for the rare ops.
+//!   `PROTOCOL.md`'s byte-level worked example is decoded and re-encoded by the
+//!   real codec in a test, and a proptest pins binary round-trip ≡ JSON
+//!   round-trip for every operation.
 //! * [`registry`] — the sharded multi-tenant state: tenants hash onto `N` worker
 //!   shards, each shard a single thread owning its tenants' schedulers outright (no
 //!   locks on the hot path); requests travel over bounded channels, so a busy shard
@@ -24,6 +31,9 @@
 //! * [`server`] — the std-only TCP front end ([`std::net::TcpListener`], one thread
 //!   per connection) plus the matching blocking [`Client`], including the
 //!   [`Client::drive_trace`] helper the CLI `client` subcommand and the CI smoke use.
+//!   Both sides pipeline: the handler batches every request buffered on the socket
+//!   into one [`Engine::call_many`] shard handoff and flushes once the read side
+//!   goes idle, and [`Client::pipeline`] keeps a window of `k` requests in flight.
 //!
 //! Snapshot/restore rides on [`busytime::OnlineSnapshot`]: `{"op": "snapshot"}`
 //! serializes a tenant's live schedule to JSON, `{"op": "restore"}` rebuilds it —
@@ -65,10 +75,12 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod frame;
 pub mod protocol;
 pub mod registry;
 pub mod server;
 
+pub use frame::{FrameRequest, FrameResponse, RequestFrame, ResponseFrame};
 pub use protocol::{BatchInstance, BatchOutcome, Request, Response};
 pub use registry::{DurabilityConfig, Engine, Registry};
-pub use server::{serve, Client};
+pub use server::{serve, Client, Framing};

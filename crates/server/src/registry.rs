@@ -8,11 +8,14 @@
 //! Tenants are **hash-sharded** across `N` worker shards.  Each shard is one OS
 //! thread owning a plain `HashMap` of its tenants; since a tenant's scheduler is only
 //! ever touched by its home shard, the hot path runs without any lock — the only
-//! synchronization is the bounded [`mpsc::sync_channel`] that carries requests to the
-//! shard (applying backpressure when a shard falls behind) and the rendezvous channel
-//! that carries each response back.  Requests for the same tenant are therefore
-//! applied in the order they were routed, while requests for tenants on different
-//! shards proceed in parallel.
+//! synchronization is the bounded [`mpsc::sync_channel`] that carries request
+//! *batches* to the shard (applying backpressure when a shard falls behind) and the
+//! rendezvous channel that carries the responses back.  [`Engine::call`] sends a
+//! batch of one; [`Engine::call_many`] — the pipelined connection handler's path —
+//! coalesces every decoded request bound for the same shard into a single channel
+//! send, amortizing the synchronization over the whole window.  Requests for the
+//! same tenant are applied in the order they were routed either way, while requests
+//! for tenants on different shards proceed in parallel.
 //!
 //! [`Engine`] is the cloneable front door: the TCP server hands one clone to every
 //! connection thread, the in-process tests and benchmarks call it directly.  Batch
@@ -134,10 +137,16 @@ struct Tenant {
     log: Option<TenantLog>,
 }
 
-/// A request en route to a shard, paired with its reply channel.
+/// A batch of requests en route to one shard, paired with its reply channel.
+///
+/// The batch is the unit of channel traffic: coalescing `k` decoded requests for
+/// the same shard into one bounded-channel send amortizes the synchronization
+/// cost that used to be paid per request, while the shard still applies the
+/// requests strictly in batch order (so per-tenant ordering is untouched — a
+/// tenant lives on exactly one shard).
 struct ShardCall {
-    request: Request,
-    reply: mpsc::SyncSender<Response>,
+    requests: Vec<Request>,
+    reply: mpsc::SyncSender<Vec<Response>>,
 }
 
 /// The running registry: shard worker threads plus the shared counters.
@@ -256,35 +265,132 @@ impl Engine {
             Request::Stats => self.stats(),
             request => {
                 let shard = self.shard_for(request.tenant().expect("routed ops are tenant-scoped"));
-                self.call_shard(shard, request)
+                self.call_shard(shard, vec![request])
+                    .pop()
+                    .unwrap_or_else(|| Response::error("the shard worker returned no response"))
             }
         }
     }
 
-    /// Send one request to a specific shard and wait for the reply.
-    fn call_shard(&self, shard: usize, request: Request) -> Response {
-        let (reply_tx, reply_rx) = mpsc::sync_channel::<Response>(1);
+    /// Apply a batch of requests and return their responses in request order.
+    ///
+    /// This is the pipelined fast path: the batch is partitioned per shard with
+    /// relative order preserved, each shard gets **one** bounded-channel send for
+    /// its whole sub-batch (instead of one per request), all shards work their
+    /// sub-batches in parallel, and the replies are reassembled into request
+    /// order.  A tenant hashes to exactly one shard, so every tenant still sees
+    /// its requests applied in the order they were submitted.  Non-tenant
+    /// requests (`batch`, `stats`) run engine-side at their position in the
+    /// batch, before the shard sub-batches dispatch.
+    pub fn call_many(&self, requests: Vec<Request>) -> Vec<Response> {
+        self.requests
+            .fetch_add(requests.len() as u64, Ordering::Relaxed);
+        if requests.len() == 1 {
+            let request = requests.into_iter().next().expect("one request");
+            return vec![match request {
+                Request::Batch { instances, budget } => self.solve_batch(&instances, budget),
+                Request::Stats => self.stats(),
+                request => {
+                    let shard =
+                        self.shard_for(request.tenant().expect("routed ops are tenant-scoped"));
+                    self.call_shard(shard, vec![request])
+                        .pop()
+                        .unwrap_or_else(|| Response::error("the shard worker returned no response"))
+                }
+            }];
+        }
+        let mut slots: Vec<Option<Response>> = requests.iter().map(|_| None).collect();
+        let mut per_shard: Vec<(Vec<usize>, Vec<Request>)> = (0..self.shards.len())
+            .map(|_| (Vec::new(), Vec::new()))
+            .collect();
+        for (i, request) in requests.into_iter().enumerate() {
+            match request {
+                Request::Batch { instances, budget } => {
+                    slots[i] = Some(self.solve_batch(&instances, budget));
+                }
+                Request::Stats => slots[i] = Some(self.stats()),
+                request => {
+                    let shard =
+                        self.shard_for(request.tenant().expect("routed ops are tenant-scoped"));
+                    per_shard[shard].0.push(i);
+                    per_shard[shard].1.push(request);
+                }
+            }
+        }
+        // Send every sub-batch before waiting on any reply, so the shards run in
+        // parallel; then fill the slots back in request order.
+        let mut outstanding: Vec<(Vec<usize>, mpsc::Receiver<Vec<Response>>)> = Vec::new();
+        for (shard, (indices, batch)) in per_shard.into_iter().enumerate() {
+            if indices.is_empty() {
+                continue;
+            }
+            let (reply_tx, reply_rx) = mpsc::sync_channel::<Vec<Response>>(1);
+            if self.shards[shard]
+                .send(ShardCall {
+                    requests: batch,
+                    reply: reply_tx,
+                })
+                .is_err()
+            {
+                for i in indices {
+                    slots[i] = Some(Response::error("the shard worker is gone"));
+                }
+                continue;
+            }
+            outstanding.push((indices, reply_rx));
+        }
+        for (indices, reply_rx) in outstanding {
+            match reply_rx.recv() {
+                Ok(responses) => {
+                    for (i, response) in indices.into_iter().zip(responses) {
+                        slots[i] = Some(response);
+                    }
+                }
+                Err(_) => {
+                    for i in indices {
+                        slots[i] = Some(Response::error("the shard worker dropped the request"));
+                    }
+                }
+            }
+        }
+        slots
+            .into_iter()
+            .map(|slot| {
+                slot.unwrap_or_else(|| Response::error("the shard worker returned no response"))
+            })
+            .collect()
+    }
+
+    /// Send one batch to a specific shard and wait for the replies.
+    fn call_shard(&self, shard: usize, requests: Vec<Request>) -> Vec<Response> {
+        let expected = requests.len();
+        let (reply_tx, reply_rx) = mpsc::sync_channel::<Vec<Response>>(1);
         if self.shards[shard]
             .send(ShardCall {
-                request,
+                requests,
                 reply: reply_tx,
             })
             .is_err()
         {
-            return Response::error("the shard worker is gone");
+            return (0..expected)
+                .map(|_| Response::error("the shard worker is gone"))
+                .collect();
         }
-        reply_rx
-            .recv()
-            .unwrap_or_else(|_| Response::error("the shard worker dropped the request"))
+        reply_rx.recv().unwrap_or_else(|_| {
+            (0..expected)
+                .map(|_| Response::error("the shard worker dropped the request"))
+                .collect()
+        })
     }
 
     /// Server-wide counters, merged over a per-shard census.
     fn stats(&self) -> Response {
         let mut tenants = 0usize;
         for shard in 0..self.shards.len() {
-            match self.call_shard(shard, Request::Stats) {
-                Response::Stats { tenants: t, .. } => tenants += t,
-                other => return other,
+            match self.call_shard(shard, vec![Request::Stats]).pop() {
+                Some(Response::Stats { tenants: t, .. }) => tenants += t,
+                Some(other) => return other,
+                None => return Response::error("the shard worker returned no response"),
             }
         }
         Response::Stats {
@@ -360,25 +466,28 @@ fn snapshot_json(scheduler: &OnlineScheduler) -> String {
 /// whole shard in the "worker is gone" state.
 fn shard_loop(rx: mpsc::Receiver<ShardCall>, mut state: ShardState) {
     while let Ok(call) = rx.recv() {
-        let tenant = call.request.tenant().map(str::to_string);
-        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            apply(&mut state, call.request)
-        }));
-        let response = match outcome {
-            Ok(response) => response,
-            Err(_) => {
-                let detail = match tenant {
-                    Some(name) => {
-                        state.tenants.remove(&name);
-                        format!("; tenant '{name}' was dropped")
-                    }
-                    None => String::new(),
-                };
-                Response::error(format!("internal error applying the request{detail}"))
-            }
-        };
+        let mut responses = Vec::with_capacity(call.requests.len());
+        for request in call.requests {
+            let tenant = request.tenant().map(str::to_string);
+            let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                apply(&mut state, request)
+            }));
+            responses.push(match outcome {
+                Ok(response) => response,
+                Err(_) => {
+                    let detail = match tenant {
+                        Some(name) => {
+                            state.tenants.remove(&name);
+                            format!("; tenant '{name}' was dropped")
+                        }
+                        None => String::new(),
+                    };
+                    Response::error(format!("internal error applying the request{detail}"))
+                }
+            });
+        }
         // A caller that hung up (connection dropped mid-request) is not an error.
-        let _ = call.reply.send(response);
+        let _ = call.reply.send(responses);
     }
 }
 

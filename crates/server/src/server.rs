@@ -1,17 +1,40 @@
-//! The TCP front end: a std-only daemon speaking the newline-delimited JSON protocol.
+//! The TCP front end: a std-only daemon speaking NDJSON and binary framing on the
+//! same listener.
 //!
 //! [`serve`] accepts connections on a [`TcpListener`] and spawns one thread per
-//! connection; each connection thread owns a clone of the [`Engine`] and loops
-//! read-line → [`Engine::call`] → write-line.  Malformed lines get an
-//! `{"ok": false, …}` response and the connection stays usable, so one confused
-//! client never takes the daemon down.  There is deliberately no protocol state on
-//! the connection — a client may reconnect at any time and continue driving its
-//! tenants, whose schedulers live in the registry shards, not in the socket handler.
+//! connection.  Each connection thread decides the framing of **every message** by
+//! peeking its first byte — `0xB5` opens a binary frame ([`crate::frame`]), anything
+//! else is a newline-delimited JSON line — so binary and NDJSON clients share one
+//! port and one connection may mix framings; each response travels in the framing of
+//! its request.
 //!
-//! [`Client`] is the matching blocking client: one request in flight at a time,
-//! line-matched to its response.  The CLI's `client` subcommand and the CI smoke test
-//! both drive a running daemon through it.
+//! The handler is **pipelining-aware**: it keeps decoding requests while its read
+//! buffer holds more input (up to a batch cap), hands the whole decoded batch to
+//! [`Engine::call_many`] — which coalesces the requests into one bounded-channel
+//! send per shard — and only flushes the response buffer once the read side has no
+//! further buffered input.  A lone request-per-round-trip client therefore sees one
+//! flush per request, exactly as before, while a client with `k` requests in flight
+//! sees the per-request syscalls, JSON costs and channel sends amortized across the
+//! window.  The matching client invariant: **finish writing every request you have
+//! begun before blocking on responses** (any client that writes whole requests —
+//! like [`Client`] — satisfies this trivially).
+//!
+//! Malformed NDJSON lines get an `{"ok": false, …}` response and the connection
+//! stays usable.  A malformed **binary** frame cannot be skipped — the stream has no
+//! recoverable frame boundary — so the handler answers a final error frame and drops
+//! the connection; subsequent frames on *other* connections are unaffected, and the
+//! fuzz suite pins that no hostile byte soup can panic the daemon or desync an
+//! honest connection.  There is deliberately no protocol state on the connection
+//! beyond the tenant-id bindings of the binary fast path — a client may reconnect at
+//! any time and continue driving its tenants, whose schedulers live in the registry
+//! shards, not in the socket handler.
+//!
+//! [`Client`] is the matching blocking client: NDJSON by default
+//! ([`Client::connect`]), binary on request ([`Client::connect_binary`]), one
+//! request in flight through [`Client::call`] or a window of them through
+//! [`Client::pipeline`] / [`Client::drive_trace_pipelined`].
 
+use std::collections::HashMap;
 use std::io::{BufRead, BufReader, BufWriter, Write};
 use std::net::{TcpListener, TcpStream, ToSocketAddrs};
 
@@ -19,8 +42,19 @@ use busytime::online::Trace;
 use busytime::report::SimulationReport;
 use busytime::OnlinePolicy;
 
+use crate::frame::{DecodeError, FrameRequest, FrameResponse, RequestFrame, ResponseFrame, MAGIC};
 use crate::protocol::{Request, Response};
 use crate::registry::Engine;
+
+/// Most requests decoded into one [`Engine::call_many`] batch.  Bounds the
+/// per-connection memory a fire-hose client can pin while still amortizing the
+/// shard handoff across a deep pipeline window.
+pub const MAX_BATCH: usize = 128;
+
+/// Most tenant-id bindings one connection may hold (the binary `bind` table).
+/// A connection needing more is rebinding pathologically; the cap keeps a
+/// hostile client from growing the table without bound.
+pub const MAX_BINDINGS: usize = 1 << 20;
 
 /// Serve the engine on an already-bound listener, one thread per connection.
 ///
@@ -40,41 +74,488 @@ pub fn serve(listener: TcpListener, engine: Engine) -> std::io::Result<()> {
     Ok(())
 }
 
-/// Drive one connection: read lines, apply them, write the responses.
-fn handle_connection(stream: TcpStream, engine: Engine) -> std::io::Result<()> {
-    let reader = BufReader::new(stream.try_clone()?);
-    let mut writer = BufWriter::new(stream);
-    for line in reader.lines() {
-        let line = line?;
-        if line.trim().is_empty() {
-            continue;
+/// One decoded inbound message, waiting in the connection's dispatch batch.
+enum Pending {
+    /// An NDJSON request for the engine.
+    NdjsonCall(Request),
+    /// An NDJSON line already answered locally (malformed input).
+    NdjsonReply(Response),
+    /// A binary request for the engine.
+    BinaryCall {
+        /// Echoed sequence number.
+        seq: u32,
+        /// The decoded request.
+        request: Request,
+    },
+    /// A binary frame already answered locally (bind acks, unbound tenant ids).
+    BinaryReply {
+        /// Echoed sequence number.
+        seq: u32,
+        /// The ready response frame body.
+        frame: FrameResponse,
+    },
+}
+
+/// The connection-local state of the binary fast path: tenant names by id, ids by
+/// name, assigned densely in bind order (the client mirrors this assignment).
+#[derive(Default)]
+struct Bindings {
+    names: Vec<String>,
+    ids: HashMap<String, u32>,
+}
+
+impl Bindings {
+    /// Bind `name`, returning its (possibly pre-existing) id, or an error once
+    /// the table is full.
+    fn bind(&mut self, name: String) -> Result<u32, String> {
+        if let Some(&id) = self.ids.get(&name) {
+            return Ok(id);
         }
-        let response = match Request::from_json(&line) {
-            Ok(request) => engine.call(request),
-            Err(error) => Response::error(error),
-        };
-        writer.write_all(response.to_json().as_bytes())?;
-        writer.write_all(b"\n")?;
-        writer.flush()?;
+        if self.names.len() >= MAX_BINDINGS {
+            return Err(format!(
+                "this connection already holds {MAX_BINDINGS} tenant bindings"
+            ));
+        }
+        let id = self.names.len() as u32;
+        self.ids.insert(name.clone(), id);
+        self.names.push(name);
+        Ok(id)
+    }
+
+    /// The name bound to `id`, if any.
+    fn name(&self, id: u32) -> Option<&str> {
+        self.names.get(id as usize).map(String::as_str)
+    }
+}
+
+/// Map one decoded binary frame to a pending item, resolving tenant ids through
+/// the connection's binding table (binds mutate it for the *rest of the batch*,
+/// so a bind and its first use may share a window).
+fn pend_binary(frame: RequestFrame, bindings: &mut Bindings) -> Pending {
+    let RequestFrame { seq, body } = frame;
+    let unbound = |id: u32| Pending::BinaryReply {
+        seq,
+        frame: FrameResponse::Error {
+            message: format!("tenant id {id} is not bound on this connection"),
+        },
+    };
+    match body {
+        FrameRequest::Bind { name } => match bindings.bind(name) {
+            Ok(tenant) => Pending::BinaryReply {
+                seq,
+                frame: FrameResponse::Bound { tenant },
+            },
+            Err(message) => Pending::BinaryReply {
+                seq,
+                frame: FrameResponse::Error { message },
+            },
+        },
+        FrameRequest::Arrive {
+            tenant,
+            id,
+            start,
+            end,
+        } => match bindings.name(tenant) {
+            Some(name) => Pending::BinaryCall {
+                seq,
+                request: Request::Arrive {
+                    tenant: name.to_string(),
+                    id,
+                    job: (start, end),
+                },
+            },
+            None => unbound(tenant),
+        },
+        FrameRequest::Depart { tenant, id } => match bindings.name(tenant) {
+            Some(name) => Pending::BinaryCall {
+                seq,
+                request: Request::Depart {
+                    tenant: name.to_string(),
+                    id,
+                },
+            },
+            None => unbound(tenant),
+        },
+        FrameRequest::Query { tenant } => match bindings.name(tenant) {
+            Some(name) => Pending::BinaryCall {
+                seq,
+                request: Request::Query {
+                    tenant: name.to_string(),
+                },
+            },
+            None => unbound(tenant),
+        },
+        FrameRequest::Json { payload } => match Request::from_json(&payload) {
+            Ok(request) => Pending::BinaryCall { seq, request },
+            Err(error) => Pending::BinaryReply {
+                seq,
+                frame: FrameResponse::Error { message: error },
+            },
+        },
+    }
+}
+
+/// The binary shape of an engine response: `Event` and `Error` have fixed-layout
+/// frames, everything else rides in a JSON frame carrying the exact NDJSON body.
+fn frame_response(response: Response) -> FrameResponse {
+    match response {
+        Response::Event {
+            machine,
+            cost_delta,
+            cost,
+        } => FrameResponse::Event {
+            machine: machine as u64,
+            cost_delta,
+            cost,
+        },
+        Response::Error(message) => FrameResponse::Error { message },
+        other => FrameResponse::Json {
+            payload: other.to_json(),
+        },
+    }
+}
+
+/// Dispatch one decoded batch: run the engine calls as a single
+/// [`Engine::call_many`] batch, then write every response — engine answers and
+/// locally answered frames alike — in arrival order and framing.
+fn dispatch(
+    engine: &Engine,
+    batch: Vec<Pending>,
+    writer: &mut impl Write,
+    scratch: &mut Vec<u8>,
+) -> std::io::Result<()> {
+    let calls: Vec<Request> = batch
+        .iter()
+        .filter_map(|pending| match pending {
+            Pending::NdjsonCall(request) => Some(request.clone()),
+            Pending::BinaryCall { request, .. } => Some(request.clone()),
+            _ => None,
+        })
+        .collect();
+    let mut responses = if calls.is_empty() {
+        Vec::new()
+    } else {
+        engine.call_many(calls)
+    }
+    .into_iter();
+    let mut next = || {
+        responses
+            .next()
+            .unwrap_or_else(|| Response::error("the engine returned no response"))
+    };
+    for pending in batch {
+        match pending {
+            Pending::NdjsonCall(_) => {
+                writer.write_all(next().to_json().as_bytes())?;
+                writer.write_all(b"\n")?;
+            }
+            Pending::NdjsonReply(response) => {
+                writer.write_all(response.to_json().as_bytes())?;
+                writer.write_all(b"\n")?;
+            }
+            Pending::BinaryCall { seq, .. } => {
+                let frame = ResponseFrame {
+                    seq,
+                    body: frame_response(next()),
+                };
+                frame.write_into(scratch, writer)?;
+            }
+            Pending::BinaryReply { seq, frame } => {
+                ResponseFrame { seq, body: frame }.write_into(scratch, writer)?;
+            }
+        }
     }
     Ok(())
 }
 
-/// A blocking protocol client: one request in flight at a time over one connection.
+/// Drive one connection: decode buffered requests into batches, dispatch each
+/// batch through the engine, and flush responses when the read side goes idle.
+fn handle_connection(stream: TcpStream, engine: Engine) -> std::io::Result<()> {
+    stream.set_nodelay(true)?;
+    let mut reader = BufReader::with_capacity(64 * 1024, stream.try_clone()?);
+    let mut writer = BufWriter::with_capacity(64 * 1024, stream);
+    let mut bindings = Bindings::default();
+    let mut scratch = Vec::with_capacity(256);
+    let mut line = String::new();
+    'connection: loop {
+        // Blocks only when nothing is buffered — and everything written so far
+        // has been flushed by then, so the peer is never left waiting on us.
+        let first = match reader.fill_buf() {
+            Ok([]) => break,
+            Ok(buf) => buf[0],
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e),
+        };
+        let mut batch: Vec<Pending> = Vec::new();
+        let mut peek = Some(first);
+        loop {
+            let byte = match peek.take() {
+                Some(byte) => byte,
+                None => match reader.fill_buf() {
+                    Ok([]) => {
+                        // EOF with a batch in hand: answer it, then close.
+                        dispatch(&engine, batch, &mut writer, &mut scratch)?;
+                        writer.flush()?;
+                        break 'connection;
+                    }
+                    Ok(buf) => buf[0],
+                    Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                    Err(e) => return Err(e),
+                },
+            };
+            if byte == MAGIC {
+                match RequestFrame::read(&mut reader) {
+                    Ok(frame) => batch.push(pend_binary(frame, &mut bindings)),
+                    Err(error) => {
+                        // No recoverable frame boundary: answer what we owe plus
+                        // a final error frame, then drop the connection.
+                        dispatch(&engine, batch, &mut writer, &mut scratch)?;
+                        if let DecodeError::Protocol { seq, message } = error {
+                            let frame = ResponseFrame {
+                                seq,
+                                body: FrameResponse::Error { message },
+                            };
+                            frame.write_into(&mut scratch, &mut writer)?;
+                        }
+                        writer.flush()?;
+                        break 'connection;
+                    }
+                }
+            } else {
+                line.clear();
+                if reader.read_line(&mut line)? == 0 {
+                    dispatch(&engine, batch, &mut writer, &mut scratch)?;
+                    writer.flush()?;
+                    break 'connection;
+                }
+                let text = line.trim();
+                if !text.is_empty() {
+                    batch.push(match Request::from_json(text) {
+                        Ok(request) => Pending::NdjsonCall(request),
+                        Err(error) => Pending::NdjsonReply(Response::error(error)),
+                    });
+                }
+            }
+            if batch.len() >= MAX_BATCH || reader.buffer().is_empty() {
+                break;
+            }
+        }
+        dispatch(&engine, batch, &mut writer, &mut scratch)?;
+        // The flush fix: flush only when the read side has no further buffered
+        // input — a pipelining client's window drains in one write.
+        if reader.buffer().is_empty() {
+            writer.flush()?;
+        }
+    }
+    Ok(())
+}
+
+/// Which framing a [`Client`] speaks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Framing {
+    /// Newline-delimited JSON (the default, and the most interoperable).
+    Ndjson,
+    /// Binary frames with the fixed-layout fast path for `arrive`/`depart`/
+    /// `query` and JSON fallback frames for everything else.
+    Binary,
+}
+
+impl Framing {
+    /// The name used on command lines and in benchmark reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            Framing::Ndjson => "ndjson",
+            Framing::Binary => "binary",
+        }
+    }
+
+    /// Parse a command-line framing name.
+    pub fn parse(text: &str) -> Result<Self, String> {
+        match text {
+            "ndjson" | "json" => Ok(Framing::Ndjson),
+            "binary" | "bin" => Ok(Framing::Binary),
+            other => Err(format!(
+                "unknown framing '{other}' (expected ndjson or binary)"
+            )),
+        }
+    }
+}
+
+/// A blocking protocol client over one connection, in either framing.
+///
+/// [`Client::call`] keeps the one-request-in-flight behaviour the CLI and the
+/// smoke tests rely on.  The split [`Client::send`] / [`Client::flush`] /
+/// [`Client::recv`] API underneath lets callers keep a window of requests in
+/// flight; [`Client::pipeline`] packages the standard windowed loop, and the
+/// load generator drives the split API directly to timestamp every request.
+///
+/// In binary framing the client transparently `bind`s tenant names to
+/// connection-local ids on first use, mirroring the server's dense id
+/// assignment, and consumes the `bound` acknowledgements inside [`Client::recv`]
+/// — callers never see them.
 pub struct Client {
     reader: BufReader<TcpStream>,
     writer: BufWriter<TcpStream>,
+    framing: Framing,
+    /// Next sequence number for binary frames.
+    seq: u32,
+    /// Tenant name → connection-local id (binary framing only).
+    bindings: HashMap<String, u32>,
+    scratch: Vec<u8>,
 }
 
 impl Client {
-    /// Connect to a running daemon.
+    /// Connect to a running daemon speaking NDJSON.
     pub fn connect(addr: impl ToSocketAddrs) -> std::io::Result<Self> {
+        Self::connect_with(addr, Framing::Ndjson)
+    }
+
+    /// Connect to a running daemon speaking the binary framing.
+    pub fn connect_binary(addr: impl ToSocketAddrs) -> std::io::Result<Self> {
+        Self::connect_with(addr, Framing::Binary)
+    }
+
+    /// Connect with an explicit framing.
+    pub fn connect_with(addr: impl ToSocketAddrs, framing: Framing) -> std::io::Result<Self> {
         let stream = TcpStream::connect(addr)?;
         stream.set_nodelay(true)?;
         Ok(Client {
-            reader: BufReader::new(stream.try_clone()?),
-            writer: BufWriter::new(stream),
+            reader: BufReader::with_capacity(64 * 1024, stream.try_clone()?),
+            writer: BufWriter::with_capacity(64 * 1024, stream),
+            framing,
+            seq: 0,
+            bindings: HashMap::new(),
+            scratch: Vec::with_capacity(256),
         })
+    }
+
+    /// The framing this client speaks.
+    pub fn framing(&self) -> Framing {
+        self.framing
+    }
+
+    /// Queue one request into the connection's write buffer **without flushing**.
+    ///
+    /// In binary framing, a fast-path request for a not-yet-bound tenant first
+    /// queues a `bind` frame; the matching `bound` acknowledgement is consumed
+    /// transparently by [`Client::recv`].  Call [`Client::flush`] before
+    /// blocking on responses.
+    pub fn send(&mut self, request: &Request) -> Result<(), String> {
+        match self.framing {
+            Framing::Ndjson => self
+                .writer
+                .write_all(request.to_json().as_bytes())
+                .and_then(|()| self.writer.write_all(b"\n"))
+                .map_err(|e| format!("sending the request: {e}")),
+            Framing::Binary => {
+                let body = match request {
+                    Request::Arrive { tenant, id, job } => {
+                        let tenant = self.bind_id(tenant)?;
+                        FrameRequest::Arrive {
+                            tenant,
+                            id: *id,
+                            start: job.0,
+                            end: job.1,
+                        }
+                    }
+                    Request::Depart { tenant, id } => {
+                        let tenant = self.bind_id(tenant)?;
+                        FrameRequest::Depart { tenant, id: *id }
+                    }
+                    Request::Query { tenant } => {
+                        let tenant = self.bind_id(tenant)?;
+                        FrameRequest::Query { tenant }
+                    }
+                    other => FrameRequest::Json {
+                        payload: other.to_json(),
+                    },
+                };
+                self.send_frame(body)
+            }
+        }
+    }
+
+    /// Queue one binary frame, assigning the next sequence number.
+    fn send_frame(&mut self, body: FrameRequest) -> Result<(), String> {
+        let frame = RequestFrame {
+            seq: self.seq,
+            body,
+        };
+        self.seq = self.seq.wrapping_add(1);
+        self.scratch.clear();
+        frame.encode_into(&mut self.scratch);
+        self.writer
+            .write_all(&self.scratch)
+            .map_err(|e| format!("sending the request: {e}"))
+    }
+
+    /// The connection-local id for `tenant`, queueing a `bind` frame on first
+    /// use (mirroring the server's dense assignment, so no round trip is
+    /// needed).
+    fn bind_id(&mut self, tenant: &str) -> Result<u32, String> {
+        if let Some(&id) = self.bindings.get(tenant) {
+            return Ok(id);
+        }
+        let id = self.bindings.len() as u32;
+        self.bindings.insert(tenant.to_string(), id);
+        self.send_frame(FrameRequest::Bind {
+            name: tenant.to_string(),
+        })?;
+        Ok(id)
+    }
+
+    /// Flush every queued request to the socket.
+    pub fn flush(&mut self) -> Result<(), String> {
+        self.writer
+            .flush()
+            .map_err(|e| format!("flushing the connection: {e}"))
+    }
+
+    /// Read the next response, blocking.  Binary `bound` acknowledgements are
+    /// validated against the client's mirrored id table and skipped.
+    pub fn recv(&mut self) -> Result<Response, String> {
+        match self.framing {
+            Framing::Ndjson => {
+                let mut line = String::new();
+                let read = self
+                    .reader
+                    .read_line(&mut line)
+                    .map_err(|e| format!("reading the response: {e}"))?;
+                if read == 0 {
+                    return Err("the server closed the connection".into());
+                }
+                Response::from_json(line.trim_end())
+            }
+            Framing::Binary => loop {
+                let frame = ResponseFrame::read(&mut self.reader)
+                    .map_err(|e| format!("reading the response: {e}"))?;
+                match frame.body {
+                    FrameResponse::Bound { tenant } => {
+                        if tenant as usize >= self.bindings.len() {
+                            return Err(format!(
+                                "the server acknowledged tenant id {tenant}, which this \
+                                 client never bound"
+                            ));
+                        }
+                    }
+                    FrameResponse::Event {
+                        machine,
+                        cost_delta,
+                        cost,
+                    } => {
+                        let machine = usize::try_from(machine)
+                            .map_err(|_| format!("machine id {machine} does not fit"))?;
+                        return Ok(Response::Event {
+                            machine,
+                            cost_delta,
+                            cost,
+                        });
+                    }
+                    FrameResponse::Error { message } => return Ok(Response::Error(message)),
+                    FrameResponse::Json { payload } => return Response::from_json(&payload),
+                }
+            },
+        }
     }
 
     /// Send one request and wait for its response.
@@ -83,20 +564,9 @@ impl Client {
     /// reported as `Err`; a well-formed `{"ok": false}` response comes back as
     /// `Ok(Response::Error(..))` — the caller decides whether that fails its task.
     pub fn call(&mut self, request: &Request) -> Result<Response, String> {
-        self.writer
-            .write_all(request.to_json().as_bytes())
-            .and_then(|()| self.writer.write_all(b"\n"))
-            .and_then(|()| self.writer.flush())
-            .map_err(|e| format!("sending the request: {e}"))?;
-        let mut line = String::new();
-        let read = self
-            .reader
-            .read_line(&mut line)
-            .map_err(|e| format!("reading the response: {e}"))?;
-        if read == 0 {
-            return Err("the server closed the connection".into());
-        }
-        Response::from_json(line.trim_end())
+        self.send(request)?;
+        self.flush()?;
+        self.recv()
     }
 
     /// Like [`Client::call`], but treats an `{"ok": false}` response as an `Err` too
@@ -106,6 +576,34 @@ impl Client {
             Response::Error(error) => Err(format!("{}: {error}", request.op())),
             response => Ok(response),
         }
+    }
+
+    /// Apply `requests` with up to `depth` in flight, returning the responses in
+    /// request order.
+    ///
+    /// The window refills once it half-drains and the connection is flushed
+    /// before every potential block, so neither side ever waits on an unflushed
+    /// buffer.  `depth` is clamped to at least 1; depth 1 is exactly the
+    /// [`Client::call`] round-trip loop.
+    pub fn pipeline(
+        &mut self,
+        requests: &[Request],
+        depth: usize,
+    ) -> Result<Vec<Response>, String> {
+        let depth = depth.max(1);
+        let mut responses = Vec::with_capacity(requests.len());
+        let mut sent = 0usize;
+        while responses.len() < requests.len() {
+            if sent < requests.len() && sent - responses.len() <= depth / 2 {
+                while sent < requests.len() && sent - responses.len() < depth {
+                    self.send(&requests[sent])?;
+                    sent += 1;
+                }
+                self.flush()?;
+            }
+            responses.push(self.recv()?);
+        }
+        Ok(responses)
     }
 
     /// Drive a whole trace against the server under `tenant`: open the tenant with
@@ -123,6 +621,22 @@ impl Client {
         trace: &Trace,
         policy: OnlinePolicy,
     ) -> Result<SimulationReport, String> {
+        self.drive_trace_pipelined(tenant, trace, policy, 1)
+    }
+
+    /// [`Client::drive_trace`] with up to `depth` events in flight.
+    ///
+    /// The responses stay in event order whatever the depth, so the final report
+    /// is identical at every depth — the pipeline oracle test pins this against
+    /// a local replay.  An error response to any event aborts the drive (after
+    /// draining the window).
+    pub fn drive_trace_pipelined(
+        &mut self,
+        tenant: &str,
+        trace: &Trace,
+        policy: OnlinePolicy,
+        depth: usize,
+    ) -> Result<SimulationReport, String> {
         let open = Request::Open {
             tenant: tenant.to_string(),
             capacity: trace.capacity,
@@ -137,8 +651,15 @@ impl Client {
             })?;
             self.call_ok(&open)?;
         }
-        for event in &trace.events {
-            self.call_ok(&Request::from_event(tenant, event))?;
+        let requests: Vec<Request> = trace
+            .events
+            .iter()
+            .map(|event| Request::from_event(tenant, event))
+            .collect();
+        for (i, response) in self.pipeline(&requests, depth)?.into_iter().enumerate() {
+            if let Response::Error(error) = response {
+                return Err(format!("{}: {error}", requests[i].op()));
+            }
         }
         match self.call_ok(&Request::Query {
             tenant: tenant.to_string(),

@@ -150,6 +150,110 @@ fn random_interleaving_matches_single_tenant_replay() {
 }
 
 #[test]
+fn batched_call_many_matches_per_call_replay() {
+    // The pipelined connection handler hands decoded windows to `Engine::call_many`,
+    // which coalesces each window into one channel send per shard.  Chopping a
+    // random multi-tenant stream into random-sized batches — with rejected
+    // requests and cross-shard `stats` calls mixed into the windows — must
+    // produce response-for-response exactly what per-request `call` produces,
+    // in request order, and leave every tenant in its oracle state.
+    let model = DurationModel::HeavyTail { min: 1, max: 80 };
+    for (seed, shards, tenants) in [(501u64, 1usize, 4usize), (77, 4, 7)] {
+        let mut rng = seeded_rng(seed ^ 0xba7c);
+        let stream = multi_tenant_stream(&mut seeded_rng(seed), tenants, 80, 2.0, &model);
+
+        let registry = Registry::new(shards);
+        let engine = registry.engine();
+        let mut oracles: Vec<Oracle> = (0..tenants)
+            .map(|t| {
+                let capacity = 1 + t % 3;
+                assert!(engine
+                    .call(Request::Open {
+                        tenant: tenant_name(t),
+                        capacity,
+                        policy: None,
+                    })
+                    .is_ok());
+                Oracle {
+                    scheduler: OnlineScheduler::new(capacity, OnlinePolicy::FirstFit).unwrap(),
+                    trajectory: Vec::new(),
+                }
+            })
+            .collect();
+
+        let mut requests: Vec<Request> = Vec::new();
+        for (tenant, event) in &stream {
+            if rng.random_range(0..12) == 0 {
+                // A rejected request inside a batch: errors in place, neighbours
+                // unaffected.
+                requests.push(Request::Depart {
+                    tenant: tenant_name(*tenant),
+                    id: u64::MAX,
+                });
+            }
+            if rng.random_range(0..25) == 0 {
+                // A non-tenant op inside a batch exercises the engine-side inline
+                // path next to the shard handoff.
+                requests.push(Request::Stats);
+            }
+            requests.push(Request::from_event(&tenant_name(*tenant), event));
+        }
+
+        let mut cursor = 0usize;
+        while cursor < requests.len() {
+            let take = rng.random_range(1..=64usize).min(requests.len() - cursor);
+            let batch: Vec<Request> = requests[cursor..cursor + take].to_vec();
+            let responses = engine.call_many(batch.clone());
+            assert_eq!(responses.len(), take);
+            for (request, response) in batch.iter().zip(responses) {
+                match request {
+                    Request::Stats => assert!(matches!(response, Response::Stats { .. })),
+                    Request::Depart { id: u64::MAX, .. } => {
+                        assert!(matches!(response, Response::Error(_)), "{response:?}")
+                    }
+                    other => {
+                        let tenant = other
+                            .tenant()
+                            .and_then(|name| name.strip_prefix("tenant-"))
+                            .and_then(|t| t.parse::<usize>().ok())
+                            .unwrap();
+                        let oracle = &mut oracles[tenant];
+                        let event = match other {
+                            Request::Arrive { id, job, .. } => {
+                                Event::arrival(*id, busytime::Interval::from_ticks(job.0, job.1))
+                            }
+                            Request::Depart { id, .. } => Event::departure(*id),
+                            _ => unreachable!(),
+                        };
+                        let effect = oracle.scheduler.apply(&event).unwrap();
+                        oracle.trajectory.push(effect.cost.ticks());
+                        let Response::Event {
+                            machine,
+                            cost_delta,
+                            cost,
+                        } = response
+                        else {
+                            panic!("expected an event response, got {response:?}");
+                        };
+                        assert_eq!(machine, effect.machine);
+                        assert_eq!(cost_delta, effect.cost_delta);
+                        assert_eq!(cost, effect.cost.ticks());
+                    }
+                }
+            }
+            cursor += take;
+        }
+
+        for (t, oracle) in oracles.iter().enumerate() {
+            let name = tenant_name(t);
+            assert_reports_equal(&query(&engine, &name), oracle, &format!("final {name}"));
+        }
+        drop(engine);
+        registry.shutdown();
+    }
+}
+
+#[test]
 fn concurrent_sessions_stay_isolated() {
     // One driver thread per tenant, all hammering the same registry concurrently:
     // per-tenant request order is preserved (each tenant has one driver), so every

@@ -1,0 +1,156 @@
+//! Pipelining must be invisible in the results: a multi-tenant event stream driven
+//! over a real loopback socket with a window of k requests in flight — in either
+//! framing, against any shard count — must produce **exactly** the responses of a
+//! lone per-tenant `OnlineScheduler` replay, event for event and in order.  This
+//! pins the batched shard handoff (`Engine::call_many` coalesces a window's
+//! requests into one channel send per shard) to the ordering contract: requests
+//! for one tenant land on one shard and stay in arrival order, whatever the
+//! coalescing.
+
+use std::net::TcpListener;
+
+use busytime::online::{OnlinePolicy, OnlineScheduler};
+use busytime::report::SimulationReport;
+use busytime_server::{serve, Client, Framing, Registry, Request, Response};
+use busytime_workload::{multi_tenant_stream, seeded_rng, DurationModel};
+
+/// Bind an ephemeral loopback port and serve a fresh registry on a background
+/// thread; returns the address to connect to.
+fn spawn_server(shards: usize) -> String {
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap().to_string();
+    let registry = Registry::new(shards);
+    let engine = registry.engine();
+    std::thread::spawn(move || {
+        let _registry = registry;
+        let _ = serve(listener, engine);
+    });
+    addr
+}
+
+/// A lone-scheduler oracle per tenant, replaying that tenant's projection of the
+/// stream locally.
+struct Oracle {
+    scheduler: OnlineScheduler,
+    trajectory: Vec<i64>,
+}
+
+impl Oracle {
+    fn report(&self) -> String {
+        let report = SimulationReport::from_scheduler(&self.scheduler, self.trajectory.clone());
+        serde_json::to_string(&report).unwrap()
+    }
+}
+
+#[test]
+fn pipelined_wire_matches_local_replay_at_every_depth() {
+    let model = DurationModel::HeavyTail { min: 1, max: 70 };
+    let tenants = 4usize;
+    let stream = multi_tenant_stream(&mut seeded_rng(414), tenants, 140, 2.0, &model);
+    for shards in [1usize, 4] {
+        let addr = spawn_server(shards);
+        for framing in [Framing::Ndjson, Framing::Binary] {
+            for depth in [1usize, 8, 64] {
+                let context = format!("shards {shards}, {} depth {depth}", framing.name());
+                let name = |t: usize| format!("tenant-{t}-{}-d{depth}-s{shards}", framing.name());
+                let mut client = Client::connect_with(&addr, framing).unwrap();
+
+                let mut oracles: Vec<Oracle> = (0..tenants)
+                    .map(|t| {
+                        let capacity = 1 + t % 3;
+                        let policy = OnlinePolicy::all()[t % OnlinePolicy::all().len()];
+                        client
+                            .call_ok(&Request::Open {
+                                tenant: name(t),
+                                capacity,
+                                policy: Some(policy.name().to_string()),
+                            })
+                            .unwrap_or_else(|e| panic!("{context}: open: {e}"));
+                        Oracle {
+                            scheduler: OnlineScheduler::new(capacity, policy).unwrap(),
+                            trajectory: Vec::new(),
+                        }
+                    })
+                    .collect();
+
+                // The whole interleaved stream through one pipelined connection:
+                // responses must come back in request order, each matching its
+                // tenant's lone-scheduler effect exactly.
+                let requests: Vec<Request> = stream
+                    .iter()
+                    .map(|(t, event)| Request::from_event(&name(*t), event))
+                    .collect();
+                let responses = client
+                    .pipeline(&requests, depth)
+                    .unwrap_or_else(|e| panic!("{context}: pipeline: {e}"));
+                assert_eq!(responses.len(), requests.len(), "{context}");
+                for (i, ((t, event), response)) in stream.iter().zip(&responses).enumerate() {
+                    let oracle = &mut oracles[*t];
+                    let effect = oracle.scheduler.apply(event).unwrap();
+                    oracle.trajectory.push(effect.cost.ticks());
+                    let Response::Event {
+                        machine,
+                        cost_delta,
+                        cost,
+                    } = response
+                    else {
+                        panic!("{context}: event {i}: unexpected response {response:?}");
+                    };
+                    assert_eq!(*machine, effect.machine, "{context}: event {i}");
+                    assert_eq!(*cost_delta, effect.cost_delta, "{context}: event {i}");
+                    assert_eq!(*cost, effect.cost.ticks(), "{context}: event {i}");
+                }
+
+                for (t, oracle) in oracles.iter().enumerate() {
+                    let Response::Query(report) = client
+                        .call_ok(&Request::Query { tenant: name(t) })
+                        .unwrap_or_else(|e| panic!("{context}: query: {e}"))
+                    else {
+                        panic!("{context}: expected a query report");
+                    };
+                    assert_eq!(
+                        serde_json::to_string(&report).unwrap(),
+                        oracle.report(),
+                        "{context}: final report for tenant {t}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn drive_trace_is_depth_invariant() {
+    // The high-level trace driver must hand back the identical report whatever
+    // the pipeline depth or framing — depth 1 over NDJSON is the PR-5 behaviour.
+    use busytime::online::{Event, Trace};
+    use busytime::Interval;
+
+    let trace = Trace::new(
+        2,
+        vec![
+            Event::arrival(1, Interval::from_ticks(0, 10)),
+            Event::arrival(2, Interval::from_ticks(4, 12)),
+            Event::arrival(3, Interval::from_ticks(6, 14)),
+            Event::departure(1),
+            Event::arrival(4, Interval::from_ticks(9, 21)),
+        ],
+    );
+    let addr = spawn_server(2);
+    let mut reference = None;
+    for framing in [Framing::Ndjson, Framing::Binary] {
+        for depth in [1usize, 8, 64] {
+            let mut client = Client::connect_with(&addr, framing).unwrap();
+            let report = client
+                .drive_trace_pipelined("depth-invariant", &trace, OnlinePolicy::FirstFit, depth)
+                .unwrap();
+            let json = serde_json::to_string(&report).unwrap();
+            match &reference {
+                None => reference = Some(json),
+                Some(expected) => {
+                    assert_eq!(&json, expected, "{} depth {depth} diverged", framing.name())
+                }
+            }
+        }
+    }
+}

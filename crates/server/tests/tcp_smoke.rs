@@ -128,6 +128,178 @@ fn snapshot_restore_and_stats_over_the_wire() {
 }
 
 #[test]
+fn one_connection_may_mix_framings_per_message() {
+    use busytime_server::{FrameRequest, FrameResponse, RequestFrame, ResponseFrame};
+    use std::io::{BufRead, BufReader, Write};
+
+    let addr = spawn_server(2);
+    let mut stream = std::net::TcpStream::connect(&addr).unwrap();
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+
+    // NDJSON open…
+    stream
+        .write_all(b"{\"op\":\"open\",\"tenant\":\"mix\",\"capacity\":1}\n")
+        .unwrap();
+    let mut line = String::new();
+    reader.read_line(&mut line).unwrap();
+    assert!(Response::from_json(line.trim_end()).unwrap().is_ok());
+
+    // …then a binary bind + arrive on the same connection…
+    for frame in [
+        RequestFrame {
+            seq: 1,
+            body: FrameRequest::Bind { name: "mix".into() },
+        },
+        RequestFrame {
+            seq: 2,
+            body: FrameRequest::Arrive {
+                tenant: 0,
+                id: 1,
+                start: 0,
+                end: 5,
+            },
+        },
+    ] {
+        stream.write_all(&frame.encode()).unwrap();
+    }
+    let bound = ResponseFrame::read(&mut reader).unwrap();
+    assert!(
+        matches!(bound.body, FrameResponse::Bound { tenant: 0 }),
+        "{bound:?}"
+    );
+    let event = ResponseFrame::read(&mut reader).unwrap();
+    assert!(
+        matches!(
+            event.body,
+            FrameResponse::Event {
+                machine: 0,
+                cost_delta: 5,
+                cost: 5
+            }
+        ),
+        "{event:?}"
+    );
+
+    // …and back to NDJSON, seeing the state the binary frames built.
+    stream
+        .write_all(b"{\"op\":\"depart\",\"tenant\":\"mix\",\"id\":1}\n")
+        .unwrap();
+    line.clear();
+    reader.read_line(&mut line).unwrap();
+    assert!(
+        matches!(
+            Response::from_json(line.trim_end()).unwrap(),
+            Response::Event { cost_delta: -5, .. }
+        ),
+        "{line}"
+    );
+}
+
+#[test]
+fn hostile_binary_frames_drop_the_connection_without_desyncing_others() {
+    use busytime_server::{FrameResponse, ResponseFrame};
+    use std::io::{Read, Write};
+
+    let addr = spawn_server(1);
+
+    // A long-lived honest connection that must survive everything below.
+    let mut honest = Client::connect_binary(&addr).unwrap();
+    honest
+        .call_ok(&Request::Open {
+            tenant: "honest".into(),
+            capacity: 1,
+            policy: None,
+        })
+        .unwrap();
+
+    // Hostile connection 1: an unknown opcode after the magic byte.  The server
+    // answers a final error frame echoing the sequence number, then closes.
+    let mut bad = std::net::TcpStream::connect(&addr).unwrap();
+    bad.write_all(&[0xB5, 0x7f, 9, 0, 0, 0]).unwrap();
+    let frame = ResponseFrame::read(&mut bad).unwrap();
+    assert_eq!(frame.seq, 9);
+    assert!(
+        matches!(frame.body, FrameResponse::Error { .. }),
+        "{frame:?}"
+    );
+    let mut rest = Vec::new();
+    bad.read_to_end(&mut rest).unwrap();
+    assert!(
+        rest.is_empty(),
+        "the connection must close after the error frame"
+    );
+
+    // Hostile connection 2: a bind declaring a 3 GiB name.  Refused before the
+    // allocation; the connection closes after the error frame.
+    let mut bad = std::net::TcpStream::connect(&addr).unwrap();
+    let mut bytes = vec![0xB5, 0x04, 1, 0, 0, 0];
+    bytes.extend_from_slice(&3_000_000_000u32.to_le_bytes());
+    bad.write_all(&bytes).unwrap();
+    let frame = ResponseFrame::read(&mut bad).unwrap();
+    assert!(
+        matches!(frame.body, FrameResponse::Error { .. }),
+        "{frame:?}"
+    );
+    let mut rest = Vec::new();
+    bad.read_to_end(&mut rest).unwrap();
+    assert!(rest.is_empty());
+
+    // Hostile connection 3: a frame truncated mid-body, then a clean shutdown.
+    // Nothing to answer (the header's promise was never kept) — the server just
+    // drops the connection without panicking.
+    let mut bad = std::net::TcpStream::connect(&addr).unwrap();
+    bad.write_all(&[0xB5, 0x01, 0, 0, 0, 0, 1, 2, 3]).unwrap();
+    bad.shutdown(std::net::Shutdown::Write).unwrap();
+    let mut rest = Vec::new();
+    bad.read_to_end(&mut rest).unwrap();
+
+    // Hostile connection 4: an unbound tenant id is a *semantic* error — the
+    // frame decodes fine, so the connection stays usable.
+    let mut semi = std::net::TcpStream::connect(&addr).unwrap();
+    semi.write_all(
+        &busytime_server::RequestFrame {
+            seq: 4,
+            body: busytime_server::FrameRequest::Query { tenant: 42 },
+        }
+        .encode(),
+    )
+    .unwrap();
+    let frame = ResponseFrame::read(&mut semi).unwrap();
+    assert!(
+        matches!(frame.body, FrameResponse::Error { .. }),
+        "{frame:?}"
+    );
+    semi.write_all(
+        &busytime_server::RequestFrame {
+            seq: 5,
+            body: busytime_server::FrameRequest::Bind {
+                name: "late".into(),
+            },
+        }
+        .encode(),
+    )
+    .unwrap();
+    let frame = ResponseFrame::read(&mut semi).unwrap();
+    assert!(
+        matches!(frame.body, FrameResponse::Bound { tenant: 0 }),
+        "the connection must stay usable after a semantic error: {frame:?}"
+    );
+
+    // Through it all, the honest connection never desynced.
+    let response = honest
+        .call_ok(&Request::Arrive {
+            tenant: "honest".into(),
+            id: 1,
+            job: (0, 7),
+        })
+        .unwrap();
+    assert!(
+        matches!(response, Response::Event { cost: 7, .. }),
+        "{response:?}"
+    );
+}
+
+#[test]
 fn malformed_lines_do_not_kill_the_connection() {
     use std::io::{BufRead, BufReader, Write};
 
