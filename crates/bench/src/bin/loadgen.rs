@@ -94,14 +94,15 @@ fn main() {
     }
     let connections = connections.unwrap_or(tenants).clamp(1, tenants);
 
-    // Keep the self-spawned registry alive for the whole run (dropping it
-    // detaches the shard threads; the accept loop dies with the process).
-    let (addr, _registry) = match addr {
+    // Keep the self-spawned server alive for the whole run; the handle stops
+    // the accept loop when it drops at the end of main.
+    let (addr, _daemon) = match addr {
         Some(addr) => (addr, None),
         None => {
-            let (addr, registry) = spawn_loopback(shards);
+            let (server, registry) = spawn_loopback(shards);
+            let addr = server.addr().to_string();
             println!("spawned loopback daemon with {shards} shard(s) at {addr}");
-            (addr, Some(registry))
+            (addr, Some((server, registry)))
         }
     };
 

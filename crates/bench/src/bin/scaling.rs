@@ -139,6 +139,23 @@ struct RecoveryRow {
     events_per_sec: Option<f64>,
 }
 
+/// One measured resilience scenario: overload shedding under a flood, or
+/// recovery from an injected shard death.
+#[derive(Debug, Serialize)]
+struct ResilienceRow {
+    scenario: String,
+    /// Requests driven at the engine.
+    requests: usize,
+    /// Requests that eventually succeeded.
+    ok: usize,
+    /// Requests shed with an `overloaded` error.
+    shed: usize,
+    secs: f64,
+    /// Shard-respawn scenario only: wall time from the first failed call to the
+    /// first success after the worker was respawned and its WAL replayed.
+    recovery_ms: Option<f64>,
+}
+
 /// One measured online-engine configuration.
 #[derive(Debug, Serialize)]
 struct OnlineRow {
@@ -170,6 +187,7 @@ struct Report {
     durability: Vec<DurabilityRow>,
     recovery: Vec<RecoveryRow>,
     server_load: Vec<busytime_bench::loadgen::LoadRow>,
+    resilience: Vec<ResilienceRow>,
 }
 
 #[derive(Debug, Serialize)]
@@ -728,12 +746,11 @@ fn main() {
     // The wire itself: the loopback load generator drives a real daemon (socket,
     // framing negotiation, batched shard handoff — the full connection path) over
     // both framings at several pipeline depths.  One matrix, fresh tenants per
-    // cell, identical seeded workload in every cell.  The registry must be
-    // *dropped*, never shut down: the detached accept loop holds an engine clone
-    // for the life of the process, so a join would never return.
+    // cell, identical seeded workload in every cell.
     let load_depths: &[usize] = if quick { &[1, 8] } else { &[1, 8, 64] };
     let load_events = if quick { 500 } else { 2_500 };
-    let (load_addr, load_registry) = busytime_bench::loadgen::spawn_loopback(4);
+    let (load_server, load_registry) = busytime_bench::loadgen::spawn_loopback(4);
+    let load_addr = load_server.addr().to_string();
     let server_load = busytime_bench::loadgen::run_matrix(
         &load_addr,
         &[
@@ -747,7 +764,132 @@ fn main() {
         2012,
     )
     .expect("the loopback load matrix runs");
-    drop(load_registry);
+    drop(load_server);
+    load_registry.shutdown();
+
+    // Resilience: the overload and fault paths added alongside admission
+    // control.  First a single-tenant flood against a rate quota (most of it
+    // must shed, and the same flood with no quota must fully land), then a
+    // deterministic shard kill mid-stream, timing how long the engine takes to
+    // respawn the worker, replay its WAL, and answer again.
+    let mut resilience = Vec::new();
+    let flood_requests = if quick { 2_000 } else { 10_000 };
+    for shedding in [true, false] {
+        let mut config = busytime_server::RegistryConfig::new(2);
+        if shedding {
+            config.admission = Some(busytime_server::AdmissionConfig {
+                tenant_rate: Some(500.0),
+                ..Default::default()
+            });
+        }
+        let registry =
+            busytime_server::Registry::with_config(config).expect("an in-memory registry");
+        let engine = registry.engine();
+        let response = engine.call(busytime_server::Request::Open {
+            tenant: "flood".to_string(),
+            capacity,
+            policy: Some("first-fit".to_string()),
+        });
+        assert!(response.is_ok(), "{response:?}");
+        let started = Instant::now();
+        let (mut ok, mut shed) = (0usize, 0usize);
+        for _ in 0..flood_requests {
+            match engine.call(busytime_server::Request::Query {
+                tenant: "flood".to_string(),
+            }) {
+                busytime_server::Response::Error(error)
+                    if error.code == busytime_server::ErrorCode::Overloaded =>
+                {
+                    shed += 1;
+                }
+                response => {
+                    assert!(response.is_ok(), "{response:?}");
+                    ok += 1;
+                }
+            }
+        }
+        resilience.push(ResilienceRow {
+            scenario: format!("flood_shedding_{}", if shedding { "on" } else { "off" }),
+            requests: flood_requests,
+            ok,
+            shed,
+            secs: started.elapsed().as_secs_f64(),
+            recovery_ms: None,
+        });
+        drop(engine);
+        registry.shutdown();
+    }
+    {
+        let root = std::env::temp_dir().join(format!(
+            "busytime-scaling-resilience-{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&root);
+        let kill_jobs = if quick { 200 } else { 1_000 };
+        let trace = poisson_trace(&mut seeded_rng(2012), kill_jobs, capacity, 3.0, &heavy_tail);
+        let mut config = busytime_server::RegistryConfig::new(1);
+        config.durability = Some(busytime_server::DurabilityConfig::new(&root));
+        // Draw the single kill from the first half of the stream so it always
+        // fires mid-drive.
+        config.faults = Some(busytime_server::FaultPlan::new(
+            busytime_server::FaultSpec {
+                shard_kills: 1,
+                horizon: (trace.events.len() / 2) as u64,
+                ..busytime_server::FaultSpec::quiet(2012)
+            },
+        ));
+        let registry =
+            busytime_server::Registry::with_config(config).expect("the bench data directory opens");
+        let engine = registry.engine();
+        let response = engine.call(busytime_server::Request::Open {
+            tenant: "chaos".to_string(),
+            capacity,
+            policy: Some("first-fit".to_string()),
+        });
+        assert!(response.is_ok(), "{response:?}");
+        let started = Instant::now();
+        let (mut ok, mut shed) = (0usize, 0usize);
+        let mut recovery_ms = None;
+        for event in &trace.events {
+            let request = busytime_server::Request::from_event("chaos", event);
+            let mut first_failure: Option<Instant> = None;
+            loop {
+                match engine.call(request.clone()) {
+                    busytime_server::Response::Error(error) if error.code.is_retryable() => {
+                        // The kill fires before the batch is touched, so the
+                        // failed event was neither applied nor logged — the
+                        // retry is exactly-once.
+                        shed += 1;
+                        let failed = *first_failure.get_or_insert_with(Instant::now);
+                        assert!(
+                            failed.elapsed().as_secs_f64() < 5.0,
+                            "the shard never came back: {error:?}"
+                        );
+                        std::thread::sleep(std::time::Duration::from_millis(1));
+                    }
+                    response => {
+                        assert!(response.is_ok(), "{response:?}");
+                        ok += 1;
+                        if let Some(failed) = first_failure {
+                            recovery_ms.get_or_insert(failed.elapsed().as_secs_f64() * 1_000.0);
+                        }
+                        break;
+                    }
+                }
+            }
+        }
+        resilience.push(ResilienceRow {
+            scenario: "shard_respawn".to_string(),
+            requests: trace.events.len(),
+            ok,
+            shed,
+            secs: started.elapsed().as_secs_f64(),
+            recovery_ms,
+        });
+        drop(engine);
+        registry.shutdown();
+        let _ = std::fs::remove_dir_all(&root);
+    }
 
     let parallelism = std::thread::available_parallelism()
         .map(std::num::NonZeroUsize::get)
@@ -774,6 +916,7 @@ fn main() {
         durability,
         recovery,
         server_load,
+        resilience,
     };
 
     // One row object per line keeps the file diffable across regenerations.
@@ -847,6 +990,16 @@ fn main() {
         text.push_str("    ");
         text.push_str(&serde_json::to_string(r).expect("server_load rows serialize"));
         text.push_str(if i + 1 < report.server_load.len() {
+            ",\n"
+        } else {
+            "\n"
+        });
+    }
+    text.push_str("  ],\n  \"resilience\": [\n");
+    for (i, r) in report.resilience.iter().enumerate() {
+        text.push_str("    ");
+        text.push_str(&serde_json::to_string(r).expect("resilience rows serialize"));
+        text.push_str(if i + 1 < report.resilience.len() {
             ",\n"
         } else {
             "\n"
@@ -930,6 +1083,18 @@ fn main() {
             r.p99_us,
             r.p999_us,
             r.speedup_vs_ndjson_depth1.unwrap_or(f64::NAN),
+        );
+    }
+    for r in &report.resilience {
+        println!(
+            "resilience {:<18} {:>6} requests: {:>6} ok, {:>6} shed, {:.3}s{}",
+            r.scenario,
+            r.requests,
+            r.ok,
+            r.shed,
+            r.secs,
+            r.recovery_ms
+                .map_or(String::new(), |ms| format!(" (respawned in {ms:.1}ms)")),
         );
     }
     println!("wrote {output}");
@@ -1042,6 +1207,48 @@ fn main() {
                 "server_load: best binary cell at {best_binary:.2}x vs ndjson depth 1 \
                  — the pipelined binary framing must reach {load_bar:.0}x"
             ));
+        }
+        // The acceptance bars for the resilience work: the rate quota must
+        // actually shed a flood (and not touch one when disabled), and a
+        // killed shard must be back — WAL replayed, requests answered —
+        // well within the self-healing client's retry budget.
+        for scenario in ["flood_shedding_on", "flood_shedding_off", "shard_respawn"] {
+            let Some(r) = report.resilience.iter().find(|r| r.scenario == scenario) else {
+                failures.push(format!("no {scenario} resilience row was recorded"));
+                continue;
+            };
+            match scenario {
+                "flood_shedding_on" => {
+                    if r.shed == 0 {
+                        failures.push("flood_shedding_on: the rate quota shed nothing".to_string());
+                    }
+                }
+                "flood_shedding_off" => {
+                    if r.shed != 0 || r.ok != r.requests {
+                        failures.push(format!(
+                            "flood_shedding_off: {} shed / {} ok of {} without admission control",
+                            r.shed, r.ok, r.requests
+                        ));
+                    }
+                }
+                _ => {
+                    if r.ok != r.requests {
+                        failures.push(format!(
+                            "shard_respawn: only {} of {} requests landed",
+                            r.ok, r.requests
+                        ));
+                    }
+                    match r.recovery_ms {
+                        Some(ms) if ms < 5_000.0 => {}
+                        Some(ms) => failures.push(format!(
+                            "shard_respawn: {ms:.0}ms to recover — the bar is 5000ms"
+                        )),
+                        None => {
+                            failures.push("shard_respawn: the planned kill never fired".to_string())
+                        }
+                    }
+                }
+            }
         }
         if report.meta.git_rev == "unknown" {
             failures.push(

@@ -21,7 +21,9 @@ use std::net::TcpListener;
 use std::time::Instant;
 
 use busytime::online::Event;
-use busytime_server::{serve, Client, Framing, Registry, Request, Response};
+use busytime_server::{
+    spawn, Client, Framing, Registry, RegistryConfig, Request, Response, ServerHandle,
+};
 use busytime_workload::{multi_tenant_stream, seeded_rng, DurationModel};
 
 /// One load-generation configuration: a framing and a pipeline depth against a
@@ -77,19 +79,21 @@ pub struct LoadRow {
 /// Spawn a fresh in-memory registry served on an ephemeral loopback port (the
 /// self-contained mode of the `loadgen` binary and the `scaling` benchmark).
 ///
-/// Returns the address and the registry.  Do **not** call
-/// [`Registry::shutdown`] on it — the detached accept loop holds an engine
-/// clone for the life of the process, so a join would never return; just drop
-/// it (the shard threads detach) when the measurements are done.
-pub fn spawn_loopback(shards: usize) -> (String, Registry) {
+/// Returns the server handle (drop it to stop accepting; its `addr()` is where
+/// clients connect) and the registry.  Dropping the handle *before* the
+/// registry makes [`Registry::shutdown`] safe: the accept loop's engine clone
+/// is gone, so the join returns as soon as the last connection closes.
+pub fn spawn_loopback(shards: usize) -> (ServerHandle, Registry) {
+    spawn_loopback_with(RegistryConfig::new(shards))
+}
+
+/// [`spawn_loopback`] with a full [`RegistryConfig`] — admission control and
+/// fault plans included (the resilience benchmarks use both).
+pub fn spawn_loopback_with(config: RegistryConfig) -> (ServerHandle, Registry) {
     let listener = TcpListener::bind("127.0.0.1:0").expect("loopback bind");
-    let addr = listener.local_addr().expect("local addr").to_string();
-    let registry = Registry::new(shards);
-    let engine = registry.engine();
-    std::thread::spawn(move || {
-        let _ = serve(listener, engine);
-    });
-    (addr, registry)
+    let registry = Registry::with_config(config).expect("spawning the registry");
+    let server = spawn(listener, registry.engine()).expect("spawning the accept loop");
+    (server, registry)
 }
 
 /// The per-tenant event streams of a spec, identical for every framing × depth
@@ -307,7 +311,8 @@ mod tests {
 
     #[test]
     fn the_matrix_measures_both_framings_and_annotates_speedups() {
-        let (addr, registry) = spawn_loopback(2);
+        let (server, registry) = spawn_loopback(2);
+        let addr = server.addr().to_string();
         let rows = run_matrix(
             &addr,
             &[Framing::Ndjson, Framing::Binary],
@@ -333,6 +338,8 @@ mod tests {
         assert_eq!(rows[0].speedup_vs_ndjson_depth1, Some(1.0));
         // Every cell drives the same number of requests — same workload.
         assert!(rows.iter().all(|row| row.requests == rows[0].requests));
-        drop(registry);
+        // The fixed lifecycle: stop the accept loop, then join the shards.
+        drop(server);
+        registry.shutdown();
     }
 }

@@ -409,32 +409,35 @@ pub fn run_client(
 /// process is killed.  Prints the bound address (port 0 resolves to a free port)
 /// before entering the accept loop, so scripts can scrape it.
 ///
-/// With a [`DurabilityConfig`](busytime_server::DurabilityConfig) (`--data-dir`),
-/// the registry rebuilds every tenant from the data directory before accepting
-/// connections and journals every mutation before acknowledging it; without one
-/// the daemon is purely in-memory, exactly as before.
-pub fn run_serve(
-    addr: &str,
-    shards: usize,
-    durability: Option<busytime_server::DurabilityConfig>,
-) -> Result<(), String> {
+/// The [`RegistryConfig`](busytime_server::RegistryConfig) carries the optional
+/// layers: with durability (`--data-dir`) the registry rebuilds every tenant
+/// from the data directory before accepting connections and journals every
+/// mutation before acknowledging it; with admission (`--max-inflight`,
+/// `--tenant-rate`) per-tenant floods are shed with `overloaded` errors instead
+/// of stalling cotenants.
+pub fn run_serve(addr: &str, config: busytime_server::RegistryConfig) -> Result<(), String> {
     let listener =
         std::net::TcpListener::bind(addr).map_err(|e| format!("cannot bind {addr}: {e}"))?;
     let local = listener
         .local_addr()
         .map_err(|e| format!("cannot read the bound address: {e}"))?;
-    let data_dir = durability.as_ref().map(|config| config.data_dir.clone());
-    let registry = busytime_server::Registry::with_durability(shards, durability)
+    let data_dir = config
+        .durability
+        .as_ref()
+        .map(|durability| durability.data_dir.clone());
+    let admission = config.admission.is_some();
+    let registry = busytime_server::Registry::with_config(config)
         .map_err(|e| format!("cannot open the data directory: {e}"))?;
     let engine = registry.engine();
+    let shedding = if admission { ", shedding overload" } else { "" };
     match data_dir {
         Some(dir) => println!(
-            "busytime-server listening on {local} with {} shard(s), journaling to {}",
+            "busytime-server listening on {local} with {} shard(s), journaling to {}{shedding}",
             engine.shard_count(),
             dir.display()
         ),
         None => println!(
-            "busytime-server listening on {local} with {} shard(s)",
+            "busytime-server listening on {local} with {} shard(s){shedding}",
             engine.shard_count()
         ),
     }

@@ -12,6 +12,7 @@
 //!                   --jobs N --capacity G [--seed S] [--output instance.json]
 //! busytime serve [--addr HOST:PORT] [--shards N] [--data-dir PATH]
 //!                [--fsync-batch N] [--compact-every N]
+//!                [--max-inflight N] [--tenant-rate R]
 //! busytime client <trace.json> --tenant NAME [--addr HOST:PORT] [--policy POLICY]
 //!                 [--binary] [--pipeline N] [--output report.json]
 //! busytime fsck <data-dir>
@@ -28,7 +29,10 @@
 //! worker per core); `--policy` selects the online placement rule driving `simulate`
 //! (default: `first-fit`).  For `client`, `--binary` switches the connection to the
 //! compact binary framing and `--pipeline N` keeps N requests in flight (default 1,
-//! lockstep); the report is identical either way.
+//! lockstep); the report is identical either way.  For `serve`, `--max-inflight`
+//! caps a tenant's concurrent requests and `--tenant-rate` sets a per-tenant
+//! requests/second quota; passing either turns on admission control, so floods
+//! are shed with retryable `overloaded` errors instead of stalling cotenants.
 
 use busytime::online::OnlinePolicy;
 use busytime::Algorithm;
@@ -36,14 +40,14 @@ use busytime_cli::{
     run_batch, run_client, run_fsck, run_generate, run_serve, run_simulate, run_solve,
     run_throughput, BatchFile, CommandOutput, InstanceFile, SolveOptions, TraceFile, WorkloadClass,
 };
-use busytime_server::DurabilityConfig;
+use busytime_server::{AdmissionConfig, DurabilityConfig, RegistryConfig};
 
 /// Default host:port of `serve` and `client` (loopback; pass `--addr` to change).
 const DEFAULT_ADDR: &str = "127.0.0.1:7878";
 
 fn usage() -> ! {
     eprintln!(
-        "usage:\n  busytime solve <instance.json> [--algorithm NAME] [--exact-only] [--output schedule.json]\n  busytime throughput <instance.json> --budget T [--algorithm NAME] [--exact-only] [--output schedule.json]\n  busytime batch <instances.json> [--budget T] [--threads N] [--algorithm NAME] [--exact-only] [--output results.json]\n  busytime simulate <trace.json> [--policy POLICY] [--output simulation.json]\n  busytime generate --class CLASS --jobs N --capacity G [--seed S] [--output instance.json]\n  busytime serve [--addr HOST:PORT] [--shards N] [--data-dir PATH] [--fsync-batch N] [--compact-every N]\n  busytime client <trace.json> --tenant NAME [--addr HOST:PORT] [--policy POLICY] [--binary] [--pipeline N] [--output report.json]\n  busytime fsck <data-dir>"
+        "usage:\n  busytime solve <instance.json> [--algorithm NAME] [--exact-only] [--output schedule.json]\n  busytime throughput <instance.json> --budget T [--algorithm NAME] [--exact-only] [--output schedule.json]\n  busytime batch <instances.json> [--budget T] [--threads N] [--algorithm NAME] [--exact-only] [--output results.json]\n  busytime simulate <trace.json> [--policy POLICY] [--output simulation.json]\n  busytime generate --class CLASS --jobs N --capacity G [--seed S] [--output instance.json]\n  busytime serve [--addr HOST:PORT] [--shards N] [--data-dir PATH] [--fsync-batch N] [--compact-every N] [--max-inflight N] [--tenant-rate R]\n  busytime client <trace.json> --tenant NAME [--addr HOST:PORT] [--policy POLICY] [--binary] [--pipeline N] [--output report.json]\n  busytime fsck <data-dir>"
     );
     std::process::exit(2);
 }
@@ -272,6 +276,8 @@ fn main() {
             let mut data_dir: Option<String> = None;
             let mut fsync_batch: Option<usize> = None;
             let mut compact_every: Option<u64> = None;
+            let mut max_inflight: Option<usize> = None;
+            let mut tenant_rate: Option<f64> = None;
             let mut it = args[1..].iter();
             while let Some(arg) = it.next() {
                 match arg.as_str() {
@@ -300,19 +306,36 @@ fn main() {
                                 .unwrap_or_else(|| usage()),
                         )
                     }
+                    "--max-inflight" => {
+                        max_inflight = Some(
+                            it.next()
+                                .and_then(|v| v.parse().ok())
+                                .filter(|&n| n > 0)
+                                .unwrap_or_else(|| usage()),
+                        )
+                    }
+                    "--tenant-rate" => {
+                        tenant_rate = Some(
+                            it.next()
+                                .and_then(|v| v.parse().ok())
+                                .filter(|&r| r > 0.0)
+                                .unwrap_or_else(|| usage()),
+                        )
+                    }
                     _ => usage(),
                 }
             }
-            let durability = match data_dir {
+            let mut config = RegistryConfig::new(shards);
+            config.durability = match data_dir {
                 Some(dir) => {
-                    let mut config = DurabilityConfig::new(dir);
+                    let mut durability = DurabilityConfig::new(dir);
                     if let Some(batch) = fsync_batch {
-                        config.fsync_batch = batch;
+                        durability.fsync_batch = batch;
                     }
                     if let Some(threshold) = compact_every {
-                        config.compact_threshold = threshold;
+                        durability.compact_threshold = threshold;
                     }
-                    Some(config)
+                    Some(durability)
                 }
                 None if fsync_batch.is_some() || compact_every.is_some() => {
                     eprintln!("--fsync-batch and --compact-every need --data-dir");
@@ -320,7 +343,17 @@ fn main() {
                 }
                 None => None,
             };
-            if let Err(e) = run_serve(&addr, shards, durability) {
+            // Either admission flag opts the daemon into overload shedding;
+            // the other keeps its default.
+            if max_inflight.is_some() || tenant_rate.is_some() {
+                let mut admission = AdmissionConfig::default();
+                if let Some(cap) = max_inflight {
+                    admission.max_inflight = cap;
+                }
+                admission.tenant_rate = tenant_rate;
+                config.admission = Some(admission);
+            }
+            if let Err(e) = run_serve(&addr, config) {
                 eprintln!("error: {e}");
                 std::process::exit(1);
             }

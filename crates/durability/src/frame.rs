@@ -13,6 +13,7 @@
 //! the header promises) or fails its CRC — everything before that point is
 //! the durable prefix.
 
+use crate::inject::{FaultInjector, IoPoint};
 use std::fmt;
 use std::fs::{File, OpenOptions};
 use std::io::{self, Write};
@@ -188,6 +189,8 @@ pub struct Journal {
     /// Reused frame-assembly buffer: `append` runs on a shard's hot path, so
     /// each record must not cost a fresh allocation.
     scratch: Vec<u8>,
+    /// Chaos hook consulted before each write/fsync; `None` in production.
+    injector: Option<FaultInjector>,
 }
 
 impl Journal {
@@ -207,6 +210,7 @@ impl Journal {
             records: 0,
             bytes: 0,
             scratch: Vec::new(),
+            injector: None,
         })
     }
 
@@ -240,8 +244,14 @@ impl Journal {
             records: scan.records.len() as u64,
             bytes: scan.valid_bytes,
             scratch: Vec::new(),
+            injector: None,
         };
         Ok((journal, scan))
+    }
+
+    /// Install (or clear) the chaos hook consulted before each write/fsync.
+    pub fn set_injector(&mut self, injector: Option<FaultInjector>) {
+        self.injector = injector;
     }
 
     /// Append one record.  The frame is handed to the kernel immediately
@@ -252,6 +262,9 @@ impl Journal {
             payload.len() as u64 <= MAX_FRAME_LEN as u64,
             "journal record exceeds MAX_FRAME_LEN"
         );
+        if let Some(injector) = &self.injector {
+            injector.check(IoPoint::Append)?;
+        }
         self.scratch.clear();
         self.scratch
             .extend_from_slice(&(payload.len() as u32).to_le_bytes());
@@ -271,6 +284,9 @@ impl Journal {
     /// Force any batched appends down to stable storage now.
     pub fn sync(&mut self) -> io::Result<()> {
         if self.pending > 0 {
+            if let Some(injector) = &self.injector {
+                injector.check(IoPoint::Sync)?;
+            }
             self.file.sync_data()?;
             self.pending = 0;
         }

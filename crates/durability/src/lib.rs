@@ -25,11 +25,13 @@
 #![warn(missing_docs)]
 
 mod frame;
+mod inject;
 mod store;
 
 pub use frame::{
     crc32, scan_journal, Corruption, Journal, JournalScan, FRAME_HEADER_LEN, MAX_FRAME_LEN,
 };
+pub use inject::{FaultInjector, IoPoint};
 pub use store::{
     decode_tenant_name, encode_tenant_name, journal_path, list_generations, snapshot_path,
     Recovered, Store, TenantInspection, TenantLog, WalStats,

@@ -14,6 +14,7 @@ use std::io::{self, Write};
 use std::path::{Path, PathBuf};
 
 use crate::frame::{scan_journal, Corruption, Journal};
+use crate::inject::FaultInjector;
 
 /// Encode a tenant name into a filesystem-safe directory name.  ASCII
 /// alphanumerics, `-` and `_` pass through; every other byte becomes `%XX`.
@@ -148,6 +149,9 @@ pub struct TenantLog {
     snapshot_bytes: u64,
     journal: Journal,
     fsync_batch: usize,
+    /// Chaos hook the journal (and every journal compaction replaces it with)
+    /// consults before disk I/O; `None` in production.
+    injector: Option<FaultInjector>,
 }
 
 /// Counters describing a tenant's on-disk write-ahead state, as reported by
@@ -179,11 +183,24 @@ impl TenantLog {
         snapshot_json: &str,
         fsync_batch: usize,
     ) -> io::Result<TenantLog> {
+        TenantLog::begin_with(dir, generation, snapshot_json, fsync_batch, None)
+    }
+
+    /// [`TenantLog::begin`] with a chaos hook installed on the new journal
+    /// (and inherited by every later compaction).
+    pub fn begin_with(
+        dir: impl Into<PathBuf>,
+        generation: u64,
+        snapshot_json: &str,
+        fsync_batch: usize,
+        injector: Option<FaultInjector>,
+    ) -> io::Result<TenantLog> {
         let dir = dir.into();
         fs::create_dir_all(&dir)?;
         let destination = snapshot_path(&dir, generation);
         let staged = stage_write(&destination, snapshot_json.as_bytes())?;
-        let journal = Journal::create(journal_path(&dir, generation), fsync_batch)?;
+        let mut journal = Journal::create(journal_path(&dir, generation), fsync_batch)?;
+        journal.set_injector(injector.clone());
         commit_staged(&staged, &destination)?;
         remove_other_generations(&dir, generation);
         Ok(TenantLog {
@@ -192,6 +209,7 @@ impl TenantLog {
             snapshot_bytes: snapshot_json.len() as u64,
             journal,
             fsync_batch,
+            injector,
         })
     }
 
@@ -209,11 +227,12 @@ impl TenantLog {
     /// an empty journal, retiring the current journal tail.  O(snapshot), not
     /// O(journal length).
     pub fn compact(&mut self, snapshot_json: &str) -> io::Result<()> {
-        *self = TenantLog::begin(
+        *self = TenantLog::begin_with(
             self.dir.clone(),
             self.generation + 1,
             snapshot_json,
             self.fsync_batch,
+            self.injector.clone(),
         )?;
         Ok(())
     }
@@ -236,6 +255,12 @@ impl TenantLog {
     /// The live generation number.
     pub fn generation(&self) -> u64 {
         self.generation
+    }
+
+    /// Journal appends not yet covered by an `fsync` (the tenant's WAL
+    /// backlog, surfaced by the server's `health` operation).
+    pub fn pending(&self) -> usize {
+        self.journal.pending()
     }
 }
 
@@ -265,6 +290,8 @@ pub struct Recovered<T> {
 pub struct Store {
     root: PathBuf,
     fsync_batch: usize,
+    /// Chaos hook every tenant log opened through this store inherits.
+    injector: Option<FaultInjector>,
 }
 
 impl Store {
@@ -277,7 +304,14 @@ impl Store {
         Ok(Store {
             root,
             fsync_batch: fsync_batch.max(1),
+            injector: None,
         })
+    }
+
+    /// Install a chaos hook on every tenant log this store opens from now on
+    /// (already-open logs are unaffected).
+    pub fn set_injector(&mut self, injector: Option<FaultInjector>) {
+        self.injector = injector;
     }
 
     /// The store's root directory.
@@ -319,7 +353,13 @@ impl Store {
     pub fn begin_tenant(&self, name: &str, snapshot_json: &str) -> io::Result<TenantLog> {
         let dir = self.tenant_dir(name);
         let next = list_generations(&dir)?.first().map_or(0, |gen| gen + 1);
-        TenantLog::begin(dir, next, snapshot_json, self.fsync_batch)
+        TenantLog::begin_with(
+            dir,
+            next,
+            snapshot_json,
+            self.fsync_batch,
+            self.injector.clone(),
+        )
     }
 
     /// Remove a tenant's durable state entirely (the `close` operation).
@@ -368,8 +408,9 @@ impl Store {
                     continue;
                 }
             };
-            let (journal, scan) =
+            let (mut journal, scan) =
                 Journal::recover(journal_path(&dir, generation), self.fsync_batch)?;
+            journal.set_injector(self.injector.clone());
             if let Some(corruption) = &scan.corruption {
                 notes.push(format!(
                     "generation {generation}: {corruption}; truncated journal to {} intact record(s)",
@@ -389,6 +430,7 @@ impl Store {
                     snapshot_bytes: snapshot_json.len() as u64,
                     journal,
                     fsync_batch: self.fsync_batch,
+                    injector: self.injector.clone(),
                 },
                 corruption: scan.corruption,
                 notes,

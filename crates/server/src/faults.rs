@@ -1,0 +1,305 @@
+//! Deterministic fault planning for chaos tests.
+//!
+//! A [`FaultPlan`] is a seeded schedule of failure points: "the 3rd and 17th
+//! WAL append fail", "the 2nd shard batch panics", "drop the connection after
+//! the 40th flushed response".  Each fault kind keeps its own atomic
+//! occurrence counter, so the same seed replays the byte-identical failure
+//! schedule on every run regardless of thread interleaving *within a kind*.
+//! Servers built without a plan pay one `Option` check per site and nothing
+//! else — the hooks are compiled in but inert.
+//!
+//! Points are drawn without replacement from `1..=horizon` by a dependency-
+//! free xorshift64* generator, one independent stream per kind (the kind's
+//! salt is folded into the seed), so adding faults of one kind never shifts
+//! another kind's schedule.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// What kind of fault a schedule drives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaultKind {
+    /// A WAL record write fails with an injected I/O error.
+    WalAppend,
+    /// A WAL fsync fails with an injected I/O error.
+    WalSync,
+    /// Applying a request on its shard panics (the tenant is dropped, the
+    /// shard survives).
+    ApplyPanic,
+    /// The whole shard worker dies before touching its batch (and is
+    /// respawned, its tenants recovered from the WAL).
+    ShardKill,
+    /// The server drops the connection instead of flushing responses.
+    ConnDrop,
+    /// The server stalls briefly before flushing responses.
+    SlowWrite,
+}
+
+impl FaultKind {
+    /// Per-kind salt folded into the plan seed so each kind draws an
+    /// independent point stream.
+    fn salt(self) -> u64 {
+        match self {
+            FaultKind::WalAppend => 0x5741_4c41,
+            FaultKind::WalSync => 0x5741_4c53,
+            FaultKind::ApplyPanic => 0x4150_5050,
+            FaultKind::ShardKill => 0x534b_494c,
+            FaultKind::ConnDrop => 0x434f_4e44,
+            FaultKind::SlowWrite => 0x534c_4f57,
+        }
+    }
+
+    const ALL: [FaultKind; 6] = [
+        FaultKind::WalAppend,
+        FaultKind::WalSync,
+        FaultKind::ApplyPanic,
+        FaultKind::ShardKill,
+        FaultKind::ConnDrop,
+        FaultKind::SlowWrite,
+    ];
+}
+
+/// How many faults of each kind to plan, and over what horizon.
+///
+/// `horizon` is the occurrence range points are drawn from: with
+/// `wal_appends: 2, horizon: 100`, two of the first hundred WAL appends fail.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultSpec {
+    /// Seed for the point-drawing generator; same seed = same schedule.
+    pub seed: u64,
+    /// WAL append failures to plan.
+    pub wal_appends: usize,
+    /// WAL fsync failures to plan.
+    pub wal_syncs: usize,
+    /// Apply panics to plan.
+    pub apply_panics: usize,
+    /// Shard worker deaths to plan.
+    pub shard_kills: usize,
+    /// Connection drops to plan.
+    pub conn_drops: usize,
+    /// Slow response flushes to plan.
+    pub slow_writes: usize,
+    /// Occurrence range `1..=horizon` the points are drawn from.
+    pub horizon: u64,
+}
+
+impl FaultSpec {
+    /// A spec with the given seed and no faults planned (each count opts in).
+    pub fn quiet(seed: u64) -> Self {
+        FaultSpec {
+            seed,
+            wal_appends: 0,
+            wal_syncs: 0,
+            apply_panics: 0,
+            shard_kills: 0,
+            conn_drops: 0,
+            slow_writes: 0,
+            horizon: 1000,
+        }
+    }
+
+    fn count(&self, kind: FaultKind) -> usize {
+        match kind {
+            FaultKind::WalAppend => self.wal_appends,
+            FaultKind::WalSync => self.wal_syncs,
+            FaultKind::ApplyPanic => self.apply_panics,
+            FaultKind::ShardKill => self.shard_kills,
+            FaultKind::ConnDrop => self.conn_drops,
+            FaultKind::SlowWrite => self.slow_writes,
+        }
+    }
+}
+
+/// xorshift64*: tiny, dependency-free, good enough to scatter fault points.
+fn xorshift64star(state: &mut u64) -> u64 {
+    let mut x = *state;
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    *state = x;
+    x.wrapping_mul(0x2545_f491_4f6c_dd1d)
+}
+
+/// One fault kind's planned occurrence points plus its live counter.
+#[derive(Debug)]
+struct Schedule {
+    /// Sorted, deduplicated 1-based occurrence numbers that fail.
+    points: Vec<u64>,
+    /// Occurrences seen so far.
+    counter: AtomicU64,
+    /// Planned faults that have actually fired.
+    fired: AtomicU64,
+}
+
+impl Schedule {
+    fn draw(seed: u64, kind: FaultKind, count: usize, horizon: u64) -> Schedule {
+        let mut state = seed ^ kind.salt() ^ 0x9e37_79b9_7f4a_7c15;
+        // The generator must never be seeded to zero (xorshift fixpoint).
+        if state == 0 {
+            state = 0x6a09_e667_f3bc_c908;
+        }
+        let horizon = horizon.max(1);
+        let mut points = Vec::with_capacity(count);
+        // Draw without replacement; horizons smaller than `count` saturate.
+        while points.len() < count.min(horizon as usize) {
+            let point = xorshift64star(&mut state) % horizon + 1;
+            if !points.contains(&point) {
+                points.push(point);
+            }
+        }
+        points.sort_unstable();
+        Schedule {
+            points,
+            counter: AtomicU64::new(0),
+            fired: AtomicU64::new(0),
+        }
+    }
+
+    /// Count one occurrence; `true` when this occurrence is a planned fault.
+    fn fire(&self) -> bool {
+        let occurrence = self.counter.fetch_add(1, Ordering::Relaxed) + 1;
+        let hit = self.points.binary_search(&occurrence).is_ok();
+        if hit {
+            self.fired.fetch_add(1, Ordering::Relaxed);
+        }
+        hit
+    }
+}
+
+/// A compiled, shareable fault schedule.  Cloning is cheap (an `Arc`); all
+/// clones share the occurrence counters, so a plan threaded into the engine,
+/// the shards and the durability layer counts globally.
+#[derive(Debug, Clone)]
+pub struct FaultPlan {
+    inner: Arc<[Schedule; 6]>,
+}
+
+impl FaultPlan {
+    /// Compile a spec into per-kind schedules.
+    pub fn new(spec: FaultSpec) -> Self {
+        let schedules = FaultKind::ALL
+            .map(|kind| Schedule::draw(spec.seed, kind, spec.count(kind), spec.horizon));
+        FaultPlan {
+            inner: Arc::new(schedules),
+        }
+    }
+
+    fn schedule(&self, kind: FaultKind) -> &Schedule {
+        &self.inner[FaultKind::ALL.iter().position(|k| *k == kind).unwrap()]
+    }
+
+    /// Count one occurrence of `kind`; `true` when the plan says it fails.
+    pub fn fire(&self, kind: FaultKind) -> bool {
+        self.schedule(kind).fire()
+    }
+
+    /// Planned faults of `kind` that have fired so far.
+    pub fn fired(&self, kind: FaultKind) -> u64 {
+        self.schedule(kind).fired.load(Ordering::Relaxed)
+    }
+
+    /// Occurrences of `kind` seen so far (fired or not).
+    pub fn occurrences(&self, kind: FaultKind) -> u64 {
+        self.schedule(kind).counter.load(Ordering::Relaxed)
+    }
+
+    /// Total planned faults of `kind`.
+    pub fn planned(&self, kind: FaultKind) -> u64 {
+        self.schedule(kind).points.len() as u64
+    }
+}
+
+/// Panic payload for an injected shard death, so `Registry::shutdown` can
+/// tell a planned kill from a real bug when joining workers.
+#[derive(Debug)]
+pub struct InjectedKill;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn the_same_seed_replays_the_same_schedule() {
+        let spec = FaultSpec {
+            wal_appends: 5,
+            wal_syncs: 3,
+            apply_panics: 2,
+            shard_kills: 1,
+            conn_drops: 4,
+            slow_writes: 2,
+            horizon: 50,
+            ..FaultSpec::quiet(2012)
+        };
+        let a = FaultPlan::new(spec);
+        let b = FaultPlan::new(spec);
+        for kind in FaultKind::ALL {
+            let hits_a: Vec<bool> = (0..60).map(|_| a.fire(kind)).collect();
+            let hits_b: Vec<bool> = (0..60).map(|_| b.fire(kind)).collect();
+            assert_eq!(hits_a, hits_b, "{kind:?} schedules diverged");
+            assert_eq!(
+                hits_a.iter().filter(|h| **h).count() as u64,
+                a.planned(kind),
+                "{kind:?}: every planned point within the horizon must fire"
+            );
+        }
+    }
+
+    #[test]
+    fn kinds_draw_independent_streams() {
+        let spec = FaultSpec {
+            wal_appends: 10,
+            wal_syncs: 10,
+            horizon: 1000,
+            ..FaultSpec::quiet(7)
+        };
+        let plan = FaultPlan::new(spec);
+        let appends: Vec<u64> = plan.schedule(FaultKind::WalAppend).points.clone();
+        let syncs: Vec<u64> = plan.schedule(FaultKind::WalSync).points.clone();
+        assert_ne!(appends, syncs, "independent streams should differ");
+    }
+
+    #[test]
+    fn a_quiet_plan_never_fires() {
+        let plan = FaultPlan::new(FaultSpec::quiet(99));
+        for kind in FaultKind::ALL {
+            for _ in 0..100 {
+                assert!(!plan.fire(kind));
+            }
+            assert_eq!(plan.fired(kind), 0);
+            assert_eq!(plan.occurrences(kind), 100);
+        }
+    }
+
+    #[test]
+    fn clones_share_counters() {
+        let spec = FaultSpec {
+            wal_appends: 1,
+            horizon: 2,
+            ..FaultSpec::quiet(1)
+        };
+        let plan = FaultPlan::new(spec);
+        let clone = plan.clone();
+        let fired =
+            plan.fire(FaultKind::WalAppend) as u32 + clone.fire(FaultKind::WalAppend) as u32;
+        assert_eq!(fired, 1, "exactly one of the first two occurrences fails");
+        assert_eq!(plan.occurrences(FaultKind::WalAppend), 2);
+    }
+
+    #[test]
+    fn saturated_horizons_fail_every_occurrence() {
+        let spec = FaultSpec {
+            shard_kills: 10,
+            horizon: 3,
+            ..FaultSpec::quiet(5)
+        };
+        let plan = FaultPlan::new(spec);
+        assert_eq!(plan.planned(FaultKind::ShardKill), 3);
+        assert!(plan.fire(FaultKind::ShardKill));
+        assert!(plan.fire(FaultKind::ShardKill));
+        assert!(plan.fire(FaultKind::ShardKill));
+        assert!(
+            !plan.fire(FaultKind::ShardKill),
+            "past the horizon is quiet"
+        );
+    }
+}

@@ -31,6 +31,7 @@
 //! hostile bytes — the fuzz suite feeds the decoder random, truncated and oversized
 //! frames and expects errors, never aborts.
 
+use crate::protocol::ErrorCode;
 use std::io::{self, Read, Write};
 
 /// First byte of every binary frame.  `0xB5` is not valid leading UTF-8 and can
@@ -66,7 +67,8 @@ mod rop {
     pub const JSON: u8 = 0x80;
     /// Fast-path event effect (`arrive`/`depart` succeeded).
     pub const EVENT: u8 = 0x81;
-    /// The operation failed; body is the UTF-8 error message.
+    /// The operation failed; body is a code byte, a `u32` retry-after hint in
+    /// milliseconds (0 = none) and the UTF-8 error message.
     pub const ERROR: u8 = 0x82;
     /// A bind succeeded; body is the assigned tenant id.
     pub const BOUND: u8 = 0x84;
@@ -141,6 +143,11 @@ pub enum FrameResponse {
     },
     /// The operation failed; the connection stays usable.
     Error {
+        /// The machine-readable classification (one byte on the wire; same
+        /// taxonomy as the NDJSON `"code"` value).
+        code: ErrorCode,
+        /// Retry-after hint in milliseconds for shed requests; 0 means none.
+        retry_after_ms: u32,
         /// The error message (same text as the NDJSON `"error"` value).
         message: String,
     },
@@ -350,7 +357,15 @@ impl ResponseFrame {
                 out.extend_from_slice(&cost.to_le_bytes());
             }
             FrameResponse::Bound { tenant } => out.extend_from_slice(&tenant.to_le_bytes()),
-            FrameResponse::Error { message } => push_text(out, message),
+            FrameResponse::Error {
+                code,
+                retry_after_ms,
+                message,
+            } => {
+                out.push(code.as_byte());
+                out.extend_from_slice(&retry_after_ms.to_le_bytes());
+                push_text(out, message);
+            }
             FrameResponse::Json { payload } => push_text(out, payload),
         }
     }
@@ -390,9 +405,15 @@ impl ResponseFrame {
             rop::BOUND => FrameResponse::Bound {
                 tenant: read_u32(reader)?,
             },
-            rop::ERROR => FrameResponse::Error {
-                message: read_text(reader, seq, MAX_PAYLOAD, "an error message")?,
-            },
+            rop::ERROR => {
+                let code = ErrorCode::from_byte(read_exact_array::<1>(reader)?[0]);
+                let retry_after_ms = read_u32(reader)?;
+                FrameResponse::Error {
+                    code,
+                    retry_after_ms,
+                    message: read_text(reader, seq, MAX_PAYLOAD, "an error message")?,
+                }
+            }
             rop::JSON => FrameResponse::Json {
                 payload: read_text(reader, seq, MAX_PAYLOAD, "a JSON payload")?,
             },
@@ -472,7 +493,17 @@ mod tests {
         round_trip_response(ResponseFrame {
             seq: 3,
             body: FrameResponse::Error {
+                code: ErrorCode::UnknownTenant,
+                retry_after_ms: 0,
                 message: "unknown tenant 'x'".into(),
+            },
+        });
+        round_trip_response(ResponseFrame {
+            seq: 8,
+            body: FrameResponse::Error {
+                code: ErrorCode::Overloaded,
+                retry_after_ms: 25,
+                message: "shard 1 queue full".into(),
             },
         });
         round_trip_response(ResponseFrame {

@@ -75,12 +75,17 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod faults;
 pub mod frame;
 pub mod protocol;
 pub mod registry;
 pub mod server;
 
+pub use faults::{FaultKind, FaultPlan, FaultSpec};
 pub use frame::{FrameRequest, FrameResponse, RequestFrame, ResponseFrame};
-pub use protocol::{BatchInstance, BatchOutcome, Request, Response};
-pub use registry::{DurabilityConfig, Engine, Registry};
-pub use server::{serve, Client, Framing};
+pub use protocol::{
+    BatchInstance, BatchOutcome, ErrorCode, HealthReport, Request, Response, ShardHealth,
+    TenantHealth, WireError,
+};
+pub use registry::{AdmissionConfig, DurabilityConfig, Engine, Registry, RegistryConfig};
+pub use server::{serve, spawn, Client, Framing, RetryPolicy, ServerHandle};

@@ -19,6 +19,248 @@ use busytime::report::{ScheduleReport, SimulationReport};
 use busytime_durability::WalStats;
 use serde::{Deserialize, Error, Serialize, Value};
 
+/// A stable machine-readable classification for error responses.
+///
+/// Clients branch on codes, never on message strings: the code decides whether a
+/// request is retryable (`Overloaded`, `Unavailable`), a caller bug (`Malformed`,
+/// `UnknownTenant`, `AlreadyOpen`, `Rejected`, `Unsupported`) or a server fault
+/// (`Internal`).  Codes travel as snake_case strings in the JSON framing and as a
+/// single byte in the binary framing; both mappings are pinned by tests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ErrorCode {
+    /// The server shed the request under load; retry after the hinted delay.
+    Overloaded,
+    /// The owning shard is temporarily gone (being respawned); retry is safe
+    /// only for requests that provably did not reach the shard.
+    Unavailable,
+    /// The named tenant does not exist on this server.
+    UnknownTenant,
+    /// An `open` named a tenant that already exists.
+    AlreadyOpen,
+    /// The request could not be parsed or referenced an unbound binary id.
+    Malformed,
+    /// The request parsed but the operation refused it (bad policy name,
+    /// out-of-range window, duplicate arrival, unknown job id, …).
+    Rejected,
+    /// The operation needs a feature this server was not started with
+    /// (e.g. `persist` without `--data-dir`).
+    Unsupported,
+    /// The server failed while applying the request.
+    Internal,
+}
+
+impl ErrorCode {
+    /// Every code, for exhaustive tests and documentation checks.
+    pub const ALL: [ErrorCode; 8] = [
+        ErrorCode::Overloaded,
+        ErrorCode::Unavailable,
+        ErrorCode::UnknownTenant,
+        ErrorCode::AlreadyOpen,
+        ErrorCode::Malformed,
+        ErrorCode::Rejected,
+        ErrorCode::Unsupported,
+        ErrorCode::Internal,
+    ];
+
+    /// The wire string for the JSON framing (`"code"` key).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ErrorCode::Overloaded => "overloaded",
+            ErrorCode::Unavailable => "unavailable",
+            ErrorCode::UnknownTenant => "unknown_tenant",
+            ErrorCode::AlreadyOpen => "already_open",
+            ErrorCode::Malformed => "malformed",
+            ErrorCode::Rejected => "rejected",
+            ErrorCode::Unsupported => "unsupported",
+            ErrorCode::Internal => "internal",
+        }
+    }
+
+    /// Parse the wire string; unknown strings map to [`ErrorCode::Internal`] so
+    /// old clients keep working against servers that grow new codes.
+    pub fn parse(text: &str) -> Self {
+        match text {
+            "overloaded" => ErrorCode::Overloaded,
+            "unavailable" => ErrorCode::Unavailable,
+            "unknown_tenant" => ErrorCode::UnknownTenant,
+            "already_open" => ErrorCode::AlreadyOpen,
+            "malformed" => ErrorCode::Malformed,
+            "rejected" => ErrorCode::Rejected,
+            "unsupported" => ErrorCode::Unsupported,
+            _ => ErrorCode::Internal,
+        }
+    }
+
+    /// The single-byte encoding used by the binary error frame.
+    pub fn as_byte(self) -> u8 {
+        match self {
+            ErrorCode::Internal => 0,
+            ErrorCode::Overloaded => 1,
+            ErrorCode::Unavailable => 2,
+            ErrorCode::UnknownTenant => 3,
+            ErrorCode::AlreadyOpen => 4,
+            ErrorCode::Malformed => 5,
+            ErrorCode::Rejected => 6,
+            ErrorCode::Unsupported => 7,
+        }
+    }
+
+    /// Decode the binary error-frame byte; unknown bytes map to
+    /// [`ErrorCode::Internal`] (same forward-compatibility rule as [`Self::parse`]).
+    pub fn from_byte(byte: u8) -> Self {
+        match byte {
+            1 => ErrorCode::Overloaded,
+            2 => ErrorCode::Unavailable,
+            3 => ErrorCode::UnknownTenant,
+            4 => ErrorCode::AlreadyOpen,
+            5 => ErrorCode::Malformed,
+            6 => ErrorCode::Rejected,
+            7 => ErrorCode::Unsupported,
+            _ => ErrorCode::Internal,
+        }
+    }
+
+    /// `true` for codes where retrying the same request can succeed.
+    pub fn is_retryable(self) -> bool {
+        matches!(self, ErrorCode::Overloaded | ErrorCode::Unavailable)
+    }
+}
+
+/// A structured wire error: a stable [`ErrorCode`], a human-readable message, and
+/// (for [`ErrorCode::Overloaded`]) a retry-after hint in milliseconds.
+///
+/// `Display` prints the message alone, so diagnostics that format an error keep
+/// reading naturally.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WireError {
+    /// The machine-readable classification.
+    pub code: ErrorCode,
+    /// The human-readable explanation.
+    pub message: String,
+    /// For shed requests: how long the client should wait before retrying.
+    pub retry_after_ms: Option<u64>,
+}
+
+impl WireError {
+    /// Build an error with the given code and no retry hint.
+    pub fn new(code: ErrorCode, message: impl Into<String>) -> Self {
+        WireError {
+            code,
+            message: message.into(),
+            retry_after_ms: None,
+        }
+    }
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+/// Per-shard figures inside a [`Response::Health`] report.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ShardHealth {
+    /// The shard's index.
+    pub shard: usize,
+    /// Requests currently queued or being applied on the shard.
+    pub queue_depth: usize,
+    /// Requests shed by admission control or queue timeouts since startup.
+    pub shed: u64,
+    /// Times the shard worker died and was respawned in-process.
+    pub respawns: u64,
+    /// Live tenants owned by the shard.
+    pub tenants: usize,
+    /// Journal records appended but not yet fsynced, summed over the shard's
+    /// tenants (zero on non-durable servers).
+    pub wal_backlog: u64,
+}
+
+/// Per-tenant degradation figures inside a [`Response::Health`] report.  Only
+/// tenants that have been shed at least once appear.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TenantHealth {
+    /// The tenant's name.
+    pub tenant: String,
+    /// Requests shed for this tenant since startup.
+    pub shed: u64,
+    /// The tenant's requests currently in flight.
+    pub inflight: usize,
+}
+
+/// A `health` result: per-shard load figures plus tenants degraded by shedding.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct HealthReport {
+    /// One entry per shard, in shard order.
+    pub shards: Vec<ShardHealth>,
+    /// Tenants that have had requests shed, sorted by name.
+    pub degraded: Vec<TenantHealth>,
+}
+
+impl Serialize for ShardHealth {
+    fn serialize(&self) -> Value {
+        obj(vec![
+            ("shard", self.shard.serialize()),
+            ("queue_depth", self.queue_depth.serialize()),
+            ("shed", self.shed.serialize()),
+            ("respawns", self.respawns.serialize()),
+            ("tenants", self.tenants.serialize()),
+            ("wal_backlog", self.wal_backlog.serialize()),
+        ])
+    }
+}
+
+impl Deserialize for ShardHealth {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        Ok(ShardHealth {
+            shard: usize::deserialize(value.field("shard")?)?,
+            queue_depth: usize::deserialize(value.field("queue_depth")?)?,
+            shed: u64::deserialize(value.field("shed")?)?,
+            respawns: u64::deserialize(value.field("respawns")?)?,
+            tenants: usize::deserialize(value.field("tenants")?)?,
+            wal_backlog: u64::deserialize(value.field("wal_backlog")?)?,
+        })
+    }
+}
+
+impl Serialize for TenantHealth {
+    fn serialize(&self) -> Value {
+        obj(vec![
+            ("tenant", self.tenant.serialize()),
+            ("shed", self.shed.serialize()),
+            ("inflight", self.inflight.serialize()),
+        ])
+    }
+}
+
+impl Deserialize for TenantHealth {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        Ok(TenantHealth {
+            tenant: String::deserialize(value.field("tenant")?)?,
+            shed: u64::deserialize(value.field("shed")?)?,
+            inflight: usize::deserialize(value.field("inflight")?)?,
+        })
+    }
+}
+
+impl Serialize for HealthReport {
+    fn serialize(&self) -> Value {
+        obj(vec![
+            ("shards", self.shards.serialize()),
+            ("degraded", self.degraded.serialize()),
+        ])
+    }
+}
+
+impl Deserialize for HealthReport {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        Ok(HealthReport {
+            shards: Vec::<ShardHealth>::deserialize(value.field("shards")?)?,
+            degraded: Vec::<TenantHealth>::deserialize(value.field("degraded")?)?,
+        })
+    }
+}
+
 /// Build a JSON object from `(key, value)` pairs.
 fn obj(fields: Vec<(&str, Value)>) -> Value {
     Value::Object(
@@ -123,6 +365,9 @@ pub enum Request {
     },
     /// Server-wide counters (shards, tenants, requests served).
     Stats,
+    /// Per-shard load and degradation figures (queue depth, shed counts, WAL
+    /// backlog, respawns, degraded tenants).  Not tenant-scoped.
+    Health,
 }
 
 impl Request {
@@ -184,6 +429,7 @@ impl Request {
             Request::WalStats { .. } => "wal_stats",
             Request::Batch { .. } => "batch",
             Request::Stats => "stats",
+            Request::Health => "health",
         }
     }
 
@@ -199,7 +445,7 @@ impl Request {
             | Request::Close { tenant }
             | Request::Persist { tenant }
             | Request::WalStats { tenant } => Some(tenant),
-            Request::Batch { .. } | Request::Stats => None,
+            Request::Batch { .. } | Request::Stats | Request::Health => None,
         }
     }
 
@@ -255,7 +501,7 @@ impl Serialize for Request {
                     fields.push(("budget", budget.serialize()));
                 }
             }
-            Request::Stats => {}
+            Request::Stats | Request::Health => {}
         }
         obj(fields)
     }
@@ -294,9 +540,10 @@ impl Deserialize for Request {
                 budget: optional(value, "budget")?,
             }),
             "stats" => Ok(Request::Stats),
+            "health" => Ok(Request::Health),
             other => Err(Error::custom(format!(
                 "unknown op '{other}' (expected open, arrive, depart, query, snapshot, \
-                 restore, close, persist, wal_stats, batch or stats)"
+                 restore, close, persist, wal_stats, batch, stats or health)"
             ))),
         }
     }
@@ -368,14 +615,31 @@ pub enum Response {
         /// Requests served since startup (all operations, all connections).
         requests: u64,
     },
+    /// A `health` result: per-shard load figures and degraded tenants.
+    Health(HealthReport),
     /// The operation failed; the connection stays usable.
-    Error(String),
+    Error(WireError),
 }
 
 impl Response {
-    /// Shorthand for an error response.
+    /// Shorthand for an [`ErrorCode::Internal`] error response (the unclassified
+    /// default; prefer [`Response::fail`] with a specific code).
     pub fn error(message: impl Into<String>) -> Self {
-        Response::Error(message.into())
+        Response::Error(WireError::new(ErrorCode::Internal, message))
+    }
+
+    /// An error response with an explicit [`ErrorCode`].
+    pub fn fail(code: ErrorCode, message: impl Into<String>) -> Self {
+        Response::Error(WireError::new(code, message))
+    }
+
+    /// An [`ErrorCode::Overloaded`] shed response with a retry-after hint.
+    pub fn overloaded(message: impl Into<String>, retry_after_ms: u64) -> Self {
+        Response::Error(WireError {
+            code: ErrorCode::Overloaded,
+            message: message.into(),
+            retry_after_ms: Some(retry_after_ms),
+        })
     }
 
     /// `true` unless this is an [`Response::Error`].
@@ -442,10 +706,21 @@ impl Serialize for Response {
                 ("tenants", tenants.serialize()),
                 ("requests", requests.serialize()),
             ]),
-            Response::Error(error) => obj(vec![
-                ("ok", Value::Bool(false)),
-                ("error", error.serialize()),
+            Response::Health(health) => obj(vec![
+                ("ok", Value::Bool(true)),
+                ("health", health.serialize()),
             ]),
+            Response::Error(error) => {
+                let mut fields = vec![
+                    ("ok", Value::Bool(false)),
+                    ("code", Value::Str(error.code.as_str().into())),
+                    ("error", error.message.serialize()),
+                ];
+                if let Some(ms) = error.retry_after_ms {
+                    fields.push(("retry_after_ms", ms.serialize()));
+                }
+                obj(fields)
+            }
         }
     }
 }
@@ -454,7 +729,15 @@ impl Deserialize for Response {
     fn deserialize(value: &Value) -> Result<Self, Error> {
         let ok = bool::deserialize(value.field("ok")?)?;
         if !ok {
-            return Ok(Response::Error(String::deserialize(value.field("error")?)?));
+            // Lenient: a missing/unknown `code` decodes as `internal`, so responses
+            // from older servers still parse.
+            let code = optional::<String>(value, "code")?
+                .map_or(ErrorCode::Internal, |c| ErrorCode::parse(&c));
+            return Ok(Response::Error(WireError {
+                code,
+                message: String::deserialize(value.field("error")?)?,
+                retry_after_ms: optional(value, "retry_after_ms")?,
+            }));
         }
         if let Some(machine) = value.get("machine") {
             return Ok(Response::Event {
@@ -479,6 +762,9 @@ impl Deserialize for Response {
                 log_bytes: u64::deserialize(wal.field("log_bytes")?)?,
                 snapshot_bytes: u64::deserialize(wal.field("snapshot_bytes")?)?,
             }));
+        }
+        if let Some(health) = value.get("health") {
+            return Ok(Response::Health(HealthReport::deserialize(health)?));
         }
         if let Some(shards) = value.get("shards") {
             return Ok(Response::Stats {
@@ -569,6 +855,7 @@ mod tests {
             budget: Some(12),
         });
         round_trip(Request::Stats);
+        round_trip(Request::Health);
     }
 
     #[test]
@@ -627,7 +914,24 @@ mod tests {
                 log_bytes: 3120,
                 snapshot_bytes: 911,
             }),
+            Response::Health(HealthReport {
+                shards: vec![ShardHealth {
+                    shard: 0,
+                    queue_depth: 3,
+                    shed: 12,
+                    respawns: 1,
+                    tenants: 5,
+                    wal_backlog: 7,
+                }],
+                degraded: vec![TenantHealth {
+                    tenant: "flood".into(),
+                    shed: 12,
+                    inflight: 64,
+                }],
+            }),
             Response::error("unknown tenant 'x'"),
+            Response::fail(ErrorCode::UnknownTenant, "unknown tenant 'x'"),
+            Response::overloaded("shard 2 queue full", 25),
         ];
         for response in cases {
             let line = response.to_json();
@@ -635,6 +939,42 @@ mod tests {
             assert_eq!(parsed.to_json(), line);
             assert_eq!(parsed.is_ok(), response.is_ok());
         }
+    }
+
+    #[test]
+    fn error_codes_round_trip_both_encodings() {
+        let codes = [
+            ErrorCode::Overloaded,
+            ErrorCode::Unavailable,
+            ErrorCode::UnknownTenant,
+            ErrorCode::AlreadyOpen,
+            ErrorCode::Malformed,
+            ErrorCode::Rejected,
+            ErrorCode::Unsupported,
+            ErrorCode::Internal,
+        ];
+        for code in codes {
+            assert_eq!(ErrorCode::parse(code.as_str()), code);
+            assert_eq!(ErrorCode::from_byte(code.as_byte()), code);
+        }
+        // Forward compatibility: unknowns decode as `internal`.
+        assert_eq!(ErrorCode::parse("quota_exceeded"), ErrorCode::Internal);
+        assert_eq!(ErrorCode::from_byte(0xFF), ErrorCode::Internal);
+        assert!(ErrorCode::Overloaded.is_retryable());
+        assert!(ErrorCode::Unavailable.is_retryable());
+        assert!(!ErrorCode::Rejected.is_retryable());
+    }
+
+    #[test]
+    fn error_responses_without_a_code_decode_as_internal() {
+        // The pre-taxonomy wire shape (PR 5–7 servers) still parses.
+        let parsed = Response::from_json(r#"{"ok": false, "error": "boom"}"#).unwrap();
+        let Response::Error(error) = parsed else {
+            panic!("expected an error response");
+        };
+        assert_eq!(error.code, ErrorCode::Internal);
+        assert_eq!(error.message, "boom");
+        assert_eq!(error.retry_after_ms, None);
     }
 
     #[test]

@@ -30,20 +30,40 @@
 //! threshold — at most one compaction per applied request, so the shard's tail
 //! latency stays bounded by one snapshot write.  Without a [`DurabilityConfig`] the
 //! registry behaves exactly as before: purely in-memory, byte-identical responses.
+//!
+//! **Admission control** is opt-in per registry ([`AdmissionConfig`] via
+//! [`RegistryConfig`]): per-tenant token-bucket rate quotas and in-flight caps shed
+//! a flooding tenant's excess with an explicit retryable `overloaded` error before
+//! it can monopolize a shard's bounded queue, and the shard handoff itself becomes
+//! bounded-wait — a queue still full past the configured deadline answers
+//! `overloaded` (with a retry-after hint) instead of stalling the connection.
+//! Without an admission config, handoff blocks exactly as before.
+//!
+//! **Shard supervision**: a shard worker that dies (only possible today via an
+//! injected [`FaultPlan`] kill — every apply panic is caught and contained) is
+//! respawned in-process on the next request routed to it, re-running the same WAL
+//! recovery a process restart would.  On a durable registry its tenants come back
+//! with every acknowledged event; on an in-memory registry a respawned shard is
+//! empty (that is what durability is for).
 
 use std::collections::HashMap;
 use std::hash::{DefaultHasher, Hash, Hasher};
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{mpsc, Arc};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc, Mutex, RwLock};
 use std::thread::JoinHandle;
+use std::time::Instant;
 
 use busytime::online::{Event, OnlineScheduler, OnlineSnapshot};
 use busytime::report::{ScheduleReport, SimulationReport};
 use busytime::{Duration, Instance, Interval, OnlinePolicy, Problem, Solver, Time};
-use busytime_durability::{Store, TenantLog};
+use busytime_durability::{FaultInjector, IoPoint, Store, TenantLog};
 
-use crate::protocol::{BatchInstance, BatchOutcome, Request, Response};
+use crate::faults::{FaultKind, FaultPlan, InjectedKill};
+use crate::protocol::{
+    BatchInstance, BatchOutcome, ErrorCode, HealthReport, Request, Response, ShardHealth,
+    TenantHealth,
+};
 
 /// Depth of each shard's request queue.  Bounded so that a shard falling behind
 /// applies backpressure to its callers instead of buffering unboundedly.
@@ -101,6 +121,186 @@ impl DurabilityConfig {
     }
 }
 
+/// Per-tenant admission control and load-shedding policy; opt-in via
+/// [`RegistryConfig::admission`].  When present, the shard handoff also becomes
+/// bounded-wait: a queue still full after [`AdmissionConfig::queue_wait_ms`]
+/// sheds the batch with `overloaded` instead of stalling the caller.
+#[derive(Debug, Clone)]
+pub struct AdmissionConfig {
+    /// Per-tenant in-flight request cap.  The guard is held from admission
+    /// until the response is handed back, so one flooding tenant can keep at
+    /// most this many slots of its shard's queue busy.
+    pub max_inflight: usize,
+    /// Per-tenant rate quota in requests/second (token bucket with a burst of
+    /// one second's worth); `None` disables rate limiting.
+    pub tenant_rate: Option<f64>,
+    /// How long a shard handoff may wait on a full queue before shedding.
+    pub queue_wait_ms: u64,
+}
+
+impl Default for AdmissionConfig {
+    fn default() -> Self {
+        AdmissionConfig {
+            max_inflight: 1024,
+            tenant_rate: None,
+            queue_wait_ms: 50,
+        }
+    }
+}
+
+/// Everything [`Registry::with_config`] accepts: shard count plus the opt-in
+/// durability, admission, and fault-injection layers.
+#[derive(Clone, Default)]
+pub struct RegistryConfig {
+    /// Worker shards to spawn (clamped to at least 1).
+    pub shards: usize,
+    /// Persist tenants under this config's data directory when given.
+    pub durability: Option<DurabilityConfig>,
+    /// Shed per-tenant overload when given; otherwise handoff blocks.
+    pub admission: Option<AdmissionConfig>,
+    /// Deterministic fault schedule for chaos tests; inert when absent.
+    pub faults: Option<FaultPlan>,
+}
+
+impl RegistryConfig {
+    /// An in-memory config with `shards` workers and no optional layers.
+    pub fn new(shards: usize) -> Self {
+        RegistryConfig {
+            shards,
+            ..RegistryConfig::default()
+        }
+    }
+}
+
+/// A token bucket's live state: fractional tokens plus the last refill instant.
+#[derive(Debug)]
+struct Bucket {
+    tokens: f64,
+    last: Instant,
+}
+
+/// One tenant's admission state.
+#[derive(Debug)]
+struct TenantGate {
+    inflight: AtomicUsize,
+    shed: AtomicU64,
+    bucket: Mutex<Bucket>,
+}
+
+impl TenantGate {
+    fn new(rate: Option<f64>) -> Self {
+        TenantGate {
+            inflight: AtomicUsize::new(0),
+            shed: AtomicU64::new(0),
+            bucket: Mutex::new(Bucket {
+                // A fresh tenant starts with a full bucket (one second's burst).
+                tokens: rate.map_or(0.0, |r| r.max(1.0)),
+                last: Instant::now(),
+            }),
+        }
+    }
+}
+
+/// Decrements its tenant's in-flight count when the request's response is in
+/// hand (or the request was dropped on the floor).
+struct InflightGuard {
+    gate: Arc<TenantGate>,
+}
+
+impl Drop for InflightGuard {
+    fn drop(&mut self) {
+        self.gate.inflight.fetch_sub(1, Ordering::AcqRel);
+    }
+}
+
+/// Shared admission state: the config plus one gate per tenant seen.
+struct Admission {
+    config: AdmissionConfig,
+    tenants: Mutex<HashMap<String, Arc<TenantGate>>>,
+}
+
+impl Admission {
+    fn new(config: AdmissionConfig) -> Self {
+        Admission {
+            config,
+            tenants: Mutex::new(HashMap::new()),
+        }
+    }
+
+    fn gate(&self, tenant: &str) -> Arc<TenantGate> {
+        let mut map = self.tenants.lock().expect("admission map lock");
+        map.entry(tenant.to_string())
+            .or_insert_with(|| Arc::new(TenantGate::new(self.config.tenant_rate)))
+            .clone()
+    }
+
+    /// Admit one request for `tenant`: check the in-flight cap and the rate
+    /// quota, or answer the `overloaded` response the caller should return.
+    /// The `Err` carries the full `Response` by design — it travels straight
+    /// back to the caller on the one path where size does not matter.
+    #[allow(clippy::result_large_err)]
+    fn admit(&self, tenant: &str) -> Result<InflightGuard, Response> {
+        let gate = self.gate(tenant);
+        let previous = gate.inflight.fetch_add(1, Ordering::AcqRel);
+        if previous >= self.config.max_inflight {
+            gate.inflight.fetch_sub(1, Ordering::AcqRel);
+            gate.shed.fetch_add(1, Ordering::Relaxed);
+            return Err(Response::overloaded(
+                format!(
+                    "tenant '{tenant}' already has {previous} request(s) in flight \
+                     (cap {})",
+                    self.config.max_inflight
+                ),
+                self.config.queue_wait_ms.max(1),
+            ));
+        }
+        let guard = InflightGuard { gate: gate.clone() };
+        if let Some(rate) = self.config.tenant_rate {
+            let mut bucket = gate.bucket.lock().expect("token bucket lock");
+            let now = Instant::now();
+            let elapsed = now.duration_since(bucket.last).as_secs_f64();
+            bucket.last = now;
+            bucket.tokens = (bucket.tokens + elapsed * rate).min(rate.max(1.0));
+            if bucket.tokens >= 1.0 {
+                bucket.tokens -= 1.0;
+            } else {
+                let wait_ms = (((1.0 - bucket.tokens) / rate) * 1000.0).ceil() as u64;
+                drop(bucket);
+                gate.shed.fetch_add(1, Ordering::Relaxed);
+                return Err(Response::overloaded(
+                    format!("tenant '{tenant}' exceeded its quota of {rate} request(s)/s"),
+                    wait_ms.max(1),
+                ));
+            }
+        }
+        Ok(guard)
+    }
+
+    /// Record a queue-full shed against `tenant` (the request was admitted but
+    /// its shard's queue never drained).
+    fn note_shed(&self, tenant: &str) {
+        self.gate(tenant).shed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Tenants that have been shed at least once, sorted by name.
+    fn degraded(&self) -> Vec<TenantHealth> {
+        let map = self.tenants.lock().expect("admission map lock");
+        let mut out: Vec<TenantHealth> = map
+            .iter()
+            .filter_map(|(name, gate)| {
+                let shed = gate.shed.load(Ordering::Relaxed);
+                (shed > 0).then(|| TenantHealth {
+                    tenant: name.clone(),
+                    shed,
+                    inflight: gate.inflight.load(Ordering::Relaxed),
+                })
+            })
+            .collect();
+        out.sort_unstable_by(|a, b| a.tenant.cmp(&b.tenant));
+        out
+    }
+}
+
 /// A shard's handle on the durable store plus the compaction policy.
 #[derive(Clone)]
 struct ShardStore {
@@ -149,6 +349,68 @@ struct ShardCall {
     reply: mpsc::SyncSender<Vec<Response>>,
 }
 
+/// Live counters for one shard slot, shared between the engine (which fills
+/// them) and the `health` report (which reads them).
+#[derive(Debug, Default)]
+struct ShardMetrics {
+    /// Requests queued or being applied on the shard right now (approximate:
+    /// reset on respawn, saturating on the way down).
+    queued: AtomicUsize,
+    /// Requests shed at this shard's handoff (queue-full timeouts).
+    shed: AtomicU64,
+    /// Times this shard's worker died and was respawned.
+    respawns: AtomicU64,
+}
+
+/// One shard's supervised mailbox: the live sender (swapped on respawn), a
+/// generation counter so concurrent callers respawn at most once per death,
+/// and the shared metrics.
+struct ShardSlot {
+    generation: AtomicU64,
+    sender: RwLock<mpsc::SyncSender<ShardCall>>,
+    metrics: Arc<ShardMetrics>,
+}
+
+/// Spawns shard workers — at startup and again when one dies — and keeps their
+/// join handles for [`Registry::shutdown`].
+struct Supervisor {
+    shard_store: Option<ShardStore>,
+    shards: usize,
+    faults: Option<FaultPlan>,
+    handles: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl Supervisor {
+    /// Spawn a fresh worker for `shard`: recover its tenants from the store
+    /// (a no-op in-memory), then serve its queue.  Returns the new sender.
+    fn spawn_worker(
+        &self,
+        shard: usize,
+        metrics: Arc<ShardMetrics>,
+    ) -> mpsc::SyncSender<ShardCall> {
+        let (tx, rx) = mpsc::sync_channel::<ShardCall>(SHARD_QUEUE_DEPTH);
+        let store = self.shard_store.clone();
+        let shards = self.shards;
+        let faults = self.faults.clone();
+        let handle = std::thread::Builder::new()
+            .name(format!("busytime-shard-{shard}"))
+            .spawn(move || {
+                let mut state = ShardState {
+                    tenants: HashMap::new(),
+                    store,
+                };
+                recover_shard(&mut state, shard, shards);
+                shard_loop(rx, state, metrics, faults)
+            })
+            .expect("spawning a shard worker");
+        self.handles
+            .lock()
+            .expect("supervisor handle lock")
+            .push(handle);
+        tx
+    }
+}
+
 /// The running registry: shard worker threads plus the shared counters.
 ///
 /// Simply dropping the registry *detaches* the shard workers (they exit once every
@@ -156,13 +418,13 @@ struct ShardCall {
 /// an orderly stop that joins the workers and surfaces any worker panic.
 pub struct Registry {
     engine: Engine,
-    handles: Vec<JoinHandle<()>>,
 }
 
 impl Registry {
     /// Spawn `shards` purely in-memory worker shards (clamped to at least 1).
     pub fn new(shards: usize) -> Self {
-        Self::with_durability(shards, None).expect("an in-memory registry touches no disk")
+        Self::with_config(RegistryConfig::new(shards))
+            .expect("an in-memory registry touches no disk")
     }
 
     /// Spawn `shards` worker shards (clamped to at least 1), persisting every
@@ -176,41 +438,65 @@ impl Registry {
         shards: usize,
         durability: Option<DurabilityConfig>,
     ) -> std::io::Result<Self> {
-        let shards = shards.max(1);
-        let shard_store = match durability {
-            Some(config) => Some(ShardStore {
-                store: Store::open(&config.data_dir, config.fsync_batch)?,
-                compact_threshold: config.compact_threshold.max(1),
-            }),
+        Self::with_config(RegistryConfig {
+            shards,
+            durability,
+            ..RegistryConfig::default()
+        })
+    }
+
+    /// Spawn a registry from a full [`RegistryConfig`]: shard count plus the
+    /// opt-in durability, admission-control, and fault-injection layers.
+    pub fn with_config(config: RegistryConfig) -> std::io::Result<Self> {
+        let shards = config.shards.max(1);
+        let shard_store = match config.durability {
+            Some(durability) => {
+                let mut store = Store::open(&durability.data_dir, durability.fsync_batch)?;
+                if let Some(plan) = &config.faults {
+                    let plan = plan.clone();
+                    store.set_injector(Some(FaultInjector::new(move |point| {
+                        let (kind, what) = match point {
+                            IoPoint::Append => {
+                                (FaultKind::WalAppend, "injected WAL append failure")
+                            }
+                            IoPoint::Sync => (FaultKind::WalSync, "injected WAL fsync failure"),
+                        };
+                        plan.fire(kind).then(|| std::io::Error::other(what))
+                    })));
+                }
+                Some(ShardStore {
+                    store,
+                    compact_threshold: durability.compact_threshold.max(1),
+                })
+            }
             None => None,
         };
-        let mut senders = Vec::with_capacity(shards);
-        let mut handles = Vec::with_capacity(shards);
-        for shard in 0..shards {
-            let (tx, rx) = mpsc::sync_channel::<ShardCall>(SHARD_QUEUE_DEPTH);
-            senders.push(tx);
-            let store = shard_store.clone();
-            handles.push(
-                std::thread::Builder::new()
-                    .name(format!("busytime-shard-{shard}"))
-                    .spawn(move || {
-                        let mut state = ShardState {
-                            tenants: HashMap::new(),
-                            store,
-                        };
-                        recover_shard(&mut state, shard, shards);
-                        shard_loop(rx, state)
-                    })
-                    .expect("spawning a shard worker"),
-            );
-        }
+        let supervisor = Arc::new(Supervisor {
+            shard_store,
+            shards,
+            faults: config.faults.clone(),
+            handles: Mutex::new(Vec::with_capacity(shards)),
+        });
+        let slots: Vec<ShardSlot> = (0..shards)
+            .map(|shard| {
+                let metrics = Arc::new(ShardMetrics::default());
+                let sender = supervisor.spawn_worker(shard, metrics.clone());
+                ShardSlot {
+                    generation: AtomicU64::new(0),
+                    sender: RwLock::new(sender),
+                    metrics,
+                }
+            })
+            .collect();
         Ok(Registry {
             engine: Engine {
-                shards: senders,
+                shards: Arc::new(slots),
                 requests: Arc::new(AtomicU64::new(0)),
                 solver: Solver::new(),
+                admission: config.admission.map(|a| Arc::new(Admission::new(a))),
+                faults: config.faults,
+                supervisor,
             },
-            handles,
         })
     }
 
@@ -220,25 +506,52 @@ impl Registry {
     }
 
     /// Drop the registry's own queue handles and join the shard workers.  Blocks
-    /// until every outstanding [`Engine`] clone has dropped as well.
+    /// until every outstanding [`Engine`] clone has dropped as well.  Worker
+    /// deaths planned by a [`FaultPlan`] are expected and tolerated; any other
+    /// worker panic is resurfaced here.
     pub fn shutdown(self) {
-        let Registry { engine, handles } = self;
+        let Registry { engine } = self;
+        let supervisor = engine.supervisor.clone();
         drop(engine);
-        for handle in handles {
-            if let Err(panic) = handle.join() {
-                std::panic::resume_unwind(panic);
+        // Respawns may add handles while earlier ones are being joined, so
+        // drain until the list stays empty.
+        loop {
+            let handles: Vec<JoinHandle<()>> = {
+                let mut guard = supervisor.handles.lock().expect("supervisor handle lock");
+                guard.drain(..).collect()
+            };
+            if handles.is_empty() {
+                break;
+            }
+            for handle in handles {
+                if let Err(panic) = handle.join() {
+                    if !panic.is::<InjectedKill>() {
+                        std::panic::resume_unwind(panic);
+                    }
+                }
             }
         }
     }
+}
+
+/// How a shard handoff failed.
+enum ShardSendError {
+    /// The queue stayed full past the bounded-wait deadline (admission only).
+    Full,
+    /// The worker is dead and a respawn retry also failed.
+    Gone,
 }
 
 /// The cloneable front door of the registry: routes tenant operations to their home
 /// shard over the bounded queues and runs batch solves on the work-stealing pool.
 #[derive(Clone)]
 pub struct Engine {
-    shards: Vec<mpsc::SyncSender<ShardCall>>,
+    shards: Arc<Vec<ShardSlot>>,
     requests: Arc<AtomicU64>,
     solver: Solver,
+    admission: Option<Arc<Admission>>,
+    faults: Option<FaultPlan>,
+    supervisor: Arc<Supervisor>,
 }
 
 impl Engine {
@@ -252,6 +565,12 @@ impl Engine {
         shard_index(tenant, self.shards.len())
     }
 
+    /// The fault plan this engine was built with, if any (the serve loop
+    /// consults it for connection-level faults).
+    pub fn fault_plan(&self) -> Option<&FaultPlan> {
+        self.faults.as_ref()
+    }
+
     /// Apply one request and wait for its response.
     ///
     /// Tenant-scoped requests serialize per tenant (the home shard applies them in
@@ -260,15 +579,39 @@ impl Engine {
     /// benchmarks exercise the identical path minus the socket.
     pub fn call(&self, request: Request) -> Response {
         self.requests.fetch_add(1, Ordering::Relaxed);
+        self.call_one(request)
+    }
+
+    /// Route one already-counted request: engine-side ops run inline, tenant
+    /// ops pass admission control (when that layer is on) and go to their
+    /// home shard.
+    fn call_one(&self, request: Request) -> Response {
         match request {
             Request::Batch { instances, budget } => self.solve_batch(&instances, budget),
             Request::Stats => self.stats(),
+            Request::Health => self.health(),
             request => {
-                let shard = self.shard_for(request.tenant().expect("routed ops are tenant-scoped"));
+                let tenant = request.tenant().expect("routed ops are tenant-scoped");
+                let _guard = match self.admit(tenant) {
+                    Ok(guard) => guard,
+                    Err(response) => return response,
+                };
+                let shard = self.shard_for(tenant);
                 self.call_shard(shard, vec![request])
                     .pop()
-                    .unwrap_or_else(|| Response::error("the shard worker returned no response"))
+                    .unwrap_or_else(no_shard_response)
             }
+        }
+    }
+
+    /// Run `tenant` through admission control.  `Ok` carries the in-flight
+    /// guard to hold until the response is collected; `Err` is the overload
+    /// response to send instead of doing any work.
+    #[allow(clippy::result_large_err)]
+    fn admit(&self, tenant: &str) -> Result<Option<InflightGuard>, Response> {
+        match &self.admission {
+            Some(admission) => admission.admit(tenant).map(Some),
+            None => Ok(None),
         }
     }
 
@@ -287,19 +630,10 @@ impl Engine {
             .fetch_add(requests.len() as u64, Ordering::Relaxed);
         if requests.len() == 1 {
             let request = requests.into_iter().next().expect("one request");
-            return vec![match request {
-                Request::Batch { instances, budget } => self.solve_batch(&instances, budget),
-                Request::Stats => self.stats(),
-                request => {
-                    let shard =
-                        self.shard_for(request.tenant().expect("routed ops are tenant-scoped"));
-                    self.call_shard(shard, vec![request])
-                        .pop()
-                        .unwrap_or_else(|| Response::error("the shard worker returned no response"))
-                }
-            }];
+            return vec![self.call_one(request)];
         }
         let mut slots: Vec<Option<Response>> = requests.iter().map(|_| None).collect();
+        let mut guards: Vec<InflightGuard> = Vec::new();
         let mut per_shard: Vec<(Vec<usize>, Vec<Request>)> = (0..self.shards.len())
             .map(|_| (Vec::new(), Vec::new()))
             .collect();
@@ -309,11 +643,18 @@ impl Engine {
                     slots[i] = Some(self.solve_batch(&instances, budget));
                 }
                 Request::Stats => slots[i] = Some(self.stats()),
+                Request::Health => slots[i] = Some(self.health()),
                 request => {
-                    let shard =
-                        self.shard_for(request.tenant().expect("routed ops are tenant-scoped"));
-                    per_shard[shard].0.push(i);
-                    per_shard[shard].1.push(request);
+                    let tenant = request.tenant().expect("routed ops are tenant-scoped");
+                    match self.admit(tenant) {
+                        Err(response) => slots[i] = Some(response),
+                        Ok(guard) => {
+                            guards.extend(guard);
+                            let shard = self.shard_for(tenant);
+                            per_shard[shard].0.push(i);
+                            per_shard[shard].1.push(request);
+                        }
+                    }
                 }
             }
         }
@@ -324,20 +665,34 @@ impl Engine {
             if indices.is_empty() {
                 continue;
             }
+            let expected = batch.len();
+            self.shards[shard]
+                .metrics
+                .queued
+                .fetch_add(expected, Ordering::Relaxed);
             let (reply_tx, reply_rx) = mpsc::sync_channel::<Vec<Response>>(1);
-            if self.shards[shard]
-                .send(ShardCall {
+            match self.send_to_shard(
+                shard,
+                ShardCall {
                     requests: batch,
                     reply: reply_tx,
-                })
-                .is_err()
-            {
-                for i in indices {
-                    slots[i] = Some(Response::error("the shard worker is gone"));
+                },
+            ) {
+                Ok(()) => outstanding.push((indices, reply_rx)),
+                Err((call, error)) => {
+                    let _ = self.shards[shard].metrics.queued.fetch_update(
+                        Ordering::Relaxed,
+                        Ordering::Relaxed,
+                        |v| Some(v.saturating_sub(expected)),
+                    );
+                    for (i, response) in indices
+                        .into_iter()
+                        .zip(self.send_failure(shard, call, error))
+                    {
+                        slots[i] = Some(response);
+                    }
                 }
-                continue;
             }
-            outstanding.push((indices, reply_rx));
         }
         for (indices, reply_rx) in outstanding {
             match reply_rx.recv() {
@@ -348,39 +703,154 @@ impl Engine {
                 }
                 Err(_) => {
                     for i in indices {
-                        slots[i] = Some(Response::error("the shard worker dropped the request"));
+                        slots[i] = Some(Response::fail(
+                            ErrorCode::Unavailable,
+                            "the shard worker dropped the request",
+                        ));
                     }
                 }
             }
         }
+        drop(guards);
         slots
             .into_iter()
-            .map(|slot| {
-                slot.unwrap_or_else(|| Response::error("the shard worker returned no response"))
-            })
+            .map(|slot| slot.unwrap_or_else(no_shard_response))
             .collect()
     }
 
     /// Send one batch to a specific shard and wait for the replies.
     fn call_shard(&self, shard: usize, requests: Vec<Request>) -> Vec<Response> {
         let expected = requests.len();
+        self.shards[shard]
+            .metrics
+            .queued
+            .fetch_add(expected, Ordering::Relaxed);
         let (reply_tx, reply_rx) = mpsc::sync_channel::<Vec<Response>>(1);
-        if self.shards[shard]
-            .send(ShardCall {
+        if let Err((call, error)) = self.send_to_shard(
+            shard,
+            ShardCall {
                 requests,
                 reply: reply_tx,
-            })
-            .is_err()
-        {
-            return (0..expected)
-                .map(|_| Response::error("the shard worker is gone"))
-                .collect();
+            },
+        ) {
+            let _ = self.shards[shard].metrics.queued.fetch_update(
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+                |v| Some(v.saturating_sub(expected)),
+            );
+            return self.send_failure(shard, call, error);
         }
         reply_rx.recv().unwrap_or_else(|_| {
             (0..expected)
-                .map(|_| Response::error("the shard worker dropped the request"))
+                .map(|_| {
+                    Response::fail(
+                        ErrorCode::Unavailable,
+                        "the shard worker dropped the request",
+                    )
+                })
                 .collect()
         })
+    }
+
+    /// Hand one batch to a shard's queue.
+    ///
+    /// Without admission control this blocks until the queue accepts the batch
+    /// (the original backpressure semantics).  With admission control the wait
+    /// is bounded by `queue_wait_ms`, after which the batch comes back as
+    /// [`ShardSendError::Full`] for the caller to shed.  A dead worker is
+    /// respawned once (its tenants recover from the WAL when durability is on)
+    /// and the send retried — safe because a failed send never delivered the
+    /// batch — before giving up as [`ShardSendError::Gone`].
+    fn send_to_shard(
+        &self,
+        shard: usize,
+        mut call: ShardCall,
+    ) -> Result<(), (ShardCall, ShardSendError)> {
+        let slot = &self.shards[shard];
+        for attempt in 0..2 {
+            let (sender, generation) = {
+                let guard = slot.sender.read().expect("shard sender lock");
+                (guard.clone(), slot.generation.load(Ordering::Acquire))
+            };
+            match &self.admission {
+                None => match sender.send(call) {
+                    Ok(()) => return Ok(()),
+                    Err(mpsc::SendError(returned)) => call = returned,
+                },
+                Some(admission) => {
+                    let deadline = Instant::now()
+                        + std::time::Duration::from_millis(admission.config.queue_wait_ms);
+                    loop {
+                        match sender.try_send(call) {
+                            Ok(()) => return Ok(()),
+                            Err(mpsc::TrySendError::Full(returned)) => {
+                                call = returned;
+                                if Instant::now() >= deadline {
+                                    return Err((call, ShardSendError::Full));
+                                }
+                                std::thread::sleep(std::time::Duration::from_micros(100));
+                            }
+                            Err(mpsc::TrySendError::Disconnected(returned)) => {
+                                call = returned;
+                                break;
+                            }
+                        }
+                    }
+                }
+            }
+            if attempt == 0 {
+                self.respawn_shard(shard, generation);
+            }
+        }
+        Err((call, ShardSendError::Gone))
+    }
+
+    /// Replace a dead shard worker, unless another caller already did (the
+    /// generation moved past what this caller observed).
+    fn respawn_shard(&self, shard: usize, observed_generation: u64) {
+        let slot = &self.shards[shard];
+        let mut sender = slot.sender.write().expect("shard sender lock");
+        if slot.generation.load(Ordering::Acquire) != observed_generation {
+            return;
+        }
+        *sender = self.supervisor.spawn_worker(shard, slot.metrics.clone());
+        slot.generation.fetch_add(1, Ordering::AcqRel);
+        slot.metrics.respawns.fetch_add(1, Ordering::Relaxed);
+        slot.metrics.queued.store(0, Ordering::Relaxed);
+    }
+
+    /// Turn an undeliverable batch into its per-request error responses,
+    /// recording the shed against the shard and each tenant.
+    fn send_failure(&self, shard: usize, call: ShardCall, error: ShardSendError) -> Vec<Response> {
+        match error {
+            ShardSendError::Full => {
+                let slot = &self.shards[shard];
+                slot.metrics
+                    .shed
+                    .fetch_add(call.requests.len() as u64, Ordering::Relaxed);
+                let retry_after_ms = self
+                    .admission
+                    .as_ref()
+                    .map(|a| a.config.queue_wait_ms)
+                    .unwrap_or(1)
+                    .max(1);
+                call.requests
+                    .iter()
+                    .map(|request| {
+                        if let (Some(admission), Some(tenant)) = (&self.admission, request.tenant())
+                        {
+                            admission.note_shed(tenant);
+                        }
+                        Response::overloaded(format!("shard {shard} queue is full"), retry_after_ms)
+                    })
+                    .collect()
+            }
+            ShardSendError::Gone => call
+                .requests
+                .iter()
+                .map(|_| Response::fail(ErrorCode::Unavailable, "the shard worker is gone"))
+                .collect(),
+        }
     }
 
     /// Server-wide counters, merged over a per-shard census.
@@ -390,7 +860,7 @@ impl Engine {
             match self.call_shard(shard, vec![Request::Stats]).pop() {
                 Some(Response::Stats { tenants: t, .. }) => tenants += t,
                 Some(other) => return other,
-                None => return Response::error("the shard worker returned no response"),
+                None => return no_shard_response(),
             }
         }
         Response::Stats {
@@ -400,12 +870,47 @@ impl Engine {
         }
     }
 
+    /// A server-wide health report: per-shard queue/shed/respawn counters kept
+    /// engine-side, a tenant/WAL census collected from each shard, and the
+    /// tenants admission control has shed from.  A shard that cannot answer
+    /// its census contributes zeros rather than failing the report — `health`
+    /// must stay useful precisely when shards are struggling.
+    fn health(&self) -> Response {
+        let mut shards = Vec::with_capacity(self.shards.len());
+        for (index, slot) in self.shards.iter().enumerate() {
+            let mut health = ShardHealth {
+                shard: index,
+                queue_depth: slot.metrics.queued.load(Ordering::Relaxed),
+                shed: slot.metrics.shed.load(Ordering::Relaxed),
+                respawns: slot.metrics.respawns.load(Ordering::Relaxed),
+                ..ShardHealth::default()
+            };
+            if let Some(Response::Health(census)) =
+                self.call_shard(index, vec![Request::Health]).pop()
+            {
+                if let Some(local) = census.shards.first() {
+                    health.tenants = local.tenants;
+                    health.wal_backlog = local.wal_backlog;
+                }
+            }
+            shards.push(health);
+        }
+        let degraded = self
+            .admission
+            .as_ref()
+            .map(|a| a.degraded())
+            .unwrap_or_default();
+        Response::Health(HealthReport { shards, degraded })
+    }
+
     /// Fan a batch of instances out through [`Solver::solve_batch`]; per-instance
     /// failures (malformed windows, zero capacity) come back inline without failing
     /// the sibling instances.
     fn solve_batch(&self, instances: &[BatchInstance], budget: Option<i64>) -> Response {
         let budget = match budget {
-            Some(t) if t < 0 => return Response::error("the budget must be non-negative"),
+            Some(t) if t < 0 => {
+                return Response::fail(ErrorCode::Rejected, "the budget must be non-negative")
+            }
             Some(t) => Some(Duration::new(t)),
             None => None,
         };
@@ -442,6 +947,14 @@ impl Engine {
     }
 }
 
+/// The response for a shard reply that never materialized.
+fn no_shard_response() -> Response {
+    Response::fail(
+        ErrorCode::Unavailable,
+        "the shard worker returned no response",
+    )
+}
+
 /// The shard a tenant name hashes to, shared by request routing and startup
 /// recovery (a recovered tenant must land on the shard that will serve it).
 fn shard_index(tenant: &str, shards: usize) -> usize {
@@ -464,12 +977,35 @@ fn snapshot_json(scheduler: &OnlineScheduler) -> String {
 /// recover on the next start), the caller gets an error response, and the shard
 /// keeps serving its other tenants — a wire client must never be able to park a
 /// whole shard in the "worker is gone" state.
-fn shard_loop(rx: mpsc::Receiver<ShardCall>, mut state: ShardState) {
+///
+/// A fault plan can additionally kill the whole worker ([`FaultKind::ShardKill`],
+/// fired *before* the batch is touched so nothing was applied and the engine's
+/// respawn-and-retry is exactly-once safe) or panic a single tenant-scoped
+/// request ([`FaultKind::ApplyPanic`], which rides the containment path above).
+fn shard_loop(
+    rx: mpsc::Receiver<ShardCall>,
+    mut state: ShardState,
+    metrics: Arc<ShardMetrics>,
+    faults: Option<FaultPlan>,
+) {
     while let Ok(call) = rx.recv() {
-        let mut responses = Vec::with_capacity(call.requests.len());
+        if let Some(plan) = &faults {
+            if plan.fire(FaultKind::ShardKill) {
+                std::panic::panic_any(InjectedKill);
+            }
+        }
+        let len = call.requests.len();
+        let mut responses = Vec::with_capacity(len);
         for request in call.requests {
             let tenant = request.tenant().map(str::to_string);
+            let inject_panic = tenant.is_some()
+                && faults
+                    .as_ref()
+                    .is_some_and(|plan| plan.fire(FaultKind::ApplyPanic));
             let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                if inject_panic {
+                    panic!("injected apply panic");
+                }
                 apply(&mut state, request)
             }));
             responses.push(match outcome {
@@ -488,6 +1024,11 @@ fn shard_loop(rx: mpsc::Receiver<ShardCall>, mut state: ShardState) {
         }
         // A caller that hung up (connection dropped mid-request) is not an error.
         let _ = call.reply.send(responses);
+        let _ = metrics
+            .queued
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |v| {
+                Some(v.saturating_sub(len))
+            });
     }
 }
 
@@ -558,7 +1099,7 @@ fn recover_tenant(store: &Store, name: &str) -> std::io::Result<(Tenant, Vec<Str
             });
         let failure = match event {
             Ok(event) => match apply_event(&mut tenant, &event) {
-                Response::Error(error) => Some(error),
+                Response::Error(error) => Some(error.message),
                 _ => None,
             },
             Err(error) => Some(error),
@@ -615,25 +1156,29 @@ fn apply(state: &mut ShardState, request: Request) -> Response {
             let policy = match policy.as_deref().map(OnlinePolicy::parse) {
                 None => OnlinePolicy::FirstFit,
                 Some(Ok(policy)) => policy,
-                Some(Err(error)) => return Response::error(error),
+                Some(Err(error)) => return Response::fail(ErrorCode::Rejected, error),
             };
             if capacity > MAX_CAPACITY {
-                return Response::error(format!(
-                    "capacity {capacity} exceeds the server limit of {MAX_CAPACITY}"
-                ));
+                return Response::fail(
+                    ErrorCode::Rejected,
+                    format!("capacity {capacity} exceeds the server limit of {MAX_CAPACITY}"),
+                );
             }
             if state.tenants.contains_key(&tenant) {
-                return Response::error(format!("tenant '{tenant}' is already open"));
+                return Response::fail(
+                    ErrorCode::AlreadyOpen,
+                    format!("tenant '{tenant}' is already open"),
+                );
             }
             match OnlineScheduler::new(capacity, policy) {
                 Ok(scheduler) => insert_tenant(state, tenant, scheduler),
-                Err(error) => Response::error(error.to_string()),
+                Err(error) => Response::fail(ErrorCode::Rejected, error.to_string()),
             }
         }
         Request::Arrive { tenant, id, job } => {
             let interval = match checked_window(job.0, job.1) {
                 Ok(interval) => interval,
-                Err(error) => return Response::error(error),
+                Err(error) => return Response::fail(ErrorCode::Rejected, error),
             };
             apply_logged(state, &tenant, Event::arrival(id, interval))
         }
@@ -651,29 +1196,38 @@ fn apply(state: &mut ShardState, request: Request) -> Response {
             // The same wire bounds as `open`/`arrive`: a snapshot is caller-supplied
             // data, not something this server necessarily produced.
             if snapshot.capacity > MAX_CAPACITY {
-                return Response::error(format!(
-                    "snapshot capacity {} exceeds the server limit of {MAX_CAPACITY}",
-                    snapshot.capacity
-                ));
+                return Response::fail(
+                    ErrorCode::Rejected,
+                    format!(
+                        "snapshot capacity {} exceeds the server limit of {MAX_CAPACITY}",
+                        snapshot.capacity
+                    ),
+                );
             }
             if let Some(job) = snapshot
                 .jobs
                 .iter()
                 .find(|job| checked_window(job.start, job.end).is_err())
             {
-                return Response::error(format!(
-                    "snapshot job {} has an out-of-range or empty window [{}, {})",
-                    job.id, job.start, job.end
-                ));
+                return Response::fail(
+                    ErrorCode::Rejected,
+                    format!(
+                        "snapshot job {} has an out-of-range or empty window [{}, {})",
+                        job.id, job.start, job.end
+                    ),
+                );
             }
             match OnlineScheduler::restore(&snapshot) {
                 Ok(scheduler) => insert_tenant(state, tenant, scheduler),
-                Err(error) => Response::error(error.to_string()),
+                Err(error) => Response::fail(ErrorCode::Rejected, error.to_string()),
             }
         }
         Request::Close { tenant } => {
             if !state.tenants.contains_key(&tenant) {
-                return Response::error(format!("unknown tenant '{tenant}'"));
+                return Response::fail(
+                    ErrorCode::UnknownTenant,
+                    format!("unknown tenant '{tenant}'"),
+                );
             }
             // Disk first: if the durable state cannot be removed, the tenant
             // stays open rather than resurrecting on the next start.
@@ -696,13 +1250,13 @@ fn apply(state: &mut ShardState, request: Request) -> Response {
                         Response::error(format!("compaction failed for tenant '{tenant}': {error}"))
                     }
                 },
-                None => Response::error(DURABILITY_DISABLED),
+                None => Response::fail(ErrorCode::Unsupported, DURABILITY_DISABLED),
             }
         }),
         Request::WalStats { tenant } => {
             with_tenant(&mut state.tenants, &tenant, |t| match t.log.as_mut() {
                 Some(log) => Response::Wal(log.stats()),
-                None => Response::error(DURABILITY_DISABLED),
+                None => Response::fail(ErrorCode::Unsupported, DURABILITY_DISABLED),
             })
         }
         // A shard-local census used by `Engine::stats`; `shards`/`requests` are
@@ -712,7 +1266,25 @@ fn apply(state: &mut ShardState, request: Request) -> Response {
             tenants: state.tenants.len(),
             requests: 0,
         },
-        Request::Batch { .. } => Response::error("batch requests are not tenant-scoped"),
+        // A shard-local census used by `Engine::health`: tenant count and the
+        // summed un-synced WAL backlog; the queue/shed/respawn figures are
+        // engine-side and merged there.
+        Request::Health => Response::Health(HealthReport {
+            shards: vec![ShardHealth {
+                shard: 0,
+                tenants: state.tenants.len(),
+                wal_backlog: state
+                    .tenants
+                    .values()
+                    .map(|t| t.log.as_ref().map_or(0, |log| log.pending() as u64))
+                    .sum::<u64>(),
+                ..ShardHealth::default()
+            }],
+            degraded: Vec::new(),
+        }),
+        Request::Batch { .. } => {
+            Response::fail(ErrorCode::Rejected, "batch requests are not tenant-scoped")
+        }
     }
 }
 
@@ -754,7 +1326,10 @@ fn insert_tenant(state: &mut ShardState, tenant: String, scheduler: OnlineSchedu
 /// at most one compaction per request keeps the shard's tail latency bounded.
 fn apply_logged(state: &mut ShardState, tenant: &str, event: Event) -> Response {
     let Some(t) = state.tenants.get_mut(tenant) else {
-        return Response::error(format!("unknown tenant '{tenant}'"));
+        return Response::fail(
+            ErrorCode::UnknownTenant,
+            format!("unknown tenant '{tenant}'"),
+        );
     };
     let response = apply_event(t, &event);
     if !response.is_ok() {
@@ -793,7 +1368,10 @@ fn with_tenant(
 ) -> Response {
     match tenants.get_mut(tenant) {
         Some(t) => f(t),
-        None => Response::error(format!("unknown tenant '{tenant}'")),
+        None => Response::fail(
+            ErrorCode::UnknownTenant,
+            format!("unknown tenant '{tenant}'"),
+        ),
     }
 }
 
@@ -813,7 +1391,7 @@ fn apply_event(tenant: &mut Tenant, event: &Event) -> Response {
                 cost: effect.cost.ticks(),
             }
         }
-        Err(error) => Response::error(error.to_string()),
+        Err(error) => Response::fail(ErrorCode::Rejected, error.to_string()),
     }
 }
 
@@ -889,7 +1467,8 @@ mod tests {
         }) else {
             panic!("expected an error");
         };
-        assert!(e.contains("ghost"), "{e}");
+        assert!(e.message.contains("ghost"), "{e}");
+        assert_eq!(e.code, ErrorCode::UnknownTenant);
         assert!(engine
             .call(Request::Open {
                 tenant: "t".into(),
@@ -900,14 +1479,24 @@ mod tests {
         let Response::Error(e) = engine.call(arrive("t", 1, (5, 5))) else {
             panic!("expected an error");
         };
-        assert!(e.contains("[5, 5)"), "{e}");
+        assert!(e.message.contains("[5, 5)"), "{e}");
+        assert_eq!(e.code, ErrorCode::Rejected);
         let Response::Error(e) = engine.call(Request::Depart {
             tenant: "t".into(),
             id: 42,
         }) else {
             panic!("expected an error");
         };
-        assert!(e.contains("42"), "{e}");
+        assert!(e.message.contains("42"), "{e}");
+        // Reopening an open tenant gets the dedicated code clients branch on.
+        let Response::Error(e) = engine.call(Request::Open {
+            tenant: "t".into(),
+            capacity: 1,
+            policy: None,
+        }) else {
+            panic!("expected an error");
+        };
+        assert_eq!(e.code, ErrorCode::AlreadyOpen);
         // An unknown policy is rejected at open.
         let Response::Error(e) = engine.call(Request::Open {
             tenant: "u".into(),
@@ -916,7 +1505,8 @@ mod tests {
         }) else {
             panic!("expected an error");
         };
-        assert!(e.contains("bogus"), "{e}");
+        assert!(e.message.contains("bogus"), "{e}");
+        assert_eq!(e.code, ErrorCode::Rejected);
         drop(engine);
         registry.shutdown();
     }
@@ -1033,7 +1623,7 @@ mod tests {
         ) else {
             panic!("expected an error");
         };
-        assert!(e.contains("server limit"), "{e}");
+        assert!(e.message.contains("server limit"), "{e}");
         // ...and at restore.
         let mut snapshot = OnlineScheduler::new(1, OnlinePolicy::FirstFit)
             .unwrap()
@@ -1048,7 +1638,7 @@ mod tests {
         ) else {
             panic!("expected an error");
         };
-        assert!(e.contains("server limit"), "{e}");
+        assert!(e.message.contains("server limit"), "{e}");
 
         // A job window wide enough to overflow i64 length arithmetic is refused
         // before it reaches the scheduler.
@@ -1068,7 +1658,7 @@ mod tests {
             let Response::Error(error) = apply(&mut tenants, arrive("t", 1, (s, e))) else {
                 panic!("expected an error for [{s}, {e})");
             };
-            assert!(error.contains("out of range"), "{error}");
+            assert!(error.message.contains("out of range"), "{error}");
         }
         // A snapshot smuggling such a window is refused too.
         let mut scheduler = OnlineScheduler::new(1, OnlinePolicy::FirstFit).unwrap();
@@ -1086,7 +1676,7 @@ mod tests {
         ) else {
             panic!("expected an error");
         };
-        assert!(error.contains("out-of-range"), "{error}");
+        assert!(error.message.contains("out-of-range"), "{error}");
         // In-range requests still flow.
         assert!(apply(&mut tenants, arrive("t", 1, (0, MAX_ABS_TICK))).is_ok());
     }

@@ -36,14 +36,19 @@
 
 use std::collections::HashMap;
 use std::io::{BufRead, BufReader, BufWriter, Write};
-use std::net::{TcpListener, TcpStream, ToSocketAddrs};
+use std::net::{IpAddr, Ipv4Addr, Ipv6Addr, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
 
 use busytime::online::Trace;
 use busytime::report::SimulationReport;
 use busytime::OnlinePolicy;
 
+use crate::faults::{FaultKind, FaultPlan};
 use crate::frame::{DecodeError, FrameRequest, FrameResponse, RequestFrame, ResponseFrame, MAGIC};
-use crate::protocol::{Request, Response};
+use crate::protocol::{ErrorCode, Request, Response, WireError};
 use crate::registry::Engine;
 
 /// Most requests decoded into one [`Engine::call_many`] batch.  Bounds the
@@ -58,10 +63,92 @@ pub const MAX_BINDINGS: usize = 1 << 20;
 
 /// Serve the engine on an already-bound listener, one thread per connection.
 ///
-/// Returns only when the listener errors (callers wanting a graceful stop run this
-/// on a dedicated thread and drop the process, as the CLI's `serve` does).
+/// Returns only when the listener errors (callers wanting a graceful stop use
+/// [`spawn`] and its [`ServerHandle`], as the in-process tests and benchmarks do).
 pub fn serve(listener: TcpListener, engine: Engine) -> std::io::Result<()> {
+    accept_loop(listener, engine, None)
+}
+
+/// Serve the engine on a background accept thread, returning a handle that
+/// stops it.
+///
+/// Dropping the handle (or calling [`ServerHandle::stop`]) signals the accept
+/// loop, wakes it with a loopback connection, and joins the accept thread —
+/// no new connections are admitted afterwards.  Connection threads already
+/// running are not interrupted; they exit when their clients hang up, and the
+/// [`crate::registry::Registry::shutdown`] that typically follows blocks until
+/// the engine clones they hold are gone.
+pub fn spawn(listener: TcpListener, engine: Engine) -> std::io::Result<ServerHandle> {
+    let addr = listener.local_addr()?;
+    let stop = Arc::new(AtomicBool::new(false));
+    let thread = std::thread::Builder::new()
+        .name("busytime-accept".to_string())
+        .spawn({
+            let stop = stop.clone();
+            move || {
+                // A listener error ends the accept loop; connections already
+                // handed off keep running.
+                let _ = accept_loop(listener, engine, Some(stop));
+            }
+        })?;
+    Ok(ServerHandle {
+        addr,
+        stop,
+        thread: Some(thread),
+    })
+}
+
+/// A running background server (see [`spawn`]).
+pub struct ServerHandle {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    thread: Option<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The bound address clients connect to.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stop accepting connections and join the accept thread (also runs on drop).
+    pub fn stop(self) {}
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Release);
+        // The accept loop blocks in `accept`; a loopback connection wakes it so
+        // it can observe the flag.  An unspecified bind address (0.0.0.0 / ::)
+        // is not connectable, so substitute the matching loopback.
+        let mut wake = self.addr;
+        if wake.ip().is_unspecified() {
+            wake.set_ip(match wake.ip() {
+                IpAddr::V4(_) => IpAddr::V4(Ipv4Addr::LOCALHOST),
+                IpAddr::V6(_) => IpAddr::V6(Ipv6Addr::LOCALHOST),
+            });
+        }
+        let _ = TcpStream::connect_timeout(&wake, Duration::from_millis(500));
+        if let Some(thread) = self.thread.take() {
+            let _ = thread.join();
+        }
+    }
+}
+
+/// The shared accept loop: one handler thread per connection, with an optional
+/// stop flag checked between accepts.
+fn accept_loop(
+    listener: TcpListener,
+    engine: Engine,
+    stop: Option<Arc<AtomicBool>>,
+) -> std::io::Result<()> {
     for stream in listener.incoming() {
+        if stop
+            .as_ref()
+            .is_some_and(|stop| stop.load(Ordering::Acquire))
+        {
+            break;
+        }
         let stream = stream?;
         let engine = engine.clone();
         std::thread::Builder::new()
@@ -136,6 +223,8 @@ fn pend_binary(frame: RequestFrame, bindings: &mut Bindings) -> Pending {
     let unbound = |id: u32| Pending::BinaryReply {
         seq,
         frame: FrameResponse::Error {
+            code: ErrorCode::Malformed,
+            retry_after_ms: 0,
             message: format!("tenant id {id} is not bound on this connection"),
         },
     };
@@ -147,7 +236,11 @@ fn pend_binary(frame: RequestFrame, bindings: &mut Bindings) -> Pending {
             },
             Err(message) => Pending::BinaryReply {
                 seq,
-                frame: FrameResponse::Error { message },
+                frame: FrameResponse::Error {
+                    code: ErrorCode::Rejected,
+                    retry_after_ms: 0,
+                    message,
+                },
             },
         },
         FrameRequest::Arrive {
@@ -189,7 +282,11 @@ fn pend_binary(frame: RequestFrame, bindings: &mut Bindings) -> Pending {
             Ok(request) => Pending::BinaryCall { seq, request },
             Err(error) => Pending::BinaryReply {
                 seq,
-                frame: FrameResponse::Error { message: error },
+                frame: FrameResponse::Error {
+                    code: ErrorCode::Malformed,
+                    retry_after_ms: 0,
+                    message: error,
+                },
             },
         },
     }
@@ -208,7 +305,11 @@ fn frame_response(response: Response) -> FrameResponse {
             cost_delta,
             cost,
         },
-        Response::Error(message) => FrameResponse::Error { message },
+        Response::Error(error) => FrameResponse::Error {
+            code: error.code,
+            retry_after_ms: u32::try_from(error.retry_after_ms.unwrap_or(0)).unwrap_or(u32::MAX),
+            message: error.message,
+        },
         other => FrameResponse::Json {
             payload: other.to_json(),
         },
@@ -268,10 +369,27 @@ fn dispatch(
     Ok(())
 }
 
+/// Flush the response buffer, first consulting the fault plan: a planned
+/// `SlowWrite` stalls briefly before flushing, and a planned `ConnDrop` fails
+/// the flush outright — the handler returns, the socket closes, and whatever
+/// the buffer held is lost exactly as a network partition would lose it.
+fn gated_flush(faults: Option<&FaultPlan>, writer: &mut impl Write) -> std::io::Result<()> {
+    if let Some(plan) = faults {
+        if plan.fire(FaultKind::SlowWrite) {
+            std::thread::sleep(Duration::from_millis(40));
+        }
+        if plan.fire(FaultKind::ConnDrop) {
+            return Err(std::io::Error::other("injected connection drop"));
+        }
+    }
+    writer.flush()
+}
+
 /// Drive one connection: decode buffered requests into batches, dispatch each
 /// batch through the engine, and flush responses when the read side goes idle.
 fn handle_connection(stream: TcpStream, engine: Engine) -> std::io::Result<()> {
     stream.set_nodelay(true)?;
+    let faults = engine.fault_plan().cloned();
     let mut reader = BufReader::with_capacity(64 * 1024, stream.try_clone()?);
     let mut writer = BufWriter::with_capacity(64 * 1024, stream);
     let mut bindings = Bindings::default();
@@ -295,7 +413,7 @@ fn handle_connection(stream: TcpStream, engine: Engine) -> std::io::Result<()> {
                     Ok([]) => {
                         // EOF with a batch in hand: answer it, then close.
                         dispatch(&engine, batch, &mut writer, &mut scratch)?;
-                        writer.flush()?;
+                        gated_flush(faults.as_ref(), &mut writer)?;
                         break 'connection;
                     }
                     Ok(buf) => buf[0],
@@ -313,11 +431,15 @@ fn handle_connection(stream: TcpStream, engine: Engine) -> std::io::Result<()> {
                         if let DecodeError::Protocol { seq, message } = error {
                             let frame = ResponseFrame {
                                 seq,
-                                body: FrameResponse::Error { message },
+                                body: FrameResponse::Error {
+                                    code: ErrorCode::Malformed,
+                                    retry_after_ms: 0,
+                                    message,
+                                },
                             };
                             frame.write_into(&mut scratch, &mut writer)?;
                         }
-                        writer.flush()?;
+                        gated_flush(faults.as_ref(), &mut writer)?;
                         break 'connection;
                     }
                 }
@@ -325,14 +447,16 @@ fn handle_connection(stream: TcpStream, engine: Engine) -> std::io::Result<()> {
                 line.clear();
                 if reader.read_line(&mut line)? == 0 {
                     dispatch(&engine, batch, &mut writer, &mut scratch)?;
-                    writer.flush()?;
+                    gated_flush(faults.as_ref(), &mut writer)?;
                     break 'connection;
                 }
                 let text = line.trim();
                 if !text.is_empty() {
                     batch.push(match Request::from_json(text) {
                         Ok(request) => Pending::NdjsonCall(request),
-                        Err(error) => Pending::NdjsonReply(Response::error(error)),
+                        Err(error) => {
+                            Pending::NdjsonReply(Response::fail(ErrorCode::Malformed, error))
+                        }
                     });
                 }
             }
@@ -344,7 +468,7 @@ fn handle_connection(stream: TcpStream, engine: Engine) -> std::io::Result<()> {
         // The flush fix: flush only when the read side has no further buffered
         // input — a pipelining client's window drains in one write.
         if reader.buffer().is_empty() {
-            writer.flush()?;
+            gated_flush(faults.as_ref(), &mut writer)?;
         }
     }
     Ok(())
@@ -381,6 +505,62 @@ impl Framing {
     }
 }
 
+/// How a resilient [`Client`] rides out connection failures.
+///
+/// Reconnects back off exponentially from `base_delay_ms` to `max_delay_ms`
+/// with deterministic jitter drawn from `seed` (same seed, same delays — the
+/// chaos tests replay byte-identical schedules).  `request_timeout_ms`, when
+/// non-zero, bounds every blocking read so a stalled server surfaces as a
+/// retryable transport error instead of a hang.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Connection attempts per outage before giving up.
+    pub attempts: u32,
+    /// Backoff before the first reconnect attempt.
+    pub base_delay_ms: u64,
+    /// Backoff cap.
+    pub max_delay_ms: u64,
+    /// Read deadline per response; `0` waits forever.
+    pub request_timeout_ms: u64,
+    /// Seed for the jitter generator.
+    pub seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            attempts: 8,
+            base_delay_ms: 10,
+            max_delay_ms: 1000,
+            request_timeout_ms: 5000,
+            seed: 0x5eed,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// The backoff before reconnect `attempt` (0-based): exponential from the
+    /// base, capped, with up to 50% deterministic jitter subtracted so waves
+    /// of reconnecting clients spread out.
+    fn delay_ms(&self, attempt: u32, jitter: &mut u64) -> u64 {
+        let exp = self
+            .base_delay_ms
+            .saturating_mul(1u64 << attempt.min(20))
+            .min(self.max_delay_ms.max(1));
+        // xorshift64*: tiny and deterministic; seeded per outage.
+        let mut x = *jitter | 1;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        *jitter = x;
+        exp - x.wrapping_mul(0x2545_f491_4f6c_dd1d) % (exp / 2 + 1)
+    }
+}
+
+/// Total outages one logical operation will heal across before giving up —
+/// a backstop against a server that drops every single connection.
+const MAX_HEALS: u32 = 32;
+
 /// A blocking protocol client over one connection, in either framing.
 ///
 /// [`Client::call`] keeps the one-request-in-flight behaviour the CLI and the
@@ -393,6 +573,13 @@ impl Framing {
 /// connection-local ids on first use, mirroring the server's dense id
 /// assignment, and consumes the `bound` acknowledgements inside [`Client::recv`]
 /// — callers never see them.
+///
+/// A client built with [`Client::connect_resilient`] additionally self-heals:
+/// when the connection dies it reconnects with capped, jittered exponential
+/// backoff, re-binds its tenants in id order (the dense mirror survives the
+/// new connection), and [`Client::drive_trace_pipelined`] resumes the trace
+/// from the server's acknowledged-event count so every event applies exactly
+/// once even when the failure ate in-flight responses.
 pub struct Client {
     reader: BufReader<TcpStream>,
     writer: BufWriter<TcpStream>,
@@ -402,6 +589,10 @@ pub struct Client {
     /// Tenant name → connection-local id (binary framing only).
     bindings: HashMap<String, u32>,
     scratch: Vec<u8>,
+    /// Reconnect policy; `None` fails fast on the first transport error.
+    retry: Option<RetryPolicy>,
+    /// The resolved address reconnects go to.
+    addr: Option<SocketAddr>,
 }
 
 impl Client {
@@ -418,7 +609,49 @@ impl Client {
     /// Connect with an explicit framing.
     pub fn connect_with(addr: impl ToSocketAddrs, framing: Framing) -> std::io::Result<Self> {
         let stream = TcpStream::connect(addr)?;
+        Self::from_stream(stream, framing, None, None)
+    }
+
+    /// Connect with an explicit framing and a self-healing [`RetryPolicy`]
+    /// (the initial connect retries with the same backoff as reconnects).
+    pub fn connect_resilient(
+        addr: impl ToSocketAddrs,
+        framing: Framing,
+        policy: RetryPolicy,
+    ) -> std::io::Result<Self> {
+        let addr = addr
+            .to_socket_addrs()?
+            .next()
+            .ok_or_else(|| std::io::Error::other("the address resolved to nothing"))?;
+        let mut jitter = policy.seed;
+        let mut last = None;
+        for attempt in 0..policy.attempts.max(1) {
+            if attempt > 0 {
+                std::thread::sleep(Duration::from_millis(
+                    policy.delay_ms(attempt - 1, &mut jitter),
+                ));
+            }
+            match TcpStream::connect(addr) {
+                Ok(stream) => return Self::from_stream(stream, framing, Some(policy), Some(addr)),
+                Err(error) => last = Some(error),
+            }
+        }
+        Err(last.unwrap_or_else(|| std::io::Error::other("no connection attempts were made")))
+    }
+
+    /// Wrap a fresh stream in the buffered reader/writer pair.
+    fn from_stream(
+        stream: TcpStream,
+        framing: Framing,
+        retry: Option<RetryPolicy>,
+        addr: Option<SocketAddr>,
+    ) -> std::io::Result<Self> {
         stream.set_nodelay(true)?;
+        if let Some(policy) = &retry {
+            if policy.request_timeout_ms > 0 {
+                stream.set_read_timeout(Some(Duration::from_millis(policy.request_timeout_ms)))?;
+            }
+        }
         Ok(Client {
             reader: BufReader::with_capacity(64 * 1024, stream.try_clone()?),
             writer: BufWriter::with_capacity(64 * 1024, stream),
@@ -426,12 +659,83 @@ impl Client {
             seq: 0,
             bindings: HashMap::new(),
             scratch: Vec::with_capacity(256),
+            retry,
+            addr,
         })
     }
 
     /// The framing this client speaks.
     pub fn framing(&self) -> Framing {
         self.framing
+    }
+
+    /// Whether this client heals transport failures by reconnecting.
+    pub fn is_resilient(&self) -> bool {
+        self.retry.is_some() && self.addr.is_some()
+    }
+
+    /// Replace the dead connection with a fresh one, backing off between
+    /// attempts per the retry policy, and re-bind every tenant in id order so
+    /// the dense id mirror stays valid.  `cause` is folded into the error when
+    /// every attempt fails.
+    fn reconnect(&mut self, cause: &str) -> Result<(), String> {
+        let (Some(policy), Some(addr)) = (self.retry, self.addr) else {
+            return Err(cause.to_string());
+        };
+        let mut jitter = policy.seed ^ 0x9e37_79b9_7f4a_7c15;
+        for attempt in 0..policy.attempts.max(1) {
+            std::thread::sleep(Duration::from_millis(policy.delay_ms(attempt, &mut jitter)));
+            let Ok(fresh) = Self::from_stream(
+                match TcpStream::connect(addr) {
+                    Ok(stream) => stream,
+                    Err(_) => continue,
+                },
+                self.framing,
+                self.retry,
+                self.addr,
+            ) else {
+                continue;
+            };
+            let bindings = std::mem::take(&mut self.bindings);
+            *self = fresh;
+            // Replay the binds in id order: the new connection's server table
+            // assigns the same dense ids, and `recv` consumes the `bound`
+            // acknowledgements transparently.
+            let mut names: Vec<(u32, String)> =
+                bindings.into_iter().map(|(name, id)| (id, name)).collect();
+            names.sort_unstable();
+            for (_, name) in names {
+                let id = self.bind_id(&name)?;
+                debug_assert_eq!(id as usize, self.bindings.len() - 1);
+            }
+            self.flush()?;
+            return Ok(());
+        }
+        Err(format!(
+            "the connection died ({cause}) and {} reconnect attempt(s) to {addr} failed",
+            policy.attempts.max(1)
+        ))
+    }
+
+    /// Send one request, healing the connection and retrying on transport
+    /// errors when a retry policy is set.  Only safe for requests the caller
+    /// knows are idempotent-or-refused (the drive's `open`/`close`/`query`).
+    fn call_healed(&mut self, request: &Request) -> Result<Response, String> {
+        let mut error = match self.call(request) {
+            Ok(response) => return Ok(response),
+            Err(error) => error,
+        };
+        for _ in 0..MAX_HEALS {
+            if !self.is_resilient() {
+                break;
+            }
+            self.reconnect(&error)?;
+            match self.call(request) {
+                Ok(response) => return Ok(response),
+                Err(next) => error = next,
+            }
+        }
+        Err(error)
     }
 
     /// Queue one request into the connection's write buffer **without flushing**.
@@ -551,7 +855,17 @@ impl Client {
                             cost,
                         });
                     }
-                    FrameResponse::Error { message } => return Ok(Response::Error(message)),
+                    FrameResponse::Error {
+                        code,
+                        retry_after_ms,
+                        message,
+                    } => {
+                        return Ok(Response::Error(WireError {
+                            code,
+                            message,
+                            retry_after_ms: (retry_after_ms > 0).then_some(retry_after_ms as u64),
+                        }))
+                    }
                     FrameResponse::Json { payload } => return Response::from_json(&payload),
                 }
             },
@@ -630,6 +944,12 @@ impl Client {
     /// is identical at every depth — the pipeline oracle test pins this against
     /// a local replay.  An error response to any event aborts the drive (after
     /// draining the window).
+    ///
+    /// On a resilient client a transport failure mid-trace does not abort:
+    /// the client reconnects, asks the server how many events the tenant has
+    /// durably applied (`query`'s event counter — responses lost with the
+    /// connection were still applied), and resumes the pipeline from exactly
+    /// that event, so every trace event applies exactly once.
     pub fn drive_trace_pipelined(
         &mut self,
         tenant: &str,
@@ -642,30 +962,60 @@ impl Client {
             capacity: trace.capacity,
             policy: Some(policy.name().to_string()),
         };
-        if let Response::Error(error) = self.call(&open)? {
-            if !error.contains("already open") {
+        if let Response::Error(error) = self.call_healed(&open)? {
+            if error.code != ErrorCode::AlreadyOpen {
                 return Err(format!("open: {error}"));
             }
-            self.call_ok(&Request::Close {
+            self.call_ok_healed(&Request::Close {
                 tenant: tenant.to_string(),
             })?;
-            self.call_ok(&open)?;
+            self.call_ok_healed(&open)?;
         }
         let requests: Vec<Request> = trace
             .events
             .iter()
             .map(|event| Request::from_event(tenant, event))
             .collect();
-        for (i, response) in self.pipeline(&requests, depth)?.into_iter().enumerate() {
-            if let Response::Error(error) = response {
-                return Err(format!("{}: {error}", requests[i].op()));
+        let mut start = 0usize;
+        let mut heals = 0u32;
+        while start < requests.len() || (start == 0 && requests.is_empty()) {
+            match self.pipeline(&requests[start..], depth) {
+                Ok(responses) => {
+                    for (i, response) in responses.into_iter().enumerate() {
+                        if let Response::Error(error) = response {
+                            return Err(format!("{}: {error}", requests[start + i].op()));
+                        }
+                    }
+                    break;
+                }
+                Err(error) if self.is_resilient() && heals < MAX_HEALS => {
+                    heals += 1;
+                    self.reconnect(&error)?;
+                    // The applied-event counter tells us where the server
+                    // actually got to — acknowledged or not.
+                    start = match self.call_ok_healed(&Request::Query {
+                        tenant: tenant.to_string(),
+                    })? {
+                        Response::Query(report) => report.events,
+                        other => return Err(format!("expected a query response, got {other:?}")),
+                    };
+                }
+                Err(error) => return Err(error),
             }
         }
-        match self.call_ok(&Request::Query {
+        match self.call_ok_healed(&Request::Query {
             tenant: tenant.to_string(),
         })? {
             Response::Query(report) => Ok(report),
             other => Err(format!("expected a query response, got {other:?}")),
+        }
+    }
+
+    /// [`Client::call_healed`] with `{"ok": false}` responses turned into `Err`.
+    fn call_ok_healed(&mut self, request: &Request) -> Result<Response, String> {
+        match self.call_healed(request)? {
+            Response::Error(error) => Err(format!("{}: {error}", request.op())),
+            response => Ok(response),
         }
     }
 }

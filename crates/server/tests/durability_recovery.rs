@@ -315,7 +315,7 @@ fn persist_and_wal_stats_expose_the_log() {
         let Response::Error(error) = engine.call(request) else {
             panic!("expected an error on the in-memory registry");
         };
-        assert!(error.contains("--data-dir"), "{error}");
+        assert!(error.message.contains("--data-dir"), "{error}");
     }
     drop(engine);
     registry.shutdown();

@@ -5,7 +5,7 @@
 //! checked line by line too.  If the wire schema and the document drift apart, this
 //! test names the offending block.
 
-use busytime_server::{Request, Response};
+use busytime_server::{ErrorCode, Request, Response};
 use serde::Value;
 
 const DOC: &str = include_str!("../../../PROTOCOL.md");
@@ -109,11 +109,35 @@ fn every_documented_json_example_round_trips() {
         "wal_stats",
         "batch",
         "stats",
+        "health",
     ] {
         assert!(
             seen_requests.iter().any(|seen| seen == op),
             "operation '{op}' has no documented request example"
         );
+    }
+}
+
+#[test]
+fn every_error_code_is_documented_with_its_byte() {
+    // The Errors section documents each wire code string, and the binary
+    // framing section pins each code's byte value.
+    for code in ErrorCode::ALL {
+        let name = code.as_str();
+        assert!(
+            DOC.contains(&format!("`{name}`")),
+            "error code '{name}' is missing from PROTOCOL.md"
+        );
+        assert!(
+            DOC.contains(&format!("`{name}` = {}", code.as_byte())),
+            "the binary byte for error code '{name}' ({}) is not documented",
+            code.as_byte()
+        );
+    }
+    // Round-trip sanity: the string and byte mappings invert.
+    for code in ErrorCode::ALL {
+        assert_eq!(ErrorCode::parse(code.as_str()), code);
+        assert_eq!(ErrorCode::from_byte(code.as_byte()), code);
     }
 }
 

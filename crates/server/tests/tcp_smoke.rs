@@ -329,5 +329,5 @@ fn malformed_lines_do_not_kill_the_connection() {
     let Response::Error(error) = Response::from_json(line.trim_end()).unwrap() else {
         panic!("expected an error");
     };
-    assert!(error.contains("unknown op"), "{error}");
+    assert!(error.message.contains("unknown op"), "{error}");
 }
