@@ -34,7 +34,7 @@
 #![forbid(unsafe_code)]
 
 use busytime::analysis::ScheduleSummary;
-use busytime::online::{Event, OnlinePolicy, Trace};
+use busytime::online::{Defrag, Event, OnlinePolicy, Trace};
 use busytime::par::ThreadPool;
 use busytime::report::{ScheduleReport, SimulationReport};
 use busytime::{Algorithm, Duration, Instance, Interval, Problem, Solver, Time};
@@ -362,15 +362,33 @@ fn render_simulation(prefix: &str, payload: &SimulationReport) -> String {
 /// `busytime simulate`: replay an online event trace through
 /// [`busytime::Solver::solve_online`], reporting the shared
 /// [`SimulationReport`] schema (the same shape the server's `query` returns).
-pub fn run_simulate(file: &TraceFile, policy: OnlinePolicy) -> Result<CommandOutput, String> {
+///
+/// With `--defrag-budget K` the replay runs through the [`Defrag`] wrapper —
+/// one `compact(K)` pass between events — which makes the local report directly
+/// comparable to a `query` against a `serve --defrag-budget K` daemon (the CI
+/// defrag smoke asserts exactly that equivalence across a crash/restart).
+pub fn run_simulate(
+    file: &TraceFile,
+    policy: OnlinePolicy,
+    defrag_budget: Option<usize>,
+) -> Result<CommandOutput, String> {
     let trace = file.to_trace()?;
-    let run = Solver::new()
-        .solve_online(&trace, policy)
-        .map_err(|e| e.to_string())?;
+    let (run, prefix) = match defrag_budget {
+        Some(budget) => (
+            Defrag::run(&trace, policy, budget).map_err(|e| e.to_string())?,
+            format!("simulate ({policy}, defrag budget {budget})"),
+        ),
+        None => (
+            Solver::new()
+                .solve_online(&trace, policy)
+                .map_err(|e| e.to_string())?,
+            format!("simulate ({policy})"),
+        ),
+    };
     let trajectory: Vec<i64> = run.trajectory.iter().map(|d| d.ticks()).collect();
     let payload = SimulationReport::from_scheduler(&run.scheduler, trajectory);
     Ok(CommandOutput {
-        report: render_simulation(&format!("simulate ({policy})"), &payload),
+        report: render_simulation(&prefix, &payload),
         file_payload: Some(serde_json::to_string_pretty(&payload).expect("serializable")),
     })
 }
@@ -545,6 +563,12 @@ fn fsck_replay(
             Event::arrival(id, interval)
         }
         busytime_server::Request::Depart { tenant, id } if tenant == name => Event::departure(id),
+        // A journaled defrag pass: replay it the way server recovery does —
+        // `compact` is deterministic against the replayed placements.
+        busytime_server::Request::Compact { tenant, budget } if tenant == name => {
+            scheduler.compact(budget);
+            return Ok(());
+        }
         other => return Err(format!("unexpected '{}' record", other.op())),
     };
     scheduler
@@ -851,7 +875,7 @@ mod tests {
 
     #[test]
     fn simulate_command_reports_trajectory_and_groups() {
-        let out = run_simulate(&sample_trace(), OnlinePolicy::FirstFit).unwrap();
+        let out = run_simulate(&sample_trace(), OnlinePolicy::FirstFit, None).unwrap();
         assert!(
             out.report.contains("simulate (first-fit)"),
             "{}",
@@ -871,6 +895,23 @@ mod tests {
     }
 
     #[test]
+    fn simulate_with_a_defrag_budget_compacts_between_events() {
+        // Same trace as above, but with a defrag pass after every event: once
+        // job 1 departs, job 2 ([4, 12), alone worth 8 on machine 0) migrates
+        // onto machine 1 where job 3's [6, 14) already covers all but [4, 6).
+        let out = run_simulate(&sample_trace(), OnlinePolicy::FirstFit, Some(4)).unwrap();
+        assert!(
+            out.report.contains("simulate (first-fit, defrag budget 4)"),
+            "{}",
+            out.report
+        );
+        let payload: SimulationReport = serde_json::from_str(&out.file_payload.unwrap()).unwrap();
+        assert_eq!(payload.cost_trajectory, vec![10, 12, 20, 10]);
+        assert_eq!(payload.final_cost, 10);
+        assert_eq!(payload.machine_groups, vec![vec![], vec![2, 3]]);
+    }
+
+    #[test]
     fn simulate_command_rejects_malformed_traces() {
         let empty_window = TraceFile {
             capacity: 2,
@@ -879,19 +920,19 @@ mod tests {
                 job: Some((5, 5)),
             }],
         };
-        let err = run_simulate(&empty_window, OnlinePolicy::FirstFit).unwrap_err();
+        let err = run_simulate(&empty_window, OnlinePolicy::FirstFit, None).unwrap_err();
         assert!(err.contains("event 0"), "{err}");
         let unknown_departure = TraceFile {
             capacity: 2,
             events: vec![TraceEventFile { id: 9, job: None }],
         };
-        let err = run_simulate(&unknown_departure, OnlinePolicy::BestFit).unwrap_err();
+        let err = run_simulate(&unknown_departure, OnlinePolicy::BestFit, None).unwrap_err();
         assert!(err.contains("job 9"), "{err}");
         let zero_capacity = TraceFile {
             capacity: 0,
             events: vec![],
         };
-        let err = run_simulate(&zero_capacity, OnlinePolicy::BucketByLength).unwrap_err();
+        let err = run_simulate(&zero_capacity, OnlinePolicy::BucketByLength, None).unwrap_err();
         assert!(err.contains("capacity"), "{err}");
         assert!(OnlinePolicy::parse("bogus").is_err());
     }

@@ -7,12 +7,12 @@
 //! busytime batch <instances.json> [--budget T] [--threads N] [--algorithm NAME]
 //!                [--exact-only] [--output results.json]
 //! busytime simulate <trace.json> [--policy <first-fit|best-fit|bucket-by-length>]
-//!                   [--output simulation.json]
+//!                   [--defrag-budget K] [--output simulation.json]
 //! busytime generate --class <clique|one-sided|proper|proper-clique|general|cloud|optical>
 //!                   --jobs N --capacity G [--seed S] [--output instance.json]
 //! busytime serve [--addr HOST:PORT] [--shards N] [--data-dir PATH]
 //!                [--fsync-batch N] [--compact-every N]
-//!                [--max-inflight N] [--tenant-rate R]
+//!                [--max-inflight N] [--tenant-rate R] [--defrag-budget K]
 //! busytime client <trace.json> --tenant NAME [--addr HOST:PORT] [--policy POLICY]
 //!                 [--binary] [--pipeline N] [--output report.json]
 //! busytime fsck <data-dir>
@@ -33,6 +33,9 @@
 //! caps a tenant's concurrent requests and `--tenant-rate` sets a per-tenant
 //! requests/second quota; passing either turns on admission control, so floods
 //! are shed with retryable `overloaded` errors instead of stalling cotenants.
+//! `--defrag-budget K` (on `serve` and `simulate` alike) runs one background
+//! defragmentation pass of at most K job migrations after every applied event,
+//! so a `query` against such a daemon matches `simulate --defrag-budget K`.
 
 use busytime::online::OnlinePolicy;
 use busytime::Algorithm;
@@ -47,7 +50,7 @@ const DEFAULT_ADDR: &str = "127.0.0.1:7878";
 
 fn usage() -> ! {
     eprintln!(
-        "usage:\n  busytime solve <instance.json> [--algorithm NAME] [--exact-only] [--output schedule.json]\n  busytime throughput <instance.json> --budget T [--algorithm NAME] [--exact-only] [--output schedule.json]\n  busytime batch <instances.json> [--budget T] [--threads N] [--algorithm NAME] [--exact-only] [--output results.json]\n  busytime simulate <trace.json> [--policy POLICY] [--output simulation.json]\n  busytime generate --class CLASS --jobs N --capacity G [--seed S] [--output instance.json]\n  busytime serve [--addr HOST:PORT] [--shards N] [--data-dir PATH] [--fsync-batch N] [--compact-every N] [--max-inflight N] [--tenant-rate R]\n  busytime client <trace.json> --tenant NAME [--addr HOST:PORT] [--policy POLICY] [--binary] [--pipeline N] [--output report.json]\n  busytime fsck <data-dir>"
+        "usage:\n  busytime solve <instance.json> [--algorithm NAME] [--exact-only] [--output schedule.json]\n  busytime throughput <instance.json> --budget T [--algorithm NAME] [--exact-only] [--output schedule.json]\n  busytime batch <instances.json> [--budget T] [--threads N] [--algorithm NAME] [--exact-only] [--output results.json]\n  busytime simulate <trace.json> [--policy POLICY] [--defrag-budget K] [--output simulation.json]\n  busytime generate --class CLASS --jobs N --capacity G [--seed S] [--output instance.json]\n  busytime serve [--addr HOST:PORT] [--shards N] [--data-dir PATH] [--fsync-batch N] [--compact-every N] [--max-inflight N] [--tenant-rate R] [--defrag-budget K]\n  busytime client <trace.json> --tenant NAME [--addr HOST:PORT] [--policy POLICY] [--binary] [--pipeline N] [--output report.json]\n  busytime fsck <data-dir>"
     );
     std::process::exit(2);
 }
@@ -193,10 +196,19 @@ fn main() {
         "simulate" => {
             let mut trace_path: Option<String> = None;
             let mut policy = OnlinePolicy::FirstFit;
+            let mut defrag_budget: Option<usize> = None;
             let mut it = args[1..].iter();
             while let Some(arg) = it.next() {
                 match arg.as_str() {
                     "--output" => output_path = it.next().cloned(),
+                    "--defrag-budget" => {
+                        defrag_budget = Some(
+                            it.next()
+                                .and_then(|v| v.parse().ok())
+                                .filter(|&n| n > 0)
+                                .unwrap_or_else(|| usage()),
+                        )
+                    }
                     "--policy" => {
                         policy = it
                             .next()
@@ -224,7 +236,7 @@ fn main() {
                 eprintln!("{e}");
                 std::process::exit(1);
             });
-            finish(run_simulate(&trace, policy), output_path);
+            finish(run_simulate(&trace, policy, defrag_budget), output_path);
         }
         "generate" => {
             let mut class: Option<WorkloadClass> = None;
@@ -278,6 +290,7 @@ fn main() {
             let mut compact_every: Option<u64> = None;
             let mut max_inflight: Option<usize> = None;
             let mut tenant_rate: Option<f64> = None;
+            let mut defrag_budget: Option<usize> = None;
             let mut it = args[1..].iter();
             while let Some(arg) = it.next() {
                 match arg.as_str() {
@@ -322,10 +335,19 @@ fn main() {
                                 .unwrap_or_else(|| usage()),
                         )
                     }
+                    "--defrag-budget" => {
+                        defrag_budget = Some(
+                            it.next()
+                                .and_then(|v| v.parse().ok())
+                                .filter(|&n| n > 0)
+                                .unwrap_or_else(|| usage()),
+                        )
+                    }
                     _ => usage(),
                 }
             }
             let mut config = RegistryConfig::new(shards);
+            config.defrag_budget = defrag_budget;
             config.durability = match data_dir {
                 Some(dir) => {
                     let mut durability = DurabilityConfig::new(dir);

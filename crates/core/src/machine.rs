@@ -513,6 +513,47 @@ impl MachinePool {
         self.index.update(machine, self.machines[machine].digest());
         Some(freed)
     }
+
+    /// Try to move one job off `(machine, thread)` to wherever the pool prices it
+    /// cheapest, committing the move **only when it strictly lowers the total busy
+    /// time** — the single-move primitive of background defragmentation.
+    ///
+    /// The job is removed (freeing `freed` ticks of busy time), the whole pool is
+    /// re-priced through [`MachinePool::best_fit_slot`] — which naturally re-prices
+    /// the just-freed source slot too, at exactly `freed` — and the job is
+    /// re-inserted: at the winning slot when its delta is strictly below `freed`,
+    /// back at its source otherwise.  Insert is the exact inverse of remove for
+    /// cost, hull and coverage, so a refused move leaves the pool's cost and
+    /// digests identical; both directions ride the ordinary `O(log m)` digest
+    /// refresh, never a rebuild.
+    ///
+    /// A committed move can never open a machine: a fresh machine prices at the
+    /// full job length, and no placement frees more than the job's length, so
+    /// `delta < freed` rules it out — which also proves compaction terminates and
+    /// never raises cost.
+    ///
+    /// Returns the committed placement, or `None` when the job stayed put (either
+    /// no strictly cheaper slot exists, or the job was not on `(machine, thread)`).
+    pub fn migrate(
+        &mut self,
+        iv: Interval,
+        machine: MachineId,
+        thread: usize,
+    ) -> Option<Placement> {
+        let freed = self.remove(iv, machine, thread)?;
+        let best = self.best_fit_slot(iv);
+        if best.delta < freed {
+            debug_assert!(
+                best.machine < self.machines.len(),
+                "a strictly improving move never opens a machine"
+            );
+            self.insert(iv, best.machine, best.thread);
+            Some(best)
+        } else {
+            self.insert(iv, machine, thread);
+            None
+        }
+    }
 }
 
 /// Builds a schedule one placement at a time over a growing [`MachinePool`], with the
@@ -701,6 +742,30 @@ mod tests {
         // Removing a job that is not there reports None and changes nothing.
         assert_eq!(pool.remove(iv(0, 10), 0, 0), None);
         assert_eq!(pool.cost(), Duration::new(10));
+    }
+
+    #[test]
+    fn migrate_commits_only_strict_improvements() {
+        let mut pool = MachinePool::new(2);
+        // Machine 0 runs [0, 10); machine 1 runs the stray [8, 14) (as if placed
+        // before machine 0 filled in): moving it onto machine 0 pays 4 instead of 6.
+        pool.insert(iv(0, 10), 0, 0);
+        pool.insert(iv(8, 14), 1, 0);
+        assert_eq!(pool.cost(), Duration::new(16));
+        let moved = pool.migrate(iv(8, 14), 1, 0).unwrap();
+        assert_eq!((moved.machine, moved.thread), (0, 1));
+        assert_eq!(moved.delta, Duration::new(4));
+        assert_eq!(pool.cost(), Duration::new(14));
+        assert_eq!(pool.machine(1).job_count(), 0);
+        // No strictly cheaper slot exists now: the job stays put and the pool is
+        // byte-identical (cost, digests, placement all unchanged).
+        let digest_before = *pool.index().digest(0);
+        assert_eq!(pool.migrate(iv(8, 14), 0, 1), None);
+        assert_eq!(pool.cost(), Duration::new(14));
+        assert_eq!(pool.index().digest(0), &digest_before);
+        assert_eq!(pool.remove(iv(8, 14), 0, 1), Some(Duration::new(4)));
+        // A job that is not where the caller claims is reported, not moved.
+        assert_eq!(pool.migrate(iv(8, 14), 0, 1), None);
     }
 
     #[test]

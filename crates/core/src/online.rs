@@ -229,6 +229,18 @@ pub struct EventEffect {
     pub arrival: bool,
 }
 
+/// What one [`OnlineScheduler::compact`] pass did to the live schedule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CompactEffect {
+    /// Strictly-improving migrations committed (at most the budget).
+    pub moves: usize,
+    /// The signed busy-time change in ticks — never positive: every committed move
+    /// strictly lowers cost and a refused move restores the source exactly.
+    pub cost_delta: i64,
+    /// The total busy time after the pass.
+    pub cost: Duration,
+}
+
 /// Where a live job currently sits.
 #[derive(Debug, Clone, Copy)]
 struct LiveJob {
@@ -645,6 +657,65 @@ impl OnlineScheduler {
             scheduler,
         })
     }
+
+    /// One budgeted background-defragmentation pass: migrate live jobs between
+    /// machines wherever the move **strictly** lowers the total busy time, committing
+    /// at most `budget` moves.
+    ///
+    /// Online placement is irrevocable at arrival time, so departures leave hulls
+    /// stretched over windows nothing uses any more — the measured 0.2–15% drift of
+    /// the online engine above the offline greedy.  The busy-time objective rewards
+    /// strictly-improving single-job moves (the discrete-convexity observation), so a
+    /// compaction pass walks the live jobs in id order (deterministic: the live table
+    /// is ordered) and, per job, prices the whole pool through
+    /// [`MachinePool::migrate`] — remove, best-fit re-price, re-insert — using the
+    /// exact marginal deltas the per-machine coverage profiles report and the
+    /// ordinary `O(log m)` digest refresh, never a from-scratch rebuild.
+    ///
+    /// Guarantees, all pinned by the churn-fuzz suite:
+    /// * cost never increases, and drops by the exact committed deltas;
+    /// * the schedule stays valid (a move lands on a conflict-free thread);
+    /// * a job never leaves its pool, so [`OnlinePolicy::BucketByLength`] routing
+    ///   invariants hold;
+    /// * the pass is a pure function of the live placements — a restored snapshot
+    ///   compacts exactly like the original, which is what lets the server journal
+    ///   `compact` records and replay them deterministically on recovery.
+    ///
+    /// Machines are never closed: an emptied source machine keeps its (stable) id
+    /// and simply re-enters the placement candidate streams as fresh capacity.
+    /// Event counters and `peak_cost` are untouched — compaction is not an event.
+    pub fn compact(&mut self, budget: usize) -> CompactEffect {
+        let before = self.cost;
+        let mut moves = 0usize;
+        if budget > 0 && !self.live.is_empty() {
+            let ids: Vec<OnlineJobId> = self.live.keys().copied().collect();
+            for id in ids {
+                if moves == budget {
+                    break;
+                }
+                let job = *self.live.get(&id).expect("collected from the live table");
+                let pool = &mut self.pools[job.pool];
+                let pool_before = pool.cost();
+                if let Some(placement) = pool.migrate(job.interval, job.local, job.thread) {
+                    // `migrate` already adjusted the pool's own cost; mirror the
+                    // net saving (freed − delta, strictly positive) on the
+                    // scheduler's running total.
+                    self.cost -= pool_before - self.pools[job.pool].cost();
+                    let global = self.pool_machines[job.pool][placement.machine];
+                    let entry = self.live.get_mut(&id).expect("the job is still live");
+                    entry.local = placement.machine;
+                    entry.thread = placement.thread;
+                    entry.global = global;
+                    moves += 1;
+                }
+            }
+        }
+        CompactEffect {
+            moves,
+            cost_delta: self.cost.ticks() - before.ticks(),
+            cost: self.cost,
+        }
+    }
 }
 
 /// The result of replaying a [`Trace`]: the per-event cost trajectory plus the final
@@ -671,6 +742,101 @@ impl OnlineRun {
     /// Number of events replayed.
     pub fn events(&self) -> usize {
         self.trajectory.len()
+    }
+}
+
+/// An online policy wrapper — *Defrag⟨P⟩* — that runs up to `budget` budgeted
+/// background-defragmentation moves after every event of the inner policy `P`.
+///
+/// Plain online placement is irrevocable, so the schedule drifts above the offline
+/// greedy as departures fragment machine hulls.  Wrapping the policy keeps the drift
+/// continuously repaired: each event is placed exactly as `P` would place it, then
+/// [`OnlineScheduler::compact`] migrates at most `budget` jobs to strictly cheaper
+/// slots, so the per-event tail latency stays bounded by the budget (each committed
+/// move is one remove + one best-fit probe + one insert, all incremental) while the
+/// schedule keeps re-converging toward the offline packing.
+///
+/// This is the library mirror of the server's `serve --defrag-budget K` mode, which
+/// runs the same pass after every applied event and journals it for deterministic
+/// recovery — a trace driven through `Defrag` locally reproduces such a server's
+/// final state exactly.
+///
+/// ```
+/// use busytime::online::{Defrag, Event, OnlinePolicy};
+/// use busytime::{Duration, Interval};
+///
+/// let mut d = Defrag::new(2, OnlinePolicy::FirstFit, 4).unwrap();
+/// d.apply(&Event::arrival(1, Interval::from_ticks(0, 10))).unwrap();
+/// d.apply(&Event::arrival(2, Interval::from_ticks(8, 14))).unwrap();
+/// assert_eq!(d.scheduler().cost(), Duration::new(14));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Defrag {
+    scheduler: OnlineScheduler,
+    budget: usize,
+    moves: usize,
+}
+
+impl Defrag {
+    /// An empty defragmenting schedule: inner policy `policy`, at most `budget`
+    /// migrations after each event (a zero budget degenerates to the plain policy).
+    pub fn new(capacity: usize, policy: OnlinePolicy, budget: usize) -> Result<Self, OnlineError> {
+        Ok(Defrag {
+            scheduler: OnlineScheduler::new(capacity, policy)?,
+            budget,
+            moves: 0,
+        })
+    }
+
+    /// The per-event migration budget.
+    pub fn budget(&self) -> usize {
+        self.budget
+    }
+
+    /// Total migrations committed across all events so far.
+    pub fn moves(&self) -> usize {
+        self.moves
+    }
+
+    /// The wrapped live scheduler.
+    pub fn scheduler(&self) -> &OnlineScheduler {
+        &self.scheduler
+    }
+
+    /// Unwrap into the inner scheduler.
+    pub fn into_scheduler(self) -> OnlineScheduler {
+        self.scheduler
+    }
+
+    /// Apply one event through the inner policy, then run one budgeted compaction
+    /// pass.  Returns the event's effect and the pass's effect; the post-compaction
+    /// cost is `compaction.cost`.  Errors leave the schedule untouched (the pass
+    /// only runs after a successful apply).
+    pub fn apply(&mut self, event: &Event) -> Result<(EventEffect, CompactEffect), OnlineError> {
+        let effect = self.scheduler.apply(event)?;
+        let compaction = self.scheduler.compact(self.budget);
+        self.moves += compaction.moves;
+        Ok((effect, compaction))
+    }
+
+    /// Apply a whole trace under `policy` with per-event defragmentation, recording
+    /// the **post-compaction** cost after every event — the defragmenting mirror of
+    /// [`OnlineScheduler::run`].
+    pub fn run(
+        trace: &Trace,
+        policy: OnlinePolicy,
+        budget: usize,
+    ) -> Result<OnlineRun, OnlineError> {
+        let mut defrag = Defrag::new(trace.capacity, policy, budget)?;
+        let mut trajectory = Vec::with_capacity(trace.events.len());
+        for event in &trace.events {
+            let (_, compaction) = defrag.apply(event)?;
+            trajectory.push(compaction.cost);
+        }
+        Ok(OnlineRun {
+            trajectory,
+            scheduler: defrag.scheduler,
+        })
     }
 }
 
@@ -942,6 +1108,147 @@ mod tests {
             OnlineScheduler::restore(&bad),
             Err(OnlineError::InvalidSnapshot { .. })
         ));
+    }
+
+    #[test]
+    fn compact_migrates_strict_improvements_only() {
+        let mut s = OnlineScheduler::new(2, OnlinePolicy::FirstFit).unwrap();
+        // g = 2: jobs 1 and 2 fill machine 0's two threads; job 3 overlaps both and
+        // must open machine 1 at its full length.
+        s.apply(&Event::arrival(1, iv(0, 10))).unwrap();
+        s.apply(&Event::arrival(2, iv(0, 10))).unwrap();
+        s.apply(&Event::arrival(3, iv(5, 15))).unwrap();
+        assert_eq!(s.cost(), Duration::new(10 + 10));
+        // Nothing improvable yet: every job sits where it must.
+        let idle = s.compact(usize::MAX);
+        assert_eq!(
+            idle,
+            CompactEffect {
+                moves: 0,
+                cost_delta: 0,
+                cost: s.cost()
+            }
+        );
+        // Job 1 departs (freeing thread 0 of machine 0 at no cost change — job 2
+        // still covers [0, 10)).  The two survivors overlap on [5, 10) and fit one
+        // machine's two threads, yet each pays full length alone.  Plain online
+        // scheduling never revisits those placements — compaction does: the scan
+        // hits job 2 first (id order) and moves it onto job 3's machine, paying 5
+        // for the uncovered [0, 5) instead of the 10 it paid alone.
+        s.apply(&Event::departure(1)).unwrap();
+        assert_eq!(s.cost(), Duration::new(20));
+        let effect = s.compact(usize::MAX);
+        assert_eq!(effect.moves, 1);
+        assert_eq!(effect.cost_delta, -5);
+        assert_eq!(s.cost(), Duration::new(15));
+        assert_eq!(effect.cost, s.cost());
+        // The machine count is stable (the emptied machine keeps its slot) and the
+        // moved job reports its new machine.
+        assert_eq!(s.machine_count(), 2);
+        assert_eq!(s.machine_groups(), vec![vec![], vec![2, 3]]);
+        // A second pass finds nothing: compaction reached a local fixpoint.
+        assert_eq!(s.compact(usize::MAX).moves, 0);
+    }
+
+    #[test]
+    fn compact_budget_caps_committed_moves() {
+        let mut s = OnlineScheduler::new(2, OnlinePolicy::FirstFit).unwrap();
+        // Two independent improvable moves in two disjoint time regions, each the
+        // pattern of `compact_migrates_strict_improvements_only`.
+        s.apply(&Event::arrival(1, iv(0, 10))).unwrap();
+        s.apply(&Event::arrival(2, iv(0, 10))).unwrap();
+        s.apply(&Event::arrival(3, iv(5, 15))).unwrap();
+        s.apply(&Event::arrival(4, iv(100, 110))).unwrap();
+        s.apply(&Event::arrival(5, iv(100, 110))).unwrap();
+        s.apply(&Event::arrival(6, iv(105, 115))).unwrap();
+        s.apply(&Event::departure(1)).unwrap();
+        s.apply(&Event::departure(4)).unwrap();
+        let cost = s.cost();
+        assert_eq!(s.compact(0).moves, 0, "a zero budget is a no-op");
+        assert_eq!(s.cost(), cost);
+        let first = s.compact(1);
+        assert_eq!(first.moves, 1, "the budget stops the pass mid-way");
+        assert_eq!(first.cost_delta, -5);
+        let second = s.compact(1);
+        assert_eq!(second.moves, 1);
+        assert_eq!(second.cost_delta, -5);
+        assert_eq!(s.compact(1).moves, 0, "fixpoint after both moves");
+    }
+
+    #[test]
+    fn compact_respects_length_buckets() {
+        let mut s = OnlineScheduler::new(2, OnlinePolicy::BucketByLength).unwrap();
+        // One long job, three short ones.  Job 4 conflicts with both short threads
+        // and opens a second short-bucket machine; once job 2 departs, job 3 can
+        // consolidate onto job 4's machine — but never onto the long job's, even
+        // though capacity would allow it.
+        s.apply(&Event::arrival(1, iv(0, 100))).unwrap();
+        s.apply(&Event::arrival(2, iv(10, 13))).unwrap();
+        s.apply(&Event::arrival(3, iv(11, 14))).unwrap();
+        s.apply(&Event::arrival(4, iv(12, 15))).unwrap();
+        s.apply(&Event::departure(2)).unwrap();
+        let effect = s.compact(usize::MAX);
+        assert_eq!(effect.moves, 1);
+        assert_eq!(effect.cost_delta, -2);
+        // Global machines: 0 = long bucket, 1 and 2 = short bucket; jobs 3 and 4
+        // share machine 2, the long job stays alone on machine 0.
+        assert_eq!(s.machine_groups(), vec![vec![1], vec![], vec![3, 4]]);
+        assert_eq!(s.cost(), Duration::new(100 + 4));
+    }
+
+    #[test]
+    fn compact_is_deterministic_across_snapshot_restore() {
+        let mut s = OnlineScheduler::new(2, OnlinePolicy::FirstFit).unwrap();
+        s.apply(&Event::arrival(1, iv(0, 10))).unwrap();
+        s.apply(&Event::arrival(2, iv(0, 10))).unwrap();
+        s.apply(&Event::arrival(3, iv(5, 15))).unwrap();
+        s.apply(&Event::departure(1)).unwrap();
+        let mut r = OnlineScheduler::restore(&s.snapshot()).unwrap();
+        let es = s.compact(usize::MAX);
+        let er = r.compact(usize::MAX);
+        assert_eq!(es, er);
+        assert_eq!(es.moves, 1);
+        assert_eq!(s.machine_groups(), r.machine_groups());
+        assert_eq!(
+            s.live_jobs().collect::<Vec<_>>(),
+            r.live_jobs().collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn defrag_wrapper_tracks_moves_and_costs() {
+        let trace = Trace::new(
+            2,
+            vec![
+                Event::arrival(1, iv(0, 10)),
+                Event::arrival(2, iv(0, 10)),
+                Event::arrival(3, iv(5, 15)),
+                Event::departure(1),
+            ],
+        );
+        let plain = OnlineScheduler::run(&trace, OnlinePolicy::FirstFit).unwrap();
+        let defrag = Defrag::run(&trace, OnlinePolicy::FirstFit, usize::MAX).unwrap();
+        assert_eq!(plain.final_cost(), Duration::new(20));
+        assert_eq!(
+            defrag.final_cost(),
+            Duration::new(15),
+            "the wrapper repairs the drift the plain run keeps"
+        );
+        // The trajectory records post-compaction costs.
+        let ticks: Vec<i64> = defrag.trajectory.iter().map(|d| d.ticks()).collect();
+        assert_eq!(ticks, vec![10, 10, 20, 15]);
+        // Stepwise API agrees with the batch run.
+        let mut d = Defrag::new(2, OnlinePolicy::FirstFit, usize::MAX).unwrap();
+        for event in &trace.events {
+            d.apply(event).unwrap();
+        }
+        assert_eq!(d.moves(), 1);
+        assert_eq!(d.budget(), usize::MAX);
+        assert_eq!(d.scheduler().cost(), defrag.final_cost());
+        assert_eq!(
+            d.into_scheduler().machine_groups(),
+            defrag.scheduler.machine_groups()
+        );
     }
 
     #[test]

@@ -67,7 +67,7 @@ mod rop {
     pub const JSON: u8 = 0x80;
     /// Fast-path event effect (`arrive`/`depart` succeeded).
     pub const EVENT: u8 = 0x81;
-    /// The operation failed; body is a code byte, a `u32` retry-after hint in
+    /// The operation failed; body is a code byte, a `u64` retry-after hint in
     /// milliseconds (0 = none) and the UTF-8 error message.
     pub const ERROR: u8 = 0x82;
     /// A bind succeeded; body is the assigned tenant id.
@@ -147,7 +147,10 @@ pub enum FrameResponse {
         /// taxonomy as the NDJSON `"code"` value).
         code: ErrorCode,
         /// Retry-after hint in milliseconds for shed requests; 0 means none.
-        retry_after_ms: u32,
+        /// `u64` on the wire (8 bytes, little-endian), matching the JSON
+        /// protocol's `Option<u64>` exactly — a narrower field silently
+        /// truncated hints above `u32::MAX` on the binary path.
+        retry_after_ms: u64,
         /// The error message (same text as the NDJSON `"error"` value).
         message: String,
     },
@@ -407,7 +410,7 @@ impl ResponseFrame {
             },
             rop::ERROR => {
                 let code = ErrorCode::from_byte(read_exact_array::<1>(reader)?[0]);
-                let retry_after_ms = read_u32(reader)?;
+                let retry_after_ms = read_u64(reader)?;
                 FrameResponse::Error {
                     code,
                     retry_after_ms,
@@ -512,6 +515,32 @@ mod tests {
                 payload: r#"{"ok":true}"#.into(),
             },
         });
+    }
+
+    #[test]
+    fn retry_after_hints_above_u32_max_survive_the_binary_path() {
+        // The JSON protocol carries `retry_after_ms` as u64; the binary error
+        // frame must not be narrower.  Pin the boundary and beyond.
+        for hint in [
+            u32::MAX as u64,
+            u32::MAX as u64 + 1,
+            5_000_000_000,
+            u64::MAX,
+        ] {
+            let frame = ResponseFrame {
+                seq: 11,
+                body: FrameResponse::Error {
+                    code: ErrorCode::Overloaded,
+                    retry_after_ms: hint,
+                    message: "come back later".into(),
+                },
+            };
+            let bytes = frame.encode();
+            // Header (6) + code (1) + hint (8): the hint occupies 8 wire bytes.
+            assert_eq!(&bytes[7..15], &hint.to_le_bytes());
+            let decoded = ResponseFrame::read(&mut Cursor::new(&bytes)).expect("decodes");
+            assert_eq!(decoded, frame, "hint {hint} truncated on the binary path");
+        }
     }
 
     #[test]

@@ -354,6 +354,16 @@ pub enum Request {
         /// The tenant.
         tenant: String,
     },
+    /// Run one budgeted background-defragmentation pass on the tenant's live
+    /// schedule: migrate up to `budget` jobs to strictly cheaper machines (see
+    /// [`busytime::online::OnlineScheduler::compact`]).  Journaled like any other
+    /// mutation on durable servers, so recovery replays it deterministically.
+    Compact {
+        /// The tenant.
+        tenant: String,
+        /// Maximum number of migrations to commit in this pass.
+        budget: usize,
+    },
     /// Solve a batch of offline instances through `Solver::solve_batch` on the
     /// work-stealing pool (MaxThroughput under `budget` when given, MinBusy
     /// otherwise).  Not tenant-scoped: batches run beside the shards.
@@ -427,6 +437,7 @@ impl Request {
             Request::Close { .. } => "close",
             Request::Persist { .. } => "persist",
             Request::WalStats { .. } => "wal_stats",
+            Request::Compact { .. } => "compact",
             Request::Batch { .. } => "batch",
             Request::Stats => "stats",
             Request::Health => "health",
@@ -444,7 +455,8 @@ impl Request {
             | Request::Restore { tenant, .. }
             | Request::Close { tenant }
             | Request::Persist { tenant }
-            | Request::WalStats { tenant } => Some(tenant),
+            | Request::WalStats { tenant }
+            | Request::Compact { tenant, .. } => Some(tenant),
             Request::Batch { .. } | Request::Stats | Request::Health => None,
         }
     }
@@ -495,6 +507,10 @@ impl Serialize for Request {
                 fields.push(("tenant", tenant.serialize()));
                 fields.push(("snapshot", snapshot.serialize()));
             }
+            Request::Compact { tenant, budget } => {
+                fields.push(("tenant", tenant.serialize()));
+                fields.push(("budget", budget.serialize()));
+            }
             Request::Batch { instances, budget } => {
                 fields.push(("instances", instances.serialize()));
                 if let Some(budget) = budget {
@@ -535,6 +551,10 @@ impl Deserialize for Request {
             "close" => Ok(Request::Close { tenant: tenant()? }),
             "persist" => Ok(Request::Persist { tenant: tenant()? }),
             "wal_stats" => Ok(Request::WalStats { tenant: tenant()? }),
+            "compact" => Ok(Request::Compact {
+                tenant: tenant()?,
+                budget: usize::deserialize(value.field("budget")?)?,
+            }),
             "batch" => Ok(Request::Batch {
                 instances: Vec::<BatchInstance>::deserialize(value.field("instances")?)?,
                 budget: optional(value, "budget")?,
@@ -543,7 +563,7 @@ impl Deserialize for Request {
             "health" => Ok(Request::Health),
             other => Err(Error::custom(format!(
                 "unknown op '{other}' (expected open, arrive, depart, query, snapshot, \
-                 restore, close, persist, wal_stats, batch, stats or health)"
+                 restore, close, persist, wal_stats, compact, batch, stats or health)"
             ))),
         }
     }
@@ -603,6 +623,15 @@ pub enum Response {
     Snapshot(OnlineSnapshot),
     /// A `batch` result: one outcome per instance, in request order.
     Batch(Vec<BatchOutcome>),
+    /// A `compact` result: what the defragmentation pass did.
+    Compact {
+        /// Strictly-improving migrations committed (at most the budget).
+        moves: usize,
+        /// The signed busy-time change in ticks (never positive).
+        cost_delta: i64,
+        /// The tenant's total busy time after the pass.
+        cost: i64,
+    },
     /// A `persist` or `wal_stats` result: the tenant's on-disk write-ahead
     /// counters.
     Wal(WalStats),
@@ -684,6 +713,16 @@ impl Serialize for Response {
                 ("ok", Value::Bool(true)),
                 ("results", outcomes.serialize()),
             ]),
+            Response::Compact {
+                moves,
+                cost_delta,
+                cost,
+            } => obj(vec![
+                ("ok", Value::Bool(true)),
+                ("moves", moves.serialize()),
+                ("cost_delta", cost_delta.serialize()),
+                ("cost", cost.serialize()),
+            ]),
             Response::Wal(stats) => obj(vec![
                 ("ok", Value::Bool(true)),
                 (
@@ -742,6 +781,13 @@ impl Deserialize for Response {
         if let Some(machine) = value.get("machine") {
             return Ok(Response::Event {
                 machine: usize::deserialize(machine)?,
+                cost_delta: i64::deserialize(value.field("cost_delta")?)?,
+                cost: i64::deserialize(value.field("cost")?)?,
+            });
+        }
+        if let Some(moves) = value.get("moves") {
+            return Ok(Response::Compact {
+                moves: usize::deserialize(moves)?,
                 cost_delta: i64::deserialize(value.field("cost_delta")?)?,
                 cost: i64::deserialize(value.field("cost")?)?,
             });
@@ -847,6 +893,10 @@ mod tests {
         round_trip(Request::WalStats {
             tenant: "acme".into(),
         });
+        round_trip(Request::Compact {
+            tenant: "acme".into(),
+            budget: 64,
+        });
         round_trip(Request::Batch {
             instances: vec![BatchInstance {
                 capacity: 2,
@@ -902,6 +952,11 @@ mod tests {
                 machine: 3,
                 cost_delta: -7,
                 cost: 40,
+            },
+            Response::Compact {
+                moves: 5,
+                cost_delta: -230,
+                cost: 4180,
             },
             Response::Stats {
                 shards: 4,

@@ -54,7 +54,7 @@ use std::sync::{mpsc, Arc, Mutex, RwLock};
 use std::thread::JoinHandle;
 use std::time::Instant;
 
-use busytime::online::{Event, OnlineScheduler, OnlineSnapshot};
+use busytime::online::{CompactEffect, Event, OnlineScheduler, OnlineSnapshot};
 use busytime::report::{ScheduleReport, SimulationReport};
 use busytime::{Duration, Instance, Interval, OnlinePolicy, Problem, Solver, Time};
 use busytime_durability::{FaultInjector, IoPoint, Store, TenantLog};
@@ -160,6 +160,10 @@ pub struct RegistryConfig {
     pub admission: Option<AdmissionConfig>,
     /// Deterministic fault schedule for chaos tests; inert when absent.
     pub faults: Option<FaultPlan>,
+    /// Background defragmentation budget: when given, every applied event is
+    /// followed by one `compact(K)` pass on its tenant (journaled through the
+    /// same mutation path, so recovery replays it at the same point).
+    pub defrag_budget: Option<usize>,
 }
 
 impl RegistryConfig {
@@ -313,6 +317,8 @@ struct ShardStore {
 struct ShardState {
     tenants: HashMap<String, Tenant>,
     store: Option<ShardStore>,
+    /// Moves each auto-defrag pass may commit; `None` disables the pass.
+    defrag_budget: Option<usize>,
 }
 
 impl ShardState {
@@ -322,6 +328,7 @@ impl ShardState {
         ShardState {
             tenants: HashMap::new(),
             store: None,
+            defrag_budget: None,
         }
     }
 }
@@ -377,6 +384,7 @@ struct Supervisor {
     shard_store: Option<ShardStore>,
     shards: usize,
     faults: Option<FaultPlan>,
+    defrag_budget: Option<usize>,
     handles: Mutex<Vec<JoinHandle<()>>>,
 }
 
@@ -392,12 +400,14 @@ impl Supervisor {
         let store = self.shard_store.clone();
         let shards = self.shards;
         let faults = self.faults.clone();
+        let defrag_budget = self.defrag_budget;
         let handle = std::thread::Builder::new()
             .name(format!("busytime-shard-{shard}"))
             .spawn(move || {
                 let mut state = ShardState {
                     tenants: HashMap::new(),
                     store,
+                    defrag_budget,
                 };
                 recover_shard(&mut state, shard, shards);
                 shard_loop(rx, state, metrics, faults)
@@ -475,6 +485,7 @@ impl Registry {
             shard_store,
             shards,
             faults: config.faults.clone(),
+            defrag_budget: config.defrag_budget.filter(|&k| k > 0),
             handles: Mutex::new(Vec::with_capacity(shards)),
         });
         let slots: Vec<ShardSlot> = (0..shards)
@@ -1086,22 +1097,44 @@ fn recover_tenant(store: &Store, name: &str) -> std::io::Result<(Tenant, Vec<Str
     let mut notes = recovered.notes;
     let mut log = recovered.log;
     let mut anomaly = None;
+    /// One replayable journal record: an online event or a defrag pass.
+    enum Replay {
+        Event(Event),
+        Compact(usize),
+    }
     for (index, record) in recovered.records.iter().enumerate() {
-        let event = std::str::from_utf8(record)
+        let action = std::str::from_utf8(record)
             .map_err(|e| e.to_string())
             .and_then(Request::from_json)
             .and_then(|request| match request {
                 Request::Arrive { tenant, id, job } if tenant == name => {
-                    checked_window(job.0, job.1).map(|interval| Event::arrival(id, interval))
+                    checked_window(job.0, job.1)
+                        .map(|interval| Replay::Event(Event::arrival(id, interval)))
                 }
-                Request::Depart { tenant, id } if tenant == name => Ok(Event::departure(id)),
+                Request::Depart { tenant, id } if tenant == name => {
+                    Ok(Replay::Event(Event::departure(id)))
+                }
+                Request::Compact { tenant, budget } if tenant == name => {
+                    Ok(Replay::Compact(budget))
+                }
                 other => Err(format!("unexpected '{}' record", other.op())),
             });
-        let failure = match event {
-            Ok(event) => match apply_event(&mut tenant, &event) {
+        let failure = match action {
+            Ok(Replay::Event(event)) => match apply_event(&mut tenant, &event) {
                 Response::Error(error) => Some(error.message),
                 _ => None,
             },
+            // `compact` is a pure function of the placements it finds, and the
+            // replayed scheduler holds exactly the placements the live one held
+            // when the record was journaled — so replaying it commits the same
+            // moves.  Journal appends are skipped here (`log` is rebuilt below).
+            Ok(Replay::Compact(budget)) => {
+                let effect = tenant.scheduler.compact(budget);
+                if let Some(last) = tenant.trajectory.last_mut() {
+                    *last = effect.cost.ticks();
+                }
+                None
+            }
             Err(error) => Some(error),
         };
         if let Some(failure) = failure {
@@ -1282,10 +1315,63 @@ fn apply(state: &mut ShardState, request: Request) -> Response {
             }],
             degraded: Vec::new(),
         }),
+        Request::Compact { tenant, budget } => {
+            let Some(t) = state.tenants.get_mut(&tenant) else {
+                return Response::fail(
+                    ErrorCode::UnknownTenant,
+                    format!("unknown tenant '{tenant}'"),
+                );
+            };
+            match compact_tenant(t, &tenant, budget) {
+                Ok(effect) => Response::Compact {
+                    moves: effect.moves,
+                    cost_delta: effect.cost_delta,
+                    cost: effect.cost.ticks(),
+                },
+                Err(error) => {
+                    state.tenants.remove(&tenant);
+                    Response::error(error)
+                }
+            }
+        }
         Request::Batch { .. } => {
             Response::fail(ErrorCode::Rejected, "batch requests are not tenant-scoped")
         }
     }
+}
+
+/// Run one budgeted defragmentation pass on a tenant.
+///
+/// Compaction is not a new event — it reprices the placements the latest event
+/// left behind — so it *amends* the tenant's last trajectory point to the
+/// post-compaction cost instead of appending one.  A pass that committed at
+/// least one move is journaled through the same mutation path events take
+/// (`compact` replays deterministically against the same placements); a no-op
+/// pass is the identity, so skipping its record keeps replay exact.  A failed
+/// journal append comes back as the message the caller must drop the tenant
+/// with, exactly like a failed event append — never acknowledge a mutation
+/// that would vanish on restart.
+fn compact_tenant(t: &mut Tenant, tenant: &str, budget: usize) -> Result<CompactEffect, String> {
+    let effect = t.scheduler.compact(budget);
+    if effect.moves > 0 {
+        if let Some(last) = t.trajectory.last_mut() {
+            *last = effect.cost.ticks();
+        }
+        if let Some(log) = t.log.as_mut() {
+            let record = Request::Compact {
+                tenant: tenant.to_string(),
+                budget,
+            }
+            .to_json();
+            if let Err(error) = log.append(record.as_bytes()) {
+                return Err(format!(
+                    "cannot journal the compaction for tenant '{tenant}': {error}; the tenant \
+                     was dropped (its durable state holds every previously acknowledged event)"
+                ));
+            }
+        }
+    }
+    Ok(effect)
 }
 
 /// Insert a freshly built tenant (`open`/`restore`), writing its baseline
@@ -1344,6 +1430,19 @@ fn apply_logged(state: &mut ShardState, tenant: &str, event: Event) -> Response 
                  dropped (its durable state holds every previously acknowledged event)"
             ));
         }
+    }
+    // Background defragmentation (`serve --defrag-budget K`): one budgeted
+    // pass rides behind every journaled event, ordered event-record then
+    // compact-record so replay interleaves them exactly as they ran.  The
+    // event acknowledgement keeps the pre-compaction cost — compaction happens
+    // *between* events; `query` sees the amended trajectory.
+    if let Some(budget) = state.defrag_budget {
+        if let Err(error) = compact_tenant(t, tenant, budget) {
+            state.tenants.remove(tenant);
+            return Response::error(error);
+        }
+    }
+    if let Some(log) = t.log.as_mut() {
         let threshold = state
             .store
             .as_ref()

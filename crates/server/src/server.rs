@@ -307,7 +307,7 @@ fn frame_response(response: Response) -> FrameResponse {
         },
         Response::Error(error) => FrameResponse::Error {
             code: error.code,
-            retry_after_ms: u32::try_from(error.retry_after_ms.unwrap_or(0)).unwrap_or(u32::MAX),
+            retry_after_ms: error.retry_after_ms.unwrap_or(0),
             message: error.message,
         },
         other => FrameResponse::Json {
@@ -863,7 +863,7 @@ impl Client {
                         return Ok(Response::Error(WireError {
                             code,
                             message,
-                            retry_after_ms: (retry_after_ms > 0).then_some(retry_after_ms as u64),
+                            retry_after_ms: (retry_after_ms > 0).then_some(retry_after_ms),
                         }))
                     }
                     FrameResponse::Json { payload } => return Response::from_json(&payload),

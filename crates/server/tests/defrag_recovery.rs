@@ -1,0 +1,207 @@
+//! Defragmentation at the server layer: the explicit `compact` op, the
+//! auto-defrag pass behind `--defrag-budget`, and their WAL recovery story.
+//!
+//! The central claim mirrors the durability suite's: **recovered state ≡ an
+//! uninterrupted run** — now with compaction records interleaved in the
+//! journal.  A compact pass is a pure function of the placements it finds, so
+//! replaying its record against the replayed scheduler commits the same moves;
+//! these tests kill a durable registry mid-stream and check the rebuilt tenant
+//! against an in-process oracle that compacted at the same points.
+
+use std::path::{Path, PathBuf};
+
+use busytime::online::{Defrag, Event, OnlinePolicy, OnlineScheduler};
+use busytime::Interval;
+use busytime_server::{DurabilityConfig, Engine, Registry, RegistryConfig, Request, Response};
+use busytime_workload::{poisson_trace, seeded_rng, DurationModel};
+
+/// A scratch data directory, fresh per call.
+fn temp_data_dir(tag: &str) -> PathBuf {
+    let dir =
+        std::env::temp_dir().join(format!("busytime-defrag-test-{}-{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn durable_config(dir: &Path, defrag_budget: Option<usize>) -> RegistryConfig {
+    RegistryConfig {
+        shards: 1,
+        durability: Some(DurabilityConfig::new(dir)),
+        defrag_budget,
+        ..RegistryConfig::default()
+    }
+}
+
+fn open(engine: &Engine, tenant: &str, capacity: usize) {
+    let response = engine.call(Request::Open {
+        tenant: tenant.into(),
+        capacity,
+        policy: Some("first-fit".into()),
+    });
+    assert!(response.is_ok(), "open failed: {response:?}");
+}
+
+fn server_snapshot(engine: &Engine, tenant: &str) -> String {
+    match engine.call(Request::Snapshot {
+        tenant: tenant.into(),
+    }) {
+        Response::Snapshot(snapshot) => serde_json::to_string(&snapshot).unwrap(),
+        other => panic!("expected a snapshot for '{tenant}', got {other:?}"),
+    }
+}
+
+fn oracle_snapshot(oracle: &OnlineScheduler) -> String {
+    serde_json::to_string(&oracle.snapshot()).unwrap()
+}
+
+/// A deterministic fragmenting prefix: two stacked jobs, a third forced onto a
+/// second machine, then the departure that makes migrating the survivor pay.
+fn fragmenting_events() -> Vec<Event> {
+    vec![
+        Event::arrival(1, Interval::from_ticks(0, 10)),
+        Event::arrival(2, Interval::from_ticks(0, 10)),
+        Event::arrival(3, Interval::from_ticks(5, 15)),
+        Event::departure(1),
+    ]
+}
+
+#[test]
+fn explicit_compact_matches_the_in_process_scheduler_and_survives_restart() {
+    let dir = temp_data_dir("explicit");
+    let registry = Registry::with_config(durable_config(&dir, None)).unwrap();
+    let engine = registry.engine();
+    open(&engine, "t", 2);
+    for event in &fragmenting_events() {
+        assert!(engine.call(Request::from_event("t", event)).is_ok());
+    }
+
+    // The compact op reports the pass and the query sees the amended cost.
+    let Response::Compact {
+        moves,
+        cost_delta,
+        cost,
+    } = engine.call(Request::Compact {
+        tenant: "t".into(),
+        budget: 8,
+    })
+    else {
+        panic!("expected a compact response");
+    };
+    assert_eq!((moves, cost_delta, cost), (1, -5, 15));
+    let Response::Query(report) = engine.call(Request::Query { tenant: "t".into() }) else {
+        panic!("expected a query response");
+    };
+    assert_eq!(report.cost_trajectory, vec![10, 10, 20, 15]);
+    assert_eq!(report.final_cost, 15);
+
+    // A second pass is a fixpoint: no moves, and (being the identity) no
+    // journal record either.
+    let Response::Compact { moves, .. } = engine.call(Request::Compact {
+        tenant: "t".into(),
+        budget: 8,
+    }) else {
+        panic!("expected a compact response");
+    };
+    assert_eq!(moves, 0);
+
+    // The in-process oracle compacting at the same point agrees exactly.
+    let mut oracle = OnlineScheduler::new(2, OnlinePolicy::FirstFit).unwrap();
+    for event in &fragmenting_events() {
+        oracle.apply(event).unwrap();
+    }
+    let effect = oracle.compact(8);
+    assert_eq!((effect.moves, effect.cost_delta), (1, -5));
+    assert_eq!(server_snapshot(&engine, "t"), oracle_snapshot(&oracle));
+    drop(engine);
+    registry.shutdown();
+
+    // Restart: the journal holds arrive/depart records *and* the compact
+    // record; replay must land on the identical compacted state.
+    let registry = Registry::with_config(durable_config(&dir, None)).unwrap();
+    let engine = registry.engine();
+    assert_eq!(server_snapshot(&engine, "t"), oracle_snapshot(&oracle));
+    drop(engine);
+    registry.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn compact_works_in_memory_and_reports_unknown_tenants() {
+    let registry = Registry::new(1);
+    let engine = registry.engine();
+    let Response::Error(error) = engine.call(Request::Compact {
+        tenant: "ghost".into(),
+        budget: 4,
+    }) else {
+        panic!("expected an error for the unknown tenant");
+    };
+    assert!(error.message.contains("ghost"), "{error}");
+
+    open(&engine, "t", 2);
+    for event in &fragmenting_events() {
+        assert!(engine.call(Request::from_event("t", event)).is_ok());
+    }
+    let Response::Compact { moves, cost, .. } = engine.call(Request::Compact {
+        tenant: "t".into(),
+        budget: 1,
+    }) else {
+        panic!("expected a compact response");
+    };
+    assert_eq!((moves, cost), (1, 15));
+    drop(engine);
+    registry.shutdown();
+}
+
+#[test]
+fn auto_defrag_recovery_matches_the_local_defrag_run() {
+    // A registry serving with --defrag-budget is killed mid-stream and
+    // restarted; at every point its tenant must equal a local `Defrag` run
+    // over the same prefix — the same oracle the CI smoke job replays.
+    let dir = temp_data_dir("auto");
+    let budget = 4;
+    let capacity = 3;
+    let trace = poisson_trace(
+        &mut seeded_rng(23),
+        60,
+        capacity,
+        3.0,
+        &DurationModel::HeavyTail { min: 1, max: 60 },
+    );
+    let mut mirror = Defrag::new(capacity, OnlinePolicy::FirstFit, budget).unwrap();
+    let (first, second) = trace.events.split_at(trace.events.len() / 2);
+
+    let registry = Registry::with_config(durable_config(&dir, Some(budget))).unwrap();
+    let engine = registry.engine();
+    open(&engine, "t", capacity);
+    for event in first {
+        assert!(engine.call(Request::from_event("t", event)).is_ok());
+        mirror.apply(event).unwrap();
+    }
+    drop(engine);
+    registry.shutdown();
+
+    // Recovery replays the interleaved event and compact records.
+    let registry = Registry::with_config(durable_config(&dir, Some(budget))).unwrap();
+    let engine = registry.engine();
+    assert_eq!(
+        server_snapshot(&engine, "t"),
+        oracle_snapshot(mirror.scheduler())
+    );
+
+    // Continuing the stream after recovery stays in lockstep too.
+    for event in second {
+        assert!(engine.call(Request::from_event("t", event)).is_ok());
+        mirror.apply(event).unwrap();
+    }
+    assert_eq!(
+        server_snapshot(&engine, "t"),
+        oracle_snapshot(mirror.scheduler())
+    );
+    assert!(
+        mirror.moves() > 0,
+        "the trace never fragmented — the oracle is vacuous"
+    );
+    drop(engine);
+    registry.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -107,6 +107,7 @@ fn every_documented_json_example_round_trips() {
         "close",
         "persist",
         "wal_stats",
+        "compact",
         "batch",
         "stats",
         "health",
