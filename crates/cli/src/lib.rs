@@ -1,14 +1,17 @@
 //! # busytime-cli
 //!
 //! Library backing the `busytime` command-line tool: a JSON on-disk instance format plus
-//! the sub-commands (`solve`, `throughput`, `batch`, `simulate`, `generate`, `serve`,
-//! `client`) implemented as plain functions so that they can be unit-tested without
-//! spawning processes.
+//! the sub-commands (`solve`, `bound`, `throughput`, `batch`, `simulate`, `generate`,
+//! `serve`, `client`) implemented as plain functions so that they can be unit-tested
+//! without spawning processes.
 //!
 //! The solving sub-commands go through the unified [`busytime::Solver`] facade, so they
 //! accept the same policy flags: `--algorithm NAME` forces a specific algorithm (a typed
 //! error is reported when it does not apply) and `--exact-only` restricts dispatch to
-//! provably optimal algorithms.  `batch` solves a whole file of instances through
+//! provably optimal algorithms — with the `busytime-exact` oracle installed, instances
+//! outside every polynomial exact class route to the subset DP (≤ 22 jobs) or
+//! branch-and-bound instead of failing.  `bound` proves a `lower ≤ OPT ≤ upper`
+//! bracket under a configurable search budget and prints the relative gap.  `batch` solves a whole file of instances through
 //! [`busytime::Solver::solve_batch`] on the work-stealing thread pool; `--threads N`
 //! pins the pool size (the default is one worker per core).  `simulate` replays an
 //! online event trace through [`busytime::Solver::solve_online`] and reports the
@@ -37,7 +40,9 @@ use busytime::analysis::ScheduleSummary;
 use busytime::online::{Defrag, Event, OnlinePolicy, Trace};
 use busytime::par::ThreadPool;
 use busytime::report::{ScheduleReport, SimulationReport};
-use busytime::{Algorithm, Duration, Instance, Interval, Problem, Solver, Time};
+use busytime::{
+    Algorithm, Duration, ExactBudget, Instance, Interval, Problem, SolveError, Solver, Time,
+};
 use busytime_workload as workload;
 use serde::{Deserialize, Serialize};
 
@@ -104,7 +109,13 @@ pub struct SolveOptions {
 
 impl SolveOptions {
     fn solver(&self) -> Solver {
-        let mut builder = Solver::builder().require_exact(self.exact_only);
+        // The exact oracle is always installed: under `--exact-only` a MinBusy
+        // instance outside every polynomial exact class routes to the subset DP or
+        // branch-and-bound instead of failing, and `--algorithm exact-subset-dp` /
+        // `exact-bnb` can be forced explicitly.
+        let mut builder = Solver::builder()
+            .require_exact(self.exact_only)
+            .exact_oracle(busytime_exact::oracle());
         if let Some(algorithm) = self.algorithm {
             builder = builder.force_algorithm(algorithm);
         }
@@ -133,6 +144,115 @@ pub fn run_solve(file: &InstanceFile, options: &SolveOptions) -> Result<CommandO
     Ok(CommandOutput {
         report,
         file_payload: Some(serde_json::to_string_pretty(&payload).expect("serializable")),
+    })
+}
+
+/// JSON payload of `busytime bound`: the proven bracket on the MinBusy optimum.
+#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
+pub struct BoundReport {
+    /// Job count of the instance.
+    pub jobs: usize,
+    /// The parallelism parameter `g`.
+    pub capacity: usize,
+    /// The facade algorithm that produced the bracket.
+    pub algorithm: String,
+    /// Proven lower bound on the optimum (ticks).
+    pub lower: i64,
+    /// Proven upper bound on the optimum (ticks; the incumbent schedule's cost).
+    pub upper: i64,
+    /// Relative gap `(upper − lower) / lower` (0 when solved to optimality).
+    pub gap: f64,
+    /// Whether the bracket is tight, i.e. the optimum is proven.
+    pub optimal: bool,
+    /// Branch-and-bound nodes explored (0 when a polynomial algorithm or the subset
+    /// DP answered without search).
+    pub nodes: u64,
+}
+
+/// `busytime bound`: prove a `lower ≤ OPT ≤ upper` bracket for a MinBusy instance
+/// through the exact oracle, printing LB/UB and the relative gap.
+///
+/// Dispatch runs under `require_exact`, so a polynomially solvable instance is
+/// answered by its exact class algorithm and anything else routes to the subset DP or
+/// branch-and-bound.  A branch-and-bound search that exhausts `max_nodes` (or the
+/// optional `max_millis` wall clock) still reports a sound bracket instead of failing.
+pub fn run_bound(
+    file: &InstanceFile,
+    max_nodes: Option<u64>,
+    max_millis: Option<u64>,
+) -> Result<CommandOutput, String> {
+    let instance = file.to_instance().map_err(|e| e.to_string())?;
+    let mut budget = ExactBudget::default();
+    if let Some(nodes) = max_nodes {
+        budget.max_nodes = nodes;
+    }
+    budget.max_millis = max_millis;
+    let solver = Solver::builder()
+        .require_exact(true)
+        .exact_budget(budget)
+        .exact_oracle(busytime_exact::oracle())
+        .build();
+    let report = match solver.solve(&Problem::min_busy(instance.clone())) {
+        Ok(solution) => {
+            solution
+                .schedule
+                .validate_complete(&instance)
+                .map_err(|e| e.to_string())?;
+            let cost = solution.objective.cost().ticks();
+            BoundReport {
+                jobs: instance.len(),
+                capacity: instance.capacity(),
+                algorithm: solution.algorithm.name().to_string(),
+                lower: cost,
+                upper: cost,
+                gap: 0.0,
+                optimal: true,
+                nodes: 0,
+            }
+        }
+        Err(SolveError::BudgetExhausted {
+            algorithm,
+            lower,
+            upper,
+            nodes,
+        }) => {
+            let (lower, upper) = (lower.ticks(), upper.ticks());
+            let gap = if upper == lower {
+                0.0
+            } else {
+                (upper - lower) as f64 / lower.max(1) as f64
+            };
+            BoundReport {
+                jobs: instance.len(),
+                capacity: instance.capacity(),
+                algorithm: algorithm.name().to_string(),
+                lower,
+                upper,
+                gap,
+                optimal: false,
+                nodes,
+            }
+        }
+        Err(e) => return Err(e.to_string()),
+    };
+    let line = if report.optimal {
+        format!(
+            "MinBusy bound ({}): OPT = {} (solved exactly)",
+            report.algorithm, report.upper
+        )
+    } else {
+        format!(
+            "MinBusy bound ({}): {} <= OPT <= {} (gap {:.2}%, {} nodes)",
+            report.algorithm,
+            report.lower,
+            report.upper,
+            100.0 * report.gap,
+            report.nodes
+        )
+    };
+    Ok(CommandOutput {
+        report: line,
+        file_payload: Some(serde_json::to_string_pretty(&report).expect("serializable")),
     })
 }
 
@@ -753,9 +873,10 @@ mod tests {
     }
 
     #[test]
-    fn exact_only_is_enforced() {
-        // A general instance has no exact algorithm: solve must fail rather than
-        // silently fall back.
+    fn exact_only_routes_general_instances_to_the_oracle() {
+        // A general instance has no polynomial exact algorithm: with the exact oracle
+        // installed, --exact-only routes it to the subset DP instead of failing, and
+        // the report names the backend.
         let general = InstanceFile {
             capacity: 2,
             jobs: vec![(0, 10), (2, 5), (8, 20), (15, 18)],
@@ -764,11 +885,40 @@ mod tests {
             algorithm: None,
             exact_only: true,
         };
-        let err = run_solve(&general, &exact).unwrap_err();
-        assert!(err.contains("no MinBusy algorithm applies"), "{err}");
-        // The proper-clique sample solves exactly.
+        let out = run_solve(&general, &exact).unwrap();
+        assert!(out.report.contains("exact-subset-dp"), "{}", out.report);
+        assert!(out.report.contains("guarantee 1.000"), "{}", out.report);
+        // The proper-clique sample still solves via its polynomial exact algorithm.
         let out = run_solve(&sample_file(), &exact).unwrap();
         assert!(out.report.contains("proper-clique-dp"));
+    }
+
+    #[test]
+    fn bound_command_brackets_the_optimum() {
+        let general = InstanceFile {
+            capacity: 2,
+            jobs: vec![(0, 10), (2, 5), (8, 20), (15, 18)],
+        };
+        let out = run_bound(&general, None, None).unwrap();
+        assert!(out.report.contains("solved exactly"), "{}", out.report);
+        let payload: BoundReport = serde_json::from_str(&out.file_payload.unwrap()).unwrap();
+        assert!(payload.optimal);
+        assert_eq!(payload.lower, payload.upper);
+        assert_eq!(payload.gap, 0.0);
+        assert_eq!(payload.algorithm, "exact-subset-dp");
+
+        // Forcing branch-and-bound above the DP ceiling with a starved budget still
+        // yields a sound, reported bracket.
+        let jobs: Vec<(i64, i64)> = (0..30).map(|i| (i % 13, i % 13 + 5 + i % 7)).collect();
+        let big = InstanceFile { capacity: 2, jobs };
+        let out = run_bound(&big, Some(1), None).unwrap();
+        let payload: BoundReport = serde_json::from_str(&out.file_payload.unwrap()).unwrap();
+        assert_eq!(payload.algorithm, "exact-bnb");
+        assert!(payload.lower <= payload.upper);
+        if !payload.optimal {
+            assert!(out.report.contains("<= OPT <="), "{}", out.report);
+            assert!(payload.gap >= 0.0);
+        }
     }
 
     #[test]
@@ -826,14 +976,15 @@ mod tests {
         // Budgeted: every instance becomes a MaxThroughput request.
         let out = run_batch(&batch, Some(12), &auto(), None).unwrap();
         assert!(out.report.contains("scheduled"), "{}", out.report);
-        // Exact-only: the general instance fails inline, the rest still solve.
+        // Exact-only: the general instance routes to the exact oracle, so every
+        // instance in the batch still solves optimally.
         let exact = SolveOptions {
             algorithm: None,
             exact_only: true,
         };
         let out = run_batch(&batch, None, &exact, None).unwrap();
-        assert!(out.report.contains("batch: 1/2"), "{}", out.report);
-        assert!(out.report.contains("[1] failed"), "{}", out.report);
+        assert!(out.report.contains("batch: 2/2"), "{}", out.report);
+        assert!(out.report.contains("exact-subset-dp"), "{}", out.report);
         // Bad arguments are rejected up front.
         assert!(run_batch(&batch, Some(-1), &auto(), None).is_err());
         assert!(run_batch(&batch, None, &auto(), Some(0)).is_err());

@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! busytime solve <instance.json> [--algorithm NAME] [--exact-only] [--output schedule.json]
+//! busytime bound <instance.json> [--max-nodes N] [--max-millis MS] [--output bound.json]
 //! busytime throughput <instance.json> --budget T [--algorithm NAME] [--exact-only]
 //!                     [--output schedule.json]
 //! busytime batch <instances.json> [--budget T] [--threads N] [--algorithm NAME]
@@ -23,9 +24,13 @@
 //! `{"capacity": 2, "events": [{"id": 1, "job": [0, 10]}, {"id": 1, "job": null}]}`
 //! (a `null` job is the departure of the id's earlier arrival).  `--algorithm` forces
 //! a specific algorithm through the solver facade (for MinBusy: `one-sided`,
-//! `proper-clique-dp`, `clique-matching`, `clique-set-cover`, `best-cut`, `first-fit`;
-//! for throughput the `throughput-*` names); `--exact-only` refuses any approximate
-//! algorithm; `--threads` pins the work-stealing pool driving `batch` (default: one
+//! `proper-clique-dp`, `clique-matching`, `clique-set-cover`, `best-cut`, `first-fit`,
+//! plus the exponential `exact-subset-dp` and `exact-bnb` backends; for throughput the
+//! `throughput-*` names); `--exact-only` refuses any approximate algorithm, routing
+//! general instances to the exact backends instead of failing.  `bound` proves a
+//! `lower ≤ OPT ≤ upper` bracket through the same backends — `--max-nodes` caps the
+//! branch-and-bound search (default 2,000,000) and `--max-millis` adds an optional
+//! wall-clock cutoff; an exhausted budget still reports a sound bracket and gap; `--threads` pins the work-stealing pool driving `batch` (default: one
 //! worker per core); `--policy` selects the online placement rule driving `simulate`
 //! (default: `first-fit`).  For `client`, `--binary` switches the connection to the
 //! compact binary framing and `--pipeline N` keeps N requests in flight (default 1,
@@ -40,7 +45,7 @@
 use busytime::online::OnlinePolicy;
 use busytime::Algorithm;
 use busytime_cli::{
-    run_batch, run_client, run_fsck, run_generate, run_serve, run_simulate, run_solve,
+    run_batch, run_bound, run_client, run_fsck, run_generate, run_serve, run_simulate, run_solve,
     run_throughput, BatchFile, CommandOutput, InstanceFile, SolveOptions, TraceFile, WorkloadClass,
 };
 use busytime_server::{AdmissionConfig, DurabilityConfig, RegistryConfig};
@@ -50,7 +55,7 @@ const DEFAULT_ADDR: &str = "127.0.0.1:7878";
 
 fn usage() -> ! {
     eprintln!(
-        "usage:\n  busytime solve <instance.json> [--algorithm NAME] [--exact-only] [--output schedule.json]\n  busytime throughput <instance.json> --budget T [--algorithm NAME] [--exact-only] [--output schedule.json]\n  busytime batch <instances.json> [--budget T] [--threads N] [--algorithm NAME] [--exact-only] [--output results.json]\n  busytime simulate <trace.json> [--policy POLICY] [--defrag-budget K] [--output simulation.json]\n  busytime generate --class CLASS --jobs N --capacity G [--seed S] [--output instance.json]\n  busytime serve [--addr HOST:PORT] [--shards N] [--data-dir PATH] [--fsync-batch N] [--compact-every N] [--max-inflight N] [--tenant-rate R] [--defrag-budget K]\n  busytime client <trace.json> --tenant NAME [--addr HOST:PORT] [--policy POLICY] [--binary] [--pipeline N] [--output report.json]\n  busytime fsck <data-dir>"
+        "usage:\n  busytime solve <instance.json> [--algorithm NAME] [--exact-only] [--output schedule.json]\n  busytime bound <instance.json> [--max-nodes N] [--max-millis MS] [--output bound.json]\n  busytime throughput <instance.json> --budget T [--algorithm NAME] [--exact-only] [--output schedule.json]\n  busytime batch <instances.json> [--budget T] [--threads N] [--algorithm NAME] [--exact-only] [--output results.json]\n  busytime simulate <trace.json> [--policy POLICY] [--defrag-budget K] [--output simulation.json]\n  busytime generate --class CLASS --jobs N --capacity G [--seed S] [--output instance.json]\n  busytime serve [--addr HOST:PORT] [--shards N] [--data-dir PATH] [--fsync-batch N] [--compact-every N] [--max-inflight N] [--tenant-rate R] [--defrag-budget K]\n  busytime client <trace.json> --tenant NAME [--addr HOST:PORT] [--policy POLICY] [--binary] [--pipeline N] [--output report.json]\n  busytime fsck <data-dir>"
     );
     std::process::exit(2);
 }
@@ -125,6 +130,39 @@ fn main() {
             }
             let path = instance_path.unwrap_or_else(|| usage());
             finish(run_solve(&read_instance(&path), &options), output_path);
+        }
+        "bound" => {
+            let mut instance_path: Option<String> = None;
+            let mut max_nodes: Option<u64> = None;
+            let mut max_millis: Option<u64> = None;
+            let mut it = args[1..].iter();
+            while let Some(arg) = it.next() {
+                match arg.as_str() {
+                    "--output" => output_path = it.next().cloned(),
+                    "--max-nodes" => {
+                        max_nodes = Some(
+                            it.next()
+                                .and_then(|v| v.parse().ok())
+                                .unwrap_or_else(|| usage()),
+                        )
+                    }
+                    "--max-millis" => {
+                        max_millis = Some(
+                            it.next()
+                                .and_then(|v| v.parse().ok())
+                                .filter(|&ms| ms > 0)
+                                .unwrap_or_else(|| usage()),
+                        )
+                    }
+                    other if instance_path.is_none() => instance_path = Some(other.to_string()),
+                    _ => usage(),
+                }
+            }
+            let path = instance_path.unwrap_or_else(|| usage());
+            finish(
+                run_bound(&read_instance(&path), max_nodes, max_millis),
+                output_path,
+            );
         }
         "throughput" => {
             let mut instance_path: Option<String> = None;

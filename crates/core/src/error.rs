@@ -68,6 +68,14 @@ pub enum Error {
         /// The offending job id.
         job: usize,
     },
+    /// An exponential exact backend was asked to solve an instance above its job-count
+    /// ceiling (e.g. the subset DP forced past `MAX_EXACT_JOBS`).
+    TooManyJobs {
+        /// The instance's job count.
+        jobs: usize,
+        /// The backend's ceiling.
+        limit: usize,
+    },
 }
 
 impl fmt::Display for Error {
@@ -100,6 +108,10 @@ impl fmt::Display for Error {
                 write!(f, "schedule busy time {cost} exceeds the budget {budget}")
             }
             Error::UnknownJob { job } => write!(f, "job id {job} does not exist in the instance"),
+            Error::TooManyJobs { jobs, limit } => write!(
+                f,
+                "instance has {jobs} jobs, above this exact backend's ceiling of {limit}"
+            ),
         }
     }
 }

@@ -101,6 +101,7 @@ pub use report::{ScheduleReport, SimulationReport};
 pub use schedule::{MachineId, Schedule, SolveResult, ThroughputResult};
 pub use soa::JobsSoa;
 pub use solver::{
-    Algorithm, AttemptOutcome, DispatchAttempt, InstanceBounds, Objective, Problem, ProblemKind,
-    SkipReason, Solution, SolveError, SolvePolicy, Solver, SolverBuilder,
+    Algorithm, AttemptOutcome, DispatchAttempt, ExactBackend, ExactBudget, ExactOracle,
+    ExactOutcome, InstanceBounds, Objective, Problem, ProblemKind, SkipReason, Solution,
+    SolveError, SolvePolicy, Solver, SolverBuilder,
 };

@@ -37,6 +37,7 @@
 //! ```
 
 use core::fmt;
+use std::sync::Arc;
 
 use busytime_interval::Duration;
 
@@ -203,6 +204,15 @@ pub enum Algorithm {
     // Weighted throughput (Section 5 extension).
     /// Pareto-frontier DP — optimal on proper clique instances.
     WeightedParetoDp,
+    // Exponential exact backends (pluggable through [`SolverBuilder::exact_oracle`];
+    // implemented by the `busytime-exact` crate, which sits above this one).
+    /// The `O(3^n)` subset DP — optimal on **any** instance up to the oracle's DP
+    /// ceiling (≈ 22 jobs).  Never auto-dispatched without `require_exact`.
+    ExactSubsetDp,
+    /// Branch-and-bound over job→machine assignments — optimal on any instance, with
+    /// a node/time budget; exhaustion surfaces as [`SolveError::BudgetExhausted`]
+    /// carrying the proven bound pair.  Never auto-dispatched without `require_exact`.
+    ExactBnB,
 }
 
 impl Algorithm {
@@ -241,6 +251,7 @@ impl Algorithm {
             | Algorithm::ThroughputCliqueApprox
             | Algorithm::ThroughputGreedy => ProblemKind::MaxThroughput,
             Algorithm::WeightedParetoDp => ProblemKind::WeightedThroughput,
+            Algorithm::ExactSubsetDp | Algorithm::ExactBnB => ProblemKind::MinBusy,
         }
     }
 
@@ -254,7 +265,15 @@ impl Algorithm {
                 | Algorithm::ThroughputOneSided
                 | Algorithm::ThroughputProperCliqueDp
                 | Algorithm::WeightedParetoDp
+                | Algorithm::ExactSubsetDp
+                | Algorithm::ExactBnB
         )
+    }
+
+    /// `true` for the exponential exact backends that only run through an installed
+    /// [`ExactOracle`] (never part of the polynomial auto-dispatch candidate list).
+    pub fn is_exact_oracle(self) -> bool {
+        matches!(self, Algorithm::ExactSubsetDp | Algorithm::ExactBnB)
     }
 
     /// `true` for the unconditional catch-all algorithms that
@@ -272,7 +291,9 @@ impl Algorithm {
             | Algorithm::CliqueMatching
             | Algorithm::ThroughputOneSided
             | Algorithm::ThroughputProperCliqueDp
-            | Algorithm::WeightedParetoDp => Some(1.0),
+            | Algorithm::WeightedParetoDp
+            | Algorithm::ExactSubsetDp
+            | Algorithm::ExactBnB => Some(1.0),
             Algorithm::CliqueSetCover => Some(minbusy::set_cover_guarantee(g)),
             Algorithm::BestCut => Some(minbusy::best_cut_guarantee(g)),
             Algorithm::FirstFit => Some(4.0),
@@ -291,7 +312,10 @@ impl Algorithm {
             Algorithm::CliqueMatching => "clique with g = 2",
             Algorithm::CliqueSetCover | Algorithm::ThroughputCliqueApprox => "clique",
             Algorithm::BestCut => "proper",
-            Algorithm::FirstFit | Algorithm::ThroughputGreedy => "any",
+            Algorithm::FirstFit
+            | Algorithm::ThroughputGreedy
+            | Algorithm::ExactSubsetDp
+            | Algorithm::ExactBnB => "any",
         }
     }
 
@@ -320,7 +344,9 @@ impl Algorithm {
         }
     }
 
-    /// Every algorithm of every problem kind, in dispatch order.
+    /// Every algorithm of every problem kind, in dispatch order, plus the exponential
+    /// exact backends (which are never auto-dispatch candidates but can be forced by
+    /// name through an installed [`ExactOracle`]).
     pub fn all() -> impl Iterator<Item = Algorithm> {
         [
             ProblemKind::MinBusy,
@@ -329,6 +355,7 @@ impl Algorithm {
         ]
         .into_iter()
         .flat_map(|kind| Algorithm::candidates(kind).iter().copied())
+        .chain([Algorithm::ExactSubsetDp, Algorithm::ExactBnB])
     }
 
     /// Parse the CLI spelling of an algorithm name (kebab-case, as printed by
@@ -357,6 +384,8 @@ impl Algorithm {
             Algorithm::ThroughputCliqueApprox => "throughput-clique-approx",
             Algorithm::ThroughputGreedy => "throughput-greedy",
             Algorithm::WeightedParetoDp => "weighted-pareto-dp",
+            Algorithm::ExactSubsetDp => "exact-subset-dp",
+            Algorithm::ExactBnB => "exact-bnb",
         }
     }
 }
@@ -391,6 +420,106 @@ impl fmt::Display for Algorithm {
     }
 }
 
+/// Exploration budget for the exponential exact backends.
+///
+/// The node cap is the primary, deterministic cutoff; the optional wall-clock cap is
+/// off by default because time limits make test runs irreproducible.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExactBudget {
+    /// Maximum branch-and-bound nodes to explore before giving up with a bound pair.
+    pub max_nodes: u64,
+    /// Optional wall-clock cutoff in milliseconds (`None` = unlimited).
+    pub max_millis: Option<u64>,
+}
+
+impl Default for ExactBudget {
+    fn default() -> Self {
+        ExactBudget {
+            max_nodes: 2_000_000,
+            max_millis: None,
+        }
+    }
+}
+
+/// Which exponential exact backend an [`ExactOracle`] runs for an instance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExactBackend {
+    /// The `O(3^n)` subset DP ([`Algorithm::ExactSubsetDp`]).
+    SubsetDp,
+    /// Branch-and-bound over job→machine assignments ([`Algorithm::ExactBnB`]).
+    BranchAndBound,
+}
+
+impl ExactBackend {
+    /// The facade [`Algorithm`] this backend reports as.
+    pub fn algorithm(self) -> Algorithm {
+        match self {
+            ExactBackend::SubsetDp => Algorithm::ExactSubsetDp,
+            ExactBackend::BranchAndBound => Algorithm::ExactBnB,
+        }
+    }
+}
+
+/// What an exact MinBusy solve produced.
+#[derive(Debug, Clone)]
+pub enum ExactOutcome {
+    /// The backend proved optimality.
+    Optimal {
+        /// An optimal schedule.
+        schedule: Schedule,
+        /// Its busy time (the optimum).
+        cost: Duration,
+        /// Search nodes explored (0 for the DP).
+        nodes: u64,
+    },
+    /// The backend ran out of budget; the bound pair brackets the optimum.
+    Exhausted {
+        /// The best schedule found so far (its cost is `upper`).
+        incumbent: Schedule,
+        /// Proven lower bound: `lower ≤ OPT`.
+        lower: Duration,
+        /// Incumbent cost: `OPT ≤ upper`.
+        upper: Duration,
+        /// Search nodes explored before exhaustion.
+        nodes: u64,
+    },
+}
+
+/// A pluggable exponential exact MinBusy solver.
+///
+/// The core crate cannot depend on `busytime-exact` (the dependency points the other
+/// way), so the exponential backends plug in through this trait: `busytime-exact`
+/// implements it, and the CLI / bench / test layers install it with
+/// [`SolverBuilder::exact_oracle`].  Without an installed oracle, `require_exact` on a
+/// general instance still exhausts exactly as before.
+pub trait ExactOracle: Send + Sync {
+    /// Largest job count routed to the subset DP (instances above it get B&B).
+    fn dp_ceiling(&self) -> usize;
+
+    /// Which backend the oracle would run on `instance` (by default: DP up to
+    /// [`ExactOracle::dp_ceiling`] jobs, branch-and-bound above).
+    fn backend_for(&self, instance: &Instance) -> ExactBackend {
+        if instance.len() <= self.dp_ceiling() {
+            ExactBackend::SubsetDp
+        } else {
+            ExactBackend::BranchAndBound
+        }
+    }
+
+    /// Solve MinBusy exactly with `backend` under `budget`.
+    ///
+    /// Errors are reserved for instances the backend cannot attempt at all (e.g. the
+    /// DP forced above its ceiling); running out of budget is **not** an error — it is
+    /// [`ExactOutcome::Exhausted`], which still carries a sound `lower ≤ OPT ≤ upper`
+    /// pair.
+    fn solve_min_busy(
+        &self,
+        instance: &Instance,
+        budget: &ExactBudget,
+        backend: ExactBackend,
+    ) -> Result<ExactOutcome, Error>;
+}
+
 /// The dispatch policy a [`Solver`] applies; built with [`SolverBuilder`].
 #[derive(Debug, Clone, PartialEq)]
 pub struct SolvePolicy {
@@ -404,6 +533,8 @@ pub struct SolvePolicy {
     pub set_family_limit: usize,
     /// Whether the unconditional fallbacks (FirstFit / best-fit greedy) may run.
     pub allow_fallback: bool,
+    /// Node/time budget for the exponential exact backends (see [`ExactOracle`]).
+    pub exact_budget: ExactBudget,
 }
 
 impl Default for SolvePolicy {
@@ -414,14 +545,25 @@ impl Default for SolvePolicy {
             require_exact: false,
             set_family_limit: DEFAULT_SET_FAMILY_LIMIT,
             allow_fallback: true,
+            exact_budget: ExactBudget::default(),
         }
     }
 }
 
 /// Builder for a [`Solver`].
-#[derive(Debug, Clone, Default)]
+#[derive(Clone, Default)]
 pub struct SolverBuilder {
     policy: SolvePolicy,
+    oracle: Option<Arc<dyn ExactOracle>>,
+}
+
+impl fmt::Debug for SolverBuilder {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SolverBuilder")
+            .field("policy", &self.policy)
+            .field("oracle", &self.oracle.as_ref().map(|_| "<installed>"))
+            .finish()
+    }
 }
 
 impl SolverBuilder {
@@ -464,19 +606,45 @@ impl SolverBuilder {
         self
     }
 
+    /// Install an exponential exact oracle (implemented by the `busytime-exact`
+    /// crate).  Under `require_exact`, a MinBusy instance outside every polynomial
+    /// exact class then routes to the oracle — subset DP up to its ceiling,
+    /// branch-and-bound above — instead of exhausting.
+    pub fn exact_oracle(mut self, oracle: Arc<dyn ExactOracle>) -> Self {
+        self.oracle = Some(oracle);
+        self
+    }
+
+    /// Cap the exploration budget of the exact backends.
+    pub fn exact_budget(mut self, budget: ExactBudget) -> Self {
+        self.policy.exact_budget = budget;
+        self
+    }
+
     /// Finish the builder.
     pub fn build(self) -> Solver {
         Solver {
             policy: self.policy,
+            oracle: self.oracle,
         }
     }
 }
 
 /// The unified solver: dispatches any [`Problem`] to the strongest applicable algorithm
 /// under its [`SolvePolicy`].
-#[derive(Debug, Clone, Default)]
+#[derive(Clone, Default)]
 pub struct Solver {
     policy: SolvePolicy,
+    oracle: Option<Arc<dyn ExactOracle>>,
+}
+
+impl fmt::Debug for Solver {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Solver")
+            .field("policy", &self.policy)
+            .field("oracle", &self.oracle.as_ref().map(|_| "<installed>"))
+            .finish()
+    }
 }
 
 impl Solver {
@@ -546,7 +714,82 @@ impl Solver {
                 }
             }
         }
+        // Every polynomial candidate is gone.  Under `require_exact` a MinBusy request
+        // gets one last resort: the exponential exact oracle, when one is installed.
+        if kind == ProblemKind::MinBusy && self.policy.require_exact {
+            if let Some(result) = self.try_exact_oracle(instance, &mut trace) {
+                return result;
+            }
+        }
         Err(SolveError::Exhausted { kind, trace })
+    }
+
+    /// Run the exact oracle after the polynomial candidates exhausted.  `None` means
+    /// nothing ran (no oracle, forbidden backend, or backend error) — the trace
+    /// records why and the caller falls through to [`SolveError::Exhausted`].
+    fn try_exact_oracle(
+        &self,
+        instance: &Instance,
+        trace: &mut Vec<DispatchAttempt>,
+    ) -> Option<Result<Solution, SolveError>> {
+        let Some(oracle) = &self.oracle else {
+            for algorithm in [Algorithm::ExactSubsetDp, Algorithm::ExactBnB] {
+                trace.push(DispatchAttempt::skipped(
+                    algorithm,
+                    SkipReason::NoExactOracle,
+                ));
+            }
+            return None;
+        };
+        let limit = oracle.dp_ceiling();
+        let backend = oracle.backend_for(instance);
+        // The trace names both backends: the one the routing rejected (with the
+        // ceiling that decided it) and the one that ran.
+        let (chosen, other, routing) = match backend {
+            ExactBackend::SubsetDp => (
+                Algorithm::ExactSubsetDp,
+                Algorithm::ExactBnB,
+                SkipReason::DpPreferred { limit },
+            ),
+            ExactBackend::BranchAndBound => (
+                Algorithm::ExactBnB,
+                Algorithm::ExactSubsetDp,
+                SkipReason::AboveDpCeiling { limit },
+            ),
+        };
+        trace.push(DispatchAttempt::skipped(other, routing));
+        if self.policy.forbidden.contains(&chosen) {
+            trace.push(DispatchAttempt::skipped(chosen, SkipReason::Forbidden));
+            return None;
+        }
+        match oracle.solve_min_busy(instance, &self.policy.exact_budget, backend) {
+            Ok(ExactOutcome::Optimal { schedule, cost, .. }) => {
+                trace.push(DispatchAttempt::selected(chosen));
+                let trace = std::mem::take(trace);
+                Some(Ok(self.finish(
+                    chosen,
+                    schedule,
+                    Objective::BusyTime(cost),
+                    instance,
+                    trace,
+                )))
+            }
+            Ok(ExactOutcome::Exhausted {
+                lower,
+                upper,
+                nodes,
+                ..
+            }) => Some(Err(SolveError::BudgetExhausted {
+                algorithm: chosen,
+                lower,
+                upper,
+                nodes,
+            })),
+            Err(error) => {
+                trace.push(DispatchAttempt::failed(chosen, error));
+                None
+            }
+        }
     }
 
     /// Solve many requests concurrently; results come back in request order.
@@ -630,11 +873,52 @@ impl Solver {
         if !self.policy.allow_fallback && forced.is_fallback() {
             return Err(SolveError::ForcedFallbackDisabled { algorithm: forced });
         }
+        if forced.is_exact_oracle() {
+            return self.solve_forced_exact(forced, instance);
+        }
         match self.run(forced, problem) {
             Ok((schedule, objective)) => {
                 let trace = vec![DispatchAttempt::selected(forced)];
                 Ok(self.finish(forced, schedule, objective, instance, trace))
             }
+            Err(error) => Err(SolveError::ForcedFailed {
+                algorithm: forced,
+                error,
+            }),
+        }
+    }
+
+    /// Run a forced exponential exact backend through the installed oracle.  Forcing
+    /// here bypasses the DP/B&B routing — the caller names the backend, and the
+    /// oracle reports (for instance) a DP forced above its ceiling as a typed error.
+    fn solve_forced_exact(
+        &self,
+        forced: Algorithm,
+        instance: &Instance,
+    ) -> Result<Solution, SolveError> {
+        let Some(oracle) = &self.oracle else {
+            return Err(SolveError::NoExactOracle { algorithm: forced });
+        };
+        let backend = match forced {
+            Algorithm::ExactSubsetDp => ExactBackend::SubsetDp,
+            _ => ExactBackend::BranchAndBound,
+        };
+        match oracle.solve_min_busy(instance, &self.policy.exact_budget, backend) {
+            Ok(ExactOutcome::Optimal { schedule, cost, .. }) => {
+                let trace = vec![DispatchAttempt::selected(forced)];
+                Ok(self.finish(forced, schedule, Objective::BusyTime(cost), instance, trace))
+            }
+            Ok(ExactOutcome::Exhausted {
+                lower,
+                upper,
+                nodes,
+                ..
+            }) => Err(SolveError::BudgetExhausted {
+                algorithm: forced,
+                lower,
+                upper,
+                nodes,
+            }),
             Err(error) => Err(SolveError::ForcedFailed {
                 algorithm: forced,
                 error,
@@ -737,6 +1021,9 @@ fn applicability_gap(
         Algorithm::CliqueSetCover | Algorithm::ThroughputCliqueApprox => class.clique,
         Algorithm::BestCut => class.proper,
         Algorithm::FirstFit | Algorithm::ThroughputGreedy => true,
+        // The exponential backends apply to any instance, but they are never in the
+        // candidate list — they route through `try_exact_oracle` instead.
+        Algorithm::ExactSubsetDp | Algorithm::ExactBnB => true,
     };
     if applies {
         None
@@ -905,6 +1192,19 @@ pub enum SkipReason {
         /// The class the algorithm requires.
         required: &'static str,
     },
+    /// The exponential exact backends cannot run: no [`ExactOracle`] is installed.
+    NoExactOracle,
+    /// The oracle routed the instance to the subset DP (it fits the ceiling), so
+    /// branch-and-bound was not needed.
+    DpPreferred {
+        /// The oracle's DP job-count ceiling.
+        limit: usize,
+    },
+    /// The instance exceeds the subset-DP ceiling, so the oracle ran branch-and-bound.
+    AboveDpCeiling {
+        /// The oracle's DP job-count ceiling.
+        limit: usize,
+    },
 }
 
 impl fmt::Display for SkipReason {
@@ -915,6 +1215,13 @@ impl fmt::Display for SkipReason {
             SkipReason::FallbackDisabled => write!(f, "fallbacks disabled by policy"),
             SkipReason::ClassMismatch { required } => {
                 write!(f, "instance is not {required}")
+            }
+            SkipReason::NoExactOracle => write!(f, "no exact oracle installed"),
+            SkipReason::DpPreferred { limit } => {
+                write!(f, "instance fits the subset-DP ceiling of {limit} jobs")
+            }
+            SkipReason::AboveDpCeiling { limit } => {
+                write!(f, "instance exceeds the subset-DP ceiling of {limit} jobs")
             }
         }
     }
@@ -1003,6 +1310,23 @@ pub enum SolveError {
         /// The profit vector's length.
         actual: usize,
     },
+    /// An exponential exact algorithm was forced, but no [`ExactOracle`] is installed.
+    NoExactOracle {
+        /// The forced algorithm.
+        algorithm: Algorithm,
+    },
+    /// The exact backend ran out of budget before proving optimality.  The bound pair
+    /// is still sound: `lower ≤ OPT ≤ upper`.
+    BudgetExhausted {
+        /// The backend that ran.
+        algorithm: Algorithm,
+        /// Proven lower bound on the optimum.
+        lower: Duration,
+        /// Cost of the best incumbent schedule found (a valid upper bound).
+        upper: Duration,
+        /// Search nodes explored before exhaustion.
+        nodes: u64,
+    },
 }
 
 impl fmt::Display for SolveError {
@@ -1043,6 +1367,21 @@ impl fmt::Display for SolveError {
             SolveError::InvalidProfits { expected, actual } => write!(
                 f,
                 "weighted throughput needs one profit per job ({expected}), got {actual}"
+            ),
+            SolveError::NoExactOracle { algorithm } => write!(
+                f,
+                "algorithm {algorithm} needs an exact oracle, but none is installed \
+                 (install one with SolverBuilder::exact_oracle)"
+            ),
+            SolveError::BudgetExhausted {
+                algorithm,
+                lower,
+                upper,
+                nodes,
+            } => write!(
+                f,
+                "{algorithm} exhausted its budget after {nodes} nodes; \
+                 proven bounds {lower} <= OPT <= {upper}"
             ),
         }
     }
@@ -1179,7 +1518,15 @@ mod tests {
         match err {
             SolveError::Exhausted { kind, trace } => {
                 assert_eq!(kind, ProblemKind::MinBusy);
-                assert_eq!(trace.len(), 6, "every candidate must be accounted for");
+                // 6 polynomial candidates + the two exponential backends, which are
+                // skipped because this solver has no exact oracle installed.
+                assert_eq!(trace.len(), 8, "every candidate must be accounted for");
+                for attempt in &trace[6..] {
+                    assert_eq!(
+                        attempt.outcome,
+                        AttemptOutcome::Skipped(SkipReason::NoExactOracle)
+                    );
+                }
             }
             other => panic!("expected Exhausted, got {other:?}"),
         }

@@ -2,25 +2,40 @@
 //!
 //! Exponential-time exact solvers for MinBusy and MaxThroughput, used as ground truth by
 //! the approximation-ratio experiments and by the test-suite.  MinBusy is NP-hard already
-//! for `g = 2` (Section 1 of the paper), so exact solutions are only computed for small
-//! instances (≈ 20 jobs and below); every experiment that needs an optimum restricts
-//! itself to this regime.
+//! for `g = 2` (Section 1 of the paper), so every exact backend here is exponential; two
+//! of them cover different size regimes:
 //!
-//! The solver is a dynamic program over subsets: `cost[S]` is the minimum total busy time
-//! of any valid schedule of exactly the job set `S`, computed by peeling off the machine
-//! that contains the lowest-indexed job of `S` (any subset of `S` with at most `g`
-//! simultaneously active jobs).  The same table answers both problems:
+//! * the **subset DP** (this module): `cost[S]` is the minimum total busy time of any
+//!   valid schedule of exactly the job set `S`, computed by peeling off the machine that
+//!   contains the lowest-indexed job of `S` (any subset of `S` with at most `g`
+//!   simultaneously active jobs).  `O(3^n)` time and `O(2^n)` memory confine it to
+//!   [`MAX_EXACT_JOBS`] jobs and below.  The same table answers both problems —
+//!   MinBusy as `cost[full set]`, MaxThroughput as the largest `|S|` with
+//!   `cost[S] ≤ T`;
+//! * **branch-and-bound** ([`bnb::branch_and_bound`]): assignment search with a
+//!   warm-started incumbent and a relaxation-based bound stack, practical well past the
+//!   DP ceiling (n ≈ 40–60 on the bench families) under a configurable node budget.
 //!
-//! * MinBusy: `cost[full set]`;
-//! * MaxThroughput: the largest `|S|` with `cost[S] ≤ T`.
+//! [`exact_minbusy`] routes between them by instance size, and [`oracle`] packages the
+//! same routing as a [`busytime::ExactOracle`] that plugs into the solver facade
+//! (`Solver::builder().exact_oracle(...)`), where the dispatch trace names which
+//! backend ran.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
-use busytime::{Duration, Instance, Schedule, SolveResult, ThroughputResult};
+pub mod bnb;
+
+use std::sync::Arc;
+
+use busytime::{
+    Duration, Error, ExactBackend, ExactBudget, ExactOracle, ExactOutcome, Instance, Schedule,
+    SolveResult, ThroughputResult,
+};
 use busytime_interval::{max_overlap, span, Interval};
 
-/// Maximum instance size accepted by the exact solvers (the subset DP is `O(3^n)`).
+/// Largest instance the `O(3^n)` subset DP accepts; [`exact_minbusy`] and the installed
+/// [`oracle`] route anything bigger to [`bnb::branch_and_bound`] instead of rejecting it.
 pub const MAX_EXACT_JOBS: usize = 22;
 
 /// The subset-DP table: minimum cost of scheduling exactly each subset of jobs, plus the
@@ -107,14 +122,26 @@ fn reconstruct(table: &SubsetTable, n: usize, mut mask: usize) -> Schedule {
     schedule
 }
 
-/// Exact MinBusy by dynamic programming over subsets (`O(3^n)` time, `O(2^n)` memory).
+/// Exact MinBusy: subset DP up to [`MAX_EXACT_JOBS`] jobs, branch-and-bound (under the
+/// default [`ExactBudget`]) above.
 ///
 /// # Panics
-/// Panics if the instance has more than [`MAX_EXACT_JOBS`] jobs.
+/// Panics if a large instance exhausts the default branch-and-bound budget before
+/// optimality is proven; call [`bnb::branch_and_bound`] directly to receive the bound
+/// pair instead of a panic.
 pub fn exact_minbusy(instance: &Instance) -> SolveResult {
     let n = instance.len();
     if n == 0 {
         return SolveResult::new(Schedule::empty(0), instance);
+    }
+    if n > MAX_EXACT_JOBS {
+        match bnb::branch_and_bound(instance, &ExactBudget::default()) {
+            ExactOutcome::Optimal { schedule, .. } => return SolveResult::new(schedule, instance),
+            ExactOutcome::Exhausted { lower, upper, .. } => panic!(
+                "branch-and-bound budget exhausted on {n} jobs ({lower} <= OPT <= {upper}); \
+                 call bnb::branch_and_bound for the bound pair"
+            ),
+        }
     }
     let table = build_table(instance);
     let full = (1usize << n) - 1;
@@ -124,10 +151,14 @@ pub fn exact_minbusy(instance: &Instance) -> SolveResult {
     result
 }
 
-/// The exact optimal MinBusy cost (no schedule reconstruction).
+/// The exact optimal MinBusy cost (no schedule reconstruction; same DP/B&B routing as
+/// [`exact_minbusy`]).
 pub fn exact_minbusy_cost(instance: &Instance) -> Duration {
     if instance.is_empty() {
         return Duration::ZERO;
+    }
+    if instance.len() > MAX_EXACT_JOBS {
+        return exact_minbusy(instance).cost;
     }
     let table = build_table(instance);
     Duration::new(table.cost[(1usize << instance.len()) - 1])
@@ -227,6 +258,58 @@ pub fn exact_demand_minbusy(instance: &busytime::demand::DemandInstance) -> (Sch
 /// The exact optimal throughput value (no schedule reconstruction).
 pub fn exact_maxthroughput_value(instance: &Instance, budget: Duration) -> usize {
     exact_maxthroughput(instance, budget).throughput
+}
+
+/// The default [`ExactOracle`]: subset DP up to [`MAX_EXACT_JOBS`] jobs, branch-and-bound
+/// above.  Install it with `Solver::builder().exact_oracle(busytime_exact::oracle())`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DefaultExactOracle;
+
+impl ExactOracle for DefaultExactOracle {
+    fn dp_ceiling(&self) -> usize {
+        MAX_EXACT_JOBS
+    }
+
+    fn solve_min_busy(
+        &self,
+        instance: &Instance,
+        budget: &ExactBudget,
+        backend: ExactBackend,
+    ) -> Result<ExactOutcome, Error> {
+        match backend {
+            ExactBackend::SubsetDp => {
+                let n = instance.len();
+                if n > MAX_EXACT_JOBS {
+                    return Err(Error::TooManyJobs {
+                        jobs: n,
+                        limit: MAX_EXACT_JOBS,
+                    });
+                }
+                if n == 0 {
+                    return Ok(ExactOutcome::Optimal {
+                        schedule: Schedule::empty(0),
+                        cost: Duration::ZERO,
+                        nodes: 0,
+                    });
+                }
+                let table = build_table(instance);
+                let full = (1usize << n) - 1;
+                let schedule = reconstruct(&table, n, full);
+                Ok(ExactOutcome::Optimal {
+                    schedule,
+                    cost: Duration::new(table.cost[full]),
+                    nodes: 0,
+                })
+            }
+            ExactBackend::BranchAndBound => Ok(bnb::branch_and_bound(instance, budget)),
+        }
+    }
+}
+
+/// The default oracle, ready to install with
+/// [`busytime::SolverBuilder::exact_oracle`].
+pub fn oracle() -> Arc<dyn ExactOracle> {
+    Arc::new(DefaultExactOracle)
 }
 
 #[cfg(test)]
@@ -337,12 +420,39 @@ mod tests {
     }
 
     #[test]
-    #[should_panic]
-    fn too_large_instance_rejected() {
+    fn large_instance_routes_to_branch_and_bound() {
+        // Above the DP ceiling the router no longer rejects: branch-and-bound proves
+        // the optimum (the staircase's overlap structure keeps the search tiny).
         let jobs: Vec<(i64, i64)> = (0..(MAX_EXACT_JOBS as i64 + 1))
             .map(|i| (i, i + 10))
             .collect();
         let inst = Instance::from_ticks(&jobs, 2);
-        let _ = exact_minbusy(&inst);
+        let r = exact_minbusy(&inst);
+        r.schedule.validate_complete(&inst).unwrap();
+        assert_eq!(r.cost, exact_minbusy_cost(&inst));
+        assert!(r.cost >= inst.lower_bound());
+    }
+
+    #[test]
+    fn oracle_routes_by_instance_size() {
+        let oracle = DefaultExactOracle;
+        let small = Instance::from_ticks(&[(0, 10), (2, 5)], 2);
+        assert_eq!(oracle.backend_for(&small), ExactBackend::SubsetDp);
+        let jobs: Vec<(i64, i64)> = (0..(MAX_EXACT_JOBS as i64 + 1))
+            .map(|i| (2 * i, 2 * i + 3))
+            .collect();
+        let large = Instance::from_ticks(&jobs, 2);
+        assert_eq!(oracle.backend_for(&large), ExactBackend::BranchAndBound);
+        // Forcing the DP past its ceiling is a typed error, not a panic.
+        let err = oracle
+            .solve_min_busy(&large, &ExactBudget::default(), ExactBackend::SubsetDp)
+            .unwrap_err();
+        assert_eq!(
+            err,
+            Error::TooManyJobs {
+                jobs: MAX_EXACT_JOBS + 1,
+                limit: MAX_EXACT_JOBS
+            }
+        );
     }
 }

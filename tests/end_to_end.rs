@@ -187,18 +187,29 @@ fn policies_behave_end_to_end() {
     assert_ne!(rerouted.algorithm, Algorithm::ProperCliqueDp);
     rerouted.schedule.validate_complete(&pc).unwrap();
 
-    // Exact-only on a general instance reports a full trace instead of approximating.
+    // Exact-only without an installed oracle reports a full trace instead of
+    // approximating: every polynomial candidate plus both rejected exact backends.
     let exact = Solver::builder().require_exact(true).build();
-    match exact.solve(&Problem::min_busy(general)) {
+    match exact.solve(&Problem::min_busy(general.clone())) {
         Err(SolveError::Exhausted { kind, trace }) => {
             assert_eq!(kind, ProblemKind::MinBusy);
             assert_eq!(
                 trace.len(),
-                Algorithm::candidates(ProblemKind::MinBusy).len()
+                Algorithm::candidates(ProblemKind::MinBusy).len() + 2
             );
         }
         other => panic!("expected Exhausted, got {other:?}"),
     }
+
+    // With the oracle installed, the same instance solves exactly (n = 30 routes
+    // above the DP ceiling to branch-and-bound).
+    let exact = Solver::builder()
+        .require_exact(true)
+        .exact_oracle(busytime_exact::oracle())
+        .build();
+    let solved = exact.solve(&Problem::min_busy(general.clone())).unwrap();
+    assert_eq!(solved.algorithm, Algorithm::ExactBnB);
+    solved.schedule.validate_complete(&general).unwrap();
 }
 
 /// Schedule summaries stay internally consistent on a realistic trace.

@@ -1,0 +1,141 @@
+//! The differential oracle for the branch-and-bound exact backend: on every instance
+//! small enough for the subset DP, [`busytime_exact::bnb::branch_and_bound`] under its
+//! default budget must terminate optimally with exactly the DP's cost, and the
+//! reconstructed schedule must re-validate with a from-scratch [`Schedule::cost`]
+//! recomputation equal to the reported optimum.
+//!
+//! Cases come from two sources, mirroring the online/offline oracle: every named
+//! workload-generator family at several (seed, n, g) points, and proptest-random
+//! instances biased toward the shapes the families rarely produce — improper
+//! containment chains, overlap-heavy cliques, and exact duplicate jobs (the stress
+//! case for the search's identical-machine dominance rule).
+
+use busytime::{ExactBudget, ExactOutcome, Instance};
+use busytime_exact::{bnb, exact_minbusy};
+use busytime_workload::{
+    clique_instance, cloud_trace, general_instance, one_sided_instance, optical_lightpaths,
+    proper_clique_instance, proper_instance, seeded_rng,
+};
+use proptest::prelude::*;
+
+/// The oracle proper: branch-and-bound against the subset DP on one instance.
+fn assert_bnb_matches_dp(instance: &Instance, context: &str) {
+    let dp = exact_minbusy(instance);
+    match bnb::branch_and_bound(instance, &ExactBudget::default()) {
+        ExactOutcome::Optimal {
+            schedule,
+            cost,
+            nodes,
+        } => {
+            assert_eq!(
+                cost, dp.cost,
+                "{context}: B&B optimum vs subset-DP (after {nodes} nodes)"
+            );
+            if instance.is_empty() {
+                assert!(
+                    schedule.is_empty(),
+                    "{context}: empty instance, jobs placed"
+                );
+            } else {
+                schedule
+                    .validate_complete(instance)
+                    .unwrap_or_else(|e| panic!("{context}: B&B schedule invalid: {e}"));
+            }
+            assert_eq!(
+                schedule.cost(instance),
+                cost,
+                "{context}: reported optimum vs recomputed schedule cost"
+            );
+        }
+        ExactOutcome::Exhausted { nodes, .. } => {
+            panic!("{context}: default budget exhausted after {nodes} nodes")
+        }
+    }
+}
+
+/// Every named generator family at a given (seed, n, g) — the workload half of the
+/// oracle's case source (same parameter shapes as the online/offline oracle).
+fn family_instances(seed: u64, n: usize, g: usize) -> Vec<(&'static str, Instance)> {
+    vec![
+        (
+            "general",
+            general_instance(&mut seeded_rng(seed), n, g, 200, 30),
+        ),
+        (
+            "proper",
+            proper_instance(&mut seeded_rng(seed), n, g, 20, 5),
+        ),
+        ("clique", clique_instance(&mut seeded_rng(seed), n, g, 100)),
+        (
+            "proper-clique",
+            proper_clique_instance(&mut seeded_rng(seed), n, g, 4 * n.max(1) as i64),
+        ),
+        (
+            "one-sided",
+            one_sided_instance(&mut seeded_rng(seed), n, g, 60),
+        ),
+        ("cloud", cloud_trace(&mut seeded_rng(seed), n, g, 5, 1, 200)),
+        (
+            "optical",
+            optical_lightpaths(&mut seeded_rng(seed), n, g, 64),
+        ),
+    ]
+}
+
+#[test]
+fn bnb_matches_dp_on_every_workload_family() {
+    for seed in 0..2u64 {
+        for g in 1usize..=4 {
+            for &n in &[5usize, 9, 12] {
+                for (family, instance) in family_instances(seed, n, g) {
+                    assert_bnb_matches_dp(&instance, &format!("{family} seed={seed} n={n} g={g}"));
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn bnb_matches_dp_on_degenerate_instances() {
+    assert_bnb_matches_dp(&Instance::from_ticks(&[], 3), "empty");
+    assert_bnb_matches_dp(&Instance::from_ticks(&[(0, 7)], 1), "singleton");
+    // All jobs identical: the dominance rule must still leave one representative child.
+    assert_bnb_matches_dp(&Instance::from_ticks(&[(2, 9); 7], 2), "seven duplicates");
+    // An improper containment chain — no two jobs cross, every pair nests.
+    assert_bnb_matches_dp(
+        &Instance::from_ticks(&[(0, 20), (1, 19), (2, 18), (3, 17), (4, 16), (5, 15)], 2),
+        "containment chain",
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    /// Arbitrary unstructured instances: overlap mixes, touching endpoints, improper
+    /// containment — everything the named families under-sample.
+    #[test]
+    fn bnb_matches_dp_on_random_instances(
+        jobs in prop::collection::vec((-40i64..40, 1i64..30), 1..12),
+        g in 1usize..5,
+    ) {
+        let jobs: Vec<(i64, i64)> = jobs.into_iter().map(|(s, l)| (s, s + l)).collect();
+        let instance = Instance::from_ticks(&jobs, g);
+        assert_bnb_matches_dp(&instance, "proptest random");
+    }
+
+    /// Overlap-heavy instances with forced duplicates: starts drawn from a narrow
+    /// band so almost everything conflicts, then the first `copies` jobs repeated
+    /// verbatim to hammer the identical-machine dominance pruning.
+    #[test]
+    fn bnb_matches_dp_on_overlap_heavy_duplicates(
+        jobs in prop::collection::vec((-6i64..6, 1i64..15), 1..8),
+        copies in 1usize..4,
+        g in 1usize..4,
+    ) {
+        let mut jobs: Vec<(i64, i64)> = jobs.into_iter().map(|(s, l)| (s, s + l)).collect();
+        let dup: Vec<(i64, i64)> = jobs.iter().copied().cycle().take(copies).collect();
+        jobs.extend(dup);
+        let instance = Instance::from_ticks(&jobs, g);
+        assert_bnb_matches_dp(&instance, "proptest duplicates");
+    }
+}

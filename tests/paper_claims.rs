@@ -221,6 +221,94 @@ fn online_first_fit_stays_in_greedy_envelope() {
     }
 }
 
+/// The same greedy envelopes, re-pinned above the subset-DP ceiling: at n ∈ {20, 30, 40}
+/// the exact optimum comes straight from the branch-and-bound backend (at these sizes
+/// the full 3ⁿ DP table is out of reach, but B&B's component decomposition is not), so
+/// the ≤ 4·OPT canonical-order and ≤ g·OPT arrival-order FirstFit claims are checked
+/// against the *true* optimum rather than a lower bound.
+#[test]
+fn online_first_fit_envelopes_hold_at_bnb_scale() {
+    use busytime::{ExactBudget, ExactOutcome};
+    for seed in 0..6u64 {
+        for &(n, g) in &[(20usize, 2usize), (30, 3), (40, 4)] {
+            let inst = general_instance(&mut seeded_rng(seed), n, g, 300, 30);
+            let opt = match busytime_exact::bnb::branch_and_bound(&inst, &ExactBudget::default()) {
+                ExactOutcome::Optimal { cost, .. } => cost.ticks(),
+                ExactOutcome::Exhausted { nodes, .. } => {
+                    panic!("seed={seed} n={n} g={g}: B&B budget exhausted after {nodes} nodes")
+                }
+            };
+            let context = format!("seed={seed} n={n} g={g}");
+
+            let by_length: Vec<usize> = inst
+                .order_by_length_desc()
+                .iter()
+                .map(|&j| j as usize)
+                .collect();
+            let canonical = OnlineScheduler::run(
+                &trace_from_instance_in_order(&inst, &by_length),
+                OnlinePolicy::FirstFit,
+            )
+            .unwrap();
+            assert!(
+                canonical.final_cost().ticks() <= 4 * opt,
+                "{context}: canonical-order online FirstFit {} vs 4·OPT = {}",
+                canonical.final_cost(),
+                4 * opt
+            );
+
+            let arrival =
+                OnlineScheduler::run(&trace_from_instance(&inst), OnlinePolicy::FirstFit).unwrap();
+            assert!(
+                arrival.final_cost().ticks() <= g as i64 * opt,
+                "{context}: arrival-order online FirstFit {} vs g·OPT = {}",
+                arrival.final_cost(),
+                g as i64 * opt
+            );
+            assert!(arrival.final_cost().ticks() >= opt, "{context}: below OPT");
+        }
+    }
+}
+
+/// Compacting an online schedule to a fixpoint never tunnels below the exact optimum:
+/// defragmentation only migrates live jobs to strictly cheaper slots, so its limit is
+/// still a valid schedule and `OPT` stays a hard floor.  The measured gap to OPT is
+/// recorded per instance and must never be negative.
+#[test]
+fn defrag_fixpoint_stays_above_exact_optimum() {
+    let mut gaps: Vec<(String, i64)> = Vec::new();
+    for seed in 0..6u64 {
+        for &(n, g) in &[(10usize, 2usize), (16, 3), (24, 3)] {
+            let inst = general_instance(&mut seeded_rng(seed), n, g, 120, 25);
+            let opt = exact_minbusy_cost(&inst);
+            let context = format!("seed={seed} n={n} g={g}");
+
+            let mut live =
+                OnlineScheduler::run(&trace_from_instance(&inst), OnlinePolicy::FirstFit)
+                    .unwrap()
+                    .scheduler;
+            // Compact to fixpoint: an unbounded pass either commits a strictly
+            // improving move or proves none exists, so this terminates.
+            while live.compact(usize::MAX).moves > 0 {}
+            let compacted = live.cost();
+
+            assert!(
+                compacted >= opt,
+                "{context}: compact-to-fixpoint cost {compacted} fell below OPT = {opt}"
+            );
+            let gap = compacted.ticks() - opt.ticks();
+            assert!(gap >= 0, "{context}: negative gap {gap}");
+            gaps.push((context, gap));
+        }
+    }
+    // Every recorded gap is sound; print the worst for the log.
+    let worst = gaps.iter().max_by_key(|(_, gap)| *gap).unwrap();
+    println!(
+        "defrag fixpoint worst gap to OPT: {} ({})",
+        worst.1, worst.0
+    );
+}
+
 /// Theorem 3.3: BucketFirstFit guarantee is capped by g and grows only logarithmically
 /// with γ.
 #[test]
